@@ -1,0 +1,40 @@
+# Development targets for the nested active-time scheduling library.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments experiments-quick vet fmt clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# Regenerate every table in EXPERIMENTS.md (full grids, ~5 s).
+experiments:
+	$(GO) run ./cmd/atexp
+
+# Small grids for a fast smoke run (< 1 s).
+experiments-quick:
+	$(GO) run ./cmd/atexp -quick
+
+clean:
+	$(GO) clean ./...
+	rm -f before.dot after.dot

@@ -1,0 +1,234 @@
+// Package activetime is a library for active-time scheduling: given
+// preemptible jobs with windows and a machine that can run up to g
+// jobs per discrete time slot, activate as few slots as possible while
+// finishing every job inside its window.
+//
+// The centerpiece is the 9/5-approximation algorithm of Cao, Fineman,
+// Li, Mestre, Russell and Umboh ("Brief Announcement: Nested
+// Active-Time Scheduling", SPAA 2022) for instances whose job windows
+// are nested (laminar), improving on the 2-approximation known for the
+// general problem. The library also ships the classical baselines
+// (minimal-feasible 3-approximation and a Kumar–Khuller-style
+// right-to-left greedy), exact solvers for ground truth, the natural
+// and Călinescu–Wang time-indexed LPs, the paper's integrality-gap
+// families, and the §6 NP-completeness reduction chain.
+//
+// Quick start:
+//
+//	in, err := activetime.NewInstance(2, []activetime.Job{
+//		{Processing: 2, Release: 0, Deadline: 6},
+//		{Processing: 1, Release: 0, Deadline: 3},
+//	})
+//	res, err := activetime.Solve(in, activetime.AlgNested95)
+//	fmt.Println(res.ActiveSlots, res.Schedule)
+package activetime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/flowfeas"
+	"repro/internal/greedy"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/sched"
+)
+
+// Job is a preemptible job: Processing units of work to be placed in
+// distinct slots of the window [Release, Deadline).
+type Job = instance.Job
+
+// Instance is an active-time scheduling instance (jobs plus the
+// per-slot machine capacity G).
+type Instance = instance.Instance
+
+// Schedule assigns jobs to slots; see its Validate and NumActive
+// methods.
+type Schedule = sched.Schedule
+
+// NewInstance builds and validates an instance with capacity g.
+func NewInstance(g int64, jobs []Job) (*Instance, error) {
+	return instance.New(g, jobs)
+}
+
+// LoadInstance reads an instance from a JSON file.
+func LoadInstance(path string) (*Instance, error) {
+	return instance.LoadFile(path)
+}
+
+// Algorithm selects a solver in Solve.
+type Algorithm string
+
+// Available algorithms.
+const (
+	// AlgNested95 is the paper's 9/5-approximation; it requires
+	// nested (laminar) job windows.
+	AlgNested95 Algorithm = "nested95"
+	// AlgGreedyMinimal deactivates slots left to right while feasible;
+	// any minimal feasible solution is a 3-approximation.
+	AlgGreedyMinimal Algorithm = "greedy-minimal"
+	// AlgGreedyRTL deactivates right to left (Kumar–Khuller style).
+	AlgGreedyRTL Algorithm = "greedy-rtl"
+	// AlgExact computes the true optimum (exponential time; intended
+	// for small instances and ground truth).
+	AlgExact Algorithm = "exact"
+	// AlgAllOpen opens every candidate slot (trivial baseline).
+	AlgAllOpen Algorithm = "all-open"
+)
+
+// Algorithms lists every available algorithm.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgNested95, AlgGreedyMinimal, AlgGreedyRTL, AlgExact, AlgAllOpen}
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	// Algorithm that produced the result.
+	Algorithm Algorithm
+	// Schedule is a feasible schedule (validated against the input).
+	Schedule *Schedule
+	// ActiveSlots is the objective value achieved.
+	ActiveSlots int64
+	// LPLowerBound is the strengthened-LP lower bound on OPT; only
+	// set by AlgNested95.
+	LPLowerBound float64
+	// CertifiedRatio is ActiveSlots / LPLowerBound when the LP bound
+	// is available; an instance-specific a-posteriori guarantee.
+	CertifiedRatio float64
+}
+
+// Solve runs the chosen algorithm. All algorithms return a feasible,
+// validated schedule or an error (in particular for infeasible
+// instances, and for AlgNested95 on non-nested windows).
+func Solve(in *Instance, alg Algorithm) (*Result, error) {
+	switch alg {
+	case AlgNested95:
+		s, rep, err := core.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Algorithm:      alg,
+			Schedule:       s,
+			ActiveSlots:    s.NumActive(),
+			LPLowerBound:   rep.LPValue,
+			CertifiedRatio: rep.CertifiedRatio,
+		}, nil
+	case AlgGreedyMinimal:
+		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(alg, res.Schedule), nil
+	case AlgGreedyRTL:
+		res, err := greedy.LazyRightToLeft(in)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(alg, res.Schedule), nil
+	case AlgAllOpen:
+		res, err := greedy.AllOpen(in)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(alg, res.Schedule), nil
+	case AlgExact:
+		s, err := exactSchedule(in)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(alg, s), nil
+	default:
+		return nil, fmt.Errorf("activetime: unknown algorithm %q", alg)
+	}
+}
+
+func wrap(alg Algorithm, s *Schedule) *Result {
+	return &Result{Algorithm: alg, Schedule: s, ActiveSlots: s.NumActive()}
+}
+
+// exactSchedule computes an optimal schedule via the exact solvers,
+// dispatching to the far faster per-node-count search (with component
+// decomposition) when the windows are nested.
+func exactSchedule(in *Instance) (*Schedule, error) {
+	if !in.Nested() {
+		_, slots, err := exact.SolveGeneral(in)
+		if err != nil {
+			return nil, err
+		}
+		return flowfeas.ScheduleOnSlots(in, slots)
+	}
+	out := sched.New(in.G)
+	comps, backmap := in.Components()
+	for ci, comp := range comps {
+		tree, err := lamtree.Build(comp)
+		if err != nil {
+			return nil, err
+		}
+		_, counts, err := exact.SolveNested(tree)
+		if err != nil {
+			return nil, err
+		}
+		s, err := flowfeas.ScheduleOnNodeCounts(tree, counts)
+		if err != nil {
+			return nil, err
+		}
+		for t, js := range s.Slots {
+			for _, localID := range js {
+				out.Assign(t, backmap[ci][localID])
+			}
+		}
+	}
+	if err := out.Validate(in); err != nil {
+		return nil, fmt.Errorf("activetime: internal: exact schedule invalid: %w", err)
+	}
+	return out, nil
+}
+
+// SolveOptions tunes SolveNested95.
+type SolveOptions struct {
+	// ExactLP solves the strengthened LP in exact rational arithmetic
+	// (slower; realizes the paper's exact-oracle assumption).
+	ExactLP bool
+	// Minimalize closes every removable slot after rounding; never
+	// worse, often optimal, and the 9/5 guarantee is preserved.
+	Minimalize bool
+	// Compact places open slots to minimize power-on events
+	// (fragments) at equal objective value.
+	Compact bool
+}
+
+// SolveNested95 runs the 9/5-approximation with explicit options.
+func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
+	s, rep, err := core.SolveWithOptions(in, core.Options{
+		ExactLP:    opts.ExactLP,
+		Minimalize: opts.Minimalize,
+		Compact:    opts.Compact,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Algorithm:      AlgNested95,
+		Schedule:       s,
+		ActiveSlots:    s.NumActive(),
+		LPLowerBound:   rep.LPValue,
+		CertifiedRatio: rep.CertifiedRatio,
+	}, nil
+}
+
+// Optimal returns the exact optimum objective value (exponential time;
+// use on small instances).
+func Optimal(in *Instance) (int64, error) {
+	return exact.Opt(in)
+}
+
+// Feasible reports whether the instance admits any schedule (all
+// candidate slots open).
+func Feasible(in *Instance) bool {
+	return flowfeas.CheckSlots(in, in.SortedSlots())
+}
+
+// ApproxRatio is the proven worst-case factor of AlgNested95.
+const ApproxRatio = core.Ratio

@@ -1,0 +1,60 @@
+package activetime
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sched"
+)
+
+// BatchResult pairs one instance's outcome with its input index; Err
+// is set when that instance failed (e.g. infeasible) while others
+// succeeded.
+type BatchResult struct {
+	Index  int
+	Result *Result
+	Err    error
+}
+
+// SolveBatch solves many instances concurrently on a bounded worker
+// pool (workers ≤ 0 selects GOMAXPROCS). Results are returned in input
+// order; per-instance failures are reported in the corresponding
+// BatchResult rather than aborting the batch.
+func SolveBatch(ins []*Instance, alg Algorithm, workers int) []BatchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ins) {
+		workers = len(ins)
+	}
+	out := make([]BatchResult, len(ins))
+	if workers <= 1 {
+		for i, in := range ins {
+			res, err := Solve(in, alg)
+			out[i] = BatchResult{Index: i, Result: res, Err: err}
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := Solve(ins[i], alg)
+				out[i] = BatchResult{Index: i, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range ins {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Metrics summarizes a schedule (utilization, fragmentation, peak
+// concurrency, …); see the fields of sched.Metrics.
+type Metrics = sched.Metrics

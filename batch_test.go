@@ -1,0 +1,82 @@
+package activetime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestSolveBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ins := make([]*Instance, 12)
+	for i := range ins {
+		ins[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(6, 2))
+	}
+	// An infeasible instance in the middle must not poison the batch.
+	bad, err := NewInstance(1, []Job{
+		{Processing: 1, Release: 0, Deadline: 1},
+		{Processing: 1, Release: 0, Deadline: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins[5] = bad
+
+	for _, workers := range []int{0, 1, 4} {
+		results := SolveBatch(ins, AlgNested95, workers)
+		if len(results) != len(ins) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			if i == 5 {
+				if r.Err == nil {
+					t.Fatalf("workers=%d: infeasible instance must error", workers)
+				}
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("workers=%d instance %d: %v", workers, i, r.Err)
+			}
+			if err := r.Result.Schedule.Validate(ins[i]); err != nil {
+				t.Fatalf("workers=%d instance %d: %v", workers, i, err)
+			}
+		}
+	}
+}
+
+// TestSolveBatchDeterministic: parallel and sequential batch runs
+// must produce the same objective values.
+func TestSolveBatchDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	ins := make([]*Instance, 10)
+	for i := range ins {
+		ins[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(8, 3))
+	}
+	seq := SolveBatch(ins, AlgNested95, 1)
+	par := SolveBatch(ins, AlgNested95, 8)
+	for i := range ins {
+		if seq[i].Result.ActiveSlots != par[i].Result.ActiveSlots {
+			t.Fatalf("instance %d: sequential %d vs parallel %d",
+				i, seq[i].Result.ActiveSlots, par[i].Result.ActiveSlots)
+		}
+	}
+}
+
+func TestMetricsExposed(t *testing.T) {
+	in, err := NewInstance(2, []Job{{Processing: 2, Release: 0, Deadline: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(in, AlgNested95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Metrics = res.Schedule.ComputeMetrics()
+	if m.ActiveSlots != 2 || m.TotalUnits != 2 {
+		t.Fatalf("metrics %+v", m)
+	}
+}

@@ -1,0 +1,242 @@
+package activetime
+
+// Benchmark harness: one benchmark per experiment table (E1–E17, see
+// DESIGN.md §4 and EXPERIMENTS.md) plus micro-benchmarks for the main
+// solver stages. Regenerate every table with
+//
+//	go run ./cmd/atexp
+//
+// and time the regeneration with
+//
+//	go test -bench=. -benchmem
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/greedy"
+	"repro/internal/lamtree"
+	"repro/internal/maxflow"
+	"repro/internal/nestlp"
+	"repro/internal/psc"
+	"repro/internal/timelp"
+)
+
+func benchConfig() experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Workers = 1 // stable single-threaded timings
+	return cfg
+}
+
+func runExperiment(b *testing.B, run func(experiments.Config) (*experiments.Table, error)) {
+	b.Helper()
+	cfg := benchConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1ApproxRatio(b *testing.B)   { runExperiment(b, experiments.E1ApproxRatio) }
+func BenchmarkE2NaturalGap(b *testing.B)    { runExperiment(b, experiments.E2NaturalGap) }
+func BenchmarkE3Gap32(b *testing.B)         { runExperiment(b, experiments.E3Gap32) }
+func BenchmarkE4Greedy(b *testing.B)        { runExperiment(b, experiments.E4Greedy) }
+func BenchmarkE5HeadToHead(b *testing.B)    { runExperiment(b, experiments.E5HeadToHead) }
+func BenchmarkE6Reduction(b *testing.B)     { runExperiment(b, experiments.E6Reduction) }
+func BenchmarkE7Transform(b *testing.B)     { runExperiment(b, experiments.E7Transform) }
+func BenchmarkE8Scaling(b *testing.B)       { runExperiment(b, experiments.E8Scaling) }
+func BenchmarkE9RoundingRatio(b *testing.B) { runExperiment(b, experiments.E9RoundingRatio) }
+func BenchmarkE10ConfigFit(b *testing.B)    { runExperiment(b, experiments.E10ConfigFit) }
+func BenchmarkE11UnitIntegrality(b *testing.B) {
+	runExperiment(b, experiments.E11UnitIntegrality)
+}
+func BenchmarkE12Ablation(b *testing.B) { runExperiment(b, experiments.E12Ablation) }
+func BenchmarkE13MultiInterval(b *testing.B) {
+	runExperiment(b, experiments.E13MultiInterval)
+}
+func BenchmarkE14OnePass(b *testing.B) { runExperiment(b, experiments.E14OnePass) }
+func BenchmarkE15Adversarial(b *testing.B) {
+	runExperiment(b, experiments.E15Adversarial)
+}
+func BenchmarkE16CWGapSearch(b *testing.B) {
+	runExperiment(b, experiments.E16CWGapSearch)
+}
+func BenchmarkE17BusyTime(b *testing.B) {
+	runExperiment(b, experiments.E17BusyTime)
+}
+
+// --- Component micro-benchmarks ---
+
+func benchInstances(n int, count int) []*Instance {
+	rng := rand.New(rand.NewSource(42))
+	out := make([]*Instance, count)
+	for i := range out {
+		out[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(n, 3))
+	}
+	return out
+}
+
+func BenchmarkNested95Solve(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		ins := benchInstances(n, 8)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(ins[i%len(ins)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGreedyRTL(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		ins := benchInstances(n, 8)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := greedy.LazyRightToLeft(ins[i%len(ins)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExactNested(b *testing.B) {
+	for _, n := range []int{6, 10} {
+		ins := benchInstances(n, 8)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.Opt(ins[i%len(ins)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStrengthenedLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := gen.RandomLaminar(rng, gen.DefaultLaminar(16, 3))
+	tr, err := lamtree.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := nestlp.NewModel(tr)
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNaturalLP(b *testing.B) {
+	in := gapfam.NaturalGap2(8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := timelp.Solve(in, timelp.Natural); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCWLP(b *testing.B) {
+	in := gapfam.Nested32(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := timelp.Solve(in, timelp.CalinescuWang); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPSCReduction(b *testing.B) {
+	in := &psc.Instance{
+		U: []psc.Vector{{3, 2}, {2, 1}, {3, 1}},
+		V: psc.Vector{4, 3},
+		K: 2,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		red, err := psc.Reduce(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exact.Opt(red.Scheduling); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func sizeName(n int) string {
+	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+// --- Substrate comparison benchmarks ---
+
+func buildFlowGraph(n int, seed int64) *maxflow.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := maxflow.New(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && rng.Intn(3) == 0 {
+				g.AddEdge(u, v, int64(rng.Intn(20)))
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkMaxflowDinic(b *testing.B) {
+	g := buildFlowGraph(64, 99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		g.Run(0, 63)
+	}
+}
+
+func BenchmarkMaxflowPushRelabel(b *testing.B) {
+	g := buildFlowGraph(64, 99)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.RunPushRelabel(0, 63)
+	}
+}
+
+// BenchmarkExactRationalLP measures the cost of the exact-oracle mode
+// relative to the float pipeline (BenchmarkStrengthenedLP).
+func BenchmarkExactRationalLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	in := gen.RandomLaminar(rng, gen.DefaultLaminar(10, 3))
+	tr, err := lamtree.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		b.Fatal(err)
+	}
+	model := nestlp.NewModel(tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.SolveExact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command activetime solves an active-time scheduling instance read
+// from a JSON file (see internal/instance for the format) and prints
+// the schedule.
+//
+// Usage:
+//
+//	activetime -in instance.json [-alg nested95] [-v] [-gantt] [-metrics]
+//	activetime -in instance.json -compare      # run and cross-check all solvers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	activetime "repro"
+	"repro/internal/crosscheck"
+)
+
+func main() {
+	path := flag.String("in", "", "instance JSON file (required)")
+	alg := flag.String("alg", string(activetime.AlgNested95),
+		"algorithm: nested95 | greedy-minimal | greedy-rtl | exact | all-open")
+	verbose := flag.Bool("v", false, "print the full slot-by-slot schedule")
+	gantt := flag.Bool("gantt", false, "print an ASCII Gantt chart")
+	metrics := flag.Bool("metrics", false, "print schedule metrics")
+	compare := flag.Bool("compare", false, "run every solver and cross-check consistency")
+	exactLP := flag.Bool("exact-lp", false, "nested95: solve the LP in exact rational arithmetic")
+	minimize := flag.Bool("minimize", false, "nested95: close removable slots after rounding")
+	compact := flag.Bool("compact", false, "nested95: place slots to minimize power-on events")
+	outPath := flag.String("out", "", "write the schedule as JSON to this file")
+	flag.Parse()
+
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "activetime: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	in, err := activetime.LoadInstance(*path)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *compare {
+		rep, err := crosscheck.Run(in)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(rep)
+		if !rep.OK() {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var res *activetime.Result
+	if activetime.Algorithm(*alg) == activetime.AlgNested95 && (*exactLP || *minimize || *compact) {
+		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
+			ExactLP:    *exactLP,
+			Minimalize: *minimize,
+			Compact:    *compact,
+		})
+	} else {
+		res, err = activetime.Solve(in, activetime.Algorithm(*alg))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("algorithm:    %s\n", res.Algorithm)
+	fmt.Printf("jobs:         %d (g=%d, nested=%v)\n", in.N(), in.G, in.Nested())
+	fmt.Printf("active slots: %d\n", res.ActiveSlots)
+	if res.LPLowerBound > 0 {
+		fmt.Printf("LP bound:     %.4f (certified ratio %.4f, guarantee %.4f)\n",
+			res.LPLowerBound, res.CertifiedRatio, activetime.ApproxRatio)
+	}
+	if *metrics {
+		fmt.Printf("metrics:      %s\n", res.Schedule.ComputeMetrics())
+	}
+	if *gantt {
+		if h, ok := in.Horizon(); ok {
+			fmt.Print(res.Schedule.Gantt(h.Start, h.End))
+		}
+	}
+	if *verbose {
+		fmt.Println(res.Schedule)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := res.Schedule.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "activetime:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Command atexp runs the paper-reproduction experiments (E1–E17) and
+// prints their tables; EXPERIMENTS.md is generated from this output.
+//
+// Usage:
+//
+//	atexp [-quick] [-trials N] [-seed S] [-workers W] [-only E1,E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the small parameter grids")
+	trials := flag.Int("trials", 0, "override trials per cell (0 = default)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	asCSV := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := experiments.Default()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+	cfg.Seed = *seed
+	cfg.Workers = *workers
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	failed := false
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed = true
+			continue
+		}
+		tbl.Note("elapsed: %s", time.Since(start).Round(time.Millisecond))
+		if *asCSV {
+			tbl.FprintCSV(os.Stdout)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,63 @@
+// Command atgen generates random active-time instances as JSON.
+//
+// Usage:
+//
+//	atgen -kind laminar -n 12 -g 3 -seed 7 > instance.json
+//	atgen -kind family -family nested32 -g 4 > gap.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+func main() {
+	kind := flag.String("kind", "laminar", "laminar | general | unit | family")
+	n := flag.Int("n", 10, "number of jobs (laminar/general/unit)")
+	g := flag.Int64("g", 2, "machine capacity")
+	seed := flag.Int64("seed", 1, "random seed")
+	family := flag.String("family", "nested32",
+		"for -kind family: naturalgap2 | nested32 | staircase | pinnedcomb")
+	levels := flag.Int("levels", 4, "staircase levels / pinned-comb teeth")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var in *instance.Instance
+	switch *kind {
+	case "laminar":
+		in = gen.RandomLaminar(rng, gen.DefaultLaminar(*n, *g))
+	case "general":
+		in = gen.RandomGeneral(rng, gen.DefaultGeneral(*n, *g))
+	case "unit":
+		in = gen.RandomUnitLaminar(rng, gen.DefaultLaminar(*n, *g))
+	case "family":
+		switch *family {
+		case "naturalgap2":
+			in = gapfam.NaturalGap2(*g)
+		case "nested32":
+			in = gapfam.Nested32(*g)
+		case "staircase":
+			in = gapfam.Staircase(*levels, *g)
+		case "pinnedcomb":
+			in = gapfam.PinnedComb(int64(*levels), *g)
+		default:
+			fatal(fmt.Errorf("unknown family %q", *family))
+		}
+	default:
+		fatal(fmt.Errorf("unknown kind %q", *kind))
+	}
+	if err := in.WriteJSON(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "atgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,152 @@
+// Package cmd_test builds the three CLI binaries and exercises them
+// end to end: generate → solve → compare → export, checking exit codes
+// and key output lines.
+package cmd_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles ./cmd/<name> into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./"+name)
+	cmd.Dir = mustCmdDir(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// mustCmdDir returns the cmd/ directory this test file lives in.
+func mustCmdDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	atgen := buildTool(t, dir, "atgen")
+	activetime := buildTool(t, dir, "activetime")
+
+	// Generate an instance.
+	instPath := filepath.Join(dir, "inst.json")
+	out, err := run(t, atgen, "-kind", "laminar", "-n", "8", "-g", "2", "-seed", "11")
+	if err != nil {
+		t.Fatalf("atgen: %v\n%s", err, out)
+	}
+	if err := os.WriteFile(instPath, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Solve with default algorithm.
+	out, err = run(t, activetime, "-in", instPath, "-metrics")
+	if err != nil {
+		t.Fatalf("activetime: %v\n%s", err, out)
+	}
+	for _, want := range []string{"algorithm:", "active slots:", "LP bound:", "metrics:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output:\n%s", want, out)
+		}
+	}
+
+	// Cross-check mode must succeed with no violations.
+	out, err = run(t, activetime, "-in", instPath, "-compare")
+	if err != nil {
+		t.Fatalf("compare: %v\n%s", err, out)
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Fatalf("compare found violations:\n%s", out)
+	}
+
+	// Export a schedule and reload it.
+	schedPath := filepath.Join(dir, "sched.json")
+	if out, err = run(t, activetime, "-in", instPath, "-minimize", "-out", schedPath); err != nil {
+		t.Fatalf("export: %v\n%s", err, out)
+	}
+	data, err := os.ReadFile(schedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\"slots\"") {
+		t.Fatalf("schedule JSON malformed:\n%s", data)
+	}
+
+	// Family generation works and solves exactly.
+	out, err = run(t, atgen, "-kind", "family", "-family", "nested32", "-g", "4")
+	if err != nil {
+		t.Fatalf("atgen family: %v\n%s", err, out)
+	}
+	famPath := filepath.Join(dir, "fam.json")
+	if err := os.WriteFile(famPath, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = run(t, activetime, "-in", famPath, "-alg", "exact")
+	if err != nil {
+		t.Fatalf("exact solve: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "active slots: 6") { // 3g/2 with g=4
+		t.Fatalf("Nested32(4) exact should be 6 slots:\n%s", out)
+	}
+
+	// Missing -in flag exits non-zero.
+	if _, err = run(t, activetime); err == nil {
+		t.Fatal("missing -in must fail")
+	}
+	// Unknown algorithm exits non-zero.
+	if _, err = run(t, activetime, "-in", instPath, "-alg", "bogus"); err == nil {
+		t.Fatal("unknown algorithm must fail")
+	}
+}
+
+func TestAtexpQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	atexp := buildTool(t, dir, "atexp")
+	out, err := run(t, atexp, "-quick", "-only", "E2,E10")
+	if err != nil {
+		t.Fatalf("atexp: %v\n%s", err, out)
+	}
+	for _, want := range []string{"== E2:", "== E10:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "== E1:") {
+		t.Fatal("-only filter leaked other experiments")
+	}
+	// CSV mode.
+	out, err = run(t, atexp, "-quick", "-csv", "-only", "E2")
+	if err != nil {
+		t.Fatalf("atexp csv: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "# E2:") || !strings.Contains(out, "g,natural LP") {
+		t.Fatalf("CSV output malformed:\n%s", out)
+	}
+}

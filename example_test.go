@@ -1,0 +1,61 @@
+package activetime_test
+
+import (
+	"fmt"
+
+	activetime "repro"
+)
+
+// The quickstart: three jobs with nested windows, one call, a schedule
+// with a per-instance optimality certificate.
+func Example() {
+	in, err := activetime.NewInstance(2, []activetime.Job{
+		{Processing: 2, Release: 0, Deadline: 6},
+		{Processing: 1, Release: 0, Deadline: 3},
+		{Processing: 1, Release: 3, Deadline: 6},
+	})
+	if err != nil {
+		panic(err)
+	}
+	res, err := activetime.Solve(in, activetime.AlgNested95)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("active slots:", res.ActiveSlots)
+	fmt.Printf("certified within %.2f of optimal\n", res.CertifiedRatio)
+	// Output:
+	// active slots: 2
+	// certified within 1.00 of optimal
+}
+
+func ExampleSolve_exact() {
+	in, _ := activetime.NewInstance(1, []activetime.Job{
+		{Processing: 2, Release: 0, Deadline: 4},
+		{Processing: 1, Release: 1, Deadline: 3},
+	})
+	res, _ := activetime.Solve(in, activetime.AlgExact)
+	fmt.Println(res.ActiveSlots)
+	// Output: 3
+}
+
+func ExampleSolveNested95() {
+	in, _ := activetime.NewInstance(4, []activetime.Job{
+		{Processing: 1, Release: 0, Deadline: 2},
+		{Processing: 1, Release: 0, Deadline: 2},
+		{Processing: 1, Release: 0, Deadline: 2},
+		{Processing: 1, Release: 0, Deadline: 2},
+		{Processing: 1, Release: 0, Deadline: 2},
+	})
+	res, _ := activetime.SolveNested95(in, activetime.SolveOptions{Minimalize: true})
+	fmt.Println("slots:", res.ActiveSlots, "LP:", res.LPLowerBound)
+	// Output: slots: 2 LP: 2
+}
+
+func ExampleOptimal() {
+	in, _ := activetime.NewInstance(2, []activetime.Job{
+		{Processing: 3, Release: 0, Deadline: 5},
+	})
+	opt, _ := activetime.Optimal(in)
+	fmt.Println(opt)
+	// Output: 3
+}

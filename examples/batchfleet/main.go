@@ -1,0 +1,62 @@
+// Batch fleet: solve a fleet of instances concurrently with the
+// worker-pool API, then drill into the worst instance with metrics and
+// a Gantt chart. This is the shape of a capacity-planning sweep: many
+// what-if workloads, one decision.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"runtime"
+
+	activetime "repro"
+	"repro/internal/gen"
+)
+
+func main() {
+	// A fleet of 40 synthetic workloads with varying parallelism.
+	rng := rand.New(rand.NewSource(7))
+	fleet := make([]*activetime.Instance, 40)
+	for i := range fleet {
+		g := int64(2 + rng.Intn(4))
+		fleet[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(12+rng.Intn(8), g))
+	}
+
+	results := activetime.SolveBatch(fleet, activetime.AlgNested95, 0)
+
+	var totalSlots int64
+	var totalLP float64
+	worst := -1
+	worstRatio := 0.0
+	for _, r := range results {
+		if r.Err != nil {
+			log.Fatalf("instance %d: %v", r.Index, r.Err)
+		}
+		totalSlots += r.Result.ActiveSlots
+		totalLP += r.Result.LPLowerBound
+		if r.Result.CertifiedRatio > worstRatio {
+			worstRatio = r.Result.CertifiedRatio
+			worst = r.Index
+		}
+	}
+	fmt.Printf("fleet: %d instances solved on %d workers\n", len(fleet), runtime.GOMAXPROCS(0))
+	fmt.Printf("total active slots: %d (LP lower bound %.1f)\n", totalSlots, totalLP)
+	fmt.Printf("fleet-level certified ratio: %.4f (guarantee %.4f)\n",
+		float64(totalSlots)/totalLP, activetime.ApproxRatio)
+
+	fmt.Printf("\nworst certified instance: #%d (ratio %.4f)\n", worst, worstRatio)
+	res := results[worst].Result
+	fmt.Println("metrics:", res.Schedule.ComputeMetrics())
+	if h, ok := fleet[worst].Horizon(); ok {
+		fmt.Print(res.Schedule.Gantt(h.Start, h.End))
+	}
+
+	// Squeeze the worst instance with the minimalization post-pass.
+	tight, err := activetime.SolveNested95(fleet[worst], activetime.SolveOptions{Minimalize: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nafter minimalization: %d slots (was %d)\n",
+		tight.ActiveSlots, res.ActiveSlots)
+}

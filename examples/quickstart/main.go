@@ -1,0 +1,43 @@
+// Quickstart: build a small nested instance, run the paper's 9/5
+// approximation, and inspect the schedule and its optimality
+// certificate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	activetime "repro"
+)
+
+func main() {
+	// A machine that can run up to 2 jobs per slot. Windows are
+	// nested: [0,8) ⊃ [0,4), [5,8).
+	in, err := activetime.NewInstance(2, []activetime.Job{
+		{Processing: 3, Release: 0, Deadline: 8}, // long flexible job
+		{Processing: 2, Release: 0, Deadline: 4}, // front phase
+		{Processing: 1, Release: 0, Deadline: 4},
+		{Processing: 2, Release: 5, Deadline: 8}, // back phase
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := activetime.Solve(in, activetime.AlgNested95)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("active slots: %d\n", res.ActiveSlots)
+	fmt.Printf("LP lower bound on OPT: %.3f\n", res.LPLowerBound)
+	fmt.Printf("certified ratio: %.3f (worst-case guarantee %.3f)\n",
+		res.CertifiedRatio, activetime.ApproxRatio)
+	fmt.Println(res.Schedule)
+
+	// Compare against the true optimum (fine for small instances).
+	opt, err := activetime.Optimal(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exact OPT: %d\n", opt)
+}

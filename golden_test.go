@@ -1,0 +1,59 @@
+package activetime
+
+// Golden tests: canonical instances under testdata/ with recorded
+// optima. These pin the end-to-end behaviour of the exact solvers and
+// the 9/5 guarantee against accidental regressions; the files are also
+// the CLI documentation's example inputs.
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+var golden = []struct {
+	file string
+	opt  int64
+}{
+	{"laminar-n12-g3-s7.json", 12},
+	{"laminar-n8-g2-s3.json", 11},
+	{"naturalgap2-g6.json", 2},
+	{"nested32-g4.json", 6},
+	{"staircase-l4-g2.json", 8},
+	{"unit-n10-g2-s5.json", 5},
+}
+
+func TestGoldenInstances(t *testing.T) {
+	for _, g := range golden {
+		g := g
+		t.Run(g.file, func(t *testing.T) {
+			in, err := LoadInstance(filepath.Join("testdata", g.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt, err := Optimal(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opt != g.opt {
+				t.Fatalf("OPT = %d, golden %d", opt, g.opt)
+			}
+			res, err := Solve(in, AlgExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ActiveSlots != g.opt {
+				t.Fatalf("exact schedule %d slots, golden %d", res.ActiveSlots, g.opt)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatal(err)
+			}
+			approx, err := Solve(in, AlgNested95)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(approx.ActiveSlots) > ApproxRatio*float64(g.opt)+1e-9 {
+				t.Fatalf("nested95 %d slots > 9/5 × %d", approx.ActiveSlots, g.opt)
+			}
+		})
+	}
+}

@@ -1,0 +1,249 @@
+// Package busytime implements the busy-time problem from the paper's
+// related work: rigid (non-preemptible, fixed-interval) jobs must be
+// partitioned among machines of capacity g — at most g jobs running
+// concurrently per machine — and a machine pays for the length of the
+// union of its jobs' intervals. Minimize the total busy time.
+//
+// Even this rigid version is NP-hard for g ≥ 2; the literature
+// (Khandekar et al.; Chang–Khuller–Mukherjee) gives constant-factor
+// approximations. This package provides the classic first-fit
+// heuristic ordered by decreasing length, two lower bounds, and an
+// exact solver by exhaustive partition with symmetry breaking for
+// small inputs; experiment E17 measures the heuristic's empirical
+// ratio. (The paper uses busy-time only as context — "this problem is
+// much harder" — so this subsystem is scoped as a comparison point,
+// not a reproduction target.)
+package busytime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/interval"
+)
+
+// Job is a rigid job occupying exactly the interval [Start, End).
+type Job struct {
+	ID    int
+	Start int64
+	End   int64
+}
+
+// Len returns the job's length.
+func (j Job) Len() int64 { return j.End - j.Start }
+
+// Instance is a busy-time instance: rigid jobs and the per-machine
+// concurrency capacity g. The number of machines is unbounded.
+type Instance struct {
+	G    int64
+	Jobs []Job
+}
+
+// New validates and returns an instance; IDs are assigned densely.
+func New(g int64, jobs []Job) (*Instance, error) {
+	if g < 1 {
+		return nil, fmt.Errorf("busytime: g=%d < 1", g)
+	}
+	in := &Instance{G: g, Jobs: make([]Job, len(jobs))}
+	copy(in.Jobs, jobs)
+	for i := range in.Jobs {
+		in.Jobs[i].ID = i
+		if in.Jobs[i].End <= in.Jobs[i].Start {
+			return nil, fmt.Errorf("busytime: job %d has empty interval", i)
+		}
+	}
+	return in, nil
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// Assignment maps each job to a machine index (0-based; machine
+// indices need not be contiguous but usually are).
+type Assignment []int
+
+// Valid reports whether the assignment respects the capacity: on each
+// machine, no point in time is covered by more than g jobs.
+func (in *Instance) Valid(a Assignment) error {
+	if len(a) != in.N() {
+		return fmt.Errorf("busytime: assignment length %d != n=%d", len(a), in.N())
+	}
+	byMachine := map[int][]Job{}
+	for j, m := range a {
+		if m < 0 {
+			return fmt.Errorf("busytime: job %d unassigned", j)
+		}
+		byMachine[m] = append(byMachine[m], in.Jobs[j])
+	}
+	for m, jobs := range byMachine {
+		if maxOverlap(jobs) > in.G {
+			return fmt.Errorf("busytime: machine %d exceeds capacity g=%d", m, in.G)
+		}
+	}
+	return nil
+}
+
+// maxOverlap returns the maximum number of intervals covering a single
+// point (sweep line).
+func maxOverlap(jobs []Job) int64 {
+	type ev struct {
+		t     int64
+		delta int64
+	}
+	evs := make([]ev, 0, 2*len(jobs))
+	for _, j := range jobs {
+		evs = append(evs, ev{j.Start, 1}, ev{j.End, -1})
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // ends before starts at ties
+	})
+	var cur, best int64
+	for _, e := range evs {
+		cur += e.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}
+
+// unionLen returns the total length of the union of the job intervals.
+func unionLen(jobs []Job) int64 {
+	ivs := make([]interval.Interval, len(jobs))
+	for i, j := range jobs {
+		ivs[i] = interval.Interval{Start: j.Start, End: j.End}
+	}
+	return interval.UnionLen(ivs)
+}
+
+// BusyTime evaluates the objective of an assignment: the sum over
+// machines of the union length of their jobs.
+func (in *Instance) BusyTime(a Assignment) int64 {
+	byMachine := map[int][]Job{}
+	for j, m := range a {
+		byMachine[m] = append(byMachine[m], in.Jobs[j])
+	}
+	var total int64
+	for _, jobs := range byMachine {
+		total += unionLen(jobs)
+	}
+	return total
+}
+
+// LowerBound returns max of the two classic bounds: total work / g
+// (each machine-time unit hosts at most g job units) and the union of
+// all intervals (every covered time point keeps ≥ 1 machine busy).
+func (in *Instance) LowerBound() int64 {
+	var work int64
+	for _, j := range in.Jobs {
+		work += j.Len()
+	}
+	lb := (work + in.G - 1) / in.G
+	if u := unionLen(in.Jobs); u > lb {
+		lb = u
+	}
+	return lb
+}
+
+// FirstFitDecreasing assigns jobs in order of decreasing length, each
+// to the first machine that keeps the capacity respected, opening a
+// new machine when none fits — the classic busy-time heuristic.
+func (in *Instance) FirstFitDecreasing() Assignment {
+	order := make([]int, in.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		la, lb := in.Jobs[order[a]].Len(), in.Jobs[order[b]].Len()
+		if la != lb {
+			return la > lb
+		}
+		return in.Jobs[order[a]].Start < in.Jobs[order[b]].Start
+	})
+	a := make(Assignment, in.N())
+	for i := range a {
+		a[i] = -1
+	}
+	var machines [][]Job
+	for _, j := range order {
+		placed := false
+		for m := range machines {
+			trial := append(machines[m], in.Jobs[j])
+			if maxOverlap(trial) <= in.G {
+				machines[m] = trial
+				a[j] = m
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			machines = append(machines, []Job{in.Jobs[j]})
+			a[j] = len(machines) - 1
+		}
+	}
+	return a
+}
+
+// SolveExact finds an optimal assignment by exhaustive partition with
+// symmetry breaking (job i may open machine i at the earliest), pruned
+// by the incumbent and the lower bound. Exponential; intended for
+// n ≤ 10.
+func (in *Instance) SolveExact() (int64, Assignment, error) {
+	n := in.N()
+	if n == 0 {
+		return 0, Assignment{}, nil
+	}
+	best := in.FirstFitDecreasing()
+	bestVal := in.BusyTime(best)
+	lb := in.LowerBound()
+
+	cur := make(Assignment, n)
+	machines := make([][]Job, 0, n)
+	var dfs func(j int)
+	dfs = func(j int) {
+		if bestVal == lb {
+			return // incumbent already optimal
+		}
+		if j == n {
+			if v := in.BusyTime(cur); v < bestVal {
+				bestVal = v
+				copy(best, cur)
+			}
+			return
+		}
+		// Prune: current partial busy time already ≥ incumbent.
+		var partial int64
+		for _, jobs := range machines {
+			partial += unionLen(jobs)
+		}
+		if partial >= bestVal {
+			return
+		}
+		for m := 0; m <= len(machines) && m <= j; m++ {
+			if m == len(machines) {
+				machines = append(machines, []Job{in.Jobs[j]})
+			} else {
+				machines[m] = append(machines[m], in.Jobs[j])
+				if maxOverlap(machines[m]) > in.G {
+					machines[m] = machines[m][:len(machines[m])-1]
+					continue
+				}
+			}
+			cur[j] = m
+			dfs(j + 1)
+			if m == len(machines)-1 && len(machines[m]) == 1 {
+				machines = machines[:len(machines)-1]
+			} else {
+				machines[m] = machines[m][:len(machines[m])-1]
+			}
+		}
+	}
+	dfs(0)
+	if err := in.Valid(best); err != nil {
+		return 0, nil, fmt.Errorf("busytime: internal: %w", err)
+	}
+	return bestVal, best, nil
+}

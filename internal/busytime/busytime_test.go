@@ -1,0 +1,177 @@
+package busytime
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mk(t *testing.T, g int64, jobs ...Job) *Instance {
+	t.Helper()
+	in, err := New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestValidateAndBasics(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("g=0 must be rejected")
+	}
+	if _, err := New(1, []Job{{Start: 3, End: 3}}); err == nil {
+		t.Fatal("empty interval must be rejected")
+	}
+	in := mk(t, 2, Job{Start: 0, End: 4}, Job{Start: 2, End: 6})
+	if in.N() != 2 {
+		t.Fatal("N")
+	}
+}
+
+func TestBusyTimeObjective(t *testing.T) {
+	in := mk(t, 2,
+		Job{Start: 0, End: 4},
+		Job{Start: 2, End: 6},
+		Job{Start: 10, End: 12},
+	)
+	// All on one machine: union [0,6) ∪ [10,12) = 8.
+	if v := in.BusyTime(Assignment{0, 0, 0}); v != 8 {
+		t.Fatalf("one machine: %d want 8", v)
+	}
+	// Split: [0,4)+[2,6) on m0 (6) and [10,12) on m1 (2) → 8 too.
+	if v := in.BusyTime(Assignment{0, 0, 1}); v != 8 {
+		t.Fatalf("split: %d want 8", v)
+	}
+	// Fully separate: 4 + 4 + 2 = 10.
+	if v := in.BusyTime(Assignment{0, 1, 2}); v != 10 {
+		t.Fatalf("separate: %d want 10", v)
+	}
+}
+
+func TestValidCapacity(t *testing.T) {
+	in := mk(t, 1,
+		Job{Start: 0, End: 4},
+		Job{Start: 2, End: 6},
+	)
+	if err := in.Valid(Assignment{0, 0}); err == nil {
+		t.Fatal("overlapping jobs exceed g=1 on one machine")
+	}
+	if err := in.Valid(Assignment{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Valid(Assignment{0}); err == nil {
+		t.Fatal("wrong length must be rejected")
+	}
+	if err := in.Valid(Assignment{0, -1}); err == nil {
+		t.Fatal("unassigned job must be rejected")
+	}
+	// Touching intervals do not overlap.
+	in2 := mk(t, 1, Job{Start: 0, End: 3}, Job{Start: 3, End: 5})
+	if err := in2.Valid(Assignment{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	in := mk(t, 2,
+		Job{Start: 0, End: 4},
+		Job{Start: 0, End: 4},
+		Job{Start: 0, End: 4},
+	)
+	// work 12 / g=2 → 6; union 4 → LB = 6.
+	if lb := in.LowerBound(); lb != 6 {
+		t.Fatalf("LB %d want 6", lb)
+	}
+	in2 := mk(t, 4, Job{Start: 0, End: 10})
+	// work 10/4 → 3; union 10 → LB = 10.
+	if lb := in2.LowerBound(); lb != 10 {
+		t.Fatalf("LB %d want 10", lb)
+	}
+}
+
+func TestFirstFitDecreasingFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		in := randomBusy(rng, 1+rng.Intn(10))
+		a := in.FirstFitDecreasing()
+		if err := in.Valid(a); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if in.BusyTime(a) < in.LowerBound() {
+			t.Fatalf("trial %d: objective below lower bound", trial)
+		}
+	}
+}
+
+func TestExactMatchesBruteExpectations(t *testing.T) {
+	// g=2: two pairs of perfectly aligned jobs → one machine per pair
+	// is wasteful; optimal packs aligned pairs together: busy = 4+4.
+	in := mk(t, 2,
+		Job{Start: 0, End: 4}, Job{Start: 0, End: 4},
+		Job{Start: 6, End: 10}, Job{Start: 6, End: 10},
+	)
+	opt, a, err := in.SolveExact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 8 {
+		t.Fatalf("OPT %d want 8 (assignment %v)", opt, a)
+	}
+}
+
+// TestExactVsFFD: the heuristic is never better than exact, exact
+// respects the lower bound, and the empirical ratio stays small on
+// random instances.
+func TestExactVsFFD(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	worst := 0.0
+	for trial := 0; trial < 120; trial++ {
+		in := randomBusy(rng, 2+rng.Intn(6))
+		opt, optA, err := in.SolveExact()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := in.Valid(optA); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if opt < in.LowerBound() {
+			t.Fatalf("trial %d: OPT %d below LB %d", trial, opt, in.LowerBound())
+		}
+		ffd := in.BusyTime(in.FirstFitDecreasing())
+		if ffd < opt {
+			t.Fatalf("trial %d: FFD %d beats exact %d — exact solver broken", trial, ffd, opt)
+		}
+		if r := float64(ffd) / float64(opt); r > worst {
+			worst = r
+		}
+	}
+	// The literature proves a constant factor (4 for FFD variants);
+	// random instances should sit far below it.
+	if worst > 4.0 {
+		t.Fatalf("FFD ratio %g above the literature's constant", worst)
+	}
+	t.Logf("worst FFD/OPT ratio over 120 random instances: %.3f", worst)
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in := mk(t, 2)
+	opt, a, err := in.SolveExact()
+	if err != nil || opt != 0 || len(a) != 0 {
+		t.Fatalf("empty: %d %v %v", opt, a, err)
+	}
+	if in.BusyTime(Assignment{}) != 0 {
+		t.Fatal("empty busy time")
+	}
+}
+
+func randomBusy(rng *rand.Rand, n int) *Instance {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		s := int64(rng.Intn(12))
+		jobs[i] = Job{Start: s, End: s + 1 + int64(rng.Intn(6))}
+	}
+	in, err := New(int64(1+rng.Intn(3)), jobs)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

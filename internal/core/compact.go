@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/flowfeas"
+	"repro/internal/lamtree"
+	"repro/internal/sched"
+)
+
+// PlaceCompact converts a feasible per-node count vector into concrete
+// slot choices that minimize fragmentation — the number of maximal
+// runs of consecutive active slots, i.e. machine power-on events in
+// the energy reading of the problem. Which slots are opened inside a
+// node's exclusive region is free (they are interchangeable for every
+// job), so the placement is a pure post-processing choice; the default
+// pipeline picks leftmost slots, this routine instead packs chosen
+// slots into as few contiguous blocks as possible with a sweep that
+// prefers extending the current run.
+//
+// It returns the chosen slots (sorted) and the schedule built on them.
+func PlaceCompact(t *lamtree.Tree, counts []int64) ([]int64, *sched.Schedule, error) {
+	type cell struct {
+		slot int64
+		node int
+	}
+	// Collect every exclusive slot with its owning node, in time order.
+	var cells []cell
+	for i := range t.Nodes {
+		for _, e := range t.Nodes[i].Exclusive {
+			for s := e.Start; s < e.End; s++ {
+				cells = append(cells, cell{slot: s, node: i})
+			}
+		}
+	}
+	sort.Slice(cells, func(a, b int) bool { return cells[a].slot < cells[b].slot })
+
+	remaining := make([]int64, len(counts))
+	copy(remaining, counts)
+	var need int64
+	for _, c := range remaining {
+		need += c
+	}
+
+	// Sweep: for each node's region segment, prefer taking slots
+	// adjacent to already-chosen ones. Two passes: first extendable
+	// positions, then a fix-up pass choosing greedily left to right.
+	chosen := make(map[int64]bool, need)
+	// Pass 1: walk cells in time order; take a cell if its node still
+	// needs slots AND (it extends the current run OR the node's
+	// remaining demand equals the remaining cells of that node — i.e.
+	// forced). This defers opening until runs can merge.
+	cellsOfNode := make(map[int][]int64)
+	for _, c := range cells {
+		cellsOfNode[c.node] = append(cellsOfNode[c.node], c.slot)
+	}
+	remainingCells := make(map[int]int64, len(cellsOfNode))
+	for n, cs := range cellsOfNode {
+		remainingCells[n] = int64(len(cs))
+	}
+	for idx, c := range cells {
+		if remaining[c.node] > 0 {
+			extends := idx > 0 && chosen[cells[idx-1].slot] && cells[idx-1].slot == c.slot-1
+			forced := remaining[c.node] == remainingCells[c.node]
+			if extends || forced {
+				chosen[c.slot] = true
+				remaining[c.node]--
+			}
+		}
+		remainingCells[c.node]--
+	}
+	// Pass 2 (right to left): satisfy any remaining demand preferring
+	// cells adjacent to chosen ones, then arbitrary.
+	for pass := 0; pass < 2; pass++ {
+		for idx := len(cells) - 1; idx >= 0; idx-- {
+			c := cells[idx]
+			if remaining[c.node] == 0 || chosen[c.slot] {
+				continue
+			}
+			adjacent := chosen[c.slot-1] || chosen[c.slot+1]
+			if pass == 0 && !adjacent {
+				continue
+			}
+			chosen[c.slot] = true
+			remaining[c.node]--
+		}
+	}
+	for i, r := range remaining {
+		if r != 0 {
+			return nil, nil, errCompact(i, r)
+		}
+	}
+
+	slots := make([]int64, 0, need)
+	for s := range chosen {
+		slots = append(slots, s)
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
+
+	// Build the schedule through the node-count flow and pack into the
+	// chosen slots per node (the counts are unchanged, so feasibility
+	// is identical to the default placement).
+	s, err := scheduleOnChosenSlots(t, counts, chosen)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slots, s, nil
+}
+
+type errCompactT struct {
+	node int
+	left int64
+}
+
+func errCompact(node int, left int64) error { return errCompactT{node: node, left: left} }
+func (e errCompactT) Error() string {
+	return "core: compact placement failed to place all slots (internal)"
+}
+
+// scheduleOnChosenSlots mirrors flowfeas.ScheduleOnNodeCounts but
+// places each node's demands into the specific chosen slots of its
+// exclusive region rather than the leftmost ones.
+func scheduleOnChosenSlots(t *lamtree.Tree, counts []int64, chosen map[int64]bool) (*sched.Schedule, error) {
+	// Reuse the flow to get per-node demands.
+	s, err := flowfeas.ScheduleOnNodeCounts(t, counts)
+	if err != nil {
+		return nil, err
+	}
+	// Remap: for each node, the default placement used the leftmost
+	// counts[i] exclusive slots; translate them onto the chosen slots
+	// of the same node, preserving per-slot job sets (both are
+	// arbitrary slots of the same region, so the mapping is a
+	// relabeling).
+	out := sched.New(t.G)
+	for i := range t.Nodes {
+		if counts[i] == 0 {
+			continue
+		}
+		def := t.ExclusiveSlots(i, counts[i])
+		var tgt []int64
+		for _, e := range t.Nodes[i].Exclusive {
+			for slot := e.Start; slot < e.End; slot++ {
+				if chosen[slot] {
+					tgt = append(tgt, slot)
+				}
+			}
+		}
+		if int64(len(tgt)) != counts[i] {
+			return nil, errCompact(i, counts[i]-int64(len(tgt)))
+		}
+		for k, d := range def {
+			for _, job := range s.Slots[d] {
+				out.Assign(tgt[k], job)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+)
+
+// TestPlaceCompactMergesAroundChild: a parent region surrounds a rigid
+// child; the default leftmost placement puts the parent's slot at the
+// far left (two fragments), while the compact placement glues it to
+// the child's block (one fragment).
+func TestPlaceCompactMergesAroundChild(t *testing.T) {
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 10}, // parent job
+		{Processing: 2, Release: 4, Deadline: 6},  // rigid child
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, tree.M())
+	counts[tree.NodeOf[1]] = 2 // child fully open
+	counts[tree.NodeOf[0]] = 1 // one parent slot
+	if !flowfeas.CheckNodeCounts(tree, counts) {
+		t.Fatal("counts must be feasible")
+	}
+
+	defSched, err := flowfeas.ScheduleOnNodeCounts(tree, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := defSched.ComputeMetrics().Fragments; got != 2 {
+		t.Fatalf("default placement fragments = %d, expected 2 (leftmost parent slot)", got)
+	}
+
+	slots, compSched, err := PlaceCompact(tree, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compSched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := fragmentsOf(slots); got != 1 {
+		t.Fatalf("compact placement fragments = %d, expected 1 (slots %v)", got, slots)
+	}
+}

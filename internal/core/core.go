@@ -1,0 +1,311 @@
+// Package core implements the paper's primary contribution: the
+// 9/5-approximation algorithm for nested active-time scheduling. The
+// pipeline is
+//
+//  1. build the window tree and canonicalize it (lamtree),
+//  2. build and solve the strengthened LP of Figure 1a (nestlp),
+//  3. transform the LP solution per Lemma 3.1,
+//  4. round bottom-up per Algorithm 1, giving an integral per-node
+//     open-count vector x̃ with x̃([m]) ≤ (9/5)·x([m]) (Lemma 3.3),
+//  5. extract a concrete schedule through the Lemma 4.1 flow network.
+//
+// Feasibility of x̃ is guaranteed by the paper's Theorem 4.5; the
+// implementation re-verifies it with a flow check and, purely as a
+// defense against floating-point LP noise, can repair a failed vector
+// by opening additional slots (counted in the Report — zero in all
+// observed runs).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+	"repro/internal/sched"
+)
+
+// Ratio is the proven approximation factor.
+const Ratio = 9.0 / 5.0
+
+// Report describes one solved component or instance.
+type Report struct {
+	// LPValue is the optimal value of the strengthened LP, a lower
+	// bound on OPT.
+	LPValue float64
+	// RoundedSlots is Σ_i x̃(i), the open-slot budget after rounding.
+	RoundedSlots int64
+	// ActiveSlots is the number of slots actually used by the final
+	// schedule (≤ RoundedSlots: a slot opened by x̃ may end up empty).
+	ActiveSlots int64
+	// Repairs counts slots added by the numeric repair step; expected
+	// to be zero.
+	Repairs int64
+	// Minimalized counts slots removed by the optional minimalization
+	// post-pass (Options.Minimalize).
+	Minimalized int64
+	// CertifiedRatio is ActiveSlots / LPValue, an a-posteriori
+	// certificate on this instance (≤ 9/5 whenever Repairs == 0).
+	CertifiedRatio float64
+}
+
+// merge accumulates component reports into a whole-instance report.
+func (r *Report) merge(o Report) {
+	r.LPValue += o.LPValue
+	r.RoundedSlots += o.RoundedSlots
+	r.ActiveSlots += o.ActiveSlots
+	r.Repairs += o.Repairs
+	r.Minimalized += o.Minimalized
+	if r.LPValue > 0 {
+		r.CertifiedRatio = float64(r.ActiveSlots) / r.LPValue
+	}
+}
+
+// Options tunes Solve.
+type Options struct {
+	// ExactLP solves the strengthened LP with exact rational
+	// arithmetic instead of float64 simplex. Slower, but realizes the
+	// paper's exact-oracle assumption literally. Recommended only for
+	// small instances and verification runs.
+	ExactLP bool
+	// Minimalize post-processes the rounded count vector by closing
+	// every slot whose removal keeps the instance feasible. The output
+	// never gets worse, so the 9/5 guarantee is preserved; on many
+	// instances it recovers the optimum.
+	Minimalize bool
+	// Compact chooses the concrete open slots inside each node region
+	// to minimize fragmentation (machine power-on events) instead of
+	// taking the leftmost ones. The objective value is unchanged.
+	Compact bool
+}
+
+// Solve runs the 9/5-approximation on a nested instance and returns a
+// feasible schedule with its report. It returns an error if the
+// instance is not nested or not feasible.
+func Solve(in *instance.Instance) (*sched.Schedule, Report, error) {
+	return SolveWithOptions(in, Options{})
+}
+
+// SolveWithOptions is Solve with explicit options.
+func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, Report{}, err
+	}
+	if !in.Nested() {
+		return nil, Report{}, fmt.Errorf("core: instance windows are not nested")
+	}
+	out := sched.New(in.G)
+	var total Report
+	comps, backmap := in.Components()
+	for ci, comp := range comps {
+		s, rep, err := solveComponent(comp, opts)
+		if err != nil {
+			return nil, Report{}, fmt.Errorf("core: component %d: %w", ci, err)
+		}
+		for t, js := range s.Slots {
+			for _, localID := range js {
+				out.Assign(t, backmap[ci][localID])
+			}
+		}
+		total.merge(rep)
+	}
+	if err := out.Validate(in); err != nil {
+		return nil, Report{}, fmt.Errorf("core: internal: produced invalid schedule: %w", err)
+	}
+	total.ActiveSlots = out.NumActive()
+	if total.LPValue > 0 {
+		total.CertifiedRatio = float64(total.ActiveSlots) / total.LPValue
+	}
+	return out, total, nil
+}
+
+// solveComponent runs the pipeline on one connected component.
+func solveComponent(in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		return nil, Report{}, err
+	}
+	if err := tree.Canonicalize(); err != nil {
+		return nil, Report{}, err
+	}
+
+	// Feasibility gate: everything open must work.
+	full := make([]int64, tree.M())
+	for i := range full {
+		full[i] = tree.Nodes[i].L
+	}
+	if !flowfeas.CheckNodeCounts(tree, full) {
+		return nil, Report{}, fmt.Errorf("infeasible instance")
+	}
+
+	model := nestlp.NewModel(tree)
+	var sol *nestlp.Solution
+	if opts.ExactLP {
+		sol, err = model.SolveExact()
+	} else {
+		sol, err = model.Solve()
+	}
+	if err != nil {
+		return nil, Report{}, err
+	}
+	lpValue := sol.Objective
+
+	model.Transform(sol)
+	I := model.TopmostPositive(sol)
+
+	counts := Round(tree, sol, I)
+
+	rep := Report{LPValue: lpValue}
+	for _, c := range counts {
+		rep.RoundedSlots += c
+	}
+
+	// Theorem 4.5 guarantees feasibility; verify and repair if
+	// floating-point noise ever broke it.
+	if !flowfeas.CheckNodeCounts(tree, counts) {
+		added, ok := repair(tree, counts)
+		if !ok {
+			return nil, Report{}, fmt.Errorf("internal: repair failed")
+		}
+		rep.Repairs = added
+		rep.RoundedSlots += added
+	}
+
+	if opts.Minimalize {
+		removed := MinimalizeCounts(tree, counts)
+		rep.Minimalized = removed
+		rep.RoundedSlots -= removed
+	}
+
+	var s *sched.Schedule
+	if opts.Compact {
+		_, s, err = PlaceCompact(tree, counts)
+	} else {
+		s, err = flowfeas.ScheduleOnNodeCounts(tree, counts)
+	}
+	if err != nil {
+		return nil, Report{}, fmt.Errorf("internal: %w", err)
+	}
+	rep.ActiveSlots = s.NumActive()
+	if lpValue > 0 {
+		rep.CertifiedRatio = float64(rep.ActiveSlots) / lpValue
+	}
+	return s, rep, nil
+}
+
+// Round is Algorithm 1. Given the transformed LP solution and the
+// topmost positive set I, it floors x on I, keeps x elsewhere (where
+// it is integral: 0 above I, L below), and then walks Anc(I) bottom to
+// top, rounding nodes up while the subtree's 9/5 budget allows.
+func Round(t *lamtree.Tree, sol *nestlp.Solution, I []int) []int64 {
+	m := t.M()
+	xt := make([]float64, m)
+	inI := make([]bool, m)
+	for _, i := range I {
+		inI[i] = true
+	}
+	for i := 0; i < m; i++ {
+		if inI[i] {
+			xt[i] = math.Floor(sol.X[i] + roundEps)
+		} else {
+			xt[i] = sol.X[i]
+		}
+	}
+
+	anc := ancestorsOf(t, I)
+	// Bottom to top: decreasing depth, ties broken by ID for
+	// determinism.
+	sort.Slice(anc, func(a, b int) bool {
+		da, db := t.Nodes[anc[a]].Depth, t.Nodes[anc[b]].Depth
+		if da != db {
+			return da > db
+		}
+		return anc[a] < anc[b]
+	})
+
+	for _, i := range anc {
+		des := t.Des(i)
+		var xSum, xtSum float64
+		for _, d := range des {
+			xSum += sol.X[d]
+			xtSum += xt[d]
+		}
+		for 9*xSum/5 >= xtSum+1-roundEps {
+			// Find a descendant still below its fractional value.
+			picked := -1
+			for _, d := range des {
+				if xt[d] < sol.X[d]-roundEps {
+					picked = d
+					break
+				}
+			}
+			if picked < 0 {
+				break
+			}
+			up := math.Ceil(sol.X[picked] - roundEps)
+			xtSum += up - xt[picked]
+			xt[picked] = up
+		}
+	}
+
+	counts := make([]int64, m)
+	for i := 0; i < m; i++ {
+		c := int64(math.Round(xt[i]))
+		if math.Abs(xt[i]-float64(c)) > 1e-6 {
+			panic(fmt.Sprintf("core: x̃(%d)=%g not integral", i, xt[i]))
+		}
+		if c < 0 {
+			c = 0
+		}
+		if c > t.Nodes[i].L {
+			c = t.Nodes[i].L
+		}
+		counts[i] = c
+	}
+	return counts
+}
+
+const roundEps = 1e-9
+
+// ancestorsOf returns Anc(I): every node that is an I-node or a
+// (strict) ancestor of one, deduplicated.
+func ancestorsOf(t *lamtree.Tree, I []int) []int {
+	seen := make([]bool, t.M())
+	var out []int
+	for _, i := range I {
+		for u := i; u >= 0; u = t.Nodes[u].Parent {
+			if seen[u] {
+				break
+			}
+			seen[u] = true
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// repair opens additional slots until the count vector becomes
+// feasible. It exists purely as a numeric safety net; the paper's
+// Theorem 4.5 makes it unreachable with an exact LP solution.
+func repair(t *lamtree.Tree, counts []int64) (added int64, ok bool) {
+	for {
+		if flowfeas.CheckNodeCounts(t, counts) {
+			return added, true
+		}
+		progressed := false
+		for i := 0; i < t.M(); i++ {
+			if counts[i] < t.Nodes[i].L {
+				counts[i]++
+				added++
+				progressed = true
+				break
+			}
+		}
+		if !progressed {
+			return added, false
+		}
+	}
+}

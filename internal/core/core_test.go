@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveSingleJob(t *testing.T) {
+	in := mk(t, 1, instance.Job{Processing: 3, Release: 0, Deadline: 8})
+	s, rep, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 3 {
+		t.Fatalf("active = %d want 3", s.NumActive())
+	}
+	if rep.Repairs != 0 {
+		t.Fatalf("unexpected repairs: %d", rep.Repairs)
+	}
+}
+
+func TestSolveGapFamilyOptimal(t *testing.T) {
+	// g+1 unit jobs in [0,2): the ceiling constraint forces LP = 2, so
+	// the algorithm must output exactly 2 active slots.
+	g := int64(6)
+	jobs := make([]instance.Job, g+1)
+	for i := range jobs {
+		jobs[i] = instance.Job{Processing: 1, Release: 0, Deadline: 2}
+	}
+	in := mk(t, g, jobs...)
+	s, rep, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 2 {
+		t.Fatalf("active = %d want 2 (report %+v)", s.NumActive(), rep)
+	}
+}
+
+func TestSolveRejectsNonNested(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 5},
+		instance.Job{Processing: 1, Release: 3, Deadline: 8},
+	)
+	if _, _, err := Solve(in); err == nil {
+		t.Fatal("expected rejection of crossing windows")
+	}
+}
+
+func TestSolveRejectsInfeasible(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+	)
+	if _, _, err := Solve(in); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+func TestSolveMultiComponent(t *testing.T) {
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 1, Deadline: 3},
+		instance.Job{Processing: 2, Release: 10, Deadline: 14},
+	)
+	s, rep, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ActiveSlots != s.NumActive() {
+		t.Fatalf("report active %d != schedule %d", rep.ActiveSlots, s.NumActive())
+	}
+}
+
+// TestApproximationGuarantee is the library's E1/E9 workhorse: on
+// random feasible nested instances, the produced schedule is feasible,
+// uses at most 9/5 × LP slots, and never does worse than 9/5 × OPT.
+func TestApproximationGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 120; trial++ {
+		in := randomLaminar(rng, 8, 12)
+		s, rep, err := Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v (jobs %+v g=%d)", trial, err, in.Jobs, in.G)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if rep.Repairs != 0 {
+			t.Errorf("trial %d: repairs=%d (numeric noise)", trial, rep.Repairs)
+		}
+		if float64(rep.RoundedSlots) > Ratio*rep.LPValue+1e-6 {
+			t.Fatalf("trial %d: rounded %d > 9/5 × LP %g", trial, rep.RoundedSlots, rep.LPValue)
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(s.NumActive()) > Ratio*float64(opt)+1e-6 {
+			t.Fatalf("trial %d: active %d > 9/5 × OPT %d", trial, s.NumActive(), opt)
+		}
+		if s.NumActive() < opt {
+			t.Fatalf("trial %d: active %d below OPT %d — exact solver or validator broken",
+				trial, s.NumActive(), opt)
+		}
+	}
+}
+
+func randomLaminar(rng *rand.Rand, maxJobs int, maxT int64) *instance.Instance {
+	for {
+		in := tryRandomLaminar(rng, maxJobs, maxT)
+		if flowfeas.CheckSlots(in, in.SortedSlots()) {
+			return in
+		}
+	}
+}
+
+func tryRandomLaminar(rng *rand.Rand, maxJobs int, maxT int64) *instance.Instance {
+	var jobs []instance.Job
+	var gen func(lo, hi int64, depth int)
+	gen = func(lo, hi int64, depth int) {
+		if hi-lo < 1 || len(jobs) >= maxJobs {
+			return
+		}
+		jobs = append(jobs, instance.Job{
+			Processing: 1 + rng.Int63n(minI(hi-lo, 3)),
+			Release:    lo, Deadline: hi,
+		})
+		if depth < 2 && hi-lo >= 2 && rng.Intn(3) > 0 {
+			mid := lo + 1 + rng.Int63n(hi-lo-1)
+			gen(lo, mid, depth+1)
+			if rng.Intn(2) == 0 {
+				gen(mid, hi, depth+1)
+			}
+		}
+	}
+	gen(0, 3+rng.Int63n(maxT-2), 0)
+	in, err := instance.New(int64(1+rng.Intn(3)), jobs)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+// TestExactLPPipelineAgreesWithFloat runs the full pipeline with the
+// exact rational LP oracle and checks it against the float64 pipeline:
+// identical LP objectives (to float precision), feasible schedules,
+// no repairs, and the 9/5 bound.
+func TestExactLPPipelineAgreesWithFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		in := randomLaminar(rng, 7, 12)
+		sF, repF, err := Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d float: %v", trial, err)
+		}
+		sE, repE, err := SolveWithOptions(in, Options{ExactLP: true})
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		if err := sE.Validate(in); err != nil {
+			t.Fatalf("trial %d: exact pipeline schedule invalid: %v", trial, err)
+		}
+		if math.Abs(repF.LPValue-repE.LPValue) > 1e-6 {
+			t.Fatalf("trial %d: LP values differ: float %g exact %g",
+				trial, repF.LPValue, repE.LPValue)
+		}
+		if repE.Repairs != 0 {
+			t.Fatalf("trial %d: exact pipeline needed %d repairs", trial, repE.Repairs)
+		}
+		if float64(repE.RoundedSlots) > Ratio*repE.LPValue+1e-9 {
+			t.Fatalf("trial %d: exact rounding %d > 9/5 × %g",
+				trial, repE.RoundedSlots, repE.LPValue)
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(sE.NumActive()) > Ratio*float64(opt)+1e-9 {
+			t.Fatalf("trial %d: exact pipeline %d > 9/5 × OPT %d",
+				trial, sE.NumActive(), opt)
+		}
+		_ = sF
+	}
+}
+
+// TestExactLPMatchesFloatLPObjective compares the two LP solvers on
+// the model level across random canonical trees.
+func TestExactLPMatchesFloatLPObjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 25; trial++ {
+		in := randomLaminar(rng, 6, 10)
+		comps, _ := in.Components()
+		for _, comp := range comps {
+			tree, err := lamtree.Build(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Canonicalize(); err != nil {
+				t.Fatal(err)
+			}
+			model := nestlp.NewModel(tree)
+			f, err := model.Solve()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			e, err := model.SolveExact()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if math.Abs(f.Objective-e.Objective) > 1e-6 {
+				t.Fatalf("trial %d: float LP %g vs exact LP %g", trial, f.Objective, e.Objective)
+			}
+			if err := model.Check(e, 1e-9); err != nil {
+				t.Fatalf("trial %d: exact solution fails feasibility: %v", trial, err)
+			}
+		}
+	}
+}

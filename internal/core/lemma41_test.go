@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+// lemma41LHS computes Σ_i min(|J'(Anc(i))|, g)·x̃(i) for a job subset
+// J' — the left side of the paper's inequality (9).
+func lemma41LHS(t *lamtree.Tree, counts []int64, inSet []bool) int64 {
+	var lhs int64
+	for i := range t.Nodes {
+		if counts[i] == 0 {
+			continue
+		}
+		// |J'(Anc(i))|: jobs of J' whose node is an ancestor of i.
+		var cnt int64
+		for u := i; u >= 0; u = t.Nodes[u].Parent {
+			for _, j := range t.Nodes[u].Jobs {
+				if inSet[j] {
+					cnt++
+				}
+			}
+		}
+		if cnt > t.G {
+			cnt = t.G
+		}
+		lhs += cnt * counts[i]
+	}
+	return lhs
+}
+
+// TestLemma41OnRoundedSolutions validates the only-if direction of
+// Lemma 4.1 directly: for the feasible rounded vectors produced by the
+// pipeline, inequality (9) must hold for every sampled subset J' —
+// including the full set and singletons.
+func TestLemma41OnRoundedSolutions(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 40; trial++ {
+		in := randomLaminar(rng, 8, 14)
+		comps, _ := in.Components()
+		for _, comp := range comps {
+			tree, err := lamtree.Build(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tree.Canonicalize(); err != nil {
+				t.Fatal(err)
+			}
+			model := nestlp.NewModel(tree)
+			sol, err := model.Solve()
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			model.Transform(sol)
+			I := model.TopmostPositive(sol)
+			counts := Round(tree, sol, I)
+			if !flowfeas.CheckNodeCounts(tree, counts) {
+				t.Fatalf("trial %d: rounded counts infeasible", trial)
+			}
+
+			n := len(tree.Jobs)
+			checkSubset := func(inSet []bool) {
+				var p int64
+				for j := 0; j < n; j++ {
+					if inSet[j] {
+						p += tree.Jobs[j].Processing
+					}
+				}
+				if lhs := lemma41LHS(tree, counts, inSet); lhs < p {
+					t.Fatalf("trial %d: inequality (9) violated: lhs %d < p(J') %d (set %v)",
+						trial, lhs, p, inSet)
+				}
+			}
+			// Full set.
+			full := make([]bool, n)
+			for j := range full {
+				full[j] = true
+			}
+			checkSubset(full)
+			// Singletons.
+			for j := 0; j < n; j++ {
+				s := make([]bool, n)
+				s[j] = true
+				checkSubset(s)
+			}
+			// Random subsets.
+			for k := 0; k < 25; k++ {
+				s := make([]bool, n)
+				for j := range s {
+					s[j] = rng.Intn(2) == 0
+				}
+				checkSubset(s)
+			}
+		}
+	}
+}
+
+// TestLemma41DetectsInfeasible: the converse sanity check — on an
+// infeasible count vector some subset should violate (9). We use the
+// full job set of an under-provisioned instance.
+func TestLemma41DetectsInfeasible(t *testing.T) {
+	in := mkInst(t)
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, tree.M()) // everything closed
+	full := make([]bool, len(tree.Jobs))
+	for j := range full {
+		full[j] = true
+	}
+	var p int64
+	for _, j := range tree.Jobs {
+		p += j.Processing
+	}
+	if lhs := lemma41LHS(tree, counts, full); lhs >= p {
+		t.Fatalf("closed schedule should violate (9): lhs %d vs p %d", lhs, p)
+	}
+}
+
+func mkInst(t *testing.T) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 2, Release: 0, Deadline: 6},
+		{Processing: 1, Release: 0, Deadline: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/lamtree"
+)
+
+// TestLemma49Counting verifies the counting invariant behind
+// Algorithm 2 on the symmetric Nested32 solutions: within any subtree
+// containing at least three type-C nodes of I (and subject to the
+// rounding having been driven by the 9/5 budget), the number of
+// type-C2 nodes is at least twice the number of type-C1 nodes, so the
+// triple construction never runs out of C2 nodes.
+func TestLemma49Counting(t *testing.T) {
+	for _, g := range []int64{10, 12, 16, 20} {
+		tree, model, sol := symmetricNested32(t, g)
+		model.Transform(sol)
+		I := model.TopmostPositive(sol)
+		counts := Round(tree, sol, I)
+		types := Classify(tree, sol, counts, I)
+
+		inI := make(map[int]bool, len(I))
+		for _, i := range I {
+			inI[i] = true
+		}
+		for i := range tree.Nodes {
+			n1, n2, nC := countTypes(tree, types, inI, i)
+			if n1+n2+nC >= 3 && n1 > 0 {
+				if n2 < 2*n1 {
+					t.Fatalf("g=%d subtree %d: n2=%d < 2·n1=%d (Lemma 4.9)", g, i, n2, 2*n1)
+				}
+			}
+		}
+	}
+}
+
+// countTypes tallies (C1, C2, B) nodes of I inside Des(i).
+func countTypes(tree *lamtree.Tree, types map[int]NodeType, inI map[int]bool, i int) (n1, n2, nB int) {
+	for _, d := range tree.Des(i) {
+		if !inI[d] {
+			continue
+		}
+		switch types[d] {
+		case TypeC1:
+			n1++
+		case TypeC2:
+			n2++
+		default:
+			nB++
+		}
+	}
+	return n1, n2, nB
+}

@@ -1,0 +1,31 @@
+package core
+
+import (
+	"repro/internal/flowfeas"
+	"repro/internal/lamtree"
+)
+
+// MinimalizeCounts post-processes a feasible per-node count vector by
+// closing slots while feasibility holds, scanning nodes bottom-up and
+// decrementing greedily. The result is never worse, remains feasible,
+// and is minimal: no single slot can be removed. Because the 9/5
+// guarantee holds for the input vector, it holds for the output too.
+func MinimalizeCounts(t *lamtree.Tree, counts []int64) (removed int64) {
+	order := t.PostOrder()
+	// A single sweep suffices: feasibility is monotone, so a slot that
+	// cannot close now can never close after further removals; but we
+	// sweep per unit (a node with count 3 may give up 2 of them), so
+	// loop within each node.
+	for _, i := range order {
+		for counts[i] > 0 {
+			counts[i]--
+			if flowfeas.CheckNodeCounts(t, counts) {
+				removed++
+				continue
+			}
+			counts[i]++
+			break
+		}
+	}
+	return removed
+}

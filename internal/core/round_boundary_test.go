@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+// buildChain builds the canonical tree for one parent job over [0,5)
+// and one rigid child, returning tree, model and the node IDs.
+func buildChain(t *testing.T, childP int64) (*lamtree.Tree, *nestlp.Model, int, int) {
+	t.Helper()
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 5},
+		{Processing: childP, Release: 0, Deadline: childP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	model := nestlp.NewModel(tree)
+	return tree, model, tree.NodeOf[0], tree.NodeOf[1]
+}
+
+// TestRoundBelowBudgetStaysFloored: when 9/5·x(Des(i)) < x̃(Des(i))+1
+// for every ancestor, a fractional I-node is floored, not ceiled.
+func TestRoundBelowBudgetStaysFloored(t *testing.T) {
+	tree, model, parent, child := buildChain(t, 1)
+	// x(child)=1 (rigid), x(parent)=0.05; the parent job rides the
+	// child slot (capacity 2): y(child, job0) = 1... but y ≤ x(child)=1
+	// and child load = 1 (own job) + 1 = 2 ≤ g·x = 2. Feasible with
+	// x(parent) carrying nothing.
+	sol := &nestlp.Solution{
+		X: make([]float64, tree.M()),
+		Y: make([]float64, len(model.Pairs)),
+	}
+	sol.X[child] = 1
+	sol.X[parent] = 0.05
+	sol.Y[model.PairIndex(child, 1)] = 1
+	sol.Y[model.PairIndex(child, 0)] = 1
+	sol.Objective = 1.05
+	if err := model.Check(sol, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	I := model.TopmostPositive(sol)
+	counts := Round(tree, sol, I)
+	// Total = 1.05; 9/5·1.05 = 1.89 < 2, so the budget admits only the
+	// floor: child 1, parent 0.
+	if counts[child] != 1 || counts[parent] != 0 {
+		t.Fatalf("counts child=%d parent=%d, want 1/0 (budget 1.89 < 2)",
+			counts[child], counts[parent])
+	}
+	if !flowfeas.CheckNodeCounts(tree, counts) {
+		t.Fatal("floored counts must still be feasible (the parent mass carried nothing)")
+	}
+}
+
+// TestRoundAboveBudgetRoundsUp: with enough fractional mass, the
+// bottom-up walk rounds the fractional I-node up to its ceiling.
+func TestRoundAboveBudgetRoundsUp(t *testing.T) {
+	tree, model, parent, child := buildChain(t, 2)
+	// x(child)=2 (rigid p=2), x(parent)=0.2; parent job split 0.8/0.2.
+	sol := &nestlp.Solution{
+		X: make([]float64, tree.M()),
+		Y: make([]float64, len(model.Pairs)),
+	}
+	sol.X[child] = 2
+	sol.X[parent] = 0.2
+	sol.Y[model.PairIndex(child, 1)] = 2
+	sol.Y[model.PairIndex(child, 0)] = 0.8
+	sol.Y[model.PairIndex(parent, 0)] = 0.2
+	sol.Objective = 2.2
+	if err := model.Check(sol, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	I := model.TopmostPositive(sol)
+	counts := Round(tree, sol, I)
+	// Total = 2.2; 9/5·2.2 = 3.96 ≥ 3, so the parent rounds up.
+	if counts[child] != 2 || counts[parent] != 1 {
+		t.Fatalf("counts child=%d parent=%d, want 2/1 (budget 3.96 ≥ 3)",
+			counts[child], counts[parent])
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if float64(total) > Ratio*sol.Objective {
+		t.Fatalf("budget violated: %d > 9/5 × %g", total, sol.Objective)
+	}
+}
+
+// TestRoundDeterministic: Round must be a pure function of its inputs.
+func TestRoundDeterministic(t *testing.T) {
+	tree, model, _, _ := buildChain(t, 2)
+	sol, err := model.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model.Transform(sol)
+	I := model.TopmostPositive(sol)
+	a := Round(tree, sol, I)
+	b := Round(tree, sol, I)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("Round not deterministic at node %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+// NodeType classifies the topmost nodes I for the feasibility analysis
+// (paper §4.2). Writing xd = x(Des(i)):
+//
+//	type-B:  xd ∈ {1} ∪ [4/3, ∞)
+//	type-C1: xd ∈ (1, 4/3) and x̃(Des(i)) = 1
+//	type-C2: xd ∈ (1, 4/3) and x̃(Des(i)) = 2
+type NodeType int
+
+// Node types of the §4.2 classification.
+const (
+	TypeB NodeType = iota
+	TypeC1
+	TypeC2
+)
+
+func (t NodeType) String() string {
+	switch t {
+	case TypeB:
+		return "B"
+	case TypeC1:
+		return "C1"
+	case TypeC2:
+		return "C2"
+	}
+	return "?"
+}
+
+// Triple is one (C1, C2, C2) triple of Algorithm 2.
+type Triple struct {
+	C1  int // the covered type-C1 node
+	C2a int // first used type-C2 node
+	C2b int // second used type-C2 node
+}
+
+// Classify assigns each I-node its §4.2 type given the transformed LP
+// solution and the rounded counts.
+func Classify(t *lamtree.Tree, sol *nestlp.Solution, counts []int64, I []int) map[int]NodeType {
+	out := make(map[int]NodeType, len(I))
+	for _, i := range I {
+		var xd float64
+		var xtd int64
+		for _, d := range t.Des(i) {
+			xd += sol.X[d]
+			xtd += counts[d]
+		}
+		switch {
+		case xd > 1+1e-9 && xd < 4.0/3.0-1e-9:
+			if xtd <= 1 {
+				out[i] = TypeC1
+			} else {
+				out[i] = TypeC2
+			}
+		default:
+			out[i] = TypeB
+		}
+	}
+	return out
+}
+
+// ConstructTriples runs Algorithm 2 on the classification: walking
+// Anc(I) bottom to top, every uncovered type-C1 node is matched with
+// two unused type-C2 nodes from the same subtree, never splitting a
+// C1C2 brother pair (if the C1 node's sibling is an unused C2 node, it
+// is always chosen first). It returns an error if the invariants of
+// Lemma 4.9 fail (not enough C2 nodes), which the paper proves cannot
+// happen.
+func ConstructTriples(t *lamtree.Tree, types map[int]NodeType, I []int) ([]Triple, error) {
+	inI := make(map[int]bool, len(I))
+	for _, i := range I {
+		inI[i] = true
+	}
+	covered := make(map[int]bool) // C1 nodes already in a triple
+	used := make(map[int]bool)    // C2 nodes already in a triple
+
+	// sibling returns the brother of node i, or -1.
+	sibling := func(i int) int {
+		p := t.Nodes[i].Parent
+		if p < 0 {
+			return -1
+		}
+		for _, c := range t.Nodes[p].Children {
+			if c != i {
+				return c
+			}
+		}
+		return -1
+	}
+	// reserved reports whether a C2 node is the brother of an
+	// uncovered C1 node (taking it for another triple would break a
+	// C1C2 brother pair).
+	reserved := func(c2 int) bool {
+		b := sibling(c2)
+		return b >= 0 && types[b] == TypeC1 && !covered[b]
+	}
+
+	anc := ancestorsOf(t, I)
+	sort.Slice(anc, func(a, b int) bool {
+		da, db := t.Nodes[anc[a]].Depth, t.Nodes[anc[b]].Depth
+		if da != db {
+			return da > db
+		}
+		return anc[a] < anc[b]
+	})
+
+	var triples []Triple
+	for _, i := range anc {
+		des := t.Des(i)
+		var inSub []int
+		for _, d := range des {
+			if inI[d] {
+				inSub = append(inSub, d)
+			}
+		}
+		if len(inSub) < 3 {
+			continue
+		}
+		for _, c1 := range inSub {
+			if types[c1] != TypeC1 || covered[c1] {
+				continue
+			}
+			picks := make([]int, 0, 2)
+			// Brother pair first.
+			if b := sibling(c1); b >= 0 && types[b] == TypeC2 && !used[b] {
+				picks = append(picks, b)
+			}
+			// Fill with unreserved unused C2 nodes from the subtree.
+			for _, c2 := range inSub {
+				if len(picks) == 2 {
+					break
+				}
+				if types[c2] != TypeC2 || used[c2] || reserved(c2) {
+					continue
+				}
+				if len(picks) == 1 && picks[0] == c2 {
+					continue
+				}
+				picks = append(picks, c2)
+			}
+			if len(picks) < 2 {
+				return nil, fmt.Errorf("core: Lemma 4.9 violated: only %d unused C2 nodes for C1 node %d under %d",
+					len(picks), c1, i)
+			}
+			covered[c1] = true
+			used[picks[0]] = true
+			used[picks[1]] = true
+			triples = append(triples, Triple{C1: c1, C2a: picks[0], C2b: picks[1]})
+		}
+	}
+
+	// Every C1 node must end up covered (Algorithm 2's guarantee when
+	// at least 3 type-C nodes exist; with at most 2, Lemma 4.7 handles
+	// feasibility without triples and no C1 node may remain when a
+	// B node exists — callers check that case separately).
+	return triples, nil
+}
+
+// CheckTriples verifies the structural guarantees of Lemma 4.11 on the
+// constructed triples: for each triple either both C2 nodes lie under
+// par(C1), or C1 and C2a are brothers and C2b lies under
+// par(par(C1)). It also checks disjointness.
+func CheckTriples(t *lamtree.Tree, triples []Triple) error {
+	seen := make(map[int]bool)
+	for _, tr := range triples {
+		for _, n := range []int{tr.C1, tr.C2a, tr.C2b} {
+			if seen[n] {
+				return fmt.Errorf("core: node %d appears in two triples", n)
+			}
+			seen[n] = true
+		}
+		p := t.Nodes[tr.C1].Parent
+		if p < 0 {
+			return fmt.Errorf("core: C1 node %d is a root", tr.C1)
+		}
+		under := func(root, n int) bool { return root >= 0 && t.IsAncestorOf(root, n) && root != n }
+		cond4011a := under(p, tr.C2a) && under(p, tr.C2b)
+		gp := t.Nodes[p].Parent
+		brothers := t.Nodes[tr.C2a].Parent == p
+		cond4011b := brothers && gp >= 0 && under(gp, tr.C2b)
+		if !cond4011a && !cond4011b {
+			return fmt.Errorf("core: triple (%d,%d,%d) satisfies neither (4.11a) nor (4.11b)",
+				tr.C1, tr.C2a, tr.C2b)
+		}
+	}
+	return nil
+}

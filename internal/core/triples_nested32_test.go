@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/gapfam"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+// symmetricNested32 hand-builds the symmetric fractional solution of
+// the Lemma 5.1 family on the canonical tree: every group's rigid
+// child is fully open (x = 1) and every middle node carries x = 1/g,
+// with the long job and one unit of each group's jobs split
+// (1 − 1/g, 1/g) between child and middle. The simplex returns an
+// asymmetric vertex of the same value, so this synthetic point is the
+// only way to exercise the type-C classification deterministically.
+func symmetricNested32(t *testing.T, g int64) (*lamtree.Tree, *nestlp.Model, *nestlp.Solution) {
+	t.Helper()
+	in := gapfam.Nested32(g)
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	model := nestlp.NewModel(tree)
+	sol := &nestlp.Solution{
+		X: make([]float64, tree.M()),
+		Y: make([]float64, len(model.Pairs)),
+	}
+	longJob := 0
+	frac := 1.0 / float64(g)
+
+	setY := func(node, job int, v float64) {
+		k := model.PairIndex(node, job)
+		if k < 0 {
+			t.Fatalf("pair (%d,%d) inadmissible", node, job)
+		}
+		sol.Y[k] = v
+	}
+
+	// Jobs 1.. are the group jobs; job j of group i has ID 1+i*g+k.
+	for i := int64(0); i < g; i++ {
+		// Identify the group's child (rigid, holds the shrunk job) and
+		// middle node by looking at any group job's node.
+		var child, middle int = -1, -1
+		for k := int64(0); k < g; k++ {
+			j := int(1 + i*g + k)
+			node := tree.NodeOf[j]
+			if tree.IsLeaf(node) {
+				child = node
+			} else {
+				middle = node
+			}
+		}
+		if child < 0 || middle < 0 {
+			t.Fatalf("group %d: child=%d middle=%d", i, child, middle)
+		}
+		sol.X[child] = 1
+		sol.X[middle] = frac
+		for k := int64(0); k < g; k++ {
+			j := int(1 + i*g + k)
+			if tree.NodeOf[j] == child {
+				setY(child, j, 1) // the shrunk rigid job
+			} else {
+				setY(child, j, 1-frac)
+				setY(middle, j, frac)
+			}
+		}
+		setY(child, longJob, 1-frac)
+		setY(middle, longJob, frac)
+	}
+	for _, x := range sol.X {
+		sol.Objective += x
+	}
+	if err := model.Check(sol, 1e-9); err != nil {
+		t.Fatalf("g=%d: symmetric solution infeasible: %v", g, err)
+	}
+	return tree, model, sol
+}
+
+// TestTriplesOnSymmetricNested32: the symmetric solution yields
+// genuine type-C nodes; Algorithm 2 must cover every C1 node and the
+// triples must satisfy Lemma 4.11, and the rounded counts must be
+// feasible with the 9/5 budget.
+func TestTriplesOnSymmetricNested32(t *testing.T) {
+	for _, g := range []int64{4, 6, 10, 16} {
+		t.Run(fmt.Sprintf("g=%d", g), func(t *testing.T) {
+			tree, model, sol := symmetricNested32(t, g)
+			// The solution already satisfies the Lemma 3.1 invariant;
+			// Transform must be a no-op up to float noise.
+			before := sol.Objective
+			model.Transform(sol)
+			var after float64
+			for _, x := range sol.X {
+				after += x
+			}
+			if diff := after - before; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("transform changed objective by %g", diff)
+			}
+			I := model.TopmostPositive(sol)
+			counts := Round(tree, sol, I)
+			if !flowfeas.CheckNodeCounts(tree, counts) {
+				t.Fatal("rounded counts infeasible")
+			}
+			var total int64
+			for _, c := range counts {
+				total += c
+			}
+			if float64(total) > Ratio*sol.Objective+1e-9 {
+				t.Fatalf("rounding %d exceeds 9/5 × %g", total, sol.Objective)
+			}
+
+			types := Classify(tree, sol, counts, I)
+			nC1, nC2 := 0, 0
+			for _, ty := range types {
+				switch ty {
+				case TypeC1:
+					nC1++
+				case TypeC2:
+					nC2++
+				}
+			}
+			if nC1+nC2 == 0 {
+				t.Fatalf("expected type-C nodes (x(Des)=1+1/g=%.3f)", 1+1.0/float64(g))
+			}
+			triples, err := ConstructTriples(tree, types, I)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := CheckTriples(tree, triples); err != nil {
+				t.Fatal(err)
+			}
+			if nC1+nC2 >= 3 {
+				covered := map[int]bool{}
+				for _, tr := range triples {
+					covered[tr.C1] = true
+				}
+				for i, ty := range types {
+					if ty == TypeC1 && !covered[i] {
+						t.Fatalf("C1 node %d uncovered (C1=%d C2=%d triples=%d)",
+							i, nC1, nC2, len(triples))
+					}
+				}
+			}
+			t.Logf("g=%d: C1=%d C2=%d triples=%d rounded=%d (LP %.3f)",
+				g, nC1, nC2, len(triples), total, sol.Objective)
+		})
+	}
+}
+
+// TestCheckTriplesRejects: CheckTriples must flag structurally invalid
+// triples.
+func TestCheckTriplesRejects(t *testing.T) {
+	in := gapfam.Nested32(4)
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	root := tree.Roots[0]
+	// A root cannot be a C1 node of a triple.
+	if err := CheckTriples(tree, []Triple{{C1: root, C2a: 1, C2b: 2}}); err == nil {
+		t.Fatal("root C1 must be rejected")
+	}
+	// Duplicated node across triples.
+	leafA := tree.NodeOf[1]
+	leafB := tree.NodeOf[1+4]   // another group's node
+	leafC := tree.NodeOf[1+2*4] // third group
+	good := Triple{C1: leafA, C2a: leafB, C2b: leafC}
+	if err := CheckTriples(tree, []Triple{good, good}); err == nil {
+		t.Fatal("duplicate node across triples must be rejected")
+	}
+}
+
+// TestRepairAddsSlots exercises the numeric safety net directly: an
+// infeasible vector is repaired to feasibility by opening slots.
+func TestRepairAddsSlots(t *testing.T) {
+	in := gapfam.NaturalGap2(4)
+	tree, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int64, tree.M()) // all closed: infeasible
+	added, ok := repair(tree, counts)
+	if !ok {
+		t.Fatal("repair must succeed on a feasible instance")
+	}
+	if added == 0 {
+		t.Fatal("repair of the all-closed vector must add slots")
+	}
+	if !flowfeas.CheckNodeCounts(tree, counts) {
+		t.Fatal("repaired vector must be feasible")
+	}
+}

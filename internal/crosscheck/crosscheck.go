@@ -1,0 +1,186 @@
+// Package crosscheck runs every solver in the library on one instance
+// and verifies their mutual consistency: schedules validate, exact
+// solvers agree with each other, approximation guarantees hold against
+// the exact optimum, and LP values lower-bound everything. It backs
+// the CLI's -compare mode and doubles as a randomized system test.
+package crosscheck
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/greedy"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+	"repro/internal/onepass"
+)
+
+// Line is one solver's outcome.
+type Line struct {
+	Name   string
+	Slots  int64
+	Bound  float64 // guaranteed ratio vs OPT (0 = exact / none)
+	Detail string
+}
+
+// Report is the outcome of Run.
+type Report struct {
+	Nested  bool
+	Opt     int64
+	LPValue float64
+	Lines   []Line
+	// Violations lists every consistency failure; empty means all
+	// solvers agree with theory.
+	Violations []string
+}
+
+// Run executes all applicable solvers. The instance must be feasible.
+func Run(in *instance.Instance) (*Report, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Report{Nested: in.Nested()}
+
+	opt, err := exact.Opt(in)
+	if err != nil {
+		return nil, err
+	}
+	r.Opt = opt
+	r.Lines = append(r.Lines, Line{Name: "exact", Slots: opt})
+
+	addSched := func(name string, slots int64, bound float64, detail string) {
+		r.Lines = append(r.Lines, Line{Name: name, Slots: slots, Bound: bound, Detail: detail})
+		if slots < opt {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("%s produced %d slots below OPT %d", name, slots, opt))
+		}
+		if bound > 0 && float64(slots) > bound*float64(opt)+1e-9 {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("%s exceeded its %.3f-approximation: %d vs OPT %d",
+					name, bound, slots, opt))
+		}
+	}
+
+	if r.Nested {
+		s, rep, err := core.Solve(in)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.Validate(in); err != nil {
+			r.Violations = append(r.Violations, "nested95: "+err.Error())
+		}
+		r.LPValue = rep.LPValue
+		addSched("nested95", s.NumActive(), core.Ratio,
+			fmt.Sprintf("LP=%.3f repairs=%d", rep.LPValue, rep.Repairs))
+		if rep.LPValue > float64(opt)+1e-6 {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("LP value %.6f exceeds OPT %d", rep.LPValue, opt))
+		}
+
+		sm, repm, err := core.SolveWithOptions(in, core.Options{Minimalize: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := sm.Validate(in); err != nil {
+			r.Violations = append(r.Violations, "nested95+min: "+err.Error())
+		}
+		addSched("nested95+min", sm.NumActive(), core.Ratio,
+			fmt.Sprintf("minimalized=%d", repm.Minimalized))
+		if sm.NumActive() > s.NumActive() {
+			r.Violations = append(r.Violations, "minimalize worsened the schedule")
+		}
+
+		// Cross-check OPT against the ILP route per component.
+		var ilpTotal int64
+		comps, _ := in.Components()
+		for _, comp := range comps {
+			tr, err := lamtree.Build(comp)
+			if err != nil {
+				return nil, err
+			}
+			if err := tr.Canonicalize(); err != nil {
+				return nil, err
+			}
+			_, v, err := nestlp.NewModel(tr).SolveInteger(0)
+			if err != nil {
+				return nil, err
+			}
+			ilpTotal += v
+		}
+		r.Lines = append(r.Lines, Line{Name: "exact-ilp", Slots: ilpTotal})
+		if ilpTotal != opt {
+			r.Violations = append(r.Violations,
+				fmt.Sprintf("ILP OPT %d disagrees with search OPT %d", ilpTotal, opt))
+		}
+	}
+
+	for _, spec := range []struct {
+		name  string
+		run   func() (greedy.Result, error)
+		bound float64
+	}{
+		{"greedy-ltr", func() (greedy.Result, error) {
+			return greedy.MinimalFeasible(in, greedy.LeftToRight)
+		}, 3},
+		{"greedy-rtl", greedyRTL(in), 3},
+	} {
+		res, err := spec.run()
+		if err != nil {
+			return nil, err
+		}
+		if err := res.Schedule.Validate(in); err != nil {
+			r.Violations = append(r.Violations, spec.name+": "+err.Error())
+		}
+		if !greedy.IsMinimal(in, res.Open) {
+			r.Violations = append(r.Violations, spec.name+": result not minimal")
+		}
+		addSched(spec.name, int64(len(res.Open)), spec.bound, "")
+	}
+
+	op, err := onepass.Run(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Validate(in); err != nil {
+		r.Violations = append(r.Violations, "onepass: "+err.Error())
+	}
+	addSched("onepass", op.NumActive(), 0, "committed assignments")
+
+	sort.SliceStable(r.Lines, func(a, b int) bool { return r.Lines[a].Slots < r.Lines[b].Slots })
+	return r, nil
+}
+
+func greedyRTL(in *instance.Instance) func() (greedy.Result, error) {
+	return func() (greedy.Result, error) { return greedy.LazyRightToLeft(in) }
+}
+
+// String renders the report as an aligned table plus violations.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nested=%v OPT=%d", r.Nested, r.Opt)
+	if r.LPValue > 0 {
+		fmt.Fprintf(&b, " LP=%.3f", r.LPValue)
+	}
+	b.WriteByte('\n')
+	for _, l := range r.Lines {
+		fmt.Fprintf(&b, "  %-14s %4d slots", l.Name, l.Slots)
+		if l.Bound > 0 {
+			fmt.Fprintf(&b, "  (≤ %.2f×OPT)", l.Bound)
+		}
+		if l.Detail != "" {
+			fmt.Fprintf(&b, "  %s", l.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
+	}
+	return b.String()
+}
+
+// OK reports whether no violations were found.
+func (r *Report) OK() bool { return len(r.Violations) == 0 }

@@ -1,0 +1,83 @@
+package crosscheck
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+func TestRunNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 25; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, int64(1+rng.Intn(3))))
+		rep, err := Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d: violations:\n%s", trial, rep)
+		}
+		if !rep.Nested {
+			t.Fatalf("trial %d: laminar instance not flagged nested", trial)
+		}
+		if rep.Lines[0].Slots != rep.Opt {
+			t.Fatalf("trial %d: best line %d != OPT %d", trial, rep.Lines[0].Slots, rep.Opt)
+		}
+	}
+}
+
+func TestRunGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(213))
+	for trial := 0; trial < 15; trial++ {
+		in := gen.RandomGeneral(rng, gen.DefaultGeneral(6, 2))
+		rep, err := Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d: violations:\n%s", trial, rep)
+		}
+	}
+}
+
+func TestRunGapFamilies(t *testing.T) {
+	for _, in := range []*instance.Instance{
+		gapfam.NaturalGap2(4),
+		gapfam.Nested32(4),
+		gapfam.Staircase(4, 2),
+		gapfam.PinnedComb(5, 2),
+	} {
+		rep, err := Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("violations on gap family:\n%s", rep)
+		}
+	}
+}
+
+func TestRunRejectsInvalid(t *testing.T) {
+	bad := &instance.Instance{G: 0}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestReportString(t *testing.T) {
+	in := gapfam.NaturalGap2(3)
+	rep, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.String()
+	for _, want := range []string{"OPT=2", "nested95", "greedy-ltr", "exact-ilp"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package crosscheck
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// TestRunInfeasibleInstance: exact.Opt fails first on an infeasible
+// instance; Run must surface that as an error.
+func TestRunInfeasibleInstance(t *testing.T) {
+	in, err := instance.New(1, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 1},
+		{Processing: 1, Release: 0, Deadline: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(in); err == nil {
+		t.Fatal("expected error on infeasible instance")
+	}
+}
+
+// TestRunNonNestedSkipsNestedSolvers: crossing windows must produce a
+// report without nested95 lines but with the general baselines.
+func TestRunNonNestedSkipsNestedSolvers(t *testing.T) {
+	in, err := instance.New(1, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 4},
+		{Processing: 1, Release: 2, Deadline: 6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nested {
+		t.Fatal("crossing windows flagged nested")
+	}
+	s := rep.String()
+	if strings.Contains(s, "nested95") || strings.Contains(s, "exact-ilp") {
+		t.Fatalf("nested-only solvers must be skipped:\n%s", s)
+	}
+	for _, want := range []string{"greedy-ltr", "greedy-rtl", "onepass", "exact"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q:\n%s", want, s)
+		}
+	}
+	if !rep.OK() {
+		t.Fatalf("violations on general instance:\n%s", s)
+	}
+}
+
+// TestLinesSortedByObjective: the report lists solvers best first and
+// the exact line is always first (ties allowed).
+func TestLinesSortedByObjective(t *testing.T) {
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 2, Release: 0, Deadline: 6},
+		{Processing: 1, Release: 0, Deadline: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rep.Lines); i++ {
+		if rep.Lines[i-1].Slots > rep.Lines[i].Slots {
+			t.Fatalf("lines not sorted: %v", rep.Lines)
+		}
+	}
+	if rep.Lines[0].Slots != rep.Opt {
+		t.Fatalf("best line %d != OPT %d", rep.Lines[0].Slots, rep.Opt)
+	}
+}
+
+// TestReportViolationRendering: a report carrying violations renders
+// them and flags !OK (exercised directly since healthy solvers never
+// produce one).
+func TestReportViolationRendering(t *testing.T) {
+	rep := &Report{
+		Nested: true,
+		Opt:    3,
+		Lines:  []Line{{Name: "exact", Slots: 3}},
+	}
+	rep.Violations = append(rep.Violations, "synthetic: solver under OPT")
+	if rep.OK() {
+		t.Fatal("report with violations must not be OK")
+	}
+	s := rep.String()
+	if !strings.Contains(s, "VIOLATION: synthetic") {
+		t.Fatalf("violations not rendered:\n%s", s)
+	}
+}

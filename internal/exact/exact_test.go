@@ -1,0 +1,301 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func tree(t *testing.T, in *instance.Instance) *lamtree.Tree {
+	t.Helper()
+	tr, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestOptAtMost1(t *testing.T) {
+	// g unit jobs with one shared window: fits in one slot.
+	in := mk(t, 3,
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 1, Deadline: 3},
+	)
+	tr := tree(t, in)
+	if !OptAtMost1(tr, tr.Roots[0]) {
+		t.Fatal("three unit jobs on a chain fit in one slot at g=3")
+	}
+
+	// Too many jobs for g.
+	in2 := mk(t, 2,
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+	)
+	tr2 := tree(t, in2)
+	if OptAtMost1(tr2, tr2.Roots[0]) {
+		t.Fatal("three unit jobs need two slots at g=2")
+	}
+
+	// Long job.
+	in3 := mk(t, 5, instance.Job{Processing: 2, Release: 0, Deadline: 4})
+	tr3 := tree(t, in3)
+	if OptAtMost1(tr3, tr3.Roots[0]) {
+		t.Fatal("a p=2 job needs two slots")
+	}
+
+	// Disjoint sibling windows: no single slot serves both.
+	in4 := mk(t, 5,
+		instance.Job{Processing: 1, Release: 0, Deadline: 8},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+		instance.Job{Processing: 1, Release: 4, Deadline: 7},
+	)
+	tr4 := tree(t, in4)
+	if OptAtMost1(tr4, tr4.Roots[0]) {
+		t.Fatal("disjoint sibling windows need two slots")
+	}
+}
+
+func TestOptAtMost2(t *testing.T) {
+	// Disjoint siblings, one unit job each: two slots suffice.
+	in := mk(t, 5,
+		instance.Job{Processing: 1, Release: 0, Deadline: 8},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+		instance.Job{Processing: 1, Release: 4, Deadline: 7},
+	)
+	tr := tree(t, in)
+	if !OptAtMost2(tr, tr.Roots[0]) {
+		t.Fatal("two slots should suffice")
+	}
+
+	// p=3 job needs three slots.
+	in2 := mk(t, 5, instance.Job{Processing: 3, Release: 0, Deadline: 6})
+	tr2 := tree(t, in2)
+	if OptAtMost2(tr2, tr2.Roots[0]) {
+		t.Fatal("a p=3 job needs three slots")
+	}
+
+	// 2g+1 unit jobs need three slots.
+	jobs := make([]instance.Job, 5)
+	for i := range jobs {
+		jobs[i] = instance.Job{Processing: 1, Release: 0, Deadline: 9}
+	}
+	in3 := mk(t, 2, jobs...)
+	tr3 := tree(t, in3)
+	if OptAtMost2(tr3, tr3.Roots[0]) {
+		t.Fatal("5 unit jobs at g=2 need 3 slots")
+	}
+}
+
+// TestOraclesAgainstExact cross-checks the OPT_i >= k flags against
+// the exact nested solver on random instances.
+func TestOraclesAgainstExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		in := randomLaminar(rng, 6, 10)
+		tr := tree(t, in)
+		at2, at3 := OptLowerBoundFlags(tr)
+		for _, i := range tr.PostOrder() {
+			sub := subInstanceOf(t, tr, i)
+			if sub == nil {
+				continue
+			}
+			opt, err := Opt(sub)
+			if err != nil {
+				t.Fatalf("trial %d node %d: %v", trial, i, err)
+			}
+			if at2[i] != (opt >= 2) {
+				t.Fatalf("trial %d node %d: at2=%v but OPT=%d (instance %+v)",
+					trial, i, at2[i], opt, sub.Jobs)
+			}
+			if at3[i] != (opt >= 3) {
+				t.Fatalf("trial %d node %d: at3=%v but OPT=%d (instance %+v)",
+					trial, i, at3[i], opt, sub.Jobs)
+			}
+		}
+	}
+}
+
+// subInstanceOf extracts the jobs of Des(i) as a standalone instance,
+// or nil when the subtree has no jobs.
+func subInstanceOf(t *testing.T, tr *lamtree.Tree, i int) *instance.Instance {
+	t.Helper()
+	var jobs []instance.Job
+	for _, j := range tr.JobsInSubtree(i) {
+		jobs = append(jobs, tr.Jobs[j])
+	}
+	if len(jobs) == 0 {
+		return nil
+	}
+	in, err := instance.New(tr.G, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestSolveNestedSimple(t *testing.T) {
+	// g+1 unit jobs in a 2-slot window: OPT = 2 (the paper's natural
+	// LP gap family).
+	g := int64(4)
+	jobs := make([]instance.Job, g+1)
+	for i := range jobs {
+		jobs[i] = instance.Job{Processing: 1, Release: 0, Deadline: 2}
+	}
+	in := mk(t, g, jobs...)
+	tr := tree(t, in)
+	opt, counts, err := SolveNested(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Fatalf("OPT = %d want 2", opt)
+	}
+	if !flowfeas.CheckNodeCounts(tr, counts) {
+		t.Fatal("returned counts not feasible")
+	}
+}
+
+func TestSolveNestedChain(t *testing.T) {
+	// Outer p=2 job over [0,6), inner p=1 over [0,3), g=2: both fit in
+	// 2 slots (outer uses 2 inner slots, inner shares one).
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 6},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+	)
+	tr := tree(t, in)
+	opt, _, err := SolveNested(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Fatalf("OPT = %d want 2", opt)
+	}
+}
+
+func TestSolveGeneralMatchesNested(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 100; trial++ {
+		in := randomLaminar(rng, 5, 8)
+		tr := tree(t, in)
+		nOpt, counts, err := SolveNested(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		gOpt, slots, err := SolveGeneral(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if nOpt != gOpt {
+			t.Fatalf("trial %d: nested OPT=%d general OPT=%d (jobs %+v g=%d)",
+				trial, nOpt, gOpt, in.Jobs, in.G)
+		}
+		if !flowfeas.CheckNodeCounts(tr, counts) {
+			t.Fatalf("trial %d: nested counts infeasible", trial)
+		}
+		if !flowfeas.CheckSlots(in, slots) {
+			t.Fatalf("trial %d: general slots infeasible", trial)
+		}
+		if int64(len(slots)) != gOpt {
+			t.Fatalf("trial %d: slot list length %d != OPT %d", trial, len(slots), gOpt)
+		}
+	}
+}
+
+func TestSolveGeneralNonNested(t *testing.T) {
+	// Crossing windows: [0,3) and [2,5), both p=2, g=1: volume 4 and
+	// job 0 needs 2 of slots {0,1,2}, job 1 needs 2 of {2,3,4}.
+	in := mk(t, 1,
+		instance.Job{Processing: 2, Release: 0, Deadline: 3},
+		instance.Job{Processing: 2, Release: 2, Deadline: 5},
+	)
+	opt, _, err := SolveGeneral(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 4 {
+		t.Fatalf("OPT = %d want 4", opt)
+	}
+}
+
+func TestOptDispatch(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 2},
+		instance.Job{Processing: 1, Release: 4, Deadline: 6},
+	)
+	opt, err := Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 2 {
+		t.Fatalf("OPT = %d want 2", opt)
+	}
+}
+
+func TestInfeasibleInstance(t *testing.T) {
+	// Two rigid unit jobs in the same 1-slot window at g=1.
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+	)
+	if _, err := Opt(in); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+// randomLaminar generates a random feasible laminar instance.
+func randomLaminar(rng *rand.Rand, maxJobs int, maxT int64) *instance.Instance {
+	for {
+		in := tryRandomLaminar(rng, maxJobs, maxT)
+		if flowfeas.CheckSlots(in, in.SortedSlots()) {
+			return in
+		}
+	}
+}
+
+func tryRandomLaminar(rng *rand.Rand, maxJobs int, maxT int64) *instance.Instance {
+	var jobs []instance.Job
+	var gen func(lo, hi int64, depth int)
+	gen = func(lo, hi int64, depth int) {
+		if hi-lo < 1 || len(jobs) >= maxJobs {
+			return
+		}
+		jobs = append(jobs, instance.Job{
+			Processing: 1 + rng.Int63n(min64(hi-lo, 3)),
+			Release:    lo, Deadline: hi,
+		})
+		if depth < 2 && hi-lo >= 2 && rng.Intn(3) > 0 {
+			mid := lo + 1 + rng.Int63n(hi-lo-1)
+			gen(lo, mid, depth+1)
+			if rng.Intn(2) == 0 {
+				gen(mid, hi, depth+1)
+			}
+		}
+	}
+	gen(0, 3+rng.Int63n(maxT-2), 0)
+	in, err := instance.New(int64(1+rng.Intn(3)), jobs)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,129 @@
+package exact
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// TestOptMonotoneInJobs: adding a job never decreases the optimum.
+func TestOptMonotoneInJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 50; trial++ {
+		in := randomLaminar(rng, 6, 10)
+		if in.N() < 2 {
+			continue
+		}
+		full, err := Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Drop the last job.
+		reduced, err := instance.New(in.G, in.Jobs[:in.N()-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		less, err := Opt(reduced)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if less > full {
+			t.Fatalf("trial %d: removing a job increased OPT %d -> %d", trial, full, less)
+		}
+	}
+}
+
+// TestOptMonotoneInG: increasing the machine capacity never increases
+// the optimum.
+func TestOptMonotoneInG(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 50; trial++ {
+		in := randomLaminar(rng, 6, 10)
+		opt1, err := Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bigger := in.Clone()
+		bigger.G = in.G + 1 + rng.Int63n(3)
+		opt2, err := Opt(bigger)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if opt2 > opt1 {
+			t.Fatalf("trial %d: raising g increased OPT %d -> %d", trial, opt1, opt2)
+		}
+	}
+}
+
+// TestOptAtLeastLowerBounds: OPT respects the trivial volume and
+// longest-job lower bounds.
+func TestOptAtLeastLowerBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	for trial := 0; trial < 50; trial++ {
+		in := randomLaminar(rng, 7, 12)
+		opt, err := Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if opt < in.LowerBound() {
+			t.Fatalf("trial %d: OPT %d below trivial bound %d", trial, opt, in.LowerBound())
+		}
+	}
+}
+
+// TestOptComponentsAdditive: the optimum decomposes over span-disjoint
+// components.
+func TestOptComponentsAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	for trial := 0; trial < 30; trial++ {
+		a := randomLaminar(rng, 4, 6)
+		b := randomLaminar(rng, 4, 6)
+		// Shift b far to the right of a so they are disjoint.
+		shift := int64(100)
+		jobs := append([]instance.Job(nil), a.Jobs...)
+		for _, j := range b.Jobs {
+			jobs = append(jobs, instance.Job{
+				Processing: j.Processing,
+				Release:    j.Release + shift,
+				Deadline:   j.Deadline + shift,
+			})
+		}
+		if a.G != b.G {
+			continue // combined instance needs a single g
+		}
+		combined, err := instance.New(a.G, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optA, err := Opt(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optB, err := Opt(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optC, err := Opt(combined)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if optC != optA+optB {
+			t.Fatalf("trial %d: combined OPT %d != %d + %d", trial, optC, optA, optB)
+		}
+	}
+}
+
+func TestSolveGeneralSingleSlot(t *testing.T) {
+	in := mk(t, 3,
+		instance.Job{Processing: 1, Release: 5, Deadline: 6},
+		instance.Job{Processing: 1, Release: 5, Deadline: 6},
+	)
+	opt, slots, err := SolveGeneral(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != 1 || len(slots) != 1 || slots[0] != 5 {
+		t.Fatalf("opt=%d slots=%v", opt, slots)
+	}
+}

@@ -1,0 +1,200 @@
+// Package exact provides exact (optimal) solvers for active-time
+// instances and the small-k oracles OPT_i >= 2 / OPT_i >= 3 required
+// by the strengthened LP's ceiling constraints (paper Figure 1a,
+// constraints (7) and (8): "checking if OPT_i >= 2 (OPT_i >= 3) can be
+// done easily").
+//
+// Exact solving exploits the structure of nested instances: slots
+// within one tree node's exclusive region are interchangeable, so an
+// optimal solution is determined by a per-node count vector, which a
+// branch-and-bound search explores with flow-based pruning. A
+// slot-subset branch-and-bound is also provided for small general
+// (non-nested) instances.
+package exact
+
+import (
+	"repro/internal/lamtree"
+	"repro/internal/maxflow"
+)
+
+// OptAtMost1 reports whether all jobs in the subtree of node i can be
+// scheduled in a single open slot: every job must have unit processing
+// time, there must be at most g of them, and their windows must form a
+// chain so one slot lies in all of them.
+func OptAtMost1(t *lamtree.Tree, i int) bool {
+	jobs := t.JobsInSubtree(i)
+	if len(jobs) == 0 {
+		return true
+	}
+	if int64(len(jobs)) > t.G {
+		return false
+	}
+	deepest := -1
+	for _, j := range jobs {
+		if t.Jobs[j].Processing != 1 {
+			return false
+		}
+		nd := t.NodeOf[j]
+		if deepest < 0 || t.Nodes[nd].Depth > t.Nodes[deepest].Depth {
+			deepest = nd
+		}
+	}
+	// All job nodes must be ancestors of the deepest one (chain), so a
+	// slot inside the deepest window serves everyone.
+	for _, j := range jobs {
+		if !t.IsAncestorOf(t.NodeOf[j], deepest) {
+			return false
+		}
+	}
+	return true
+}
+
+// OptAtMost2 reports whether all jobs in the subtree of node i fit in
+// at most two open slots. It enumerates the O(m^2) placements of two
+// slots into exclusive node regions of the subtree and flow-checks
+// each.
+func OptAtMost2(t *lamtree.Tree, i int) bool {
+	jobs := t.JobsInSubtree(i)
+	if len(jobs) == 0 {
+		return true
+	}
+	if OptAtMost1(t, i) {
+		return true
+	}
+	des := t.Des(i)
+	// Candidate nodes with at least one exclusive slot.
+	var cand []int
+	for _, d := range des {
+		if t.Nodes[d].L > 0 {
+			cand = append(cand, d)
+		}
+	}
+	// Two slots in the same node.
+	for _, d := range cand {
+		if t.Nodes[d].L >= 2 && twoSlotFeasible(t, jobs, d, d) {
+			return true
+		}
+	}
+	// Two slots in distinct nodes.
+	for a := 0; a < len(cand); a++ {
+		for b := a + 1; b < len(cand); b++ {
+			if twoSlotFeasible(t, jobs, cand[a], cand[b]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// twoSlotFeasible checks whether the given jobs fit into one slot in
+// node d1 plus one slot in node d2 (d1 may equal d2, meaning two slots
+// in the same node region).
+func twoSlotFeasible(t *lamtree.Tree, jobs []int, d1, d2 int) bool {
+	// Job j can use the slot at node d iff k(j) is an ancestor of d.
+	var want int64
+	var cap1, cap2 int64 // remaining machine capacity in each slot
+	cap1, cap2 = t.G, t.G
+	// Jobs that can use both slots, needing 1 unit (flexible); all
+	// other combinations are forced.
+	var flexible int64
+	for _, j := range jobs {
+		p := t.Jobs[j].Processing
+		want += p
+		u1 := t.IsAncestorOf(t.NodeOf[j], d1)
+		u2 := t.IsAncestorOf(t.NodeOf[j], d2)
+		avail := int64(0)
+		if u1 {
+			avail++
+		}
+		if u2 {
+			avail++
+		}
+		if p > avail {
+			return false
+		}
+		switch {
+		case p == 2: // must use both slots
+			cap1--
+			cap2--
+		case u1 && u2:
+			flexible++
+		case u1:
+			cap1--
+		case u2:
+			cap2--
+		}
+	}
+	if cap1 < 0 || cap2 < 0 {
+		return false
+	}
+	_ = want
+	return flexible <= cap1+cap2
+}
+
+// OptLowerBoundFlags computes, for every node of the tree, whether
+// OPT_i >= 2 and OPT_i >= 3 (the flags activating constraints (7) and
+// (8) of the strengthened LP). Children imply parents: if a child's
+// subtree needs k slots, so does the parent's.
+func OptLowerBoundFlags(t *lamtree.Tree) (atLeast2, atLeast3 []bool) {
+	m := t.M()
+	atLeast2 = make([]bool, m)
+	atLeast3 = make([]bool, m)
+	for _, i := range t.PostOrder() {
+		childForces2, childForces3 := false, false
+		for _, c := range t.Nodes[i].Children {
+			childForces2 = childForces2 || atLeast2[c]
+			childForces3 = childForces3 || atLeast3[c]
+		}
+		switch {
+		case childForces3:
+			atLeast2[i], atLeast3[i] = true, true
+		case childForces2:
+			atLeast2[i] = true
+			atLeast3[i] = !OptAtMost2(t, i)
+		default:
+			if !OptAtMost1(t, i) {
+				atLeast2[i] = true
+				atLeast3[i] = !OptAtMost2(t, i)
+			}
+		}
+	}
+	return atLeast2, atLeast3
+}
+
+// subtreeFeasible reports whether the jobs internal to the subtree of
+// root (those with k(j) in Des(root)) fit into the open counts of the
+// subtree's nodes. Used as a pruning test by the nested exact solver.
+func subtreeFeasible(t *lamtree.Tree, root int, counts []int64) bool {
+	des := t.Des(root)
+	pos := make(map[int]int, len(des))
+	for k, d := range des {
+		pos[d] = k
+	}
+	var jobs []int
+	for _, d := range des {
+		jobs = append(jobs, t.Nodes[d].Jobs...)
+	}
+	if len(jobs) == 0 {
+		return true
+	}
+	g := maxflow.New(2 + len(jobs) + len(des))
+	src, snk := 0, 1
+	for k, d := range des {
+		if counts[d] > 0 {
+			g.AddEdge(2+len(jobs)+k, snk, t.G*counts[d])
+		}
+	}
+	var want int64
+	for jj, j := range jobs {
+		jn := 2 + jj
+		p := t.Jobs[j].Processing
+		g.AddEdge(src, jn, p)
+		want += p
+		for _, d := range t.Des(t.NodeOf[j]) {
+			if counts[d] > 0 {
+				g.AddEdge(jn, 2+len(jobs)+pos[d], counts[d])
+			}
+		}
+	}
+	return g.Run(src, snk) == want
+}

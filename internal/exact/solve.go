@@ -1,0 +1,255 @@
+package exact
+
+import (
+	"fmt"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+)
+
+// SolveNested computes the exact optimum for the instance represented
+// by the laminar tree t: the minimum number of open slots, together
+// with an optimal per-node open-count vector. Within a node's
+// exclusive region slots are interchangeable, so searching over count
+// vectors is exhaustive. Branch and bound prunes on per-subtree
+// feasibility, per-subtree volume/longest-job lower bounds, and the
+// best solution found so far.
+func SolveNested(t *lamtree.Tree) (int64, []int64, error) {
+	m := t.M()
+	full := make([]int64, m)
+	for i := 0; i < m; i++ {
+		full[i] = t.Nodes[i].L
+	}
+	if !flowfeas.CheckNodeCounts(t, full) {
+		return 0, nil, fmt.Errorf("exact: instance infeasible even with all slots open")
+	}
+
+	s := &nestedSearch{t: t, minSub: subtreeLowerBounds(t)}
+	s.order = t.PostOrder()
+	s.counts = make([]int64, m)
+
+	// Initial incumbent: a greedily minimized count vector (remove
+	// slots node by node while feasibility holds). Minimal feasible
+	// solutions are 3-approximations, which makes the incumbent a far
+	// stronger pruner than all-open.
+	s.best = greedyCounts(t, full)
+	s.bestSum = 0
+	for _, v := range s.best {
+		s.bestSum += v
+	}
+
+	var rootLB int64
+	for _, r := range t.Roots {
+		rootLB += s.minSub[r]
+	}
+	s.rootLB = rootLB
+	s.dfs(0, 0)
+
+	return s.bestSum, s.best, nil
+}
+
+type nestedSearch struct {
+	t       *lamtree.Tree
+	order   []int // post-order node IDs
+	minSub  []int64
+	counts  []int64
+	best    []int64
+	bestSum int64
+	rootLB  int64
+}
+
+// greedyCounts minimizes a feasible count vector by decrementing each
+// node while feasibility is preserved; the result is minimal and thus
+// a 3-approximation, ideal as a branch-and-bound incumbent.
+func greedyCounts(t *lamtree.Tree, start []int64) []int64 {
+	counts := make([]int64, len(start))
+	copy(counts, start)
+	for i := range counts {
+		for counts[i] > 0 {
+			counts[i]--
+			if !flowfeas.CheckNodeCounts(t, counts) {
+				counts[i]++
+				break
+			}
+		}
+	}
+	return counts
+}
+
+// dfs assigns a count to order[k] with sum the partial objective.
+func (s *nestedSearch) dfs(k int, sum int64) {
+	if s.bestSum == s.rootLB {
+		return // incumbent already matches the global lower bound
+	}
+	if k == len(s.order) {
+		if sum < s.bestSum {
+			s.bestSum = sum
+			copy(s.best, s.counts)
+		}
+		return
+	}
+	i := s.order[k]
+	n := &s.t.Nodes[i]
+	// Try larger counts first: feasible completions are found sooner,
+	// and the incumbent then prunes small-count dead ends.
+	for c := n.L; c >= 0; c-- {
+		s.counts[i] = c
+		newSum := sum + c
+		if newSum >= s.bestSum {
+			continue
+		}
+		// Subtree of i completes at this step (post-order).
+		if !s.subtreeOK(i) {
+			continue
+		}
+		s.dfs(k+1, newSum)
+	}
+	s.counts[i] = 0
+}
+
+// subtreeOK verifies the two subtree-local prune conditions for node
+// i: the count sum meets the subtree lower bound and the subtree's own
+// jobs fit into the subtree's open slots.
+func (s *nestedSearch) subtreeOK(i int) bool {
+	var sub int64
+	for _, d := range s.t.Des(i) {
+		sub += s.counts[d]
+	}
+	if sub < s.minSub[i] {
+		return false
+	}
+	return subtreeFeasible(s.t, i, s.counts)
+}
+
+// subtreeLowerBounds computes, for each node, a lower bound on the
+// number of open slots any feasible solution places inside its
+// subtree: the max of the volume bound ceil(vol/g), the longest job,
+// and the sum of the children's bounds (children regions are
+// disjoint).
+func subtreeLowerBounds(t *lamtree.Tree) []int64 {
+	m := t.M()
+	lb := make([]int64, m)
+	vol := make([]int64, m)
+	longest := make([]int64, m)
+	for _, i := range t.PostOrder() {
+		var childSum int64
+		for _, c := range t.Nodes[i].Children {
+			vol[i] += vol[c]
+			if longest[c] > longest[i] {
+				longest[i] = longest[c]
+			}
+			childSum += lb[c]
+		}
+		for _, j := range t.Nodes[i].Jobs {
+			vol[i] += t.Jobs[j].Processing
+			if t.Jobs[j].Processing > longest[i] {
+				longest[i] = t.Jobs[j].Processing
+			}
+		}
+		lb[i] = (vol[i] + t.G - 1) / t.G
+		if longest[i] > lb[i] {
+			lb[i] = longest[i]
+		}
+		if childSum > lb[i] {
+			lb[i] = childSum
+		}
+	}
+	return lb
+}
+
+// SolveGeneral computes the exact optimum of an arbitrary (not
+// necessarily nested) instance by branch and bound over the set of
+// candidate slots. Intended for small horizons (≈ 25 candidate slots
+// or fewer); nested instances should prefer SolveNested.
+func SolveGeneral(in *instance.Instance) (int64, []int64, error) {
+	slots := in.SortedSlots()
+	if !flowfeas.CheckSlots(in, slots) {
+		return 0, nil, fmt.Errorf("exact: instance infeasible even with all slots open")
+	}
+	s := &generalSearch{in: in, slots: slots, lb: in.LowerBound()}
+	s.open = make([]bool, len(slots))
+	for i := range s.open {
+		s.open[i] = true
+	}
+	s.best = append([]bool(nil), s.open...)
+	s.bestSum = int64(len(slots))
+	s.dfs(0, 0)
+
+	var out []int64
+	for i, b := range s.best {
+		if b {
+			out = append(out, slots[i])
+		}
+	}
+	return s.bestSum, out, nil
+}
+
+type generalSearch struct {
+	in      *instance.Instance
+	slots   []int64
+	open    []bool
+	best    []bool
+	bestSum int64
+	lb      int64
+}
+
+// dfs decides slot k. Slots k.. are currently open; closing is tried
+// first so small solutions are found early. After a closing decision
+// the remaining-all-open relaxation is flow-checked (closing more
+// slots never restores feasibility).
+func (s *generalSearch) dfs(k int, opened int64) {
+	if s.bestSum == s.lb {
+		return
+	}
+	if opened >= s.bestSum {
+		return
+	}
+	if k == len(s.slots) {
+		s.bestSum = opened
+		copy(s.best, s.open)
+		return
+	}
+	// Branch 1: close slot k.
+	s.open[k] = false
+	if s.feasibleRelaxed() {
+		s.dfs(k+1, opened)
+	}
+	// Branch 2: open slot k.
+	s.open[k] = true
+	s.dfs(k+1, opened+1)
+}
+
+func (s *generalSearch) feasibleRelaxed() bool {
+	var open []int64
+	for i, b := range s.open {
+		if b {
+			open = append(open, s.slots[i])
+		}
+	}
+	return flowfeas.CheckSlots(s.in, open)
+}
+
+// Opt computes the exact optimum of an instance, dispatching to the
+// nested solver when windows are laminar and to the general solver
+// otherwise. It returns only the optimal objective value.
+func Opt(in *instance.Instance) (int64, error) {
+	if in.Nested() {
+		var total int64
+		comps, _ := in.Components()
+		for _, c := range comps {
+			t, err := lamtree.Build(c)
+			if err != nil {
+				return 0, err
+			}
+			v, _, err := SolveNested(t)
+			if err != nil {
+				return 0, err
+			}
+			total += v
+		}
+		return total, nil
+	}
+	v, _, err := SolveGeneral(in)
+	return v, err
+}

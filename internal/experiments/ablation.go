@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/flowfeas"
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+	"repro/internal/stats"
+)
+
+// E11UnitIntegrality probes two structural questions around the LP:
+// (a) on unit-processing-time nested instances — the polynomial case
+// of Chang–Gabow–Khuller — how often is the strengthened LP already
+// integral, and does it ever fall below OPT? (b) over random general
+// nested instances, what is the largest integrality gap observed
+// (paper: the true gap lies in [3/2, 5/3])?
+func E11UnitIntegrality(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "strengthened-LP integrality: unit-job case and empirical gap search",
+		Columns: []string{"family", "trials", "LP integral %", "LP==OPT %",
+			"max gap OPT/LP", "mean gap"},
+	}
+	families := []struct {
+		name string
+		unit bool
+		n    int
+	}{
+		{"unit nested n=8", true, 8},
+		{"unit nested n=12", true, 12},
+		{"general nested n=8", false, 8},
+		{"general nested n=10", false, 10},
+	}
+	if cfg.Quick {
+		families = families[:2]
+	}
+	for _, fam := range families {
+		integral := make([]bool, cfg.Trials)
+		tight := make([]bool, cfg.Trials)
+		gaps := make([]float64, cfg.Trials)
+		errs := make([]error, cfg.Trials)
+		cfg.parallelFor(cfg.Trials, func(i int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*523))
+			var in *instance.Instance
+			if fam.unit {
+				in = gen.RandomUnitLaminar(rng, gen.DefaultLaminar(fam.n, int64(1+rng.Intn(3))))
+			} else {
+				in = gen.RandomLaminar(rng, gen.DefaultLaminar(fam.n, int64(1+rng.Intn(3))))
+			}
+			lp, isInt, err := strengthenedLPOf(in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opt, err := exact.Opt(in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			integral[i] = isInt
+			gaps[i] = float64(opt) / lp
+			tight[i] = math.Abs(float64(opt)-lp) < 1e-6
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E11: %w", err)
+			}
+		}
+		nInt, nTight := 0, 0
+		for i := 0; i < cfg.Trials; i++ {
+			if integral[i] {
+				nInt++
+			}
+			if tight[i] {
+				nTight++
+			}
+		}
+		g := stats.Summarize(gaps)
+		t.AddRow(fam.name, di(cfg.Trials),
+			pct(float64(nInt)/float64(cfg.Trials)),
+			pct(float64(nTight)/float64(cfg.Trials)),
+			f4(g.Max), f4(g.Mean))
+	}
+	t.Note("paper: the strengthened LP's gap on nested instances lies in [3/2, 5/3];")
+	t.Note("the max-gap column reports the worst case this random search found")
+	return t, nil
+}
+
+// strengthenedLPOf solves the strengthened LP per component and
+// reports the summed value and whether every x variable is integral.
+func strengthenedLPOf(in *instance.Instance) (float64, bool, error) {
+	var total float64
+	isInt := true
+	comps, _ := in.Components()
+	for _, comp := range comps {
+		tr, err := lamtree.Build(comp)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := tr.Canonicalize(); err != nil {
+			return 0, false, err
+		}
+		sol, err := nestlp.NewModel(tr).Solve()
+		if err != nil {
+			return 0, false, err
+		}
+		total += sol.Objective
+		for _, x := range sol.X {
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				isInt = false
+			}
+		}
+	}
+	return total, isInt, nil
+}
+
+// E12Ablation removes pieces of the algorithm to show they are
+// load-bearing:
+//
+//   - "no ceilings": drop constraints (7),(8). The rounded vector can
+//     become infeasible (repairs > 0) and the LP bound degrades.
+//   - "naive ceil": replace Algorithm 1 by x̃ = ⌈x⌉ everywhere;
+//     always feasible but the budget ratio worsens versus Algorithm 1.
+func E12Ablation(cfg Config) (*Table, error) {
+	type family struct {
+		name   string
+		random bool
+		n      int
+		fixed  *instance.Instance
+	}
+	families := []family{
+		{name: "random n=8", random: true, n: 8},
+		{name: "random n=12", random: true, n: 12},
+		{name: "NaturalGap2(4)", fixed: gapfam.NaturalGap2(4)},
+		{name: "NaturalGap2(8)", fixed: gapfam.NaturalGap2(8)},
+		// At g ≥ 10 the weak LP's mass 1+1/g drops under the 10/9
+		// rounding threshold, so Algorithm 1 cannot round up and the
+		// ablated pipeline produces an infeasible vector.
+		{name: "NaturalGap2(16)", fixed: gapfam.NaturalGap2(16)},
+		{name: "Nested32(4)", fixed: gapfam.Nested32(4)},
+		{name: "Staircase(5,2)", fixed: gapfam.Staircase(5, 2)},
+	}
+	if cfg.Quick {
+		families = []family{families[0], families[2]}
+	}
+	t := &Table{
+		ID:    "E12",
+		Title: "ablations: ceiling constraints and the Algorithm 1 budget",
+		Columns: []string{"family", "trials", "alg1 x̃/LP mean", "naive-ceil x̃/LP mean",
+			"no-ceiling LP deficit mean", "no-ceiling infeasible x̃ %"},
+	}
+	for _, fam := range families {
+		trials := cfg.Trials
+		if !fam.random {
+			trials = 1
+		}
+		alg1 := make([]float64, trials)
+		naive := make([]float64, trials)
+		deficit := make([]float64, trials)
+		brokeFeas := make([]bool, trials)
+		errs := make([]error, trials)
+		cfg.parallelFor(trials, func(i int) {
+			var in *instance.Instance
+			if fam.random {
+				rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*379))
+				in = gen.RandomLaminar(rng, gen.DefaultLaminar(fam.n, int64(1+rng.Intn(3))))
+			} else {
+				in = fam.fixed
+			}
+			comps, _ := in.Components()
+			var fullLP, weakLP float64
+			var alg1Slots, naiveSlots int64
+			infeasible := false
+			for _, comp := range comps {
+				tr, err := lamtree.Build(comp)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := tr.Canonicalize(); err != nil {
+					errs[i] = err
+					return
+				}
+				// Full model: Algorithm 1 and naive ceil.
+				model := nestlp.NewModel(tr)
+				sol, err := model.Solve()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				fullLP += sol.Objective
+				model.Transform(sol)
+				I := model.TopmostPositive(sol)
+				counts := core.Round(tr, sol, I)
+				for _, c := range counts {
+					alg1Slots += c
+				}
+				for _, x := range sol.X {
+					naiveSlots += int64(math.Ceil(x - 1e-9))
+				}
+				// Ablated model: no ceiling constraints.
+				weak := nestlp.NewModelWithOptions(tr, nestlp.ModelOptions{DisableCeilings: true})
+				wsol, err := weak.Solve()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				weakLP += wsol.Objective
+				weak.Transform(wsol)
+				wI := weak.TopmostPositive(wsol)
+				wcounts := core.Round(tr, wsol, wI)
+				if !flowfeas.CheckNodeCounts(tr, wcounts) {
+					infeasible = true
+				}
+			}
+			alg1[i] = float64(alg1Slots) / fullLP
+			naive[i] = float64(naiveSlots) / fullLP
+			deficit[i] = fullLP - weakLP
+			brokeFeas[i] = infeasible
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E12: %w", err)
+			}
+		}
+		nBroke := 0
+		for _, b := range brokeFeas {
+			if b {
+				nBroke++
+			}
+		}
+		sa, sn, sd := stats.Summarize(alg1), stats.Summarize(naive), stats.Summarize(deficit)
+		t.AddRow(fam.name, di(trials), f3(sa.Mean), f3(sn.Mean),
+			f3(sd.Mean), pct(float64(nBroke)/float64(trials)))
+	}
+	t.Note("LP deficit = (full LP) − (LP without ceilings): how much lower-bound strength (7),(8) add")
+	t.Note("the infeasibility column counts instances where rounding the weak LP's solution fails the flow check")
+	return t, nil
+}

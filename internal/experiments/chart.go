@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// barChart renders a horizontal ASCII bar chart: one row per label,
+// bars scaled to width characters at maxVal, each annotated with its
+// value. Used to attach figure-style output to experiment tables.
+func barChart(labels []string, values []float64, maxVal float64, width int) []string {
+	if len(labels) != len(values) {
+		panic("experiments: barChart length mismatch")
+	}
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	out := make([]string, 0, len(labels))
+	for i, l := range labels {
+		n := 0
+		if maxVal > 0 {
+			n = int(values[i] / maxVal * float64(width))
+		}
+		if n < 0 {
+			n = 0
+		}
+		if n > width {
+			n = width
+		}
+		out = append(out, fmt.Sprintf("%-*s |%s%s %.4f",
+			labelW, l, strings.Repeat("#", n), strings.Repeat(" ", width-n), values[i]))
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	lines := barChart([]string{"a", "bb"}, []float64{1, 2}, 2, 10)
+	if len(lines) != 2 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.Contains(lines[0], "#####") || strings.Contains(lines[0], "######") {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "##########") {
+		t.Fatalf("full bar wrong: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[0], "a  |") {
+		t.Fatalf("label padding wrong: %q", lines[0])
+	}
+	// Clamping.
+	over := barChart([]string{"x"}, []float64{5}, 2, 10)
+	if strings.Count(over[0], "#") != 10 {
+		t.Fatalf("overlong bar must clamp: %q", over[0])
+	}
+	neg := barChart([]string{"x"}, []float64{-1}, 2, 10)
+	if strings.Count(neg[0], "#") != 0 {
+		t.Fatalf("negative bar must clamp to zero: %q", neg[0])
+	}
+}
+
+func TestBarChartPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	barChart([]string{"a"}, nil, 1, 10)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := QuickConfig()
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tbl, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), r.ID) {
+				t.Fatalf("%s: print output missing ID:\n%s", r.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestTableAddRowPanicsOnBadArity(t *testing.T) {
+	tbl := &Table{ID: "X", Columns: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tbl.AddRow("only one")
+}
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	cfg := Config{Workers: 4}
+	seen := make([]bool, 100)
+	cfg.parallelFor(100, func(i int) { seen[i] = true })
+	for i, b := range seen {
+		if !b {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+	// Sequential path.
+	cfg = Config{Workers: 1}
+	count := 0
+	cfg.parallelFor(5, func(i int) { count++ })
+	if count != 5 {
+		t.Fatalf("sequential count %d", count)
+	}
+}
+
+// TestDeterminism: the same config must yield identical tables
+// regardless of worker count.
+func TestDeterminism(t *testing.T) {
+	cfgA := QuickConfig()
+	cfgA.Workers = 1
+	cfgB := QuickConfig()
+	cfgB.Workers = 8
+	a, err := E1ApproxRatio(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := E1ApproxRatio(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatal("row count differs")
+	}
+	for i := range a.Rows {
+		for k := range a.Rows[i] {
+			if a.Rows[i][k] != b.Rows[i][k] {
+				t.Fatalf("row %d cell %d differs: %q vs %q", i, k, a.Rows[i][k], b.Rows[i][k])
+			}
+		}
+	}
+}

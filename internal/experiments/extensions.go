@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/greedy"
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/multi"
+	"repro/internal/onepass"
+	"repro/internal/stats"
+)
+
+// E13MultiInterval evaluates the H_g-approximation for the
+// multi-interval generalization (paper related work: NP-hard for
+// g ≥ 3; H_g-approximable via Wolsey's submodular cover): greedy slot
+// counts against exact OPT, checked against the H_g bound.
+func E13MultiInterval(cfg Config) (*Table, error) {
+	gs := []int64{1, 2, 3, 4}
+	if cfg.Quick {
+		gs = []int64{2}
+	}
+	t := &Table{
+		ID:    "E13",
+		Title: "multi-interval jobs: Wolsey greedy vs exact OPT",
+		Columns: []string{"g", "trials", "ratio mean", "ratio max", "H_g bound",
+			"greedy==OPT %"},
+	}
+	for _, g := range gs {
+		ratios := make([]float64, cfg.Trials)
+		tight := make([]bool, cfg.Trials)
+		errs := make([]error, cfg.Trials)
+		cfg.parallelFor(cfg.Trials, func(i int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*6599))
+			in := randomMultiInstance(rng, g)
+			open, err := in.GreedyCover()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opt, _, err := in.SolveExact()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ratios[i] = float64(len(open)) / float64(opt)
+			tight[i] = int64(len(open)) == opt
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E13: %w", err)
+			}
+		}
+		nTight := 0
+		for _, b := range tight {
+			if b {
+				nTight++
+			}
+		}
+		s := stats.Summarize(ratios)
+		t.AddRow(d(g), di(cfg.Trials), f3(s.Mean), f3(s.Max),
+			f3(multi.HarmonicG(g)), pct(float64(nTight)/float64(cfg.Trials)))
+	}
+	t.Note("ratio max must stay ≤ H_g (Wolsey's submodular-cover bound)")
+	return t, nil
+}
+
+// randomMultiInstance builds a feasible multi-interval instance with
+// 1–2 windows per job.
+func randomMultiInstance(rng *rand.Rand, g int64) *multi.Instance {
+	for {
+		n := 2 + rng.Intn(4)
+		jobs := make([]multi.Job, n)
+		horizon := int64(10)
+		for i := range jobs {
+			nw := 1 + rng.Intn(2)
+			var ws []interval.Interval
+			cur := rng.Int63n(3)
+			for k := 0; k < nw && cur < horizon-1; k++ {
+				length := 1 + rng.Int63n(3)
+				if cur+length > horizon {
+					length = horizon - cur
+				}
+				ws = append(ws, interval.New(cur, cur+length))
+				cur += length + 1 + rng.Int63n(2)
+			}
+			var total int64
+			for _, w := range ws {
+				total += w.Len()
+			}
+			jobs[i] = multi.Job{Processing: 1 + rng.Int63n(total), Windows: ws}
+		}
+		in, err := multi.New(g, jobs)
+		if err != nil {
+			continue
+		}
+		if in.CheckSlots(in.SortedSlots()) {
+			return in
+		}
+	}
+}
+
+// E14OnePass measures the "cost of commitment": the single-pass
+// lazy-activation scheduler (irrevocable per-slot assignments) versus
+// the offline left-to-right minimal-feasible greedy and exact OPT.
+func E14OnePass(cfg Config) (*Table, error) {
+	families := []struct {
+		name string
+		make func(rng *rand.Rand) *instance.Instance
+	}{
+		{"nested n=8", func(rng *rand.Rand) *instance.Instance {
+			return gen.RandomLaminar(rng, gen.DefaultLaminar(8, int64(1+rng.Intn(3))))
+		}},
+		{"general n=7", func(rng *rand.Rand) *instance.Instance {
+			return gen.RandomGeneral(rng, gen.DefaultGeneral(7, int64(1+rng.Intn(3))))
+		}},
+	}
+	if cfg.Quick {
+		families = families[:1]
+	}
+	t := &Table{
+		ID:    "E14",
+		Title: "one-pass lazy activation: cost of committed assignments",
+		Columns: []string{"family", "trials", "onepass/OPT mean", "max",
+			"extra slots vs greedy mean", "max", "feasible %"},
+	}
+	for _, fam := range families {
+		ratios := make([]float64, cfg.Trials)
+		extras := make([]float64, cfg.Trials)
+		feas := make([]bool, cfg.Trials)
+		errs := make([]error, cfg.Trials)
+		cfg.parallelFor(cfg.Trials, func(i int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*911))
+			in := fam.make(rng)
+			s, err := onepass.Run(in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			feas[i] = s.Validate(in) == nil
+			res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			opt, err := exact.Opt(in)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ratios[i] = float64(s.NumActive()) / float64(opt)
+			extras[i] = float64(s.NumActive() - int64(len(res.Open)))
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E14: %w", err)
+			}
+		}
+		nFeas := 0
+		for _, b := range feas {
+			if b {
+				nFeas++
+			}
+		}
+		sr, se := stats.Summarize(ratios), stats.Summarize(extras)
+		t.AddRow(fam.name, di(cfg.Trials), f3(sr.Mean), f3(sr.Max),
+			f3(se.Mean), f3(se.Max), pct(float64(nFeas)/float64(cfg.Trials)))
+	}
+	t.Note("the feasibility column must read 100%%; extra slots quantify what irrevocable commitment costs")
+	return t, nil
+}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+	"repro/internal/psc"
+)
+
+// E6Reduction verifies the §6 NP-completeness chain end to end on
+// random inputs: set cover ⇔ prefix sum cover ⇔ nested active-time
+// decision.
+func E6Reduction(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:    "E6",
+		Title: "NP-completeness reduction chain agreement",
+		Columns: []string{"stage", "trials", "agreements", "yes-instances",
+			"mean jobs", "mean g"},
+	}
+
+	// Stage 1: set cover → PSC.
+	{
+		trials := cfg.Trials * 4
+		agree, yes := 0, 0
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*131))
+			d := 1 + rng.Intn(4)
+			nsets := 1 + rng.Intn(4)
+			sets := make([][]int, nsets)
+			for s := range sets {
+				for e := 0; e < d; e++ {
+					if rng.Intn(2) == 0 {
+						sets[s] = append(sets[s], e)
+					}
+				}
+			}
+			sc := &psc.SetCover{D: d, Sets: sets, K: 1 + rng.Intn(nsets)}
+			p := psc.FromSetCover(sc)
+			scAns := sc.BruteForce()
+			pAns, _ := p.BruteForce()
+			if scAns == pAns {
+				agree++
+			}
+			if scAns {
+				yes++
+			}
+		}
+		t.AddRow("set-cover → PSC", di(trials), di(agree), di(yes), "-", "-")
+		if agree != trials {
+			return nil, fmt.Errorf("E6: set-cover → PSC disagreement")
+		}
+	}
+
+	// Stage 2: PSC → nested active time.
+	{
+		trials := cfg.Trials
+		agree, yes := 0, 0
+		var sumJobs, sumG float64
+		count := 0
+		for i := 0; i < trials; i++ {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1009))
+			in := randomPSC(rng)
+			red, err := psc.Reduce(in)
+			if err != nil {
+				return nil, fmt.Errorf("E6: %w", err)
+			}
+			pscYes, _ := in.BruteForce()
+			opt, err := exact.Opt(red.Scheduling)
+			schedYes := err == nil && opt <= red.Budget
+			if pscYes == schedYes {
+				agree++
+			}
+			if pscYes {
+				yes++
+			}
+			sumJobs += float64(red.Scheduling.N())
+			sumG += float64(red.Scheduling.G)
+			count++
+		}
+		t.AddRow("PSC → active-time", di(trials), di(agree), di(yes),
+			f2(sumJobs/float64(count)), f2(sumG/float64(count)))
+		if agree != trials {
+			return nil, fmt.Errorf("E6: PSC → active-time disagreement")
+		}
+	}
+	t.Note("agreements must equal trials in both stages")
+	return t, nil
+}
+
+func randomPSC(rng *rand.Rand) *psc.Instance {
+	n := 1 + rng.Intn(3)
+	d := 1 + rng.Intn(2)
+	mkDesc := func(maxV, minV int64) psc.Vector {
+		v := make(psc.Vector, d)
+		cur := minV + rng.Int63n(maxV-minV+1)
+		for j := 0; j < d; j++ {
+			v[j] = cur
+			if cur > minV {
+				cur -= rng.Int63n(cur - minV + 1)
+			}
+		}
+		return v
+	}
+	u := make([]psc.Vector, n)
+	for i := range u {
+		u[i] = mkDesc(3, 1)
+	}
+	return &psc.Instance{U: u, V: mkDesc(4, 0), K: 1 + rng.Intn(n)}
+}
+
+// E7Transform validates the Lemma 3.1 transformation on random LP
+// solutions: objective preserved, feasibility preserved, push-down
+// invariant and Claim 1 established.
+func E7Transform(cfg Config) (*Table, error) {
+	sizes := []int{8, 12, 16}
+	if cfg.Quick {
+		sizes = []int{8}
+	}
+	t := &Table{
+		ID:    "E7",
+		Title: "Lemma 3.1 LP-solution transformation",
+		Columns: []string{"n", "trials", "max |Δobjective|", "feasible after",
+			"invariant holds", "claim1 holds"},
+	}
+	for _, n := range sizes {
+		var maxDrift float64
+		feas, inv, claim := 0, 0, 0
+		errs := make([]error, cfg.Trials)
+		drifts := make([]float64, cfg.Trials)
+		oks := make([][3]bool, cfg.Trials)
+		cfg.parallelFor(cfg.Trials, func(i int) {
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*271))
+			in := gen.RandomLaminar(rng, gen.DefaultLaminar(n, int64(1+rng.Intn(3))))
+			comps, _ := in.Components()
+			drift := 0.0
+			okF, okI, okC := true, true, true
+			for _, comp := range comps {
+				tr, err := lamtree.Build(comp)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if err := tr.Canonicalize(); err != nil {
+					errs[i] = err
+					return
+				}
+				model := nestlp.NewModel(tr)
+				sol, err := model.Solve()
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				before := sol.Objective
+				model.Transform(sol)
+				var after float64
+				for _, x := range sol.X {
+					after += x
+				}
+				drift = math.Max(drift, math.Abs(after-before))
+				if model.Check(sol, 1e-6) != nil {
+					okF = false
+				}
+				for i1 := range tr.Nodes {
+					if sol.X[i1] <= 1e-7 {
+						continue
+					}
+					for _, dd := range tr.Des(i1) {
+						if dd != i1 && sol.X[dd] < float64(tr.Nodes[dd].L)-1e-6 {
+							okI = false
+						}
+					}
+				}
+				I := model.TopmostPositive(sol)
+				if model.CheckClaim1(sol, I) != nil {
+					okC = false
+				}
+			}
+			drifts[i] = drift
+			oks[i] = [3]bool{okF, okI, okC}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("E7: %w", err)
+			}
+		}
+		for i := 0; i < cfg.Trials; i++ {
+			if drifts[i] > maxDrift {
+				maxDrift = drifts[i]
+			}
+			if oks[i][0] {
+				feas++
+			}
+			if oks[i][1] {
+				inv++
+			}
+			if oks[i][2] {
+				claim++
+			}
+		}
+		t.AddRow(di(n), di(cfg.Trials), fmt.Sprintf("%.2e", maxDrift),
+			fmt.Sprintf("%d/%d", feas, cfg.Trials),
+			fmt.Sprintf("%d/%d", inv, cfg.Trials),
+			fmt.Sprintf("%d/%d", claim, cfg.Trials))
+		if feas != cfg.Trials || inv != cfg.Trials || claim != cfg.Trials {
+			return nil, fmt.Errorf("E7: invariant violated at n=%d", n)
+		}
+	}
+	return t, nil
+}
+
+// E10ConfigFit fuzzes the Lemma 6.2 criterion against the max-flow
+// reference and the constructive packer.
+func E10ConfigFit(cfg Config) (*Table, error) {
+	trials := cfg.Trials * 100
+	t := &Table{
+		ID:      "E10",
+		Title:   "Lemma 6.2 prefix criterion vs max-flow reference",
+		Columns: []string{"trials", "criterion==flow", "fit instances", "packs OK"},
+	}
+	agree, fits, packs := 0, 0, 0
+	for i := 0; i < trials; i++ {
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*17))
+		m := 1 + rng.Intn(6)
+		z := make(psc.Configuration, m)
+		for k := range z {
+			z[k] = int64(rng.Intn(4))
+		}
+		q := 1 + rng.Intn(4)
+		lengths := make([]int64, q)
+		for k := range lengths {
+			lengths[k] = int64(rng.Intn(m + 1))
+		}
+		fast := z.Fits(lengths)
+		slow := z.FitsByFlow(lengths)
+		if fast == slow {
+			agree++
+		}
+		if fast {
+			fits++
+			if _, err := z.Pack(lengths); err == nil {
+				packs++
+			}
+		}
+	}
+	t.AddRow(di(trials), di(agree), di(fits), di(packs))
+	if agree != trials || packs != fits {
+		return nil, fmt.Errorf("E10: criterion/flow/packer disagreement")
+	}
+	t.Note("criterion==flow must equal trials; packs OK must equal fit instances")
+	return t, nil
+}

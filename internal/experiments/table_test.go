@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFprintCSV(t *testing.T) {
+	tbl := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tbl.AddRow("1", "two, with comma")
+	tbl.AddRow("3", "4")
+	var buf bytes.Buffer
+	tbl.FprintCSV(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "# EX: demo\n") {
+		t.Fatalf("missing comment header:\n%s", out)
+	}
+	if !strings.Contains(out, "a,b\n") {
+		t.Fatalf("missing column header:\n%s", out)
+	}
+	if !strings.Contains(out, `"two, with comma"`) {
+		t.Fatalf("comma cell not quoted:\n%s", out)
+	}
+}
+
+func TestNoteFormatting(t *testing.T) {
+	tbl := &Table{ID: "EX", Columns: []string{"a"}}
+	tbl.Note("value=%d", 42)
+	if len(tbl.Notes) != 1 || tbl.Notes[0] != "value=42" {
+		t.Fatalf("notes: %v", tbl.Notes)
+	}
+}
+
+func TestRunnerRegistryConsistent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, r := range All() {
+		if r.ID == "" || r.Title == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.ID] {
+			t.Fatalf("duplicate experiment ID %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != 17 {
+		t.Fatalf("expected 17 experiments, found %d", len(seen))
+	}
+}

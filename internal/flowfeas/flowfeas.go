@@ -1,0 +1,193 @@
+// Package flowfeas answers feasibility questions by maximum flow, the
+// standard tool for active-time scheduling (paper §1): given a set of
+// active slots, all jobs fit if and only if a bipartite flow network
+// saturates every job's processing demand. Two network shapes are
+// provided: slot-indexed (general instances) and node-indexed over a
+// laminar tree (the network H of Lemma 4.1).
+package flowfeas
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/maxflow"
+	"repro/internal/sched"
+)
+
+// CheckSlots reports whether every job of in can be fully scheduled
+// using only the given open slots (duplicates in open are ignored).
+func CheckSlots(in *instance.Instance, open []int64) bool {
+	_, ok := runSlotFlow(in, open)
+	return ok
+}
+
+// ScheduleOnSlots builds a concrete schedule using only the open
+// slots; it returns an error when the slot set is infeasible.
+func ScheduleOnSlots(in *instance.Instance, open []int64) (*sched.Schedule, error) {
+	net, ok := runSlotFlow(in, open)
+	if !ok {
+		return nil, fmt.Errorf("flowfeas: slot set of size %d infeasible", len(net.slots))
+	}
+	out := sched.New(in.G)
+	for jID, edges := range net.jobSlotEdges {
+		for k, ref := range edges {
+			if net.g.Flow(ref) > 0 {
+				out.Assign(net.jobSlots[jID][k], jID)
+			}
+		}
+	}
+	if err := out.Validate(in); err != nil {
+		return nil, fmt.Errorf("flowfeas: internal: extracted schedule invalid: %w", err)
+	}
+	return out, nil
+}
+
+type slotNet struct {
+	g            *maxflow.Graph
+	slots        []int64
+	jobSlotEdges [][]maxflow.EdgeRef // per job, edges to its usable slots
+	jobSlots     [][]int64           // per job, the slot value of each edge
+}
+
+// runSlotFlow builds and runs the slot-indexed network:
+// source -> job (p_j), job -> open slot in window (1), slot -> sink (g).
+func runSlotFlow(in *instance.Instance, open []int64) (*slotNet, bool) {
+	slots := dedupSorted(open)
+	n := in.N()
+	// Node layout: 0 = source, 1 = sink, 2..2+n-1 jobs, then slots.
+	g := maxflow.New(2 + n + len(slots))
+	src, snk := 0, 1
+	slotNode := make(map[int64]int, len(slots))
+	for k, t := range slots {
+		id := 2 + n + k
+		slotNode[t] = id
+		g.AddEdge(id, snk, in.G)
+	}
+	net := &slotNet{
+		g:            g,
+		slots:        slots,
+		jobSlotEdges: make([][]maxflow.EdgeRef, n),
+		jobSlots:     make([][]int64, n),
+	}
+	var want int64
+	for _, j := range in.Jobs {
+		jn := 2 + j.ID
+		g.AddEdge(src, jn, j.Processing)
+		want += j.Processing
+		// Open slots inside the window, via binary search on slots.
+		lo := sort.Search(len(slots), func(i int) bool { return slots[i] >= j.Release })
+		for k := lo; k < len(slots) && slots[k] < j.Deadline; k++ {
+			ref := g.AddEdge(jn, slotNode[slots[k]], 1)
+			net.jobSlotEdges[j.ID] = append(net.jobSlotEdges[j.ID], ref)
+			net.jobSlots[j.ID] = append(net.jobSlots[j.ID], slots[k])
+		}
+	}
+	got := g.Run(src, snk)
+	return net, got == want
+}
+
+// CheckNodeCounts reports whether opening counts[i] slots inside each
+// tree node i's exclusive region suffices to schedule all of the
+// tree's jobs. This is the Lemma 4.1 network H: job j may use nodes in
+// Des(k(j)); node i admits at most counts[i] units of any single job
+// and g*counts[i] units in total. counts[i] must not exceed L(i).
+func CheckNodeCounts(t *lamtree.Tree, counts []int64) bool {
+	_, ok := runNodeFlow(t, counts)
+	return ok
+}
+
+// ScheduleOnNodeCounts builds a concrete schedule from per-node open
+// counts: flows become per-node demands, counts[i] leftmost exclusive
+// slots of node i are opened, and demands are column-packed into them.
+func ScheduleOnNodeCounts(t *lamtree.Tree, counts []int64) (*sched.Schedule, error) {
+	net, ok := runNodeFlow(t, counts)
+	if !ok {
+		return nil, fmt.Errorf("flowfeas: node counts infeasible")
+	}
+	out := sched.New(t.G)
+	demands := make([][]sched.Demand, t.M())
+	for jID, edges := range net.jobNodeEdges {
+		for k, ref := range edges {
+			if f := net.g.Flow(ref); f > 0 {
+				node := net.jobNodes[jID][k]
+				demands[node] = append(demands[node], sched.Demand{ID: jID, Units: f})
+			}
+		}
+	}
+	for i := range demands {
+		if len(demands[i]) == 0 {
+			continue
+		}
+		slots := t.ExclusiveSlots(i, counts[i])
+		if err := sched.PackColumns(out, slots, t.G, demands[i]); err != nil {
+			return nil, fmt.Errorf("flowfeas: internal: packing node %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+type nodeNet struct {
+	g            *maxflow.Graph
+	jobNodeEdges [][]maxflow.EdgeRef
+	jobNodes     [][]int
+}
+
+// runNodeFlow builds and runs the node-indexed network:
+// source -> job (p_j), job -> node in Des(k(j)) (counts), node -> sink
+// (g*counts).
+func runNodeFlow(t *lamtree.Tree, counts []int64) (*nodeNet, bool) {
+	m := t.M()
+	if len(counts) != m {
+		panic(fmt.Sprintf("flowfeas: counts length %d != m=%d", len(counts), m))
+	}
+	for i, c := range counts {
+		if c < 0 || c > t.Nodes[i].L {
+			panic(fmt.Sprintf("flowfeas: counts[%d]=%d outside [0,%d]", i, c, t.Nodes[i].L))
+		}
+	}
+	n := len(t.Jobs)
+	g := maxflow.New(2 + n + m)
+	src, snk := 0, 1
+	for i := 0; i < m; i++ {
+		if counts[i] > 0 {
+			g.AddEdge(2+n+i, snk, t.G*counts[i])
+		}
+	}
+	net := &nodeNet{
+		g:            g,
+		jobNodeEdges: make([][]maxflow.EdgeRef, n),
+		jobNodes:     make([][]int, n),
+	}
+	var want int64
+	for jID, j := range t.Jobs {
+		jn := 2 + jID
+		g.AddEdge(src, jn, j.Processing)
+		want += j.Processing
+		for _, d := range t.Des(t.NodeOf[jID]) {
+			if counts[d] == 0 {
+				continue
+			}
+			ref := g.AddEdge(jn, 2+n+d, counts[d])
+			net.jobNodeEdges[jID] = append(net.jobNodeEdges[jID], ref)
+			net.jobNodes[jID] = append(net.jobNodes[jID], d)
+		}
+	}
+	got := g.Run(src, snk)
+	return net, got == want
+}
+
+func dedupSorted(open []int64) []int64 {
+	out := make([]int64, len(open))
+	copy(out, open)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}

@@ -1,0 +1,193 @@
+package flowfeas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestCheckSlotsBasic(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 2, Release: 0, Deadline: 4},
+		instance.Job{Processing: 1, Release: 0, Deadline: 4},
+	)
+	if !CheckSlots(in, []int64{0, 1, 2}) {
+		t.Fatal("three slots for volume 3, g=1 should be feasible")
+	}
+	if CheckSlots(in, []int64{0, 1}) {
+		t.Fatal("two slots cannot hold volume 3 at g=1")
+	}
+	// Slots outside windows do not help.
+	if CheckSlots(in, []int64{0, 1, 9}) {
+		t.Fatal("slot 9 is outside every window")
+	}
+	// Duplicates are ignored.
+	if CheckSlots(in, []int64{0, 0, 1}) {
+		t.Fatal("duplicate slots must not double capacity")
+	}
+}
+
+func TestCheckSlotsPerJobSlotLimit(t *testing.T) {
+	// One job with p=2 cannot run twice in one slot even with g=5.
+	in := mk(t, 5, instance.Job{Processing: 2, Release: 0, Deadline: 4})
+	if CheckSlots(in, []int64{1}) {
+		t.Fatal("a single slot cannot hold two units of one job")
+	}
+	if !CheckSlots(in, []int64{1, 2}) {
+		t.Fatal("two slots should suffice")
+	}
+}
+
+func TestScheduleOnSlots(t *testing.T) {
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 4},
+		instance.Job{Processing: 2, Release: 1, Deadline: 3},
+		instance.Job{Processing: 1, Release: 0, Deadline: 2},
+	)
+	s, err := ScheduleOnSlots(in, []int64{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScheduleOnSlots(in, []int64{1, 2}); err == nil {
+		t.Fatal("expected infeasible: volume 5 > 2 slots × g=2")
+	}
+}
+
+func buildTree(t *testing.T, in *instance.Instance) *lamtree.Tree {
+	t.Helper()
+	tr, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCheckNodeCounts(t *testing.T) {
+	// Chain: [0,6) ⊃ [0,3). Outer job p=2, inner job p=1, g=2.
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 6},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+	)
+	tr := buildTree(t, in)
+	inner, outer := tr.NodeOf[1], tr.NodeOf[0]
+	counts := make([]int64, tr.M())
+	counts[inner] = 2
+	if !CheckNodeCounts(tr, counts) {
+		t.Fatal("2 inner slots hold both jobs (outer can use inner slots)")
+	}
+	counts[inner] = 1
+	if CheckNodeCounts(tr, counts) {
+		t.Fatal("1 slot cannot hold the p=2 outer job")
+	}
+	counts[inner], counts[outer] = 1, 1
+	if !CheckNodeCounts(tr, counts) {
+		t.Fatal("1 inner + 1 outer slot should work: outer job spans both, inner job shares the inner slot")
+	}
+	// Inner job cannot use outer slots.
+	counts[inner], counts[outer] = 0, 3
+	if CheckNodeCounts(tr, counts) {
+		t.Fatal("inner job must not be schedulable on outer-only slots")
+	}
+}
+
+func TestScheduleOnNodeCounts(t *testing.T) {
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 6},
+		instance.Job{Processing: 2, Release: 0, Deadline: 3},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+	)
+	tr := buildTree(t, in)
+	counts := make([]int64, tr.M())
+	counts[tr.NodeOf[1]] = 2
+	counts[tr.NodeOf[0]] = 1
+	s, err := ScheduleOnNodeCounts(tr, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() > 3 {
+		t.Fatalf("schedule uses %d slots, counts allow 3", s.NumActive())
+	}
+}
+
+// TestNodeVsSlotAgreement: for laminar instances, opening the leftmost
+// c_i slots of every node region must agree with the node-count check.
+func TestNodeVsSlotAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		in := randomLaminarInstance(rng)
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, tr.M())
+		var slots []int64
+		for i := range counts {
+			if tr.Nodes[i].L > 0 {
+				counts[i] = rng.Int63n(tr.Nodes[i].L + 1)
+				slots = append(slots, tr.ExclusiveSlots(i, counts[i])...)
+			}
+		}
+		nodeOK := CheckNodeCounts(tr, counts)
+		slotOK := CheckSlots(in, slots)
+		if nodeOK != slotOK {
+			t.Fatalf("trial %d: node-count says %v, slot check says %v (counts=%v)",
+				trial, nodeOK, slotOK, counts)
+		}
+		if nodeOK {
+			s, err := ScheduleOnNodeCounts(tr, counts)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := s.Validate(in); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func randomLaminarInstance(rng *rand.Rand) *instance.Instance {
+	var jobs []instance.Job
+	var gen func(lo, hi int64, depth int)
+	gen = func(lo, hi int64, depth int) {
+		if hi-lo < 1 {
+			return
+		}
+		nj := 1 + rng.Intn(2)
+		for k := 0; k < nj; k++ {
+			jobs = append(jobs, instance.Job{
+				Processing: 1 + rng.Int63n(hi-lo),
+				Release:    lo, Deadline: hi,
+			})
+		}
+		if depth < 2 && hi-lo >= 2 && rng.Intn(2) == 0 {
+			mid := lo + 1 + rng.Int63n(hi-lo-1)
+			gen(lo, mid, depth+1)
+			if rng.Intn(2) == 0 {
+				gen(mid, hi, depth+1)
+			}
+		}
+	}
+	gen(0, 4+rng.Int63n(8), 0)
+	in, err := instance.New(int64(1+rng.Intn(3)), jobs)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

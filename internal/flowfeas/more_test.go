@@ -1,0 +1,151 @@
+package flowfeas
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+)
+
+// TestCheckSlotsMonotone: adding open slots never breaks feasibility.
+func TestCheckSlotsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	for trial := 0; trial < 150; trial++ {
+		in := randomLaminarInstance(rng)
+		all := in.SortedSlots()
+		// Random subset and a superset of it.
+		var sub, super []int64
+		for _, s := range all {
+			r := rng.Intn(3)
+			if r == 0 {
+				sub = append(sub, s)
+				super = append(super, s)
+			} else if r == 1 {
+				super = append(super, s)
+			}
+		}
+		if CheckSlots(in, sub) && !CheckSlots(in, super) {
+			t.Fatalf("trial %d: feasibility not monotone (sub %v, super %v)", trial, sub, super)
+		}
+	}
+}
+
+// TestCheckNodeCountsMonotone: increasing any node count never breaks
+// feasibility.
+func TestCheckNodeCountsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	for trial := 0; trial < 120; trial++ {
+		in := randomLaminarInstance(rng)
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, tr.M())
+		for i := range counts {
+			if tr.Nodes[i].L > 0 {
+				counts[i] = rng.Int63n(tr.Nodes[i].L + 1)
+			}
+		}
+		if !CheckNodeCounts(tr, counts) {
+			continue
+		}
+		// Bump a random node with headroom.
+		var cand []int
+		for i := range counts {
+			if counts[i] < tr.Nodes[i].L {
+				cand = append(cand, i)
+			}
+		}
+		if len(cand) == 0 {
+			continue
+		}
+		counts[cand[rng.Intn(len(cand))]]++
+		if !CheckNodeCounts(tr, counts) {
+			t.Fatalf("trial %d: adding a slot broke feasibility", trial)
+		}
+	}
+}
+
+func TestScheduleOnSlotsEmptyInstance(t *testing.T) {
+	in, err := instance.New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ScheduleOnSlots(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 0 {
+		t.Fatal("empty instance should yield empty schedule")
+	}
+}
+
+func TestCheckNodeCountsPanicsOnBadInput(t *testing.T) {
+	in := mk(t, 1, instance.Job{Processing: 1, Release: 0, Deadline: 2})
+	tr := buildTree(t, in)
+
+	t.Run("wrong length", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		CheckNodeCounts(tr, []int64{1, 2, 3})
+	})
+	t.Run("count above L", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		CheckNodeCounts(tr, []int64{99})
+	})
+	t.Run("negative count", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		CheckNodeCounts(tr, []int64{-1})
+	})
+}
+
+// TestScheduleUsesExactlyRequestedCapacity: ScheduleOnNodeCounts never
+// assigns more jobs to a slot than g, and never uses slots outside the
+// requested exclusive regions.
+func TestScheduleWithinRequestedSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(709))
+	for trial := 0; trial < 80; trial++ {
+		in := randomLaminarInstance(rng)
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int64, tr.M())
+		allowed := map[int64]bool{}
+		for i := range counts {
+			if tr.Nodes[i].L > 0 {
+				counts[i] = rng.Int63n(tr.Nodes[i].L + 1)
+				for _, s := range tr.ExclusiveSlots(i, counts[i]) {
+					allowed[s] = true
+				}
+			}
+		}
+		if !CheckNodeCounts(tr, counts) {
+			continue
+		}
+		s, err := ScheduleOnNodeCounts(tr, counts)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for slot, js := range s.Slots {
+			if len(js) == 0 {
+				continue
+			}
+			if !allowed[slot] {
+				t.Fatalf("trial %d: schedule uses slot %d outside requested regions", trial, slot)
+			}
+		}
+	}
+}

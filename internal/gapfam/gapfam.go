@@ -1,0 +1,148 @@
+// Package gapfam constructs the integrality-gap instance families the
+// paper builds its case on:
+//
+//   - NaturalGap2: g+1 unit jobs sharing one 2-slot window. The
+//     natural time-indexed LP opens (g+1)/g fractional slots while any
+//     integral schedule needs 2, so the natural LP's gap tends to 2 as
+//     g grows — and this worst case is a *nested* instance (paper §1).
+//     The strengthened LP's ceiling constraint (7) forces value 2.
+//   - Nested32: the Lemma 5.1 instance — one long job of length g over
+//     [0, 2g) plus g groups of g unit jobs with windows [2i, 2i+2).
+//     Both the strengthened LP and the Călinescu–Wang LP admit a
+//     fractional solution of value g+2, while every integral solution
+//     opens at least 3g/2 slots, giving a 3/2 lower bound on both LPs'
+//     gaps for nested instances.
+//   - Staircase: a nested chain of doubling windows, each carrying a
+//     half-length job; a stress family for the algorithm comparisons.
+package gapfam
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/instance"
+)
+
+// NaturalGap2 returns the g+1-unit-jobs instance with window [0, 2).
+func NaturalGap2(g int64) *instance.Instance {
+	jobs := make([]instance.Job, g+1)
+	for i := range jobs {
+		jobs[i] = instance.Job{Processing: 1, Release: 0, Deadline: 2}
+	}
+	return instance.MustNew(g, jobs)
+}
+
+// NaturalGap2LPValue is the natural LP optimum on NaturalGap2(g):
+// every slot opened to (g+1)/2g, total (g+1)/g.
+func NaturalGap2LPValue(g int64) float64 { return float64(g+1) / float64(g) }
+
+// NaturalGap2Opt is the integral optimum on NaturalGap2(g).
+const NaturalGap2Opt = int64(2)
+
+// Nested32 returns the Lemma 5.1 instance for capacity g. Job 0 is the
+// long job; jobs 1.. are the g groups of g unit jobs.
+func Nested32(g int64) *instance.Instance {
+	jobs := []instance.Job{{Processing: g, Release: 0, Deadline: 2 * g}}
+	for i := int64(0); i < g; i++ {
+		for k := int64(0); k < g; k++ {
+			jobs = append(jobs, instance.Job{Processing: 1, Release: 2 * i, Deadline: 2*i + 2})
+		}
+	}
+	return instance.MustNew(g, jobs)
+}
+
+// Nested32Opt is the integral optimum of Nested32(g) for even g:
+// every group opens at least one slot, and at least g/2 groups open
+// both so the long job finds g units of residual capacity (Lemma 5.1).
+func Nested32Opt(g int64) (int64, error) {
+	if g%2 != 0 {
+		return 0, fmt.Errorf("gapfam: Nested32Opt requires even g, got %d", g)
+	}
+	return g + g/2, nil
+}
+
+// Nested32LPUpper is the value of the explicit fractional solution of
+// Lemma 5.1 (every slot open to (g+2)/2g): g+2.
+func Nested32LPUpper(g int64) float64 { return float64(g + 2) }
+
+// Nested32Witness returns the explicit fractional point of Lemma 5.1
+// for the Călinescu–Wang LP on Nested32(g): x indexed by slot offset,
+// y keyed by (slot offset, job ID). timelp.CheckFeasible certifies it.
+func Nested32Witness(g int64) (x []float64, y map[[2]int]float64) {
+	T := int(2 * g)
+	x = make([]float64, T)
+	frac := float64(g+2) / float64(2*g)
+	for t := range x {
+		x[t] = frac
+	}
+	y = make(map[[2]int]float64)
+	for i := int64(0); i < g; i++ {
+		// Half a unit of the long job in each of the group's slots.
+		y[[2]int{int(2 * i), 0}] = 0.5
+		y[[2]int{int(2*i + 1), 0}] = 0.5
+		// Each group job split across its two slots.
+		for k := int64(0); k < g; k++ {
+			jobID := int(1 + i*g + k)
+			y[[2]int{int(2 * i), jobID}] = 0.5
+			y[[2]int{int(2*i + 1), jobID}] = 0.5
+		}
+	}
+	return x, y
+}
+
+// Staircase returns a nested chain of levels windows [0, 2^k) for
+// k = 1..levels; window k carries one job of length 2^(k-1). A compact
+// family whose LP solutions are highly fractional, used to stress the
+// rounding and the greedy baselines.
+func Staircase(levels int, g int64) *instance.Instance {
+	if levels < 1 || levels > 20 {
+		panic(fmt.Sprintf("gapfam: staircase levels %d out of range", levels))
+	}
+	jobs := make([]instance.Job, levels)
+	for k := 1; k <= levels; k++ {
+		jobs[k-1] = instance.Job{
+			Processing: 1 << (k - 1),
+			Release:    0,
+			Deadline:   1 << k,
+		}
+	}
+	return instance.MustNew(g, jobs)
+}
+
+// RandomizedNested32 returns a randomized relative of the Lemma 5.1
+// family: nGroups two-slot group windows, each holding between 1 and g
+// unit jobs, plus a long job spanning everything whose length is a
+// random fraction of the horizon. Unlike uniform random laminar
+// instances, this family reliably produces fractional LP optima and so
+// stresses the rounding algorithm.
+func RandomizedNested32(rng *rand.Rand, g int64, nGroups int) *instance.Instance {
+	if nGroups < 1 {
+		panic("gapfam: nGroups must be positive")
+	}
+	horizon := int64(2 * nGroups)
+	longLen := 1 + rng.Int63n(horizon-1)
+	jobs := []instance.Job{{Processing: longLen, Release: 0, Deadline: horizon}}
+	for i := 0; i < nGroups; i++ {
+		cnt := 1 + rng.Int63n(g)
+		for k := int64(0); k < cnt; k++ {
+			jobs = append(jobs, instance.Job{
+				Processing: 1,
+				Release:    int64(2 * i),
+				Deadline:   int64(2*i + 2),
+			})
+		}
+	}
+	return instance.MustNew(g, jobs)
+}
+
+// PinnedComb returns an instance with one long job of length n over
+// [0, 2n) and a rigid unit job pinned at every even slot [2i, 2i+1).
+// Minimal feasible solutions differ in size depending on deactivation
+// order, making it a baseline-separation family.
+func PinnedComb(n int64, g int64) *instance.Instance {
+	jobs := []instance.Job{{Processing: n, Release: 0, Deadline: 2 * n}}
+	for i := int64(0); i < n; i++ {
+		jobs = append(jobs, instance.Job{Processing: 1, Release: 2 * i, Deadline: 2*i + 1})
+	}
+	return instance.MustNew(g, jobs)
+}

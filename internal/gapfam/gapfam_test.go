@@ -1,0 +1,206 @@
+package gapfam
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+	"repro/internal/timelp"
+)
+
+func TestNaturalGap2Family(t *testing.T) {
+	for _, g := range []int64{2, 3, 5, 8} {
+		in := NaturalGap2(g)
+		if !in.Nested() {
+			t.Fatalf("g=%d: gap family must be nested", g)
+		}
+		nat, err := timelp.Solve(in, timelp.Natural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nat.Objective-NaturalGap2LPValue(g)) > 1e-6 {
+			t.Fatalf("g=%d: natural LP %g want %g", g, nat.Objective, NaturalGap2LPValue(g))
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt != NaturalGap2Opt {
+			t.Fatalf("g=%d: OPT %d want %d", g, opt, NaturalGap2Opt)
+		}
+		// The strengthened LP value equals OPT on this family.
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := nestlp.NewModel(tr).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Objective-2) > 1e-6 {
+			t.Fatalf("g=%d: strengthened LP %g want 2", g, sol.Objective)
+		}
+	}
+}
+
+func TestNested32Family(t *testing.T) {
+	for _, g := range []int64{2, 4, 6} {
+		in := Nested32(g)
+		if !in.Nested() {
+			t.Fatalf("g=%d: must be nested", g)
+		}
+		wantOpt, err := Nested32Opt(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt != wantOpt {
+			t.Fatalf("g=%d: OPT %d want %d", g, opt, wantOpt)
+		}
+		// The explicit Lemma 5.1 witness certifies LP ≤ g+2 for the
+		// Călinescu–Wang LP.
+		x, y := Nested32Witness(g)
+		if err := timelp.CheckFeasible(in, timelp.CalinescuWang, x, y, 1e-9); err != nil {
+			t.Fatalf("g=%d: witness rejected: %v", g, err)
+		}
+		var total float64
+		for _, v := range x {
+			total += v
+		}
+		if math.Abs(total-Nested32LPUpper(g)) > 1e-9 {
+			t.Fatalf("g=%d: witness value %g want %g", g, total, Nested32LPUpper(g))
+		}
+	}
+}
+
+func TestNested32OptOddRejected(t *testing.T) {
+	if _, err := Nested32Opt(3); err == nil {
+		t.Fatal("odd g must be rejected")
+	}
+}
+
+// TestNested32StrengthenedLPGap measures the strengthened (tree) LP on
+// the Lemma 5.1 family: its value must also be ≤ g+2, certifying the
+// 3/2 gap lower bound applies to our LP too.
+func TestNested32StrengthenedLPGap(t *testing.T) {
+	for _, g := range []int64{2, 4} {
+		in := Nested32(g)
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		sol, err := nestlp.NewModel(tr).Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Objective > Nested32LPUpper(g)+1e-6 {
+			t.Fatalf("g=%d: strengthened LP %g > %g", g, sol.Objective, Nested32LPUpper(g))
+		}
+		wantOpt, _ := Nested32Opt(g)
+		gap := float64(wantOpt) / sol.Objective
+		if gap < 1.0 {
+			t.Fatalf("g=%d: gap %g below 1", g, gap)
+		}
+	}
+}
+
+// TestAlgorithmOnGapFamilies: the 9/5 algorithm must stay within its
+// guarantee on its own hardest families.
+func TestAlgorithmOnGapFamilies(t *testing.T) {
+	for _, g := range []int64{2, 4, 6} {
+		in := Nested32(g)
+		s, rep, err := core.Solve(in)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+		opt, _ := Nested32Opt(g)
+		if float64(s.NumActive()) > core.Ratio*float64(opt)+1e-9 {
+			t.Fatalf("g=%d: algorithm %d slots > 9/5 × OPT %d", g, s.NumActive(), opt)
+		}
+		if rep.Repairs != 0 {
+			t.Errorf("g=%d: repairs %d", g, rep.Repairs)
+		}
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	in := Staircase(4, 2)
+	if !in.Nested() {
+		t.Fatal("staircase must be nested")
+	}
+	if in.N() != 4 {
+		t.Fatalf("jobs %d", in.N())
+	}
+	s, _, err := core.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := exact.Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(s.NumActive()) > core.Ratio*float64(opt)+1e-9 {
+		t.Fatalf("staircase: %d > 9/5 × %d", s.NumActive(), opt)
+	}
+}
+
+func TestPinnedComb(t *testing.T) {
+	in := PinnedComb(4, 2)
+	if !in.Nested() {
+		t.Fatal("pinned comb must be nested")
+	}
+	opt, err := exact.Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// g=2: the n pinned slots also host the long job one unit each.
+	if opt != 4 {
+		t.Fatalf("OPT %d want 4", opt)
+	}
+}
+
+func TestRandomizedNested32(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		in := RandomizedNested32(rng, 4, 1+rng.Intn(5))
+		if !in.Nested() {
+			t.Fatalf("trial %d: not nested", trial)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		s, _, err := core.Solve(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if float64(s.NumActive()) > core.Ratio*float64(opt)+1e-9 {
+			t.Fatalf("trial %d: guarantee broken", trial)
+		}
+	}
+}

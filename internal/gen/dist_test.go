@@ -1,0 +1,23 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestJobCountDistribution is a diagnostic guard: the default laminar
+// generator should usually approach the requested job cap rather than
+// emitting trivial one-job instances.
+func TestJobCountDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, total := 0, 300
+	for i := 0; i < total; i++ {
+		in := RandomLaminar(rng, DefaultLaminar(10, 2))
+		if in.N() <= 2 {
+			small++
+		}
+	}
+	if small > total/4 {
+		t.Fatalf("generator too often trivial: %d/%d instances with <=2 jobs", small, total)
+	}
+}

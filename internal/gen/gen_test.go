@@ -1,0 +1,75 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/flowfeas"
+)
+
+func TestRandomLaminarProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		in := RandomLaminar(rng, DefaultLaminar(8, 2))
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !in.Nested() {
+			t.Fatalf("trial %d: not nested", trial)
+		}
+		if !flowfeas.CheckSlots(in, in.SortedSlots()) {
+			t.Fatalf("trial %d: infeasible", trial)
+		}
+		if in.N() < 1 || in.N() > 8 {
+			t.Fatalf("trial %d: %d jobs", trial, in.N())
+		}
+	}
+}
+
+func TestRandomLaminarDeterministic(t *testing.T) {
+	a := RandomLaminar(rand.New(rand.NewSource(5)), DefaultLaminar(6, 3))
+	b := RandomLaminar(rand.New(rand.NewSource(5)), DefaultLaminar(6, 3))
+	if a.N() != b.N() || a.G != b.G {
+		t.Fatal("same seed must reproduce the instance")
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+func TestRandomGeneral(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	crossing := 0
+	for trial := 0; trial < 60; trial++ {
+		in := RandomGeneral(rng, DefaultGeneral(6, 2))
+		if err := in.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !flowfeas.CheckSlots(in, in.SortedSlots()) {
+			t.Fatalf("trial %d: infeasible", trial)
+		}
+		if !in.Nested() {
+			crossing++
+		}
+	}
+	if crossing == 0 {
+		t.Fatal("general generator never produced crossing windows in 60 trials")
+	}
+}
+
+func TestRandomUnitLaminar(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		in := RandomUnitLaminar(rng, DefaultLaminar(6, 2))
+		for _, j := range in.Jobs {
+			if j.Processing != 1 {
+				t.Fatalf("trial %d: non-unit job %+v", trial, j)
+			}
+		}
+		if !in.Nested() {
+			t.Fatalf("trial %d: not nested", trial)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestLaminarParamsRespected: generated instances obey the parameter
+// contract (job cap, horizon bounds, processing cap, g).
+func TestLaminarParamsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	p := LaminarParams{
+		MaxJobs:       5,
+		Horizon:       9,
+		G:             3,
+		MaxDepth:      3,
+		SplitProb:     0.5,
+		JobsPerWindow: 2,
+		MaxProcessing: 2,
+	}
+	for trial := 0; trial < 60; trial++ {
+		in := RandomLaminar(rng, p)
+		if in.G != 3 {
+			t.Fatalf("g %d", in.G)
+		}
+		if in.N() != 5 {
+			t.Fatalf("jobs %d want exactly MaxJobs", in.N())
+		}
+		for _, j := range in.Jobs {
+			if j.Release < 0 || j.Deadline > 9 {
+				t.Fatalf("window outside horizon: %+v", j)
+			}
+			if j.Processing > 2 {
+				t.Fatalf("processing above cap: %+v", j)
+			}
+		}
+	}
+}
+
+func TestTinyHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	p := LaminarParams{MaxJobs: 2, Horizon: 1, G: 2, MaxDepth: 1, SplitProb: 0.9, JobsPerWindow: 1, MaxProcessing: 3}
+	in := RandomLaminar(rng, p)
+	for _, j := range in.Jobs {
+		if j.Processing != 1 || j.Release != 0 || j.Deadline != 1 {
+			t.Fatalf("1-slot horizon job wrong: %+v", j)
+		}
+	}
+}
+
+func TestGeneralParamsRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	p := GeneralParams{Jobs: 4, Horizon: 12, G: 2, MaxWindow: 3, MaxProcessing: 2}
+	for trial := 0; trial < 60; trial++ {
+		in := RandomGeneral(rng, p)
+		if in.N() != 4 {
+			t.Fatalf("jobs %d", in.N())
+		}
+		for _, j := range in.Jobs {
+			if j.Deadline-j.Release > 3 {
+				t.Fatalf("window too long: %+v", j)
+			}
+			if j.Release < 0 || j.Deadline > 12 {
+				t.Fatalf("outside horizon: %+v", j)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package greedy implements the combinatorial baselines the paper
+// compares against (§1, Problem History):
+//
+//   - MinimalFeasible: starting from all slots open, repeatedly
+//     deactivate any slot whose removal keeps the instance feasible.
+//     Any minimal feasible solution is a 3-approximation
+//     (Chang–Khuller–Mukherjee).
+//   - LazyRightToLeft: the same deactivation framework but scanning
+//     slots from the latest to the earliest, re-attempting earlier
+//     slots after later ones close. This mirrors the "choose slots
+//     more carefully" strategy of Kumar–Khuller's greedy
+//     2-approximation; like theirs, it always outputs a minimal
+//     feasible solution.
+//   - AllOpen: the trivial baseline that activates every candidate
+//     slot.
+//
+// All baselines work on arbitrary (not necessarily nested) instances
+// and return a concrete validated schedule.
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/sched"
+)
+
+// Order selects the slot scan order for deactivation.
+type Order int
+
+// Deactivation orders.
+const (
+	// LeftToRight scans earliest slot first.
+	LeftToRight Order = iota
+	// RightToLeft scans latest slot first (Kumar–Khuller style).
+	RightToLeft
+)
+
+// Result bundles a baseline schedule with its open-slot set.
+type Result struct {
+	Schedule *sched.Schedule
+	Open     []int64
+}
+
+// AllOpen schedules the instance on every candidate slot.
+func AllOpen(in *instance.Instance) (Result, error) {
+	slots := in.SortedSlots()
+	s, err := flowfeas.ScheduleOnSlots(in, slots)
+	if err != nil {
+		return Result{}, fmt.Errorf("greedy: instance infeasible: %w", err)
+	}
+	return Result{Schedule: s, Open: slots}, nil
+}
+
+// MinimalFeasible computes a minimal feasible slot set by scanning in
+// the given order once and deactivating every slot whose removal
+// preserves feasibility. A single pass suffices for minimality:
+// feasibility is monotone in the slot set, so a slot that cannot be
+// removed now can never be removed after further deactivations.
+func MinimalFeasible(in *instance.Instance, order Order) (Result, error) {
+	slots := in.SortedSlots()
+	if !flowfeas.CheckSlots(in, slots) {
+		return Result{}, fmt.Errorf("greedy: instance infeasible")
+	}
+	open := make([]bool, len(slots))
+	for i := range open {
+		open[i] = true
+	}
+	idx := make([]int, len(slots))
+	for i := range idx {
+		idx[i] = i
+	}
+	if order == RightToLeft {
+		sort.Sort(sort.Reverse(sort.IntSlice(idx)))
+	}
+	for _, k := range idx {
+		open[k] = false
+		if !flowfeas.CheckSlots(in, collect(slots, open)) {
+			open[k] = true
+		}
+	}
+	final := collect(slots, open)
+	s, err := flowfeas.ScheduleOnSlots(in, final)
+	if err != nil {
+		return Result{}, fmt.Errorf("greedy: internal: %w", err)
+	}
+	return Result{Schedule: s, Open: final}, nil
+}
+
+// LazyRightToLeft is the Kumar–Khuller-flavoured baseline: minimal
+// feasible deactivation scanning from the latest slot to the earliest.
+// Deactivating late slots first pushes work leftward into already-paid
+// slots, which is the behaviour their analysis exploits.
+func LazyRightToLeft(in *instance.Instance) (Result, error) {
+	return MinimalFeasible(in, RightToLeft)
+}
+
+// IsMinimal reports whether the open slot set is feasible and minimal:
+// removing any single slot breaks feasibility.
+func IsMinimal(in *instance.Instance, open []int64) bool {
+	if !flowfeas.CheckSlots(in, open) {
+		return false
+	}
+	for k := range open {
+		reduced := make([]int64, 0, len(open)-1)
+		reduced = append(reduced, open[:k]...)
+		reduced = append(reduced, open[k+1:]...)
+		if flowfeas.CheckSlots(in, reduced) {
+			return false
+		}
+	}
+	return true
+}
+
+func collect(slots []int64, open []bool) []int64 {
+	out := make([]int64, 0, len(slots))
+	for i, b := range open {
+		if b {
+			out = append(out, slots[i])
+		}
+	}
+	return out
+}

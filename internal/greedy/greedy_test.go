@@ -1,0 +1,148 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestAllOpen(t *testing.T) {
+	in := mk(t, 1, instance.Job{Processing: 2, Release: 0, Deadline: 5})
+	res, err := AllOpen(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Open) != 5 {
+		t.Fatalf("open = %v", res.Open)
+	}
+	if err := res.Schedule.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalFeasibleIsMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 80; trial++ {
+		in := randomInstance(rng)
+		for _, order := range []Order{LeftToRight, RightToLeft} {
+			res, err := MinimalFeasible(in, order)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !IsMinimal(in, res.Open) {
+				t.Fatalf("trial %d order %v: result not minimal: %v", trial, order, res.Open)
+			}
+		}
+	}
+}
+
+// TestThreeApproximation: any minimal feasible solution is a
+// 3-approximation (CKM); verify against exact OPT.
+func TestThreeApproximation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng)
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, order := range []Order{LeftToRight, RightToLeft} {
+			res, err := MinimalFeasible(in, order)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			got := int64(len(res.Open))
+			if got > 3*opt {
+				t.Fatalf("trial %d order %v: %d slots > 3×OPT=%d", trial, order, got, 3*opt)
+			}
+			if got < opt {
+				t.Fatalf("trial %d: %d slots below OPT %d — impossible", trial, got, opt)
+			}
+		}
+	}
+}
+
+func TestLazyRightToLeft(t *testing.T) {
+	// A long job plus pinned unit jobs: right-to-left keeps early
+	// (already forced) slots and drops late ones.
+	in := mk(t, 2,
+		instance.Job{Processing: 1, Release: 0, Deadline: 1}, // pins slot 0
+		instance.Job{Processing: 2, Release: 0, Deadline: 6},
+	)
+	res, err := LazyRightToLeft(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Open) != 2 {
+		t.Fatalf("open = %v want 2 slots", res.Open)
+	}
+	if res.Open[0] != 0 || res.Open[1] != 1 {
+		t.Fatalf("right-to-left should keep the earliest slots: %v", res.Open)
+	}
+}
+
+func TestInfeasibleRejected(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+	)
+	if _, err := AllOpen(in); err == nil {
+		t.Fatal("AllOpen should reject infeasible instance")
+	}
+	if _, err := MinimalFeasible(in, LeftToRight); err == nil {
+		t.Fatal("MinimalFeasible should reject infeasible instance")
+	}
+}
+
+func TestIsMinimal(t *testing.T) {
+	in := mk(t, 1, instance.Job{Processing: 2, Release: 0, Deadline: 4})
+	if !IsMinimal(in, []int64{0, 1}) {
+		t.Fatal("{0,1} is minimal for a p=2 job")
+	}
+	if IsMinimal(in, []int64{0, 1, 2}) {
+		t.Fatal("{0,1,2} is not minimal")
+	}
+	if IsMinimal(in, []int64{0}) {
+		t.Fatal("infeasible sets are not minimal feasible")
+	}
+}
+
+// randomInstance may produce non-nested instances: the baselines must
+// handle the general problem.
+func randomInstance(rng *rand.Rand) *instance.Instance {
+	for {
+		n := 1 + rng.Intn(6)
+		jobs := make([]instance.Job, n)
+		for i := range jobs {
+			r := int64(rng.Intn(8))
+			length := 1 + int64(rng.Intn(5))
+			jobs[i] = instance.Job{
+				Processing: 1 + rng.Int63n(length),
+				Release:    r,
+				Deadline:   r + length,
+			}
+		}
+		in, err := instance.New(int64(1+rng.Intn(3)), jobs)
+		if err != nil {
+			continue
+		}
+		if flowfeas.CheckSlots(in, in.SortedSlots()) {
+			return in
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package greedy
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+// TestOrdersCanDiffer documents that the two deactivation orders are
+// genuinely different algorithms: on some instance their open-slot
+// SETS differ (sizes may still agree).
+func TestOrdersCanDiffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	differed := false
+	for trial := 0; trial < 200 && !differed; trial++ {
+		in := gen.RandomGeneral(rng, gen.DefaultGeneral(6, 2))
+		a, err := MinimalFeasible(in, LeftToRight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := MinimalFeasible(in, RightToLeft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Open) != len(b.Open) {
+			differed = true
+			break
+		}
+		for i := range a.Open {
+			if a.Open[i] != b.Open[i] {
+				differed = true
+				break
+			}
+		}
+	}
+	if !differed {
+		t.Fatal("orders never differed across 200 instances — suspicious")
+	}
+}
+
+// TestGreedyOnGapFamilies: both orders stay within the 3-approx bound
+// on the constructed families.
+func TestGreedyOnGapFamilies(t *testing.T) {
+	for name, in := range map[string]*instance.Instance{
+		"NaturalGap2(6)":  gapfam.NaturalGap2(6),
+		"Nested32(4)":     gapfam.Nested32(4),
+		"Staircase(5,2)":  gapfam.Staircase(5, 2),
+		"PinnedComb(6,3)": gapfam.PinnedComb(6, 3),
+	} {
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, order := range []Order{LeftToRight, RightToLeft} {
+			res, err := MinimalFeasible(in, order)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if int64(len(res.Open)) > 3*opt {
+				t.Fatalf("%s order %v: %d > 3×OPT %d", name, order, len(res.Open), opt)
+			}
+			if err := res.Schedule.Validate(in); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		}
+	}
+}
+
+// TestGreedyStaircaseLtRSuboptimal pins the E5 observation: on the
+// staircase family, left-to-right deactivation commits to early slots
+// and ends up strictly worse than optimal.
+func TestGreedyStaircaseLtRSuboptimal(t *testing.T) {
+	in := gapfam.Staircase(4, 2)
+	opt, err := exact.Opt(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MinimalFeasible(in, LeftToRight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(res.Open)) <= opt {
+		t.Skipf("LtR matched OPT here (%d); family behaviour changed", opt)
+	}
+	rtl, err := LazyRightToLeft(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(rtl.Open)) != opt {
+		t.Fatalf("RtL should be optimal on staircase: %d vs %d", len(rtl.Open), opt)
+	}
+}
+
+func TestResultSchedulesUseOnlyOpenSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(607))
+	for trial := 0; trial < 40; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, 2))
+		res, err := LazyRightToLeft(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		openSet := map[int64]bool{}
+		for _, s := range res.Open {
+			openSet[s] = true
+		}
+		for slot := range res.Schedule.Slots {
+			if len(res.Schedule.Slots[slot]) > 0 && !openSet[slot] {
+				t.Fatalf("trial %d: schedule uses closed slot %d", trial, slot)
+			}
+		}
+	}
+}

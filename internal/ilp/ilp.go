@@ -1,0 +1,119 @@
+// Package ilp is a small branch-and-bound integer programming solver
+// layered on the dense simplex: given an LP and a set of variables
+// required to be integral, it branches on fractional values with
+// floor/ceiling bound rows and prunes by the LP relaxation bound.
+//
+// In this library it provides a third, independent route to exact
+// active-time optima (after the per-node-count search and the
+// slot-subset search): the strengthened LP of Figure 1a with integral
+// x(i) is exactly the nested active-time problem, because integral
+// per-node counts admit a fractional y if and only if they admit an
+// integral one (flow integrality).
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/simplex"
+)
+
+// Errors returned by Solve.
+var (
+	// ErrInfeasible means no integral solution exists.
+	ErrInfeasible = errors.New("ilp: infeasible")
+	// ErrNodeLimit means the search exceeded maxNodes.
+	ErrNodeLimit = errors.New("ilp: node limit exceeded")
+)
+
+// Result is an optimal integral solution.
+type Result struct {
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+const intTol = 1e-6
+
+// Solve minimizes the problem with the listed variables integral.
+// maxNodes bounds the search (0 means a generous default).
+func Solve(p *simplex.Problem, intVars []int, maxNodes int) (*Result, error) {
+	if maxNodes <= 0 {
+		maxNodes = 100000
+	}
+	s := &solver{intVars: intVars, maxNodes: maxNodes, bestObj: math.Inf(1)}
+	if err := s.branch(p, 0); err != nil {
+		return nil, err
+	}
+	if s.bestX == nil {
+		return nil, ErrInfeasible
+	}
+	return &Result{X: s.bestX, Objective: s.bestObj, Nodes: s.nodes}, nil
+}
+
+type solver struct {
+	intVars  []int
+	maxNodes int
+	nodes    int
+	bestX    []float64
+	bestObj  float64
+}
+
+// branch solves the relaxation of p and recurses on a fractional
+// integral variable.
+func (s *solver) branch(p *simplex.Problem, depth int) error {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		return ErrNodeLimit
+	}
+	if depth > 10*len(s.intVars)+100 {
+		return fmt.Errorf("ilp: branching depth runaway (LP numerics?)")
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		if errors.Is(err, simplex.ErrInfeasible) {
+			return nil // prune
+		}
+		return err
+	}
+	// Bound: integral objectives let us prune at bestObj - 1 + tol,
+	// but objectives need not be integral in general, so use the
+	// plain bound.
+	if sol.Objective >= s.bestObj-1e-9 {
+		return nil
+	}
+	// Most-fractional branching.
+	frac := -1
+	fracDist := intTol
+	for _, v := range s.intVars {
+		f := math.Abs(sol.X[v] - math.Round(sol.X[v]))
+		if f > fracDist {
+			fracDist = f
+			frac = v
+		}
+	}
+	if frac < 0 {
+		// Integral solution.
+		x := make([]float64, len(sol.X))
+		copy(x, sol.X)
+		for _, v := range s.intVars {
+			x[v] = math.Round(x[v])
+		}
+		s.bestX = x
+		s.bestObj = sol.Objective
+		return nil
+	}
+	val := sol.X[frac]
+	// Down branch: x ≤ floor(val).
+	down := p.Clone()
+	down.Add([]simplex.Term{{Var: frac, Coef: 1}}, simplex.LE, math.Floor(val))
+	if err := s.branch(down, depth+1); err != nil {
+		return err
+	}
+	// Up branch: x ≥ ceil(val).
+	up := p.Clone()
+	up.Add([]simplex.Term{{Var: frac, Coef: 1}}, simplex.GE, math.Ceil(val))
+	return s.branch(up, depth+1)
+}

@@ -1,0 +1,118 @@
+package instance
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadJSON hardens the instance parser: arbitrary bytes must never
+// panic, and every accepted instance must be valid and round-trip
+// through WriteJSON.
+func FuzzReadJSON(f *testing.F) {
+	f.Add([]byte(`{"g":2,"jobs":[{"p":1,"r":0,"d":2}]}`))
+	f.Add([]byte(`{"g":1,"jobs":[]}`))
+	f.Add([]byte(`{"g":0}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"g":3,"jobs":[{"p":-1,"r":5,"d":2}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := in.Validate(); vErr != nil {
+			t.Fatalf("accepted instance fails Validate: %v", vErr)
+		}
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		again, err := ReadJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if again.G != in.G || again.N() != in.N() {
+			t.Fatal("round trip changed the instance")
+		}
+	})
+}
+
+// FuzzNestedConsistency: Nested() must agree with a quadratic
+// pairwise check on arbitrary job lists.
+func FuzzNestedConsistency(f *testing.F) {
+	f.Add(int64(2), "1,0,2;1,0,2")
+	f.Add(int64(1), "1,0,5;2,1,4;1,6,9")
+	f.Fuzz(func(t *testing.T, g int64, spec string) {
+		if g < 1 || g > 10 {
+			return
+		}
+		var jobs []Job
+		for _, part := range strings.Split(spec, ";") {
+			var p, r, d int64
+			n, err := fmtSscan(part, &p, &r, &d)
+			if err != nil || n != 3 {
+				return
+			}
+			if p < 1 || p > 20 || r < -50 || r > 50 || d < r+p || d > 100 {
+				return
+			}
+			jobs = append(jobs, Job{Processing: p, Release: r, Deadline: d})
+		}
+		if len(jobs) == 0 || len(jobs) > 12 {
+			return
+		}
+		in, err := New(g, jobs)
+		if err != nil {
+			return
+		}
+		fast := in.Nested()
+		slow := true
+		ws := in.Windows()
+		for i := 0; i < len(ws) && slow; i++ {
+			for j := i + 1; j < len(ws); j++ {
+				if !ws[i].Nested(ws[j]) {
+					slow = false
+					break
+				}
+			}
+		}
+		if fast != slow {
+			t.Fatalf("Nested()=%v but pairwise=%v for %v", fast, slow, ws)
+		}
+	})
+}
+
+// fmtSscan parses "p,r,d".
+func fmtSscan(s string, p, r, d *int64) (int, error) {
+	parts := strings.Split(strings.TrimSpace(s), ",")
+	if len(parts) != 3 {
+		return 0, nil
+	}
+	vals := []*int64{p, r, d}
+	for i, ps := range parts {
+		var v int64
+		var neg bool
+		ps = strings.TrimSpace(ps)
+		if ps == "" {
+			return i, nil
+		}
+		if ps[0] == '-' {
+			neg = true
+			ps = ps[1:]
+		}
+		for _, c := range ps {
+			if c < '0' || c > '9' {
+				return i, nil
+			}
+			v = v*10 + int64(c-'0')
+			if v > 1000 {
+				return i, nil
+			}
+		}
+		if neg {
+			v = -v
+		}
+		*vals[i] = v
+	}
+	return 3, nil
+}

@@ -1,0 +1,65 @@
+package instance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fileFormat is the on-disk JSON shape for an instance.
+type fileFormat struct {
+	G    int64     `json:"g"`
+	Jobs []fileJob `json:"jobs"`
+}
+
+type fileJob struct {
+	Processing int64 `json:"p"`
+	Release    int64 `json:"r"`
+	Deadline   int64 `json:"d"`
+}
+
+// WriteJSON serializes the instance to w as indented JSON.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	ff := fileFormat{G: in.G, Jobs: make([]fileJob, len(in.Jobs))}
+	for i, j := range in.Jobs {
+		ff.Jobs[i] = fileJob{Processing: j.Processing, Release: j.Release, Deadline: j.Deadline}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses an instance from r and validates it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var ff fileFormat
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&ff); err != nil {
+		return nil, fmt.Errorf("instance: decode: %w", err)
+	}
+	jobs := make([]Job, len(ff.Jobs))
+	for i, fj := range ff.Jobs {
+		jobs[i] = Job{ID: i, Processing: fj.Processing, Release: fj.Release, Deadline: fj.Deadline}
+	}
+	return New(ff.G, jobs)
+}
+
+// SaveFile writes the instance to path as JSON.
+func (in *Instance) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return in.WriteJSON(f)
+}
+
+// LoadFile reads and validates an instance from a JSON file.
+func LoadFile(path string) (*Instance, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

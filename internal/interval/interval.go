@@ -1,0 +1,215 @@
+// Package interval provides half-open integer time intervals and
+// operations on families of intervals, in particular laminar
+// (nested) family checks used by the nested active-time problem.
+package interval
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is the half-open integer interval [Start, End).
+type Interval struct {
+	Start int64
+	End   int64
+}
+
+// New returns the interval [start, end). It panics if end < start;
+// empty intervals (end == start) are permitted for internal use but
+// never appear as job windows.
+func New(start, end int64) Interval {
+	if end < start {
+		panic(fmt.Sprintf("interval: end %d < start %d", end, start))
+	}
+	return Interval{Start: start, End: end}
+}
+
+// Len returns the number of integer slots in the interval.
+func (iv Interval) Len() int64 { return iv.End - iv.Start }
+
+// Empty reports whether the interval contains no slots.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether slot t lies in [Start, End).
+func (iv Interval) Contains(t int64) bool { return iv.Start <= t && t < iv.End }
+
+// ContainsInterval reports whether other ⊆ iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	return iv.Start <= other.Start && other.End <= iv.End
+}
+
+// StrictlyContains reports whether other ⊊ iv.
+func (iv Interval) StrictlyContains(other Interval) bool {
+	return iv.ContainsInterval(other) && iv != other
+}
+
+// Disjoint reports whether the two intervals share no slot.
+func (iv Interval) Disjoint(other Interval) bool {
+	return iv.End <= other.Start || other.End <= iv.Start
+}
+
+// Intersect returns the common part of the two intervals; the second
+// result is false when they are disjoint.
+func (iv Interval) Intersect(other Interval) (Interval, bool) {
+	s := max64(iv.Start, other.Start)
+	e := min64(iv.End, other.End)
+	if e <= s {
+		return Interval{}, false
+	}
+	return Interval{Start: s, End: e}, true
+}
+
+// OverlapLen returns the number of slots shared by the two intervals.
+func (iv Interval) OverlapLen(other Interval) int64 {
+	s := max64(iv.Start, other.Start)
+	e := min64(iv.End, other.End)
+	if e <= s {
+		return 0
+	}
+	return e - s
+}
+
+// Union returns the smallest interval containing both inputs. It is
+// only meaningful when the inputs touch or overlap, but is defined for
+// all inputs (it spans any gap between them).
+func (iv Interval) Union(other Interval) Interval {
+	return Interval{Start: min64(iv.Start, other.Start), End: max64(iv.End, other.End)}
+}
+
+// Nested reports whether the two intervals are laminar-compatible:
+// disjoint, or one contains the other.
+func (iv Interval) Nested(other Interval) bool {
+	return iv.Disjoint(other) || iv.ContainsInterval(other) || other.ContainsInterval(iv)
+}
+
+// String renders the interval as "[s,e)".
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// Compare orders intervals by start, then by decreasing end, so that a
+// containing interval sorts before its contents. It returns -1, 0, +1.
+func Compare(a, b Interval) int {
+	switch {
+	case a.Start < b.Start:
+		return -1
+	case a.Start > b.Start:
+		return 1
+	case a.End > b.End:
+		return -1
+	case a.End < b.End:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Sort sorts intervals by Compare order (containers before contents).
+func Sort(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool { return Compare(ivs[i], ivs[j]) < 0 })
+}
+
+// Dedup returns ivs sorted with exact duplicates removed. The input
+// slice is not modified.
+func Dedup(ivs []Interval) []Interval {
+	out := make([]Interval, len(ivs))
+	copy(out, ivs)
+	Sort(out)
+	w := 0
+	for i, iv := range out {
+		if i == 0 || iv != out[i-1] {
+			out[w] = iv
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// IsLaminar reports whether every pair of intervals in the family is
+// nested (disjoint or contained). Runs in O(k log k) after sorting.
+func IsLaminar(ivs []Interval) bool {
+	if len(ivs) <= 1 {
+		return true
+	}
+	sorted := Dedup(ivs)
+	// A sorted laminar family can be validated with a stack of open
+	// containers: each new interval must fit inside the innermost open
+	// container or start after it ends.
+	var stack []Interval
+	for _, iv := range sorted {
+		for len(stack) > 0 && stack[len(stack)-1].End <= iv.Start {
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if !top.ContainsInterval(iv) {
+				return false
+			}
+		}
+		stack = append(stack, iv)
+	}
+	return true
+}
+
+// FirstViolation returns a pair of indices (into the original slice)
+// whose intervals cross (overlap without containment), or (-1, -1)
+// when the family is laminar. Quadratic; intended for error messages.
+func FirstViolation(ivs []Interval) (int, int) {
+	for i := 0; i < len(ivs); i++ {
+		for j := i + 1; j < len(ivs); j++ {
+			if !ivs[i].Nested(ivs[j]) {
+				return i, j
+			}
+		}
+	}
+	return -1, -1
+}
+
+// UnionLen returns the total number of slots covered by the union of
+// the intervals.
+func UnionLen(ivs []Interval) int64 {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sorted := make([]Interval, len(ivs))
+	copy(sorted, ivs)
+	Sort(sorted)
+	var total int64
+	cur := sorted[0]
+	for _, iv := range sorted[1:] {
+		if iv.Start > cur.End {
+			total += cur.Len()
+			cur = iv
+			continue
+		}
+		if iv.End > cur.End {
+			cur.End = iv.End
+		}
+	}
+	return total + cur.Len()
+}
+
+// Span returns the smallest interval covering all inputs; ok is false
+// for an empty family.
+func Span(ivs []Interval) (Interval, bool) {
+	if len(ivs) == 0 {
+		return Interval{}, false
+	}
+	sp := ivs[0]
+	for _, iv := range ivs[1:] {
+		sp = sp.Union(iv)
+	}
+	return sp, true
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,217 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	a := New(0, 4)
+	b := New(1, 3)
+	c := New(4, 6)
+
+	if a.Len() != 4 || b.Len() != 2 {
+		t.Fatalf("Len: got %d, %d", a.Len(), b.Len())
+	}
+	if !a.Contains(0) || !a.Contains(3) || a.Contains(4) {
+		t.Fatal("Contains boundary behavior wrong")
+	}
+	if !a.ContainsInterval(b) || b.ContainsInterval(a) {
+		t.Fatal("ContainsInterval wrong")
+	}
+	if !a.StrictlyContains(b) || a.StrictlyContains(a) {
+		t.Fatal("StrictlyContains wrong")
+	}
+	if !a.Disjoint(c) || a.Disjoint(b) {
+		t.Fatal("Disjoint wrong")
+	}
+	if a.Union(c) != New(0, 6) {
+		t.Fatalf("Union: got %v", a.Union(c))
+	}
+	if got := a.String(); got != "[0,4)" {
+		t.Fatalf("String: got %q", got)
+	}
+}
+
+func TestNewPanicsOnInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for end < start")
+		}
+	}()
+	New(3, 2)
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b Interval
+		want Interval
+		ok   bool
+	}{
+		{New(0, 4), New(2, 6), New(2, 4), true},
+		{New(0, 4), New(4, 6), Interval{}, false},
+		{New(0, 10), New(3, 5), New(3, 5), true},
+		{New(5, 6), New(5, 6), New(5, 6), true},
+	}
+	for _, c := range cases {
+		got, ok := c.a.Intersect(c.b)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("Intersect(%v,%v) = %v,%v want %v,%v", c.a, c.b, got, ok, c.want, c.ok)
+		}
+		if c.a.OverlapLen(c.b) != got.Len() && c.ok {
+			t.Errorf("OverlapLen mismatch for %v,%v", c.a, c.b)
+		}
+	}
+}
+
+func TestNested(t *testing.T) {
+	if !New(0, 2).Nested(New(2, 4)) {
+		t.Fatal("disjoint intervals should be nested-compatible")
+	}
+	if !New(0, 4).Nested(New(1, 2)) {
+		t.Fatal("contained intervals should be nested-compatible")
+	}
+	if New(0, 3).Nested(New(2, 5)) {
+		t.Fatal("crossing intervals must not be nested-compatible")
+	}
+}
+
+func TestCompareOrdersContainersFirst(t *testing.T) {
+	ivs := []Interval{New(2, 3), New(0, 8), New(0, 4), New(5, 6)}
+	Sort(ivs)
+	want := []Interval{New(0, 8), New(0, 4), New(2, 3), New(5, 6)}
+	for i := range want {
+		if ivs[i] != want[i] {
+			t.Fatalf("Sort: got %v want %v", ivs, want)
+		}
+	}
+}
+
+func TestDedup(t *testing.T) {
+	ivs := []Interval{New(0, 2), New(0, 2), New(1, 2), New(0, 2)}
+	got := Dedup(ivs)
+	if len(got) != 2 || got[0] != New(0, 2) || got[1] != New(1, 2) {
+		t.Fatalf("Dedup: got %v", got)
+	}
+	if len(ivs) != 4 {
+		t.Fatal("Dedup must not modify its input")
+	}
+}
+
+func TestIsLaminar(t *testing.T) {
+	cases := []struct {
+		name string
+		ivs  []Interval
+		want bool
+	}{
+		{"empty", nil, true},
+		{"single", []Interval{New(0, 5)}, true},
+		{"chain", []Interval{New(0, 10), New(2, 8), New(3, 5)}, true},
+		{"siblings", []Interval{New(0, 10), New(0, 3), New(3, 6), New(7, 10)}, true},
+		{"crossing", []Interval{New(0, 5), New(3, 8)}, false},
+		{"deep crossing", []Interval{New(0, 20), New(0, 10), New(5, 12)}, false},
+		{"duplicates", []Interval{New(1, 4), New(1, 4)}, true},
+		{"touching", []Interval{New(0, 3), New(3, 6)}, true},
+	}
+	for _, c := range cases {
+		if got := IsLaminar(c.ivs); got != c.want {
+			t.Errorf("%s: IsLaminar = %v want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestIsLaminarMatchesBruteForce cross-checks the stack-based laminar
+// test against the quadratic pairwise definition on random families.
+func TestIsLaminarMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		k := 1 + rng.Intn(8)
+		ivs := make([]Interval, k)
+		for i := range ivs {
+			s := int64(rng.Intn(12))
+			e := s + 1 + int64(rng.Intn(6))
+			ivs[i] = New(s, e)
+		}
+		fast := IsLaminar(ivs)
+		a, b := FirstViolation(ivs)
+		slow := a < 0
+		if fast != slow {
+			t.Fatalf("trial %d: fast=%v slow=%v (violation %d,%d) family=%v",
+				trial, fast, slow, a, b, ivs)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	if _, ok := Span(nil); ok {
+		t.Fatal("Span of empty family should report !ok")
+	}
+	sp, ok := Span([]Interval{New(3, 5), New(0, 2), New(4, 9)})
+	if !ok || sp != New(0, 9) {
+		t.Fatalf("Span: got %v,%v", sp, ok)
+	}
+}
+
+// Property: laminarity is invariant under permutation of the family.
+func TestIsLaminarPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		ivs := make([]Interval, k)
+		for i := range ivs {
+			s := int64(rng.Intn(10))
+			ivs[i] = New(s, s+1+int64(rng.Intn(5)))
+		}
+		want := IsLaminar(ivs)
+		perm := rng.Perm(k)
+		shuffled := make([]Interval, k)
+		for i, p := range perm {
+			shuffled[i] = ivs[p]
+		}
+		return IsLaminar(shuffled) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionLen(t *testing.T) {
+	cases := []struct {
+		ivs  []Interval
+		want int64
+	}{
+		{nil, 0},
+		{[]Interval{New(0, 4)}, 4},
+		{[]Interval{New(0, 4), New(2, 6)}, 6},
+		{[]Interval{New(0, 2), New(4, 6)}, 4},
+		{[]Interval{New(0, 2), New(2, 4)}, 4},
+		{[]Interval{New(0, 10), New(2, 3), New(5, 7)}, 10},
+	}
+	for _, c := range cases {
+		if got := UnionLen(c.ivs); got != c.want {
+			t.Errorf("UnionLen(%v) = %d want %d", c.ivs, got, c.want)
+		}
+	}
+}
+
+// TestUnionLenAgainstBruteForce marks covered slots explicitly.
+func TestUnionLenAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		k := 1 + rng.Intn(6)
+		ivs := make([]Interval, k)
+		covered := map[int64]bool{}
+		for i := range ivs {
+			s := int64(rng.Intn(15))
+			e := s + 1 + int64(rng.Intn(6))
+			ivs[i] = New(s, e)
+			for x := s; x < e; x++ {
+				covered[x] = true
+			}
+		}
+		if got := UnionLen(ivs); got != int64(len(covered)) {
+			t.Fatalf("trial %d: UnionLen %d want %d (%v)", trial, got, len(covered), ivs)
+		}
+	}
+}

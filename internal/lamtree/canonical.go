@@ -1,0 +1,150 @@
+package lamtree
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+)
+
+// Canonicalize transforms the tree into the canonical form of paper
+// §2: every node has at most two children (introducing virtual nodes),
+// and every leaf is rigid — it holds a job whose processing time
+// equals the leaf's length. The rigid-leaf step may shrink the window
+// of one job per leaf (always to a sub-interval of its original
+// window), which does not change the optimal objective value.
+func (t *Tree) Canonicalize() error {
+	t.SortChildren()
+	t.binarize()
+	if err := t.rigidifyLeaves(); err != nil {
+		return err
+	}
+	t.SortChildren()
+	t.recompute()
+	return t.Validate()
+}
+
+// binarize replaces every node with more than two children by a chain
+// of virtual nodes so that each node keeps at most two children. The
+// left child stays attached; the rest hang off a new virtual node.
+func (t *Tree) binarize() {
+	// Iterate over a snapshot of IDs; new virtual nodes are appended
+	// and are created with at most two children, so they never need
+	// further splitting.
+	for id := 0; id < len(t.Nodes); id++ {
+		for len(t.Nodes[id].Children) > 2 {
+			ch := t.Nodes[id].Children
+			// Group all children but the first under a virtual node.
+			rest := append([]int(nil), ch[1:]...)
+			span := t.Nodes[rest[0]].K
+			for _, c := range rest[1:] {
+				span = span.Union(t.Nodes[c].K)
+			}
+			vid := len(t.Nodes)
+			t.Nodes = append(t.Nodes, Node{
+				ID:      vid,
+				K:       span,
+				Parent:  id,
+				Virtual: true,
+			})
+			// Re-read ch: the append above may have moved t.Nodes.
+			t.Nodes[id].Children = []int{t.Nodes[id].Children[0], vid}
+			t.Nodes[vid].Children = rest
+			for _, c := range rest {
+				t.Nodes[c].Parent = vid
+			}
+			// The virtual node has len(rest) >= 2 children; loop again
+			// on it via the outer scan (vid > id, so it is visited).
+		}
+	}
+}
+
+// rigidifyLeaves ensures every leaf holds a job spanning its full
+// length. For a non-rigid leaf, the longest job j in the leaf is
+// assigned a new child node covering the first p_j slots of the leaf,
+// and j's window is shrunk to match (paper §2: w.l.o.g. j occupies the
+// leftmost open slots of the leaf).
+func (t *Tree) rigidifyLeaves() error {
+	for id := 0; id < len(t.Nodes); id++ {
+		if len(t.Nodes[id].Children) != 0 || t.Nodes[id].Virtual {
+			continue
+		}
+		n := &t.Nodes[id]
+		if len(n.Jobs) == 0 {
+			return fmt.Errorf("lamtree: leaf %d has no jobs", id)
+		}
+		best := n.Jobs[0]
+		for _, j := range n.Jobs[1:] {
+			if t.Jobs[j].Processing > t.Jobs[best].Processing {
+				best = j
+			}
+		}
+		p := t.Jobs[best].Processing
+		if p == n.K.Len() {
+			continue // already rigid
+		}
+		// New real child holding job best over the first p slots.
+		childK := interval.Interval{Start: n.K.Start, End: n.K.Start + p}
+		cid := len(t.Nodes)
+		t.Nodes = append(t.Nodes, Node{
+			ID:     cid,
+			K:      childK,
+			Parent: id,
+			Jobs:   []int{best},
+		})
+		n = &t.Nodes[id] // re-read after append
+		n.Children = append(n.Children, cid)
+		// Detach best from the old leaf and shrink its window.
+		kept := n.Jobs[:0]
+		for _, j := range n.Jobs {
+			if j != best {
+				kept = append(kept, j)
+			}
+		}
+		n.Jobs = kept
+		t.Jobs[best].Release = childK.Start
+		t.Jobs[best].Deadline = childK.End
+		t.NodeOf[best] = cid
+		if len(n.Jobs) == 0 {
+			// The old node keeps no jobs of its own; it remains real
+			// (it is a genuine window interval) but Validate requires
+			// job windows to match node intervals, which still holds.
+			// Nothing else to do.
+			_ = n
+		}
+		// The new child cid is itself a leaf; it is rigid by
+		// construction (p == |childK|), so the outer scan can skip it.
+	}
+	return nil
+}
+
+// Rigid reports whether node id is rigid in the simple syntactic
+// sense used by canonical trees: it is a leaf holding a job whose
+// processing time equals the leaf's length. (Rigidity in the paper is
+// semantic — every feasible solution opens the whole interval — and
+// this syntactic condition implies it.)
+func (t *Tree) Rigid(id int) bool {
+	n := &t.Nodes[id]
+	if len(n.Children) != 0 {
+		return false
+	}
+	for _, j := range n.Jobs {
+		if t.Jobs[j].Processing == n.K.Len() {
+			return true
+		}
+	}
+	return false
+}
+
+// IsCanonical reports whether the tree is canonical: binary and every
+// leaf rigid.
+func (t *Tree) IsCanonical() bool {
+	for id := range t.Nodes {
+		if len(t.Nodes[id].Children) > 2 {
+			return false
+		}
+		if len(t.Nodes[id].Children) == 0 && !t.Rigid(id) {
+			return false
+		}
+	}
+	return true
+}

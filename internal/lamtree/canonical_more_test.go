@@ -1,0 +1,207 @@
+package lamtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/interval"
+)
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	for trial := 0; trial < 60; trial++ {
+		jobs := randomLaminarJobs(rng, 1+rng.Intn(8))
+		in := mkInstance(t, 2, jobs...)
+		tr, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		m1 := tr.M()
+		jobs1 := append([]instance.Job(nil), tr.Jobs...)
+		if err := tr.Canonicalize(); err != nil {
+			t.Fatalf("trial %d second canonicalize: %v", trial, err)
+		}
+		if tr.M() != m1 {
+			t.Fatalf("trial %d: node count changed %d -> %d on re-canonicalize", trial, m1, tr.M())
+		}
+		for j := range jobs1 {
+			if tr.Jobs[j] != jobs1[j] {
+				t.Fatalf("trial %d: job %d changed on re-canonicalize", trial, j)
+			}
+		}
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	// 12 nested windows, one job each.
+	var jobs []instance.Job
+	for k := 0; k < 12; k++ {
+		lo, hi := int64(k), int64(24-k)
+		jobs = append(jobs, instance.Job{Processing: 1, Release: lo, Deadline: hi})
+	}
+	in := mkInstance(t, 2, jobs...)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.M() != 12 {
+		t.Fatalf("nodes %d", tr.M())
+	}
+	deepest := tr.NodeOf[11]
+	if tr.Nodes[deepest].Depth != 11 {
+		t.Fatalf("depth %d", tr.Nodes[deepest].Depth)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsCanonical() {
+		t.Fatal("not canonical")
+	}
+}
+
+func TestSingleSlotWindows(t *testing.T) {
+	in := mkInstance(t, 1,
+		instance.Job{Processing: 1, Release: 3, Deadline: 4},
+	)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.M() != 1 || !tr.Rigid(0) {
+		t.Fatalf("single-slot window should be one rigid node (m=%d)", tr.M())
+	}
+	slots := tr.ExclusiveSlots(0, 1)
+	if len(slots) != 1 || slots[0] != 3 {
+		t.Fatalf("slots %v", slots)
+	}
+}
+
+func TestForestCanonicalize(t *testing.T) {
+	in := mkInstance(t, 2,
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+		instance.Job{Processing: 2, Release: 5, Deadline: 9},
+		instance.Job{Processing: 1, Release: 6, Deadline: 8},
+	)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Roots) != 2 {
+		t.Fatalf("roots %v", tr.Roots)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsCanonical() {
+		t.Fatal("forest not canonical")
+	}
+	// Per-root length partition still holds (Validate ran inside
+	// Canonicalize, but assert explicitly).
+	for _, r := range tr.Roots {
+		var total int64
+		for _, d := range tr.Des(r) {
+			total += tr.Nodes[d].L
+		}
+		if total != tr.Nodes[r].K.Len() {
+			t.Fatalf("root %d partition broken", r)
+		}
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	in := mkInstance(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 12},
+		instance.Job{Processing: 1, Release: 8, Deadline: 10},
+		instance.Job{Processing: 1, Release: 1, Deadline: 3},
+		instance.Job{Processing: 1, Release: 4, Deadline: 7},
+	)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SortChildren()
+	root := tr.Roots[0]
+	ch := tr.Nodes[root].Children
+	for i := 1; i < len(ch); i++ {
+		if tr.Nodes[ch[i-1]].K.Start > tr.Nodes[ch[i]].K.Start {
+			t.Fatalf("children unsorted: %v", ch)
+		}
+	}
+}
+
+// TestCanonicalTreeFeasibilityPreserved: the canonicalization must not
+// change which count vectors are feasible in terms of the objective —
+// the all-L vector remains feasible and the total length is unchanged.
+func TestCanonicalTreeFeasibilityPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 50; trial++ {
+		jobs := randomLaminarJobs(rng, 1+rng.Intn(6))
+		in := mkInstance(t, int64(1+rng.Intn(3)), jobs...)
+		tr, err := Build(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var before int64
+		for i := range tr.Nodes {
+			before += tr.Nodes[i].L
+		}
+		if err := tr.Canonicalize(); err != nil {
+			t.Fatal(err)
+		}
+		var after int64
+		for i := range tr.Nodes {
+			after += tr.Nodes[i].L
+		}
+		if before != after {
+			t.Fatalf("trial %d: total length changed %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func TestBuildEmptyInstanceRejected(t *testing.T) {
+	in := mkInstance(t, 1)
+	if _, err := Build(in); err == nil {
+		t.Fatal("empty instance must be rejected")
+	}
+}
+
+func TestVirtualNodeIntervalIsSpan(t *testing.T) {
+	// Root with three children forces one virtual node whose interval
+	// spans its two children.
+	jobs := []instance.Job{{Processing: 1, Release: 0, Deadline: 9}}
+	for i := int64(0); i < 3; i++ {
+		jobs = append(jobs, instance.Job{Processing: 1, Release: 3 * i, Deadline: 3*i + 3})
+	}
+	in := mkInstance(t, 2, jobs...)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	foundVirtual := false
+	for i := range tr.Nodes {
+		if !tr.Nodes[i].Virtual {
+			continue
+		}
+		foundVirtual = true
+		n := &tr.Nodes[i]
+		span, _ := interval.Span([]interval.Interval{
+			tr.Nodes[n.Children[0]].K, tr.Nodes[n.Children[len(n.Children)-1]].K,
+		})
+		if n.K != span {
+			t.Fatalf("virtual node %d interval %v != children span %v", i, n.K, span)
+		}
+	}
+	if !foundVirtual {
+		t.Fatal("binarization of 3 children must create a virtual node")
+	}
+}

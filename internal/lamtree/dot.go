@@ -1,0 +1,41 @@
+package lamtree
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the tree in Graphviz DOT format for debugging and
+// documentation. Real nodes show their interval, length, and job
+// count; virtual nodes are drawn dashed. An optional value vector
+// (e.g. an LP solution x or rounded counts) is printed per node when
+// its length matches the node count.
+func (t *Tree) WriteDOT(w io.Writer, values []float64) error {
+	if _, err := fmt.Fprintln(w, "digraph lamtree {"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "  node [shape=box, fontname=\"monospace\"];")
+	for i := range t.Nodes {
+		n := &t.Nodes[i]
+		label := fmt.Sprintf("#%d %s\\nL=%d jobs=%d", n.ID, n.K, n.L, len(n.Jobs))
+		if len(values) == len(t.Nodes) {
+			label += fmt.Sprintf("\\nx=%.3f", values[i])
+		}
+		style := ""
+		if n.Virtual {
+			style = ", style=dashed"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=\"%s\"%s];\n", n.ID, label, style); err != nil {
+			return err
+		}
+	}
+	for i := range t.Nodes {
+		for _, c := range t.Nodes[i].Children {
+			if _, err := fmt.Fprintf(w, "  n%d -> n%d;\n", i, c); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,53 @@
+package lamtree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func TestWriteDOT(t *testing.T) {
+	in := mkInstance(t, 2,
+		instance.Job{Processing: 1, Release: 0, Deadline: 8},
+		instance.Job{Processing: 2, Release: 0, Deadline: 3},
+		instance.Job{Processing: 1, Release: 4, Deadline: 6},
+	)
+	tr, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, tr.M())
+	for i := range vals {
+		vals[i] = 0.5
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, vals); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"digraph lamtree", "n0 ", "->", "x=0.500", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// A virtual or rigid-leaf node must exist after canonicalization
+	// of a non-rigid leaf; the dashed style shows up iff virtual nodes
+	// exist, so just check the edge count matches node count - roots.
+	edges := strings.Count(out, "->")
+	if edges != tr.M()-len(tr.Roots) {
+		t.Fatalf("edges %d want %d", edges, tr.M()-len(tr.Roots))
+	}
+	// Without values: no x= labels.
+	buf.Reset()
+	if err := tr.WriteDOT(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "x=") {
+		t.Fatal("nil values must omit x labels")
+	}
+}

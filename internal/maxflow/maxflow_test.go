@@ -1,0 +1,195 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplePath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	g.AddEdge(1, 2, 3)
+	if got := g.Run(0, 2); got != 3 {
+		t.Fatalf("flow = %d want 3", got)
+	}
+}
+
+func TestParallelPaths(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 1)
+	if got := g.Run(0, 3); got != 3 {
+		t.Fatalf("flow = %d want 3", got)
+	}
+}
+
+func TestClassicDiamond(t *testing.T) {
+	// The textbook example with a cross edge.
+	g := New(6)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(1, 4, 8)
+	g.AddEdge(2, 4, 9)
+	g.AddEdge(3, 5, 10)
+	g.AddEdge(4, 3, 6)
+	g.AddEdge(4, 5, 10)
+	if got := g.Run(0, 5); got != 19 {
+		t.Fatalf("flow = %d want 19", got)
+	}
+}
+
+func TestEdgeFlowsAndConservation(t *testing.T) {
+	g := New(5)
+	refs := []EdgeRef{
+		g.AddEdge(0, 1, 4),
+		g.AddEdge(0, 2, 2),
+		g.AddEdge(1, 3, 3),
+		g.AddEdge(2, 3, 3),
+		g.AddEdge(3, 4, 5),
+	}
+	total := g.Run(0, 4)
+	if total != 5 {
+		t.Fatalf("flow = %d want 5", total)
+	}
+	for _, r := range refs {
+		f := g.Flow(r)
+		if f < 0 || f > g.Capacity(r) {
+			t.Fatalf("edge flow %d outside [0,%d]", f, g.Capacity(r))
+		}
+	}
+	if g.Flow(refs[0])+g.Flow(refs[1]) != total {
+		t.Fatal("source outflow != total")
+	}
+	if g.Flow(refs[4]) != total {
+		t.Fatal("sink inflow != total")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 7)
+	g.AddEdge(2, 3, 7)
+	if got := g.Run(0, 3); got != 0 {
+		t.Fatalf("flow = %d want 0", got)
+	}
+}
+
+func TestZeroCapacityEdge(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 0)
+	if got := g.Run(0, 1); got != 0 {
+		t.Fatalf("flow = %d want 0", got)
+	}
+}
+
+func TestResetAndSetCapacity(t *testing.T) {
+	g := New(3)
+	a := g.AddEdge(0, 1, 2)
+	g.AddEdge(1, 2, 2)
+	if got := g.Run(0, 2); got != 2 {
+		t.Fatalf("first run: %d", got)
+	}
+	g.Reset()
+	g.SetCapacity(a, 1)
+	if got := g.Run(0, 2); got != 1 {
+		t.Fatalf("after SetCapacity: %d", got)
+	}
+}
+
+func TestMinCutSide(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 1) // bottleneck
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 3, 10)
+	g.Run(0, 3)
+	side := g.MinCutSide(0)
+	if !side[0] || side[1] || side[2] || side[3] {
+		t.Fatalf("cut side = %v, want only source reachable", side)
+	}
+}
+
+// TestRandomAgainstBruteForce compares Dinic against a slow
+// Ford-Fulkerson (DFS augmenting paths with unit steps) on random
+// small graphs.
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(5)
+		type e struct {
+			u, v int
+			c    int64
+		}
+		var edges []e
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(3) == 0 {
+					edges = append(edges, e{u, v, int64(rng.Intn(6))})
+				}
+			}
+		}
+		g := New(n)
+		for _, ed := range edges {
+			g.AddEdge(ed.u, ed.v, ed.c)
+		}
+		got := g.Run(0, n-1)
+
+		// Slow reference: adjacency-matrix Ford-Fulkerson.
+		capm := make([][]int64, n)
+		for i := range capm {
+			capm[i] = make([]int64, n)
+		}
+		for _, ed := range edges {
+			capm[ed.u][ed.v] += ed.c
+		}
+		var want int64
+		for {
+			parent := make([]int, n)
+			for i := range parent {
+				parent[i] = -1
+			}
+			parent[0] = 0
+			queue := []int{0}
+			for len(queue) > 0 && parent[n-1] < 0 {
+				u := queue[0]
+				queue = queue[1:]
+				for v := 0; v < n; v++ {
+					if capm[u][v] > 0 && parent[v] < 0 {
+						parent[v] = u
+						queue = append(queue, v)
+					}
+				}
+			}
+			if parent[n-1] < 0 {
+				break
+			}
+			aug := int64(1 << 62)
+			for v := n - 1; v != 0; v = parent[v] {
+				if capm[parent[v]][v] < aug {
+					aug = capm[parent[v]][v]
+				}
+			}
+			for v := n - 1; v != 0; v = parent[v] {
+				capm[parent[v]][v] -= aug
+				capm[v][parent[v]] += aug
+			}
+			want += aug
+		}
+		if got != want {
+			t.Fatalf("trial %d: dinic=%d reference=%d (n=%d edges=%v)", trial, got, want, n, edges)
+		}
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g := New(2)
+	g.AddEdge(0, 1, -1)
+}

@@ -1,0 +1,121 @@
+package maxflow
+
+// Push-relabel (FIFO, with gap relabeling) — a second, independently
+// implemented maximum-flow algorithm. Feasibility answers from Dinic
+// drive every scheduling decision in the library, so this solver
+// exists to differentially test them; it shares only the Graph
+// representation.
+
+// RunPushRelabel computes the maximum s-t flow value using the
+// push-relabel method. It operates on a private copy of the residual
+// state, so it does not disturb flows computed by Run and can be
+// called before or after it.
+func (g *Graph) RunPushRelabel(s, t int) int64 {
+	if s == t {
+		panic("maxflow: source equals sink")
+	}
+	n := len(g.adj)
+	// Copy residual capacities (original capacities, ignoring any flow
+	// left by Run).
+	res := make([][]int64, n)
+	for u := range g.adj {
+		res[u] = make([]int64, len(g.adj[u]))
+		for i, e := range g.adj[u] {
+			res[u][i] = e.org
+		}
+	}
+
+	height := make([]int, n)
+	excess := make([]int64, n)
+	countAt := make([]int, 2*n+1) // nodes per height, for gap relabeling
+	inQueue := make([]bool, n)
+
+	height[s] = n
+	countAt[0] = n - 1
+	countAt[n]++
+
+	var queue []int
+	push := func(u, i int) {
+		e := &g.adj[u][i]
+		d := min64(excess[u], res[u][i])
+		res[u][i] -= d
+		res[e.to][e.rev] += d
+		excess[u] -= d
+		excess[e.to] += d
+		if d > 0 && e.to != s && e.to != t && !inQueue[e.to] {
+			inQueue[e.to] = true
+			queue = append(queue, e.to)
+		}
+	}
+
+	// Saturate source edges.
+	excess[s] = 0
+	for i := range g.adj[s] {
+		excess[s] += res[s][i]
+	}
+	for i := range g.adj[s] {
+		push(s, i)
+	}
+
+	relabel := func(u int) {
+		old := height[u]
+		minH := 2 * n
+		for i, e := range g.adj[u] {
+			if res[u][i] > 0 && height[e.to] < minH {
+				minH = height[e.to]
+			}
+		}
+		if minH < 2*n {
+			height[u] = minH + 1
+		} else {
+			height[u] = 2 * n
+		}
+		countAt[old]--
+		if height[u] <= 2*n {
+			countAt[height[u]]++
+		}
+		// Gap heuristic: if no node remains at height old, lift every
+		// node above old straight over n.
+		if old < n && countAt[old] == 0 {
+			for v := 0; v < n; v++ {
+				if v != s && height[v] > old && height[v] <= n {
+					countAt[height[v]]--
+					height[v] = n + 1
+					countAt[height[v]]++
+				}
+			}
+		}
+	}
+
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inQueue[u] = false
+		for excess[u] > 0 {
+			pushed := false
+			for i, e := range g.adj[u] {
+				if res[u][i] > 0 && height[u] == height[e.to]+1 {
+					push(u, i)
+					pushed = true
+					if excess[u] == 0 {
+						break
+					}
+				}
+			}
+			if excess[u] == 0 {
+				break
+			}
+			if !pushed {
+				relabel(u)
+				if height[u] > 2*n {
+					break
+				}
+			}
+		}
+		if excess[u] > 0 && height[u] <= 2*n && !inQueue[u] && u != s && u != t {
+			inQueue[u] = true
+			queue = append(queue, u)
+		}
+	}
+	return excess[t]
+}

@@ -1,0 +1,70 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPushRelabelSimple(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 2)
+	g.AddEdge(0, 2, 3)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(2, 3, 1)
+	if got := g.RunPushRelabel(0, 3); got != 3 {
+		t.Fatalf("flow = %d want 3", got)
+	}
+}
+
+func TestPushRelabelDiamond(t *testing.T) {
+	g := New(6)
+	g.AddEdge(0, 1, 10)
+	g.AddEdge(0, 2, 10)
+	g.AddEdge(1, 2, 2)
+	g.AddEdge(1, 3, 4)
+	g.AddEdge(1, 4, 8)
+	g.AddEdge(2, 4, 9)
+	g.AddEdge(3, 5, 10)
+	g.AddEdge(4, 3, 6)
+	g.AddEdge(4, 5, 10)
+	if got := g.RunPushRelabel(0, 5); got != 19 {
+		t.Fatalf("flow = %d want 19", got)
+	}
+}
+
+func TestPushRelabelDisconnected(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 5)
+	if got := g.RunPushRelabel(0, 2); got != 0 {
+		t.Fatalf("flow = %d want 0", got)
+	}
+}
+
+// TestPushRelabelAgainstDinic differentially tests the two max-flow
+// implementations on random graphs, including after a prior Run (the
+// push-relabel pass must see original capacities).
+func TestPushRelabelAgainstDinic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 500; trial++ {
+		n := 3 + rng.Intn(8)
+		g := New(n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(3) == 0 {
+					g.AddEdge(u, v, int64(rng.Intn(8)))
+				}
+			}
+		}
+		want := g.Run(0, n-1)
+		got := g.RunPushRelabel(0, n-1)
+		if got != want {
+			t.Fatalf("trial %d: push-relabel %d vs dinic %d", trial, got, want)
+		}
+		// Also run push-relabel first on a fresh copy ordering.
+		g.Reset()
+		got2 := g.RunPushRelabel(0, n-1)
+		if got2 != want {
+			t.Fatalf("trial %d: push-relabel after reset %d vs %d", trial, got2, want)
+		}
+	}
+}

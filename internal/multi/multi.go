@@ -1,0 +1,329 @@
+// Package multi implements the multi-interval generalization of
+// active-time scheduling discussed in the paper's related work
+// (Chang, Gabow, Khuller): each job may be scheduled inside any of a
+// collection of disjoint windows rather than a single one. The
+// problem is NP-hard already for g ≥ 3 and unit jobs, but admits an
+// H_g-approximation through Wolsey's greedy algorithm for submodular
+// cover, which this package provides alongside flow-based feasibility
+// and an exact branch-and-bound for ground truth.
+package multi
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/maxflow"
+	"repro/internal/sched"
+)
+
+// Job is a preemptible job that may run in any of its windows.
+type Job struct {
+	// ID is the job's dense index.
+	ID int
+	// Processing is the number of slots the job needs.
+	Processing int64
+	// Windows are pairwise disjoint half-open intervals; the job may
+	// use any slot inside any of them.
+	Windows []interval.Interval
+}
+
+// allowed reports whether slot t is usable by the job.
+func (j Job) allowed(t int64) bool {
+	for _, w := range j.Windows {
+		if w.Contains(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// windowLen returns the total number of usable slots.
+func (j Job) windowLen() int64 {
+	var s int64
+	for _, w := range j.Windows {
+		s += w.Len()
+	}
+	return s
+}
+
+// Instance is a multi-interval active-time instance.
+type Instance struct {
+	G    int64
+	Jobs []Job
+}
+
+// New builds and validates an instance; job IDs are assigned densely.
+func New(g int64, jobs []Job) (*Instance, error) {
+	in := &Instance{G: g, Jobs: make([]Job, len(jobs))}
+	copy(in.Jobs, jobs)
+	for i := range in.Jobs {
+		in.Jobs[i].ID = i
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Validate checks g ≥ 1 and, per job: p ≥ 1, at least one window,
+// windows non-empty, sorted, and pairwise disjoint, with total length
+// at least p.
+func (in *Instance) Validate() error {
+	if in.G < 1 {
+		return fmt.Errorf("multi: g=%d < 1", in.G)
+	}
+	for i, j := range in.Jobs {
+		if j.ID != i {
+			return fmt.Errorf("multi: job at index %d has ID %d", i, j.ID)
+		}
+		if j.Processing < 1 {
+			return fmt.Errorf("multi: job %d processing %d < 1", i, j.Processing)
+		}
+		if len(j.Windows) == 0 {
+			return fmt.Errorf("multi: job %d has no windows", i)
+		}
+		for k, w := range j.Windows {
+			if w.Empty() {
+				return fmt.Errorf("multi: job %d window %d empty", i, k)
+			}
+			if k > 0 && j.Windows[k-1].End > w.Start {
+				return fmt.Errorf("multi: job %d windows unsorted or overlapping at %d", i, k)
+			}
+		}
+		if j.windowLen() < j.Processing {
+			return fmt.Errorf("multi: job %d windows hold %d < p=%d", i, j.windowLen(), j.Processing)
+		}
+	}
+	return nil
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Jobs) }
+
+// TotalProcessing returns Σ p_j.
+func (in *Instance) TotalProcessing() int64 {
+	var s int64
+	for _, j := range in.Jobs {
+		s += j.Processing
+	}
+	return s
+}
+
+// SortedSlots returns every slot covered by some window, sorted.
+func (in *Instance) SortedSlots() []int64 {
+	seen := map[int64]bool{}
+	for _, j := range in.Jobs {
+		for _, w := range j.Windows {
+			for t := w.Start; t < w.End; t++ {
+				seen[t] = true
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// FromSingle lifts an ordinary single-window instance.
+func FromSingle(in *instance.Instance) *Instance {
+	jobs := make([]Job, in.N())
+	for i, j := range in.Jobs {
+		jobs[i] = Job{ID: i, Processing: j.Processing, Windows: []interval.Interval{j.Window()}}
+	}
+	return &Instance{G: in.G, Jobs: jobs}
+}
+
+// Coverage returns f(open): the maximum total volume schedulable
+// using the open slots — the monotone submodular function Wolsey's
+// greedy covers. Feasibility is f(open) == TotalProcessing().
+func (in *Instance) Coverage(open []int64) int64 {
+	flow, _ := in.runFlow(open)
+	return flow
+}
+
+// CheckSlots reports whether the open slots schedule everything.
+func (in *Instance) CheckSlots(open []int64) bool {
+	return in.Coverage(open) == in.TotalProcessing()
+}
+
+// ScheduleOnSlots extracts a concrete schedule on the open slots.
+func (in *Instance) ScheduleOnSlots(open []int64) (*sched.Schedule, error) {
+	flow, net := in.runFlow(open)
+	if flow != in.TotalProcessing() {
+		return nil, fmt.Errorf("multi: slot set infeasible")
+	}
+	out := sched.New(in.G)
+	for jID, edges := range net.jobSlotEdges {
+		for k, ref := range edges {
+			if net.g.Flow(ref) > 0 {
+				out.Assign(net.jobSlots[jID][k], jID)
+			}
+		}
+	}
+	return out, nil
+}
+
+type flowNet struct {
+	g            *maxflow.Graph
+	jobSlotEdges [][]maxflow.EdgeRef
+	jobSlots     [][]int64
+}
+
+func (in *Instance) runFlow(open []int64) (int64, *flowNet) {
+	slots := dedupSorted(open)
+	n := in.N()
+	g := maxflow.New(2 + n + len(slots))
+	src, snk := 0, 1
+	slotNode := make(map[int64]int, len(slots))
+	for k, t := range slots {
+		slotNode[t] = 2 + n + k
+		g.AddEdge(2+n+k, snk, in.G)
+	}
+	net := &flowNet{
+		g:            g,
+		jobSlotEdges: make([][]maxflow.EdgeRef, n),
+		jobSlots:     make([][]int64, n),
+	}
+	for _, j := range in.Jobs {
+		jn := 2 + j.ID
+		g.AddEdge(src, jn, j.Processing)
+		for _, t := range slots {
+			if j.allowed(t) {
+				ref := g.AddEdge(jn, slotNode[t], 1)
+				net.jobSlotEdges[j.ID] = append(net.jobSlotEdges[j.ID], ref)
+				net.jobSlots[j.ID] = append(net.jobSlots[j.ID], t)
+			}
+		}
+	}
+	return g.Run(src, snk), net
+}
+
+func dedupSorted(open []int64) []int64 {
+	out := make([]int64, len(open))
+	copy(out, open)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// HarmonicG returns H_g = 1 + 1/2 + … + 1/g, the approximation factor
+// of GreedyCover (Wolsey's bound: marginal coverage gains are at most
+// g per slot).
+func HarmonicG(g int64) float64 {
+	var h float64
+	for i := int64(1); i <= g; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+// GreedyCover is Wolsey's greedy for submodular cover applied to the
+// coverage function: repeatedly open the slot with the largest
+// marginal coverage gain (smallest slot index on ties) until all
+// volume is covered. The result is an H_g-approximation of the
+// minimum number of active slots. It returns the chosen slots.
+func (in *Instance) GreedyCover() ([]int64, error) {
+	all := in.SortedSlots()
+	want := in.TotalProcessing()
+	if in.Coverage(all) != want {
+		return nil, fmt.Errorf("multi: instance infeasible even with all slots open")
+	}
+	var open []int64
+	covered := int64(0)
+	remaining := append([]int64(nil), all...)
+	for covered < want {
+		bestIdx, bestGain := -1, int64(0)
+		for k, t := range remaining {
+			gain := in.Coverage(append(open, t)) - covered
+			if gain > bestGain {
+				bestGain = gain
+				bestIdx = k
+			}
+			if bestGain == in.G {
+				break // a marginal gain can never exceed g
+			}
+		}
+		if bestIdx < 0 {
+			return nil, fmt.Errorf("multi: internal: no slot improves coverage at %d/%d", covered, want)
+		}
+		open = append(open, remaining[bestIdx])
+		covered += bestGain
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	sort.Slice(open, func(a, b int) bool { return open[a] < open[b] })
+	return open, nil
+}
+
+// SolveExact computes the optimum by branch and bound over slot
+// subsets (close-first, flow-pruned), mirroring exact.SolveGeneral.
+// Intended for small horizons.
+func (in *Instance) SolveExact() (int64, []int64, error) {
+	slots := in.SortedSlots()
+	if !in.CheckSlots(slots) {
+		return 0, nil, fmt.Errorf("multi: instance infeasible even with all slots open")
+	}
+	lb := (in.TotalProcessing() + in.G - 1) / in.G
+	for _, j := range in.Jobs {
+		if j.Processing > lb {
+			lb = j.Processing
+		}
+	}
+	s := &search{in: in, slots: slots, lb: lb}
+	s.open = make([]bool, len(slots))
+	for i := range s.open {
+		s.open[i] = true
+	}
+	s.best = append([]bool(nil), s.open...)
+	s.bestSum = int64(len(slots))
+	s.dfs(0, 0)
+	var out []int64
+	for i, b := range s.best {
+		if b {
+			out = append(out, slots[i])
+		}
+	}
+	return s.bestSum, out, nil
+}
+
+type search struct {
+	in      *Instance
+	slots   []int64
+	open    []bool
+	best    []bool
+	bestSum int64
+	lb      int64
+}
+
+func (s *search) dfs(k int, opened int64) {
+	if s.bestSum == s.lb || opened >= s.bestSum {
+		return
+	}
+	if k == len(s.slots) {
+		s.bestSum = opened
+		copy(s.best, s.open)
+		return
+	}
+	s.open[k] = false
+	var rest []int64
+	for i, b := range s.open {
+		if b {
+			rest = append(rest, s.slots[i])
+		}
+	}
+	if s.in.CheckSlots(rest) {
+		s.dfs(k+1, opened)
+	}
+	s.open[k] = true
+	s.dfs(k+1, opened+1)
+}

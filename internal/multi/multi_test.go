@@ -1,0 +1,290 @@
+package multi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/interval"
+)
+
+func mk(t *testing.T, g int64, jobs ...Job) *Instance {
+	t.Helper()
+	in, err := New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("g=0 must be rejected")
+	}
+	if _, err := New(1, []Job{{Processing: 1}}); err == nil {
+		t.Fatal("no windows must be rejected")
+	}
+	if _, err := New(1, []Job{{Processing: 1, Windows: []interval.Interval{
+		interval.New(0, 3), interval.New(2, 5),
+	}}}); err == nil {
+		t.Fatal("overlapping windows must be rejected")
+	}
+	if _, err := New(1, []Job{{Processing: 5, Windows: []interval.Interval{
+		interval.New(0, 2), interval.New(4, 6),
+	}}}); err == nil {
+		t.Fatal("p exceeding total window length must be rejected")
+	}
+	in := mk(t, 2, Job{Processing: 3, Windows: []interval.Interval{
+		interval.New(0, 2), interval.New(4, 6),
+	}})
+	if in.TotalProcessing() != 3 {
+		t.Fatal("total processing")
+	}
+	slots := in.SortedSlots()
+	want := []int64{0, 1, 4, 5}
+	for i := range want {
+		if slots[i] != want[i] {
+			t.Fatalf("slots %v", slots)
+		}
+	}
+}
+
+func TestCoverageAndCheck(t *testing.T) {
+	in := mk(t, 1,
+		Job{Processing: 2, Windows: []interval.Interval{interval.New(0, 2), interval.New(5, 7)}},
+		Job{Processing: 1, Windows: []interval.Interval{interval.New(5, 7)}},
+	)
+	// g=1: two open slots can host at most 2 units in total.
+	if got := in.Coverage([]int64{0, 5}); got != 2 {
+		t.Fatalf("coverage {0,5} = %d want 2", got)
+	}
+	if got := in.Coverage([]int64{0, 1}); got != 2 {
+		t.Fatalf("coverage {0,1} = %d want 2", got)
+	}
+	if !in.CheckSlots([]int64{0, 5, 6}) {
+		t.Fatal("{0,5,6} should be feasible")
+	}
+	if in.CheckSlots([]int64{0, 1}) {
+		t.Fatal("{0,1} cannot host job 1")
+	}
+	// Slot 3 is in no window: zero marginal gain.
+	if in.Coverage([]int64{3}) != 0 {
+		t.Fatal("slot outside all windows must not cover anything")
+	}
+}
+
+func TestScheduleOnSlots(t *testing.T) {
+	in := mk(t, 2,
+		Job{Processing: 2, Windows: []interval.Interval{interval.New(0, 2), interval.New(5, 7)}},
+		Job{Processing: 2, Windows: []interval.Interval{interval.New(0, 7)}},
+	)
+	s, err := in.ScheduleOnSlots([]int64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both jobs squeezed into slots 0,1 at g=2.
+	if s.NumActive() != 2 {
+		t.Fatalf("active %d", s.NumActive())
+	}
+	counts := map[int]int64{}
+	for tSlot, js := range s.Slots {
+		seen := map[int]bool{}
+		if int64(len(js)) > in.G {
+			t.Fatalf("slot %d over capacity", tSlot)
+		}
+		for _, id := range js {
+			if seen[id] {
+				t.Fatalf("dup job %d in slot %d", id, tSlot)
+			}
+			seen[id] = true
+			if !in.Jobs[id].allowed(tSlot) {
+				t.Fatalf("job %d scheduled outside windows at %d", id, tSlot)
+			}
+			counts[id]++
+		}
+	}
+	for _, j := range in.Jobs {
+		if counts[j.ID] != j.Processing {
+			t.Fatalf("job %d units %d want %d", j.ID, counts[j.ID], j.Processing)
+		}
+	}
+	if _, err := in.ScheduleOnSlots([]int64{0}); err == nil {
+		t.Fatal("one slot cannot host volume 4")
+	}
+}
+
+func TestGreedyCoverSimple(t *testing.T) {
+	// Two jobs sharing a slot beats spreading out: greedy should find
+	// the single shared slot first.
+	in := mk(t, 2,
+		Job{Processing: 1, Windows: []interval.Interval{interval.New(0, 2)}},
+		Job{Processing: 1, Windows: []interval.Interval{interval.New(1, 3)}},
+	)
+	open, err := in.GreedyCover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open) != 1 || open[0] != 1 {
+		t.Fatalf("greedy chose %v, want {1}", open)
+	}
+}
+
+func TestGreedyCoverInfeasible(t *testing.T) {
+	in := mk(t, 1,
+		Job{Processing: 1, Windows: []interval.Interval{interval.New(0, 1)}},
+		Job{Processing: 1, Windows: []interval.Interval{interval.New(0, 1)}},
+	)
+	if _, err := in.GreedyCover(); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+	if _, _, err := in.SolveExact(); err == nil {
+		t.Fatal("expected infeasibility error")
+	}
+}
+
+// TestGreedyWithinHg: Wolsey's bound |greedy| ≤ H_g·OPT on random
+// multi-interval instances, with exact OPT from branch and bound.
+func TestGreedyWithinHg(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 60; trial++ {
+		in := randomMulti(rng)
+		open, err := in.GreedyCover()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !in.CheckSlots(open) {
+			t.Fatalf("trial %d: greedy result infeasible", trial)
+		}
+		opt, optSlots, err := in.SolveExact()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !in.CheckSlots(optSlots) {
+			t.Fatalf("trial %d: exact slots infeasible", trial)
+		}
+		hg := HarmonicG(in.G)
+		if float64(len(open)) > hg*float64(opt)+1e-9 {
+			t.Fatalf("trial %d: greedy %d > H_%d × OPT %d = %g",
+				trial, len(open), in.G, opt, hg*float64(opt))
+		}
+	}
+}
+
+// TestSingleWindowAgreesWithExactPackage: lifting a single-window
+// instance must give the same optimum as the exact package.
+func TestSingleWindowAgreesWithExactPackage(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 40; trial++ {
+		single := gen.RandomLaminar(rng, gen.DefaultLaminar(6, 2))
+		lifted := FromSingle(single)
+		if err := lifted.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		mOpt, _, err := lifted.SolveExact()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sOpt, err := exact.Opt(single)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if mOpt != sOpt {
+			t.Fatalf("trial %d: multi OPT %d vs single OPT %d", trial, mOpt, sOpt)
+		}
+	}
+}
+
+func TestHarmonicG(t *testing.T) {
+	if HarmonicG(1) != 1 {
+		t.Fatal("H_1")
+	}
+	if math.Abs(HarmonicG(2)-1.5) > 1e-12 {
+		t.Fatal("H_2")
+	}
+	if math.Abs(HarmonicG(4)-(1+0.5+1.0/3+0.25)) > 1e-12 {
+		t.Fatal("H_4")
+	}
+}
+
+// TestCoverageSubmodularity property-checks the submodularity of the
+// coverage function (the premise of the H_g analysis): for random
+// S ⊆ T and slot t ∉ T, gain(S, t) ≥ gain(T, t).
+func TestCoverageSubmodularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 200; trial++ {
+		in := randomMulti(rng)
+		slots := in.SortedSlots()
+		if len(slots) < 2 {
+			continue
+		}
+		var small, big []int64
+		for _, s := range slots {
+			r := rng.Intn(3)
+			if r == 0 {
+				small = append(small, s)
+				big = append(big, s)
+			} else if r == 1 {
+				big = append(big, s)
+			}
+		}
+		var t0 int64 = -1
+		inBig := map[int64]bool{}
+		for _, s := range big {
+			inBig[s] = true
+		}
+		for _, s := range slots {
+			if !inBig[s] {
+				t0 = s
+				break
+			}
+		}
+		if t0 < 0 {
+			continue
+		}
+		gainSmall := in.Coverage(append(small, t0)) - in.Coverage(small)
+		gainBig := in.Coverage(append(big, t0)) - in.Coverage(big)
+		if gainSmall < gainBig {
+			t.Fatalf("trial %d: submodularity violated: gain(S)=%d < gain(T)=%d",
+				trial, gainSmall, gainBig)
+		}
+	}
+}
+
+func randomMulti(rng *rand.Rand) *Instance {
+	for {
+		n := 1 + rng.Intn(4)
+		jobs := make([]Job, n)
+		horizon := int64(10)
+		for i := range jobs {
+			// 1-2 disjoint windows.
+			nw := 1 + rng.Intn(2)
+			var ws []interval.Interval
+			cur := rng.Int63n(3)
+			for k := 0; k < nw && cur < horizon-1; k++ {
+				length := 1 + rng.Int63n(3)
+				if cur+length > horizon {
+					length = horizon - cur
+				}
+				ws = append(ws, interval.New(cur, cur+length))
+				cur += length + 1 + rng.Int63n(2)
+			}
+			total := int64(0)
+			for _, w := range ws {
+				total += w.Len()
+			}
+			jobs[i] = Job{Processing: 1 + rng.Int63n(total), Windows: ws}
+		}
+		in, err := New(int64(1+rng.Intn(3)), jobs)
+		if err != nil {
+			continue
+		}
+		if in.CheckSlots(in.SortedSlots()) {
+			return in
+		}
+	}
+}
+
+var _ = instance.Job{} // keep the import used if FromSingle moves

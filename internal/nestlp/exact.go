@@ -1,0 +1,95 @@
+package nestlp
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/ratsimplex"
+)
+
+// SolveExact optimizes the LP with exact rational arithmetic
+// (internal/ratsimplex) and returns the solution converted to float64.
+// Every LP coefficient is a small integer, so the exact optimum is a
+// rational whose float64 image is within one ulp — the paper's "exact
+// LP oracle" assumption realized, at a significant constant-factor
+// cost. Use for small instances and for cross-checking the float
+// solver.
+func (m *Model) SolveExact() (*Solution, error) {
+	t := m.Tree
+	p := ratsimplex.NewProblem(m.numVars())
+	one := big.NewRat(1, 1)
+	for i := 0; i < t.M(); i++ {
+		p.SetObjectiveCoef(m.xVar(i), one)
+	}
+
+	byJob := make([][]int, len(t.Jobs))
+	byNode := make([][]int, t.M())
+	for k, pr := range m.Pairs {
+		byJob[pr.Job] = append(byJob[pr.Job], k)
+		byNode[pr.Node] = append(byNode[pr.Node], k)
+	}
+	// (2)
+	for j := range t.Jobs {
+		terms := make([]ratsimplex.Term, 0, len(byJob[j]))
+		for _, k := range byJob[j] {
+			terms = append(terms, ratsimplex.T(m.yVar(k), 1, 1))
+		}
+		p.Add(terms, ratsimplex.GE, big.NewRat(t.Jobs[j].Processing, 1))
+	}
+	// (3)
+	for i := 0; i < t.M(); i++ {
+		terms := make([]ratsimplex.Term, 0, len(byNode[i])+1)
+		for _, k := range byNode[i] {
+			terms = append(terms, ratsimplex.T(m.yVar(k), 1, 1))
+		}
+		terms = append(terms, ratsimplex.T(m.xVar(i), -t.G, 1))
+		p.Add(terms, ratsimplex.LE, new(big.Rat))
+	}
+	// (4)
+	for i := 0; i < t.M(); i++ {
+		p.Add([]ratsimplex.Term{ratsimplex.T(m.xVar(i), 1, 1)},
+			ratsimplex.LE, big.NewRat(t.Nodes[i].L, 1))
+	}
+	// (5)
+	for k, pr := range m.Pairs {
+		p.Add([]ratsimplex.Term{
+			ratsimplex.T(m.yVar(k), 1, 1),
+			ratsimplex.T(m.xVar(pr.Node), -1, 1),
+		}, ratsimplex.LE, new(big.Rat))
+	}
+	// (7), (8)
+	for i := 0; i < t.M(); i++ {
+		var rhs int64
+		switch {
+		case m.AtLeast3[i]:
+			rhs = 3
+		case m.AtLeast2[i]:
+			rhs = 2
+		default:
+			continue
+		}
+		des := t.Des(i)
+		terms := make([]ratsimplex.Term, 0, len(des))
+		for _, dd := range des {
+			terms = append(terms, ratsimplex.T(m.xVar(dd), 1, 1))
+		}
+		p.Add(terms, ratsimplex.GE, big.NewRat(rhs, 1))
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("nestlp: exact: %w", err)
+	}
+	out := &Solution{
+		X: make([]float64, t.M()),
+		Y: make([]float64, len(m.Pairs)),
+	}
+	out.Objective, _ = sol.Objective.Float64()
+	for i := range out.X {
+		out.X[i], _ = sol.X[m.xVar(i)].Float64()
+	}
+	for k := range out.Y {
+		out.Y[k], _ = sol.X[m.yVar(k)].Float64()
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package nestlp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ilp"
+)
+
+// SolveInteger solves the LP with the x variables restricted to
+// integers via branch and bound — a third, independent exact solver
+// for nested active-time: integral per-node counts are schedulable iff
+// the (fractional) y variables can be completed, which flow
+// integrality makes equivalent to integral schedulability. It returns
+// the optimal per-node counts and the objective. maxNodes bounds the
+// search (0 = default).
+func (m *Model) SolveInteger(maxNodes int) ([]int64, int64, error) {
+	intVars := make([]int, m.Tree.M())
+	for i := range intVars {
+		intVars[i] = m.xVar(i)
+	}
+	res, err := ilp.Solve(m.prob.Clone(), intVars, maxNodes)
+	if err != nil {
+		return nil, 0, fmt.Errorf("nestlp: integer solve: %w", err)
+	}
+	counts := make([]int64, m.Tree.M())
+	var total int64
+	for i := range counts {
+		counts[i] = int64(math.Round(res.X[m.xVar(i)]))
+		total += counts[i]
+	}
+	obj := int64(math.Round(res.Objective))
+	if obj != total {
+		return nil, 0, fmt.Errorf("nestlp: integer solve inconsistent: obj %g vs counts %d",
+			res.Objective, total)
+	}
+	return counts, total, nil
+}

@@ -1,0 +1,41 @@
+package nestlp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/flowfeas"
+)
+
+// TestSolveIntegerMatchesExact cross-validates the ILP route against
+// the per-node-count branch and bound on random nested instances —
+// three exact solvers (count search, slot search, ILP) must agree.
+func TestSolveIntegerMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	for trial := 0; trial < 40; trial++ {
+		in := randomLaminar(rng, 6, 10)
+		comps, _ := in.Components()
+		for _, comp := range comps {
+			tr, err := canonicalTreeOf(comp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := NewModel(tr)
+			counts, obj, err := m.SolveInteger(0)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if !flowfeas.CheckNodeCounts(tr, counts) {
+				t.Fatalf("trial %d: ILP counts infeasible", trial)
+			}
+			want, _, err := exact.SolveNested(tr)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			if obj != want {
+				t.Fatalf("trial %d: ILP OPT %d vs search OPT %d", trial, obj, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package nestlp builds and manipulates the paper's strengthened
+// linear program for nested active-time scheduling (Figure 1a):
+//
+//	min Σ_i x(i)
+//	s.t. Σ_{i ∈ Des(k(j))} y(i,j) ≥ p_j            ∀j        (2)
+//	     Σ_{j ∈ J(Anc(i))} y(i,j) ≤ g·x(i)         ∀i        (3)
+//	     x(i) ≤ L(i)                               ∀i        (4)
+//	     y(i,j) ≤ x(i)                             ∀ pairs   (5)
+//	     y(i,j) = 0 outside Des(k(j))              (implicit) (6)
+//	     Σ_{i' ∈ Des(i)} x(i') ≥ 2   if OPT_i ≥ 2            (7)
+//	     Σ_{i' ∈ Des(i)} x(i') ≥ 3   if OPT_i ≥ 3            (8)
+//
+// plus the Lemma 3.1 solution transformation (push open slots toward
+// descendants) and the computation of the topmost positive set I with
+// its Claim 1 invariants.
+package nestlp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/exact"
+	"repro/internal/lamtree"
+	"repro/internal/simplex"
+)
+
+// Model is the LP for one canonical laminar tree.
+type Model struct {
+	Tree *lamtree.Tree
+	// Pairs lists the admissible (node, job) pairs, i ∈ Des(k(j)).
+	Pairs []Pair
+	// PairIdx maps (node, job) to an index into Pairs, or -1.
+	pairIdx map[[2]int]int
+	// AtLeast2, AtLeast3 are the OPT_i flags for constraints (7), (8).
+	AtLeast2, AtLeast3 []bool
+
+	prob      *simplex.Problem
+	nodePairs [][]int // lazily built: pair indices per node
+}
+
+// Pair is an admissible (node, job) combination.
+type Pair struct {
+	Node int
+	Job  int
+}
+
+// Solution is a feasible (x, y) point of the LP.
+type Solution struct {
+	// X holds x(i) per node.
+	X []float64
+	// Y holds y(i,j) per admissible pair, aligned with Model.Pairs.
+	Y []float64
+	// Objective is Σ_i x(i).
+	Objective float64
+}
+
+// ModelOptions tunes LP construction; the zero value is the paper's
+// full LP.
+type ModelOptions struct {
+	// DisableCeilings drops constraints (7) and (8), reducing the LP
+	// to the tree-indexed analogue of the natural LP. The rounding
+	// guarantee does not survive this — used by ablation experiments.
+	DisableCeilings bool
+}
+
+// NewModel constructs the LP over a canonical tree. The tree should
+// already be canonicalized (the model does not require it, but the
+// rounding analysis does).
+func NewModel(t *lamtree.Tree) *Model {
+	return NewModelWithOptions(t, ModelOptions{})
+}
+
+// NewModelWithOptions is NewModel with explicit construction options.
+func NewModelWithOptions(t *lamtree.Tree, opts ModelOptions) *Model {
+	m := &Model{Tree: t, pairIdx: make(map[[2]int]int)}
+	for j := range t.Jobs {
+		for _, i := range t.Des(t.NodeOf[j]) {
+			m.pairIdx[[2]int{i, j}] = len(m.Pairs)
+			m.Pairs = append(m.Pairs, Pair{Node: i, Job: j})
+		}
+	}
+	if opts.DisableCeilings {
+		m.AtLeast2 = make([]bool, t.M())
+		m.AtLeast3 = make([]bool, t.M())
+	} else {
+		m.AtLeast2, m.AtLeast3 = exact.OptLowerBoundFlags(t)
+	}
+	m.build()
+	return m
+}
+
+// PairIndex returns the index of pair (node, job) in Pairs, or -1 if
+// the pair is inadmissible.
+func (m *Model) PairIndex(node, job int) int {
+	if k, ok := m.pairIdx[[2]int{node, job}]; ok {
+		return k
+	}
+	return -1
+}
+
+// xVar and yVar give the simplex variable index of x(i) and of pair k.
+func (m *Model) xVar(i int) int { return i }
+func (m *Model) yVar(k int) int { return m.Tree.M() + k }
+func (m *Model) numVars() int   { return m.Tree.M() + len(m.Pairs) }
+
+func (m *Model) build() {
+	t := m.Tree
+	p := simplex.NewProblem(m.numVars())
+	for i := 0; i < t.M(); i++ {
+		p.SetObjectiveCoef(m.xVar(i), 1)
+	}
+
+	// (2): each job fully assigned.
+	byJob := make([][]int, len(t.Jobs))
+	byNode := make([][]int, t.M())
+	for k, pr := range m.Pairs {
+		byJob[pr.Job] = append(byJob[pr.Job], k)
+		byNode[pr.Node] = append(byNode[pr.Node], k)
+	}
+	for j := range t.Jobs {
+		terms := make([]simplex.Term, 0, len(byJob[j]))
+		for _, k := range byJob[j] {
+			terms = append(terms, simplex.Term{Var: m.yVar(k), Coef: 1})
+		}
+		p.Add(terms, simplex.GE, float64(t.Jobs[j].Processing))
+	}
+
+	// (3): node capacity g·x(i).
+	for i := 0; i < t.M(); i++ {
+		terms := make([]simplex.Term, 0, len(byNode[i])+1)
+		for _, k := range byNode[i] {
+			terms = append(terms, simplex.Term{Var: m.yVar(k), Coef: 1})
+		}
+		terms = append(terms, simplex.Term{Var: m.xVar(i), Coef: -float64(t.G)})
+		p.Add(terms, simplex.LE, 0)
+	}
+
+	// (4): x(i) ≤ L(i).
+	for i := 0; i < t.M(); i++ {
+		p.Add([]simplex.Term{{Var: m.xVar(i), Coef: 1}}, simplex.LE, float64(t.Nodes[i].L))
+	}
+
+	// (5): y(i,j) ≤ x(i).
+	for k, pr := range m.Pairs {
+		p.Add([]simplex.Term{
+			{Var: m.yVar(k), Coef: 1},
+			{Var: m.xVar(pr.Node), Coef: -1},
+		}, simplex.LE, 0)
+	}
+
+	// (7), (8): ceiling constraints on subtree totals.
+	for i := 0; i < t.M(); i++ {
+		rhs := 0.0
+		switch {
+		case m.AtLeast3[i]:
+			rhs = 3
+		case m.AtLeast2[i]:
+			rhs = 2
+		default:
+			continue
+		}
+		des := t.Des(i)
+		terms := make([]simplex.Term, 0, len(des))
+		for _, d := range des {
+			terms = append(terms, simplex.Term{Var: m.xVar(d), Coef: 1})
+		}
+		p.Add(terms, simplex.GE, rhs)
+	}
+
+	m.prob = p
+}
+
+// Solve optimizes the LP and returns the solution.
+func (m *Model) Solve() (*Solution, error) {
+	sol, err := m.prob.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("nestlp: %w", err)
+	}
+	out := &Solution{
+		X:         make([]float64, m.Tree.M()),
+		Y:         make([]float64, len(m.Pairs)),
+		Objective: sol.Objective,
+	}
+	for i := range out.X {
+		out.X[i] = snap(sol.X[m.xVar(i)])
+	}
+	for k := range out.Y {
+		out.Y[k] = snap(sol.X[m.yVar(k)])
+	}
+	return out, nil
+}
+
+// snap rounds values extremely close to an integer onto it, absorbing
+// simplex roundoff so downstream floors and ceilings are exact.
+func snap(v float64) float64 {
+	r := math.Round(v)
+	if math.Abs(v-r) < 1e-7 {
+		return r
+	}
+	return v
+}
+
+// Check verifies that (x, y) satisfies every LP constraint up to tol.
+// It is used by tests and by the transformation as a safety net.
+func (m *Model) Check(s *Solution, tol float64) error {
+	t := m.Tree
+	for i := 0; i < t.M(); i++ {
+		if s.X[i] < -tol {
+			return fmt.Errorf("nestlp: x(%d)=%g negative", i, s.X[i])
+		}
+		if s.X[i] > float64(t.Nodes[i].L)+tol {
+			return fmt.Errorf("nestlp: x(%d)=%g exceeds L=%d", i, s.X[i], t.Nodes[i].L)
+		}
+	}
+	sumNode := make([]float64, t.M())
+	sumJob := make([]float64, len(t.Jobs))
+	for k, pr := range m.Pairs {
+		y := s.Y[k]
+		if y < -tol {
+			return fmt.Errorf("nestlp: y(%d,%d)=%g negative", pr.Node, pr.Job, y)
+		}
+		if y > s.X[pr.Node]+tol {
+			return fmt.Errorf("nestlp: y(%d,%d)=%g exceeds x(%d)=%g",
+				pr.Node, pr.Job, y, pr.Node, s.X[pr.Node])
+		}
+		sumNode[pr.Node] += y
+		sumJob[pr.Job] += y
+	}
+	for j := range t.Jobs {
+		if sumJob[j] < float64(t.Jobs[j].Processing)-tol {
+			return fmt.Errorf("nestlp: job %d assigned %g < p=%d", j, sumJob[j], t.Jobs[j].Processing)
+		}
+	}
+	for i := 0; i < t.M(); i++ {
+		if sumNode[i] > float64(t.G)*s.X[i]+tol {
+			return fmt.Errorf("nestlp: node %d load %g exceeds g·x=%g", i, sumNode[i], float64(t.G)*s.X[i])
+		}
+	}
+	for i := 0; i < t.M(); i++ {
+		want := 0.0
+		switch {
+		case m.AtLeast3[i]:
+			want = 3
+		case m.AtLeast2[i]:
+			want = 2
+		default:
+			continue
+		}
+		var sub float64
+		for _, d := range t.Des(i) {
+			sub += s.X[d]
+		}
+		if sub < want-tol {
+			return fmt.Errorf("nestlp: subtree %d total %g violates ceiling %g", i, sub, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package nestlp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Transform applies the Lemma 3.1 solution transformation in place:
+// fractional open slots are pushed from ancestors toward descendants
+// until, for every pair i2 ∈ Des+(i1) with x(i2) < L(i2), x(i1) = 0 —
+// equivalently, every node with positive x has all strict descendants
+// fully open.
+//
+// Nodes are processed in order of decreasing depth; each node pulls
+// mass from its ancestors (nearest first) until it is full or all its
+// ancestors are empty. Once a node stops short of full, all its
+// ancestors are at zero and can never regain mass (their own ancestors
+// are also ancestors of the node and are pulled from, never pushed
+// to), so a single pass establishes the invariant.
+func (m *Model) Transform(s *Solution) {
+	t := m.Tree
+	order := make([]int, t.M())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return t.Nodes[order[a]].Depth > t.Nodes[order[b]].Depth
+	})
+
+	for _, i2 := range order {
+		L2 := float64(t.Nodes[i2].L)
+		for i1 := t.Nodes[i2].Parent; i1 >= 0; i1 = t.Nodes[i1].Parent {
+			if s.X[i2] >= L2-1e-12 {
+				break
+			}
+			if s.X[i1] <= 1e-12 {
+				continue
+			}
+			m.move(s, i1, i2, minF(L2-s.X[i2], s.X[i1]))
+		}
+		s.X[i2] = snap(s.X[i2])
+	}
+}
+
+// move shifts θ units of open-slot mass from node i1 to its descendant
+// i2 and reassigns a proportional θ/x(i1) share of every job placed at
+// i1 to i2. Every job admissible at i1 is admissible at i2 because
+// i2 ∈ Des(i1) ⊆ Des(k(j)).
+func (m *Model) move(s *Solution, i1, i2 int, theta float64) {
+	x1 := s.X[i1]
+	if theta <= 0 || theta > x1+1e-12 {
+		panic(fmt.Sprintf("nestlp: bad move θ=%g from x(%d)=%g", theta, i1, x1))
+	}
+	frac := theta / x1
+	for _, k1 := range m.pairsAtNode(i1) {
+		y := s.Y[k1]
+		if y == 0 {
+			continue
+		}
+		moved := frac * y
+		k2 := m.PairIndex(i2, m.Pairs[k1].Job)
+		if k2 < 0 {
+			panic(fmt.Sprintf("nestlp: job %d admissible at %d but not at descendant %d",
+				m.Pairs[k1].Job, i1, i2))
+		}
+		s.Y[k1] -= moved
+		s.Y[k2] += moved
+	}
+	s.X[i1] = snap(x1 - theta)
+	s.X[i2] = snap(s.X[i2] + theta)
+}
+
+// pairsAtNode returns the pair indices whose node is i (cached).
+func (m *Model) pairsAtNode(i int) []int {
+	if m.nodePairs == nil {
+		m.nodePairs = make([][]int, m.Tree.M())
+		for k, pr := range m.Pairs {
+			m.nodePairs[pr.Node] = append(m.nodePairs[pr.Node], k)
+		}
+	}
+	return m.nodePairs[i]
+}
+
+// TopmostPositive returns the set I of Lemma 3.1's Claim 1: the nodes
+// with x(i) > 0 whose strict ancestors all have x = 0, after the
+// transformation.
+func (m *Model) TopmostPositive(s *Solution) []int {
+	t := m.Tree
+	var out []int
+	var walk func(id int)
+	walk = func(id int) {
+		if s.X[id] > xEps {
+			out = append(out, id)
+			return
+		}
+		for _, c := range t.Nodes[id].Children {
+			walk(c)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r)
+	}
+	return out
+}
+
+// xEps is the threshold below which an x value is treated as zero.
+const xEps = 1e-7
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// CheckClaim1 validates the five properties of Claim 1 for the
+// topmost set I on a transformed solution.
+func (m *Model) CheckClaim1(s *Solution, I []int) error {
+	t := m.Tree
+	inI := make([]bool, t.M())
+	for _, i := range I {
+		inI[i] = true
+	}
+	// (1a) no node of I strictly contains another node of I — follows
+	// from construction, but verify.
+	for _, i := range I {
+		for u := t.Nodes[i].Parent; u >= 0; u = t.Nodes[u].Parent {
+			if inI[u] {
+				return fmt.Errorf("nestlp: claim1a: %d and ancestor %d both in I", i, u)
+			}
+		}
+	}
+	// (1b) Des(I) contains all leaves.
+	covered := make([]bool, t.M())
+	for _, i := range I {
+		for _, d := range t.Des(i) {
+			covered[d] = true
+		}
+	}
+	for id := range t.Nodes {
+		if t.IsLeaf(id) && !covered[id] {
+			return fmt.Errorf("nestlp: claim1b: leaf %d not under I", id)
+		}
+	}
+	// (1c) x(i) > 0 on I.
+	for _, i := range I {
+		if s.X[i] <= xEps {
+			return fmt.Errorf("nestlp: claim1c: x(%d)=%g not positive", i, s.X[i])
+		}
+	}
+	// (1d) strict descendants of I are fully open.
+	for _, i := range I {
+		for _, d := range t.Des(i) {
+			if d == i {
+				continue
+			}
+			if s.X[d] < float64(t.Nodes[d].L)-xEps {
+				return fmt.Errorf("nestlp: claim1d: x(%d)=%g < L=%d under I-node %d",
+					d, s.X[d], t.Nodes[d].L, i)
+			}
+		}
+	}
+	// (1e) strict ancestors of I are empty.
+	for _, i := range I {
+		for u := t.Nodes[i].Parent; u >= 0; u = t.Nodes[u].Parent {
+			if s.X[u] > xEps {
+				return fmt.Errorf("nestlp: claim1e: x(%d)=%g above I-node %d", u, s.X[u], i)
+			}
+		}
+	}
+	return nil
+}

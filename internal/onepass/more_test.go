@@ -1,0 +1,93 @@
+package onepass
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+// TestRunOnGapFamilies: the one-pass sweep completes every job on the
+// constructed families too.
+func TestRunOnGapFamilies(t *testing.T) {
+	for name, in := range map[string]*instance.Instance{
+		"NaturalGap2(4)":  gapfam.NaturalGap2(4),
+		"Nested32(4)":     gapfam.Nested32(4),
+		"Staircase(4,2)":  gapfam.Staircase(4, 2),
+		"PinnedComb(5,2)": gapfam.PinnedComb(5, 2),
+	} {
+		s, err := Run(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestRunLazy: no slot before the first forced moment may be active.
+func TestRunLazy(t *testing.T) {
+	in, err := instance.New(1, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The only job is forced at slot 9 (last chance).
+	if s.NumActive() != 1 || len(s.Slots[9]) != 1 {
+		t.Fatalf("lazy activation should wait until slot 9: %v", s)
+	}
+}
+
+// TestRunDeterministic: repeated runs yield identical schedules.
+func TestRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, 2))
+		a, err := Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NumActive() != b.NumActive() {
+			t.Fatalf("trial %d: nondeterministic slot count", trial)
+		}
+		for slot, js := range a.Slots {
+			if len(js) != len(b.Slots[slot]) {
+				t.Fatalf("trial %d: slot %d differs", trial, slot)
+			}
+		}
+	}
+}
+
+// TestRunMultiComponent: components far apart are handled in one
+// sweep.
+func TestRunMultiComponent(t *testing.T) {
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 2, Release: 0, Deadline: 4},
+		{Processing: 1, Release: 100, Deadline: 103},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 3 {
+		t.Fatalf("active %d want 3", s.NumActive())
+	}
+}

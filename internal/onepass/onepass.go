@@ -1,0 +1,177 @@
+// Package onepass implements a single-pass, committed-assignment
+// heuristic for active-time scheduling, inspired by the online
+// variants the paper's related work points to (survey of Chau and
+// Li). A fully online algorithm cannot guarantee feasibility here (an
+// adversary releasing a tight job into the last shared slot defeats
+// any early deactivation), so this is the honest middle ground: the
+// job set is known, but the scheduler sweeps time once, deciding
+// irrevocably at each slot whether to activate it and which jobs run
+// in it — it can never revisit or reshuffle earlier slots.
+//
+// Rule (lazy activation): keep slot t closed unless doing so would
+// make the remaining work infeasible even if every later slot were
+// activated. When a slot is activated, the jobs to run are read off a
+// max-flow certificate of that relaxation, which preserves the
+// feasibility invariant by construction — the sweep always completes
+// every job. Unlike the offline minimal-feasible greedy, the committed
+// per-slot assignments cannot be reshuffled later, so the activation
+// count can exceed the greedy's (the "cost of commitment");
+// experiment E14 measures that cost empirically (typically zero to a
+// few slots, never feasibility).
+package onepass
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/instance"
+	"repro/internal/maxflow"
+	"repro/internal/sched"
+)
+
+// Run executes the lazy-activation algorithm and returns the resulting
+// schedule. The instance must be feasible.
+func Run(in *instance.Instance) (*sched.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	h, ok := in.Horizon()
+	if !ok {
+		return sched.New(in.G), nil
+	}
+	remaining := make([]int64, in.N())
+	for i, j := range in.Jobs {
+		remaining[i] = j.Processing
+	}
+	out := sched.New(in.G)
+
+	for t := h.Start; t < h.End; t++ {
+		// Pending jobs: released, unfinished, still inside window.
+		var pending []int
+		for i, j := range in.Jobs {
+			if remaining[i] > 0 && j.Release <= t {
+				if t >= j.Deadline {
+					return nil, fmt.Errorf("onepass: job %d missed its deadline at %d (infeasible instance?)", i, t)
+				}
+				pending = append(pending, i)
+			}
+		}
+		if len(pending) == 0 {
+			continue
+		}
+		// Would closing t keep the relaxation feasible? (All slots
+		// after t are assumed available; jobs not yet released only
+		// constrain the future and are always schedulable there if the
+		// instance was feasible, so checking pending-only is exact for
+		// the activation decision of slot t... conservatively, include
+		// future jobs too: they can only force t to stay closed-able.)
+		if feasibleFrom(in, remaining, t+1) {
+			continue
+		}
+		// Activate t and run the jobs a relaxation certificate places
+		// in t.
+		assigned := assignAt(in, remaining, t)
+		if len(assigned) == 0 {
+			return nil, fmt.Errorf("onepass: internal: slot %d forced open but no assignment", t)
+		}
+		for _, j := range assigned {
+			out.Assign(t, j)
+			remaining[j]--
+		}
+	}
+	for i, r := range remaining {
+		if r > 0 {
+			return nil, fmt.Errorf("onepass: job %d unfinished (%d units left)", i, r)
+		}
+	}
+	return out, nil
+}
+
+// feasibleFrom reports whether all remaining work (of every job,
+// released or not) fits into the slots from 'from' onward, all open.
+func feasibleFrom(in *instance.Instance, remaining []int64, from int64) bool {
+	flow, _, want := relaxFlow(in, remaining, from)
+	return flow == want
+}
+
+// assignAt opens slot at and extracts which jobs a max-flow
+// certificate of the relaxation runs in it.
+func assignAt(in *instance.Instance, remaining []int64, at int64) []int {
+	flow, jobsInAt, want := relaxFlow(in, remaining, at)
+	if flow != want {
+		return nil
+	}
+	return jobsInAt
+}
+
+// relaxFlow builds the flow network over slots [from, maxDeadline) all
+// open plus capacity for each remaining job, returns the max flow, the
+// jobs assigned to slot 'from' in the flow, and the total demand.
+func relaxFlow(in *instance.Instance, remaining []int64, from int64) (int64, []int, int64) {
+	var maxD int64 = from
+	for _, j := range in.Jobs {
+		if j.Deadline > maxD {
+			maxD = j.Deadline
+		}
+	}
+	// Collect candidate slots (covered by some window, ≥ from).
+	slotSet := map[int64]bool{}
+	for i, j := range in.Jobs {
+		if remaining[i] == 0 {
+			continue
+		}
+		lo := j.Release
+		if lo < from {
+			lo = from
+		}
+		for t := lo; t < j.Deadline; t++ {
+			slotSet[t] = true
+		}
+	}
+	slots := make([]int64, 0, len(slotSet))
+	for t := range slotSet {
+		slots = append(slots, t)
+	}
+	sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
+
+	n := in.N()
+	g := maxflow.New(2 + n + len(slots))
+	src, snk := 0, 1
+	slotNode := map[int64]int{}
+	for k, t := range slots {
+		slotNode[t] = 2 + n + k
+		g.AddEdge(2+n+k, snk, in.G)
+	}
+	var want int64
+	type jref struct {
+		job int
+		ref maxflow.EdgeRef
+	}
+	var atRefs []jref
+	for i, j := range in.Jobs {
+		if remaining[i] == 0 {
+			continue
+		}
+		jn := 2 + i
+		g.AddEdge(src, jn, remaining[i])
+		want += remaining[i]
+		lo := j.Release
+		if lo < from {
+			lo = from
+		}
+		for t := lo; t < j.Deadline; t++ {
+			ref := g.AddEdge(jn, slotNode[t], 1)
+			if t == from {
+				atRefs = append(atRefs, jref{job: i, ref: ref})
+			}
+		}
+	}
+	flow := g.Run(src, snk)
+	var inAt []int
+	for _, r := range atRefs {
+		if g.Flow(r.ref) > 0 {
+			inAt = append(inAt, r.job)
+		}
+	}
+	return flow, inAt, want
+}

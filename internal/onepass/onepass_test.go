@@ -1,0 +1,122 @@
+package onepass
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/greedy"
+	"repro/internal/instance"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestRunSimple(t *testing.T) {
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 0, Deadline: 6},
+		instance.Job{Processing: 1, Release: 0, Deadline: 3},
+	)
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// Lazy activation opens slot 2 (forced by the p=1 job) and lets
+	// the p=2 job ride along there, leaving one forced slot at 5.
+	if s.NumActive() != 2 {
+		t.Fatalf("active %d want 2", s.NumActive())
+	}
+}
+
+func TestRunEmpty(t *testing.T) {
+	in := mk(t, 1)
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 0 {
+		t.Fatal("empty instance must yield empty schedule")
+	}
+}
+
+func TestRunSharesForcedSlots(t *testing.T) {
+	// A rigid job pins its window; the flexible job should ride along
+	// in those forced slots instead of forcing new ones.
+	in := mk(t, 2,
+		instance.Job{Processing: 2, Release: 2, Deadline: 4}, // rigid at 2,3
+		instance.Job{Processing: 2, Release: 0, Deadline: 8},
+	)
+	s, err := Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 2 {
+		t.Fatalf("active %d want 2 (flexible job shares the pinned slots)", s.NumActive())
+	}
+}
+
+func TestRunInfeasible(t *testing.T) {
+	in := mk(t, 1,
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+		instance.Job{Processing: 1, Release: 0, Deadline: 1},
+	)
+	if _, err := Run(in); err == nil {
+		t.Fatal("expected error on infeasible instance")
+	}
+}
+
+// TestRunAlwaysFeasible: on random feasible instances (nested and
+// general), the one-pass schedule is always valid, never beats OPT,
+// and stays close to the left-to-right minimal-feasible greedy — the
+// committed assignments may cost extra slots but never feasibility.
+func TestRunAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	worstExtra := int64(0)
+	for trial := 0; trial < 80; trial++ {
+		var in *instance.Instance
+		if trial%2 == 0 {
+			in = gen.RandomLaminar(rng, gen.DefaultLaminar(7, int64(1+rng.Intn(3))))
+		} else {
+			in = gen.RandomGeneral(rng, gen.DefaultGeneral(7, int64(1+rng.Intn(3))))
+		}
+		s, err := Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := s.Validate(in); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if extra := s.NumActive() - int64(len(res.Open)); extra > worstExtra {
+			worstExtra = extra
+		}
+		opt, err := exact.Opt(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.NumActive() < opt {
+			t.Fatalf("trial %d: %d slots below OPT %d — impossible", trial, s.NumActive(), opt)
+		}
+	}
+	// The cost of commitment should be small on these sizes; a blowup
+	// signals an assignment-extraction bug.
+	if worstExtra > 3 {
+		t.Fatalf("cost of commitment reached %d slots", worstExtra)
+	}
+}

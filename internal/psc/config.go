@@ -1,0 +1,127 @@
+package psc
+
+import (
+	"fmt"
+
+	"repro/internal/maxflow"
+)
+
+// Configuration is the §6 notion: z[t] is the number of unused
+// machines in slot t of some partially filled schedule. Filling
+// always uses the highest-indexed free machine first, so machine j is
+// free in slot t exactly when z[t] >= j (1-indexed machines).
+type Configuration []int64
+
+// MachineFreeSlots returns e_1..e_q where e_j is the number of slots
+// in which machine j is unused, assuming lower-indexed machines are
+// left unused first. e is non-increasing by construction.
+func (z Configuration) MachineFreeSlots(q int) []int64 {
+	e := make([]int64, q)
+	for _, zt := range z {
+		for j := int64(1); j <= int64(q) && j <= zt; j++ {
+			e[j-1]++
+		}
+	}
+	return e
+}
+
+// Fits implements the Lemma 6.2 criterion: jobs with the given lengths
+// (order irrelevant; internally sorted descending) fit into the
+// configuration if and only if every prefix of the sorted length
+// vector is dominated by the corresponding prefix of e.
+func (z Configuration) Fits(lengths []int64) bool {
+	l := sortedDesc(lengths)
+	e := z.MachineFreeSlots(len(l))
+	var se, sl int64
+	for j := range l {
+		se += e[j]
+		sl += l[j]
+		if se < sl {
+			return false
+		}
+	}
+	return true
+}
+
+// FitsByFlow answers the same question by maximum flow: job i needs
+// lengths[i] distinct slots; slot t accepts at most z[t] jobs. It is
+// the reference implementation Lemma 6.2 is validated against.
+func (z Configuration) FitsByFlow(lengths []int64) bool {
+	n := len(lengths)
+	g := maxflow.New(2 + n + len(z))
+	src, snk := 0, 1
+	var want int64
+	for i, l := range lengths {
+		g.AddEdge(src, 2+i, l)
+		want += l
+		for t := range z {
+			if z[t] > 0 {
+				g.AddEdge(2+i, 2+n+t, 1)
+			}
+		}
+	}
+	for t, zt := range z {
+		if zt > 0 {
+			g.AddEdge(2+n+t, snk, zt)
+		}
+	}
+	return g.Run(src, snk) == want
+}
+
+// Pack constructively assigns jobs to slots, returning, for each job,
+// the slots it occupies. It follows the greedy from the Lemma 6.2
+// proof: jobs in descending length order, each taking the slots with
+// the most remaining capacity. It returns an error when the prefix
+// criterion fails.
+func (z Configuration) Pack(lengths []int64) ([][]int, error) {
+	if !z.Fits(lengths) {
+		return nil, fmt.Errorf("psc: lengths do not fit configuration")
+	}
+	type jl struct {
+		id int
+		l  int64
+	}
+	jobs := make([]jl, len(lengths))
+	for i, l := range lengths {
+		jobs[i] = jl{id: i, l: l}
+	}
+	// Descending by length.
+	for i := 1; i < len(jobs); i++ {
+		for k := i; k > 0 && jobs[k].l > jobs[k-1].l; k-- {
+			jobs[k], jobs[k-1] = jobs[k-1], jobs[k]
+		}
+	}
+	rem := make([]int64, len(z))
+	copy(rem, z)
+	out := make([][]int, len(lengths))
+	for _, j := range jobs {
+		// Pick the j.l slots with the largest remaining capacity.
+		order := make([]int, len(rem))
+		for t := range order {
+			order[t] = t
+		}
+		// Stable selection: sort by remaining capacity descending,
+		// slot index ascending.
+		for a := 1; a < len(order); a++ {
+			for k := a; k > 0; k-- {
+				x, y := order[k], order[k-1]
+				if rem[x] > rem[y] || (rem[x] == rem[y] && x < y) {
+					order[k], order[k-1] = order[k-1], order[k]
+				} else {
+					break
+				}
+			}
+		}
+		if int64(len(order)) < j.l {
+			return nil, fmt.Errorf("psc: internal: job %d needs %d slots, have %d", j.id, j.l, len(order))
+		}
+		for _, t := range order[:j.l] {
+			if rem[t] <= 0 {
+				return nil, fmt.Errorf("psc: internal: slot %d exhausted packing job %d", t, j.id)
+			}
+			rem[t]--
+			out[j.id] = append(out[j.id], t)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package psc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randVec produces a short non-negative vector.
+func randVec(rng *rand.Rand, d int) Vector {
+	v := make(Vector, d)
+	for i := range v {
+		v[i] = int64(rng.Intn(6))
+	}
+	return v
+}
+
+func TestPrefixDominatesReflexive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		v := randVec(rng, 1+rng.Intn(5))
+		if !PrefixDominates(v, v) {
+			t.Fatalf("reflexivity failed on %v", v)
+		}
+	}
+}
+
+func TestPrefixDominatesTransitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	checked := 0
+	for trial := 0; trial < 5000 && checked < 300; trial++ {
+		d := 1 + rng.Intn(4)
+		a, b, c := randVec(rng, d), randVec(rng, d), randVec(rng, d)
+		if PrefixDominates(a, b) && PrefixDominates(b, c) {
+			checked++
+			if !PrefixDominates(a, c) {
+				t.Fatalf("transitivity failed: %v ≺ %v ≺ %v", a, b, c)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no transitive triples sampled")
+	}
+}
+
+func TestPrefixDominatesAdditive(t *testing.T) {
+	// a ≺ b and c ≺ d implies a+c ≺ b+d.
+	rng := rand.New(rand.NewSource(3))
+	checked := 0
+	for trial := 0; trial < 5000 && checked < 300; trial++ {
+		dim := 1 + rng.Intn(4)
+		a, b, c, d := randVec(rng, dim), randVec(rng, dim), randVec(rng, dim), randVec(rng, dim)
+		if PrefixDominates(a, b) && PrefixDominates(c, d) {
+			checked++
+			if !PrefixDominates(Sum(dim, a, c), Sum(dim, b, d)) {
+				t.Fatalf("additivity failed: %v,%v,%v,%v", a, b, c, d)
+			}
+		}
+	}
+}
+
+func TestSumProperties(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 6 {
+			return true
+		}
+		d := len(raw)
+		v := make(Vector, d)
+		for i, x := range raw {
+			v[i] = int64(x % 7)
+		}
+		zero := make(Vector, d)
+		got := Sum(d, v, zero)
+		for i := range got {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		// Commutativity.
+		w := make(Vector, d)
+		for i := range w {
+			w[i] = int64((raw[i] * 3) % 5)
+		}
+		ab := Sum(d, v, w)
+		ba := Sum(d, w, v)
+		for i := range ab {
+			if ab[i] != ba[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceMoreVectorsNeverHurts(t *testing.T) {
+	// If k vectors suffice, k+1 also suffice (entries non-negative).
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		in := randomRestrictedPSC(rng)
+		if in.K >= len(in.U) {
+			continue
+		}
+		yes1, _ := in.BruteForce()
+		bigger := &Instance{U: in.U, V: in.V, K: in.K + 1}
+		yes2, _ := bigger.BruteForce()
+		if yes1 && !yes2 {
+			t.Fatalf("trial %d: K=%d yes but K=%d no", trial, in.K, in.K+1)
+		}
+	}
+}
+
+func TestMachineFreeSlots(t *testing.T) {
+	z := Configuration{3, 0, 1, 2}
+	e := z.MachineFreeSlots(4)
+	want := []int64{3, 2, 1, 0}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("e = %v want %v", e, want)
+		}
+	}
+	// e is always non-increasing.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		zz := make(Configuration, 1+rng.Intn(6))
+		for i := range zz {
+			zz[i] = int64(rng.Intn(5))
+		}
+		ee := zz.MachineFreeSlots(1 + rng.Intn(5))
+		for i := 1; i < len(ee); i++ {
+			if ee[i] > ee[i-1] {
+				t.Fatalf("e not non-increasing: %v (z=%v)", ee, zz)
+			}
+		}
+	}
+}
+
+func TestFitsEmptyAndZeroLengths(t *testing.T) {
+	z := Configuration{1, 1}
+	if !z.Fits(nil) {
+		t.Fatal("no jobs always fit")
+	}
+	if !z.Fits([]int64{0, 0}) {
+		t.Fatal("zero-length jobs always fit")
+	}
+	empty := Configuration{}
+	if !empty.Fits([]int64{0}) {
+		t.Fatal("zero-length job fits empty configuration")
+	}
+	if empty.Fits([]int64{1}) {
+		t.Fatal("unit job cannot fit empty configuration")
+	}
+}

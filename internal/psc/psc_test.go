@@ -1,0 +1,284 @@
+package psc
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+func TestPrefixDominates(t *testing.T) {
+	cases := []struct {
+		v, w Vector
+		want bool
+	}{
+		{Vector{3, 1}, Vector{2, 2}, true},  // prefixes 3≥2, 4≥4
+		{Vector{2, 2}, Vector{3, 1}, false}, // 2<3
+		{Vector{1, 1, 1}, Vector{1, 1, 1}, true},
+		{Vector{0, 0}, Vector{0, 0}, true},
+		{Vector{5, 0}, Vector{1, 3}, true},
+	}
+	for _, c := range cases {
+		if got := PrefixDominates(c.v, c.w); got != c.want {
+			t.Errorf("PrefixDominates(%v,%v) = %v want %v", c.v, c.w, got, c.want)
+		}
+	}
+}
+
+func TestBruteForcePSC(t *testing.T) {
+	in := &Instance{
+		U: []Vector{{3, 2}, {2, 1}, {1, 1}},
+		V: Vector{4, 3},
+		K: 2,
+	}
+	ok, witness := in.BruteForce()
+	if !ok {
+		t.Fatal("expected yes: {3,2}+{2,1} = {5,3} prefix-dominates {4,3}")
+	}
+	vs := make([]Vector, len(witness))
+	for i, id := range witness {
+		vs[i] = in.U[id]
+	}
+	if !PrefixDominates(Sum(in.Dim(), vs...), in.V) {
+		t.Fatal("witness does not certify")
+	}
+
+	in.K = 1
+	if ok, _ := in.BruteForce(); ok {
+		t.Fatal("no single vector prefix-dominates {4,3}")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Instance{U: []Vector{{3, 2}}, V: Vector{2, 1}, K: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Instance{U: []Vector{{2, 3}}, V: Vector{2, 1}, K: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("increasing vector must be rejected")
+	}
+	zero := &Instance{U: []Vector{{1, 0}}, V: Vector{1, 0}, K: 1}
+	if err := zero.Validate(); err == nil {
+		t.Fatal("zero entry in U must be rejected")
+	}
+}
+
+// TestSetCoverToPSC verifies the §6 reduction equivalence on
+// exhaustively generated small set-cover instances.
+func TestSetCoverToPSC(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 400; trial++ {
+		d := 1 + rng.Intn(4)
+		nsets := 1 + rng.Intn(4)
+		sets := make([][]int, nsets)
+		for i := range sets {
+			for e := 0; e < d; e++ {
+				if rng.Intn(2) == 0 {
+					sets[i] = append(sets[i], e)
+				}
+			}
+		}
+		k := 1 + rng.Intn(nsets)
+		sc := &SetCover{D: d, Sets: sets, K: k}
+		p := FromSetCover(sc)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: transformed instance invalid: %v", trial, err)
+		}
+		scAns := sc.BruteForce()
+		pAns, _ := p.BruteForce()
+		if scAns != pAns {
+			t.Fatalf("trial %d: set cover %v but PSC %v (sets=%v k=%d)",
+				trial, scAns, pAns, sets, k)
+		}
+	}
+}
+
+func TestConfigurationFitsMatchesFlow(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 2000; trial++ {
+		m := 1 + rng.Intn(5)
+		z := make(Configuration, m)
+		for i := range z {
+			z[i] = int64(rng.Intn(4))
+		}
+		q := 1 + rng.Intn(4)
+		lengths := make([]int64, q)
+		for i := range lengths {
+			lengths[i] = int64(rng.Intn(int(int64(m)) + 1))
+		}
+		fast := z.Fits(lengths)
+		slow := z.FitsByFlow(lengths)
+		if fast != slow {
+			t.Fatalf("trial %d: Lemma 6.2 criterion %v but flow %v (z=%v lengths=%v)",
+				trial, fast, slow, z, lengths)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	z := Configuration{2, 1, 2}
+	lengths := []int64{3, 2}
+	assign, err := z.Pack(lengths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	use := make([]int64, len(z))
+	for i, slots := range assign {
+		if int64(len(slots)) != lengths[i] {
+			t.Fatalf("job %d got %d slots want %d", i, len(slots), lengths[i])
+		}
+		seen := map[int]bool{}
+		for _, s := range slots {
+			if seen[s] {
+				t.Fatalf("job %d uses slot %d twice", i, s)
+			}
+			seen[s] = true
+			use[s]++
+		}
+	}
+	for s := range z {
+		if use[s] > z[s] {
+			t.Fatalf("slot %d over capacity: %d > %d", s, use[s], z[s])
+		}
+	}
+	if _, err := z.Pack([]int64{3, 3}); err == nil {
+		t.Fatal("expected failure: total 6 > capacity 5")
+	}
+}
+
+// TestPackRandomized: whenever Fits says yes, Pack must produce a
+// valid assignment.
+func TestPackRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 1000; trial++ {
+		m := 1 + rng.Intn(5)
+		z := make(Configuration, m)
+		for i := range z {
+			z[i] = int64(rng.Intn(4))
+		}
+		q := 1 + rng.Intn(4)
+		lengths := make([]int64, q)
+		for i := range lengths {
+			lengths[i] = int64(rng.Intn(m + 1))
+		}
+		if !z.Fits(lengths) {
+			continue
+		}
+		assign, err := z.Pack(lengths)
+		if err != nil {
+			t.Fatalf("trial %d: Fits but Pack failed: %v (z=%v l=%v)", trial, err, z, lengths)
+		}
+		use := make([]int64, m)
+		for i, slots := range assign {
+			if int64(len(slots)) != lengths[i] {
+				t.Fatalf("trial %d: job %d wrong units", trial, i)
+			}
+			seen := map[int]bool{}
+			for _, s := range slots {
+				if seen[s] {
+					t.Fatalf("trial %d: job %d slot %d dup", trial, i, s)
+				}
+				seen[s] = true
+				use[s]++
+			}
+		}
+		for s := range z {
+			if use[s] > z[s] {
+				t.Fatalf("trial %d: slot %d over", trial, s)
+			}
+		}
+	}
+}
+
+// TestReductionEquivalence is the E6 core: PSC answer == (active-time
+// OPT ≤ budget) on random small restricted instances.
+func TestReductionEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 25; trial++ {
+		in := randomRestrictedPSC(rng)
+		red, err := Reduce(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !red.Scheduling.Nested() {
+			t.Fatalf("trial %d: reduction not nested", trial)
+		}
+		opt, err := exact.Opt(red.Scheduling)
+		if err != nil {
+			// The scheduling instance can be infeasible when even all
+			// n vectors cannot cover v; then the PSC answer must be no.
+			if ok, _ := in.BruteForce(); ok {
+				t.Fatalf("trial %d: scheduling infeasible but PSC yes", trial)
+			}
+			continue
+		}
+		pscYes, _ := in.BruteForce()
+		schedYes := opt <= red.Budget
+		if pscYes != schedYes {
+			t.Fatalf("trial %d: PSC=%v but OPT=%d budget=%d (inst U=%v V=%v K=%d)",
+				trial, pscYes, opt, red.Budget, in.U, in.V, in.K)
+		}
+		if opt < red.ForcedSlots {
+			t.Fatalf("trial %d: OPT=%d below forced slots %d", trial, opt, red.ForcedSlots)
+		}
+	}
+}
+
+// TestReductionFromSetCoverEndToEnd chains both reductions: set cover
+// → PSC → active time.
+func TestReductionFromSetCoverEndToEnd(t *testing.T) {
+	sc := &SetCover{D: 2, Sets: [][]int{{0}, {1}, {0, 1}}, K: 1}
+	p := FromSetCover(sc)
+	red, err := Reduce(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := exact.Opt(red.Scheduling)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opt <= red.Budget; got != true {
+		t.Fatalf("set {0,1} covers with k=1, but scheduling says %v (opt=%d budget=%d)",
+			got, opt, red.Budget)
+	}
+
+	sc2 := &SetCover{D: 2, Sets: [][]int{{0}, {1}}, K: 1}
+	p2 := FromSetCover(sc2)
+	red2, err := Reduce(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt2, err := exact.Opt(red2.Scheduling)
+	if err == nil && opt2 <= red2.Budget {
+		t.Fatalf("k=1 cannot cover two disjoint elements, but scheduling says yes (opt=%d budget=%d)",
+			opt2, red2.Budget)
+	}
+}
+
+// randomRestrictedPSC builds small instances obeying the restricted
+// form (positive, non-increasing U; non-negative, non-increasing V).
+func randomRestrictedPSC(rng *rand.Rand) *Instance {
+	n := 1 + rng.Intn(3)
+	d := 1 + rng.Intn(2)
+	mkDesc := func(maxV int64, minV int64) Vector {
+		v := make(Vector, d)
+		cur := minV + rng.Int63n(maxV-minV+1)
+		for j := 0; j < d; j++ {
+			v[j] = cur
+			if cur > minV {
+				cur -= rng.Int63n(cur - minV + 1)
+			}
+		}
+		return v
+	}
+	u := make([]Vector, n)
+	for i := range u {
+		u[i] = mkDesc(3, 1)
+	}
+	in := &Instance{U: u, V: mkDesc(4, 0), K: 1 + rng.Intn(n)}
+	if err := in.Validate(); err != nil {
+		panic(err)
+	}
+	return in
+}

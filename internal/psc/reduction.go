@@ -1,0 +1,117 @@
+package psc
+
+import (
+	"fmt"
+
+	"repro/internal/instance"
+)
+
+// Reduction holds the nested active-time instance produced from a
+// prefix sum cover instance by the §6 reduction, together with the
+// bookkeeping needed to interpret its optimum.
+type Reduction struct {
+	// Scheduling is the produced nested active-time instance.
+	Scheduling *instance.Instance
+	// ForcedSlots is n(W−1), the number of non-special slots that any
+	// feasible solution must open (they carry rigid unit jobs).
+	ForcedSlots int64
+	// Budget is ForcedSlots + K: the PSC answer is yes iff the
+	// scheduling optimum is at most Budget.
+	Budget int64
+	// W is the maximum scalar of the PSC instance.
+	W int64
+}
+
+// Reduce performs the §6 reduction. The machine capacity is
+// g = p = d·W. Per PSC vector u_i the construction emits:
+//
+//   - rigid unit jobs: for w ∈ [2, W], p − |{j : u_i[j] ≥ w}| jobs
+//     pinned to the single slot [(i−1)W + w − 1, (i−1)W + w);
+//   - flexible unit jobs: Σ_j u_i[j] − d jobs with window
+//     [(i−1)W, iW);
+//
+// plus, per target coordinate j, one job of length v[j] with window
+// [0, nW). Opening the special slot [(i−1)W, (i−1)W+1) frees exactly
+// u_i[j] units of machine j inside window i, so scheduling the target
+// jobs is the prefix-sum-cover condition via Lemma 6.2.
+func Reduce(in *Instance) (*Reduction, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(in.U)
+	d := in.Dim()
+	if n == 0 || d == 0 {
+		return nil, fmt.Errorf("psc: empty instance")
+	}
+	W := in.MaxScalar()
+	if W < 2 {
+		// Padding W up is harmless: the extra columns w > max entry
+		// become fully saturated rigid slots, leaving the free-space
+		// profile of each window unchanged.
+		W = 2
+	}
+	p := int64(d) * W
+	var jobs []instance.Job
+
+	for i := 0; i < n; i++ {
+		base := int64(i) * W
+		var volume int64
+		for j := 0; j < d; j++ {
+			volume += in.U[i][j]
+		}
+		// S1: rigid unit jobs pinning every non-special slot of
+		// window i.
+		for w := int64(2); w <= W; w++ {
+			var geq int64
+			for j := 0; j < d; j++ {
+				if in.U[i][j] >= w {
+					geq++
+				}
+			}
+			for c := int64(0); c < p-geq; c++ {
+				jobs = append(jobs, instance.Job{
+					Processing: 1,
+					Release:    base + w - 1,
+					Deadline:   base + w,
+				})
+			}
+		}
+		// S2: flexible unit jobs over the whole window i.
+		for c := int64(0); c < volume-int64(d); c++ {
+			jobs = append(jobs, instance.Job{
+				Processing: 1,
+				Release:    base,
+				Deadline:   base + W,
+			})
+		}
+	}
+	// S3: target jobs spanning the full horizon.
+	for j := 0; j < d; j++ {
+		if in.V[j] == 0 {
+			continue // zero-length targets are vacuous
+		}
+		if in.V[j] > int64(n)*W {
+			return nil, fmt.Errorf("psc: target v[%d]=%d exceeds horizon %d", j, in.V[j], int64(n)*W)
+		}
+		jobs = append(jobs, instance.Job{
+			Processing: in.V[j],
+			Release:    0,
+			Deadline:   int64(n) * W,
+		})
+	}
+
+	sched, err := instance.New(p, jobs)
+	if err != nil {
+		return nil, fmt.Errorf("psc: reduction produced invalid instance: %w", err)
+	}
+	if !sched.Nested() {
+		return nil, fmt.Errorf("psc: internal: reduction must be nested")
+	}
+	forced := int64(n) * (W - 1)
+	return &Reduction{
+		Scheduling:  sched,
+		ForcedSlots: forced,
+		Budget:      forced + int64(in.K),
+		W:           W,
+	}, nil
+}

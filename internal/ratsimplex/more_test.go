@@ -1,0 +1,93 @@
+package ratsimplex
+
+import (
+	"math/big"
+	"testing"
+)
+
+// TestDegenerateVertex: many constraints meet at one point; Bland's
+// rule must terminate and report the right optimum.
+func TestDegenerateVertex(t *testing.T) {
+	// min -x0 - x1 s.t. x0 ≤ 1, x1 ≤ 1, x0 + x1 ≤ 2 (redundant at the
+	// optimum), x0 - x1 ≤ 0 duplicated. Optimum (1,1): -2.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, rat(-1, 1))
+	p.SetObjectiveCoef(1, rat(-1, 1))
+	p.Add([]Term{T(0, 1, 1)}, LE, rat(1, 1))
+	p.Add([]Term{T(1, 1, 1)}, LE, rat(1, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, 1, 1)}, LE, rat(2, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, -1, 1)}, LE, rat(0, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, -1, 1)}, LE, rat(0, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(-2, 1)) != 0 {
+		t.Fatalf("objective %v want -2", sol.Objective)
+	}
+}
+
+// TestRedundantEqualities: duplicated equality rows produce redundant
+// artificials that must be driven out or zeroed in phase 1.
+func TestRedundantEqualities(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, rat(1, 1))
+	p.SetObjectiveCoef(1, rat(1, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, 1, 1)}, EQ, rat(3, 1))
+	p.Add([]Term{T(0, 2, 1), T(1, 2, 1)}, EQ, rat(6, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, 1, 1)}, EQ, rat(3, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(3, 1)) != 0 {
+		t.Fatalf("objective %v want 3", sol.Objective)
+	}
+}
+
+// TestLargeCoefficientsStayExact: values far beyond float precision
+// remain exact in rational arithmetic.
+func TestLargeCoefficientsStayExact(t *testing.T) {
+	// min x s.t. (10^18 + 1)·x ≥ 10^18 + 1 → x = 1 exactly.
+	huge := new(big.Rat).SetInt64(1)
+	big18 := new(big.Rat).SetInt64(1_000_000_000_000_000_000)
+	huge.Add(huge, big18)
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, rat(1, 1))
+	p.Add([]Term{{Var: 0, Coef: huge}}, GE, huge)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(1, 1)) != 0 {
+		t.Fatalf("objective %v want exactly 1", sol.Objective)
+	}
+	// And a genuinely non-float-representable optimum: x = huge/3.
+	q := NewProblem(1)
+	q.SetObjectiveCoef(0, rat(1, 1))
+	q.Add([]Term{T(0, 3, 1)}, GE, huge)
+	qsol, err := q.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := new(big.Rat).Quo(huge, rat(3, 1))
+	if qsol.Objective.Cmp(want) != 0 {
+		t.Fatalf("objective %v want %v", qsol.Objective, want)
+	}
+}
+
+// TestInputsNotMutated: Add and SetObjectiveCoef must deep-copy their
+// rational arguments.
+func TestInputsNotMutated(t *testing.T) {
+	coef := rat(2, 1)
+	rhs := rat(4, 1)
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, coef)
+	p.Add([]Term{{Var: 0, Coef: coef}}, GE, rhs)
+	if _, err := p.Solve(); err != nil {
+		t.Fatal(err)
+	}
+	if coef.Cmp(rat(2, 1)) != 0 || rhs.Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("solver mutated caller values: coef=%v rhs=%v", coef, rhs)
+	}
+}

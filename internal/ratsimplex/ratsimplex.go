@@ -1,0 +1,357 @@
+// Package ratsimplex is an exact two-phase primal simplex solver over
+// rational arithmetic (math/big.Rat). It solves the same problem class
+// as internal/simplex —
+//
+//	minimize c·x  subject to  a_k·x (≤|=|≥) b_k,  x ≥ 0
+//
+// — but with no rounding error: Bland's rule is used exclusively, so
+// termination is guaranteed, and results are exact. The paper's
+// algorithm assumes an exact LP oracle; this package provides one for
+// instances where the float64 solver's 1e-7 snapping would be a leap
+// of faith. It is orders of magnitude slower than the float solver and
+// intended for small LPs and cross-checking.
+package ratsimplex
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Op is a constraint sense.
+type Op int
+
+// Constraint senses.
+const (
+	LE Op = iota
+	GE
+	EQ
+)
+
+// Term is one coefficient of a constraint or the objective.
+type Term struct {
+	Var  int
+	Coef *big.Rat
+}
+
+// T builds a term from an int64 numerator/denominator pair.
+func T(v int, num, den int64) Term { return Term{Var: v, Coef: big.NewRat(num, den)} }
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   *big.Rat
+}
+
+// Problem is a rational LP under construction.
+type Problem struct {
+	nvars int
+	c     []*big.Rat
+	cons  []constraint
+}
+
+// NewProblem returns a problem with nvars non-negative variables.
+func NewProblem(nvars int) *Problem {
+	c := make([]*big.Rat, nvars)
+	for i := range c {
+		c[i] = new(big.Rat)
+	}
+	return &Problem{nvars: nvars, c: c}
+}
+
+// SetObjectiveCoef sets the minimization coefficient of variable v.
+func (p *Problem) SetObjectiveCoef(v int, coef *big.Rat) {
+	p.check(v)
+	p.c[v] = new(big.Rat).Set(coef)
+}
+
+// Add appends the constraint terms·x (op) rhs.
+func (p *Problem) Add(terms []Term, op Op, rhs *big.Rat) {
+	cp := make([]Term, len(terms))
+	for i, t := range terms {
+		p.check(t.Var)
+		cp[i] = Term{Var: t.Var, Coef: new(big.Rat).Set(t.Coef)}
+	}
+	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: new(big.Rat).Set(rhs)})
+}
+
+func (p *Problem) check(v int) {
+	if v < 0 || v >= p.nvars {
+		panic(fmt.Sprintf("ratsimplex: variable %d out of range [0,%d)", v, p.nvars))
+	}
+}
+
+// Solution is an exact optimal solution.
+type Solution struct {
+	X         []*big.Rat
+	Objective *big.Rat
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("ratsimplex: infeasible")
+	ErrUnbounded  = errors.New("ratsimplex: unbounded")
+)
+
+type tableau struct {
+	m, n  int
+	a     [][]*big.Rat
+	rhs   []*big.Rat
+	basis []int
+}
+
+// Solve runs exact two-phase simplex with Bland's pivoting rule.
+func (p *Problem) Solve() (*Solution, error) {
+	m := len(p.cons)
+	nStruct := p.nvars
+	nSlack, nArt := 0, 0
+	for _, con := range p.cons {
+		op := con.op
+		if con.rhs.Sign() < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	n := nStruct + nSlack + nArt
+	t := &tableau{m: m, n: n,
+		a:     make([][]*big.Rat, m),
+		rhs:   make([]*big.Rat, m),
+		basis: make([]int, m),
+	}
+	artCols := make([]int, 0, nArt)
+	slackAt, artAt := nStruct, nStruct+nSlack
+
+	for r, con := range p.cons {
+		row := make([]*big.Rat, n)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		sign := int64(1)
+		rhs := new(big.Rat).Set(con.rhs)
+		op := con.op
+		if rhs.Sign() < 0 {
+			sign = -1
+			rhs.Neg(rhs)
+			op = flip(op)
+		}
+		signR := big.NewRat(sign, 1)
+		for _, term := range con.terms {
+			tmp := new(big.Rat).Mul(signR, term.Coef)
+			row[term.Var].Add(row[term.Var], tmp)
+		}
+		switch op {
+		case LE:
+			row[slackAt].SetInt64(1)
+			t.basis[r] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt].SetInt64(-1)
+			slackAt++
+			row[artAt].SetInt64(1)
+			t.basis[r] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			row[artAt].SetInt64(1)
+			t.basis[r] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+		t.a[r] = row
+		t.rhs[r] = rhs
+	}
+
+	if nArt > 0 {
+		obj := make([]*big.Rat, n)
+		for j := range obj {
+			obj[j] = new(big.Rat)
+		}
+		for _, c := range artCols {
+			obj[c].SetInt64(1)
+		}
+		val, unbounded := t.optimize(obj, nil)
+		if unbounded {
+			return nil, fmt.Errorf("ratsimplex: internal: phase 1 unbounded")
+		}
+		if val.Sign() > 0 {
+			return nil, ErrInfeasible
+		}
+		t.driveOutArtificials(nStruct + nSlack)
+	}
+
+	obj := make([]*big.Rat, n)
+	for j := range obj {
+		obj[j] = new(big.Rat)
+	}
+	for v := 0; v < nStruct; v++ {
+		obj[v].Set(p.c[v])
+	}
+	barred := make([]bool, n)
+	for _, c := range artCols {
+		barred[c] = true
+	}
+	val, unbounded := t.optimize(obj, barred)
+	if unbounded {
+		return nil, ErrUnbounded
+	}
+	x := make([]*big.Rat, p.nvars)
+	for i := range x {
+		x[i] = new(big.Rat)
+	}
+	for r, b := range t.basis {
+		if b < p.nvars {
+			x[b].Set(t.rhs[r])
+		}
+	}
+	return &Solution{X: x, Objective: val}, nil
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// optimize runs Bland-rule simplex for min obj·x from the current
+// basic feasible point; it returns the optimum and an unbounded flag.
+func (t *tableau) optimize(obj []*big.Rat, barred []bool) (*big.Rat, bool) {
+	cost := make([]*big.Rat, t.n)
+	for j := range cost {
+		cost[j] = new(big.Rat).Set(obj[j])
+	}
+	z := new(big.Rat)
+	tmp := new(big.Rat)
+	for r, b := range t.basis {
+		if obj[b].Sign() == 0 {
+			continue
+		}
+		cb := obj[b]
+		for j := 0; j < t.n; j++ {
+			if t.a[r][j].Sign() != 0 {
+				tmp.Mul(cb, t.a[r][j])
+				cost[j].Sub(cost[j], tmp)
+			}
+		}
+		tmp.Mul(cb, t.rhs[r])
+		z.Sub(z, tmp)
+	}
+
+	ratio := new(big.Rat)
+	best := new(big.Rat)
+	for {
+		// Bland: first eligible column with negative reduced cost.
+		enter := -1
+		for j := 0; j < t.n; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			if cost[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return new(big.Rat).Neg(z), false
+		}
+		// Ratio test, Bland tie-break on smallest basis column.
+		leave := -1
+		for r := 0; r < t.m; r++ {
+			if t.a[r][enter].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.rhs[r], t.a[r][enter])
+			if leave < 0 || ratio.Cmp(best) < 0 ||
+				(ratio.Cmp(best) == 0 && t.basis[r] < t.basis[leave]) {
+				leave = r
+				best.Set(ratio)
+			}
+		}
+		if leave < 0 {
+			return nil, true
+		}
+		t.pivot(leave, enter, cost, z)
+	}
+}
+
+func (t *tableau) pivot(leave, enter int, cost []*big.Rat, z *big.Rat) {
+	rowL := t.a[leave]
+	inv := new(big.Rat).Inv(rowL[enter])
+	for j := 0; j < t.n; j++ {
+		if rowL[j].Sign() != 0 {
+			rowL[j].Mul(rowL[j], inv)
+		}
+	}
+	t.rhs[leave].Mul(t.rhs[leave], inv)
+	rowL[enter].SetInt64(1)
+
+	tmp := new(big.Rat)
+	for r := 0; r < t.m; r++ {
+		if r == leave || t.a[r][enter].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(t.a[r][enter])
+		row := t.a[r]
+		for j := 0; j < t.n; j++ {
+			if rowL[j].Sign() != 0 {
+				tmp.Mul(f, rowL[j])
+				row[j].Sub(row[j], tmp)
+			}
+		}
+		row[enter].SetInt64(0)
+		tmp.Mul(f, t.rhs[leave])
+		t.rhs[r].Sub(t.rhs[r], tmp)
+	}
+	if cost[enter].Sign() != 0 {
+		f := new(big.Rat).Set(cost[enter])
+		for j := 0; j < t.n; j++ {
+			if rowL[j].Sign() != 0 {
+				tmp.Mul(f, rowL[j])
+				cost[j].Sub(cost[j], tmp)
+			}
+		}
+		cost[enter].SetInt64(0)
+		tmp.Mul(f, t.rhs[leave])
+		z.Sub(z, tmp)
+	}
+	t.basis[leave] = enter
+}
+
+func (t *tableau) driveOutArtificials(artStart int) {
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < artStart {
+			continue
+		}
+		pivCol := -1
+		for j := 0; j < artStart; j++ {
+			if t.a[r][j].Sign() != 0 {
+				pivCol = j
+				break
+			}
+		}
+		if pivCol < 0 {
+			for j := 0; j < t.n; j++ {
+				t.a[r][j].SetInt64(0)
+			}
+			t.a[r][t.basis[r]].SetInt64(1)
+			t.rhs[r].SetInt64(0)
+			continue
+		}
+		dummy := make([]*big.Rat, t.n)
+		for j := range dummy {
+			dummy[j] = new(big.Rat)
+		}
+		t.pivot(r, pivCol, dummy, new(big.Rat))
+	}
+}

@@ -1,0 +1,143 @@
+package ratsimplex
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/simplex"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+func TestSimpleLP(t *testing.T) {
+	// min -x0 - 2x1 s.t. x0 + x1 <= 4, x1 <= 3. Optimum (1,3): -7.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, rat(-1, 1))
+	p.SetObjectiveCoef(1, rat(-2, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, 1, 1)}, LE, rat(4, 1))
+	p.Add([]Term{T(1, 1, 1)}, LE, rat(3, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(-7, 1)) != 0 {
+		t.Fatalf("objective %v want -7", sol.Objective)
+	}
+	if sol.X[0].Cmp(rat(1, 1)) != 0 || sol.X[1].Cmp(rat(3, 1)) != 0 {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestExactFractions(t *testing.T) {
+	// min x0 s.t. 3x0 >= 1 — exact answer 1/3, not 0.333….
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, rat(1, 1))
+	p.Add([]Term{T(0, 3, 1)}, GE, rat(1, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(1, 3)) != 0 {
+		t.Fatalf("objective %v want exactly 1/3", sol.Objective)
+	}
+}
+
+func TestInfeasibleAndUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Add([]Term{T(0, 1, 1)}, GE, rat(5, 1))
+	p.Add([]Term{T(0, 1, 1)}, LE, rat(3, 1))
+	if _, err := p.Solve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v want ErrInfeasible", err)
+	}
+
+	q := NewProblem(1)
+	q.SetObjectiveCoef(0, rat(-1, 1))
+	if _, err := q.Solve(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v want ErrUnbounded", err)
+	}
+}
+
+func TestEquality(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, rat(1, 1))
+	p.SetObjectiveCoef(1, rat(1, 1))
+	p.Add([]Term{T(0, 1, 1), T(1, 2, 1)}, EQ, rat(4, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("objective %v want 2", sol.Objective)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, rat(1, 1))
+	p.Add([]Term{T(0, -1, 1)}, LE, rat(-3, 1))
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective.Cmp(rat(3, 1)) != 0 {
+		t.Fatalf("objective %v want 3", sol.Objective)
+	}
+}
+
+// TestAgainstFloatSimplex cross-checks the exact solver against the
+// float64 solver on random LPs (bounded so neither is unbounded).
+func TestAgainstFloatSimplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 150; trial++ {
+		nv := 2 + rng.Intn(2)
+		nr := 1 + rng.Intn(4)
+		fp := simplex.NewProblem(nv)
+		rp := NewProblem(nv)
+		for v := 0; v < nv; v++ {
+			c := int64(rng.Intn(9) - 4)
+			fp.SetObjectiveCoef(v, float64(c))
+			rp.SetObjectiveCoef(v, rat(c, 1))
+			// Bounding box.
+			fp.Add([]simplex.Term{{Var: v, Coef: 1}}, simplex.LE, 10)
+			rp.Add([]Term{T(v, 1, 1)}, LE, rat(10, 1))
+		}
+		for k := 0; k < nr; k++ {
+			fterms := make([]simplex.Term, nv)
+			rterms := make([]Term, nv)
+			for v := 0; v < nv; v++ {
+				a := int64(rng.Intn(7) - 2)
+				fterms[v] = simplex.Term{Var: v, Coef: float64(a)}
+				rterms[v] = T(v, a, 1)
+			}
+			rhs := int64(rng.Intn(12))
+			op := []simplex.Op{simplex.LE, simplex.GE, simplex.EQ}[rng.Intn(3)]
+			rop := []Op{LE, GE, EQ}[int(op)]
+			fp.Add(fterms, op, float64(rhs))
+			rp.Add(rterms, rop, rat(rhs, 1))
+		}
+		fsol, ferr := fp.Solve()
+		rsol, rerr := rp.Solve()
+		if (ferr == nil) != (rerr == nil) {
+			t.Fatalf("trial %d: float err %v, rational err %v", trial, ferr, rerr)
+		}
+		if ferr != nil {
+			continue
+		}
+		exact, _ := rsol.Objective.Float64()
+		if diff := fsol.Objective - exact; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: float %g vs exact %g", trial, fsol.Objective, exact)
+		}
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProblem(1)
+	p.Add([]Term{T(5, 1, 1)}, LE, rat(1, 1))
+}

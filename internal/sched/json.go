@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// fileFormat is the on-disk JSON shape of a schedule.
+type fileFormat struct {
+	G     int64      `json:"g"`
+	Slots []fileSlot `json:"slots"`
+}
+
+type fileSlot struct {
+	T    int64 `json:"t"`
+	Jobs []int `json:"jobs"`
+}
+
+// WriteJSON serializes the schedule with slots in increasing order.
+func (s *Schedule) WriteJSON(w io.Writer) error {
+	ff := fileFormat{G: s.G}
+	for _, t := range s.ActiveSlots() {
+		jobs := append([]int(nil), s.Slots[t]...)
+		sort.Ints(jobs)
+		ff.Slots = append(ff.Slots, fileSlot{T: t, Jobs: jobs})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses a schedule. Structural validity (per-slot capacity,
+// window membership) is NOT checked here; use Validate with the
+// originating instance.
+func ReadJSON(r io.Reader) (*Schedule, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("sched: decode: %w", err)
+	}
+	if ff.G < 1 {
+		return nil, fmt.Errorf("sched: g=%d < 1", ff.G)
+	}
+	out := New(ff.G)
+	for _, fs := range ff.Slots {
+		for _, id := range fs.Jobs {
+			out.Assign(fs.T, id)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package sched
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := New(3)
+	s.Assign(2, 0)
+	s.Assign(2, 1)
+	s.Assign(5, 0)
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.G != 3 || got.NumActive() != 2 {
+		t.Fatalf("round trip: g=%d active=%d", got.G, got.NumActive())
+	}
+	if len(got.Slots[2]) != 2 || len(got.Slots[5]) != 1 {
+		t.Fatalf("round trip slots: %v", got.Slots)
+	}
+}
+
+func TestScheduleJSONRejects(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"g":0,"slots":[]}`)); err == nil {
+		t.Fatal("g=0 must be rejected")
+	}
+	if _, err := ReadJSON(strings.NewReader(`garbage`)); err == nil {
+		t.Fatal("malformed JSON must be rejected")
+	}
+}

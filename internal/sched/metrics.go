@@ -1,0 +1,107 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Metrics summarizes a schedule's quality beyond the objective value.
+type Metrics struct {
+	// ActiveSlots is the objective: slots with at least one job.
+	ActiveSlots int64
+	// TotalUnits is the total scheduled work (Σ over slots of jobs).
+	TotalUnits int64
+	// Utilization is TotalUnits / (ActiveSlots · g): the average fill
+	// of a powered slot (1.0 = every active slot full).
+	Utilization float64
+	// PeakConcurrency is the maximum number of jobs in any one slot.
+	PeakConcurrency int
+	// Makespan is lastActive − firstActive + 1, the busy envelope.
+	Makespan int64
+	// Fragments counts maximal runs of consecutive active slots — the
+	// number of machine power-on events.
+	Fragments int
+}
+
+// ComputeMetrics derives the metrics of the schedule.
+func (s *Schedule) ComputeMetrics() Metrics {
+	var m Metrics
+	slots := s.ActiveSlots()
+	m.ActiveSlots = int64(len(slots))
+	for _, t := range slots {
+		n := len(s.Slots[t])
+		m.TotalUnits += int64(n)
+		if n > m.PeakConcurrency {
+			m.PeakConcurrency = n
+		}
+	}
+	if len(slots) > 0 {
+		m.Makespan = slots[len(slots)-1] - slots[0] + 1
+		m.Fragments = 1
+		for i := 1; i < len(slots); i++ {
+			if slots[i] != slots[i-1]+1 {
+				m.Fragments++
+			}
+		}
+	}
+	if m.ActiveSlots > 0 && s.G > 0 {
+		m.Utilization = float64(m.TotalUnits) / float64(m.ActiveSlots*s.G)
+	}
+	return m
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("active=%d units=%d util=%.2f peak=%d makespan=%d fragments=%d",
+		m.ActiveSlots, m.TotalUnits, m.Utilization, m.PeakConcurrency, m.Makespan, m.Fragments)
+}
+
+// Gantt renders an ASCII chart: one row per job, one column per slot
+// in [from, to). Occupied cells print '#', idle-but-active columns are
+// implied by the header row of slot activity.
+func (s *Schedule) Gantt(from, to int64) string {
+	if to <= from {
+		return ""
+	}
+	// Collect job IDs present.
+	jobSet := map[int]bool{}
+	for _, js := range s.Slots {
+		for _, id := range js {
+			jobSet[id] = true
+		}
+	}
+	jobs := make([]int, 0, len(jobSet))
+	for id := range jobSet {
+		jobs = append(jobs, id)
+	}
+	sort.Ints(jobs)
+
+	var b strings.Builder
+	width := int(to - from)
+	// Header: active slots.
+	b.WriteString("slots ")
+	for t := from; t < to; t++ {
+		if len(s.Slots[t]) > 0 {
+			b.WriteByte('A')
+		} else {
+			b.WriteByte('.')
+		}
+	}
+	b.WriteByte('\n')
+	row := make([]byte, width)
+	for _, id := range jobs {
+		for i := range row {
+			row[i] = '.'
+		}
+		for t := from; t < to; t++ {
+			for _, jid := range s.Slots[t] {
+				if jid == id {
+					row[t-from] = '#'
+				}
+			}
+		}
+		fmt.Fprintf(&b, "j%-4d %s\n", id, row)
+	}
+	return b.String()
+}

@@ -1,0 +1,69 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeMetrics(t *testing.T) {
+	s := New(2)
+	s.Assign(0, 0)
+	s.Assign(0, 1)
+	s.Assign(1, 0)
+	s.Assign(4, 2)
+
+	m := s.ComputeMetrics()
+	if m.ActiveSlots != 3 {
+		t.Fatalf("active %d", m.ActiveSlots)
+	}
+	if m.TotalUnits != 4 {
+		t.Fatalf("units %d", m.TotalUnits)
+	}
+	if m.PeakConcurrency != 2 {
+		t.Fatalf("peak %d", m.PeakConcurrency)
+	}
+	if m.Makespan != 5 {
+		t.Fatalf("makespan %d", m.Makespan)
+	}
+	if m.Fragments != 2 {
+		t.Fatalf("fragments %d", m.Fragments)
+	}
+	wantUtil := 4.0 / 6.0
+	if m.Utilization < wantUtil-1e-12 || m.Utilization > wantUtil+1e-12 {
+		t.Fatalf("util %g want %g", m.Utilization, wantUtil)
+	}
+	if !strings.Contains(m.String(), "active=3") {
+		t.Fatalf("String: %q", m.String())
+	}
+}
+
+func TestComputeMetricsEmpty(t *testing.T) {
+	m := New(3).ComputeMetrics()
+	if m.ActiveSlots != 0 || m.Makespan != 0 || m.Fragments != 0 || m.Utilization != 0 {
+		t.Fatalf("empty metrics %+v", m)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	s := New(2)
+	s.Assign(0, 0)
+	s.Assign(1, 0)
+	s.Assign(1, 1)
+	g := s.Gantt(0, 3)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "slots AA.") {
+		t.Fatalf("header %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "##.") {
+		t.Fatalf("job 0 row %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ".#.") {
+		t.Fatalf("job 1 row %q", lines[2])
+	}
+	if s.Gantt(3, 3) != "" {
+		t.Fatal("empty range should render empty")
+	}
+}

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func twoJobInstance(t *testing.T) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 2, Release: 0, Deadline: 4},
+		{Processing: 1, Release: 1, Deadline: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestValidateAccepts(t *testing.T) {
+	in := twoJobInstance(t)
+	s := New(2)
+	s.Assign(0, 0)
+	s.Assign(1, 0)
+	s.Assign(1, 1)
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if s.NumActive() != 2 {
+		t.Fatalf("NumActive = %d", s.NumActive())
+	}
+	slots := s.ActiveSlots()
+	if len(slots) != 2 || slots[0] != 0 || slots[1] != 1 {
+		t.Fatalf("ActiveSlots = %v", slots)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	in := twoJobInstance(t)
+
+	t.Run("under-scheduled", func(t *testing.T) {
+		s := New(2)
+		s.Assign(0, 0)
+		s.Assign(1, 1)
+		if err := s.Validate(in); err == nil {
+			t.Fatal("expected error: job 0 got 1 unit")
+		}
+	})
+	t.Run("outside window", func(t *testing.T) {
+		s := New(2)
+		s.Assign(0, 0)
+		s.Assign(5, 0)
+		s.Assign(1, 1)
+		if err := s.Validate(in); err == nil {
+			t.Fatal("expected error: slot 5 outside window")
+		}
+	})
+	t.Run("duplicate in slot", func(t *testing.T) {
+		s := New(2)
+		s.Assign(0, 0)
+		s.Assign(0, 0)
+		s.Assign(1, 1)
+		if err := s.Validate(in); err == nil {
+			t.Fatal("expected error: job twice in slot")
+		}
+	})
+	t.Run("capacity exceeded", func(t *testing.T) {
+		in3, err := instance.New(1, []instance.Job{
+			{Processing: 1, Release: 0, Deadline: 2},
+			{Processing: 1, Release: 0, Deadline: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := New(1)
+		s.Assign(0, 0)
+		s.Assign(0, 1)
+		if err := s.Validate(in3); err == nil {
+			t.Fatal("expected error: capacity")
+		}
+	})
+	t.Run("unknown job", func(t *testing.T) {
+		s := New(2)
+		s.Assign(0, 7)
+		if err := s.Validate(in); err == nil {
+			t.Fatal("expected error: unknown job")
+		}
+	})
+}
+
+func TestPackColumnsBasic(t *testing.T) {
+	s := New(2)
+	slots := []int64{10, 11, 12}
+	demands := []Demand{{ID: 0, Units: 3}, {ID: 1, Units: 2}, {ID: 2, Units: 1}}
+	if err := PackColumns(s, slots, 2, demands); err != nil {
+		t.Fatal(err)
+	}
+	// Per-slot capacity and per-job-per-slot uniqueness.
+	perJob := map[int]int64{}
+	for tSlot, js := range s.Slots {
+		if len(js) > 2 {
+			t.Fatalf("slot %d over capacity: %v", tSlot, js)
+		}
+		seen := map[int]bool{}
+		for _, id := range js {
+			if seen[id] {
+				t.Fatalf("job %d twice in slot %d", id, tSlot)
+			}
+			seen[id] = true
+			perJob[id]++
+		}
+	}
+	for _, d := range demands {
+		if perJob[d.ID] != d.Units {
+			t.Fatalf("job %d got %d units want %d", d.ID, perJob[d.ID], d.Units)
+		}
+	}
+}
+
+func TestPackColumnsErrors(t *testing.T) {
+	s := New(2)
+	if err := PackColumns(s, nil, 2, []Demand{{ID: 0, Units: 1}}); err == nil {
+		t.Fatal("expected error: no slots")
+	}
+	if err := PackColumns(s, []int64{0, 1}, 2, []Demand{{ID: 0, Units: 3}}); err == nil {
+		t.Fatal("expected error: demand exceeds slots")
+	}
+	if err := PackColumns(s, []int64{0, 1}, 1,
+		[]Demand{{ID: 0, Units: 2}, {ID: 1, Units: 1}}); err == nil {
+		t.Fatal("expected error: total over capacity")
+	}
+	if err := PackColumns(s, []int64{0}, 1, []Demand{{ID: 0, Units: -1}}); err == nil {
+		t.Fatal("expected error: negative demand")
+	}
+	if err := PackColumns(s, nil, 1, nil); err != nil {
+		t.Fatalf("empty pack should succeed: %v", err)
+	}
+}
+
+// TestPackColumnsRandomized fuzzes the wrap-around rule: any demand
+// vector with max ≤ s and total ≤ g·s must pack with all invariants.
+func TestPackColumnsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 1000; trial++ {
+		sN := 1 + rng.Intn(6)
+		g := int64(1 + rng.Intn(4))
+		slots := make([]int64, sN)
+		for i := range slots {
+			slots[i] = int64(i * 3)
+		}
+		budget := g * int64(sN)
+		var demands []Demand
+		id := 0
+		for budget > 0 && rng.Intn(8) != 0 {
+			u := 1 + rng.Int63n(int64(sN))
+			if u > budget {
+				u = budget
+			}
+			demands = append(demands, Demand{ID: id, Units: u})
+			budget -= u
+			id++
+		}
+		s := New(g)
+		if err := PackColumns(s, slots, g, demands); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		got := map[int]int64{}
+		for tSlot, js := range s.Slots {
+			if int64(len(js)) > g {
+				t.Fatalf("trial %d: slot %d over capacity", trial, tSlot)
+			}
+			seen := map[int]bool{}
+			for _, idd := range js {
+				if seen[idd] {
+					t.Fatalf("trial %d: dup job %d in slot %d", trial, idd, tSlot)
+				}
+				seen[idd] = true
+				got[idd]++
+			}
+		}
+		for _, d := range demands {
+			if got[d.ID] != d.Units {
+				t.Fatalf("trial %d: job %d got %d want %d", trial, d.ID, got[d.ID], d.Units)
+			}
+		}
+	}
+}
+
+func TestCloneAndString(t *testing.T) {
+	s := New(1)
+	s.Assign(3, 0)
+	cp := s.Clone()
+	cp.Assign(3, 1)
+	if len(s.Slots[3]) != 1 {
+		t.Fatal("Clone must deep-copy")
+	}
+	if !strings.Contains(s.String(), "t=3") {
+		t.Fatalf("String: %q", s.String())
+	}
+}

@@ -1,0 +1,439 @@
+// Package simplex implements a dense two-phase primal simplex solver
+// for linear programs in the form
+//
+//	minimize  c·x
+//	subject to  a_k·x (≤ | = | ≥) b_k   for each constraint k
+//	            x ≥ 0
+//
+// It is the LP substrate for the paper's strengthened nested LP
+// (Figure 1a) and for the time-indexed natural and Călinescu–Wang LPs.
+// Degenerate pivots are handled by switching from Dantzig pricing to
+// Bland's rule after a stall is detected, which guarantees
+// termination.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Op is a constraint sense.
+type Op int
+
+// Constraint senses.
+const (
+	LE Op = iota // a·x ≤ b
+	GE           // a·x ≥ b
+	EQ           // a·x = b
+)
+
+func (o Op) String() string {
+	switch o {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Term is one coefficient of a constraint or objective.
+type Term struct {
+	Var  int
+	Coef float64
+}
+
+type constraint struct {
+	terms []Term
+	op    Op
+	rhs   float64
+}
+
+// Problem is a linear program under construction.
+type Problem struct {
+	nvars int
+	c     []float64
+	cons  []constraint
+}
+
+// NewProblem returns a problem with nvars variables, all constrained
+// to be non-negative, and a zero objective.
+func NewProblem(nvars int) *Problem {
+	return &Problem{nvars: nvars, c: make([]float64, nvars)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return p.nvars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.cons) }
+
+// SetObjectiveCoef sets the objective coefficient of variable v
+// (minimization).
+func (p *Problem) SetObjectiveCoef(v int, coef float64) {
+	p.checkVar(v)
+	p.c[v] = coef
+}
+
+// Add appends the constraint terms·x (op) rhs.
+func (p *Problem) Add(terms []Term, op Op, rhs float64) {
+	for _, t := range terms {
+		p.checkVar(t.Var)
+	}
+	cp := make([]Term, len(terms))
+	copy(cp, terms)
+	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: rhs})
+}
+
+// Clone returns an independent deep copy of the problem; constraints
+// added to the copy do not affect the original. Used by the ILP
+// branch-and-bound to add branching bounds.
+func (p *Problem) Clone() *Problem {
+	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c))}
+	copy(cp.c, p.c)
+	cp.cons = make([]constraint, len(p.cons))
+	for i, con := range p.cons {
+		terms := make([]Term, len(con.terms))
+		copy(terms, con.terms)
+		cp.cons[i] = constraint{terms: terms, op: con.op, rhs: con.rhs}
+	}
+	return cp
+}
+
+func (p *Problem) checkVar(v int) {
+	if v < 0 || v >= p.nvars {
+		panic(fmt.Sprintf("simplex: variable %d out of range [0,%d)", v, p.nvars))
+	}
+}
+
+// Status describes the outcome of Solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration-limit"
+	}
+	return "?"
+}
+
+// Solution is the result of Solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+}
+
+// Errors returned by Solve for non-optimal outcomes.
+var (
+	ErrInfeasible = errors.New("simplex: infeasible")
+	ErrUnbounded  = errors.New("simplex: unbounded")
+	ErrIterLimit  = errors.New("simplex: iteration limit exceeded")
+)
+
+const (
+	eps      = 1e-9
+	feasTol  = 1e-7
+	maxIters = 200000
+	// blandAfter switches to Bland's anti-cycling rule once this many
+	// consecutive pivots fail to improve the objective.
+	blandAfter = 64
+)
+
+// tableau is the dense simplex tableau. Row 0..m-1 are constraints;
+// the objective row is kept separately. Column layout: structural
+// variables, then slack/surplus, then artificials, then RHS.
+type tableau struct {
+	m, n  int // constraint rows, total columns excluding RHS
+	a     [][]float64
+	rhs   []float64
+	basis []int // basis[r] = column basic in row r
+}
+
+// Solve runs two-phase simplex and returns the optimal solution, or an
+// error wrapping ErrInfeasible / ErrUnbounded / ErrIterLimit.
+func (p *Problem) Solve() (Solution, error) {
+	m := len(p.cons)
+	nStruct := p.nvars
+
+	// Count auxiliary columns.
+	nSlack := 0
+	nArt := 0
+	for _, con := range p.cons {
+		rhs := con.rhs
+		op := con.op
+		if rhs < 0 {
+			op = flip(op)
+		}
+		switch op {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+
+	n := nStruct + nSlack + nArt
+	t := &tableau{
+		m:     m,
+		n:     n,
+		a:     make([][]float64, m),
+		rhs:   make([]float64, m),
+		basis: make([]int, m),
+	}
+	artCols := make([]int, 0, nArt)
+	slackAt := nStruct
+	artAt := nStruct + nSlack
+
+	for r, con := range p.cons {
+		row := make([]float64, n)
+		sign := 1.0
+		rhs := con.rhs
+		op := con.op
+		if rhs < 0 {
+			sign = -1.0
+			rhs = -rhs
+			op = flip(op)
+		}
+		for _, term := range con.terms {
+			row[term.Var] += sign * term.Coef
+		}
+		switch op {
+		case LE:
+			row[slackAt] = 1
+			t.basis[r] = slackAt
+			slackAt++
+		case GE:
+			row[slackAt] = -1
+			slackAt++
+			row[artAt] = 1
+			t.basis[r] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		case EQ:
+			row[artAt] = 1
+			t.basis[r] = artAt
+			artCols = append(artCols, artAt)
+			artAt++
+		}
+		t.a[r] = row
+		t.rhs[r] = rhs
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if nArt > 0 {
+		obj := make([]float64, n)
+		for _, c := range artCols {
+			obj[c] = 1
+		}
+		val, st := t.optimize(obj, nil)
+		if st == IterLimit {
+			return Solution{Status: IterLimit}, ErrIterLimit
+		}
+		if val > feasTol {
+			return Solution{Status: Infeasible}, ErrInfeasible
+		}
+		t.driveOutArtificials(nStruct + nSlack)
+	}
+
+	// Phase 2: original objective; artificial columns are barred.
+	obj := make([]float64, n)
+	copy(obj, p.c)
+	barred := make([]bool, n)
+	for _, c := range artCols {
+		barred[c] = true
+	}
+	val, st := t.optimize(obj, barred)
+	switch st {
+	case Unbounded:
+		return Solution{Status: Unbounded}, ErrUnbounded
+	case IterLimit:
+		return Solution{Status: IterLimit}, ErrIterLimit
+	}
+
+	x := make([]float64, p.nvars)
+	for r, b := range t.basis {
+		if b < p.nvars {
+			x[b] = t.rhs[r]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+func flip(op Op) Op {
+	switch op {
+	case LE:
+		return GE
+	case GE:
+		return LE
+	}
+	return EQ
+}
+
+// optimize runs primal simplex for min obj·x from the current basic
+// feasible solution. barred columns may never enter the basis.
+// It returns the objective value and a status (Optimal, Unbounded or
+// IterLimit).
+func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
+	// Reduced-cost row: z_j - c_j form. Maintain explicitly:
+	// cost[j] = c_j - sum over basic rows of c_basis[r]*a[r][j].
+	cost := make([]float64, t.n)
+	copy(cost, obj)
+	z := 0.0
+	for r, b := range t.basis {
+		cb := obj[b]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.n; j++ {
+			cost[j] -= cb * t.a[r][j]
+		}
+		z -= cb * t.rhs[r]
+	}
+	// Invariant: current objective value = -z; cost[j] is the reduced
+	// cost of column j (cost[basis[r]] == 0).
+
+	stall := 0
+	for iter := 0; iter < maxIters; iter++ {
+		bland := stall >= blandAfter
+		enter := -1
+		best := -eps
+		for j := 0; j < t.n; j++ {
+			if barred != nil && barred[j] {
+				continue
+			}
+			if cost[j] < -eps {
+				if bland {
+					enter = j
+					break
+				}
+				if cost[j] < best {
+					best = cost[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return -z, Optimal
+		}
+
+		// Ratio test; Bland tie-break on smallest basis column.
+		leave := -1
+		var minRatio float64
+		for r := 0; r < t.m; r++ {
+			arj := t.a[r][enter]
+			if arj <= eps {
+				continue
+			}
+			ratio := t.rhs[r] / arj
+			if leave < 0 || ratio < minRatio-eps ||
+				(ratio < minRatio+eps && t.basis[r] < t.basis[leave]) {
+				leave = r
+				minRatio = ratio
+			}
+		}
+		if leave < 0 {
+			return 0, Unbounded
+		}
+		if minRatio <= eps {
+			stall++
+		} else {
+			stall = 0
+		}
+		t.pivot(leave, enter, cost, &z)
+	}
+	return -z, IterLimit
+}
+
+// pivot makes column enter basic in row leave, updating the reduced
+// cost row and objective accumulator.
+func (t *tableau) pivot(leave, enter int, cost []float64, z *float64) {
+	piv := t.a[leave][enter]
+	rowL := t.a[leave]
+	inv := 1.0 / piv
+	for j := 0; j < t.n; j++ {
+		rowL[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	rowL[enter] = 1 // guard against roundoff
+
+	for r := 0; r < t.m; r++ {
+		if r == leave {
+			continue
+		}
+		f := t.a[r][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[r]
+		for j := 0; j < t.n; j++ {
+			row[j] -= f * rowL[j]
+		}
+		row[enter] = 0
+		t.rhs[r] -= f * t.rhs[leave]
+		if t.rhs[r] < 0 && t.rhs[r] > -1e-11 {
+			t.rhs[r] = 0
+		}
+	}
+	f := cost[enter]
+	if f != 0 {
+		for j := 0; j < t.n; j++ {
+			cost[j] -= f * rowL[j]
+		}
+		cost[enter] = 0
+		*z -= f * t.rhs[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots basic artificial columns (all at value 0
+// after a feasible phase 1) out of the basis when possible; rows that
+// cannot be pivoted are redundant and are zeroed.
+func (t *tableau) driveOutArtificials(artStart int) {
+	for r := 0; r < t.m; r++ {
+		if t.basis[r] < artStart {
+			continue
+		}
+		// Find any eligible non-artificial column with a nonzero
+		// coefficient in this row.
+		pivCol := -1
+		for j := 0; j < artStart; j++ {
+			if math.Abs(t.a[r][j]) > 1e-7 {
+				pivCol = j
+				break
+			}
+		}
+		if pivCol < 0 {
+			// Redundant row: clear it so it never constrains pivots.
+			for j := 0; j < t.n; j++ {
+				t.a[r][j] = 0
+			}
+			t.a[r][t.basis[r]] = 1
+			t.rhs[r] = 0
+			continue
+		}
+		dummy := make([]float64, t.n)
+		zz := 0.0
+		t.pivot(r, pivCol, dummy, &zz)
+	}
+}

@@ -1,0 +1,246 @@
+package simplex
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSimpleLP(t *testing.T) {
+	// min -x0 - 2x1 s.t. x0 + x1 <= 4, x1 <= 3. Optimum at (1,3): -7.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, -1)
+	p.SetObjectiveCoef(1, -2)
+	p.Add([]Term{{0, 1}, {1, 1}}, LE, 4)
+	p.Add([]Term{{1, 1}}, LE, 3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, -7, 1e-8) {
+		t.Fatalf("objective %g want -7", sol.Objective)
+	}
+	if !approx(sol.X[0], 1, 1e-8) || !approx(sol.X[1], 3, 1e-8) {
+		t.Fatalf("x = %v", sol.X)
+	}
+}
+
+func TestGEAndEQ(t *testing.T) {
+	// min x0 + x1 s.t. x0 + 2x1 >= 4, x0 = 1. Optimum (1, 1.5): 2.5.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.Add([]Term{{0, 1}, {1, 2}}, GE, 4)
+	p.Add([]Term{{0, 1}}, EQ, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 2.5, 1e-8) {
+		t.Fatalf("objective %g want 2.5", sol.Objective)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Add([]Term{{0, 1}}, GE, 5)
+	p.Add([]Term{{0, 1}}, LE, 3)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, -1)
+	p.Add([]Term{{0, 1}}, GE, 0)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, 1)
+	p.Add([]Term{{0, -1}}, LE, -3)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 3, 1e-8) {
+		t.Fatalf("objective %g want 3", sol.Objective)
+	}
+}
+
+func TestEqualityOnly(t *testing.T) {
+	// min x0 + x1 + x2 s.t. x0+x1 = 2, x1+x2 = 2; optimum 2 at x1=2.
+	p := NewProblem(3)
+	for i := 0; i < 3; i++ {
+		p.SetObjectiveCoef(i, 1)
+	}
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 2)
+	p.Add([]Term{{1, 1}, {2, 1}}, EQ, 2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 2, 1e-8) {
+		t.Fatalf("objective %g want 2", sol.Objective)
+	}
+}
+
+func TestRedundantConstraints(t *testing.T) {
+	// Duplicated equalities produce redundant phase-1 rows.
+	p := NewProblem(2)
+	p.SetObjectiveCoef(0, 1)
+	p.SetObjectiveCoef(1, 1)
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.Add([]Term{{0, 2}, {1, 2}}, EQ, 6)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 3, 1e-8) {
+		t.Fatalf("objective %g want 3", sol.Objective)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Classic degenerate vertex: several constraints meet at origin.
+	p := NewProblem(3)
+	p.SetObjectiveCoef(0, -0.75)
+	p.SetObjectiveCoef(1, 150)
+	p.SetObjectiveCoef(2, -0.02)
+	// Beale-like cycling example (truncated): still must terminate.
+	p.Add([]Term{{0, 0.25}, {1, -60}, {2, -0.04}}, LE, 0)
+	p.Add([]Term{{0, 0.5}, {1, -90}, {2, -0.02}}, LE, 0)
+	p.Add([]Term{{2, 1}}, LE, 1)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	// Known optimum of this Beale variant is -0.05 at x2 = 1 ... with
+	// x0, x1 chosen to keep rows tight; just check bounded and finite.
+	if math.IsNaN(sol.Objective) || math.IsInf(sol.Objective, 0) {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+}
+
+func TestTransportation(t *testing.T) {
+	// 2 supplies (3, 5), 2 demands (4, 4), costs [[1,2],[3,1]].
+	// Optimum: s0->d0:3, s1->d0:1, s1->d1:4 => 3+3+4 = 10.
+	p := NewProblem(4) // x00 x01 x10 x11
+	costs := []float64{1, 2, 3, 1}
+	for i, c := range costs {
+		p.SetObjectiveCoef(i, c)
+	}
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.Add([]Term{{2, 1}, {3, 1}}, EQ, 5)
+	p.Add([]Term{{0, 1}, {2, 1}}, EQ, 4)
+	p.Add([]Term{{1, 1}, {3, 1}}, EQ, 4)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 10, 1e-7) {
+		t.Fatalf("objective %g want 10", sol.Objective)
+	}
+}
+
+// TestRandomLPsAgainstVertexEnumeration solves random small LPs and
+// cross-checks the optimum against brute-force enumeration of basic
+// feasible points on a grid relaxation: instead we verify weak duality
+// style invariants — the returned point is feasible and no grid point
+// beats it.
+func TestRandomLPsAgainstGridSearch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		nv := 2
+		p := NewProblem(nv)
+		c := []float64{float64(rng.Intn(7) - 3), float64(rng.Intn(7) - 3)}
+		p.SetObjectiveCoef(0, c[0])
+		p.SetObjectiveCoef(1, c[1])
+		type row struct {
+			a   []float64
+			rhs float64
+		}
+		var rows []row
+		nr := 2 + rng.Intn(3)
+		for k := 0; k < nr; k++ {
+			a := []float64{float64(rng.Intn(5)), float64(rng.Intn(5))}
+			rhs := float64(rng.Intn(10) + 1)
+			rows = append(rows, row{a, rhs})
+			p.Add([]Term{{0, a[0]}, {1, a[1]}}, LE, rhs)
+		}
+		// Bounding box so the LP is never unbounded.
+		p.Add([]Term{{0, 1}}, LE, 10)
+		p.Add([]Term{{1, 1}}, LE, 10)
+		rows = append(rows, row{[]float64{1, 0}, 10}, row{[]float64{0, 1}, 10})
+
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Returned point must be feasible.
+		for _, r := range rows {
+			if r.a[0]*sol.X[0]+r.a[1]*sol.X[1] > r.rhs+1e-6 {
+				t.Fatalf("trial %d: infeasible point %v", trial, sol.X)
+			}
+		}
+		if sol.X[0] < -1e-9 || sol.X[1] < -1e-9 {
+			t.Fatalf("trial %d: negative point %v", trial, sol.X)
+		}
+		// Grid search (step 0.5) must not beat the reported optimum.
+		for x0 := 0.0; x0 <= 10; x0 += 0.5 {
+			for x1 := 0.0; x1 <= 10; x1 += 0.5 {
+				feas := true
+				for _, r := range rows {
+					if r.a[0]*x0+r.a[1]*x1 > r.rhs+1e-9 {
+						feas = false
+						break
+					}
+				}
+				if feas && c[0]*x0+c[1]*x1 < sol.Objective-1e-6 {
+					t.Fatalf("trial %d: grid point (%g,%g) value %g beats simplex %g",
+						trial, x0, x1, c[0]*x0+c[1]*x1, sol.Objective)
+				}
+			}
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration-limit",
+	} {
+		if s.String() != want {
+			t.Errorf("Status(%d).String() = %q", s, s.String())
+		}
+	}
+	for o, want := range map[Op]string{LE: "<=", GE: ">=", EQ: "=="} {
+		if o.String() != want {
+			t.Errorf("Op(%d).String() = %q", o, o.String())
+		}
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p := NewProblem(1)
+	p.Add([]Term{{3, 1}}, LE, 1)
+}

@@ -1,0 +1,212 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAssignmentProblems solves random assignment LPs, whose optima
+// are integral and checkable by brute force over permutations.
+func TestAssignmentProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(3)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = float64(rng.Intn(9))
+			}
+		}
+		p := NewProblem(n * n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				p.SetObjectiveCoef(i*n+j, cost[i][j])
+			}
+		}
+		for i := 0; i < n; i++ {
+			rowTerms := make([]Term, n)
+			colTerms := make([]Term, n)
+			for j := 0; j < n; j++ {
+				rowTerms[j] = Term{Var: i*n + j, Coef: 1}
+				colTerms[j] = Term{Var: j*n + i, Coef: 1}
+			}
+			p.Add(rowTerms, EQ, 1)
+			p.Add(colTerms, EQ, 1)
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Brute-force best permutation.
+		perm := make([]int, n)
+		for i := range perm {
+			perm[i] = i
+		}
+		best := math.Inf(1)
+		var rec func(k int)
+		rec = func(k int) {
+			if k == n {
+				s := 0.0
+				for i, j := range perm {
+					s += cost[i][j]
+				}
+				if s < best {
+					best = s
+				}
+				return
+			}
+			for i := k; i < n; i++ {
+				perm[k], perm[i] = perm[i], perm[k]
+				rec(k + 1)
+				perm[k], perm[i] = perm[i], perm[k]
+			}
+		}
+		rec(0)
+		if math.Abs(sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: simplex %g vs brute force %g", trial, sol.Objective, best)
+		}
+	}
+}
+
+func TestZeroObjective(t *testing.T) {
+	// Pure feasibility problem: any feasible point, objective 0.
+	p := NewProblem(2)
+	p.Add([]Term{{0, 1}, {1, 1}}, GE, 2)
+	p.Add([]Term{{0, 1}}, LE, 5)
+	p.Add([]Term{{1, 1}}, LE, 5)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+	if sol.X[0]+sol.X[1] < 2-1e-9 {
+		t.Fatalf("infeasible point %v", sol.X)
+	}
+}
+
+func TestManyVariablesFewConstraints(t *testing.T) {
+	// min Σ x_i s.t. Σ x_i >= 7 over 50 variables.
+	p := NewProblem(50)
+	terms := make([]Term, 50)
+	for i := range terms {
+		p.SetObjectiveCoef(i, 1)
+		terms[i] = Term{Var: i, Coef: 1}
+	}
+	p.Add(terms, GE, 7)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-7) > 1e-8 {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+}
+
+func TestConflictingEqualities(t *testing.T) {
+	p := NewProblem(2)
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 3)
+	p.Add([]Term{{0, 1}, {1, 1}}, EQ, 4)
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("expected infeasible")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, 1)
+	p.Add([]Term{{0, 1}}, GE, 2)
+	cp := p.Clone()
+	cp.Add([]Term{{0, 1}}, GE, 5)
+
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Fatalf("original affected by clone: %g", sol.Objective)
+	}
+	csol, err := cp.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(csol.Objective-5) > 1e-9 {
+		t.Fatalf("clone objective %g", csol.Objective)
+	}
+	if p.NumConstraints() != 1 || cp.NumConstraints() != 2 {
+		t.Fatal("constraint counts wrong after clone")
+	}
+}
+
+func TestFractionalCoefficients(t *testing.T) {
+	// min x s.t. 0.3x >= 1.2 → x = 4.
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, 1)
+	p.Add([]Term{{0, 0.3}}, GE, 1.2)
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-4) > 1e-8 {
+		t.Fatalf("objective %g want 4", sol.Objective)
+	}
+}
+
+// TestDietStyleDuality: weak duality spot check. For a random LP
+// min c·x, Ax >= b, x >= 0 and any dual-feasible y (y·A <= c, y >= 0),
+// y·b <= optimum. We construct y by scaling rows conservatively.
+func TestDietStyleDuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		nv := 2 + rng.Intn(3)
+		nr := 1 + rng.Intn(3)
+		c := make([]float64, nv)
+		for i := range c {
+			c[i] = float64(1 + rng.Intn(5))
+		}
+		A := make([][]float64, nr)
+		b := make([]float64, nr)
+		p := NewProblem(nv)
+		for i, ci := range c {
+			p.SetObjectiveCoef(i, ci)
+		}
+		for r := 0; r < nr; r++ {
+			A[r] = make([]float64, nv)
+			terms := make([]Term, nv)
+			for v := 0; v < nv; v++ {
+				A[r][v] = float64(rng.Intn(4))
+				terms[v] = Term{Var: v, Coef: A[r][v]}
+			}
+			b[r] = float64(rng.Intn(6))
+			p.Add(terms, GE, b[r])
+		}
+		sol, err := p.Solve()
+		if err != nil {
+			continue // rows of zeros with positive rhs → infeasible; fine
+		}
+		// Dual candidate: y_r = min over v with A[r][v] > 0 of
+		// c_v / (nr·A[r][v]); guarantees Σ_r y_r A[r][v] ≤ c_v.
+		yb := 0.0
+		for r := 0; r < nr; r++ {
+			yr := math.Inf(1)
+			for v := 0; v < nv; v++ {
+				if A[r][v] > 0 {
+					cand := c[v] / (float64(nr) * A[r][v])
+					if cand < yr {
+						yr = cand
+					}
+				}
+			}
+			if math.IsInf(yr, 1) {
+				yr = 0
+			}
+			yb += yr * b[r]
+		}
+		if yb > sol.Objective+1e-6 {
+			t.Fatalf("trial %d: weak duality violated: dual %g > primal %g", trial, yb, sol.Objective)
+		}
+	}
+}

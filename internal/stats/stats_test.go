@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %g", s.StdDev)
+	}
+	if s.P50 != 3 {
+		t.Fatalf("p50 %g", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.P90 != 7 {
+		t.Fatalf("single summary %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Fatal("extremes wrong")
+	}
+	if got := Percentile(xs, 50); math.Abs(got-25) > 1e-12 {
+		t.Fatalf("p50 = %g want 25", got)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 10 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestBoundsProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Skip non-finite inputs and magnitudes whose sums
+			// overflow float64.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return len(xs) == 0
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max &&
+			s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.P50 <= s.P90 && s.P90 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if !strings.Contains(Summarize([]float64{1}).String(), "n=1") {
+		t.Fatal("String format")
+	}
+}

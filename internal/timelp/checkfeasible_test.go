@@ -1,0 +1,86 @@
+package timelp
+
+import (
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// TestCheckFeasibleRejections drives every validation branch of
+// CheckFeasible.
+func TestCheckFeasibleRejections(t *testing.T) {
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 2},
+		{Processing: 1, Release: 0, Deadline: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodX := []float64{0.5, 0.5}
+	goodY := map[[2]int]float64{
+		{0, 0}: 0.5, {1, 0}: 0.5,
+		{0, 1}: 0.5, {1, 1}: 0.5,
+	}
+
+	cases := []struct {
+		name string
+		x    []float64
+		y    map[[2]int]float64
+	}{
+		{"wrong x length", []float64{0.5}, goodY},
+		{"x above 1", []float64{1.5, 0.5}, goodY},
+		{"x negative", []float64{-0.1, 0.5}, goodY},
+		{"y slot out of range", goodX, map[[2]int]float64{{9, 0}: 0.5}},
+		{"y job out of range", goodX, map[[2]int]float64{{0, 9}: 0.5}},
+		{"y negative", goodX, map[[2]int]float64{
+			{0, 0}: -0.5, {1, 0}: 0.5, {0, 1}: 0.5, {1, 1}: 0.5,
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := CheckFeasible(in, Natural, c.x, c.y, 1e-9); err == nil {
+				t.Fatalf("%s: expected rejection", c.name)
+			}
+		})
+	}
+
+	// Slot load over g·x: 3 jobs at g=2 with x = 0.5.
+	in3, err := instance.New(2, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 1},
+		{Processing: 1, Release: 0, Deadline: 1},
+		{Processing: 1, Release: 0, Deadline: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{1}
+	y := map[[2]int]float64{{0, 0}: 1, {0, 1}: 1, {0, 2}: 1}
+	if err := CheckFeasible(in3, Natural, x, y, 1e-9); err == nil {
+		t.Fatal("capacity violation must be rejected")
+	}
+
+	// Window violation: y outside job's window.
+	in2, err := instance.New(1, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 1},
+		{Processing: 1, Release: 1, Deadline: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x2 := []float64{1, 1}
+	y2 := map[[2]int]float64{{1, 0}: 1, {0, 1}: 1} // both misplaced
+	if err := CheckFeasible(in2, Natural, x2, y2, 1e-9); err == nil {
+		t.Fatal("out-of-window assignment must be rejected")
+	}
+
+	// The good point passes both LP kinds.
+	if err := CheckFeasible(in, Natural, goodX, goodY, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// CW ceilings reject the fractional point: q over [0,2) is 0 per
+	// job (slack 1)... both jobs have window [0,2) length 2, p=1, so
+	// q_j([0,2)) = 1 each, total 2, ceil(2/2)=1 ≤ x-sum 1. Passes.
+	if err := CheckFeasible(in, CalinescuWang, goodX, goodY, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

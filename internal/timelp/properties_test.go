@@ -1,0 +1,107 @@
+package timelp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gapfam"
+	"repro/internal/instance"
+	"repro/internal/interval"
+)
+
+// TestQJProperties: q_j is monotone in I, bounded by p_j, zero on
+// intervals disjoint from the window, and q over the full window is
+// exactly p_j.
+func TestQJProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	for trial := 0; trial < 500; trial++ {
+		r := int64(rng.Intn(10))
+		w := 1 + int64(rng.Intn(8))
+		p := 1 + rng.Int63n(w)
+		j := instance.Job{Processing: p, Release: r, Deadline: r + w}
+
+		a := int64(rng.Intn(16))
+		b := a + 1 + int64(rng.Intn(8))
+		I := interval.New(a, b)
+		q := QJ(j, I)
+		if q < 0 || q > p {
+			t.Fatalf("q=%d outside [0,%d]", q, p)
+		}
+		if I.Disjoint(j.Window()) && q != 0 {
+			t.Fatalf("disjoint interval with q=%d", q)
+		}
+		if QJ(j, j.Window()) != p {
+			t.Fatal("q over the full window must be p")
+		}
+		// Monotone: enlarging I cannot decrease q.
+		bigger := interval.New(a, b+1+int64(rng.Intn(4)))
+		if QJ(j, bigger) < q {
+			t.Fatalf("q not monotone: %v -> %v", I, bigger)
+		}
+		// Complement bound: at most |window \ I| units can be outside.
+		outside := j.Window().Len() - j.Window().OverlapLen(I)
+		if q < p-outside {
+			t.Fatalf("q=%d below forced minimum %d", q, p-outside)
+		}
+	}
+}
+
+// TestCWFractionalOfIntegral: scaling the all-open integral solution
+// is feasible for both LPs, so LP values never exceed the number of
+// covered slots.
+func TestLPAtMostAllOpen(t *testing.T) {
+	for _, g := range []int64{2, 4} {
+		in := gapfam.Nested32(g)
+		allOpen := float64(len(in.SortedSlots()))
+		for _, kind := range []Kind{Natural, CalinescuWang} {
+			sol, err := Solve(in, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Objective > allOpen+1e-6 {
+				t.Fatalf("g=%d %v: LP %g exceeds all-open %g", g, kind, sol.Objective, allOpen)
+			}
+			if sol.Objective < 1 {
+				t.Fatalf("g=%d %v: LP %g below 1", g, kind, sol.Objective)
+			}
+		}
+	}
+}
+
+// TestSolutionSlotsAligned: X is indexed by the returned slot list and
+// the objective equals ΣX.
+func TestSolutionSlotsAligned(t *testing.T) {
+	in := gapfam.NaturalGap2(3)
+	sol, err := Solve(in, Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Slots) != len(sol.X) {
+		t.Fatalf("slots %d vs X %d", len(sol.Slots), len(sol.X))
+	}
+	var sum float64
+	for _, x := range sol.X {
+		sum += x
+	}
+	if math.Abs(sum-sol.Objective) > 1e-6 {
+		t.Fatalf("ΣX %g != objective %g", sum, sol.Objective)
+	}
+}
+
+func TestEmptyInstance(t *testing.T) {
+	in, err := instance.New(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := Solve(in, Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("objective %g", sol.Objective)
+	}
+	if err := CheckFeasible(in, CalinescuWang, nil, nil, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,241 @@
+// Package timelp implements the two time-indexed linear programs the
+// paper discusses for the general active-time problem:
+//
+//   - the natural LP of Chang–Khuller–Mukherjee, whose integrality gap
+//     is 2 − O(1/g) even on nested instances, and
+//   - the Călinescu–Wang LP (paper Figure 3), which augments the
+//     natural LP with ceiling constraints
+//     Σ_{t∈I} x(t) ≥ ⌈Σ_j q_j(I)/g⌉ over every sub-interval I of the
+//     horizon, where q_j(I) is the volume of job j that must fall
+//     inside I even if every slot outside I were active.
+//
+// Both operate on arbitrary instances (windows need not be nested).
+package timelp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/instance"
+	"repro/internal/interval"
+	"repro/internal/simplex"
+)
+
+// Kind selects the LP formulation.
+type Kind int
+
+// LP formulations.
+const (
+	// Natural is the plain time-indexed LP.
+	Natural Kind = iota
+	// CalinescuWang adds the interval ceiling constraints of Fig. 3.
+	CalinescuWang
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Natural:
+		return "natural"
+	case CalinescuWang:
+		return "calinescu-wang"
+	}
+	return "?"
+}
+
+// Solution is an optimal fractional solution of a time-indexed LP.
+type Solution struct {
+	// Slots lists the candidate slots, aligned with X.
+	Slots []int64
+	// X is the fractional activation of each slot.
+	X []float64
+	// Objective is Σ_t x(t).
+	Objective float64
+}
+
+// QJ returns q_j(I): the minimum number of units of job j that any
+// feasible schedule places inside I, even with all slots outside I
+// active. With w = j's window, q_j(I) = max(0, p_j − |w \ I|).
+func QJ(j instance.Job, I interval.Interval) int64 {
+	w := j.Window()
+	outside := w.Len() - w.OverlapLen(I)
+	q := j.Processing - outside
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// Solve builds and optimizes the chosen LP for the instance. The
+// variables are x(t) over the instance horizon and y(t,j) over each
+// job's window.
+func Solve(in *instance.Instance, kind Kind) (*Solution, error) {
+	h, ok := in.Horizon()
+	if !ok {
+		return &Solution{}, nil
+	}
+	T := int(h.Len())
+	slots := make([]int64, T)
+	for t := range slots {
+		slots[t] = h.Start + int64(t)
+	}
+	slotIdx := func(t int64) int { return int(t - h.Start) }
+
+	// Variable layout: x(t) at [0,T), then y pairs.
+	type pair struct{ slot, job int }
+	var pairs []pair
+	pairAt := make(map[[2]int]int)
+	for j, job := range in.Jobs {
+		for t := job.Release; t < job.Deadline; t++ {
+			pairAt[[2]int{slotIdx(t), j}] = len(pairs)
+			pairs = append(pairs, pair{slot: slotIdx(t), job: j})
+		}
+	}
+	nv := T + len(pairs)
+	p := simplex.NewProblem(nv)
+	for t := 0; t < T; t++ {
+		p.SetObjectiveCoef(t, 1)
+	}
+	yVar := func(k int) int { return T + k }
+
+	// Job demands.
+	byJob := make([][]int, in.N())
+	bySlot := make([][]int, T)
+	for k, pr := range pairs {
+		byJob[pr.job] = append(byJob[pr.job], k)
+		bySlot[pr.slot] = append(bySlot[pr.slot], k)
+	}
+	for j, job := range in.Jobs {
+		terms := make([]simplex.Term, 0, len(byJob[j]))
+		for _, k := range byJob[j] {
+			terms = append(terms, simplex.Term{Var: yVar(k), Coef: 1})
+		}
+		p.Add(terms, simplex.GE, float64(job.Processing))
+	}
+	// Slot capacity and x(t) ≤ 1.
+	for t := 0; t < T; t++ {
+		terms := make([]simplex.Term, 0, len(bySlot[t])+1)
+		for _, k := range bySlot[t] {
+			terms = append(terms, simplex.Term{Var: yVar(k), Coef: 1})
+		}
+		terms = append(terms, simplex.Term{Var: t, Coef: -float64(in.G)})
+		p.Add(terms, simplex.LE, 0)
+		p.Add([]simplex.Term{{Var: t, Coef: 1}}, simplex.LE, 1)
+	}
+	// y(t,j) ≤ x(t).
+	for k, pr := range pairs {
+		p.Add([]simplex.Term{
+			{Var: yVar(k), Coef: 1},
+			{Var: pr.slot, Coef: -1},
+		}, simplex.LE, 0)
+	}
+
+	if kind == CalinescuWang {
+		addCeilingConstraints(p, in, h)
+	}
+
+	sol, err := p.Solve()
+	if err != nil {
+		return nil, fmt.Errorf("timelp(%v): %w", kind, err)
+	}
+	out := &Solution{Slots: slots, X: make([]float64, T), Objective: sol.Objective}
+	copy(out.X, sol.X[:T])
+	return out, nil
+}
+
+// addCeilingConstraints appends Σ_{t∈I} x(t) ≥ ⌈Σ_j q_j(I)/g⌉ for
+// every sub-interval I of the horizon with a positive right-hand side.
+func addCeilingConstraints(p *simplex.Problem, in *instance.Instance, h interval.Interval) {
+	for a := h.Start; a < h.End; a++ {
+		for b := a + 1; b <= h.End; b++ {
+			I := interval.Interval{Start: a, End: b}
+			var qsum int64
+			for _, j := range in.Jobs {
+				qsum += QJ(j, I)
+			}
+			if qsum == 0 {
+				continue
+			}
+			rhs := (qsum + in.G - 1) / in.G
+			terms := make([]simplex.Term, 0, b-a)
+			for t := a; t < b; t++ {
+				terms = append(terms, simplex.Term{Var: int(t - h.Start), Coef: 1})
+			}
+			p.Add(terms, simplex.GE, float64(rhs))
+		}
+	}
+}
+
+// CheckFeasible verifies that a hand-constructed fractional point
+// (x, y) satisfies the chosen LP. x is indexed by slot offset from the
+// horizon start; y maps (slot offset, job) to the fractional
+// assignment. Used by the integrality-gap experiments to certify
+// upper bounds on LP values without solving the LP.
+func CheckFeasible(in *instance.Instance, kind Kind, x []float64, y map[[2]int]float64, tol float64) error {
+	h, ok := in.Horizon()
+	if !ok {
+		return nil
+	}
+	T := int(h.Len())
+	if len(x) != T {
+		return fmt.Errorf("timelp: x has %d entries, horizon has %d", len(x), T)
+	}
+	for t, v := range x {
+		if v < -tol || v > 1+tol {
+			return fmt.Errorf("timelp: x[%d]=%g outside [0,1]", t, v)
+		}
+	}
+	load := make([]float64, T)
+	assigned := make([]float64, in.N())
+	for key, v := range y {
+		t, j := key[0], key[1]
+		if t < 0 || t >= T || j < 0 || j >= in.N() {
+			return fmt.Errorf("timelp: y key (%d,%d) out of range", t, j)
+		}
+		if v < -tol {
+			return fmt.Errorf("timelp: y(%d,%d)=%g negative", t, j, v)
+		}
+		abs := h.Start + int64(t)
+		job := in.Jobs[j]
+		if abs < job.Release || abs >= job.Deadline {
+			return fmt.Errorf("timelp: y(%d,%d) outside job window", t, j)
+		}
+		if v > x[t]+tol {
+			return fmt.Errorf("timelp: y(%d,%d)=%g > x=%g", t, j, v, x[t])
+		}
+		load[t] += v
+		assigned[j] += v
+	}
+	for t := range load {
+		if load[t] > float64(in.G)*x[t]+tol {
+			return fmt.Errorf("timelp: slot %d load %g > g·x=%g", t, load[t], float64(in.G)*x[t])
+		}
+	}
+	for j := range assigned {
+		if assigned[j] < float64(in.Jobs[j].Processing)-tol {
+			return fmt.Errorf("timelp: job %d assigned %g < p=%d", j, assigned[j], in.Jobs[j].Processing)
+		}
+	}
+	if kind == CalinescuWang {
+		for a := h.Start; a < h.End; a++ {
+			for b := a + 1; b <= h.End; b++ {
+				I := interval.Interval{Start: a, End: b}
+				var qsum int64
+				for _, j := range in.Jobs {
+					qsum += QJ(j, I)
+				}
+				if qsum == 0 {
+					continue
+				}
+				rhs := math.Ceil(float64(qsum) / float64(in.G))
+				var got float64
+				for t := a; t < b; t++ {
+					got += x[int(t-h.Start)]
+				}
+				if got < rhs-tol {
+					return fmt.Errorf("timelp: ceiling on %v: %g < %g", I, got, rhs)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,148 @@
+package timelp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/interval"
+)
+
+func mk(t *testing.T, g int64, jobs ...instance.Job) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestQJ(t *testing.T) {
+	j := instance.Job{Processing: 3, Release: 0, Deadline: 5}
+	cases := []struct {
+		I    interval.Interval
+		want int64
+	}{
+		{interval.New(0, 5), 3},  // whole window
+		{interval.New(0, 3), 1},  // 2 slots outside
+		{interval.New(0, 2), 0},  // 3 slots outside
+		{interval.New(1, 4), 1},  // 2 outside
+		{interval.New(5, 9), 0},  // disjoint
+		{interval.New(0, 50), 3}, // superset
+	}
+	for _, c := range cases {
+		if got := QJ(j, c.I); got != c.want {
+			t.Errorf("QJ(%v) = %d want %d", c.I, got, c.want)
+		}
+	}
+}
+
+func TestNaturalLPSingleRigid(t *testing.T) {
+	in := mk(t, 1, instance.Job{Processing: 3, Release: 0, Deadline: 3})
+	sol, err := Solve(in, Natural)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("objective %g want 3", sol.Objective)
+	}
+}
+
+// TestNaturalGapFamily reproduces the paper's observation that the
+// natural LP's gap approaches 2 on a *nested* instance: g+1 unit jobs
+// in a 2-slot window have LP value (g+1)/g but OPT 2.
+func TestNaturalGapFamily(t *testing.T) {
+	for _, g := range []int64{2, 4, 8} {
+		jobs := make([]instance.Job, g+1)
+		for i := range jobs {
+			jobs[i] = instance.Job{Processing: 1, Release: 0, Deadline: 2}
+		}
+		in := mk(t, g, jobs...)
+		sol, err := Solve(in, Natural)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(g+1) / float64(g)
+		if math.Abs(sol.Objective-want) > 1e-6 {
+			t.Fatalf("g=%d: natural LP %g want %g", g, sol.Objective, want)
+		}
+		// The CW ceiling constraint on I = [0,2) forces value 2.
+		cw, err := Solve(in, CalinescuWang)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(cw.Objective-2) > 1e-6 {
+			t.Fatalf("g=%d: CW LP %g want 2", g, cw.Objective)
+		}
+	}
+}
+
+func TestLPsAreLowerBoundsAndOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		in := gen.RandomGeneral(rng, gen.GeneralParams{
+			Jobs: 4, Horizon: 8, G: int64(1 + rng.Intn(3)), MaxWindow: 5, MaxProcessing: 3,
+		})
+		nat, err := Solve(in, Natural)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cw, err := Solve(in, CalinescuWang)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, _, err := exact.SolveGeneral(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if nat.Objective > cw.Objective+1e-6 {
+			t.Fatalf("trial %d: natural %g > CW %g (CW is a strengthening)",
+				trial, nat.Objective, cw.Objective)
+		}
+		if cw.Objective > float64(opt)+1e-6 {
+			t.Fatalf("trial %d: CW LP %g exceeds OPT %d", trial, cw.Objective, opt)
+		}
+	}
+}
+
+func TestCheckFeasible(t *testing.T) {
+	in := mk(t, 2,
+		instance.Job{Processing: 1, Release: 0, Deadline: 2},
+		instance.Job{Processing: 1, Release: 0, Deadline: 2},
+	)
+	x := []float64{0.5, 0.5}
+	y := map[[2]int]float64{
+		{0, 0}: 0.5, {1, 0}: 0.5,
+		{0, 1}: 0.5, {1, 1}: 0.5,
+	}
+	if err := CheckFeasible(in, Natural, x, y, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+	// Violate y ≤ x.
+	bad := map[[2]int]float64{{0, 0}: 0.9, {1, 0}: 0.1, {0, 1}: 0.5, {1, 1}: 0.5}
+	if err := CheckFeasible(in, Natural, x, bad, 1e-9); err == nil {
+		t.Fatal("expected y>x violation")
+	}
+	// Under-assigned job.
+	under := map[[2]int]float64{{0, 0}: 0.5, {1, 0}: 0.5, {0, 1}: 0.5}
+	if err := CheckFeasible(in, Natural, x, under, 1e-9); err == nil {
+		t.Fatal("expected under-assignment violation")
+	}
+	// CW ceiling: one slot fractional 0.5 can't satisfy ceil(2/2)=1 on [0,1)?
+	// q_j([0,1)) = 0 for slack jobs, so build a rigid case instead.
+	rigid := mk(t, 1, instance.Job{Processing: 2, Release: 0, Deadline: 2})
+	xr := []float64{0.9, 0.9}
+	yr := map[[2]int]float64{{0, 0}: 0.9, {1, 0}: 0.9}
+	if err := CheckFeasible(rigid, CalinescuWang, xr, yr, 1e-9); err == nil {
+		t.Fatal("expected ceiling violation: q([0,1))=1 needs x(0) >= 1")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Natural.String() != "natural" || CalinescuWang.String() != "calinescu-wang" {
+		t.Fatal("Kind.String broken")
+	}
+}

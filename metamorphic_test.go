@@ -1,0 +1,121 @@
+package activetime
+
+// Metamorphic tests: transformations of an instance with a known
+// effect on the optimum must move every solver's output accordingly.
+// These catch bugs that single-instance oracles cannot (e.g. hidden
+// dependence on absolute time values or job order).
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3001))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, int64(1+rng.Intn(3))))
+		delta := int64(rng.Intn(2000) - 1000)
+		shifted := in.Shift(delta)
+		for _, alg := range []Algorithm{AlgNested95, AlgGreedyMinimal, AlgGreedyRTL, AlgExact} {
+			a, err := Solve(in, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			b, err := Solve(shifted, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s shifted: %v", trial, alg, err)
+			}
+			if a.ActiveSlots != b.ActiveSlots {
+				t.Fatalf("trial %d %s: shift by %d changed objective %d -> %d",
+					trial, alg, delta, a.ActiveSlots, b.ActiveSlots)
+			}
+			if err := b.Schedule.Validate(shifted); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+		}
+	}
+}
+
+func TestPermutationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3003))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(8, int64(1+rng.Intn(3))))
+		perm := rng.Perm(in.N())
+		shuffled := in.Permute(perm)
+		for _, alg := range []Algorithm{AlgNested95, AlgExact} {
+			a, err := Solve(in, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			b, err := Solve(shuffled, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s shuffled: %v", trial, alg, err)
+			}
+			if a.ActiveSlots != b.ActiveSlots {
+				t.Fatalf("trial %d %s: permutation changed objective %d -> %d",
+					trial, alg, a.ActiveSlots, b.ActiveSlots)
+			}
+		}
+	}
+}
+
+// TestDisjointUnionAdditivity: solving two far-apart copies costs
+// exactly the sum.
+func TestDisjointUnionAdditivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3005))
+	for trial := 0; trial < 15; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(6, 2))
+		far := in.Shift(10_000)
+		jobs := append(append([]Job{}, in.Jobs...), far.Jobs...)
+		union, err := NewInstance(in.G, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{AlgNested95, AlgExact} {
+			single, err := Solve(in, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			double, err := Solve(union, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s union: %v", trial, alg, err)
+			}
+			if double.ActiveSlots != 2*single.ActiveSlots {
+				t.Fatalf("trial %d %s: union %d != 2 × %d",
+					trial, alg, double.ActiveSlots, single.ActiveSlots)
+			}
+		}
+	}
+}
+
+// TestGScalingNeverHurts: raising g can only help every algorithm with
+// a monotone objective (exact; for approximations we check they don't
+// violate their guarantee against the new optimum).
+func TestGScalingNeverHurts(t *testing.T) {
+	rng := rand.New(rand.NewSource(3007))
+	for trial := 0; trial < 15; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, 2))
+		big := in.Clone()
+		big.G = in.G * 2
+		a, err := Optimal(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Optimal(big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b > a {
+			t.Fatalf("trial %d: doubling g raised OPT %d -> %d", trial, a, b)
+		}
+		res, err := Solve(big, AlgNested95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(res.ActiveSlots) > ApproxRatio*float64(b)+1e-9 {
+			t.Fatalf("trial %d: guarantee violated after g scaling", trial)
+		}
+	}
+}

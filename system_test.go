@@ -1,0 +1,81 @@
+package activetime
+
+// System-level randomized consistency test: every solver in the
+// library is run on a stream of random instances and their mutual
+// relationships (exact solvers agree; approximations respect their
+// factors; LP bounds hold; schedules validate) are checked by the
+// crosscheck module. This is the closest thing to a continuous fuzz
+// of the whole pipeline that still runs in ordinary `go test` time.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crosscheck"
+	"repro/internal/gen"
+)
+
+func TestSystemCrosscheckNested(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2027))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(6)
+		g := int64(1 + rng.Intn(5))
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(n, g))
+		rep, err := crosscheck.Run(in)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d g=%d): %v", trial, n, g, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d (n=%d g=%d): consistency violations:\n%s", trial, n, g, rep)
+		}
+	}
+}
+
+func TestSystemCrosscheckGeneral(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rng := rand.New(rand.NewSource(2028))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.RandomGeneral(rng, gen.DefaultGeneral(6+rng.Intn(3), int64(1+rng.Intn(3))))
+		rep, err := crosscheck.Run(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d: consistency violations:\n%s", trial, rep)
+		}
+	}
+}
+
+// TestSystemUnitJobs exercises the polynomially solvable unit-job
+// special case end to end: here the strengthened LP is usually
+// integral and the 9/5 algorithm should essentially always be optimal.
+func TestSystemUnitJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2029))
+	optimalCount := 0
+	trials := 25
+	for trial := 0; trial < trials; trial++ {
+		in := gen.RandomUnitLaminar(rng, gen.DefaultLaminar(8, int64(1+rng.Intn(4))))
+		res, err := Solve(in, AlgNested95)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt, err := Optimal(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if res.ActiveSlots == opt {
+			optimalCount++
+		}
+		if float64(res.ActiveSlots) > ApproxRatio*float64(opt)+1e-9 {
+			t.Fatalf("trial %d: guarantee broken on unit jobs", trial)
+		}
+	}
+	if optimalCount < trials*3/4 {
+		t.Fatalf("only %d/%d unit-job instances solved optimally", optimalCount, trials)
+	}
+}
