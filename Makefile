@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench fuzz-smoke ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -14,6 +14,19 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Alias kept alongside `race` so CI scripts can use either name.
+test-race: race
+
+# Short coverage-guided runs of the differential fuzz targets; seeds
+# live in the packages' testdata/fuzz corpora.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzDinicVsPushRelabel -fuzztime=$(FUZZTIME) ./internal/maxflow
+	$(GO) test -run='^$$' -fuzz=FuzzSimplexVsRatsimplex -fuzztime=$(FUZZTIME) ./internal/ratsimplex
+
+# CI entry point: everything that must be green before merging.
+ci: build vet test race fuzz-smoke
 
 cover:
 	$(GO) test -cover ./...

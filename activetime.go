@@ -32,6 +32,7 @@ import (
 	"repro/internal/greedy"
 	"repro/internal/instance"
 	"repro/internal/lamtree"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
@@ -46,6 +47,18 @@ type Instance = instance.Instance
 // Schedule assigns jobs to slots; see its Validate and NumActive
 // methods.
 type Schedule = sched.Schedule
+
+// SolveStats is a snapshot of a solve's instrumentation: per-stage
+// wall time, simplex/ratsimplex pivot counts, max-flow operation
+// counts, branch-and-bound node counts and per-forest solve latency
+// (see internal/metrics). Counters are deterministic for a fixed
+// instance; stage times are wall-clock measurements.
+type SolveStats = metrics.Stats
+
+// Recorder accumulates instrumentation across solves; pass one via
+// SolveOptions.Metrics to aggregate a whole sweep. It is safe for
+// concurrent use.
+type Recorder = metrics.Recorder
 
 // NewInstance builds and validates an instance with capacity g.
 func NewInstance(g int64, jobs []Job) (*Instance, error) {
@@ -96,6 +109,9 @@ type Result struct {
 	// CertifiedRatio is ActiveSlots / LPLowerBound when the LP bound
 	// is available; an instance-specific a-posteriori guarantee.
 	CertifiedRatio float64
+	// Stats holds the solve's instrumentation snapshot; only set by
+	// AlgNested95 (and SolveNested95).
+	Stats *SolveStats
 }
 
 // Solve runs the chosen algorithm. All algorithms return a feasible,
@@ -114,6 +130,7 @@ func Solve(in *Instance, alg Algorithm) (*Result, error) {
 			ActiveSlots:    s.NumActive(),
 			LPLowerBound:   rep.LPValue,
 			CertifiedRatio: rep.CertifiedRatio,
+			Stats:          rep.Stats,
 		}, nil
 	case AlgGreedyMinimal:
 		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
@@ -197,6 +214,15 @@ type SolveOptions struct {
 	// Compact places open slots to minimize power-on events
 	// (fragments) at equal objective value.
 	Compact bool
+	// Workers bounds the number of goroutines solving independent
+	// laminar forests concurrently; ≤ 1 solves sequentially. Results
+	// are identical at any worker count.
+	Workers int
+	// Metrics optionally supplies an external recorder that
+	// accumulates instrumentation across solves; when nil, each solve
+	// gets a fresh recorder and Result.Stats covers exactly that
+	// solve.
+	Metrics *Recorder
 }
 
 // SolveNested95 runs the 9/5-approximation with explicit options.
@@ -205,6 +231,8 @@ func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
 		ExactLP:    opts.ExactLP,
 		Minimalize: opts.Minimalize,
 		Compact:    opts.Compact,
+		Workers:    opts.Workers,
+		Metrics:    opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -215,6 +243,7 @@ func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
 		ActiveSlots:    s.NumActive(),
 		LPLowerBound:   rep.LPValue,
 		CertifiedRatio: rep.CertifiedRatio,
+		Stats:          rep.Stats,
 	}, nil
 }
 

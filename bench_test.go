@@ -183,6 +183,33 @@ func BenchmarkPSCReduction(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiForest measures the component-parallel solve path: one
+// instance made of many well-separated laminar forests, solved with
+// increasing worker counts. The workers=1 case doubles as the
+// instrumentation-overhead baseline.
+func BenchmarkMultiForest(b *testing.B) {
+	rng := rand.New(rand.NewSource(4242))
+	var jobs []Job
+	for k := 0; k < 8; k++ {
+		part := gen.RandomLaminar(rng, gen.DefaultLaminar(10, 3)).Shift(int64(k) * 10_000)
+		jobs = append(jobs, part.Jobs...)
+	}
+	in, err := NewInstance(3, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run("workers="+string(rune('0'+workers)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SolveNested95(in, SolveOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func sizeName(n int) string {
 	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
 }

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	activetime -in instance.json [-alg nested95] [-v] [-gantt] [-metrics]
+//	activetime -in instance.json -stats        # append solver instrumentation as JSON
+//	activetime -in instance.json -workers 4    # solve independent forests concurrently
 //	activetime -in instance.json -compare      # run and cross-check all solvers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +31,8 @@ func main() {
 	exactLP := flag.Bool("exact-lp", false, "nested95: solve the LP in exact rational arithmetic")
 	minimize := flag.Bool("minimize", false, "nested95: close removable slots after rounding")
 	compact := flag.Bool("compact", false, "nested95: place slots to minimize power-on events")
+	stats := flag.Bool("stats", false, "nested95: append pipeline instrumentation (stage times, pivot and flow counters) as JSON")
+	workers := flag.Int("workers", 1, "nested95: worker-pool size for solving independent forests concurrently")
 	outPath := flag.String("out", "", "write the schedule as JSON to this file")
 	flag.Parse()
 
@@ -54,11 +59,12 @@ func main() {
 	}
 
 	var res *activetime.Result
-	if activetime.Algorithm(*alg) == activetime.AlgNested95 && (*exactLP || *minimize || *compact) {
+	if activetime.Algorithm(*alg) == activetime.AlgNested95 && (*exactLP || *minimize || *compact || *workers > 1) {
 		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
 			ExactLP:    *exactLP,
 			Minimalize: *minimize,
 			Compact:    *compact,
+			Workers:    *workers,
 		})
 	} else {
 		res, err = activetime.Solve(in, activetime.Algorithm(*alg))
@@ -75,6 +81,18 @@ func main() {
 	}
 	if *metrics {
 		fmt.Printf("metrics:      %s\n", res.Schedule.ComputeMetrics())
+	}
+	if *stats {
+		if res.Stats == nil {
+			fmt.Fprintf(os.Stderr, "activetime: -stats: algorithm %s records no instrumentation (use -alg nested95)\n", res.Algorithm)
+		} else {
+			b, err := json.MarshalIndent(res.Stats, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println("stats:")
+			fmt.Println(string(b))
+		}
 	}
 	if *gantt {
 		if h, ok := in.Horizon(); ok {

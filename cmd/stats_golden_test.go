@@ -1,0 +1,111 @@
+package cmd_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// statsJSON runs the activetime binary with -stats and returns the JSON
+// document printed after the "stats:" marker.
+func statsJSON(t *testing.T, bin string, args ...string) map[string]json.RawMessage {
+	t.Helper()
+	out, err := run(t, bin, args...)
+	if err != nil {
+		t.Fatalf("activetime %v: %v\n%s", args, err, out)
+	}
+	_, rest, ok := strings.Cut(out, "stats:\n")
+	if !ok {
+		t.Fatalf("no stats: marker in output:\n%s", out)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(rest), &doc); err != nil {
+		t.Fatalf("stats JSON invalid: %v\n%s", err, rest)
+	}
+	return doc
+}
+
+// TestStatsGolden pins the -stats counter block for a fixed committed
+// instance. Counters are pure operation counts, so they must be
+// byte-stable across runs and across worker counts; stage timings are
+// wall clock and are only checked for presence. Regenerate with
+//
+//	go test ./cmd -run TestStatsGolden -update
+func TestStatsGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "activetime")
+	inst := filepath.Join("..", "testdata", "laminar-n12-g3-s7.json")
+	golden := filepath.Join("testdata", "stats-laminar-n12-g3-s7.golden.json")
+
+	doc := statsJSON(t, bin, "-in", inst, "-stats")
+	counters, ok := doc["counters"]
+	if !ok {
+		t.Fatalf("stats JSON has no counters block: %v", doc)
+	}
+	var pretty json.RawMessage
+	{
+		var v any
+		if err := json.Unmarshal(counters, &v); err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pretty = append(b, '\n')
+	}
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, pretty, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden file)", err)
+	}
+	if string(want) != string(pretty) {
+		t.Fatalf("counters diverge from %s:\n got: %s\nwant: %s\nrun with -update if the change is intended",
+			golden, pretty, want)
+	}
+
+	// Stage timings must be present even though their values are free.
+	var stages []struct {
+		Stage string `json:"stage"`
+	}
+	if err := json.Unmarshal(doc["stages"], &stages); err != nil {
+		t.Fatalf("stages block: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		seen[s.Stage] = true
+	}
+	for _, must := range []string{"tree_build", "lp_build", "lp_solve", "round", "place", "validate"} {
+		if !seen[must] {
+			t.Fatalf("stage %q missing from stats output (have %v)", must, seen)
+		}
+	}
+
+	// Determinism: a second run, and a parallel run, must reproduce the
+	// counter block exactly.
+	again := statsJSON(t, bin, "-in", inst, "-stats")
+	if !reflect.DeepEqual(again["counters"], counters) {
+		t.Fatalf("counters changed between identical runs:\n%s\nvs\n%s", counters, again["counters"])
+	}
+	par := statsJSON(t, bin, "-in", inst, "-stats", "-workers", "4")
+	if !reflect.DeepEqual(par["counters"], counters) {
+		t.Fatalf("counters depend on worker count:\n%s\nvs\n%s", counters, par["counters"])
+	}
+}

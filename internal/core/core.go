@@ -20,10 +20,13 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/flowfeas"
 	"repro/internal/instance"
 	"repro/internal/lamtree"
+	"repro/internal/metrics"
 	"repro/internal/nestlp"
 	"repro/internal/sched"
 )
@@ -50,6 +53,13 @@ type Report struct {
 	// CertifiedRatio is ActiveSlots / LPValue, an a-posteriori
 	// certificate on this instance (≤ 9/5 whenever Repairs == 0).
 	CertifiedRatio float64
+	// Stats is a snapshot of the solve's instrumentation: per-stage
+	// wall time, simplex pivots, max-flow operations, and so on (see
+	// internal/metrics). When Options.Metrics supplied an external
+	// recorder, the snapshot reflects that recorder's cumulative state.
+	// Only set on whole-instance reports (SolveWithOptions), not on
+	// per-component ones.
+	Stats *metrics.Stats
 }
 
 // merge accumulates component reports into a whole-instance report.
@@ -80,6 +90,18 @@ type Options struct {
 	// to minimize fragmentation (machine power-on events) instead of
 	// taking the leftmost ones. The objective value is unchanged.
 	Compact bool
+	// Workers bounds the number of goroutines solving independent
+	// laminar forests (disjoint components) concurrently. Values ≤ 1
+	// solve sequentially. The result — schedule, objective, and all
+	// metric counters — is identical at any worker count; only wall
+	// time changes.
+	Workers int
+	// Metrics, when non-nil, receives the solve's instrumentation
+	// (and may accumulate across many solves, e.g. in an experiment
+	// sweep). When nil, a fresh recorder is used so Report.Stats
+	// covers exactly one solve. The recorder is safe for concurrent
+	// use; Workers > 1 shares it across forest workers.
+	Metrics *metrics.Recorder
 }
 
 // Solve runs the 9/5-approximation on a nested instance and returns a
@@ -89,7 +111,10 @@ func Solve(in *instance.Instance) (*sched.Schedule, Report, error) {
 	return SolveWithOptions(in, Options{})
 }
 
-// SolveWithOptions is Solve with explicit options.
+// SolveWithOptions is Solve with explicit options. Independent laminar
+// forests (disjoint components) are solved concurrently when
+// opts.Workers > 1; component schedules are merged in component order,
+// so the output is deterministic at any worker count.
 func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
 	if err := in.Validate(); err != nil {
 		return nil, Report{}, err
@@ -97,66 +122,139 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 	if !in.Nested() {
 		return nil, Report{}, fmt.Errorf("core: instance windows are not nested")
 	}
+	rec := opts.Metrics
+	if rec == nil {
+		rec = new(metrics.Recorder)
+	}
 	out := sched.New(in.G)
 	var total Report
 	comps, backmap := in.Components()
-	for ci, comp := range comps {
-		s, rep, err := solveComponent(comp, opts)
-		if err != nil {
-			return nil, Report{}, fmt.Errorf("core: component %d: %w", ci, err)
+
+	type compResult struct {
+		s   *sched.Schedule
+		rep Report
+		err error
+	}
+	results := make([]compResult, len(comps))
+	solveOne := func(ci int) {
+		start := time.Now()
+		s, rep, err := solveComponent(comps[ci], opts, rec)
+		rec.ForestSolveNS.Observe(int64(time.Since(start)))
+		rec.ForestsSolved.Inc()
+		results[ci] = compResult{s: s, rep: rep, err: err}
+	}
+
+	workers := opts.Workers
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for ci := range comps {
+			solveOne(ci)
 		}
-		for t, js := range s.Slots {
+	} else {
+		// Bounded worker pool over forest indices. Workers share the
+		// recorder (atomic counters) and write only results[ci].
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for ci := range idx {
+					solveOne(ci)
+				}
+			}()
+		}
+		for ci := range comps {
+			idx <- ci
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for ci, res := range results {
+		if res.err != nil {
+			return nil, Report{}, fmt.Errorf("core: component %d: %w", ci, res.err)
+		}
+		for t, js := range res.s.Slots {
 			for _, localID := range js {
 				out.Assign(t, backmap[ci][localID])
 			}
 		}
-		total.merge(rep)
+		total.merge(res.rep)
 	}
-	if err := out.Validate(in); err != nil {
+	stopValidate := rec.StartStage(metrics.StageValidate)
+	err := out.Validate(in)
+	stopValidate()
+	if err != nil {
 		return nil, Report{}, fmt.Errorf("core: internal: produced invalid schedule: %w", err)
 	}
 	total.ActiveSlots = out.NumActive()
 	if total.LPValue > 0 {
 		total.CertifiedRatio = float64(total.ActiveSlots) / total.LPValue
 	}
+	total.Stats = rec.Snapshot()
 	return out, total, nil
 }
 
-// solveComponent runs the pipeline on one connected component.
-func solveComponent(in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
+// solveComponent runs the pipeline on one connected component,
+// reporting per-stage wall time and operation counts to rec (which
+// may be shared with other components solving concurrently).
+func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) (*sched.Schedule, Report, error) {
+	rec = metrics.OrNop(rec)
+
+	stop := rec.StartStage(metrics.StageTreeBuild)
 	tree, err := lamtree.Build(in)
+	stop()
 	if err != nil {
 		return nil, Report{}, err
 	}
-	if err := tree.Canonicalize(); err != nil {
+	stop = rec.StartStage(metrics.StageCanonicalize)
+	err = tree.Canonicalize()
+	stop()
+	if err != nil {
 		return nil, Report{}, err
 	}
 
 	// Feasibility gate: everything open must work.
+	stop = rec.StartStage(metrics.StageFeasGate)
 	full := make([]int64, tree.M())
 	for i := range full {
 		full[i] = tree.Nodes[i].L
 	}
-	if !flowfeas.CheckNodeCounts(tree, full) {
+	ok := flowfeas.CheckNodeCountsRec(tree, full, rec)
+	stop()
+	if !ok {
 		return nil, Report{}, fmt.Errorf("infeasible instance")
 	}
 
+	stop = rec.StartStage(metrics.StageLPBuild)
 	model := nestlp.NewModel(tree)
+	model.SetRecorder(rec)
+	stop()
+
+	stop = rec.StartStage(metrics.StageLPSolve)
 	var sol *nestlp.Solution
 	if opts.ExactLP {
 		sol, err = model.SolveExact()
 	} else {
 		sol, err = model.Solve()
 	}
+	stop()
 	if err != nil {
 		return nil, Report{}, err
 	}
 	lpValue := sol.Objective
 
+	stop = rec.StartStage(metrics.StageTransform)
 	model.Transform(sol)
 	I := model.TopmostPositive(sol)
+	stop()
 
+	stop = rec.StartStage(metrics.StageRound)
 	counts := Round(tree, sol, I)
+	stop()
 
 	rep := Report{LPValue: lpValue}
 	for _, c := range counts {
@@ -165,8 +263,13 @@ func solveComponent(in *instance.Instance, opts Options) (*sched.Schedule, Repor
 
 	// Theorem 4.5 guarantees feasibility; verify and repair if
 	// floating-point noise ever broke it.
-	if !flowfeas.CheckNodeCounts(tree, counts) {
-		added, ok := repair(tree, counts)
+	stop = rec.StartStage(metrics.StageFeasCheck)
+	ok = flowfeas.CheckNodeCountsRec(tree, counts, rec)
+	stop()
+	if !ok {
+		stop = rec.StartStage(metrics.StageRepair)
+		added, ok := repair(tree, counts, rec)
+		stop()
 		if !ok {
 			return nil, Report{}, fmt.Errorf("internal: repair failed")
 		}
@@ -175,17 +278,21 @@ func solveComponent(in *instance.Instance, opts Options) (*sched.Schedule, Repor
 	}
 
 	if opts.Minimalize {
-		removed := MinimalizeCounts(tree, counts)
+		stop = rec.StartStage(metrics.StageMinimalize)
+		removed := MinimalizeCountsRec(tree, counts, rec)
+		stop()
 		rep.Minimalized = removed
 		rep.RoundedSlots -= removed
 	}
 
+	stop = rec.StartStage(metrics.StagePlace)
 	var s *sched.Schedule
 	if opts.Compact {
 		_, s, err = PlaceCompact(tree, counts)
 	} else {
-		s, err = flowfeas.ScheduleOnNodeCounts(tree, counts)
+		s, err = flowfeas.ScheduleOnNodeCountsRec(tree, counts, rec)
 	}
+	stop()
 	if err != nil {
 		return nil, Report{}, fmt.Errorf("internal: %w", err)
 	}
@@ -290,9 +397,9 @@ func ancestorsOf(t *lamtree.Tree, I []int) []int {
 // repair opens additional slots until the count vector becomes
 // feasible. It exists purely as a numeric safety net; the paper's
 // Theorem 4.5 makes it unreachable with an exact LP solution.
-func repair(t *lamtree.Tree, counts []int64) (added int64, ok bool) {
+func repair(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (added int64, ok bool) {
 	for {
-		if flowfeas.CheckNodeCounts(t, counts) {
+		if flowfeas.CheckNodeCountsRec(t, counts, rec) {
 			return added, true
 		}
 		progressed := false

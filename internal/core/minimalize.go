@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/flowfeas"
 	"repro/internal/lamtree"
+	"repro/internal/metrics"
 )
 
 // MinimalizeCounts post-processes a feasible per-node count vector by
@@ -11,6 +12,12 @@ import (
 // and is minimal: no single slot can be removed. Because the 9/5
 // guarantee holds for the input vector, it holds for the output too.
 func MinimalizeCounts(t *lamtree.Tree, counts []int64) (removed int64) {
+	return MinimalizeCountsRec(t, counts, nil)
+}
+
+// MinimalizeCountsRec is MinimalizeCounts reporting max-flow operation
+// counts to rec (nil disables reporting).
+func MinimalizeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (removed int64) {
 	order := t.PostOrder()
 	// A single sweep suffices: feasibility is monotone, so a slot that
 	// cannot close now can never close after further removals; but we
@@ -19,7 +26,7 @@ func MinimalizeCounts(t *lamtree.Tree, counts []int64) (removed int64) {
 	for _, i := range order {
 		for counts[i] > 0 {
 			counts[i]--
-			if flowfeas.CheckNodeCounts(t, counts) {
+			if flowfeas.CheckNodeCountsRec(t, counts, rec) {
 				removed++
 				continue
 			}

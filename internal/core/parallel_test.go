@@ -1,0 +1,115 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+)
+
+// multiForest builds an instance with several well-separated laminar
+// forests so the component-parallel solve path has real work to spread.
+func multiForest(t *testing.T, rng *rand.Rand, forests int) *instance.Instance {
+	t.Helper()
+	var jobs []instance.Job
+	g := int64(1 + rng.Intn(3))
+	for k := 0; k < forests; k++ {
+		part := gen.RandomLaminar(rng, gen.DefaultLaminar(6, g)).Shift(int64(k) * 10_000)
+		jobs = append(jobs, part.Jobs...)
+	}
+	in, err := instance.New(g, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comps, _ := in.Components(); len(comps) < forests {
+		t.Fatalf("expected >= %d components, got %d", forests, len(comps))
+	}
+	return in
+}
+
+// TestParallelForestsMatchSequential: any worker count must produce the
+// same schedule quality, the same LP value, and — because operation
+// counters are independent of execution order — bit-identical counter
+// snapshots.
+func TestParallelForestsMatchSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4001))
+	for trial := 0; trial < 6; trial++ {
+		in := multiForest(t, rng, 4)
+		seqS, seqRep, err := SolveWithOptions(in, Options{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			parS, parRep, err := SolveWithOptions(in, Options{Workers: workers})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if err := parS.Validate(in); err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, workers, err)
+			}
+			if parS.NumActive() != seqS.NumActive() {
+				t.Fatalf("trial %d workers=%d: %d active slots, sequential %d",
+					trial, workers, parS.NumActive(), seqS.NumActive())
+			}
+			if parRep.RoundedSlots != seqRep.RoundedSlots ||
+				parRep.ActiveSlots != seqRep.ActiveSlots {
+				t.Fatalf("trial %d workers=%d: report mismatch %+v vs %+v",
+					trial, workers, parRep, seqRep)
+			}
+			if d := parRep.LPValue - seqRep.LPValue; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("trial %d workers=%d: LP value %v vs %v",
+					trial, workers, parRep.LPValue, seqRep.LPValue)
+			}
+			if parRep.Stats == nil || seqRep.Stats == nil {
+				t.Fatalf("trial %d workers=%d: missing stats", trial, workers)
+			}
+			if !reflect.DeepEqual(parRep.Stats.Counters, seqRep.Stats.Counters) {
+				t.Fatalf("trial %d workers=%d: counters diverge\npar: %+v\nseq: %+v",
+					trial, workers, parRep.Stats.Counters, seqRep.Stats.Counters)
+			}
+		}
+	}
+}
+
+// TestSharedRecorderConcurrentSolves: many goroutines solving distinct
+// instances into one shared recorder must neither race (checked under
+// -race) nor lose counts — the aggregate equals the sum of per-solve
+// snapshots.
+func TestSharedRecorderConcurrentSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(4003))
+	const solves = 8
+	ins := make([]*instance.Instance, solves)
+	var want int64
+	for i := range ins {
+		ins[i] = multiForest(t, rng, 2)
+		_, rep, err := SolveWithOptions(ins[i], Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += rep.Stats.Counters.SimplexPivots
+	}
+	shared := new(metrics.Recorder)
+	var wg sync.WaitGroup
+	for i := range ins {
+		wg.Add(1)
+		go func(in *instance.Instance) {
+			defer wg.Done()
+			if _, _, err := SolveWithOptions(in, Options{Workers: 2, Metrics: shared}); err != nil {
+				t.Errorf("concurrent solve: %v", err)
+			}
+		}(ins[i])
+	}
+	wg.Wait()
+	st := shared.Snapshot()
+	if st.Counters.SimplexPivots != want {
+		t.Fatalf("shared recorder counted %d simplex pivots, want %d",
+			st.Counters.SimplexPivots, want)
+	}
+	if st.Counters.ForestsSolved < solves {
+		t.Fatalf("forests solved %d, want >= %d", st.Counters.ForestsSolved, solves)
+	}
+}

@@ -191,7 +191,7 @@ func TestRepairAddsSlots(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := make([]int64, tree.M()) // all closed: infeasible
-	added, ok := repair(tree, counts)
+	added, ok := repair(tree, counts, nil)
 	if !ok {
 		t.Fatal("repair must succeed on a feasible instance")
 	}

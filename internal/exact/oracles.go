@@ -15,6 +15,7 @@ package exact
 import (
 	"repro/internal/lamtree"
 	"repro/internal/maxflow"
+	"repro/internal/metrics"
 )
 
 // OptAtMost1 reports whether all jobs in the subtree of node i can be
@@ -164,7 +165,7 @@ func OptLowerBoundFlags(t *lamtree.Tree) (atLeast2, atLeast3 []bool) {
 // subtreeFeasible reports whether the jobs internal to the subtree of
 // root (those with k(j) in Des(root)) fit into the open counts of the
 // subtree's nodes. Used as a pruning test by the nested exact solver.
-func subtreeFeasible(t *lamtree.Tree, root int, counts []int64) bool {
+func subtreeFeasible(t *lamtree.Tree, root int, counts []int64, rec *metrics.Recorder) bool {
 	des := t.Des(root)
 	pos := make(map[int]int, len(des))
 	for k, d := range des {
@@ -178,6 +179,7 @@ func subtreeFeasible(t *lamtree.Tree, root int, counts []int64) bool {
 		return true
 	}
 	g := maxflow.New(2 + len(jobs) + len(des))
+	g.SetRecorder(rec)
 	src, snk := 0, 1
 	for k, d := range des {
 		if counts[d] > 0 {

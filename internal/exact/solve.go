@@ -6,6 +6,7 @@ import (
 	"repro/internal/flowfeas"
 	"repro/internal/instance"
 	"repro/internal/lamtree"
+	"repro/internal/metrics"
 )
 
 // SolveNested computes the exact optimum for the instance represented
@@ -16,16 +17,22 @@ import (
 // feasibility, per-subtree volume/longest-job lower bounds, and the
 // best solution found so far.
 func SolveNested(t *lamtree.Tree) (int64, []int64, error) {
+	return SolveNestedRec(t, nil)
+}
+
+// SolveNestedRec is SolveNested reporting branch-and-bound node counts
+// and max-flow operation counts to rec (nil disables reporting).
+func SolveNestedRec(t *lamtree.Tree, rec *metrics.Recorder) (int64, []int64, error) {
 	m := t.M()
 	full := make([]int64, m)
 	for i := 0; i < m; i++ {
 		full[i] = t.Nodes[i].L
 	}
-	if !flowfeas.CheckNodeCounts(t, full) {
+	if !flowfeas.CheckNodeCountsRec(t, full, rec) {
 		return 0, nil, fmt.Errorf("exact: instance infeasible even with all slots open")
 	}
 
-	s := &nestedSearch{t: t, minSub: subtreeLowerBounds(t)}
+	s := &nestedSearch{t: t, minSub: subtreeLowerBounds(t), rec: rec}
 	s.order = t.PostOrder()
 	s.counts = make([]int64, m)
 
@@ -33,7 +40,7 @@ func SolveNested(t *lamtree.Tree) (int64, []int64, error) {
 	// slots node by node while feasibility holds). Minimal feasible
 	// solutions are 3-approximations, which makes the incumbent a far
 	// stronger pruner than all-open.
-	s.best = greedyCounts(t, full)
+	s.best = greedyCounts(t, full, rec)
 	s.bestSum = 0
 	for _, v := range s.best {
 		s.bestSum += v
@@ -45,6 +52,10 @@ func SolveNested(t *lamtree.Tree) (int64, []int64, error) {
 	}
 	s.rootLB = rootLB
 	s.dfs(0, 0)
+	if rec != nil {
+		rec.BBNodesExpanded.Add(s.expanded)
+		rec.BBNodesPruned.Add(s.pruned)
+	}
 
 	return s.bestSum, s.best, nil
 }
@@ -57,18 +68,23 @@ type nestedSearch struct {
 	best    []int64
 	bestSum int64
 	rootLB  int64
+	rec     *metrics.Recorder
+	// expanded/pruned count branch decisions locally (the search is
+	// single-threaded); published to rec once at the end.
+	expanded int64
+	pruned   int64
 }
 
 // greedyCounts minimizes a feasible count vector by decrementing each
 // node while feasibility is preserved; the result is minimal and thus
 // a 3-approximation, ideal as a branch-and-bound incumbent.
-func greedyCounts(t *lamtree.Tree, start []int64) []int64 {
+func greedyCounts(t *lamtree.Tree, start []int64, rec *metrics.Recorder) []int64 {
 	counts := make([]int64, len(start))
 	copy(counts, start)
 	for i := range counts {
 		for counts[i] > 0 {
 			counts[i]--
-			if !flowfeas.CheckNodeCounts(t, counts) {
+			if !flowfeas.CheckNodeCountsRec(t, counts, rec) {
 				counts[i]++
 				break
 			}
@@ -96,11 +112,14 @@ func (s *nestedSearch) dfs(k int, sum int64) {
 	for c := n.L; c >= 0; c-- {
 		s.counts[i] = c
 		newSum := sum + c
+		s.expanded++
 		if newSum >= s.bestSum {
+			s.pruned++
 			continue
 		}
 		// Subtree of i completes at this step (post-order).
 		if !s.subtreeOK(i) {
+			s.pruned++
 			continue
 		}
 		s.dfs(k+1, newSum)
@@ -119,7 +138,7 @@ func (s *nestedSearch) subtreeOK(i int) bool {
 	if sub < s.minSub[i] {
 		return false
 	}
-	return subtreeFeasible(s.t, i, s.counts)
+	return subtreeFeasible(s.t, i, s.counts, s.rec)
 }
 
 // subtreeLowerBounds computes, for each node, a lower bound on the
@@ -163,11 +182,18 @@ func subtreeLowerBounds(t *lamtree.Tree) []int64 {
 // candidate slots. Intended for small horizons (≈ 25 candidate slots
 // or fewer); nested instances should prefer SolveNested.
 func SolveGeneral(in *instance.Instance) (int64, []int64, error) {
+	return SolveGeneralRec(in, nil)
+}
+
+// SolveGeneralRec is SolveGeneral reporting branch-and-bound node
+// counts and max-flow operation counts to rec (nil disables
+// reporting).
+func SolveGeneralRec(in *instance.Instance, rec *metrics.Recorder) (int64, []int64, error) {
 	slots := in.SortedSlots()
-	if !flowfeas.CheckSlots(in, slots) {
+	if !flowfeas.CheckSlotsRec(in, slots, rec) {
 		return 0, nil, fmt.Errorf("exact: instance infeasible even with all slots open")
 	}
-	s := &generalSearch{in: in, slots: slots, lb: in.LowerBound()}
+	s := &generalSearch{in: in, slots: slots, lb: in.LowerBound(), rec: rec}
 	s.open = make([]bool, len(slots))
 	for i := range s.open {
 		s.open[i] = true
@@ -175,6 +201,10 @@ func SolveGeneral(in *instance.Instance) (int64, []int64, error) {
 	s.best = append([]bool(nil), s.open...)
 	s.bestSum = int64(len(slots))
 	s.dfs(0, 0)
+	if rec != nil {
+		rec.BBNodesExpanded.Add(s.expanded)
+		rec.BBNodesPruned.Add(s.pruned)
+	}
 
 	var out []int64
 	for i, b := range s.best {
@@ -186,12 +216,15 @@ func SolveGeneral(in *instance.Instance) (int64, []int64, error) {
 }
 
 type generalSearch struct {
-	in      *instance.Instance
-	slots   []int64
-	open    []bool
-	best    []bool
-	bestSum int64
-	lb      int64
+	in       *instance.Instance
+	slots    []int64
+	open     []bool
+	best     []bool
+	bestSum  int64
+	lb       int64
+	rec      *metrics.Recorder
+	expanded int64
+	pruned   int64
 }
 
 // dfs decides slot k. Slots k.. are currently open; closing is tried
@@ -199,10 +232,13 @@ type generalSearch struct {
 // the remaining-all-open relaxation is flow-checked (closing more
 // slots never restores feasibility).
 func (s *generalSearch) dfs(k int, opened int64) {
+	s.expanded++
 	if s.bestSum == s.lb {
+		s.pruned++
 		return
 	}
 	if opened >= s.bestSum {
+		s.pruned++
 		return
 	}
 	if k == len(s.slots) {
@@ -214,6 +250,8 @@ func (s *generalSearch) dfs(k int, opened int64) {
 	s.open[k] = false
 	if s.feasibleRelaxed() {
 		s.dfs(k+1, opened)
+	} else {
+		s.pruned++
 	}
 	// Branch 2: open slot k.
 	s.open[k] = true
@@ -227,7 +265,7 @@ func (s *generalSearch) feasibleRelaxed() bool {
 			open = append(open, s.slots[i])
 		}
 	}
-	return flowfeas.CheckSlots(s.in, open)
+	return flowfeas.CheckSlotsRec(s.in, open, s.rec)
 }
 
 // Opt computes the exact optimum of an instance, dispatching to the

@@ -7,12 +7,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exact"
-	"repro/internal/flowfeas"
 	"repro/internal/gen"
 	"repro/internal/greedy"
 	"repro/internal/instance"
-	"repro/internal/lamtree"
-	"repro/internal/nestlp"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 )
 
@@ -207,7 +205,10 @@ func E4Greedy(cfg Config) (*Table, error) {
 }
 
 // E8Scaling measures wall-clock time of the full 9/5 pipeline and the
-// greedy baseline as instance size grows.
+// greedy baseline as instance size grows. Stage breakdown and
+// operation counts come from the internal/metrics recorder threaded
+// through the solve, so the numbers describe the *same* runs as the
+// total (no re-execution).
 func E8Scaling(cfg Config) (*Table, error) {
 	sizes := []int{8, 12, 16, 24, 32}
 	if cfg.Quick {
@@ -219,63 +220,26 @@ func E8Scaling(cfg Config) (*Table, error) {
 	}
 	t := &Table{
 		ID:    "E8",
-		Title: "wall-clock per solve (ms) with pipeline stage breakdown",
+		Title: "wall-clock per solve (ms) with instrumented stage breakdown",
 		Columns: []string{"n", "trials", "nested95 total", "tree+canon", "LP solve",
-			"round+sched", "greedy-RtL", "LP value mean"},
+			"round+sched", "greedy-RtL", "LP value mean", "pivots/solve", "dinic augs/solve"},
 	}
 	for _, n := range sizes {
-		var coreMS, treeMS, lpMS, roundMS, greedyMS, lpSum float64
+		rec := new(metrics.Recorder)
+		var coreMS, greedyMS, lpSum float64
 		var err error
 		for i := 0; i < trials; i++ {
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*31337))
 			in := gen.RandomLaminar(rng, gen.DefaultLaminar(n, 3))
 
-			// Full pipeline timing.
 			start := time.Now()
-			_, rep, e := core.Solve(in)
+			_, rep, e := core.SolveWithOptions(in, core.Options{Metrics: rec})
 			if e != nil {
 				err = e
 				break
 			}
 			coreMS += ms(start)
 			lpSum += rep.LPValue
-
-			// Stage breakdown (re-run the stages individually).
-			comps, _ := in.Components()
-			for _, comp := range comps {
-				st := time.Now()
-				tr, e := lamtree.Build(comp)
-				if e != nil {
-					err = e
-					break
-				}
-				if e := tr.Canonicalize(); e != nil {
-					err = e
-					break
-				}
-				treeMS += ms(st)
-
-				st = time.Now()
-				model := nestlp.NewModel(tr)
-				sol, e := model.Solve()
-				if e != nil {
-					err = e
-					break
-				}
-				lpMS += ms(st)
-
-				st = time.Now()
-				model.Transform(sol)
-				counts := core.Round(tr, sol, model.TopmostPositive(sol))
-				if _, e := flowfeas.ScheduleOnNodeCounts(tr, counts); e != nil {
-					err = e
-					break
-				}
-				roundMS += ms(st)
-			}
-			if err != nil {
-				break
-			}
 
 			start = time.Now()
 			if _, e := greedy.LazyRightToLeft(in); e != nil {
@@ -287,11 +251,18 @@ func E8Scaling(cfg Config) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E8: %w", err)
 		}
+		st := rec.Snapshot()
 		ft := float64(trials)
+		nsToMS := func(ns int64) float64 { return float64(ns) / 1e6 }
+		treeMS := nsToMS(st.StageNS("tree_build", "canonicalize"))
+		lpMS := nsToMS(st.StageNS("lp_build", "lp_solve"))
+		roundMS := nsToMS(st.StageNS("transform", "round", "feas_check", "repair", "place"))
 		t.AddRow(di(n), di(trials), f2(coreMS/ft), f2(treeMS/ft), f2(lpMS/ft),
-			f2(roundMS/ft), f2(greedyMS/ft), f2(lpSum/ft))
+			f2(roundMS/ft), f2(greedyMS/ft), f2(lpSum/ft),
+			f1(float64(st.Counters.SimplexPivots)/ft),
+			f1(float64(st.Counters.DinicAugPaths)/ft))
 	}
-	t.Note("timings are sequential (no worker pool); stage columns re-run the pipeline pieces")
+	t.Note("stage columns and operation counters come from the metrics recorder of the timed runs themselves")
 	t.Note("the LP solve dominates nested95; the greedy's cost is its O(T) full flow re-checks")
 	return t, nil
 }

@@ -169,6 +169,7 @@ func All() []Runner {
 	}
 }
 
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
 func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }

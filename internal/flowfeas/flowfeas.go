@@ -13,20 +13,27 @@ import (
 	"repro/internal/instance"
 	"repro/internal/lamtree"
 	"repro/internal/maxflow"
+	"repro/internal/metrics"
 	"repro/internal/sched"
 )
 
 // CheckSlots reports whether every job of in can be fully scheduled
 // using only the given open slots (duplicates in open are ignored).
 func CheckSlots(in *instance.Instance, open []int64) bool {
-	_, ok := runSlotFlow(in, open)
+	return CheckSlotsRec(in, open, nil)
+}
+
+// CheckSlotsRec is CheckSlots reporting max-flow operation counts to
+// rec (nil disables reporting).
+func CheckSlotsRec(in *instance.Instance, open []int64, rec *metrics.Recorder) bool {
+	_, ok := runSlotFlow(in, open, rec)
 	return ok
 }
 
 // ScheduleOnSlots builds a concrete schedule using only the open
 // slots; it returns an error when the slot set is infeasible.
 func ScheduleOnSlots(in *instance.Instance, open []int64) (*sched.Schedule, error) {
-	net, ok := runSlotFlow(in, open)
+	net, ok := runSlotFlow(in, open, nil)
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: slot set of size %d infeasible", len(net.slots))
 	}
@@ -53,11 +60,12 @@ type slotNet struct {
 
 // runSlotFlow builds and runs the slot-indexed network:
 // source -> job (p_j), job -> open slot in window (1), slot -> sink (g).
-func runSlotFlow(in *instance.Instance, open []int64) (*slotNet, bool) {
+func runSlotFlow(in *instance.Instance, open []int64, rec *metrics.Recorder) (*slotNet, bool) {
 	slots := dedupSorted(open)
 	n := in.N()
 	// Node layout: 0 = source, 1 = sink, 2..2+n-1 jobs, then slots.
 	g := maxflow.New(2 + n + len(slots))
+	g.SetRecorder(rec)
 	src, snk := 0, 1
 	slotNode := make(map[int64]int, len(slots))
 	for k, t := range slots {
@@ -94,7 +102,13 @@ func runSlotFlow(in *instance.Instance, open []int64) (*slotNet, bool) {
 // Des(k(j)); node i admits at most counts[i] units of any single job
 // and g*counts[i] units in total. counts[i] must not exceed L(i).
 func CheckNodeCounts(t *lamtree.Tree, counts []int64) bool {
-	_, ok := runNodeFlow(t, counts)
+	return CheckNodeCountsRec(t, counts, nil)
+}
+
+// CheckNodeCountsRec is CheckNodeCounts reporting max-flow operation
+// counts to rec (nil disables reporting).
+func CheckNodeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) bool {
+	_, ok := runNodeFlow(t, counts, rec)
 	return ok
 }
 
@@ -102,7 +116,13 @@ func CheckNodeCounts(t *lamtree.Tree, counts []int64) bool {
 // counts: flows become per-node demands, counts[i] leftmost exclusive
 // slots of node i are opened, and demands are column-packed into them.
 func ScheduleOnNodeCounts(t *lamtree.Tree, counts []int64) (*sched.Schedule, error) {
-	net, ok := runNodeFlow(t, counts)
+	return ScheduleOnNodeCountsRec(t, counts, nil)
+}
+
+// ScheduleOnNodeCountsRec is ScheduleOnNodeCounts reporting max-flow
+// operation counts to rec (nil disables reporting).
+func ScheduleOnNodeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*sched.Schedule, error) {
+	net, ok := runNodeFlow(t, counts, rec)
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: node counts infeasible")
 	}
@@ -137,7 +157,7 @@ type nodeNet struct {
 // runNodeFlow builds and runs the node-indexed network:
 // source -> job (p_j), job -> node in Des(k(j)) (counts), node -> sink
 // (g*counts).
-func runNodeFlow(t *lamtree.Tree, counts []int64) (*nodeNet, bool) {
+func runNodeFlow(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*nodeNet, bool) {
 	m := t.M()
 	if len(counts) != m {
 		panic(fmt.Sprintf("flowfeas: counts length %d != m=%d", len(counts), m))
@@ -149,6 +169,7 @@ func runNodeFlow(t *lamtree.Tree, counts []int64) (*nodeNet, bool) {
 	}
 	n := len(t.Jobs)
 	g := maxflow.New(2 + n + m)
+	g.SetRecorder(rec)
 	src, snk := 0, 1
 	for i := 0; i < m; i++ {
 		if counts[i] > 0 {

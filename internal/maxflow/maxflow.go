@@ -5,7 +5,11 @@
 // paper's §1 and Lemma 4.1).
 package maxflow
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
 
 // Inf is a capacity treated as unbounded. It is large enough that no
 // sum of realistic instance capacities overflows int64.
@@ -25,7 +29,14 @@ type Graph struct {
 	adj   [][]edge
 	level []int
 	iter  []int
+	rec   *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder; Run and RunPushRelabel then
+// report their operation counts to it. A nil recorder disables
+// reporting. Counts are accumulated locally and published once per
+// run, so instrumentation costs no per-operation atomics.
+func (g *Graph) SetRecorder(r *metrics.Recorder) { g.rec = r }
 
 // New returns a graph with n nodes (0..n-1) and no edges.
 func New(n int) *Graph {
@@ -108,8 +119,10 @@ func (g *Graph) Run(s, t int) int64 {
 		g.iter = make([]int, n)
 	}
 	var total int64
+	var bfsRounds, augPaths int64
 	queue := make([]int, 0, n)
 	for g.bfs(s, t, &queue) {
+		bfsRounds++
 		for i := 0; i < n; i++ {
 			g.iter[i] = 0
 		}
@@ -118,8 +131,14 @@ func (g *Graph) Run(s, t int) int64 {
 			if f == 0 {
 				break
 			}
+			augPaths++
 			total += f
 		}
+	}
+	if g.rec != nil {
+		g.rec.DinicRuns.Inc()
+		g.rec.DinicBFSRounds.Add(bfsRounds)
+		g.rec.DinicAugPaths.Add(augPaths)
 	}
 	return total
 }

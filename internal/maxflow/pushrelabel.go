@@ -35,7 +35,9 @@ func (g *Graph) RunPushRelabel(s, t int) int64 {
 	countAt[n]++
 
 	var queue []int
+	var pushes, relabels int64
 	push := func(u, i int) {
+		pushes++
 		e := &g.adj[u][i]
 		d := min64(excess[u], res[u][i])
 		res[u][i] -= d
@@ -58,6 +60,7 @@ func (g *Graph) RunPushRelabel(s, t int) int64 {
 	}
 
 	relabel := func(u int) {
+		relabels++
 		old := height[u]
 		minH := 2 * n
 		for i, e := range g.adj[u] {
@@ -116,6 +119,11 @@ func (g *Graph) RunPushRelabel(s, t int) int64 {
 			inQueue[u] = true
 			queue = append(queue, u)
 		}
+	}
+	if g.rec != nil {
+		g.rec.PushRelabelRuns.Inc()
+		g.rec.PushRelabelPushes.Add(pushes)
+		g.rec.PushRelabelRelabels.Add(relabels)
 	}
 	return excess[t]
 }

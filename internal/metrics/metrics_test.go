@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(500)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1500 {
+		t.Fatalf("counter = %d want %d", got, 8*1500)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// -5 clamps to 0; 0, 1 → bucket [0,2); 2, 3 → [2,4); 1024 → [1024,2048).
+	for _, v := range []int64{-5, 0, 1, 2, 3, 1024} {
+		h.Observe(v)
+	}
+	st := h.snapshot()
+	if st.Count != 6 {
+		t.Fatalf("count = %d want 6", st.Count)
+	}
+	if st.Sum != 0+0+1+2+3+1024 {
+		t.Fatalf("sum = %d", st.Sum)
+	}
+	want := []HistBucket{{0, 2, 3}, {2, 4, 2}, {1024, 2048, 1}}
+	if len(st.Buckets) != len(want) {
+		t.Fatalf("buckets = %+v want %+v", st.Buckets, want)
+	}
+	for i, b := range want {
+		if st.Buckets[i] != b {
+			t.Fatalf("bucket %d = %+v want %+v", i, st.Buckets[i], b)
+		}
+	}
+	if m := st.Mean(); m != 1030.0/6 {
+		t.Fatalf("mean = %v", m)
+	}
+	if (HistogramStats{}).Mean() != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+}
+
+func TestHistogramExtremeValue(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(1) << 62) // beyond the last bucket boundary
+	st := h.snapshot()
+	if len(st.Buckets) != 1 || st.Buckets[0].Count != 1 {
+		t.Fatalf("buckets = %+v", st.Buckets)
+	}
+}
+
+func TestStageTimingAndSnapshot(t *testing.T) {
+	r := new(Recorder)
+	stop := r.StartStage(StageLPSolve)
+	time.Sleep(time.Millisecond)
+	stop()
+	r.ObserveStage(StageRound, 5*time.Millisecond)
+	r.ObserveStage(Stage(-1), time.Second)        // ignored
+	r.ObserveStage(Stage(numStages), time.Second) // ignored
+
+	if r.StageNanos(StageLPSolve) <= 0 {
+		t.Fatal("lp_solve stage recorded no time")
+	}
+	if r.StageNanos(Stage(-1)) != 0 || r.StageNanos(Stage(numStages)) != 0 {
+		t.Fatal("out-of-range stage should read 0")
+	}
+
+	st := r.Snapshot()
+	if len(st.Stages) != 2 {
+		t.Fatalf("stages = %+v want exactly the 2 touched", st.Stages)
+	}
+	if st.Stages[0].Stage != "lp_solve" || st.Stages[1].Stage != "round" {
+		t.Fatalf("stage order/names wrong: %+v", st.Stages)
+	}
+	if got := st.StageNS("round"); got != int64(5*time.Millisecond) {
+		t.Fatalf("StageNS(round) = %d", got)
+	}
+	if got := st.StageNS("lp_solve", "round", "no_such_stage"); got != st.Stages[0].Nanos+st.Stages[1].Nanos {
+		t.Fatalf("StageNS sum = %d", got)
+	}
+}
+
+func TestStageStringNames(t *testing.T) {
+	want := []string{
+		"tree_build", "canonicalize", "feas_gate", "lp_build", "lp_solve",
+		"transform", "round", "feas_check", "repair", "minimalize",
+		"place", "validate",
+	}
+	stages := Stages()
+	if len(stages) != len(want) {
+		t.Fatalf("Stages() has %d entries want %d", len(stages), len(want))
+	}
+	for i, s := range stages {
+		if s.String() != want[i] {
+			t.Fatalf("stage %d = %q want %q", i, s.String(), want[i])
+		}
+	}
+	if Stage(99).String() != "stage(99)" {
+		t.Fatalf("unknown stage string: %q", Stage(99).String())
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if OrNop(nil) == nil {
+		t.Fatal("OrNop(nil) must not be nil")
+	}
+	if OrNop(nil) != OrNop(nil) {
+		t.Fatal("discard recorder must be shared")
+	}
+	r := new(Recorder)
+	if OrNop(r) != r {
+		t.Fatal("OrNop must pass through a real recorder")
+	}
+	// The discard recorder must accept every operation without panicking.
+	n := OrNop(nil)
+	n.SimplexPivots.Add(3)
+	n.ForestSolveNS.Observe(7)
+	n.StartStage(StagePlace)()
+}
+
+func TestStatsJSONRoundTrip(t *testing.T) {
+	r := new(Recorder)
+	r.SimplexSolves.Inc()
+	r.SimplexPivots.Add(29)
+	r.DinicAugPaths.Add(38)
+	r.ForestsSolved.Inc()
+	r.ForestSolveNS.Observe(1234)
+	r.ObserveStage(StageLPSolve, 42*time.Nanosecond)
+
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Stats
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters.SimplexPivots != 29 || back.Counters.DinicAugPaths != 38 {
+		t.Fatalf("round trip lost counters: %+v", back.Counters)
+	}
+	if back.ForestSolveNS.Count != 1 || back.ForestSolveNS.Sum != 1234 {
+		t.Fatalf("round trip lost histogram: %+v", back.ForestSolveNS)
+	}
+	if back.StageNS("lp_solve") != 42 {
+		t.Fatalf("round trip lost stages: %+v", back.Stages)
+	}
+}

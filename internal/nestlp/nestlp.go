@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/exact"
 	"repro/internal/lamtree"
+	"repro/internal/metrics"
 	"repro/internal/simplex"
 )
 
@@ -36,6 +37,15 @@ type Model struct {
 
 	prob      *simplex.Problem
 	nodePairs [][]int // lazily built: pair indices per node
+	rec       *metrics.Recorder
+}
+
+// SetRecorder attaches a metrics recorder: Solve reports simplex
+// pivots, SolveExact reports exact pivots, and Transform reports its
+// push-down move count. A nil recorder disables reporting.
+func (m *Model) SetRecorder(r *metrics.Recorder) {
+	m.rec = r
+	m.prob.SetRecorder(r)
 }
 
 // Pair is an admissible (node, job) combination.

@@ -19,6 +19,7 @@ import (
 // to), so a single pass establishes the invariant.
 func (m *Model) Transform(s *Solution) {
 	t := m.Tree
+	moves := int64(0)
 	order := make([]int, t.M())
 	for i := range order {
 		order[i] = i
@@ -37,8 +38,12 @@ func (m *Model) Transform(s *Solution) {
 				continue
 			}
 			m.move(s, i1, i2, minF(L2-s.X[i2], s.X[i1]))
+			moves++
 		}
 		s.X[i2] = snap(s.X[i2])
+	}
+	if m.rec != nil {
+		m.rec.TransformMoves.Add(moves)
 	}
 }
 

@@ -1,0 +1,105 @@
+package ratsimplex
+
+import (
+	"errors"
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/simplex"
+)
+
+// decodeLP turns fuzz bytes into a pair of identical small LPs, one for
+// the float64 solver and one for the exact big.Rat solver. Layout:
+// data[0] → nvars (1..3), data[1] → ncons (1..4), then per variable one
+// objective byte, then per constraint nvars coefficient bytes, one
+// sense byte and one rhs byte. All coefficients are small integers in
+// [-3,3] and rhs in [-4,7], so every pivot stays exactly representable
+// in float64 and the two solvers must classify identically.
+func decodeLP(data []byte) (*simplex.Problem, *Problem, bool) {
+	at := 0
+	next := func() byte {
+		if at >= len(data) {
+			return 0
+		}
+		b := data[at]
+		at++
+		return b
+	}
+	nvars := 1 + int(next()%3)
+	ncons := 1 + int(next()%4)
+	need := 2 + nvars + ncons*(nvars+2)
+	if len(data) < need {
+		return nil, nil, false
+	}
+	fp := simplex.NewProblem(nvars)
+	rp := NewProblem(nvars)
+	for v := 0; v < nvars; v++ {
+		c := int64(next()%7) - 3
+		fp.SetObjectiveCoef(v, float64(c))
+		rp.SetObjectiveCoef(v, big.NewRat(c, 1))
+	}
+	for k := 0; k < ncons; k++ {
+		var ft []simplex.Term
+		var rt []Term
+		for v := 0; v < nvars; v++ {
+			c := int64(next()%7) - 3
+			if c == 0 {
+				continue
+			}
+			ft = append(ft, simplex.Term{Var: v, Coef: float64(c)})
+			rt = append(rt, T(v, c, 1))
+		}
+		op := next() % 3
+		rhs := int64(next()%12) - 4
+		fp.Add(ft, simplex.Op(op), float64(rhs))
+		rp.Add(rt, Op(op), big.NewRat(rhs, 1))
+	}
+	return fp, rp, true
+}
+
+// FuzzSimplexVsRatsimplex cross-checks the float64 two-phase simplex
+// against the exact rational simplex on random small LPs: the outcome
+// classification (optimal / infeasible / unbounded) must match, and
+// optimal objective values must agree within floating-point tolerance.
+func FuzzSimplexVsRatsimplex(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 3})
+	f.Add([]byte{1, 1, 3, 2, 1, 1, 0, 4, 1, 2, 1, 3})
+	f.Add([]byte{2, 2, 0, 0, 0, 1, 2, 3, 1, 9, 3, 2, 1, 0, 5})
+	f.Add([]byte{0, 3, 1, 2, 1, 6, 3, 0, 0, 2, 2, 2, 4, 1, 11})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fp, rp, ok := decodeLP(data)
+		if !ok {
+			t.Skip()
+		}
+		fsol, ferr := fp.Solve()
+		if errors.Is(ferr, simplex.ErrIterLimit) {
+			t.Skip() // anti-cycling gave up; no exact counterpart
+		}
+		rsol, rerr := rp.Solve()
+		switch {
+		case rerr == nil:
+			if ferr != nil {
+				t.Fatalf("exact optimal %v but float solver says %v (input %v)",
+					rsol.Objective, ferr, data)
+			}
+			exact, _ := rsol.Objective.Float64()
+			if diff := math.Abs(fsol.Objective - exact); diff > 1e-6*(1+math.Abs(exact)) {
+				t.Fatalf("objective mismatch: float %v vs exact %v (Δ=%g, input %v)",
+					fsol.Objective, rsol.Objective, diff, data)
+			}
+		case errors.Is(rerr, ErrInfeasible):
+			if !errors.Is(ferr, simplex.ErrInfeasible) {
+				t.Fatalf("exact infeasible but float solver returned (%+v, %v) (input %v)",
+					fsol, ferr, data)
+			}
+		case errors.Is(rerr, ErrUnbounded):
+			if !errors.Is(ferr, simplex.ErrUnbounded) {
+				t.Fatalf("exact unbounded but float solver returned (%+v, %v) (input %v)",
+					fsol, ferr, data)
+			}
+		default:
+			t.Fatalf("unexpected exact-solver error %v (input %v)", rerr, data)
+		}
+	})
+}

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+
+	"repro/internal/metrics"
 )
 
 // Op is a constraint sense.
@@ -48,7 +50,13 @@ type Problem struct {
 	nvars int
 	c     []*big.Rat
 	cons  []constraint
+	rec   *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder; each Solve then reports its
+// exact-arithmetic pivot counts to it. A nil recorder disables
+// reporting.
+func (p *Problem) SetRecorder(r *metrics.Recorder) { p.rec = r }
 
 // NewProblem returns a problem with nvars non-negative variables.
 func NewProblem(nvars int) *Problem {
@@ -94,10 +102,11 @@ var (
 )
 
 type tableau struct {
-	m, n  int
-	a     [][]*big.Rat
-	rhs   []*big.Rat
-	basis []int
+	m, n   int
+	a      [][]*big.Rat
+	rhs    []*big.Rat
+	basis  []int
+	pivots int64 // every exact pivot, published once per Solve
 }
 
 // Solve runs exact two-phase simplex with Bland's pivoting rule.
@@ -126,6 +135,12 @@ func (p *Problem) Solve() (*Solution, error) {
 		rhs:   make([]*big.Rat, m),
 		basis: make([]int, m),
 	}
+	defer func() {
+		if p.rec != nil {
+			p.rec.RatSolves.Inc()
+			p.rec.RatPivots.Add(t.pivots)
+		}
+	}()
 	artCols := make([]int, 0, nArt)
 	slackAt, artAt := nStruct, nStruct+nSlack
 
@@ -286,6 +301,7 @@ func (t *tableau) optimize(obj []*big.Rat, barred []bool) (*big.Rat, bool) {
 }
 
 func (t *tableau) pivot(leave, enter int, cost []*big.Rat, z *big.Rat) {
+	t.pivots++
 	rowL := t.a[leave]
 	inv := new(big.Rat).Inv(rowL[enter])
 	for j := 0; j < t.n; j++ {

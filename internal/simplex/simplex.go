@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/metrics"
 )
 
 // Op is a constraint sense.
@@ -57,7 +59,12 @@ type Problem struct {
 	nvars int
 	c     []float64
 	cons  []constraint
+	rec   *metrics.Recorder
 }
+
+// SetRecorder attaches a metrics recorder; each Solve then reports its
+// pivot counts to it. A nil recorder disables reporting.
+func (p *Problem) SetRecorder(r *metrics.Recorder) { p.rec = r }
 
 // NewProblem returns a problem with nvars variables, all constrained
 // to be non-negative, and a zero objective.
@@ -92,7 +99,7 @@ func (p *Problem) Add(terms []Term, op Op, rhs float64) {
 // added to the copy do not affect the original. Used by the ILP
 // branch-and-bound to add branching bounds.
 func (p *Problem) Clone() *Problem {
-	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c))}
+	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec}
 	copy(cp.c, p.c)
 	cp.cons = make([]constraint, len(p.cons))
 	for i, con := range p.cons {
@@ -165,6 +172,10 @@ type tableau struct {
 	a     [][]float64
 	rhs   []float64
 	basis []int // basis[r] = column basic in row r
+	// pivots counts every pivot performed on this tableau (both
+	// phases, including drive-out pivots); published to the problem's
+	// metrics recorder once per Solve.
+	pivots int64
 }
 
 // Solve runs two-phase simplex and returns the optimal solution, or an
@@ -240,6 +251,13 @@ func (p *Problem) Solve() (Solution, error) {
 		t.rhs[r] = rhs
 	}
 
+	defer func() {
+		if p.rec != nil {
+			p.rec.SimplexSolves.Inc()
+			p.rec.SimplexPivots.Add(t.pivots)
+		}
+	}()
+
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
 		obj := make([]float64, n)
@@ -254,6 +272,9 @@ func (p *Problem) Solve() (Solution, error) {
 			return Solution{Status: Infeasible}, ErrInfeasible
 		}
 		t.driveOutArtificials(nStruct + nSlack)
+		if p.rec != nil {
+			p.rec.SimplexPhase1Pivots.Add(t.pivots)
+		}
 	}
 
 	// Phase 2: original objective; artificial columns are barred.
@@ -368,6 +389,7 @@ func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
 // pivot makes column enter basic in row leave, updating the reduced
 // cost row and objective accumulator.
 func (t *tableau) pivot(leave, enter int, cost []float64, z *float64) {
+	t.pivots++
 	piv := t.a[leave][enter]
 	rowL := t.a[leave]
 	inv := 1.0 / piv

@@ -90,6 +90,78 @@ func TestDisjointUnionAdditivity(t *testing.T) {
 	}
 }
 
+// TestCapacityMonotonicity: walking g up a chain of values, the exact
+// optimum must be non-increasing at every step — more parallel capacity
+// can never force more active slots.
+func TestCapacityMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3011))
+	gs := []int64{1, 2, 3, 5, 8}
+	for trial := 0; trial < 12; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(7, 1))
+		prev := int64(-1)
+		for _, g := range gs {
+			cur := in.Clone()
+			cur.G = g
+			opt, err := Optimal(cur)
+			if err != nil {
+				t.Fatalf("trial %d g=%d: %v", trial, g, err)
+			}
+			if prev >= 0 && opt > prev {
+				t.Fatalf("trial %d: raising g to %d increased OPT %d -> %d",
+					trial, g, prev, opt)
+			}
+			prev = opt
+		}
+	}
+}
+
+// TestDuplicationDoubling: the union of an instance with a far-shifted
+// copy of itself must cost exactly twice as much for every solver —
+// approximate and greedy ones included, since each runs per laminar
+// forest and the two copies are identical forests. The parallel-forest
+// path must agree with the sequential one on the doubled instance.
+func TestDuplicationDoubling(t *testing.T) {
+	rng := rand.New(rand.NewSource(3013))
+	for trial := 0; trial < 12; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(6, int64(1+rng.Intn(3))))
+		far := in.Shift(50_000)
+		jobs := append(append([]Job{}, in.Jobs...), far.Jobs...)
+		union, err := NewInstance(in.G, jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{AlgNested95, AlgGreedyMinimal, AlgGreedyRTL, AlgExact} {
+			single, err := Solve(in, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+			double, err := Solve(union, alg)
+			if err != nil {
+				t.Fatalf("trial %d %s union: %v", trial, alg, err)
+			}
+			if double.ActiveSlots != 2*single.ActiveSlots {
+				t.Fatalf("trial %d %s: duplicated instance costs %d, want 2 × %d",
+					trial, alg, double.ActiveSlots, single.ActiveSlots)
+			}
+			if err := double.Schedule.Validate(union); err != nil {
+				t.Fatalf("trial %d %s: %v", trial, alg, err)
+			}
+		}
+		par, err := SolveNested95(union, SolveOptions{Workers: 4})
+		if err != nil {
+			t.Fatalf("trial %d parallel: %v", trial, err)
+		}
+		seq, err := SolveNested95(union, SolveOptions{Workers: 1})
+		if err != nil {
+			t.Fatalf("trial %d sequential: %v", trial, err)
+		}
+		if par.ActiveSlots != seq.ActiveSlots {
+			t.Fatalf("trial %d: workers=4 gives %d slots, workers=1 gives %d",
+				trial, par.ActiveSlots, seq.ActiveSlots)
+		}
+	}
+}
+
 // TestGScalingNeverHurts: raising g can only help every algorithm with
 // a monotone objective (exact; for approximations we check they don't
 // violate their guarantee against the new optimum).
