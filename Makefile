@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench fuzz-smoke ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench fuzz-smoke serve-smoke ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -25,8 +25,16 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDinicVsPushRelabel -fuzztime=$(FUZZTIME) ./internal/maxflow
 	$(GO) test -run='^$$' -fuzz=FuzzSimplexVsRatsimplex -fuzztime=$(FUZZTIME) ./internal/ratsimplex
 
+# Service smoke: build the real activetimed binary, boot it on a
+# random port, hit /healthz and /metrics over HTTP, validate the
+# Prometheus exposition (names/types pinned by the golden test in
+# internal/metrics), then SIGTERM and require a clean exit.
+serve-smoke:
+	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./cmd/activetimed
+	$(GO) test -run='^TestExpositionGolden$$' -count=1 ./internal/metrics
+
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke
+ci: build vet test race fuzz-smoke serve-smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -34,6 +34,7 @@ import (
 	"repro/internal/lamtree"
 	"repro/internal/metrics"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Job is a preemptible job: Processing units of work to be placed in
@@ -59,6 +60,17 @@ type SolveStats = metrics.Stats
 // SolveOptions.Metrics to aggregate a whole sweep. It is safe for
 // concurrent use.
 type Recorder = metrics.Recorder
+
+// Tracer collects hierarchical spans of a solve (pipeline stages,
+// forest workers, LP and B&B sub-solvers) and exports them as Chrome
+// trace-event JSON loadable in chrome://tracing or Perfetto; see
+// internal/trace. Create one with NewTracer and pass it via
+// SolveOptions.Trace or SolveTraced. A nil *Tracer disables tracing
+// with near-zero overhead.
+type Tracer = trace.Tracer
+
+// NewTracer returns an empty span tracer.
+func NewTracer() *Tracer { return trace.New() }
 
 // NewInstance builds and validates an instance with capacity g.
 func NewInstance(g int64, jobs []Job) (*Instance, error) {
@@ -118,40 +130,45 @@ type Result struct {
 // validated schedule or an error (in particular for infeasible
 // instances, and for AlgNested95 on non-nested windows).
 func Solve(in *Instance, alg Algorithm) (*Result, error) {
+	return SolveTraced(in, alg, nil)
+}
+
+// SolveTraced is Solve recording spans into tr (nil disables tracing):
+// the nested95 pipeline emits its full span tree, the exact solver
+// emits per-component branch-and-bound spans, and the remaining
+// algorithms emit a single root span.
+func SolveTraced(in *Instance, alg Algorithm, tr *Tracer) (*Result, error) {
 	switch alg {
 	case AlgNested95:
-		s, rep, err := core.Solve(in)
-		if err != nil {
-			return nil, err
-		}
-		return &Result{
-			Algorithm:      alg,
-			Schedule:       s,
-			ActiveSlots:    s.NumActive(),
-			LPLowerBound:   rep.LPValue,
-			CertifiedRatio: rep.CertifiedRatio,
-			Stats:          rep.Stats,
-		}, nil
+		return SolveNested95(in, SolveOptions{Trace: tr})
 	case AlgGreedyMinimal:
+		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
 		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(alg, res.Schedule), nil
 	case AlgGreedyRTL:
+		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
 		res, err := greedy.LazyRightToLeft(in)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(alg, res.Schedule), nil
 	case AlgAllOpen:
+		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
 		res, err := greedy.AllOpen(in)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		return wrap(alg, res.Schedule), nil
 	case AlgExact:
-		s, err := exactSchedule(in)
+		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
+		s, err := exactSchedule(in, sp)
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -167,10 +184,11 @@ func wrap(alg Algorithm, s *Schedule) *Result {
 
 // exactSchedule computes an optimal schedule via the exact solvers,
 // dispatching to the far faster per-node-count search (with component
-// decomposition) when the windows are nested.
-func exactSchedule(in *Instance) (*Schedule, error) {
+// decomposition) when the windows are nested. B&B spans are recorded
+// under sp (nil disables tracing).
+func exactSchedule(in *Instance, sp *trace.Span) (*Schedule, error) {
 	if !in.Nested() {
-		_, slots, err := exact.SolveGeneral(in)
+		_, slots, err := exact.SolveGeneralTrace(in, nil, sp)
 		if err != nil {
 			return nil, err
 		}
@@ -183,7 +201,9 @@ func exactSchedule(in *Instance) (*Schedule, error) {
 		if err != nil {
 			return nil, err
 		}
-		_, counts, err := exact.SolveNested(tree)
+		fsp := sp.StartChild("forest_exact", trace.Int("component", int64(ci)))
+		_, counts, err := exact.SolveNestedTrace(tree, nil, fsp)
+		fsp.End()
 		if err != nil {
 			return nil, err
 		}
@@ -223,6 +243,11 @@ type SolveOptions struct {
 	// gets a fresh recorder and Result.Stats covers exactly that
 	// solve.
 	Metrics *Recorder
+	// Trace optionally supplies a span tracer that receives the
+	// solve's hierarchical spans (pipeline stages, forest workers, LP
+	// sub-solves); export them with Tracer.WriteChromeTrace. Nil
+	// disables tracing.
+	Trace *Tracer
 }
 
 // SolveNested95 runs the 9/5-approximation with explicit options.
@@ -233,6 +258,7 @@ func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
 		Compact:    opts.Compact,
 		Workers:    opts.Workers,
 		Metrics:    opts.Metrics,
+		Trace:      opts.Trace,
 	})
 	if err != nil {
 		return nil, err

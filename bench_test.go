@@ -210,6 +210,52 @@ func BenchmarkMultiForest(b *testing.B) {
 	}
 }
 
+// benchTraceInstance is a mid-size laminar instance (4 forests × 12
+// jobs) shared by the tracing-overhead pair below.
+func benchTraceInstance(b *testing.B) *Instance {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1717))
+	var jobs []Job
+	for k := 0; k < 4; k++ {
+		part := gen.RandomLaminar(rng, gen.DefaultLaminar(12, 3)).Shift(int64(k) * 10_000)
+		jobs = append(jobs, part.Jobs...)
+	}
+	in, err := NewInstance(3, jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// BenchmarkSolveNopTrace is the tracing-disabled baseline: the span
+// calls are present in the pipeline but the nil tracer turns every one
+// into a no-op. Compare against BenchmarkSolveTraced; EXPERIMENTS.md
+// records the measured delta (<5% is the acceptance bar for the
+// disabled path).
+func BenchmarkSolveNopTrace(b *testing.B) {
+	in := benchTraceInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveNested95(in, SolveOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveTraced runs the same solve with a live tracer
+// recording every pipeline span.
+func BenchmarkSolveTraced(b *testing.B) {
+	in := benchTraceInstance(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveNested95(in, SolveOptions{Trace: NewTracer()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func sizeName(n int) string {
 	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
 }

@@ -7,7 +7,12 @@
 //	activetime -in instance.json [-alg nested95] [-v] [-gantt] [-metrics]
 //	activetime -in instance.json -stats        # append solver instrumentation as JSON
 //	activetime -in instance.json -workers 4    # solve independent forests concurrently
+//	activetime -in instance.json -trace t.json # export a chrome://tracing span trace
 //	activetime -in instance.json -compare      # run and cross-check all solvers
+//
+// Fatal errors are reported as one structured JSON line on stderr
+// ({"tool":"activetime","error":<kind>,"detail":<message>}) with exit
+// code 1, so scripted callers can parse failures reliably.
 package main
 
 import (
@@ -33,6 +38,7 @@ func main() {
 	compact := flag.Bool("compact", false, "nested95: place slots to minimize power-on events")
 	stats := flag.Bool("stats", false, "nested95: append pipeline instrumentation (stage times, pivot and flow counters) as JSON")
 	workers := flag.Int("workers", 1, "nested95: worker-pool size for solving independent forests concurrently")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON span trace of the solve to this file (load in chrome://tracing or Perfetto)")
 	outPath := flag.String("out", "", "write the schedule as JSON to this file")
 	flag.Parse()
 
@@ -43,13 +49,13 @@ func main() {
 	}
 	in, err := activetime.LoadInstance(*path)
 	if err != nil {
-		fatal(err)
+		fatal("load_instance", err)
 	}
 
 	if *compare {
 		rep, err := crosscheck.Run(in)
 		if err != nil {
-			fatal(err)
+			fatal("compare", err)
 		}
 		fmt.Print(rep)
 		if !rep.OK() {
@@ -58,19 +64,30 @@ func main() {
 		return
 	}
 
+	var tracer *activetime.Tracer
+	if *tracePath != "" {
+		tracer = activetime.NewTracer()
+	}
+
 	var res *activetime.Result
-	if activetime.Algorithm(*alg) == activetime.AlgNested95 && (*exactLP || *minimize || *compact || *workers > 1) {
+	if activetime.Algorithm(*alg) == activetime.AlgNested95 {
 		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
 			ExactLP:    *exactLP,
 			Minimalize: *minimize,
 			Compact:    *compact,
 			Workers:    *workers,
+			Trace:      tracer,
 		})
 	} else {
-		res, err = activetime.Solve(in, activetime.Algorithm(*alg))
+		res, err = activetime.SolveTraced(in, activetime.Algorithm(*alg), tracer)
 	}
 	if err != nil {
-		fatal(err)
+		fatal("solve", err)
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fatal("write_trace", err)
+		}
 	}
 	fmt.Printf("algorithm:    %s\n", res.Algorithm)
 	fmt.Printf("jobs:         %d (g=%d, nested=%v)\n", in.N(), in.G, in.Nested())
@@ -88,7 +105,7 @@ func main() {
 		} else {
 			b, err := json.MarshalIndent(res.Stats, "", "  ")
 			if err != nil {
-				fatal(err)
+				fatal("stats_encode", err)
 			}
 			fmt.Println("stats:")
 			fmt.Println(string(b))
@@ -105,16 +122,26 @@ func main() {
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fatal(err)
+			fatal("write_schedule", err)
 		}
 		defer f.Close()
 		if err := res.Schedule.WriteJSON(f); err != nil {
-			fatal(err)
+			fatal("write_schedule", err)
 		}
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "activetime:", err)
+// fatal reports err as a single structured JSON line on stderr and
+// exits 1. kind is a stable machine-readable failure class.
+func fatal(kind string, err error) {
+	line, merr := json.Marshal(map[string]string{
+		"tool":   "activetime",
+		"error":  kind,
+		"detail": err.Error(),
+	})
+	if merr != nil {
+		line = []byte(fmt.Sprintf(`{"tool":"activetime","error":%q}`, kind))
+	}
+	fmt.Fprintln(os.Stderr, string(line))
 	os.Exit(1)
 }

@@ -1,0 +1,87 @@
+// Command activetimed is the long-running active-time solver service.
+// It exposes:
+//
+//	POST /solve            solve an instance (JSON in, JSON out)
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus text exposition (cumulative)
+//	GET  /debug/pprof/...  net/http/pprof profiling endpoints
+//
+// Logs are structured (log/slog) with a per-request ID on every
+// /solve line. See README.md "Running the service" for curl examples.
+//
+// Usage:
+//
+//	activetimed [-addr 127.0.0.1:8080] [-workers N] [-log json|text] [-port-file PATH]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a random port)")
+	workers := flag.Int("workers", 1, "default per-solve worker-pool size for independent forests")
+	logFormat := flag.String("log", "json", "log format: json | text")
+	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening (for smoke tests)")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "activetimed: unknown -log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	srv := newServer(log, *workers)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			log.Error("write port file", "path", *portFile, "err", err)
+			os.Exit(1)
+		}
+	}
+	log.Info("listening", "addr", bound, "workers", *workers)
+
+	hs := &http.Server{Handler: srv.handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down", "reason", "signal")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		log.Info("bye", "solves", srv.reg.Solves())
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	activetime "repro"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// maxRequestBody bounds /solve request bodies (instances are small;
+// 8 MiB leaves room for very large job sets).
+const maxRequestBody = 8 << 20
+
+// server is the long-running solver service: request handling,
+// structured logs, and the process-lifetime metrics registry behind
+// /metrics.
+type server struct {
+	reg            *metrics.Registry
+	log            *slog.Logger
+	defaultWorkers int
+	reqSeq         atomic.Int64
+}
+
+func newServer(log *slog.Logger, defaultWorkers int) *server {
+	if log == nil {
+		log = slog.Default()
+	}
+	if defaultWorkers < 1 {
+		defaultWorkers = 1
+	}
+	return &server{reg: metrics.NewRegistry(), log: log, defaultWorkers: defaultWorkers}
+}
+
+// handler returns the service mux: /solve, /healthz, /metrics and the
+// net/http/pprof endpoints under /debug/pprof/.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// solveRequest is the /solve request body. Instance uses the same
+// JSON shape as the CLI instance files: {"g": 2, "jobs": [{"p","r","d"}]}.
+type solveRequest struct {
+	Instance json.RawMessage `json:"instance"`
+	// Algorithm defaults to nested95.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Nested95 options (ignored by other algorithms).
+	ExactLP    bool `json:"exact_lp,omitempty"`
+	Minimalize bool `json:"minimalize,omitempty"`
+	Compact    bool `json:"compact,omitempty"`
+	Workers    int  `json:"workers,omitempty"`
+	// IncludeSchedule returns the full schedule in the response.
+	IncludeSchedule bool `json:"include_schedule,omitempty"`
+	// IncludeTrace runs the solve under a request-scoped span tracer
+	// and returns the Chrome trace-event JSON inline.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// solveResponse is the /solve response body.
+type solveResponse struct {
+	RequestID      string             `json:"request_id"`
+	Algorithm      string             `json:"algorithm"`
+	Jobs           int                `json:"jobs"`
+	ActiveSlots    int64              `json:"active_slots"`
+	LPBound        float64            `json:"lp_bound,omitempty"`
+	CertifiedRatio float64            `json:"certified_ratio,omitempty"`
+	ElapsedMS      float64            `json:"elapsed_ms"`
+	Stats          *metrics.Stats     `json:"stats,omitempty"`
+	Schedule       json.RawMessage    `json:"schedule,omitempty"`
+	Trace          *trace.ChromeTrace `json:"trace,omitempty"`
+}
+
+// errorResponse is the uniform error body for every non-2xx outcome.
+type errorResponse struct {
+	RequestID string `json:"request_id"`
+	Error     string `json:"error"`
+}
+
+func (s *server) nextRequestID() string {
+	return fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+}
+
+func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		s.log.Error("encode response", "err", err)
+	}
+}
+
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	log := s.log.With("request_id", reqID)
+	if r.Method != http.MethodPost {
+		log.Warn("solve rejected", "reason", "method", "method", r.Method)
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{reqID, "POST required"})
+		return
+	}
+
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	if err := dec.Decode(&req); err != nil {
+		log.Warn("solve rejected", "reason", "bad_json", "err", err)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "decode request: " + err.Error()})
+		return
+	}
+	if len(req.Instance) == 0 {
+		log.Warn("solve rejected", "reason", "no_instance")
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "missing instance"})
+		return
+	}
+	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
+	if err != nil {
+		log.Warn("solve rejected", "reason", "invalid_instance", "err", err)
+		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "invalid instance: " + err.Error()})
+		return
+	}
+
+	alg := activetime.Algorithm(req.Algorithm)
+	if req.Algorithm == "" {
+		alg = activetime.AlgNested95
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = s.defaultWorkers
+	}
+	var tr *trace.Tracer
+	if req.IncludeTrace {
+		tr = trace.New()
+	}
+	log.Info("solve start", "algorithm", string(alg), "jobs", in.N(), "g", in.G, "workers", workers)
+
+	s.reg.SolveStarted()
+	start := time.Now()
+	var res *activetime.Result
+	if alg == activetime.AlgNested95 {
+		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
+			ExactLP:    req.ExactLP,
+			Minimalize: req.Minimalize,
+			Compact:    req.Compact,
+			Workers:    workers,
+			Trace:      tr,
+		})
+	} else {
+		res, err = activetime.SolveTraced(in, alg, tr)
+	}
+	elapsed := time.Since(start)
+	var stats *metrics.Stats
+	if res != nil {
+		stats = res.Stats
+	}
+	s.reg.ObserveSolve(stats, elapsed, err)
+
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(err, instance.ErrInvalid) {
+			status = http.StatusBadRequest
+		}
+		log.Warn("solve failed", "err", err, "elapsed_ms", float64(elapsed.Microseconds())/1e3)
+		s.writeJSON(w, status, errorResponse{reqID, err.Error()})
+		return
+	}
+
+	out := solveResponse{
+		RequestID:      reqID,
+		Algorithm:      string(res.Algorithm),
+		Jobs:           in.N(),
+		ActiveSlots:    res.ActiveSlots,
+		LPBound:        res.LPLowerBound,
+		CertifiedRatio: res.CertifiedRatio,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		Stats:          res.Stats,
+	}
+	if req.IncludeSchedule {
+		var buf bytes.Buffer
+		if err := res.Schedule.WriteJSON(&buf); err != nil {
+			log.Error("encode schedule", "err", err)
+			s.writeJSON(w, http.StatusInternalServerError, errorResponse{reqID, "encode schedule: " + err.Error()})
+			return
+		}
+		out.Schedule = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if tr != nil {
+		out.Trace = &trace.ChromeTrace{TraceEvents: tr.ChromeEvents(), DisplayUnit: "ms"}
+	}
+	log.Info("solve done",
+		"algorithm", string(res.Algorithm),
+		"active_slots", res.ActiveSlots,
+		"elapsed_ms", out.ElapsedMS)
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"solves": s.reg.Solves(),
+	})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.reg.WritePrometheus(w); err != nil {
+		s.log.Error("write metrics", "err", err)
+	}
+}

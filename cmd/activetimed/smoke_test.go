@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the full service smoke: build the real binary,
+// boot it on a random port, hit /healthz and /metrics over real HTTP,
+// validate the exposition parses, then shut it down with SIGTERM and
+// require a clean exit. `make serve-smoke` runs exactly this test.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "activetimed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	portFile := filepath.Join(dir, "port")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-port-file", portFile)
+	var logs strings.Builder
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// Wait for the port file.
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote port file; logs:\n%s", logs.String())
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\nlogs:\n%s", path, err, logs.String())
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		return string(body)
+	}
+
+	if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+		t.Fatalf("healthz body: %s", body)
+	}
+	validateExposition(t, get("/metrics"))
+
+	// Clean shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not exit within 10s of SIGTERM; logs:\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "shutting down") {
+		t.Errorf("logs missing shutdown line:\n%s", logs.String())
+	}
+}
+
+var smokeSample = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|NaN)$`)
+
+// validateExposition asserts the body is well-formed Prometheus text
+// format and exposes the service's key metric families.
+func validateExposition(t *testing.T, body string) {
+	t.Helper()
+	types := map[string]string{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			f := strings.Fields(line)
+			if len(f) >= 4 && f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		if !smokeSample.MatchString(line) {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+	}
+	for name, typ := range map[string]string{
+		"activetime_solves_total":           "counter",
+		"activetime_solves_in_flight":       "gauge",
+		"activetime_stage_seconds_total":    "counter",
+		"activetime_ops_total":              "counter",
+		"activetime_solve_duration_seconds": "histogram",
+	} {
+		if types[name] != typ {
+			t.Errorf("metric %s: type %q, want %q", name, types[name], typ)
+		}
+	}
+}

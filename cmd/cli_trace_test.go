@@ -1,0 +1,141 @@
+package cmd_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// runSplit executes bin with args and returns stdout and stderr
+// separately, plus the exit code (-1 if the process failed to start).
+func runSplit(t *testing.T, bin string, args ...string) (stdout, stderr string, code int) {
+	t.Helper()
+	var outBuf, errBuf bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	code = 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("run %s: %v", bin, err)
+		}
+		code = ee.ExitCode()
+	}
+	return outBuf.String(), errBuf.String(), code
+}
+
+// TestCLIStructuredErrors asserts that activetime reports fatal errors
+// as exactly one parseable JSON line on stderr with a non-zero exit
+// code — never a bare panic or log dump.
+func TestCLIStructuredErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	activetime := buildTool(t, dir, "activetime")
+
+	badJSON := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badJSON, []byte(`{"g": 2, "jobs": [`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	invalidInst := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalidInst, []byte(`{"g":0,"jobs":[{"p":1,"r":0,"d":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	infeasible := filepath.Join(dir, "infeasible.json")
+	if err := os.WriteFile(infeasible,
+		[]byte(`{"g":1,"jobs":[{"p":3,"r":0,"d":3},{"p":3,"r":0,"d":3}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		args []string
+		kind string
+	}{
+		{"unreadable file", []string{"-in", filepath.Join(dir, "missing.json")}, "load_instance"},
+		{"malformed json", []string{"-in", badJSON}, "load_instance"},
+		{"invalid instance", []string{"-in", invalidInst}, "load_instance"},
+		{"infeasible instance", []string{"-in", infeasible}, "solve"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			stdout, stderr, code := runSplit(t, activetime, tc.args...)
+			if code != 1 {
+				t.Fatalf("exit code %d, want 1\nstdout: %s\nstderr: %s", code, stdout, stderr)
+			}
+			lines := strings.Split(strings.TrimSpace(stderr), "\n")
+			if len(lines) != 1 {
+				t.Fatalf("want exactly one stderr line, got %d:\n%s", len(lines), stderr)
+			}
+			var e struct {
+				Tool   string `json:"tool"`
+				Error  string `json:"error"`
+				Detail string `json:"detail"`
+			}
+			if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+				t.Fatalf("stderr is not a JSON line: %v\n%s", err, lines[0])
+			}
+			if e.Tool != "activetime" || e.Error != tc.kind || e.Detail == "" {
+				t.Fatalf("unexpected error shape: %+v (want error=%q)", e, tc.kind)
+			}
+		})
+	}
+}
+
+// TestCLITraceExport runs activetime with -trace and checks the output
+// file is Chrome trace-event JSON containing the solve and stage spans.
+func TestCLITraceExport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	atgen := buildTool(t, dir, "atgen")
+	activetime := buildTool(t, dir, "activetime")
+
+	instPath := filepath.Join(dir, "inst.json")
+	out, err := run(t, atgen, "-kind", "laminar", "-n", "10", "-g", "3", "-seed", "7")
+	if err != nil {
+		t.Fatalf("atgen: %v\n%s", err, out)
+	}
+	if err := os.WriteFile(instPath, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	tracePath := filepath.Join(dir, "trace.json")
+	stdout, stderr, code := runSplit(t, activetime, "-in", instPath, "-trace", tracePath)
+	if code != 0 {
+		t.Fatalf("exit code %d\nstdout: %s\nstderr: %s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "active slots:") {
+		t.Fatalf("normal output missing:\n%s", stdout)
+	}
+
+	f, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatalf("-trace produced no file: %v", err)
+	}
+	defer f.Close()
+	ct, err := trace.ParseChromeTrace(f)
+	if err != nil {
+		t.Fatalf("trace file is not Chrome trace-event JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, e := range ct.TraceEvents {
+		seen[e.Name] = true
+	}
+	for _, want := range []string{"solve", "forest_solve", "tree_build", "lp_solve", "round", "place"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span; have %v", want, seen)
+		}
+	}
+}

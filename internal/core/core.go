@@ -29,6 +29,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nestlp"
 	"repro/internal/sched"
+	"repro/internal/trace"
 )
 
 // Ratio is the proven approximation factor.
@@ -102,6 +103,12 @@ type Options struct {
 	// covers exactly one solve. The recorder is safe for concurrent
 	// use; Workers > 1 shares it across forest workers.
 	Metrics *metrics.Recorder
+	// Trace, when non-nil, receives hierarchical spans for the solve:
+	// a root "solve" span, one lane per forest solve (annotated with
+	// component and worker indices), a child span per pipeline stage,
+	// and "simplex"/"ratsimplex" spans from the LP substrate. Nil
+	// disables tracing at the cost of a nil check per span site.
+	Trace *trace.Tracer
 }
 
 // Solve runs the 9/5-approximation on a nested instance and returns a
@@ -130,17 +137,28 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 	var total Report
 	comps, backmap := in.Components()
 
+	root := opts.Trace.StartSpan("solve",
+		trace.Int("jobs", int64(in.N())),
+		trace.Int("g", in.G),
+		trace.Int("forests", int64(len(comps))))
+	defer root.End()
+
 	type compResult struct {
 		s   *sched.Schedule
 		rep Report
 		err error
 	}
 	results := make([]compResult, len(comps))
-	solveOne := func(ci int) {
+	solveOne := func(ci, worker int) {
+		fsp := root.StartLane("forest_solve",
+			trace.Int("component", int64(ci)),
+			trace.Int("worker", int64(worker)),
+			trace.Int("jobs", int64(comps[ci].N())))
 		start := time.Now()
-		s, rep, err := solveComponent(comps[ci], opts, rec)
+		s, rep, err := solveComponent(comps[ci], opts, rec, fsp)
 		rec.ForestSolveNS.Observe(int64(time.Since(start)))
 		rec.ForestsSolved.Inc()
+		fsp.End()
 		results[ci] = compResult{s: s, rep: rep, err: err}
 	}
 
@@ -150,7 +168,7 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 	}
 	if workers <= 1 {
 		for ci := range comps {
-			solveOne(ci)
+			solveOne(ci, 0)
 		}
 	} else {
 		// Bounded worker pool over forest indices. Workers share the
@@ -159,12 +177,12 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
-			go func() {
+			go func(w int) {
 				defer wg.Done()
 				for ci := range idx {
-					solveOne(ci)
+					solveOne(ci, w)
 				}
-			}()
+			}(w)
 		}
 		for ci := range comps {
 			idx <- ci
@@ -184,7 +202,7 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 		}
 		total.merge(res.rep)
 	}
-	stopValidate := rec.StartStage(metrics.StageValidate)
+	_, stopValidate := startStage(rec, root, metrics.StageValidate)
 	err := out.Validate(in)
 	stopValidate()
 	if err != nil {
@@ -198,19 +216,29 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 	return out, total, nil
 }
 
+// startStage starts the metrics timer and a trace child span for one
+// pipeline stage; calling the returned stop ends both. The span is
+// also returned so sub-solver spans can nest under it.
+func startStage(rec *metrics.Recorder, parent *trace.Span, st metrics.Stage) (*trace.Span, func()) {
+	stop := rec.StartStage(st)
+	sp := parent.StartChild(st.String())
+	return sp, func() { sp.End(); stop() }
+}
+
 // solveComponent runs the pipeline on one connected component,
 // reporting per-stage wall time and operation counts to rec (which
-// may be shared with other components solving concurrently).
-func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) (*sched.Schedule, Report, error) {
+// may be shared with other components solving concurrently) and
+// per-stage spans under the component's forest span fsp.
+func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, fsp *trace.Span) (*sched.Schedule, Report, error) {
 	rec = metrics.OrNop(rec)
 
-	stop := rec.StartStage(metrics.StageTreeBuild)
+	_, stop := startStage(rec, fsp, metrics.StageTreeBuild)
 	tree, err := lamtree.Build(in)
 	stop()
 	if err != nil {
 		return nil, Report{}, err
 	}
-	stop = rec.StartStage(metrics.StageCanonicalize)
+	_, stop = startStage(rec, fsp, metrics.StageCanonicalize)
 	err = tree.Canonicalize()
 	stop()
 	if err != nil {
@@ -218,7 +246,7 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) 
 	}
 
 	// Feasibility gate: everything open must work.
-	stop = rec.StartStage(metrics.StageFeasGate)
+	_, stop = startStage(rec, fsp, metrics.StageFeasGate)
 	full := make([]int64, tree.M())
 	for i := range full {
 		full[i] = tree.Nodes[i].L
@@ -229,12 +257,13 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) 
 		return nil, Report{}, fmt.Errorf("infeasible instance")
 	}
 
-	stop = rec.StartStage(metrics.StageLPBuild)
+	_, stop = startStage(rec, fsp, metrics.StageLPBuild)
 	model := nestlp.NewModel(tree)
 	model.SetRecorder(rec)
 	stop()
 
-	stop = rec.StartStage(metrics.StageLPSolve)
+	lpSpan, stop := startStage(rec, fsp, metrics.StageLPSolve)
+	model.SetTraceSpan(lpSpan)
 	var sol *nestlp.Solution
 	if opts.ExactLP {
 		sol, err = model.SolveExact()
@@ -247,12 +276,12 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) 
 	}
 	lpValue := sol.Objective
 
-	stop = rec.StartStage(metrics.StageTransform)
+	_, stop = startStage(rec, fsp, metrics.StageTransform)
 	model.Transform(sol)
 	I := model.TopmostPositive(sol)
 	stop()
 
-	stop = rec.StartStage(metrics.StageRound)
+	_, stop = startStage(rec, fsp, metrics.StageRound)
 	counts := Round(tree, sol, I)
 	stop()
 
@@ -263,11 +292,11 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) 
 
 	// Theorem 4.5 guarantees feasibility; verify and repair if
 	// floating-point noise ever broke it.
-	stop = rec.StartStage(metrics.StageFeasCheck)
+	_, stop = startStage(rec, fsp, metrics.StageFeasCheck)
 	ok = flowfeas.CheckNodeCountsRec(tree, counts, rec)
 	stop()
 	if !ok {
-		stop = rec.StartStage(metrics.StageRepair)
+		_, stop = startStage(rec, fsp, metrics.StageRepair)
 		added, ok := repair(tree, counts, rec)
 		stop()
 		if !ok {
@@ -278,14 +307,14 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder) 
 	}
 
 	if opts.Minimalize {
-		stop = rec.StartStage(metrics.StageMinimalize)
+		_, stop = startStage(rec, fsp, metrics.StageMinimalize)
 		removed := MinimalizeCountsRec(tree, counts, rec)
 		stop()
 		rep.Minimalized = removed
 		rep.RoundedSlots -= removed
 	}
 
-	stop = rec.StartStage(metrics.StagePlace)
+	_, stop = startStage(rec, fsp, metrics.StagePlace)
 	var s *sched.Schedule
 	if opts.Compact {
 		_, s, err = PlaceCompact(tree, counts)

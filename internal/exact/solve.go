@@ -7,6 +7,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/lamtree"
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // SolveNested computes the exact optimum for the instance represented
@@ -23,6 +24,15 @@ func SolveNested(t *lamtree.Tree) (int64, []int64, error) {
 // SolveNestedRec is SolveNested reporting branch-and-bound node counts
 // and max-flow operation counts to rec (nil disables reporting).
 func SolveNestedRec(t *lamtree.Tree, rec *metrics.Recorder) (int64, []int64, error) {
+	return SolveNestedTrace(t, rec, nil)
+}
+
+// SolveNestedTrace is SolveNestedRec recording a "bb_nested" trace
+// span (with expanded/pruned node counts) under sp; a nil span
+// disables tracing.
+func SolveNestedTrace(t *lamtree.Tree, rec *metrics.Recorder, sp *trace.Span) (int64, []int64, error) {
+	bsp := sp.StartChild("bb_nested", trace.Int("tree_nodes", int64(t.M())))
+	defer bsp.End()
 	m := t.M()
 	full := make([]int64, m)
 	for i := 0; i < m; i++ {
@@ -56,6 +66,7 @@ func SolveNestedRec(t *lamtree.Tree, rec *metrics.Recorder) (int64, []int64, err
 		rec.BBNodesExpanded.Add(s.expanded)
 		rec.BBNodesPruned.Add(s.pruned)
 	}
+	bsp.SetAttr(trace.Int("bb_nodes_expanded", s.expanded), trace.Int("bb_nodes_pruned", s.pruned))
 
 	return s.bestSum, s.best, nil
 }
@@ -189,6 +200,15 @@ func SolveGeneral(in *instance.Instance) (int64, []int64, error) {
 // counts and max-flow operation counts to rec (nil disables
 // reporting).
 func SolveGeneralRec(in *instance.Instance, rec *metrics.Recorder) (int64, []int64, error) {
+	return SolveGeneralTrace(in, rec, nil)
+}
+
+// SolveGeneralTrace is SolveGeneralRec recording a "bb_general" trace
+// span (with expanded/pruned node counts) under sp; a nil span
+// disables tracing.
+func SolveGeneralTrace(in *instance.Instance, rec *metrics.Recorder, sp *trace.Span) (int64, []int64, error) {
+	bsp := sp.StartChild("bb_general", trace.Int("candidate_slots", int64(len(in.SortedSlots()))))
+	defer bsp.End()
 	slots := in.SortedSlots()
 	if !flowfeas.CheckSlotsRec(in, slots, rec) {
 		return 0, nil, fmt.Errorf("exact: instance infeasible even with all slots open")
@@ -205,6 +225,7 @@ func SolveGeneralRec(in *instance.Instance, rec *metrics.Recorder) (int64, []int
 		rec.BBNodesExpanded.Add(s.expanded)
 		rec.BBNodesPruned.Add(s.pruned)
 	}
+	bsp.SetAttr(trace.Int("bb_nodes_expanded", s.expanded), trace.Int("bb_nodes_pruned", s.pruned))
 
 	var out []int64
 	for i, b := range s.best {

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+func TestRegistryMergesStats(t *testing.T) {
+	g := NewRegistry()
+
+	rec := &Recorder{}
+	rec.SimplexPivots.Add(7)
+	rec.DinicRuns.Add(2)
+	rec.ForestsSolved.Inc()
+	rec.ObserveStage(StageLPSolve, 3*time.Millisecond)
+	rec.ObserveStage(StageLPSolve, 2*time.Millisecond)
+	rec.ObserveStage(StagePlace, time.Millisecond)
+
+	g.SolveStarted()
+	g.ObserveSolve(rec.Snapshot(), 6*time.Millisecond, nil)
+	g.SolveStarted()
+	g.ObserveSolve(rec.Snapshot(), 6*time.Millisecond, errors.New("boom"))
+
+	if got := g.Solves(); got != 2 {
+		t.Errorf("Solves = %d, want 2", got)
+	}
+	if got := g.Errors(); got != 1 {
+		t.Errorf("Errors = %d, want 1", got)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d, want 0", got)
+	}
+	tot := g.CounterTotals()
+	if tot.SimplexPivots != 14 || tot.DinicRuns != 4 || tot.ForestsSolved != 2 {
+		t.Errorf("counter totals wrong: %+v", tot)
+	}
+	wantLP := 2 * float64(5*time.Millisecond) / 1e9
+	if got := g.StageSecondsTotal(StageLPSolve); got < wantLP*0.999 || got > wantLP*1.001 {
+		t.Errorf("lp_solve seconds = %g, want ~%g", got, wantLP)
+	}
+}
+
+func TestRegistryCounterRoundTrip(t *testing.T) {
+	// CounterTotals must be the exact inverse of values(): merge one
+	// snapshot with every field distinct and read it back.
+	rec := &Recorder{}
+	rec.SimplexSolves.Add(1)
+	rec.SimplexPivots.Add(2)
+	rec.SimplexPhase1Pivots.Add(3)
+	rec.RatSolves.Add(4)
+	rec.RatPivots.Add(5)
+	rec.DinicRuns.Add(6)
+	rec.DinicBFSRounds.Add(7)
+	rec.DinicAugPaths.Add(8)
+	rec.PushRelabelRuns.Add(9)
+	rec.PushRelabelPushes.Add(10)
+	rec.PushRelabelRelabels.Add(11)
+	rec.BBNodesExpanded.Add(12)
+	rec.BBNodesPruned.Add(13)
+	rec.TransformMoves.Add(14)
+	rec.ForestsSolved.Add(15)
+	want := rec.Snapshot().Counters
+
+	g := NewRegistry()
+	g.SolveStarted()
+	g.ObserveSolve(&Stats{Counters: want}, time.Millisecond, nil)
+	if got := g.CounterTotals(); got != want {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	g := NewRegistry()
+	const workers, per = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rec := &Recorder{}
+				rec.SimplexPivots.Add(3)
+				rec.ObserveStage(StageRound, time.Microsecond)
+				g.SolveStarted()
+				g.ObserveSolve(rec.Snapshot(), time.Microsecond, nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Solves(); got != workers*per {
+		t.Errorf("Solves = %d, want %d", got, workers*per)
+	}
+	if got := g.CounterTotals().SimplexPivots; got != 3*workers*per {
+		t.Errorf("SimplexPivots = %d, want %d", got, 3*workers*per)
+	}
+	if got := g.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d, want 0", got)
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional {labels},
+// and a value.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.e+-]+|NaN)$`)
+
+// parseExposition validates Prometheus text format line by line and
+// returns (metric base name -> TYPE) plus the set of sample names.
+func parseExposition(t *testing.T, data []byte) (types map[string]string, samples map[string]bool) {
+	t.Helper()
+	types = map[string]string{}
+	samples = map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			if f[1] == "TYPE" {
+				types[f[2]] = f[3]
+			}
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		samples[m[1]] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Every sample must belong to a declared metric family
+	// (histogram samples carry _bucket/_sum/_count suffixes).
+	for name := range samples {
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suf); ok && types[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := types[base]; !ok {
+			t.Errorf("sample %q has no TYPE declaration", name)
+		}
+	}
+	return types, samples
+}
+
+// TestExpositionGolden pins the metric names/types block: the # HELP
+// and # TYPE lines plus the label sets, with sample values normalized
+// away. Regenerate with: go test ./internal/metrics -run Golden -update
+func TestExpositionGolden(t *testing.T) {
+	g := NewRegistry()
+	// Fold in one solve so label-bearing series are exercised.
+	rec := &Recorder{}
+	rec.SimplexPivots.Add(5)
+	rec.ObserveStage(StageLPSolve, time.Millisecond)
+	g.SolveStarted()
+	g.ObserveSolve(rec.Snapshot(), time.Millisecond, nil)
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parseExposition(t, buf.Bytes()) // must parse cleanly
+
+	// Normalize: strip values so the golden pins names, labels, types.
+	var norm []string
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "#") {
+			norm = append(norm, line)
+			continue
+		}
+		if m := sampleLine.FindStringSubmatch(line); m != nil {
+			norm = append(norm, m[1]+m[2])
+		}
+	}
+	got := strings.Join(norm, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition names/types drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	g := NewRegistry()
+	for _, d := range []time.Duration{50 * time.Microsecond, 3 * time.Millisecond, 2 * time.Second, time.Minute} {
+		g.SolveStarted()
+		g.ObserveSolve(nil, d, nil)
+	}
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Cumulative counts: the +Inf bucket holds all four, the 10s
+	// bucket only three (one observation was a minute).
+	if !strings.Contains(out, `activetime_solve_duration_seconds_bucket{le="+Inf"} 4`) {
+		t.Errorf("+Inf bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `activetime_solve_duration_seconds_bucket{le="30"} 3`) {
+		t.Errorf("30s bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "activetime_solve_duration_seconds_count 4") {
+		t.Errorf("count wrong:\n%s", out)
+	}
+	var sum float64
+	if _, err := fmt.Sscanf(out[strings.Index(out, "activetime_solve_duration_seconds_sum"):],
+		"activetime_solve_duration_seconds_sum %g", &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum < 62 || sum > 62.1 {
+		t.Errorf("sum = %g, want ~62.003", sum)
+	}
+}

@@ -18,6 +18,7 @@ func (m *Model) SolveExact() (*Solution, error) {
 	t := m.Tree
 	p := ratsimplex.NewProblem(m.numVars())
 	p.SetRecorder(m.rec)
+	p.SetTraceSpan(m.tsp)
 	one := big.NewRat(1, 1)
 	for i := 0; i < t.M(); i++ {
 		p.SetObjectiveCoef(m.xVar(i), one)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/lamtree"
 	"repro/internal/metrics"
 	"repro/internal/simplex"
+	"repro/internal/trace"
 )
 
 // Model is the LP for one canonical laminar tree.
@@ -38,6 +39,7 @@ type Model struct {
 	prob      *simplex.Problem
 	nodePairs [][]int // lazily built: pair indices per node
 	rec       *metrics.Recorder
+	tsp       *trace.Span
 }
 
 // SetRecorder attaches a metrics recorder: Solve reports simplex
@@ -46,6 +48,14 @@ type Model struct {
 func (m *Model) SetRecorder(r *metrics.Recorder) {
 	m.rec = r
 	m.prob.SetRecorder(r)
+}
+
+// SetTraceSpan attaches a parent trace span: Solve and SolveExact then
+// record "simplex" / "ratsimplex" child spans under it. A nil span
+// disables tracing.
+func (m *Model) SetTraceSpan(sp *trace.Span) {
+	m.tsp = sp
+	m.prob.SetTraceSpan(sp)
 }
 
 // Pair is an admissible (node, job) combination.

@@ -18,6 +18,7 @@ import (
 	"math/big"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Op is a constraint sense.
@@ -51,12 +52,18 @@ type Problem struct {
 	c     []*big.Rat
 	cons  []constraint
 	rec   *metrics.Recorder
+	tsp   *trace.Span
 }
 
 // SetRecorder attaches a metrics recorder; each Solve then reports its
 // exact-arithmetic pivot counts to it. A nil recorder disables
 // reporting.
 func (p *Problem) SetRecorder(r *metrics.Recorder) { p.rec = r }
+
+// SetTraceSpan attaches a parent trace span; each Solve then records a
+// "ratsimplex" child span carrying problem dimensions and the exact
+// pivot count. A nil span disables tracing.
+func (p *Problem) SetTraceSpan(sp *trace.Span) { p.tsp = sp }
 
 // NewProblem returns a problem with nvars non-negative variables.
 func NewProblem(nvars int) *Problem {
@@ -135,7 +142,11 @@ func (p *Problem) Solve() (*Solution, error) {
 		rhs:   make([]*big.Rat, m),
 		basis: make([]int, m),
 	}
+	sp := p.tsp.StartChild("ratsimplex",
+		trace.Int("vars", int64(p.nvars)), trace.Int("constraints", int64(m)))
 	defer func() {
+		sp.SetAttr(trace.Int("pivots", t.pivots))
+		sp.End()
 		if p.rec != nil {
 			p.rec.RatSolves.Inc()
 			p.rec.RatPivots.Add(t.pivots)

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/metrics"
+	"repro/internal/trace"
 )
 
 // Op is a constraint sense.
@@ -60,11 +61,17 @@ type Problem struct {
 	c     []float64
 	cons  []constraint
 	rec   *metrics.Recorder
+	tsp   *trace.Span
 }
 
 // SetRecorder attaches a metrics recorder; each Solve then reports its
 // pivot counts to it. A nil recorder disables reporting.
 func (p *Problem) SetRecorder(r *metrics.Recorder) { p.rec = r }
+
+// SetTraceSpan attaches a parent trace span; each Solve then records a
+// "simplex" child span carrying problem dimensions and the pivot
+// count. A nil span disables tracing.
+func (p *Problem) SetTraceSpan(sp *trace.Span) { p.tsp = sp }
 
 // NewProblem returns a problem with nvars variables, all constrained
 // to be non-negative, and a zero objective.
@@ -99,7 +106,7 @@ func (p *Problem) Add(terms []Term, op Op, rhs float64) {
 // added to the copy do not affect the original. Used by the ILP
 // branch-and-bound to add branching bounds.
 func (p *Problem) Clone() *Problem {
-	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec}
+	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec, tsp: p.tsp}
 	copy(cp.c, p.c)
 	cp.cons = make([]constraint, len(p.cons))
 	for i, con := range p.cons {
@@ -251,7 +258,11 @@ func (p *Problem) Solve() (Solution, error) {
 		t.rhs[r] = rhs
 	}
 
+	sp := p.tsp.StartChild("simplex",
+		trace.Int("vars", int64(p.nvars)), trace.Int("constraints", int64(m)))
 	defer func() {
+		sp.SetAttr(trace.Int("pivots", t.pivots))
+		sp.End()
 		if p.rec != nil {
 			p.rec.SimplexSolves.Inc()
 			p.rec.SimplexPivots.Add(t.pivots)

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ChromeEvent is one Chrome trace-event ("X" complete event). The
+// field names follow the Trace Event Format, so the marshaled JSON
+// loads directly in chrome://tracing and Perfetto.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace epoch
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int64          `json:"pid"`
+	Tid  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace-event JSON object.
+type ChromeTrace struct {
+	TraceEvents []ChromeEvent `json:"traceEvents"`
+	DisplayUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeEvents converts the finished spans into Chrome trace events.
+// Span IDs and parent links are preserved in each event's args
+// (span_id, parent_id) so consumers can rebuild the hierarchy without
+// relying on timestamp containment.
+func (t *Tracer) ChromeEvents() []ChromeEvent {
+	spans := t.Spans()
+	out := make([]ChromeEvent, 0, len(spans))
+	for _, s := range spans {
+		args := map[string]any{
+			"span_id":   s.ID,
+			"parent_id": s.Parent,
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		out = append(out, ChromeEvent{
+			Name: s.Name,
+			Cat:  "solver",
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Duration.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Lane,
+			Args: args,
+		})
+	}
+	return out
+}
+
+// WriteChromeTrace writes the finished spans as Chrome trace-event
+// JSON to w. A nil tracer writes an empty (still loadable) trace.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	ct := ChromeTrace{TraceEvents: t.ChromeEvents(), DisplayUnit: "ms"}
+	if ct.TraceEvents == nil {
+		ct.TraceEvents = []ChromeEvent{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// WriteChromeTraceFile writes the trace to path, creating or
+// truncating the file.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("trace: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ParseChromeTrace parses trace-event JSON produced by
+// WriteChromeTrace (used by tests and tooling that inspect exported
+// traces).
+func ParseChromeTrace(r io.Reader) (*ChromeTrace, error) {
+	var ct ChromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("trace: parse: %w", err)
+	}
+	return &ct, nil
+}

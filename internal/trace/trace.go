@@ -1,0 +1,208 @@
+// Package trace is a stdlib-only span tracer for the solver pipeline.
+// A Tracer collects hierarchical spans — named intervals with a start,
+// an end, key/value attributes and a parent link — and exports them as
+// Chrome trace-event JSON loadable in chrome://tracing or Perfetto.
+//
+// Spans are created with Tracer.StartSpan (roots) and Span.StartChild
+// (children) and closed with Span.End. Every method is safe on a nil
+// *Tracer and a nil *Span: a disabled call site pays one nil check and
+// allocates nothing, so tracing can be threaded unconditionally
+// through hot paths (the nop tracer is simply nil).
+//
+// Lanes: each root span opens a lane (the "tid" of the Chrome trace
+// view) and its descendants inherit it, so concurrent forest workers
+// render as parallel tracks with their stage spans nested inside.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Attr is one span attribute, rendered into the Chrome event's args.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Tracer collects finished spans. The zero value is not usable; call
+// New. A nil *Tracer is the nop tracer: every method is a no-op.
+// Tracers are safe for concurrent use.
+type Tracer struct {
+	epoch time.Time
+
+	mu     sync.Mutex
+	nextID int64
+	spans  []SpanData
+}
+
+// New returns an empty tracer whose span timestamps are measured from
+// now (the trace epoch).
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// Span is one open interval in a trace. A nil *Span is the nop span:
+// StartChild returns nil, SetAttr and End do nothing.
+type Span struct {
+	tracer *Tracer
+	id     int64
+	parent int64 // 0 for roots
+	lane   int64 // root ancestor's id; the Chrome "tid"
+	name   string
+	start  time.Time
+
+	mu    sync.Mutex
+	attrs []Attr
+	ended bool
+}
+
+// SpanData is an immutable finished span, as exported.
+type SpanData struct {
+	// ID is unique within the tracer, starting at 1.
+	ID int64
+	// Parent is the parent span's ID, or 0 for a root span.
+	Parent int64
+	// Lane groups a root span and all its descendants; concurrent
+	// roots get distinct lanes (the Chrome trace "tid").
+	Lane int64
+	// Name is the span name (e.g. a pipeline stage).
+	Name string
+	// Start is the offset from the trace epoch.
+	Start time.Duration
+	// Duration is the span's wall-clock length.
+	Duration time.Duration
+	// Attrs holds the span's attributes in insertion order.
+	Attrs []Attr
+}
+
+// StartSpan opens a root span. On a nil tracer it returns nil.
+func (t *Tracer) StartSpan(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.newSpan(nil, name, attrs)
+}
+
+func (t *Tracer) newSpan(parent *Span, name string, attrs []Attr) *Span {
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	s := &Span{tracer: t, id: id, name: name, start: time.Now()}
+	if parent != nil {
+		s.parent = parent.id
+		s.lane = parent.lane
+	} else {
+		s.lane = id
+	}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	return s
+}
+
+// StartChild opens a child span under s. On a nil span it returns nil,
+// so whole disabled subtrees cost only nil checks.
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tracer.newSpan(s, name, attrs)
+}
+
+// StartLane opens a child span in a fresh lane (a new Chrome trace
+// tid). Use it for work that runs concurrently with its siblings —
+// e.g. one lane per forest solve — so overlapping spans render as
+// parallel tracks instead of colliding in one. On a nil span it
+// returns nil.
+func (s *Span) StartLane(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	sp := s.tracer.newSpan(s, name, attrs)
+	sp.lane = sp.id
+	return sp
+}
+
+// SetAttr appends an attribute to the span (last write wins on export
+// for duplicate keys, as later args overwrite earlier ones).
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End closes the span and publishes it to the tracer. End is
+// idempotent; only the first call records the span.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := make([]Attr, len(s.attrs))
+	copy(attrs, s.attrs)
+	s.mu.Unlock()
+
+	t := s.tracer
+	d := SpanData{
+		ID:       s.id,
+		Parent:   s.parent,
+		Lane:     s.lane,
+		Name:     s.name,
+		Start:    s.start.Sub(t.epoch),
+		Duration: end.Sub(s.start),
+		Attrs:    attrs,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, d)
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the finished spans, ordered by start
+// time (ties by ID). Open spans are not included.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Start != out[b].Start {
+			return out[a].Start < out[b].Start
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}
+
+// Len returns the number of finished spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchy(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("solve", Int("jobs", 8))
+	child := root.StartChild("lp_solve")
+	grand := child.StartChild("simplex", Int("vars", 12))
+	grand.SetAttr(Int("pivots", 5))
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["solve"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["solve"].Parent)
+	}
+	if byName["lp_solve"].Parent != byName["solve"].ID {
+		t.Errorf("lp_solve parent = %d, want %d", byName["lp_solve"].Parent, byName["solve"].ID)
+	}
+	if byName["simplex"].Parent != byName["lp_solve"].ID {
+		t.Errorf("simplex parent = %d, want %d", byName["simplex"].Parent, byName["lp_solve"].ID)
+	}
+	// All three share the root's lane.
+	for _, s := range spans {
+		if s.Lane != byName["solve"].ID {
+			t.Errorf("span %s lane = %d, want %d", s.Name, s.Lane, byName["solve"].ID)
+		}
+	}
+	// Attrs survive, including post-start SetAttr.
+	var sawPivots bool
+	for _, a := range byName["simplex"].Attrs {
+		if a.Key == "pivots" {
+			sawPivots = true
+		}
+	}
+	if !sawPivots {
+		t.Error("simplex span lost its pivots attr")
+	}
+}
+
+func TestNilTracerAndSpanAreNops(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartSpan("x")
+	if s != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	c := s.StartChild("y", Int("k", 1))
+	if c != nil {
+		t.Fatal("nil span must return nil child")
+	}
+	s.SetAttr(String("a", "b"))
+	s.End()
+	c.End()
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatal("nil tracer must report no spans")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+	ct, err := ParseChromeTrace(&buf)
+	if err != nil {
+		t.Fatalf("parse empty trace: %v", err)
+	}
+	if len(ct.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(ct.TraceEvents))
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New()
+	s := tr.StartSpan("once")
+	s.End()
+	s.End()
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", got)
+	}
+}
+
+func TestLanesSeparateRoots(t *testing.T) {
+	tr := New()
+	a := tr.StartSpan("a")
+	b := tr.StartSpan("b")
+	ac := a.StartChild("ac")
+	ac.End()
+	a.End()
+	b.End()
+	spans := tr.Spans()
+	lanes := map[string]int64{}
+	for _, s := range spans {
+		lanes[s.Name] = s.Lane
+	}
+	if lanes["a"] == lanes["b"] {
+		t.Error("distinct roots must get distinct lanes")
+	}
+	if lanes["ac"] != lanes["a"] {
+		t.Error("child must inherit its root's lane")
+	}
+}
+
+func TestChromeExportRoundTrip(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("solve")
+	st := root.StartChild("tree_build", Int("component", 0))
+	time.Sleep(time.Millisecond)
+	st.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ct, err := ParseChromeTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(ct.TraceEvents))
+	}
+	var stage *ChromeEvent
+	for i := range ct.TraceEvents {
+		if ct.TraceEvents[i].Name == "tree_build" {
+			stage = &ct.TraceEvents[i]
+		}
+	}
+	if stage == nil {
+		t.Fatal("tree_build event missing")
+	}
+	if stage.Ph != "X" || stage.Pid != 1 {
+		t.Errorf("event shape wrong: ph=%q pid=%d", stage.Ph, stage.Pid)
+	}
+	if stage.Dur < 900 { // slept 1ms, dur is in microseconds
+		t.Errorf("tree_build dur = %v us, want >= 900", stage.Dur)
+	}
+	if stage.Args["component"] == nil || stage.Args["span_id"] == nil || stage.Args["parent_id"] == nil {
+		t.Errorf("event args incomplete: %v", stage.Args)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	root := tr.StartSpan("solve")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := root.StartChild("work", Int("worker", int64(w)))
+				sp.SetAttr(Int("i", int64(i)))
+				sp.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	if got := tr.Len(); got != 8*50+1 {
+		t.Fatalf("got %d spans, want %d", got, 8*50+1)
+	}
+	// IDs must be unique.
+	seen := map[int64]bool{}
+	for _, s := range tr.Spans() {
+		if seen[s.ID] {
+			t.Fatalf("duplicate span id %d", s.ID)
+		}
+		seen[s.ID] = true
+	}
+}

@@ -1,0 +1,180 @@
+package activetime
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/trace"
+)
+
+// multiForestInstance builds one instance out of `forests`
+// well-separated laminar components.
+func multiForestInstance(t testing.TB, forests, n int) *Instance {
+	t.Helper()
+	rng := rand.New(rand.NewSource(91))
+	var jobs []Job
+	for k := 0; k < forests; k++ {
+		part := gen.RandomLaminar(rng, gen.DefaultLaminar(n, 3)).Shift(int64(k) * 10_000)
+		jobs = append(jobs, part.Jobs...)
+	}
+	in, err := NewInstance(3, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestTraceExportNestedStages is the end-to-end trace contract: a
+// traced solve exports Chrome trace-event JSON whose span tree has the
+// pipeline stages (tree_build → lp_solve → round → place) nested
+// under each forest span, one forest span per component, and the LP
+// substrate span nested under lp_solve.
+func TestTraceExportNestedStages(t *testing.T) {
+	in := multiForestInstance(t, 3, 8)
+	comps, _ := in.Components()
+	forests := len(comps) // a random laminar instance may itself split
+
+	tr := NewTracer()
+	res, err := SolveNested95(in, SolveOptions{Workers: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ActiveSlots <= 0 {
+		t.Fatal("solve produced no active slots")
+	}
+
+	// Export to a real file, re-read, and parse — the same path the
+	// CLI -trace flag uses.
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteChromeTraceFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := trace.ParseChromeTrace(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the hierarchy from span_id/parent_id args.
+	type ev struct {
+		name   string
+		id     int64
+		parent int64
+	}
+	byID := map[int64]ev{}
+	var roots, forestSpans []ev
+	for _, e := range ct.TraceEvents {
+		id, ok1 := asInt64(e.Args["span_id"])
+		parent, ok2 := asInt64(e.Args["parent_id"])
+		if !ok1 || !ok2 {
+			t.Fatalf("event %q missing span_id/parent_id args: %v", e.Name, e.Args)
+		}
+		v := ev{name: e.Name, id: id, parent: parent}
+		byID[id] = v
+		switch {
+		case parent == 0:
+			roots = append(roots, v)
+		case e.Name == "forest_solve":
+			forestSpans = append(forestSpans, v)
+		}
+	}
+
+	if len(roots) != 1 || roots[0].name != "solve" {
+		t.Fatalf("want exactly one root span named solve, got %+v", roots)
+	}
+	if len(forestSpans) != forests {
+		t.Fatalf("want %d forest_solve spans (one per forest worker task), got %d",
+			forests, len(forestSpans))
+	}
+
+	// Each forest span carries the full stage chain as children.
+	children := map[int64]map[string]int64{} // parent id -> stage name -> span id
+	for _, e := range byID {
+		if m := children[e.parent]; m == nil {
+			children[e.parent] = map[string]int64{e.name: e.id}
+		} else {
+			m[e.name] = e.id
+		}
+	}
+	for _, f := range forestSpans {
+		if f.parent != roots[0].id {
+			t.Errorf("forest span %d not parented to root", f.id)
+		}
+		stages := children[f.id]
+		for _, stage := range []string{"tree_build", "lp_solve", "round", "place"} {
+			if _, ok := stages[stage]; !ok {
+				t.Errorf("forest span %d missing nested stage %q (has %v)", f.id, stage, stages)
+			}
+		}
+		// The simplex sub-solver span nests under lp_solve.
+		if lp, ok := stages["lp_solve"]; ok {
+			if _, ok := children[lp]["simplex"]; !ok {
+				t.Errorf("lp_solve span %d has no nested simplex span", lp)
+			}
+		}
+	}
+
+	// Sanity: the whole-schedule validate stage hangs off the root.
+	if _, ok := children[roots[0].id]["validate"]; !ok {
+		t.Error("root span missing validate stage child")
+	}
+}
+
+// TestTraceExactSolver checks that the exact algorithm records B&B
+// spans when traced.
+func TestTraceExactSolver(t *testing.T) {
+	in := multiForestInstance(t, 2, 6)
+	tr := NewTracer()
+	if _, err := SolveTraced(in, AlgExact, tr); err != nil {
+		t.Fatal(err)
+	}
+	var sawBB bool
+	for _, s := range tr.Spans() {
+		if s.Name == "bb_nested" {
+			sawBB = true
+		}
+	}
+	if !sawBB {
+		t.Fatal("exact solve recorded no bb_nested span")
+	}
+}
+
+// TestUntracedSolveUnchanged pins that a nil tracer changes nothing:
+// identical schedule and deterministic counters vs a traced solve.
+func TestUntracedSolveUnchanged(t *testing.T) {
+	in := multiForestInstance(t, 2, 8)
+	plain, err := SolveNested95(in, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := SolveNested95(in, SolveOptions{Trace: NewTracer()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.ActiveSlots != traced.ActiveSlots {
+		t.Fatalf("tracing changed the objective: %d vs %d", plain.ActiveSlots, traced.ActiveSlots)
+	}
+	if plain.Stats.Counters != traced.Stats.Counters {
+		t.Fatalf("tracing changed deterministic counters:\n%+v\nvs\n%+v",
+			plain.Stats.Counters, traced.Stats.Counters)
+	}
+}
+
+func asInt64(v any) (int64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return int64(n), true
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	}
+	return 0, false
+}
