@@ -24,6 +24,7 @@
 package activetime
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -133,14 +134,37 @@ func Solve(in *Instance, alg Algorithm) (*Result, error) {
 	return SolveTraced(in, alg, nil)
 }
 
+// SolveCtx is Solve with cooperative cancellation: when ctx is
+// canceled or its deadline passes, the solve stops promptly (the
+// nested95 pipeline checks between stages, per forest, per simplex
+// pivot block and per max-flow BFS phase) and the returned error wraps
+// ctx.Err(). A nil ctx behaves like context.Background().
+func SolveCtx(ctx context.Context, in *Instance, alg Algorithm) (*Result, error) {
+	return SolveTracedCtx(ctx, in, alg, nil)
+}
+
 // SolveTraced is Solve recording spans into tr (nil disables tracing):
 // the nested95 pipeline emits its full span tree, the exact solver
 // emits per-component branch-and-bound spans, and the remaining
 // algorithms emit a single root span.
 func SolveTraced(in *Instance, alg Algorithm, tr *Tracer) (*Result, error) {
+	return SolveTracedCtx(context.Background(), in, alg, tr)
+}
+
+// SolveTracedCtx combines SolveCtx and SolveTraced. For AlgNested95
+// cancellation is cooperative throughout the pipeline; the remaining
+// algorithms check ctx before starting (they are either fast or, for
+// AlgExact, intended for small instances).
+func SolveTracedCtx(ctx context.Context, in *Instance, alg Algorithm, tr *Tracer) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch alg {
 	case AlgNested95:
-		return SolveNested95(in, SolveOptions{Trace: tr})
+		return SolveNested95Ctx(ctx, in, SolveOptions{Trace: tr})
 	case AlgGreedyMinimal:
 		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
 		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)
@@ -252,7 +276,13 @@ type SolveOptions struct {
 
 // SolveNested95 runs the 9/5-approximation with explicit options.
 func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
-	s, rep, err := core.SolveWithOptions(in, core.Options{
+	return SolveNested95Ctx(context.Background(), in, opts)
+}
+
+// SolveNested95Ctx is SolveNested95 with cooperative cancellation; see
+// SolveCtx for the cancellation granularity.
+func SolveNested95Ctx(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
+	s, rep, err := core.SolveContext(ctx, in, core.Options{
 		ExactLP:    opts.ExactLP,
 		Minimalize: opts.Minimalize,
 		Compact:    opts.Compact,

@@ -1,6 +1,7 @@
 package activetime
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -21,6 +22,18 @@ type BatchResult struct {
 // order; per-instance failures are reported in the corresponding
 // BatchResult rather than aborting the batch.
 func SolveBatch(ins []*Instance, alg Algorithm, workers int) []BatchResult {
+	return SolveBatchCtx(context.Background(), ins, alg, workers)
+}
+
+// SolveBatchCtx is SolveBatch with cooperative cancellation: each
+// in-flight solve is interrupted via SolveCtx, and instances not yet
+// started when ctx fires are reported with Err set to ctx.Err(). The
+// result slice always has len(ins) entries in input order. A nil ctx
+// behaves like context.Background().
+func SolveBatchCtx(ctx context.Context, ins []*Instance, alg Algorithm, workers int) []BatchResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -28,10 +41,20 @@ func SolveBatch(ins []*Instance, alg Algorithm, workers int) []BatchResult {
 		workers = len(ins)
 	}
 	out := make([]BatchResult, len(ins))
+	for i := range out {
+		out[i].Index = i
+	}
+	solveAt := func(i int) {
+		res, err := SolveCtx(ctx, ins[i], alg)
+		out[i] = BatchResult{Index: i, Result: res, Err: err}
+	}
 	if workers <= 1 {
-		for i, in := range ins {
-			res, err := Solve(in, alg)
-			out[i] = BatchResult{Index: i, Result: res, Err: err}
+		for i := range ins {
+			if err := ctx.Err(); err != nil {
+				out[i].Err = err
+				continue
+			}
+			solveAt(i)
 		}
 		return out
 	}
@@ -42,16 +65,27 @@ func SolveBatch(ins []*Instance, alg Algorithm, workers int) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := Solve(ins[i], alg)
-				out[i] = BatchResult{Index: i, Result: res, Err: err}
+				solveAt(i)
 			}
 		}()
 	}
+feed:
 	for i := range ins {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range out {
+			if out[i].Result == nil && out[i].Err == nil {
+				out[i].Err = err
+			}
+		}
+	}
 	return out
 }
 

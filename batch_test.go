@@ -1,6 +1,8 @@
 package activetime
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -78,5 +80,134 @@ func TestMetricsExposed(t *testing.T) {
 	var m Metrics = res.Schedule.ComputeMetrics()
 	if m.ActiveSlots != 2 || m.TotalUnits != 2 {
 		t.Fatalf("metrics %+v", m)
+	}
+}
+
+// TestSolveBatchEmpty: an empty batch returns an empty (non-nil is
+// not required) slice without spinning up workers.
+func TestSolveBatchEmpty(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		results := SolveBatch(nil, AlgNested95, workers)
+		if len(results) != 0 {
+			t.Fatalf("workers=%d: %d results for empty batch", workers, len(results))
+		}
+		results = SolveBatch([]*Instance{}, AlgNested95, workers)
+		if len(results) != 0 {
+			t.Fatalf("workers=%d: %d results for empty slice", workers, len(results))
+		}
+	}
+}
+
+// TestSolveBatchMoreWorkersThanInstances: requesting far more workers
+// than instances must still solve everything exactly once, in order.
+func TestSolveBatchMoreWorkersThanInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	ins := make([]*Instance, 3)
+	for i := range ins {
+		ins[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(5, 2))
+	}
+	results := SolveBatch(ins, AlgNested95, 64)
+	if len(results) != len(ins) {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("instance %d: %v", i, r.Err)
+		}
+		if err := r.Result.Schedule.Validate(ins[i]); err != nil {
+			t.Fatalf("instance %d: %v", i, err)
+		}
+	}
+}
+
+// TestSolveBatchMixedOrder: feasible and infeasible instances
+// interleaved; results must stay aligned with inputs at any worker
+// count.
+func TestSolveBatchMixedOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	bad := func() *Instance {
+		in, err := NewInstance(1, []Job{
+			{Processing: 1, Release: 0, Deadline: 1},
+			{Processing: 1, Release: 0, Deadline: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	var ins []*Instance
+	infeasible := map[int]bool{}
+	for i := 0; i < 9; i++ {
+		if i%3 == 1 {
+			ins = append(ins, bad())
+			infeasible[i] = true
+		} else {
+			ins = append(ins, gen.RandomLaminar(rng, gen.DefaultLaminar(5, 2)))
+		}
+	}
+	for _, workers := range []int{1, 2, 8} {
+		results := SolveBatch(ins, AlgNested95, workers)
+		for i, r := range results {
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			if infeasible[i] {
+				if r.Err == nil {
+					t.Fatalf("workers=%d: instance %d must error", workers, i)
+				}
+				continue
+			}
+			if r.Err != nil {
+				t.Fatalf("workers=%d instance %d: %v", workers, i, r.Err)
+			}
+			if err := r.Result.Schedule.Validate(ins[i]); err != nil {
+				t.Fatalf("workers=%d instance %d: %v", workers, i, err)
+			}
+		}
+	}
+}
+
+// TestSolveBatchCanceled: a pre-canceled context marks every entry
+// with the context error and never blocks.
+func TestSolveBatchCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	ins := make([]*Instance, 6)
+	for i := range ins {
+		ins[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(6, 2))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		results := SolveBatchCtx(ctx, ins, AlgNested95, workers)
+		if len(results) != len(ins) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Fatalf("workers=%d instance %d: err=%v, want context.Canceled", workers, i, r.Err)
+			}
+		}
+	}
+}
+
+// TestSolveCtxCanceled: a pre-canceled context aborts every algorithm
+// immediately with the context error.
+func TestSolveCtxCanceled(t *testing.T) {
+	in, err := NewInstance(2, []Job{{Processing: 2, Release: 0, Deadline: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range Algorithms() {
+		if _, err := SolveCtx(ctx, in, alg); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err=%v, want context.Canceled", alg, err)
+		}
 	}
 }

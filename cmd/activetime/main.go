@@ -9,6 +9,7 @@
 //	activetime -in instance.json -workers 4    # solve independent forests concurrently
 //	activetime -in instance.json -trace t.json # export a chrome://tracing span trace
 //	activetime -in instance.json -compare      # run and cross-check all solvers
+//	activetime -in instance.json -timeout 30s  # abort the solve after 30 seconds
 //
 // Fatal errors are reported as one structured JSON line on stderr
 // ({"tool":"activetime","error":<kind>,"detail":<message>}) with exit
@@ -16,7 +17,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 1, "nested95: worker-pool size for solving independent forests concurrently")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON span trace of the solve to this file (load in chrome://tracing or Perfetto)")
 	outPath := flag.String("out", "", "write the schedule as JSON to this file")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this wall time (0 = unlimited)")
 	flag.Parse()
 
 	if *path == "" {
@@ -69,9 +73,16 @@ func main() {
 		tracer = activetime.NewTracer()
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var res *activetime.Result
 	if activetime.Algorithm(*alg) == activetime.AlgNested95 {
-		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
+		res, err = activetime.SolveNested95Ctx(ctx, in, activetime.SolveOptions{
 			ExactLP:    *exactLP,
 			Minimalize: *minimize,
 			Compact:    *compact,
@@ -79,7 +90,10 @@ func main() {
 			Trace:      tracer,
 		})
 	} else {
-		res, err = activetime.SolveTraced(in, activetime.Algorithm(*alg), tracer)
+		res, err = activetime.SolveTracedCtx(ctx, in, activetime.Algorithm(*alg), tracer)
+	}
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		fatal("timeout", err)
 	}
 	if err != nil {
 		fatal("solve", err)

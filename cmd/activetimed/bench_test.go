@@ -1,0 +1,78 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// benchBody builds one mid-size laminar instance request body (large
+// enough that a solve is meaningfully more expensive than a cache
+// lookup).
+func benchBody(b *testing.B) string {
+	b.Helper()
+	rng := rand.New(rand.NewSource(11))
+	in := gen.RandomLaminar(rng, gen.DefaultLaminar(120, 3))
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return fmt.Sprintf(`{"instance":%s}`, buf.String())
+}
+
+func benchServer(b *testing.B, cfg serverConfig) *httptest.Server {
+	b.Helper()
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ts := httptest.NewServer(newServer(log, cfg).handler())
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+func benchPost(b *testing.B, ts *httptest.Server, body string) {
+	b.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json", strings.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		b.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// BenchmarkSolveCold measures the /solve round trip with the cache
+// disabled: every request runs the full nested95 pipeline.
+func BenchmarkSolveCold(b *testing.B) {
+	ts := benchServer(b, serverConfig{defaultWorkers: 1})
+	body := benchBody(b)
+	benchPost(b, ts, body) // warm the HTTP path itself
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts, body)
+	}
+}
+
+// BenchmarkSolveCacheHit measures the same round trip served from the
+// canonicalization-keyed cache; compare against BenchmarkSolveCold
+// for the hit speedup (recorded in EXPERIMENTS.md).
+func BenchmarkSolveCacheHit(b *testing.B) {
+	ts := benchServer(b, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	body := benchBody(b)
+	benchPost(b, ts, body) // populate the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPost(b, ts, body)
+	}
+}

@@ -12,6 +12,7 @@
 // Usage:
 //
 //	activetimed [-addr 127.0.0.1:8080] [-workers N] [-log json|text] [-port-file PATH]
+//	            [-max-inflight N] [-admission-wait DUR] [-solve-timeout DUR] [-cache-entries N]
 package main
 
 import (
@@ -33,6 +34,10 @@ func main() {
 	workers := flag.Int("workers", 1, "default per-solve worker-pool size for independent forests")
 	logFormat := flag.String("log", "json", "log format: json | text")
 	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening (for smoke tests)")
+	maxInFlight := flag.Int("max-inflight", 16, "maximum concurrently executing solves (0 disables admission control)")
+	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a request waits for an in-flight slot before 429")
+	solveTimeout := flag.Duration("solve-timeout", 0, "per-solve wall-time cap (0 = unlimited); requests can only tighten it")
+	cacheEntries := flag.Int("cache-entries", 256, "solve-result LRU capacity (0 disables caching and coalescing)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -47,7 +52,14 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	srv := newServer(log, *workers)
+	cfg := serverConfig{
+		defaultWorkers: *workers,
+		maxInFlight:    *maxInFlight,
+		admissionWait:  *admissionWait,
+		solveTimeout:   *solveTimeout,
+		cacheEntries:   *cacheEntries,
+	}
+	srv := newServer(log, cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Error("listen", "addr", *addr, "err", err)
@@ -60,7 +72,9 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	log.Info("listening", "addr", bound, "workers", *workers)
+	log.Info("listening", "addr", bound, "workers", *workers,
+		"max_inflight", *maxInFlight, "solve_timeout", solveTimeout.String(),
+		"cache_entries", *cacheEntries)
 
 	hs := &http.Server{Handler: srv.handler()}
 	errCh := make(chan error, 1)

@@ -2,9 +2,11 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -14,6 +16,7 @@ import (
 	activetime "repro"
 	"repro/internal/instance"
 	"repro/internal/metrics"
+	"repro/internal/solvecache"
 	"repro/internal/trace"
 )
 
@@ -21,24 +24,68 @@ import (
 // 8 MiB leaves room for very large job sets).
 const maxRequestBody = 8 << 20
 
+// serverConfig tunes the service's request path; defaultServerConfig
+// gives the production defaults, tests override individual knobs.
+type serverConfig struct {
+	// defaultWorkers is the per-solve forest worker-pool size used
+	// when the request does not specify one.
+	defaultWorkers int
+	// maxInFlight bounds concurrently executing solves; ≤ 0 disables
+	// admission control.
+	maxInFlight int
+	// admissionWait is how long a request waits for an in-flight slot
+	// before being shed with 429.
+	admissionWait time.Duration
+	// solveTimeout caps each solve's wall time (0 = unlimited);
+	// requests may only tighten it via timeout_ms.
+	solveTimeout time.Duration
+	// cacheEntries sizes the canonicalized solve-result LRU; ≤ 0
+	// disables caching and coalescing.
+	cacheEntries int
+}
+
+func defaultServerConfig(workers int) serverConfig {
+	return serverConfig{
+		defaultWorkers: workers,
+		maxInFlight:    16,
+		admissionWait:  100 * time.Millisecond,
+		solveTimeout:   0,
+		cacheEntries:   256,
+	}
+}
+
 // server is the long-running solver service: request handling,
 // structured logs, and the process-lifetime metrics registry behind
 // /metrics.
 type server struct {
-	reg            *metrics.Registry
-	log            *slog.Logger
-	defaultWorkers int
-	reqSeq         atomic.Int64
+	reg    *metrics.Registry
+	log    *slog.Logger
+	cfg    serverConfig
+	sem    chan struct{} // in-flight slots; nil when unlimited
+	cache  *solvecache.Group[*activetime.Result]
+	reqSeq atomic.Int64
+
+	// testHookBeforeSolve, when non-nil, runs at the head of every
+	// solve execution with the solve's context. Tests use it to hold a
+	// solve in flight deterministically; production leaves it nil.
+	testHookBeforeSolve func(context.Context)
 }
 
-func newServer(log *slog.Logger, defaultWorkers int) *server {
+func newServer(log *slog.Logger, cfg serverConfig) *server {
 	if log == nil {
 		log = slog.Default()
 	}
-	if defaultWorkers < 1 {
-		defaultWorkers = 1
+	if cfg.defaultWorkers < 1 {
+		cfg.defaultWorkers = 1
 	}
-	return &server{reg: metrics.NewRegistry(), log: log, defaultWorkers: defaultWorkers}
+	s := &server{reg: metrics.NewRegistry(), log: log, cfg: cfg}
+	if cfg.maxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.maxInFlight)
+	}
+	if cfg.cacheEntries > 0 {
+		s.cache = solvecache.NewGroup[*activetime.Result](cfg.cacheEntries)
+	}
+	return s
 }
 
 // handler returns the service mux: /solve, /healthz, /metrics and the
@@ -58,6 +105,7 @@ func (s *server) handler() http.Handler {
 
 // solveRequest is the /solve request body. Instance uses the same
 // JSON shape as the CLI instance files: {"g": 2, "jobs": [{"p","r","d"}]}.
+// Unknown fields anywhere in the body are rejected with 400.
 type solveRequest struct {
 	Instance json.RawMessage `json:"instance"`
 	// Algorithm defaults to nested95.
@@ -67,25 +115,32 @@ type solveRequest struct {
 	Minimalize bool `json:"minimalize,omitempty"`
 	Compact    bool `json:"compact,omitempty"`
 	Workers    int  `json:"workers,omitempty"`
+	// TimeoutMS caps this solve's wall time in milliseconds; it can
+	// only tighten the server's -solve-timeout, never extend it.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// IncludeSchedule returns the full schedule in the response.
 	IncludeSchedule bool `json:"include_schedule,omitempty"`
 	// IncludeTrace runs the solve under a request-scoped span tracer
-	// and returns the Chrome trace-event JSON inline.
+	// and returns the Chrome trace-event JSON inline. Traced requests
+	// bypass the solve cache.
 	IncludeTrace bool `json:"include_trace,omitempty"`
 }
 
 // solveResponse is the /solve response body.
 type solveResponse struct {
-	RequestID      string             `json:"request_id"`
-	Algorithm      string             `json:"algorithm"`
-	Jobs           int                `json:"jobs"`
-	ActiveSlots    int64              `json:"active_slots"`
-	LPBound        float64            `json:"lp_bound,omitempty"`
-	CertifiedRatio float64            `json:"certified_ratio,omitempty"`
-	ElapsedMS      float64            `json:"elapsed_ms"`
-	Stats          *metrics.Stats     `json:"stats,omitempty"`
-	Schedule       json.RawMessage    `json:"schedule,omitempty"`
-	Trace          *trace.ChromeTrace `json:"trace,omitempty"`
+	RequestID      string  `json:"request_id"`
+	Algorithm      string  `json:"algorithm"`
+	Jobs           int     `json:"jobs"`
+	ActiveSlots    int64   `json:"active_slots"`
+	LPBound        float64 `json:"lp_bound,omitempty"`
+	CertifiedRatio float64 `json:"certified_ratio,omitempty"`
+	ElapsedMS      float64 `json:"elapsed_ms"`
+	// Cached marks a response served from the solve cache; Stats then
+	// describe the original solve that populated the entry.
+	Cached   bool               `json:"cached,omitempty"`
+	Stats    *metrics.Stats     `json:"stats,omitempty"`
+	Schedule json.RawMessage    `json:"schedule,omitempty"`
+	Trace    *trace.ChromeTrace `json:"trace,omitempty"`
 }
 
 // errorResponse is the uniform error body for every non-2xx outcome.
@@ -107,6 +162,47 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// decodeSolveRequest parses the request body strictly: the size limit
+// maps to 413, unknown fields and malformed JSON to 400, and any
+// bytes after the JSON object (beyond whitespace) to 400 — a request
+// like {"instance":…}{"junk":1} used to silently drop the second
+// object.
+func (s *server) decodeSolveRequest(w http.ResponseWriter, r *http.Request, req *solveRequest) (status int, msg string) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, "decode request: " + err.Error()
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)
+		}
+		return http.StatusBadRequest, "trailing data after JSON request body"
+	}
+	return http.StatusOK, ""
+}
+
+// solveStatus maps a solve error to its HTTP status: cancellation
+// (deadline, client disconnect) is 503, invalid input 400, everything
+// else (infeasible, unknown algorithm, non-nested windows) 422.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, instance.ErrInvalid):
+		return http.StatusBadRequest
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
@@ -117,10 +213,9 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req solveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-	if err := dec.Decode(&req); err != nil {
-		log.Warn("solve rejected", "reason", "bad_json", "err", err)
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "decode request: " + err.Error()})
+	if status, msg := s.decodeSolveRequest(w, r, &req); status != http.StatusOK {
+		log.Warn("solve rejected", "reason", "bad_body", "status", status, "err", msg)
+		s.writeJSON(w, status, errorResponse{reqID, msg})
 		return
 	}
 	if len(req.Instance) == 0 {
@@ -141,41 +236,120 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	workers := req.Workers
 	if workers < 1 {
-		workers = s.defaultWorkers
+		workers = s.cfg.defaultWorkers
 	}
 	var tr *trace.Tracer
 	if req.IncludeTrace {
 		tr = trace.New()
 	}
+
+	// The request context carries client disconnects; layer the solve
+	// deadline on top. timeout_ms can only tighten -solve-timeout.
+	ctx := r.Context()
+	timeout := s.cfg.solveTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Admission control: take an in-flight slot, waiting briefly for
+	// one to free up before shedding.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			wait := time.NewTimer(s.cfg.admissionWait)
+			select {
+			case s.sem <- struct{}{}:
+				wait.Stop()
+			case <-wait.C:
+				s.reg.AdmissionShed()
+				log.Warn("solve rejected", "reason", "saturated", "max_inflight", s.cfg.maxInFlight)
+				w.Header().Set("Retry-After", "1")
+				s.writeJSON(w, http.StatusTooManyRequests,
+					errorResponse{reqID, "server saturated: too many solves in flight"})
+				return
+			case <-ctx.Done():
+				wait.Stop()
+				s.reg.SolveTimedOut()
+				log.Warn("solve canceled", "reason", "ctx_during_admission", "err", ctx.Err())
+				s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{reqID, ctx.Err().Error()})
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+	}
+
 	log.Info("solve start", "algorithm", string(alg), "jobs", in.N(), "g", in.G, "workers", workers)
 
-	s.reg.SolveStarted()
+	// runSolve executes one real solve under the given context (the
+	// request's, or — when coalesced behind the cache — a flight
+	// context detached from any single request) and folds its outcome
+	// into the registry.
+	runSolve := func(ctx context.Context) (*activetime.Result, error) {
+		s.reg.SolveStarted()
+		if h := s.testHookBeforeSolve; h != nil {
+			h(ctx)
+		}
+		start := time.Now()
+		var res *activetime.Result
+		var err error
+		if alg == activetime.AlgNested95 {
+			res, err = activetime.SolveNested95Ctx(ctx, in, activetime.SolveOptions{
+				ExactLP:    req.ExactLP,
+				Minimalize: req.Minimalize,
+				Compact:    req.Compact,
+				Workers:    workers,
+				Trace:      tr,
+			})
+		} else {
+			res, err = activetime.SolveTracedCtx(ctx, in, alg, tr)
+		}
+		var stats *metrics.Stats
+		if res != nil {
+			stats = res.Stats
+		}
+		s.reg.ObserveSolve(stats, time.Since(start), err)
+		return res, err
+	}
+
 	start := time.Now()
 	var res *activetime.Result
-	if alg == activetime.AlgNested95 {
-		res, err = activetime.SolveNested95(in, activetime.SolveOptions{
-			ExactLP:    req.ExactLP,
-			Minimalize: req.Minimalize,
-			Compact:    req.Compact,
-			Workers:    workers,
-			Trace:      tr,
-		})
+	cached := false
+	if s.cache != nil && !req.IncludeTrace {
+		// The key canonicalizes the instance (job order and IDs do not
+		// matter) plus everything that changes the result; the worker
+		// count does not (results are identical at any parallelism).
+		key := solvecache.KeyFor(in, string(alg), req.ExactLP, req.Minimalize, req.Compact)
+		var outcome solvecache.Outcome
+		res, outcome, err = s.cache.Do(ctx, key, runSolve)
+		switch outcome {
+		case solvecache.Hit:
+			s.reg.CacheHit()
+			cached = true
+		case solvecache.Miss:
+			s.reg.CacheMiss()
+		case solvecache.Coalesced:
+			s.reg.CacheCoalesced()
+		}
 	} else {
-		res, err = activetime.SolveTraced(in, alg, tr)
+		res, err = runSolve(ctx)
 	}
 	elapsed := time.Since(start)
-	var stats *metrics.Stats
-	if res != nil {
-		stats = res.Stats
-	}
-	s.reg.ObserveSolve(stats, elapsed, err)
 
 	if err != nil {
-		status := http.StatusUnprocessableEntity
-		if errors.Is(err, instance.ErrInvalid) {
-			status = http.StatusBadRequest
+		status := solveStatus(err)
+		if status == http.StatusServiceUnavailable {
+			s.reg.SolveTimedOut()
 		}
-		log.Warn("solve failed", "err", err, "elapsed_ms", float64(elapsed.Microseconds())/1e3)
+		log.Warn("solve failed", "err", err, "status", status,
+			"elapsed_ms", float64(elapsed.Microseconds())/1e3)
 		s.writeJSON(w, status, errorResponse{reqID, err.Error()})
 		return
 	}
@@ -188,6 +362,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		LPBound:        res.LPLowerBound,
 		CertifiedRatio: res.CertifiedRatio,
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		Cached:         cached,
 		Stats:          res.Stats,
 	}
 	if req.IncludeSchedule {
@@ -205,6 +380,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	log.Info("solve done",
 		"algorithm", string(res.Algorithm),
 		"active_slots", res.ActiveSlots,
+		"cached", cached,
 		"elapsed_ms", out.ElapsedMS)
 	s.writeJSON(w, http.StatusOK, out)
 }

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/instance"
+	"repro/internal/solvecache"
+)
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSolveRejectsOversizedBody: a body over maxRequestBody must be
+// 413, not a generic 400 (regression: MaxBytesError used to be folded
+// into the catch-all decode error).
+func TestSolveRejectsOversizedBody(t *testing.T) {
+	_, ts, _ := testServer(t)
+	// Leading whitespace is valid JSON padding, so the decoder keeps
+	// reading until the MaxBytesReader trips.
+	body := strings.Repeat(" ", maxRequestBody) + `{"instance":` + smallInstance + `}`
+	resp, data := postSolve(t, ts, body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" || e.RequestID == "" {
+		t.Fatalf("413 body malformed: %s", data)
+	}
+}
+
+// TestSolveRejectsTrailingGarbage: bytes after the JSON object are an
+// error (regression: a second concatenated object used to be silently
+// ignored). Trailing whitespace stays legal.
+func TestSolveRejectsTrailingGarbage(t *testing.T) {
+	_, ts, _ := testServer(t)
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}{"junk":1}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("trailing object: status %d, want 400: %s", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte("trailing")) {
+		t.Fatalf("error should mention trailing data: %s", data)
+	}
+	resp, data = postSolve(t, ts, `{"instance":`+smallInstance+`}`+"  \n\t")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trailing whitespace: status %d, want 200: %s", resp.StatusCode, data)
+	}
+}
+
+// TestSolveRejectsUnknownFields: typo'd request or instance fields
+// are 400 at both decode layers (regression: both decoders used to
+// drop unknown keys, so "algorthm" silently ran the default solver).
+func TestSolveRejectsUnknownFields(t *testing.T) {
+	_, ts, _ := testServer(t)
+	for name, body := range map[string]string{
+		"request layer":  `{"instance":` + smallInstance + `,"algorthm":"exact"}`,
+		"instance layer": `{"instance":{"g":2,"jbs":[{"p":1,"r":0,"d":2}]}}`,
+		"job layer":      `{"instance":{"g":2,"jobs":[{"p":1,"r":0,"d":2,"procesing":9}]}}`,
+	} {
+		resp, data := postSolve(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestAdmissionSaturation: with a single in-flight slot held, the
+// next request is shed with 429 + Retry-After and counted.
+func TestAdmissionSaturation(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{
+		defaultWorkers: 1,
+		maxInFlight:    1,
+		admissionWait:  5 * time.Millisecond,
+	})
+	release := make(chan struct{})
+	s.testHookBeforeSolve = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	defer close(release)
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+		first <- resp.StatusCode
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 1 }, "first solve in flight")
+
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After = %q, want \"1\"", got)
+	}
+	if got := s.reg.Shed(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+
+	release <- struct{}{}
+	if code := <-first; code != http.StatusOK {
+		t.Fatalf("held request finished with %d", code)
+	}
+	if got := s.reg.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after drain", got)
+	}
+}
+
+// TestSolveTimeout503: a request-level timeout_ms aborts the solve
+// with 503, counts a timeout, and the solve goroutine exits (the
+// in-flight gauge returns to zero — no leak).
+func TestSolveTimeout503(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{
+		defaultWorkers: 1,
+		cacheEntries:   8, // exercise the detached-flight path
+	})
+	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
+
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`,"timeout_ms":30}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, data)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+		t.Fatalf("503 body malformed: %s", data)
+	}
+	if got := s.reg.Timeouts(); got < 1 {
+		t.Fatalf("Timeouts = %d, want ≥ 1", got)
+	}
+	// The flight keeps running until its detached context fires; it
+	// must then unwind promptly.
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
+}
+
+// TestServerSolveTimeout: the -solve-timeout server cap applies even
+// when the request asks for no deadline.
+func TestServerSolveTimeout(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{
+		defaultWorkers: 1,
+		solveTimeout:   30 * time.Millisecond,
+	})
+	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, data)
+	}
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
+}
+
+// TestClientDisconnectFreesSolve: when the client goes away
+// mid-solve, the solve is canceled and its goroutine exits.
+func TestClientDisconnectFreesSolve(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1})
+	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve",
+		strings.NewReader(`{"instance":`+smallInstance+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		done <- err
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 1 }, "solve in flight")
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("client request should have been canceled")
+	}
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
+	if got := s.reg.Timeouts(); got < 1 {
+		t.Fatalf("Timeouts = %d, want ≥ 1", got)
+	}
+}
+
+// TestSolveCacheHit: a repeat of the same instance — even permuted —
+// is served from the cache without a second solve, and cache hits can
+// still return the schedule.
+func TestSolveCacheHit(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 2, cacheEntries: 8})
+
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold solve: status %d: %s", resp.StatusCode, data)
+	}
+	var cold solveResponse
+	if err := json.Unmarshal(data, &cold); err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Fatal("cold solve marked cached")
+	}
+
+	// Same jobs, permuted order, schedule requested.
+	permuted := `{"g":2,"jobs":[{"p":2,"r":3,"d":6},{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}`
+	resp, data = postSolve(t, ts, `{"instance":`+permuted+`,"include_schedule":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm solve: status %d: %s", resp.StatusCode, data)
+	}
+	var warm solveResponse
+	if err := json.Unmarshal(data, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Fatal("permuted repeat not served from cache")
+	}
+	if warm.ActiveSlots != cold.ActiveSlots {
+		t.Fatalf("cached objective %d != original %d", warm.ActiveSlots, cold.ActiveSlots)
+	}
+	if len(warm.Schedule) == 0 || !bytes.Contains(warm.Schedule, []byte(`"slots"`)) {
+		t.Fatalf("cache hit with include_schedule returned no schedule: %s", warm.Schedule)
+	}
+	if got := s.reg.Solves(); got != 1 {
+		t.Fatalf("Solves = %d, want 1 (hit must not re-solve)", got)
+	}
+	if s.reg.CacheHits() != 1 || s.reg.CacheMisses() != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", s.reg.CacheHits(), s.reg.CacheMisses())
+	}
+
+	// Different options must not share the entry.
+	resp, data = postSolve(t, ts, `{"instance":`+smallInstance+`,"minimalize":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("options solve: status %d: %s", resp.StatusCode, data)
+	}
+	var opt solveResponse
+	if err := json.Unmarshal(data, &opt); err != nil {
+		t.Fatal(err)
+	}
+	if opt.Cached {
+		t.Fatal("different options served from cache")
+	}
+	if got := s.reg.Solves(); got != 2 {
+		t.Fatalf("Solves = %d, want 2", got)
+	}
+}
+
+// TestSolveCacheCoalesce: two concurrent requests for the same
+// canonical instance share one solve; the joiner is counted as
+// coalesced.
+func TestSolveCacheCoalesce(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	release := make(chan struct{})
+	s.testHookBeforeSolve = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+
+	in, err := instance.ReadJSON(strings.NewReader(smallInstance))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := solvecache.KeyFor(in, "nested95", false, false, false)
+
+	codes := make(chan int, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, _ := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+			codes <- resp.StatusCode
+		}()
+		// Leader first, then the joiner attaches to the same flight.
+		want := i + 1
+		waitUntil(t, 5*time.Second, func() bool { return s.cache.WaitersFor(key) == want }, "flight waiters")
+	}
+	close(release)
+	for i := 0; i < 2; i++ {
+		if code := <-codes; code != http.StatusOK {
+			t.Fatalf("request finished with %d", code)
+		}
+	}
+	if got := s.reg.Solves(); got != 1 {
+		t.Fatalf("Solves = %d, want 1 (coalesced requests share one solve)", got)
+	}
+	if got := s.reg.CacheCoalescedCount(); got != 1 {
+		t.Fatalf("CacheCoalescedCount = %d, want 1", got)
+	}
+	if s.reg.CacheMisses() != 1 {
+		t.Fatalf("CacheMisses = %d, want 1", s.reg.CacheMisses())
+	}
+}
+
+// TestTraceBypassesCache: include_trace responses are solved fresh
+// even when an identical instance is cached.
+func TestTraceBypassesCache(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	if resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`,"include_trace":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out solveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Fatal("traced request served from cache")
+	}
+	if out.Trace == nil || len(out.Trace.TraceEvents) == 0 {
+		t.Fatal("traced request returned no trace")
+	}
+	if got := s.reg.Solves(); got != 2 {
+		t.Fatalf("Solves = %d, want 2", got)
+	}
+}

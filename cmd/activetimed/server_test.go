@@ -19,10 +19,17 @@ import (
 )
 
 func testServer(t *testing.T) (*server, *httptest.Server, *bytes.Buffer) {
+	// Cache and admission control off: the base tests (including the
+	// registry-consistency hammer, which replays identical bodies and
+	// sums per-request stats) need every request to run a real solve.
+	return testServerCfg(t, serverConfig{defaultWorkers: 2})
+}
+
+func testServerCfg(t *testing.T, cfg serverConfig) (*server, *httptest.Server, *bytes.Buffer) {
 	t.Helper()
 	var logBuf bytes.Buffer
 	log := slog.New(slog.NewJSONHandler(&syncWriter{w: &logBuf}, nil))
-	s := newServer(log, 2)
+	s := newServer(log, cfg)
 	ts := httptest.NewServer(s.handler())
 	t.Cleanup(ts.Close)
 	return s, ts, &logBuf

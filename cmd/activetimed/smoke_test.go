@@ -70,7 +70,45 @@ func TestServeSmoke(t *testing.T) {
 	if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
 		t.Fatalf("healthz body: %s", body)
 	}
-	validateExposition(t, get("/metrics"))
+
+	// Solve the same instance twice over real HTTP: the second request
+	// must be served from the canonicalization-keyed cache.
+	post := func() string {
+		resp, err := http.Post("http://"+addr+"/solve", "application/json",
+			strings.NewReader(`{"instance":{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}}`))
+		if err != nil {
+			t.Fatalf("POST /solve: %v\nlogs:\n%s", err, logs.String())
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /solve: status %d: %s", resp.StatusCode, body)
+		}
+		return string(body)
+	}
+	if body := post(); strings.Contains(body, `"cached":true`) {
+		t.Fatalf("cold solve claims to be cached: %s", body)
+	}
+	if body := post(); !strings.Contains(body, `"cached":true`) {
+		t.Fatalf("warm solve not served from cache: %s", body)
+	}
+
+	metricsBody := get("/metrics")
+	validateExposition(t, metricsBody)
+	for _, want := range []string{
+		"activetime_cache_hits_total 1",
+		"activetime_cache_misses_total 1",
+		"activetime_solves_total 1", // the hit did not re-solve
+		"activetime_admission_shed_total 0",
+		"activetime_solve_timeouts_total 0",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
 
 	// Clean shutdown on SIGTERM.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
@@ -121,6 +159,11 @@ func validateExposition(t *testing.T, body string) {
 		"activetime_stage_seconds_total":    "counter",
 		"activetime_ops_total":              "counter",
 		"activetime_solve_duration_seconds": "histogram",
+		"activetime_admission_shed_total":   "counter",
+		"activetime_solve_timeouts_total":   "counter",
+		"activetime_cache_hits_total":       "counter",
+		"activetime_cache_misses_total":     "counter",
+		"activetime_cache_coalesced_total":  "counter",
 	} {
 		if types[name] != typ {
 			t.Errorf("metric %s: type %q, want %q", name, types[name], typ)

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -123,6 +124,20 @@ func Solve(in *instance.Instance) (*sched.Schedule, Report, error) {
 // opts.Workers > 1; component schedules are merged in component order,
 // so the output is deterministic at any worker count.
 func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
+	return SolveContext(context.Background(), in, opts)
+}
+
+// SolveContext is SolveWithOptions with cooperative cancellation: ctx
+// is checked between pipeline stages, before each forest solve, and
+// inside the float-simplex pivot loop and every Dinic BFS phase, so a
+// canceled or expired context stops the solve promptly. The returned
+// error then wraps ctx.Err() (matchable with errors.Is against
+// context.Canceled / context.DeadlineExceeded). A nil ctx behaves
+// like context.Background().
+func SolveContext(ctx context.Context, in *instance.Instance, opts Options) (*sched.Schedule, Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, Report{}, err
 	}
@@ -150,12 +165,18 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 	}
 	results := make([]compResult, len(comps))
 	solveOne := func(ci, worker int) {
+		// Per-forest cancellation check: a canceled context stops the
+		// pool from starting new forest solves.
+		if err := ctx.Err(); err != nil {
+			results[ci] = compResult{err: err}
+			return
+		}
 		fsp := root.StartLane("forest_solve",
 			trace.Int("component", int64(ci)),
 			trace.Int("worker", int64(worker)),
 			trace.Int("jobs", int64(comps[ci].N())))
 		start := time.Now()
-		s, rep, err := solveComponent(comps[ci], opts, rec, fsp)
+		s, rep, err := solveComponent(ctx, comps[ci], opts, rec, fsp)
 		rec.ForestSolveNS.Observe(int64(time.Since(start)))
 		rec.ForestsSolved.Inc()
 		fsp.End()
@@ -191,6 +212,9 @@ func SolveWithOptions(in *instance.Instance, opts Options) (*sched.Schedule, Rep
 		wg.Wait()
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
 	for ci, res := range results {
 		if res.err != nil {
 			return nil, Report{}, fmt.Errorf("core: component %d: %w", ci, res.err)
@@ -228,8 +252,10 @@ func startStage(rec *metrics.Recorder, parent *trace.Span, st metrics.Stage) (*t
 // solveComponent runs the pipeline on one connected component,
 // reporting per-stage wall time and operation counts to rec (which
 // may be shared with other components solving concurrently) and
-// per-stage spans under the component's forest span fsp.
-func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, fsp *trace.Span) (*sched.Schedule, Report, error) {
+// per-stage spans under the component's forest span fsp. ctx is
+// checked between stages (and inside the LP and flow sub-solvers), so
+// cancellation interrupts a long component solve mid-pipeline.
+func solveComponent(ctx context.Context, in *instance.Instance, opts Options, rec *metrics.Recorder, fsp *trace.Span) (*sched.Schedule, Report, error) {
 	rec = metrics.OrNop(rec)
 
 	_, stop := startStage(rec, fsp, metrics.StageTreeBuild)
@@ -244,6 +270,9 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	if err != nil {
 		return nil, Report{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
 
 	// Feasibility gate: everything open must work.
 	_, stop = startStage(rec, fsp, metrics.StageFeasGate)
@@ -251,8 +280,11 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	for i := range full {
 		full[i] = tree.Nodes[i].L
 	}
-	ok := flowfeas.CheckNodeCountsRec(tree, full, rec)
+	ok, err := flowfeas.CheckNodeCountsCtx(ctx, tree, full, rec)
 	stop()
+	if err != nil {
+		return nil, Report{}, err
+	}
 	if !ok {
 		return nil, Report{}, fmt.Errorf("infeasible instance")
 	}
@@ -261,9 +293,13 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	model := nestlp.NewModel(tree)
 	model.SetRecorder(rec)
 	stop()
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
 
 	lpSpan, stop := startStage(rec, fsp, metrics.StageLPSolve)
 	model.SetTraceSpan(lpSpan)
+	model.SetContext(ctx)
 	var sol *nestlp.Solution
 	if opts.ExactLP {
 		sol, err = model.SolveExact()
@@ -272,6 +308,9 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	}
 	stop()
 	if err != nil {
+		return nil, Report{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, Report{}, err
 	}
 	lpValue := sol.Objective
@@ -284,6 +323,9 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	_, stop = startStage(rec, fsp, metrics.StageRound)
 	counts := Round(tree, sol, I)
 	stop()
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
 
 	rep := Report{LPValue: lpValue}
 	for _, c := range counts {
@@ -293,12 +335,18 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 	// Theorem 4.5 guarantees feasibility; verify and repair if
 	// floating-point noise ever broke it.
 	_, stop = startStage(rec, fsp, metrics.StageFeasCheck)
-	ok = flowfeas.CheckNodeCountsRec(tree, counts, rec)
+	ok, err = flowfeas.CheckNodeCountsCtx(ctx, tree, counts, rec)
 	stop()
+	if err != nil {
+		return nil, Report{}, err
+	}
 	if !ok {
 		_, stop = startStage(rec, fsp, metrics.StageRepair)
-		added, ok := repair(tree, counts, rec)
+		added, ok, err := repair(ctx, tree, counts, rec)
 		stop()
+		if err != nil {
+			return nil, Report{}, err
+		}
 		if !ok {
 			return nil, Report{}, fmt.Errorf("internal: repair failed")
 		}
@@ -313,16 +361,22 @@ func solveComponent(in *instance.Instance, opts Options, rec *metrics.Recorder, 
 		rep.Minimalized = removed
 		rep.RoundedSlots -= removed
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, Report{}, err
+	}
 
 	_, stop = startStage(rec, fsp, metrics.StagePlace)
 	var s *sched.Schedule
 	if opts.Compact {
 		_, s, err = PlaceCompact(tree, counts)
 	} else {
-		s, err = flowfeas.ScheduleOnNodeCountsRec(tree, counts, rec)
+		s, err = flowfeas.ScheduleOnNodeCountsCtx(ctx, tree, counts, rec)
 	}
 	stop()
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, Report{}, cerr
+		}
 		return nil, Report{}, fmt.Errorf("internal: %w", err)
 	}
 	rep.ActiveSlots = s.NumActive()
@@ -424,12 +478,17 @@ func ancestorsOf(t *lamtree.Tree, I []int) []int {
 }
 
 // repair opens additional slots until the count vector becomes
-// feasible. It exists purely as a numeric safety net; the paper's
-// Theorem 4.5 makes it unreachable with an exact LP solution.
-func repair(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (added int64, ok bool) {
+// feasible, checking ctx once per flow re-check. It exists purely as a
+// numeric safety net; the paper's Theorem 4.5 makes it unreachable
+// with an exact LP solution.
+func repair(ctx context.Context, t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (added int64, ok bool, err error) {
 	for {
-		if flowfeas.CheckNodeCountsRec(t, counts, rec) {
-			return added, true
+		feasible, err := flowfeas.CheckNodeCountsCtx(ctx, t, counts, rec)
+		if err != nil {
+			return added, false, err
+		}
+		if feasible {
+			return added, true, nil
 		}
 		progressed := false
 		for i := 0; i < t.M(); i++ {
@@ -441,7 +500,7 @@ func repair(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (added int64
 			}
 		}
 		if !progressed {
-			return added, false
+			return added, false, nil
 		}
 	}
 }

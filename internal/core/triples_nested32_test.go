@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -191,7 +192,10 @@ func TestRepairAddsSlots(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := make([]int64, tree.M()) // all closed: infeasible
-	added, ok := repair(tree, counts, nil)
+	added, ok, err := repair(context.Background(), tree, counts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("repair must succeed on a feasible instance")
 	}

@@ -7,6 +7,7 @@
 package flowfeas
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -108,8 +109,19 @@ func CheckNodeCounts(t *lamtree.Tree, counts []int64) bool {
 // CheckNodeCountsRec is CheckNodeCounts reporting max-flow operation
 // counts to rec (nil disables reporting).
 func CheckNodeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) bool {
-	_, ok := runNodeFlow(t, counts, rec)
+	ok, _ := CheckNodeCountsCtx(context.Background(), t, counts, rec)
 	return ok
+}
+
+// CheckNodeCountsCtx is CheckNodeCountsRec with cooperative
+// cancellation threaded into the underlying max-flow run; a canceled
+// context surfaces as a non-nil error (never as "infeasible").
+func CheckNodeCountsCtx(ctx context.Context, t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (bool, error) {
+	_, ok, err := runNodeFlow(ctx, t, counts, rec)
+	if err != nil {
+		return false, err
+	}
+	return ok, nil
 }
 
 // ScheduleOnNodeCounts builds a concrete schedule from per-node open
@@ -122,7 +134,16 @@ func ScheduleOnNodeCounts(t *lamtree.Tree, counts []int64) (*sched.Schedule, err
 // ScheduleOnNodeCountsRec is ScheduleOnNodeCounts reporting max-flow
 // operation counts to rec (nil disables reporting).
 func ScheduleOnNodeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*sched.Schedule, error) {
-	net, ok := runNodeFlow(t, counts, rec)
+	return ScheduleOnNodeCountsCtx(context.Background(), t, counts, rec)
+}
+
+// ScheduleOnNodeCountsCtx is ScheduleOnNodeCountsRec with cooperative
+// cancellation threaded into the underlying max-flow run.
+func ScheduleOnNodeCountsCtx(ctx context.Context, t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*sched.Schedule, error) {
+	net, ok, err := runNodeFlow(ctx, t, counts, rec)
+	if err != nil {
+		return nil, err
+	}
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: node counts infeasible")
 	}
@@ -157,7 +178,7 @@ type nodeNet struct {
 // runNodeFlow builds and runs the node-indexed network:
 // source -> job (p_j), job -> node in Des(k(j)) (counts), node -> sink
 // (g*counts).
-func runNodeFlow(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*nodeNet, bool) {
+func runNodeFlow(ctx context.Context, t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*nodeNet, bool, error) {
 	m := t.M()
 	if len(counts) != m {
 		panic(fmt.Sprintf("flowfeas: counts length %d != m=%d", len(counts), m))
@@ -195,8 +216,11 @@ func runNodeFlow(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (*nodeN
 			net.jobNodes[jID] = append(net.jobNodes[jID], d)
 		}
 	}
-	got := g.Run(src, snk)
-	return net, got == want
+	got, err := g.RunCtx(ctx, src, snk)
+	if err != nil {
+		return net, false, err
+	}
+	return net, got == want, nil
 }
 
 func dedupSorted(open []int64) []int64 {

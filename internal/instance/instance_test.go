@@ -2,6 +2,7 @@ package instance
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -194,5 +195,25 @@ func TestClone(t *testing.T) {
 	cp.Jobs[0].Processing = 99
 	if in.Jobs[0].Processing != 1 {
 		t.Fatal("Clone must deep-copy jobs")
+	}
+}
+
+// TestReadJSONRejectsUnknownFields: a typo'd field name must be an
+// ErrInvalid error, not a silently dropped key (regression: unknown
+// fields used to be ignored, so {"jbs": ...} parsed as the empty
+// instance).
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	for _, body := range []string{
+		`{"g":2,"jbs":[{"p":1,"r":0,"d":2}]}`,
+		`{"g":2,"jobs":[{"p":1,"r":0,"d":2,"procesing":3}]}`,
+		`{"g":2,"jobs":[],"extra":true}`,
+	} {
+		_, err := ReadJSON(strings.NewReader(body))
+		if err == nil {
+			t.Fatalf("unknown field accepted: %s", body)
+		}
+		if !errors.Is(err, ErrInvalid) {
+			t.Fatalf("err=%v, want ErrInvalid for %s", err, body)
+		}
 	}
 }

@@ -30,12 +30,16 @@ func (in *Instance) WriteJSON(w io.Writer) error {
 	return enc.Encode(ff)
 }
 
-// ReadJSON parses an instance from r and validates it.
+// ReadJSON parses an instance from r and validates it. Unknown JSON
+// fields are rejected (wrapped under ErrInvalid) rather than silently
+// dropped: a typo like "procesing" would otherwise validate as a
+// different instance.
 func ReadJSON(r io.Reader) (*Instance, error) {
 	var ff fileFormat
 	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
 	if err := dec.Decode(&ff); err != nil {
-		return nil, fmt.Errorf("instance: decode: %w", err)
+		return nil, fmt.Errorf("%w: decode: %w", ErrInvalid, err)
 	}
 	jobs := make([]Job, len(ff.Jobs))
 	for i, fj := range ff.Jobs {

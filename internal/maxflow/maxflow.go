@@ -6,6 +6,7 @@
 package maxflow
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/metrics"
@@ -110,6 +111,16 @@ func (g *Graph) Reset() {
 // its value. The graph retains the flow so individual edge flows can
 // be read with Flow.
 func (g *Graph) Run(s, t int) int64 {
+	total, _ := g.RunCtx(context.Background(), s, t)
+	return total
+}
+
+// RunCtx is Run with cooperative cancellation: ctx is checked once per
+// BFS phase (the outer Dinic iteration). On cancellation it stops
+// early and returns the flow routed so far together with ctx's error;
+// the graph is left with a valid partial flow. Operation counts cover
+// the work actually performed.
+func (g *Graph) RunCtx(ctx context.Context, s, t int) (int64, error) {
 	if s == t {
 		panic("maxflow: source equals sink")
 	}
@@ -120,8 +131,15 @@ func (g *Graph) Run(s, t int) int64 {
 	}
 	var total int64
 	var bfsRounds, augPaths int64
+	var err error
 	queue := make([]int, 0, n)
-	for g.bfs(s, t, &queue) {
+	for {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		if !g.bfs(s, t, &queue) {
+			break
+		}
 		bfsRounds++
 		for i := 0; i < n; i++ {
 			g.iter[i] = 0
@@ -140,7 +158,7 @@ func (g *Graph) Run(s, t int) int64 {
 		g.rec.DinicBFSRounds.Add(bfsRounds)
 		g.rec.DinicAugPaths.Add(augPaths)
 	}
-	return total
+	return total, err
 }
 
 // bfs builds the level graph; returns false when t is unreachable.

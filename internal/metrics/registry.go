@@ -22,6 +22,12 @@ type Registry struct {
 	errors   atomic.Int64
 	inFlight atomic.Int64
 
+	shed          atomic.Int64
+	timeouts      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	cacheCoalesce atomic.Int64
+
 	stages   [numStages]stageAcc
 	counters [len(counterNames)]atomic.Int64
 
@@ -116,6 +122,39 @@ func (g *Registry) ObserveSolve(stats *Stats, d time.Duration, err error) {
 		}
 	}
 }
+
+// AdmissionShed counts a request rejected by admission control (the
+// in-flight limit was saturated for the whole acquisition wait).
+func (g *Registry) AdmissionShed() { g.shed.Add(1) }
+
+// SolveTimedOut counts a solve aborted by cancellation: the client
+// disconnected or the request/server solve deadline fired.
+func (g *Registry) SolveTimedOut() { g.timeouts.Add(1) }
+
+// CacheHit counts a request answered from the solve cache.
+func (g *Registry) CacheHit() { g.cacheHits.Add(1) }
+
+// CacheMiss counts a request that executed a fresh solve.
+func (g *Registry) CacheMiss() { g.cacheMisses.Add(1) }
+
+// CacheCoalesced counts a request that joined an in-flight solve of
+// the same canonical instance.
+func (g *Registry) CacheCoalesced() { g.cacheCoalesce.Add(1) }
+
+// Shed returns the number of admission-rejected requests.
+func (g *Registry) Shed() int64 { return g.shed.Load() }
+
+// Timeouts returns the number of canceled/timed-out solves.
+func (g *Registry) Timeouts() int64 { return g.timeouts.Load() }
+
+// CacheHits returns the number of cache-served requests.
+func (g *Registry) CacheHits() int64 { return g.cacheHits.Load() }
+
+// CacheMisses returns the number of cache-missed requests.
+func (g *Registry) CacheMisses() int64 { return g.cacheMisses.Load() }
+
+// CacheCoalescedCount returns the number of coalesced requests.
+func (g *Registry) CacheCoalescedCount() int64 { return g.cacheCoalesce.Load() }
 
 // Solves returns the number of completed solves.
 func (g *Registry) Solves() int64 { return g.solves.Load() }
@@ -213,6 +252,26 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	p("# HELP activetime_solves_in_flight Solve requests currently executing.\n")
 	p("# TYPE activetime_solves_in_flight gauge\n")
 	p("activetime_solves_in_flight %d\n", g.inFlight.Load())
+
+	p("# HELP activetime_admission_shed_total Requests rejected because the in-flight limit was saturated.\n")
+	p("# TYPE activetime_admission_shed_total counter\n")
+	p("activetime_admission_shed_total %d\n", g.shed.Load())
+
+	p("# HELP activetime_solve_timeouts_total Solves aborted by deadline or client disconnect.\n")
+	p("# TYPE activetime_solve_timeouts_total counter\n")
+	p("activetime_solve_timeouts_total %d\n", g.timeouts.Load())
+
+	p("# HELP activetime_cache_hits_total Requests served from the solve cache.\n")
+	p("# TYPE activetime_cache_hits_total counter\n")
+	p("activetime_cache_hits_total %d\n", g.cacheHits.Load())
+
+	p("# HELP activetime_cache_misses_total Requests that executed a fresh solve.\n")
+	p("# TYPE activetime_cache_misses_total counter\n")
+	p("activetime_cache_misses_total %d\n", g.cacheMisses.Load())
+
+	p("# HELP activetime_cache_coalesced_total Requests that joined an identical in-flight solve.\n")
+	p("# TYPE activetime_cache_coalesced_total counter\n")
+	p("activetime_cache_coalesced_total %d\n", g.cacheCoalesce.Load())
 
 	p("# HELP activetime_stage_seconds_total Cumulative wall-clock seconds per pipeline stage.\n")
 	p("# TYPE activetime_stage_seconds_total counter\n")

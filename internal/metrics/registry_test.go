@@ -243,3 +243,50 @@ func TestLatencyHistogramBuckets(t *testing.T) {
 		t.Errorf("sum = %g, want ~62.003", sum)
 	}
 }
+
+// TestRegistryServiceCounters: the admission/timeout/cache counters
+// are independent monotone counters, exposed under fixed family names.
+func TestRegistryServiceCounters(t *testing.T) {
+	g := NewRegistry()
+	g.AdmissionShed()
+	g.AdmissionShed()
+	g.SolveTimedOut()
+	g.CacheHit()
+	g.CacheHit()
+	g.CacheHit()
+	g.CacheMiss()
+	g.CacheCoalesced()
+
+	if got := g.Shed(); got != 2 {
+		t.Errorf("Shed = %d, want 2", got)
+	}
+	if got := g.Timeouts(); got != 1 {
+		t.Errorf("Timeouts = %d, want 1", got)
+	}
+	if got := g.CacheHits(); got != 3 {
+		t.Errorf("CacheHits = %d, want 3", got)
+	}
+	if got := g.CacheMisses(); got != 1 {
+		t.Errorf("CacheMisses = %d, want 1", got)
+	}
+	if got := g.CacheCoalescedCount(); got != 1 {
+		t.Errorf("CacheCoalescedCount = %d, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"activetime_admission_shed_total 2",
+		"activetime_solve_timeouts_total 1",
+		"activetime_cache_hits_total 3",
+		"activetime_cache_misses_total 1",
+		"activetime_cache_coalesced_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

@@ -16,6 +16,7 @@
 package nestlp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -56,6 +57,13 @@ func (m *Model) SetRecorder(r *metrics.Recorder) {
 func (m *Model) SetTraceSpan(sp *trace.Span) {
 	m.tsp = sp
 	m.prob.SetTraceSpan(sp)
+}
+
+// SetContext attaches a cancellation context: Solve's float simplex
+// then checks it between pivot iterations and aborts with the
+// context's error when it fires. A nil context disables the checks.
+func (m *Model) SetContext(ctx context.Context) {
+	m.prob.SetContext(ctx)
 }
 
 // Pair is an admissible (node, job) combination.

@@ -13,6 +13,7 @@
 package simplex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -62,7 +63,14 @@ type Problem struct {
 	cons  []constraint
 	rec   *metrics.Recorder
 	tsp   *trace.Span
+	ctx   context.Context
 }
+
+// SetContext attaches a cancellation context; Solve then checks it
+// once every cancelCheckEvery pivot iterations (both phases) and
+// returns the context's error wrapped under ErrCanceled when it fires.
+// A nil context disables the checks.
+func (p *Problem) SetContext(ctx context.Context) { p.ctx = ctx }
 
 // SetRecorder attaches a metrics recorder; each Solve then reports its
 // pivot counts to it. A nil recorder disables reporting.
@@ -106,7 +114,7 @@ func (p *Problem) Add(terms []Term, op Op, rhs float64) {
 // added to the copy do not affect the original. Used by the ILP
 // branch-and-bound to add branching bounds.
 func (p *Problem) Clone() *Problem {
-	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec, tsp: p.tsp}
+	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec, tsp: p.tsp, ctx: p.ctx}
 	copy(cp.c, p.c)
 	cp.cons = make([]constraint, len(p.cons))
 	for i, con := range p.cons {
@@ -132,6 +140,7 @@ const (
 	Infeasible
 	Unbounded
 	IterLimit
+	Canceled
 )
 
 func (s Status) String() string {
@@ -144,6 +153,8 @@ func (s Status) String() string {
 		return "unbounded"
 	case IterLimit:
 		return "iteration-limit"
+	case Canceled:
+		return "canceled"
 	}
 	return "?"
 }
@@ -160,6 +171,7 @@ var (
 	ErrInfeasible = errors.New("simplex: infeasible")
 	ErrUnbounded  = errors.New("simplex: unbounded")
 	ErrIterLimit  = errors.New("simplex: iteration limit exceeded")
+	ErrCanceled   = errors.New("simplex: canceled")
 )
 
 const (
@@ -169,6 +181,9 @@ const (
 	// blandAfter switches to Bland's anti-cycling rule once this many
 	// consecutive pivots fail to improve the objective.
 	blandAfter = 64
+	// cancelCheckEvery bounds how many pivot iterations may pass
+	// between context checks; a power of two keeps the check a mask.
+	cancelCheckEvery = 64
 )
 
 // tableau is the dense simplex tableau. Row 0..m-1 are constraints;
@@ -183,6 +198,9 @@ type tableau struct {
 	// phases, including drive-out pivots); published to the problem's
 	// metrics recorder once per Solve.
 	pivots int64
+	// ctx, when non-nil, cooperatively cancels optimize between pivot
+	// iterations.
+	ctx context.Context
 }
 
 // Solve runs two-phase simplex and returns the optimal solution, or an
@@ -218,6 +236,7 @@ func (p *Problem) Solve() (Solution, error) {
 		a:     make([][]float64, m),
 		rhs:   make([]float64, m),
 		basis: make([]int, m),
+		ctx:   p.ctx,
 	}
 	artCols := make([]int, 0, nArt)
 	slackAt := nStruct
@@ -279,6 +298,9 @@ func (p *Problem) Solve() (Solution, error) {
 		if st == IterLimit {
 			return Solution{Status: IterLimit}, ErrIterLimit
 		}
+		if st == Canceled {
+			return Solution{Status: Canceled}, p.canceledErr()
+		}
 		if val > feasTol {
 			return Solution{Status: Infeasible}, ErrInfeasible
 		}
@@ -301,6 +323,8 @@ func (p *Problem) Solve() (Solution, error) {
 		return Solution{Status: Unbounded}, ErrUnbounded
 	case IterLimit:
 		return Solution{Status: IterLimit}, ErrIterLimit
+	case Canceled:
+		return Solution{Status: Canceled}, p.canceledErr()
 	}
 
 	x := make([]float64, p.nvars)
@@ -310,6 +334,16 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 	}
 	return Solution{Status: Optimal, X: x, Objective: val}, nil
+}
+
+// canceledErr wraps the attached context's error under ErrCanceled so
+// callers can match either errors.Is(err, ErrCanceled) or the
+// context.Canceled / context.DeadlineExceeded sentinel.
+func (p *Problem) canceledErr() error {
+	if p.ctx != nil && p.ctx.Err() != nil {
+		return fmt.Errorf("%w: %w", ErrCanceled, p.ctx.Err())
+	}
+	return ErrCanceled
 }
 
 func flip(op Op) Op {
@@ -347,6 +381,9 @@ func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
 
 	stall := 0
 	for iter := 0; iter < maxIters; iter++ {
+		if t.ctx != nil && iter%cancelCheckEvery == 0 && t.ctx.Err() != nil {
+			return -z, Canceled
+		}
 		bland := stall >= blandAfter
 		enter := -1
 		best := -eps

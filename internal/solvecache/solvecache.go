@@ -1,0 +1,261 @@
+// Package solvecache provides a canonicalization-keyed result cache
+// for solves: a cache key that is invariant under job reordering, a
+// small LRU store, and a singleflight group that coalesces concurrent
+// solves of the same key onto one execution.
+//
+// The singleflight is cancellation-aware: the underlying solve runs
+// under a context detached from any single caller, so one canceled
+// request cannot abort a solve other requests are still waiting on.
+// Only when every waiter has abandoned a flight is its context
+// canceled and the solve interrupted.
+package solvecache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"sync"
+
+	"repro/internal/instance"
+)
+
+// Key is a canonical digest of (instance, algorithm, options). Two
+// instances that differ only by job order map to the same key.
+type Key [sha256.Size]byte
+
+// KeyFor computes the cache key for solving in with the named
+// algorithm and option flags. Jobs are sorted by (release, deadline,
+// processing) and IDs are dropped, so any permutation of the same job
+// multiset yields the same key. The flags must be passed in a fixed
+// order by the caller; flags that do not change the solve's result
+// (e.g. worker count) should be omitted.
+func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
+	jobs := make([]instance.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		if jobs[a].Deadline != jobs[b].Deadline {
+			return jobs[a].Deadline < jobs[b].Deadline
+		}
+		return jobs[a].Processing < jobs[b].Processing
+	})
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	wi(in.G)
+	wi(int64(len(jobs)))
+	for _, j := range jobs {
+		wi(j.Release)
+		wi(j.Deadline)
+		wi(j.Processing)
+	}
+	wi(int64(len(algorithm)))
+	h.Write([]byte(algorithm))
+	for _, f := range flags {
+		if f {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Cache is a fixed-capacity LRU map from Key to V. It is safe for
+// concurrent use. A capacity ≤ 0 disables the cache: Get always
+// misses and Add is a no-op.
+type Cache[V any] struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	entries map[Key]*list.Element
+}
+
+type cacheEntry[V any] struct {
+	key Key
+	val V
+}
+
+// NewCache returns an LRU cache holding at most max entries.
+func NewCache[V any](max int) *Cache[V] {
+	return &Cache[V]{
+		max:     max,
+		ll:      list.New(),
+		entries: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached value for k, refreshing its recency.
+func (c *Cache[V]) Get(k Key) (V, bool) {
+	var zero V
+	if c == nil || c.max <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry[V]).val, true
+}
+
+// Add stores v under k, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache[V]) Add(k Key, v V) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry[V]).val = v
+		return
+	}
+	c.entries[k] = c.ll.PushFront(&cacheEntry[V]{key: k, val: v})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	if c == nil || c.max <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Outcome classifies how Do satisfied a request.
+type Outcome int
+
+const (
+	// Hit: the result came straight from the cache.
+	Hit Outcome = iota
+	// Miss: this call executed the solve.
+	Miss
+	// Coalesced: this call joined a solve already in flight.
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Group combines the LRU cache with singleflight coalescing.
+type Group[V any] struct {
+	cache   *Cache[V]
+	mu      sync.Mutex
+	flights map[Key]*flight[V]
+}
+
+type flight[V any] struct {
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     V
+	err     error
+}
+
+// NewGroup returns a group backed by an LRU of the given capacity
+// (≤ 0 disables result caching but keeps coalescing).
+func NewGroup[V any](cacheEntries int) *Group[V] {
+	return &Group[V]{
+		cache:   NewCache[V](cacheEntries),
+		flights: make(map[Key]*flight[V]),
+	}
+}
+
+// Do returns the value for key k: from the cache when present, by
+// joining an in-flight computation of the same key, or by invoking fn.
+//
+// fn runs on a context detached from ctx, so it outlives the caller
+// that started it while anyone still waits; the detached context is
+// canceled only when every waiter has left. When ctx is done before
+// the flight completes, Do returns ctx.Err() immediately (the flight
+// keeps running for the remaining waiters). Successful results are
+// cached; errors are not.
+func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, error)) (V, Outcome, error) {
+	g.mu.Lock()
+	if v, ok := g.cache.Get(k); ok {
+		g.mu.Unlock()
+		return v, Hit, nil
+	}
+	if f, ok := g.flights[k]; ok {
+		f.waiters++
+		g.mu.Unlock()
+		return g.wait(ctx, f, Coalesced)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	g.flights[k] = f
+	g.mu.Unlock()
+
+	go func() {
+		v, err := fn(fctx)
+		g.mu.Lock()
+		f.val, f.err = v, err
+		delete(g.flights, k)
+		if err == nil {
+			g.cache.Add(k, v)
+		}
+		g.mu.Unlock()
+		close(f.done)
+		cancel()
+	}()
+	return g.wait(ctx, f, Miss)
+}
+
+func (g *Group[V]) wait(ctx context.Context, f *flight[V], o Outcome) (V, Outcome, error) {
+	select {
+	case <-f.done:
+		return f.val, o, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		if f.waiters == 0 {
+			f.cancel()
+		}
+		g.mu.Unlock()
+		var zero V
+		return zero, o, ctx.Err()
+	}
+}
+
+// CacheLen returns the number of entries in the backing cache.
+func (g *Group[V]) CacheLen() int { return g.cache.Len() }
+
+// WaitersFor reports how many callers are attached to the in-flight
+// computation of k (0 when none). Tests use it to sequence coalescing
+// deterministically; it is not part of the steady-state API.
+func (g *Group[V]) WaitersFor(k Key) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[k]; ok {
+		return f.waiters
+	}
+	return 0
+}

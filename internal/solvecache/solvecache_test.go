@@ -1,0 +1,305 @@
+package solvecache
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+func testInstance(t *testing.T) *instance.Instance {
+	t.Helper()
+	in, err := instance.New(2, []instance.Job{
+		{Processing: 2, Release: 0, Deadline: 6},
+		{Processing: 1, Release: 1, Deadline: 3},
+		{Processing: 3, Release: 0, Deadline: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// TestKeyPermutationInvariant: reordering jobs must not change the
+// key — that is the whole point of the canonicalization.
+func TestKeyPermutationInvariant(t *testing.T) {
+	in := testInstance(t)
+	base := KeyFor(in, "nested95", true, false)
+	for _, perm := range [][]int{{1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		if got := KeyFor(in.Permute(perm), "nested95", true, false); got != base {
+			t.Fatalf("perm %v changed the key", perm)
+		}
+	}
+}
+
+// TestKeySensitivity: anything that can change the solve result must
+// change the key.
+func TestKeySensitivity(t *testing.T) {
+	in := testInstance(t)
+	base := KeyFor(in, "nested95", false, false)
+
+	other := in.Clone()
+	other.G = 3
+	if KeyFor(other, "nested95", false, false) == base {
+		t.Fatal("g must affect the key")
+	}
+	other = in.Clone()
+	other.Jobs[0].Processing++
+	if KeyFor(other, "nested95", false, false) == base {
+		t.Fatal("processing must affect the key")
+	}
+	other = in.Clone()
+	other.Jobs = other.Jobs[:2]
+	if KeyFor(other, "nested95", false, false) == base {
+		t.Fatal("job count must affect the key")
+	}
+	if KeyFor(in, "exact", false, false) == base {
+		t.Fatal("algorithm must affect the key")
+	}
+	if KeyFor(in, "nested95", true, false) == base {
+		t.Fatal("option flags must affect the key")
+	}
+}
+
+// TestCacheLRU: the oldest entry is evicted; Get refreshes recency.
+func TestCacheLRU(t *testing.T) {
+	c := NewCache[int](2)
+	k := func(b byte) Key { var k Key; k[0] = b; return k }
+	c.Add(k(1), 1)
+	c.Add(k(2), 2)
+	if _, ok := c.Get(k(1)); !ok { // refresh 1; 2 becomes LRU
+		t.Fatal("entry 1 missing")
+	}
+	c.Add(k(3), 3)
+	if _, ok := c.Get(k(2)); ok {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if v, ok := c.Get(k(1)); !ok || v != 1 {
+		t.Fatalf("entry 1: %v %v", v, ok)
+	}
+	if v, ok := c.Get(k(3)); !ok || v != 3 {
+		t.Fatalf("entry 3: %v %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+// TestCacheDisabled: capacity ≤ 0 never stores anything.
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache[int](0)
+	var k Key
+	c.Add(k, 1)
+	if _, ok := c.Get(k); ok {
+		t.Fatal("disabled cache returned a value")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len=%d", c.Len())
+	}
+}
+
+// TestGroupHitAfterMiss: the second Do of the same key is served from
+// the cache without re-invoking fn.
+func TestGroupHitAfterMiss(t *testing.T) {
+	g := NewGroup[int](4)
+	var calls atomic.Int64
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		return 42, nil
+	}
+	var k Key
+	v, o, err := g.Do(context.Background(), k, fn)
+	if err != nil || v != 42 || o != Miss {
+		t.Fatalf("first Do: v=%d o=%v err=%v", v, o, err)
+	}
+	v, o, err = g.Do(context.Background(), k, fn)
+	if err != nil || v != 42 || o != Hit {
+		t.Fatalf("second Do: v=%d o=%v err=%v", v, o, err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn called %d times", n)
+	}
+}
+
+// TestGroupErrorNotCached: a failed flight must not populate the
+// cache; the next Do re-executes.
+func TestGroupErrorNotCached(t *testing.T) {
+	g := NewGroup[int](4)
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		return 0, boom
+	}
+	var k Key
+	if _, _, err := g.Do(context.Background(), k, fn); !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if _, _, err := g.Do(context.Background(), k, fn); !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn called %d times, want 2", n)
+	}
+	if g.CacheLen() != 0 {
+		t.Fatal("error was cached")
+	}
+}
+
+// TestGroupCoalesce: concurrent Dos of one key run fn exactly once;
+// all callers get the value, one as Miss and the rest as Coalesced.
+func TestGroupCoalesce(t *testing.T) {
+	g := NewGroup[int](4)
+	const waiters = 8
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	fn := func(context.Context) (int, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return 7, nil
+	}
+	var k Key
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	errs := make([]error, waiters)
+	vals := make([]int, waiters)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals[0], outcomes[0], errs[0] = g.Do(context.Background(), k, fn)
+	}()
+	<-started // the leader's flight is registered
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			vals[i], outcomes[i], errs[i] = g.Do(context.Background(), k, fn)
+		}()
+	}
+	// Late joiners must find the in-flight entry, not start their own:
+	// wait until all are registered as waiters before releasing.
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		f, ok := g.flights[k]
+		return ok && f.waiters == waiters
+	})
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn called %d times", n)
+	}
+	nMiss, nCo := 0, 0
+	for i := 0; i < waiters; i++ {
+		if errs[i] != nil || vals[i] != 7 {
+			t.Fatalf("waiter %d: v=%d err=%v", i, vals[i], errs[i])
+		}
+		switch outcomes[i] {
+		case Miss:
+			nMiss++
+		case Coalesced:
+			nCo++
+		}
+	}
+	if nMiss != 1 || nCo != waiters-1 {
+		t.Fatalf("outcomes: %d miss, %d coalesced", nMiss, nCo)
+	}
+}
+
+// TestGroupFlightSurvivesOneCancellation: a canceled waiter leaves,
+// but the flight keeps running for the others.
+func TestGroupFlightSurvivesOneCancellation(t *testing.T) {
+	g := NewGroup[int](4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(fctx context.Context) (int, error) {
+		close(started)
+		select {
+		case <-release:
+			return 9, nil
+		case <-fctx.Done():
+			return 0, fctx.Err()
+		}
+	}
+	var k Key
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), k, fn)
+		done <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	joined := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, k, fn)
+		joined <- err
+	}()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		f, ok := g.flights[k]
+		return ok && f.waiters == 2
+	})
+	cancel()
+	if err := <-joined; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter: err=%v", err)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("surviving waiter: %v", err)
+	}
+	if g.CacheLen() != 1 {
+		t.Fatal("successful flight must fill the cache")
+	}
+}
+
+// TestGroupAllWaitersGoneCancelsFlight: once every waiter abandons a
+// flight, its detached context fires and the solve stops.
+func TestGroupAllWaitersGoneCancelsFlight(t *testing.T) {
+	g := NewGroup[int](4)
+	started := make(chan struct{})
+	flightCanceled := make(chan struct{})
+	fn := func(fctx context.Context) (int, error) {
+		close(started)
+		<-fctx.Done()
+		close(flightCanceled)
+		return 0, fctx.Err()
+	}
+	var k Key
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx, k, fn)
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err=%v", err)
+	}
+	<-flightCanceled // would hang forever if the flight ctx never fired
+	// The failed flight must not be cached and must be fully removed.
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return len(g.flights) == 0
+	})
+	if g.CacheLen() != 0 {
+		t.Fatal("canceled flight was cached")
+	}
+}
+
+// waitFor polls cond until it holds (the test timeout is the only
+// deadline; conditions here settle in microseconds).
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	for !cond() {
+		runtime.Gosched()
+	}
+}
