@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sync/atomic"
@@ -203,6 +204,18 @@ func solveStatus(err error) int {
 	}
 }
 
+// observeCancellation counts an aborted request under the right
+// series: deadline expiries (timeout_ms / -solve-timeout) are solve
+// timeouts, everything else — in practice client disconnects — is a
+// cancellation. The two are operationally different signals.
+func (s *server) observeCancellation(err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.reg.SolveTimedOut()
+	} else {
+		s.reg.SolveCanceled()
+	}
+}
+
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
@@ -244,10 +257,13 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The request context carries client disconnects; layer the solve
-	// deadline on top. timeout_ms can only tighten -solve-timeout.
+	// deadline on top. timeout_ms can only tighten -solve-timeout: a
+	// value too large for the ms→Duration conversion (it would
+	// overflow int64 nanoseconds) cannot tighten anything, so it is
+	// ignored and the server cap stands.
 	ctx := r.Context()
 	timeout := s.cfg.solveTimeout
-	if req.TimeoutMS > 0 {
+	if req.TimeoutMS > 0 && req.TimeoutMS <= math.MaxInt64/int64(time.Millisecond) {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
 			timeout = d
 		}
@@ -277,7 +293,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				return
 			case <-ctx.Done():
 				wait.Stop()
-				s.reg.SolveTimedOut()
+				s.observeCancellation(ctx.Err())
 				log.Warn("solve canceled", "reason", "ctx_during_admission", "err", ctx.Err())
 				s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{reqID, ctx.Err().Error()})
 				return
@@ -288,11 +304,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	log.Info("solve start", "algorithm", string(alg), "jobs", in.N(), "g", in.G, "workers", workers)
 
-	// runSolve executes one real solve under the given context (the
-	// request's, or — when coalesced behind the cache — a flight
-	// context detached from any single request) and folds its outcome
-	// into the registry.
-	runSolve := func(ctx context.Context) (*activetime.Result, error) {
+	// runSolve executes one real solve of solveIn under the given
+	// context (the request's, or — when coalesced behind the cache — a
+	// flight context detached from any single request) and folds its
+	// outcome into the registry.
+	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*activetime.Result, error) {
 		s.reg.SolveStarted()
 		if h := s.testHookBeforeSolve; h != nil {
 			h(ctx)
@@ -301,7 +317,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		var res *activetime.Result
 		var err error
 		if alg == activetime.AlgNested95 {
-			res, err = activetime.SolveNested95Ctx(ctx, in, activetime.SolveOptions{
+			res, err = activetime.SolveNested95Ctx(ctx, solveIn, activetime.SolveOptions{
 				ExactLP:    req.ExactLP,
 				Minimalize: req.Minimalize,
 				Compact:    req.Compact,
@@ -309,7 +325,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 				Trace:      tr,
 			})
 		} else {
-			res, err = activetime.SolveTracedCtx(ctx, in, alg, tr)
+			res, err = activetime.SolveTracedCtx(ctx, solveIn, alg, tr)
 		}
 		var stats *metrics.Stats
 		if res != nil {
@@ -326,9 +342,16 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// The key canonicalizes the instance (job order and IDs do not
 		// matter) plus everything that changes the result; the worker
 		// count does not (results are identical at any parallelism).
+		// Cached results must serve every job ordering that maps to the
+		// key, so the flight solves the canonically sorted instance and
+		// each request relabels the schedule back to its own job IDs.
 		key := solvecache.KeyFor(in, string(alg), req.ExactLP, req.Minimalize, req.Compact)
+		order := solvecache.CanonicalOrder(in)
+		canonIn := in.Permute(order)
 		var outcome solvecache.Outcome
-		res, outcome, err = s.cache.Do(ctx, key, runSolve)
+		res, outcome, err = s.cache.Do(ctx, key, func(ctx context.Context) (*activetime.Result, error) {
+			return runSolve(ctx, canonIn)
+		})
 		switch outcome {
 		case solvecache.Hit:
 			s.reg.CacheHit()
@@ -338,15 +361,22 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		case solvecache.Coalesced:
 			s.reg.CacheCoalesced()
 		}
+		if err == nil && req.IncludeSchedule {
+			// The cached Result is shared across requests: relabel into
+			// a copy, never in place.
+			relabeled := *res
+			relabeled.Schedule = res.Schedule.Relabel(order)
+			res = &relabeled
+		}
 	} else {
-		res, err = runSolve(ctx)
+		res, err = runSolve(ctx, in)
 	}
 	elapsed := time.Since(start)
 
 	if err != nil {
 		status := solveStatus(err)
 		if status == http.StatusServiceUnavailable {
-			s.reg.SolveTimedOut()
+			s.observeCancellation(err)
 		}
 		log.Warn("solve failed", "err", err, "status", status,
 			"elapsed_ms", float64(elapsed.Microseconds())/1e3)

@@ -11,8 +11,27 @@ import (
 	"time"
 
 	"repro/internal/instance"
+	"repro/internal/sched"
 	"repro/internal/solvecache"
 )
+
+// validateScheduleAgainst asserts a /solve response schedule is
+// feasible for the instance JSON the request carried: right windows,
+// right per-job processing amounts, capacity respected.
+func validateScheduleAgainst(t *testing.T, instanceJSON string, scheduleJSON json.RawMessage) {
+	t.Helper()
+	in, err := instance.ReadJSON(strings.NewReader(instanceJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := sched.ReadJSON(bytes.NewReader(scheduleJSON))
+	if err != nil {
+		t.Fatalf("parse schedule: %v\n%s", err, scheduleJSON)
+	}
+	if err := sc.Validate(in); err != nil {
+		t.Fatalf("schedule invalid for the instance sent: %v\n%s", err, scheduleJSON)
+	}
+}
 
 // waitUntil polls cond until it holds or the deadline passes.
 func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
@@ -145,8 +164,32 @@ func TestSolveTimeout503(t *testing.T) {
 	if got := s.reg.Timeouts(); got < 1 {
 		t.Fatalf("Timeouts = %d, want ≥ 1", got)
 	}
+	if got := s.reg.Canceled(); got != 0 {
+		t.Fatalf("Canceled = %d, want 0 (deadline, not disconnect)", got)
+	}
 	// The flight keeps running until its detached context fires; it
 	// must then unwind promptly.
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
+}
+
+// TestSolveTimeoutOverflowKeepsServerCap: a timeout_ms so large that
+// the ms→Duration conversion would overflow used to turn the computed
+// timeout negative and silently disable the server's -solve-timeout
+// cap (the request then ran with no deadline at all). It must be
+// ignored, leaving the server cap in force.
+func TestSolveTimeoutOverflowKeepsServerCap(t *testing.T) {
+	s, ts, _ := testServerCfg(t, serverConfig{
+		defaultWorkers: 1,
+		solveTimeout:   30 * time.Millisecond,
+	})
+	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`,"timeout_ms":10000000000000}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (server cap must still apply): %s", resp.StatusCode, data)
+	}
+	if got := s.reg.Timeouts(); got != 1 {
+		t.Fatalf("Timeouts = %d, want 1", got)
+	}
 	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
 }
 
@@ -191,8 +234,13 @@ func TestClientDisconnectFreesSolve(t *testing.T) {
 		t.Fatal("client request should have been canceled")
 	}
 	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 0 }, "solve goroutine exit")
-	if got := s.reg.Timeouts(); got < 1 {
-		t.Fatalf("Timeouts = %d, want ≥ 1", got)
+	// A disconnect is a cancellation, not a timeout: the two series
+	// must not be conflated.
+	if got := s.reg.Canceled(); got < 1 {
+		t.Fatalf("Canceled = %d, want ≥ 1", got)
+	}
+	if got := s.reg.Timeouts(); got != 0 {
+		t.Fatalf("Timeouts = %d, want 0 (disconnect is not a timeout)", got)
 	}
 }
 
@@ -233,6 +281,11 @@ func TestSolveCacheHit(t *testing.T) {
 	if len(warm.Schedule) == 0 || !bytes.Contains(warm.Schedule, []byte(`"slots"`)) {
 		t.Fatalf("cache hit with include_schedule returned no schedule: %s", warm.Schedule)
 	}
+	// Regression: the cached schedule used to come back in the original
+	// request's job order, assigning the permuted request's jobs the
+	// wrong processing amounts and windows. It must validate against
+	// the instance actually sent.
+	validateScheduleAgainst(t, permuted, warm.Schedule)
 	if got := s.reg.Solves(); got != 1 {
 		t.Fatalf("Solves = %d, want 1 (hit must not re-solve)", got)
 	}
@@ -259,7 +312,8 @@ func TestSolveCacheHit(t *testing.T) {
 
 // TestSolveCacheCoalesce: two concurrent requests for the same
 // canonical instance share one solve; the joiner is counted as
-// coalesced.
+// coalesced, and a joiner with a different job ordering still gets a
+// schedule labeled in its own ordering.
 func TestSolveCacheCoalesce(t *testing.T) {
 	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1, cacheEntries: 8})
 	release := make(chan struct{})
@@ -276,22 +330,44 @@ func TestSolveCacheCoalesce(t *testing.T) {
 	}
 	key := solvecache.KeyFor(in, "nested95", false, false, false)
 
-	codes := make(chan int, 2)
-	for i := 0; i < 2; i++ {
-		go func() {
-			resp, _ := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
-			codes <- resp.StatusCode
-		}()
+	// The joiner permutes the jobs and asks for the schedule: it must
+	// come back relabeled for the joiner's ordering, not the leader's.
+	permuted := `{"g":2,"jobs":[{"p":2,"r":3,"d":6},{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}`
+	bodies := []string{
+		`{"instance":` + smallInstance + `}`,
+		`{"instance":` + permuted + `,"include_schedule":true}`,
+	}
+	type reply struct {
+		code int
+		data []byte
+	}
+	replies := make([]chan reply, len(bodies))
+	for i, body := range bodies {
+		replies[i] = make(chan reply, 1)
+		go func(i int, body string) {
+			resp, data := postSolve(t, ts, body)
+			replies[i] <- reply{resp.StatusCode, data}
+		}(i, body)
 		// Leader first, then the joiner attaches to the same flight.
 		want := i + 1
 		waitUntil(t, 5*time.Second, func() bool { return s.cache.WaitersFor(key) == want }, "flight waiters")
 	}
 	close(release)
-	for i := 0; i < 2; i++ {
-		if code := <-codes; code != http.StatusOK {
-			t.Fatalf("request finished with %d", code)
+	var joiner reply
+	for i := range replies {
+		r := <-replies[i]
+		if r.code != http.StatusOK {
+			t.Fatalf("request %d finished with %d: %s", i, r.code, r.data)
+		}
+		if i == 1 {
+			joiner = r
 		}
 	}
+	var out solveResponse
+	if err := json.Unmarshal(joiner.data, &out); err != nil {
+		t.Fatal(err)
+	}
+	validateScheduleAgainst(t, permuted, out.Schedule)
 	if got := s.reg.Solves(); got != 1 {
 		t.Fatalf("Solves = %d, want 1 (coalesced requests share one solve)", got)
 	}

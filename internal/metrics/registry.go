@@ -24,6 +24,7 @@ type Registry struct {
 
 	shed          atomic.Int64
 	timeouts      atomic.Int64
+	canceled      atomic.Int64
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
 	cacheCoalesce atomic.Int64
@@ -127,9 +128,14 @@ func (g *Registry) ObserveSolve(stats *Stats, d time.Duration, err error) {
 // in-flight limit was saturated for the whole acquisition wait).
 func (g *Registry) AdmissionShed() { g.shed.Add(1) }
 
-// SolveTimedOut counts a solve aborted by cancellation: the client
-// disconnected or the request/server solve deadline fired.
+// SolveTimedOut counts a solve aborted because its deadline (the
+// request's timeout_ms or the server-wide cap) fired. Client
+// disconnects are counted separately by SolveCanceled.
 func (g *Registry) SolveTimedOut() { g.timeouts.Add(1) }
+
+// SolveCanceled counts a solve aborted by a non-deadline
+// cancellation — in practice the client disconnecting mid-request.
+func (g *Registry) SolveCanceled() { g.canceled.Add(1) }
 
 // CacheHit counts a request answered from the solve cache.
 func (g *Registry) CacheHit() { g.cacheHits.Add(1) }
@@ -144,8 +150,11 @@ func (g *Registry) CacheCoalesced() { g.cacheCoalesce.Add(1) }
 // Shed returns the number of admission-rejected requests.
 func (g *Registry) Shed() int64 { return g.shed.Load() }
 
-// Timeouts returns the number of canceled/timed-out solves.
+// Timeouts returns the number of solves aborted by a deadline.
 func (g *Registry) Timeouts() int64 { return g.timeouts.Load() }
+
+// Canceled returns the number of solves aborted by client disconnect.
+func (g *Registry) Canceled() int64 { return g.canceled.Load() }
 
 // CacheHits returns the number of cache-served requests.
 func (g *Registry) CacheHits() int64 { return g.cacheHits.Load() }
@@ -257,9 +266,13 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	p("# TYPE activetime_admission_shed_total counter\n")
 	p("activetime_admission_shed_total %d\n", g.shed.Load())
 
-	p("# HELP activetime_solve_timeouts_total Solves aborted by deadline or client disconnect.\n")
+	p("# HELP activetime_solve_timeouts_total Solves aborted because a solve deadline (timeout_ms or -solve-timeout) expired.\n")
 	p("# TYPE activetime_solve_timeouts_total counter\n")
 	p("activetime_solve_timeouts_total %d\n", g.timeouts.Load())
+
+	p("# HELP activetime_solve_canceled_total Solves aborted because the client disconnected.\n")
+	p("# TYPE activetime_solve_canceled_total counter\n")
+	p("activetime_solve_canceled_total %d\n", g.canceled.Load())
 
 	p("# HELP activetime_cache_hits_total Requests served from the solve cache.\n")
 	p("# TYPE activetime_cache_hits_total counter\n")

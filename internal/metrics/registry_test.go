@@ -251,6 +251,8 @@ func TestRegistryServiceCounters(t *testing.T) {
 	g.AdmissionShed()
 	g.AdmissionShed()
 	g.SolveTimedOut()
+	g.SolveCanceled()
+	g.SolveCanceled()
 	g.CacheHit()
 	g.CacheHit()
 	g.CacheHit()
@@ -262,6 +264,9 @@ func TestRegistryServiceCounters(t *testing.T) {
 	}
 	if got := g.Timeouts(); got != 1 {
 		t.Errorf("Timeouts = %d, want 1", got)
+	}
+	if got := g.Canceled(); got != 2 {
+		t.Errorf("Canceled = %d, want 2", got)
 	}
 	if got := g.CacheHits(); got != 3 {
 		t.Errorf("CacheHits = %d, want 3", got)
@@ -281,6 +286,7 @@ func TestRegistryServiceCounters(t *testing.T) {
 	for _, want := range []string{
 		"activetime_admission_shed_total 2",
 		"activetime_solve_timeouts_total 1",
+		"activetime_solve_canceled_total 2",
 		"activetime_cache_hits_total 3",
 		"activetime_cache_misses_total 1",
 		"activetime_cache_coalesced_total 1",

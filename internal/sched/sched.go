@@ -135,6 +135,24 @@ func PackColumns(out *Schedule, slots []int64, g int64, demands []Demand) error 
 	return nil
 }
 
+// Relabel returns a copy of the schedule with every job ID i replaced
+// by ids[i]. It translates a schedule between two labelings of the
+// same job multiset — e.g. from the canonical job order a cached
+// solve ran under back to the job order of the request being answered.
+// IDs outside [0, len(ids)) panic: the schedule does not belong to an
+// instance with len(ids) jobs.
+func (s *Schedule) Relabel(ids []int) *Schedule {
+	out := New(s.G)
+	for t, js := range s.Slots {
+		mapped := make([]int, len(js))
+		for i, id := range js {
+			mapped[i] = ids[id]
+		}
+		out.Slots[t] = mapped
+	}
+	return out
+}
+
 // Clone returns a deep copy of the schedule.
 func (s *Schedule) Clone() *Schedule {
 	out := New(s.G)

@@ -38,6 +38,34 @@ func TestValidateAccepts(t *testing.T) {
 	}
 }
 
+// TestRelabel: relabeling translates a schedule between two orderings
+// of the same job multiset — the result validates against the
+// permuted instance, and the original is untouched.
+func TestRelabel(t *testing.T) {
+	in := twoJobInstance(t)
+	s := New(2)
+	s.Assign(0, 0)
+	s.Assign(1, 0)
+	s.Assign(1, 1)
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+
+	// Swap the two jobs; ids[i] gives job i's index in the permuted
+	// instance.
+	perm := []int{1, 0}
+	got := s.Relabel(perm)
+	if err := got.Validate(in.Permute(perm)); err != nil {
+		t.Fatalf("relabeled schedule invalid for permuted instance: %v", err)
+	}
+	if err := got.Validate(in); err == nil {
+		t.Fatal("relabeled schedule should not validate against the original ordering")
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("Relabel mutated its receiver: %v", err)
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	in := twoJobInstance(t)
 

@@ -25,24 +25,39 @@ import (
 // instances that differ only by job order map to the same key.
 type Key [sha256.Size]byte
 
-// KeyFor computes the cache key for solving in with the named
-// algorithm and option flags. Jobs are sorted by (release, deadline,
-// processing) and IDs are dropped, so any permutation of the same job
-// multiset yields the same key. The flags must be passed in a fixed
-// order by the caller; flags that do not change the solve's result
-// (e.g. worker count) should be omitted.
-func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
-	jobs := make([]instance.Job, len(in.Jobs))
-	copy(jobs, in.Jobs)
-	sort.Slice(jobs, func(a, b int) bool {
-		if jobs[a].Release != jobs[b].Release {
-			return jobs[a].Release < jobs[b].Release
+// CanonicalOrder returns the permutation that sorts in's jobs into
+// canonical (release, deadline, processing) order: order[rank] is the
+// index in in.Jobs of the job holding that canonical rank. Jobs that
+// compare equal are interchangeable for scheduling, so any tie order
+// is canonical. Callers use it both to derive the cache key and to
+// translate schedules between a request's job order and the canonical
+// one (instance.Permute / sched.Relabel).
+func CanonicalOrder(in *instance.Instance) []int {
+	order := make([]int, len(in.Jobs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := in.Jobs[order[a]], in.Jobs[order[b]]
+		if ja.Release != jb.Release {
+			return ja.Release < jb.Release
 		}
-		if jobs[a].Deadline != jobs[b].Deadline {
-			return jobs[a].Deadline < jobs[b].Deadline
+		if ja.Deadline != jb.Deadline {
+			return ja.Deadline < jb.Deadline
 		}
-		return jobs[a].Processing < jobs[b].Processing
+		return ja.Processing < jb.Processing
 	})
+	return order
+}
+
+// KeyFor computes the cache key for solving in with the named
+// algorithm and option flags. Jobs are hashed in CanonicalOrder with
+// IDs dropped, so any permutation of the same job multiset yields the
+// same key. The flags must be passed in a fixed order by the caller;
+// flags that do not change the solve's result (e.g. worker count)
+// should be omitted.
+func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
+	order := CanonicalOrder(in)
 	h := sha256.New()
 	var buf [8]byte
 	wi := func(v int64) {
@@ -50,8 +65,9 @@ func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
 		h.Write(buf[:])
 	}
 	wi(in.G)
-	wi(int64(len(jobs)))
-	for _, j := range jobs {
+	wi(int64(len(order)))
+	for _, idx := range order {
+		j := in.Jobs[idx]
 		wi(j.Release)
 		wi(j.Deadline)
 		wi(j.Processing)
@@ -207,7 +223,7 @@ func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 	if f, ok := g.flights[k]; ok {
 		f.waiters++
 		g.mu.Unlock()
-		return g.wait(ctx, f, Coalesced)
+		return g.wait(ctx, k, f, Coalesced)
 	}
 	fctx, cancel := context.WithCancel(context.Background())
 	f := &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
@@ -218,7 +234,12 @@ func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 		v, err := fn(fctx)
 		g.mu.Lock()
 		f.val, f.err = v, err
-		delete(g.flights, k)
+		// An abandoned flight was already unregistered (and possibly
+		// replaced by a fresh one); only remove the map entry if it is
+		// still ours.
+		if g.flights[k] == f {
+			delete(g.flights, k)
+		}
 		if err == nil {
 			g.cache.Add(k, v)
 		}
@@ -226,10 +247,10 @@ func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 		close(f.done)
 		cancel()
 	}()
-	return g.wait(ctx, f, Miss)
+	return g.wait(ctx, k, f, Miss)
 }
 
-func (g *Group[V]) wait(ctx context.Context, f *flight[V], o Outcome) (V, Outcome, error) {
+func (g *Group[V]) wait(ctx context.Context, k Key, f *flight[V], o Outcome) (V, Outcome, error) {
 	select {
 	case <-f.done:
 		return f.val, o, f.err
@@ -237,7 +258,13 @@ func (g *Group[V]) wait(ctx context.Context, f *flight[V], o Outcome) (V, Outcom
 		g.mu.Lock()
 		f.waiters--
 		if f.waiters == 0 {
+			// Abandoned: cancel the doomed solve and unregister it so a
+			// later caller starts a fresh flight instead of joining one
+			// whose context is already canceled.
 			f.cancel()
+			if g.flights[k] == f {
+				delete(g.flights, k)
+			}
 		}
 		g.mu.Unlock()
 		var zero V

@@ -295,6 +295,129 @@ func TestGroupAllWaitersGoneCancelsFlight(t *testing.T) {
 	}
 }
 
+// TestGroupAbandonedFlightRestartsFresh: once the last waiter leaves
+// a flight, a new caller must start a fresh flight rather than join
+// the doomed one (regression: the abandoned flight stayed registered
+// until its fn returned, and a caller arriving in that window got the
+// abandoned flight's context.Canceled despite a live context of its
+// own).
+func TestGroupAbandonedFlightRestartsFresh(t *testing.T) {
+	g := NewGroup[int](4)
+	var calls atomic.Int64
+	firstStarted := make(chan struct{})
+	holdFirst := make(chan struct{}) // keeps the doomed fn from returning
+	fn := func(fctx context.Context) (int, error) {
+		if calls.Add(1) == 1 {
+			close(firstStarted)
+			<-fctx.Done() // abandoned: detached context fires
+			<-holdFirst   // pin the abandonment window open
+			return 0, fctx.Err()
+		}
+		return 5, nil
+	}
+	var k Key
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx1, k, fn)
+		done1 <- err
+	}()
+	<-firstStarted
+	cancel1()
+	if err := <-done1; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter: err=%v", err)
+	}
+	// The doomed fn is still running; a fresh caller must not inherit
+	// its fate.
+	v, o, err := g.Do(context.Background(), k, fn)
+	if err != nil || v != 5 || o != Miss {
+		t.Fatalf("post-abandonment Do: v=%d o=%v err=%v, want 5/miss/nil", v, o, err)
+	}
+	close(holdFirst)
+}
+
+// TestGroupLateReturnKeepsNewFlight: when an abandoned flight's fn
+// finally returns, it must not unregister the fresh flight that
+// replaced it under the same key — later callers still coalesce onto
+// the live flight.
+func TestGroupLateReturnKeepsNewFlight(t *testing.T) {
+	g := NewGroup[int](4)
+	var calls atomic.Int64
+	firstStarted := make(chan struct{})
+	holdFirst := make(chan struct{})
+	secondStarted := make(chan struct{})
+	release2 := make(chan struct{})
+	fn := func(fctx context.Context) (int, error) {
+		switch calls.Add(1) {
+		case 1:
+			close(firstStarted)
+			<-fctx.Done()
+			<-holdFirst
+			return 0, fctx.Err()
+		default:
+			close(secondStarted)
+			<-release2
+			return 7, nil
+		}
+	}
+	var k Key
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done1 := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(ctx1, k, fn)
+		done1 <- err
+	}()
+	<-firstStarted
+	g.mu.Lock()
+	f1 := g.flights[k]
+	g.mu.Unlock()
+	cancel1()
+	<-done1
+
+	// Fresh flight under the same key, still in progress.
+	done2 := make(chan error, 1)
+	go func() {
+		_, _, err := g.Do(context.Background(), k, fn)
+		done2 <- err
+	}()
+	<-secondStarted
+
+	// Let the doomed fn return and its completion goroutine run.
+	close(holdFirst)
+	<-f1.done
+	g.mu.Lock()
+	_, stillThere := g.flights[k]
+	g.mu.Unlock()
+	if !stillThere {
+		t.Fatal("late return of the abandoned flight evicted the live flight")
+	}
+	// A third caller coalesces onto the live flight instead of solving
+	// again.
+	done3 := make(chan struct {
+		o   Outcome
+		err error
+	}, 1)
+	go func() {
+		_, o, err := g.Do(context.Background(), k, fn)
+		done3 <- struct {
+			o   Outcome
+			err error
+		}{o, err}
+	}()
+	waitFor(t, func() bool { return g.WaitersFor(k) == 2 })
+	close(release2)
+	if err := <-done2; err != nil {
+		t.Fatalf("live flight waiter: %v", err)
+	}
+	r3 := <-done3
+	if r3.err != nil || r3.o != Coalesced {
+		t.Fatalf("third caller: o=%v err=%v, want coalesced/nil", r3.o, r3.err)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Fatalf("fn called %d times, want 2", n)
+	}
+}
+
 // waitFor polls cond until it holds (the test timeout is the only
 // deadline; conditions here settle in microseconds).
 func waitFor(t *testing.T, cond func() bool) {
