@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench fuzz-smoke serve-smoke ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench fuzz-smoke serve-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -33,8 +33,27 @@ serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./cmd/activetimed
 	$(GO) test -run='^TestExpositionGolden$$' -count=1 ./internal/metrics
 
+# Load-generator smoke: the CLI-level smoke test, then a real atload
+# run (short in-process closed loop) whose JSON report must be
+# non-empty with zero 5xx responses.
+loadgen-smoke:
+	$(GO) test -run='^TestCLISmoke$$' -count=1 -v ./cmd/atload
+	$(GO) run ./cmd/atload -requests 50 -concurrency 2 -seed 1 \
+		-jobs-min 4 -jobs-max 12 -distinct 8 -report /tmp/atload-smoke.json
+	test -s /tmp/atload-smoke.json
+	grep -q '"http_5xx": 0' /tmp/atload-smoke.json
+	rm -f /tmp/atload-smoke.json
+
+# Regenerate the committed load-test baseline. Absolute numbers are
+# machine-dependent; the committed file pins report shape and the
+# deterministic request/count fields.
+loadgen-bench:
+	$(GO) run ./cmd/atload -requests 400 -concurrency 4 -seed 1 \
+		-jobs-min 6 -jobs-max 40 -distinct 16 \
+		-slo-p99 250 -slo-max-error-rate 0.01 -report BENCH_loadgen.json
+
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke
+ci: build vet test race fuzz-smoke serve-smoke loadgen-smoke
 
 cover:
 	$(GO) test -cover ./...

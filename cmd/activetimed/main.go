@@ -27,6 +27,8 @@ import (
 	"os/signal"
 	"syscall"
 	"time"
+
+	"repro/internal/server"
 )
 
 func main() {
@@ -52,14 +54,14 @@ func main() {
 	}
 	log := slog.New(handler)
 
-	cfg := serverConfig{
-		defaultWorkers: *workers,
-		maxInFlight:    *maxInFlight,
-		admissionWait:  *admissionWait,
-		solveTimeout:   *solveTimeout,
-		cacheEntries:   *cacheEntries,
+	cfg := server.Config{
+		DefaultWorkers: *workers,
+		MaxInFlight:    *maxInFlight,
+		AdmissionWait:  *admissionWait,
+		SolveTimeout:   *solveTimeout,
+		CacheEntries:   *cacheEntries,
 	}
-	srv := newServer(log, cfg)
+	srv := server.New(log, cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Error("listen", "addr", *addr, "err", err)
@@ -76,7 +78,7 @@ func main() {
 		"max_inflight", *maxInFlight, "solve_timeout", solveTimeout.String(),
 		"cache_entries", *cacheEntries)
 
-	hs := &http.Server{Handler: srv.handler()}
+	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.Serve(ln) }()
 
@@ -91,7 +93,7 @@ func main() {
 			log.Error("shutdown", "err", err)
 			os.Exit(1)
 		}
-		log.Info("bye", "solves", srv.reg.Solves())
+		log.Info("bye", "solves", srv.Registry().Solves())
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
 			log.Error("serve", "err", err)

@@ -156,6 +156,8 @@ func validateExposition(t *testing.T, body string) {
 	for name, typ := range map[string]string{
 		"activetime_solves_total":           "counter",
 		"activetime_solves_in_flight":       "gauge",
+		"activetime_inflight_requests":      "gauge",
+		"activetime_admission_queue_depth":  "gauge",
 		"activetime_stage_seconds_total":    "counter",
 		"activetime_ops_total":              "counter",
 		"activetime_solve_duration_seconds": "histogram",

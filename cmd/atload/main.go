@@ -1,0 +1,271 @@
+// Command atload is the workload driver for activetimed. It builds a
+// seeded request plan (or replays a recorded JSONL trace), drives it
+// closed-loop or open-loop against a real server (-target) or an
+// in-process internal/server handler (the default), and emits a
+// machine-readable JSON report with throughput, latency percentiles,
+// and shed/timeout/cache-hit counts. With -slo-p99 / -slo-max-error-rate
+// set, atload exits nonzero when the run violates the objective.
+//
+// Usage:
+//
+//	atload [-model closed|poisson|bursty] [-requests N] [-concurrency N]
+//	       [-rate RPS] [-burst N] [-seed N] [-mix laminar=0.7,unit=0.2,general=0.1]
+//	       [-jobs-min N] [-jobs-max N] [-g N] [-distinct N] [-algorithm NAME]
+//	       [-target URL] [-record PATH] [-replay PATH] [-report PATH]
+//	       [-slo-p99 MS] [-slo-max-error-rate FRAC]
+//	       [-workers N] [-max-inflight N] [-admission-wait DUR]
+//	       [-solve-timeout DUR] [-cache-entries N]
+//
+// Exit codes: 0 success, 1 SLO violation or run error, 2 usage error.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/server"
+)
+
+// options carries every flag; run consumes it so tests can drive the
+// whole CLI without a subprocess.
+type options struct {
+	model       string
+	requests    int
+	concurrency int
+	rate        float64
+	burst       int
+	seed        int64
+	mix         string
+	jobsMin     int
+	jobsMax     int
+	g           int64
+	distinct    int
+	algorithm   string
+	timeoutMS   int64
+
+	target string
+	record string
+	replay string
+	report string
+
+	sloP99    float64
+	sloMaxErr float64
+
+	// In-process server knobs (ignored when -target is set).
+	workers       int
+	maxInFlight   int
+	admissionWait time.Duration
+	solveTimeout  time.Duration
+	cacheEntries  int
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	def := loadgen.DefaultPlanConfig()
+	o := &options{}
+	fs := flag.NewFlagSet("atload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fs.StringVar(&o.model, "model", def.Model, "arrival model: closed | poisson | bursty")
+	fs.IntVar(&o.requests, "requests", def.Requests, "total requests in the plan")
+	fs.IntVar(&o.concurrency, "concurrency", 4, "closed-loop worker count")
+	fs.Float64Var(&o.rate, "rate", def.Rate, "open-loop mean arrival rate, requests/second")
+	fs.IntVar(&o.burst, "burst", def.BurstSize, "bursty model: mean burst size")
+	fs.Int64Var(&o.seed, "seed", def.Seed, "plan seed; equal seeds give identical plans")
+	fs.StringVar(&o.mix, "mix", "laminar=0.7,unit=0.2,general=0.1", "instance family mix, family=weight[,...]")
+	fs.IntVar(&o.jobsMin, "jobs-min", def.MinJobs, "minimum jobs per instance")
+	fs.IntVar(&o.jobsMax, "jobs-max", def.MaxJobs, "maximum jobs per instance")
+	fs.Int64Var(&o.g, "g", def.G, "machine capacity of generated instances")
+	fs.IntVar(&o.distinct, "distinct", def.DistinctInstances, "distinct-instance pool size (0 = every request fresh)")
+	fs.StringVar(&o.algorithm, "algorithm", "", "override the per-family solver (default: nested95, greedy-minimal for general)")
+	fs.Int64Var(&o.timeoutMS, "timeout-ms", 0, "per-request timeout_ms forwarded to the server (0 = none)")
+	fs.StringVar(&o.target, "target", "", "base URL of a running activetimed (empty = in-process server)")
+	fs.StringVar(&o.record, "record", "", "write the plan as a JSONL trace to this path")
+	fs.StringVar(&o.replay, "replay", "", "replay a recorded JSONL trace instead of building a plan")
+	fs.StringVar(&o.report, "report", "", "write the JSON report to this path (default: stdout)")
+	fs.Float64Var(&o.sloP99, "slo-p99", 0, "SLO: maximum p99 latency in ms (0 = not enforced)")
+	fs.Float64Var(&o.sloMaxErr, "slo-max-error-rate", 0, "SLO: maximum error fraction in [0,1] (0 = not enforced)")
+	fs.IntVar(&o.workers, "workers", 1, "in-process server: per-solve worker-pool size")
+	fs.IntVar(&o.maxInFlight, "max-inflight", 16, "in-process server: max concurrent solves (0 = unlimited)")
+	fs.DurationVar(&o.admissionWait, "admission-wait", 100*time.Millisecond, "in-process server: admission wait before 429")
+	fs.DurationVar(&o.solveTimeout, "solve-timeout", 0, "in-process server: per-solve wall cap (0 = unlimited)")
+	fs.IntVar(&o.cacheEntries, "cache-entries", 256, "in-process server: solve-cache LRU capacity")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return o, nil
+}
+
+// parseMix turns "laminar=0.7,unit=0.2" into mix entries.
+func parseMix(s string) ([]loadgen.MixEntry, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var mix []loadgen.MixEntry
+	for _, part := range strings.Split(s, ",") {
+		fam, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want family=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return nil, fmt.Errorf("mix entry %q: %w", part, err)
+		}
+		mix = append(mix, loadgen.MixEntry{Family: strings.TrimSpace(fam), Weight: w})
+	}
+	return mix, nil
+}
+
+func (o *options) planConfig() (loadgen.PlanConfig, error) {
+	mix, err := parseMix(o.mix)
+	if err != nil {
+		return loadgen.PlanConfig{}, err
+	}
+	return loadgen.PlanConfig{
+		Requests:          o.requests,
+		Seed:              o.seed,
+		Model:             o.model,
+		Rate:              o.rate,
+		BurstSize:         o.burst,
+		ParetoAlpha:       1.5,
+		Mix:               mix,
+		MinJobs:           o.jobsMin,
+		MaxJobs:           o.jobsMax,
+		G:                 o.g,
+		DistinctInstances: o.distinct,
+		Algorithm:         o.algorithm,
+		TimeoutMS:         o.timeoutMS,
+	}, nil
+}
+
+// run executes one atload invocation: plan (or replay), drive, report,
+// evaluate. It returns the process exit code. reportOut receives the
+// JSON report when o.report is empty.
+func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "atload: %v\n", err)
+		return 1
+	}
+
+	var plan []loadgen.Request
+	var err error
+	if o.replay != "" {
+		plan, err = loadgen.LoadTrace(o.replay)
+		if err != nil {
+			return fail(err)
+		}
+	} else {
+		cfg, cfgErr := o.planConfig()
+		if cfgErr != nil {
+			fmt.Fprintf(stderr, "atload: %v\n", cfgErr)
+			return 2
+		}
+		plan, err = loadgen.BuildPlan(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "atload: %v\n", err)
+			return 2
+		}
+	}
+	if o.record != "" {
+		if err := loadgen.SaveTrace(o.record, plan); err != nil {
+			return fail(err)
+		}
+	}
+
+	prepared, err := loadgen.Prepare(plan)
+	if err != nil {
+		return fail(err)
+	}
+
+	var client *loadgen.Client
+	target := o.target
+	if target != "" {
+		client = loadgen.NewHTTPClient(target)
+	} else {
+		target = "in-process"
+		log := slog.New(slog.NewTextHandler(io.Discard, nil))
+		srv := server.New(log, server.Config{
+			DefaultWorkers: o.workers,
+			MaxInFlight:    o.maxInFlight,
+			AdmissionWait:  o.admissionWait,
+			SolveTimeout:   o.solveTimeout,
+			CacheEntries:   o.cacheEntries,
+		})
+		client = loadgen.NewInProcessClient(srv.Handler())
+	}
+
+	model := o.model
+	if o.replay != "" {
+		// A replayed trace carries its own arrival offsets; any nonzero
+		// offset means open-loop pacing.
+		model = loadgen.ModelClosed
+		for _, r := range plan {
+			if r.ArrivalMS > 0 {
+				model = "replay-open"
+				break
+			}
+		}
+		if model == loadgen.ModelClosed {
+			model = "replay-closed"
+		}
+	}
+
+	var results []loadgen.Result
+	var wall time.Duration
+	if strings.HasSuffix(model, "-open") || model == loadgen.ModelPoisson || model == loadgen.ModelBursty {
+		results, wall = loadgen.RunOpen(ctx, client, prepared)
+	} else {
+		results, wall = loadgen.RunClosed(ctx, client, prepared, o.concurrency)
+	}
+
+	rep := loadgen.BuildReport(results, wall, model, target, o.seed, o.concurrency)
+	slo := loadgen.SLO{P99MaxMS: o.sloP99, MaxErrorRate: o.sloMaxErr}
+	var verdict *loadgen.SLOResult
+	if slo.Enabled() {
+		verdict = slo.Evaluate(rep)
+	}
+
+	out := reportOut
+	if o.report != "" {
+		f, err := os.Create(o.report)
+		if err != nil {
+			return fail(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := rep.WriteJSON(out); err != nil {
+		return fail(err)
+	}
+
+	if verdict != nil && !verdict.Pass {
+		fmt.Fprintf(stderr, "atload: SLO violated: %s\n", strings.Join(verdict.Violations, "; "))
+		return 1
+	}
+	return 0
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:], os.Stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "atload: %v\n", err)
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, o, os.Stdout, os.Stderr))
+}

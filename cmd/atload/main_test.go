@@ -1,0 +1,241 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// runCLI parses args and executes the run, returning the exit code,
+// the report JSON written to stdout, and stderr.
+func runCLI(t *testing.T, args ...string) (int, *loadgen.Report, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	o, err := parseFlags(args, &stderr)
+	if err != nil {
+		t.Fatalf("parseFlags(%v): %v", args, err)
+	}
+	code := run(context.Background(), o, &stdout, &stderr)
+	var rep *loadgen.Report
+	if stdout.Len() > 0 {
+		rep = &loadgen.Report{}
+		if err := json.Unmarshal(stdout.Bytes(), rep); err != nil {
+			t.Fatalf("report is not JSON: %v\n%s", err, stdout.String())
+		}
+	}
+	return code, rep, stderr.String()
+}
+
+// base flags for a fast in-process closed-loop run.
+func fastArgs(extra ...string) []string {
+	args := []string{
+		"-requests", "40", "-concurrency", "1", "-seed", "7",
+		"-jobs-min", "4", "-jobs-max", "10", "-distinct", "6",
+	}
+	return append(args, extra...)
+}
+
+// TestCLIDeterministicAcrossRuns: the acceptance criterion — two
+// closed-loop in-process runs with the same seed issue the identical
+// request sequence (asserted via recorded traces) and report identical
+// counts.
+func TestCLIDeterministicAcrossRuns(t *testing.T) {
+	dir := t.TempDir()
+	t1 := filepath.Join(dir, "a.jsonl")
+	t2 := filepath.Join(dir, "b.jsonl")
+
+	code1, rep1, errOut := runCLI(t, fastArgs("-record", t1)...)
+	if code1 != 0 {
+		t.Fatalf("run 1 exited %d: %s", code1, errOut)
+	}
+	code2, rep2, errOut := runCLI(t, fastArgs("-record", t2)...)
+	if code2 != 0 {
+		t.Fatalf("run 2 exited %d: %s", code2, errOut)
+	}
+
+	plan1, err := loadgen.LoadTrace(t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := loadgen.LoadTrace(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan1, plan2) {
+		t.Fatal("same seed produced different request sequences")
+	}
+	if !reflect.DeepEqual(rep1.Counts, rep2.Counts) {
+		t.Fatalf("same seed produced different counts: %v vs %v", rep1.Counts, rep2.Counts)
+	}
+	if rep1.Requests != 40 {
+		t.Fatalf("report covers %d requests, want 40", rep1.Requests)
+	}
+
+	// A different seed must change the sequence.
+	t3 := filepath.Join(dir, "c.jsonl")
+	if code, _, errOut := runCLI(t, "-requests", "40", "-concurrency", "1", "-seed", "8",
+		"-jobs-min", "4", "-jobs-max", "10", "-distinct", "6", "-record", t3); code != 0 {
+		t.Fatalf("run 3 exited %d: %s", code, errOut)
+	}
+	plan3, err := loadgen.LoadTrace(t3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(plan1, plan3) {
+		t.Fatal("different seeds produced identical request sequences")
+	}
+}
+
+// TestCLIReplayReproducesTrace: -replay reissues the recorded sequence
+// exactly — the re-recorded trace is byte-identical in content to the
+// original plan.
+func TestCLIReplayReproducesTrace(t *testing.T) {
+	dir := t.TempDir()
+	orig := filepath.Join(dir, "orig.jsonl")
+	rerec := filepath.Join(dir, "rerec.jsonl")
+
+	if code, _, errOut := runCLI(t, fastArgs("-record", orig)...); code != 0 {
+		t.Fatalf("record run exited %d: %s", code, errOut)
+	}
+	code, rep, errOut := runCLI(t, "-replay", orig, "-record", rerec, "-concurrency", "1")
+	if code != 0 {
+		t.Fatalf("replay run exited %d: %s", code, errOut)
+	}
+	if rep.Model != "replay-closed" {
+		t.Errorf("replay report model = %q, want replay-closed", rep.Model)
+	}
+
+	got, err := loadgen.LoadTrace(rerec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := loadgen.LoadTrace(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("replay did not reproduce the original request sequence")
+	}
+	if rep.Requests != len(want) {
+		t.Fatalf("replay issued %d requests, trace has %d", rep.Requests, len(want))
+	}
+}
+
+// TestCLISmoke: the make loadgen-smoke contract — a short in-process
+// closed-loop run produces a non-empty report with zero 5xx and all
+// requests accounted for.
+func TestCLISmoke(t *testing.T) {
+	code, rep, errOut := runCLI(t, fastArgs()...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if rep == nil {
+		t.Fatal("no report on stdout")
+	}
+	if rep.HTTP5xx != 0 {
+		t.Fatalf("HTTP5xx = %d, want 0", rep.HTTP5xx)
+	}
+	var total int64
+	for _, v := range rep.Counts {
+		total += v
+	}
+	if total != int64(rep.Requests) || rep.Requests == 0 {
+		t.Fatalf("counts sum %d, requests %d", total, rep.Requests)
+	}
+	if rep.ThroughputRPS <= 0 || rep.Latency.P99 <= 0 {
+		t.Fatalf("report missing throughput/latency: %+v", rep)
+	}
+	if rep.GeneratedBy != "atload" || rep.Target != "in-process" {
+		t.Fatalf("report provenance wrong: %+v", rep)
+	}
+}
+
+// TestCLISLOExitCodes: a trivially satisfiable SLO passes with exit 0;
+// an impossible one exits 1 with the verdict attached to the report.
+func TestCLISLOExitCodes(t *testing.T) {
+	code, rep, errOut := runCLI(t, fastArgs("-slo-p99", "60000", "-slo-max-error-rate", "0.5")...)
+	if code != 0 {
+		t.Fatalf("satisfiable SLO exited %d: %s", code, errOut)
+	}
+	if rep.SLO == nil || !rep.SLO.Pass {
+		t.Fatalf("report missing passing SLO verdict: %+v", rep.SLO)
+	}
+
+	code, rep, errOut = runCLI(t, fastArgs("-slo-p99", "0.000001")...)
+	if code != 1 {
+		t.Fatalf("violated SLO exited %d, want 1 (stderr: %s)", code, errOut)
+	}
+	if rep.SLO == nil || rep.SLO.Pass || len(rep.SLO.Violations) == 0 {
+		t.Fatalf("report missing failing SLO verdict: %+v", rep.SLO)
+	}
+	if errOut == "" {
+		t.Error("SLO violation not reported on stderr")
+	}
+}
+
+// TestCLIUsageErrors: invalid configs exit 2 before any work happens.
+func TestCLIUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad model":  {"-model", "warp"},
+		"bad mix":    {"-mix", "laminar-0.5"},
+		"bad family": {"-mix", "fractal=1"},
+		"zero reqs":  {"-requests", "0"},
+		"open no rate": {
+			"-model", "poisson", "-rate", "0",
+		},
+	} {
+		code, _, errOut := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, errOut)
+		}
+	}
+}
+
+// TestCLIReportFile: -report writes the JSON to a file instead of
+// stdout.
+func TestCLIReportFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	code, rep, errOut := runCLI(t, fastArgs("-report", path)...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if rep != nil {
+		t.Fatal("report leaked to stdout despite -report")
+	}
+	var fromFile loadgen.Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &fromFile); err != nil {
+		t.Fatalf("report file is not JSON: %v", err)
+	}
+	if fromFile.Requests == 0 {
+		t.Fatal("report file empty")
+	}
+}
+
+// TestCLIOpenLoopModels: poisson and bursty models run open-loop
+// in-process without failures at a modest rate.
+func TestCLIOpenLoopModels(t *testing.T) {
+	for _, model := range []string{"poisson", "bursty"} {
+		code, rep, errOut := runCLI(t,
+			"-model", model, "-requests", "20", "-rate", "2000", "-seed", "3",
+			"-jobs-min", "4", "-jobs-max", "8", "-distinct", "4")
+		if code != 0 {
+			t.Fatalf("%s: exit %d: %s", model, code, errOut)
+		}
+		if rep.Model != model {
+			t.Errorf("%s: report model = %q", model, rep.Model)
+		}
+		if rep.HTTP5xx != 0 {
+			t.Errorf("%s: HTTP5xx = %d", model, rep.HTTP5xx)
+		}
+	}
+}

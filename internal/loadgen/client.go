@@ -1,0 +1,176 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Outcome classes for one issued request. Shed/timeout/canceled mirror
+// the server's admission and cancellation taxonomy so a loadgen report
+// can be read side by side with the service's /metrics counters.
+const (
+	ClassOK        = "ok"       // 200, solved fresh
+	ClassCached    = "cached"   // 200, served from the solve cache
+	ClassShed      = "shed"     // 429 from admission control
+	ClassTimeout   = "timeout"  // 503, solve deadline expired
+	ClassCanceled  = "canceled" // 503, canceled without a deadline
+	ClassClientErr = "client_error"
+	ClassServerErr = "server_error"
+	ClassTransport = "transport_error" // connection refused, EOF, …
+)
+
+// Result records one issued request: when it started (offset from run
+// start), how long it took, and how it was classified.
+type Result struct {
+	Index     int     `json:"index"`
+	StartMS   float64 `json:"start_ms"`
+	LatencyMS float64 `json:"latency_ms"`
+	Status    int     `json:"status"`
+	Class     string  `json:"class"`
+	Cached    bool    `json:"cached,omitempty"`
+	Err       string  `json:"error,omitempty"`
+}
+
+// Client issues /solve requests to an activetimed server, either over
+// real HTTP or directly into an in-process http.Handler (the same
+// internal/server mux the binary serves). The in-process path skips
+// sockets entirely, so closed-loop runs are deterministic and the
+// measured latency is the handler itself.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewHTTPClient targets a running server, e.g. "http://127.0.0.1:8080".
+func NewHTTPClient(base string) *Client {
+	return &Client{
+		base: strings.TrimSuffix(base, "/"),
+		http: &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}},
+	}
+}
+
+// NewInProcessClient targets an in-process handler.
+func NewInProcessClient(h http.Handler) *Client {
+	return &Client{
+		base: "http://in-process",
+		http: &http.Client{Transport: handlerTransport{h}},
+	}
+}
+
+// Do issues one prepared request body and classifies the outcome.
+// start is the offset from the run's start time, used only to stamp
+// the Result.
+func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Duration) Result {
+	res := Result{Index: index, StartMS: float64(start.Microseconds()) / 1e3}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(body))
+	if err != nil {
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := c.http.Do(req)
+	if err != nil {
+		res.LatencyMS = float64(time.Since(t0).Microseconds()) / 1e3
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	res.LatencyMS = float64(time.Since(t0).Microseconds()) / 1e3
+	res.Status = resp.StatusCode
+	if err != nil {
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	res.Class, res.Cached, res.Err = classify(resp.StatusCode, data)
+	return res
+}
+
+// classify maps a response to an outcome class. The 503 split mirrors
+// the server's timeout-vs-cancel accounting: a deadline expiry carries
+// "context deadline exceeded" in the error body.
+func classify(status int, body []byte) (class string, cached bool, errMsg string) {
+	switch {
+	case status == http.StatusOK:
+		var out struct {
+			Cached bool `json:"cached"`
+		}
+		_ = json.Unmarshal(body, &out)
+		if out.Cached {
+			return ClassCached, true, ""
+		}
+		return ClassOK, false, ""
+	case status == http.StatusTooManyRequests:
+		return ClassShed, false, errBody(body)
+	case status == http.StatusServiceUnavailable:
+		msg := errBody(body)
+		if strings.Contains(msg, "deadline") {
+			return ClassTimeout, false, msg
+		}
+		return ClassCanceled, false, msg
+	case status >= 500:
+		return ClassServerErr, false, errBody(body)
+	default:
+		return ClassClientErr, false, errBody(body)
+	}
+}
+
+func errBody(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// handlerTransport serves round trips by invoking an http.Handler
+// directly — no listener, no sockets. It implements just enough of
+// http.RoundTripper for the /solve request path (buffered bodies,
+// status, headers).
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &bufferResponse{header: make(http.Header), code: http.StatusOK}
+	t.h.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+		ContentLength: int64(rec.buf.Len()),
+		Request:       req,
+	}, nil
+}
+
+// bufferResponse is a minimal in-memory http.ResponseWriter.
+type bufferResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (r *bufferResponse) Header() http.Header { return r.header }
+
+func (r *bufferResponse) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *bufferResponse) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.buf.Write(p)
+}

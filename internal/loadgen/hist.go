@@ -1,0 +1,97 @@
+package loadgen
+
+import (
+	"repro/internal/metrics"
+)
+
+// Histogram is a fixed-bucket latency histogram over seconds whose
+// bucket bounds are exactly the service's solve-latency buckets
+// (metrics.LatencyBucketBounds), so client-side percentiles from a
+// loadgen run can be compared bucket-for-bucket against the server's
+// /metrics exposition. It is not safe for concurrent use; the runner
+// folds results in after the run completes.
+type Histogram struct {
+	bounds []float64 // upper bounds, seconds
+	counts []int64   // len(bounds)+1, last is +Inf overflow
+	total  int64
+	sum    float64
+	max    float64
+}
+
+// NewHistogram returns an empty histogram on the service's buckets.
+func NewHistogram() *Histogram {
+	b := metrics.LatencyBucketBounds()
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one latency in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(h.bounds) && seconds > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += seconds
+	if seconds > h.max {
+		h.max = seconds
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Mean returns the mean observed latency in seconds (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// Max returns the largest observed latency in seconds.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile estimates the q-quantile (q in (0,1]) in seconds by linear
+// interpolation inside the covering bucket — the same estimate a
+// Prometheus histogram_quantile() would produce on the server-side
+// buckets. Observations in the +Inf overflow bucket clamp to Max.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: no finite upper bound, clamp to max.
+			return h.max
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if hi > h.max && h.max > lo {
+			// Tighten the top bucket to the actual max observation.
+			hi = h.max
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	return h.max
+}

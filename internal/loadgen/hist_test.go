@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 100 observations spread 1..100 ms.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	// The true p50 is ~50ms; bucket interpolation on the service's
+	// bounds (25ms, 50ms, 100ms) must land in the right bucket.
+	if q := h.Quantile(0.50) * 1000; q < 25 || q > 60 {
+		t.Errorf("p50 = %gms, want ~50ms", q)
+	}
+	if q := h.Quantile(0.99) * 1000; q < 90 || q > 100 {
+		t.Errorf("p99 = %gms, want ~99ms", q)
+	}
+	if got := h.Max() * 1000; got != 100 {
+		t.Errorf("Max = %gms, want 100ms", got)
+	}
+	mean := h.Mean() * 1000
+	if mean < 50 || mean > 51 {
+		t.Errorf("Mean = %gms, want 50.5ms", mean)
+	}
+}
+
+func TestHistogramOverflowClampsToMax(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(120) // beyond the 30s top bound
+	h.Observe(0.001)
+	if q := h.Quantile(0.99); q != 120 {
+		t.Errorf("overflow quantile = %g, want max 120", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+// TestHistogramBucketsMatchMetrics: the whole point of the shared
+// bounds is that a loadgen percentile and a /metrics
+// histogram_quantile use the same buckets.
+func TestHistogramBucketsMatchMetrics(t *testing.T) {
+	h := NewHistogram()
+	want := metrics.LatencyBucketBounds()
+	if len(h.bounds) != len(want) {
+		t.Fatalf("bounds length %d, want %d", len(h.bounds), len(want))
+	}
+	for i := range want {
+		if h.bounds[i] != want[i] {
+			t.Fatalf("bound %d = %g, want %g", i, h.bounds[i], want[i])
+		}
+	}
+	// Defensive copy: mutating the returned slice must not corrupt
+	// the package-level bounds.
+	want[0] = 1e9
+	if got := metrics.LatencyBucketBounds()[0]; got == 1e9 {
+		t.Fatal("LatencyBucketBounds returns a shared slice")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		status int
+		body   string
+		class  string
+		cached bool
+	}{
+		{200, `{"request_id":"r","cached":true}`, ClassCached, true},
+		{200, `{"request_id":"r"}`, ClassOK, false},
+		{429, `{"error":"server saturated"}`, ClassShed, false},
+		{503, `{"error":"context deadline exceeded"}`, ClassTimeout, false},
+		{503, `{"error":"context canceled"}`, ClassCanceled, false},
+		{400, `{"error":"bad"}`, ClassClientErr, false},
+		{422, `{"error":"infeasible"}`, ClassClientErr, false},
+		{500, `{"error":"boom"}`, ClassServerErr, false},
+	}
+	for _, tc := range cases {
+		class, cached, _ := classify(tc.status, []byte(tc.body))
+		if class != tc.class || cached != tc.cached {
+			t.Errorf("classify(%d, %s) = (%s, %v), want (%s, %v)",
+				tc.status, tc.body, class, cached, tc.class, tc.cached)
+		}
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	r := &Report{
+		Requests:  100,
+		ErrorRate: 0.02,
+		Latency:   LatencySummary{P99: 12.5},
+	}
+	if res := (SLO{P99MaxMS: 20, MaxErrorRate: 0.05}).Evaluate(r); !res.Pass {
+		t.Errorf("SLO should pass: %+v", res)
+	}
+	if res := (SLO{P99MaxMS: 10}).Evaluate(r); res.Pass || len(res.Violations) != 1 {
+		t.Errorf("p99 violation not flagged: %+v", res)
+	}
+	if res := (SLO{MaxErrorRate: 0.01}).Evaluate(r); res.Pass || len(res.Violations) != 1 {
+		t.Errorf("error-rate violation not flagged: %+v", res)
+	}
+	if res := (SLO{P99MaxMS: 1, MaxErrorRate: 0.001}).Evaluate(r); res.Pass || len(res.Violations) != 2 {
+		t.Errorf("double violation not flagged: %+v", res)
+	}
+	if r.SLO == nil {
+		t.Fatal("Evaluate must attach the verdict to the report")
+	}
+	if (SLO{}).Enabled() {
+		t.Error("zero SLO reports enabled")
+	}
+}

@@ -1,0 +1,338 @@
+// Package loadgen is the workload-simulation and load-generation
+// subsystem: deterministic, seeded request plans over the instance
+// families of internal/gen, open-loop (Poisson and bursty
+// heavy-tailed) and closed-loop execution against an activetimed
+// server (real HTTP or an in-process http.Handler), a client-side
+// latency recorder whose histogram buckets line up with the service's
+// /metrics exposition, an SLO evaluator, and a machine-readable JSON
+// report. Plans round-trip through a JSONL trace, so any run can be
+// recorded once and replayed bit-for-bit.
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+// Instance families a plan can draw from.
+const (
+	// FamilyLaminar: nested windows, solved by nested95.
+	FamilyLaminar = "laminar"
+	// FamilyUnit: nested windows with unit processing times.
+	FamilyUnit = "unit"
+	// FamilyGeneral: windows may cross; nested95 rejects these, so
+	// general requests default to greedy-minimal.
+	FamilyGeneral = "general"
+)
+
+// Request is one planned solve request. A Request is pure data: the
+// instance it solves is derived deterministically from (Family, Jobs,
+// G, InstanceSeed), so a JSONL trace of Requests replays the exact
+// workload without shipping instance bodies around.
+type Request struct {
+	// Index is the position in the plan's issue order.
+	Index int `json:"index"`
+	// ArrivalMS is the open-loop arrival offset from run start; 0 in
+	// closed-loop plans (workers issue as fast as concurrency allows).
+	ArrivalMS float64 `json:"arrival_ms"`
+	// Family, Jobs, G and InstanceSeed determine the instance.
+	Family       string `json:"family"`
+	Jobs         int    `json:"jobs"`
+	G            int64  `json:"g"`
+	InstanceSeed int64  `json:"instance_seed"`
+	// Algorithm names the solver the request asks for.
+	Algorithm string `json:"algorithm"`
+	// TimeoutMS is forwarded as the request's timeout_ms when > 0.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Instance materializes the request's instance. Two requests with the
+// same (Family, Jobs, G, InstanceSeed) produce identical instances —
+// that is what makes pool reuse hit the server's solve cache.
+func (r Request) Instance() (*instance.Instance, error) {
+	rng := rand.New(rand.NewSource(r.InstanceSeed))
+	switch r.Family {
+	case FamilyLaminar:
+		return gen.RandomLaminar(rng, gen.DefaultLaminar(r.Jobs, r.G)), nil
+	case FamilyUnit:
+		return gen.RandomUnitLaminar(rng, gen.DefaultLaminar(r.Jobs, r.G)), nil
+	case FamilyGeneral:
+		return gen.RandomGeneral(rng, gen.DefaultGeneral(r.Jobs, r.G)), nil
+	default:
+		return nil, fmt.Errorf("loadgen: unknown instance family %q", r.Family)
+	}
+}
+
+// Body marshals the request into a /solve JSON body.
+func (r Request) Body() ([]byte, error) {
+	in, err := r.Instance()
+	if err != nil {
+		return nil, err
+	}
+	var instBuf bytes.Buffer
+	if err := in.WriteJSON(&instBuf); err != nil {
+		return nil, err
+	}
+	body := struct {
+		Instance  json.RawMessage `json:"instance"`
+		Algorithm string          `json:"algorithm,omitempty"`
+		TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	}{
+		Instance:  json.RawMessage(bytes.TrimSpace(instBuf.Bytes())),
+		Algorithm: r.Algorithm,
+		TimeoutMS: r.TimeoutMS,
+	}
+	return json.Marshal(body)
+}
+
+// Arrival models.
+const (
+	// ModelClosed: no arrival process; a fixed worker pool issues
+	// requests back to back (closed loop).
+	ModelClosed = "closed"
+	// ModelPoisson: open loop, exponential inter-arrivals at Rate.
+	ModelPoisson = "poisson"
+	// ModelBursty: open loop, heavy-tailed — geometric-size bursts
+	// separated by Pareto gaps, mean rate still Rate.
+	ModelBursty = "bursty"
+)
+
+// MixEntry weights one instance family in the workload mix.
+type MixEntry struct {
+	Family string
+	Weight float64
+}
+
+// PlanConfig parameterizes BuildPlan. The zero value is not usable;
+// DefaultPlanConfig gives a sensible small workload.
+type PlanConfig struct {
+	// Requests is the total number of requests in the plan.
+	Requests int
+	// Seed drives every random choice (mix, sizes, instance seeds,
+	// arrivals); equal seeds give identical plans.
+	Seed int64
+	// Model is one of ModelClosed, ModelPoisson, ModelBursty.
+	Model string
+	// Rate is the mean open-loop arrival rate in requests/second
+	// (ignored by ModelClosed).
+	Rate float64
+	// BurstSize is the mean burst size for ModelBursty.
+	BurstSize int
+	// ParetoAlpha is the tail exponent of bursty inter-burst gaps;
+	// values near 1 are heavier-tailed. Defaults to 1.5.
+	ParetoAlpha float64
+	// Mix weights the instance families; defaults to all-laminar.
+	Mix []MixEntry
+	// MinJobs/MaxJobs bound the per-request job count; sizes are drawn
+	// log-uniformly so large instances are rare but present.
+	MinJobs, MaxJobs int
+	// G is the machine capacity of every generated instance.
+	G int64
+	// DistinctInstances sizes the pool of distinct instances requests
+	// draw from: small pools mean hot keys (cache hits), 0 means every
+	// request gets a fresh instance.
+	DistinctInstances int
+	// Algorithm overrides the per-family default solver when set.
+	Algorithm string
+	// TimeoutMS is forwarded on every request when > 0.
+	TimeoutMS int64
+}
+
+// DefaultPlanConfig returns a small mixed closed-loop workload.
+func DefaultPlanConfig() PlanConfig {
+	return PlanConfig{
+		Requests:          200,
+		Seed:              1,
+		Model:             ModelClosed,
+		Rate:              50,
+		BurstSize:         8,
+		ParetoAlpha:       1.5,
+		Mix:               []MixEntry{{FamilyLaminar, 0.7}, {FamilyUnit, 0.2}, {FamilyGeneral, 0.1}},
+		MinJobs:           6,
+		MaxJobs:           40,
+		G:                 3,
+		DistinctInstances: 16,
+	}
+}
+
+// defaultAlgorithm maps a family to the solver that accepts it.
+func defaultAlgorithm(family string) string {
+	if family == FamilyGeneral {
+		return "greedy-minimal"
+	}
+	return "nested95"
+}
+
+// instanceSpec is one pool entry: everything but the arrival time.
+type instanceSpec struct {
+	family string
+	jobs   int
+	seed   int64
+}
+
+// BuildPlan expands cfg into a deterministic request plan. The same
+// config (and in particular the same Seed) always yields the same
+// plan, byte for byte through Request.Body.
+func BuildPlan(cfg PlanConfig) ([]Request, error) {
+	if cfg.Requests <= 0 {
+		return nil, fmt.Errorf("loadgen: Requests = %d, want > 0", cfg.Requests)
+	}
+	if cfg.MinJobs < 1 || cfg.MaxJobs < cfg.MinJobs {
+		return nil, fmt.Errorf("loadgen: job bounds [%d,%d] invalid", cfg.MinJobs, cfg.MaxJobs)
+	}
+	if cfg.G < 1 {
+		return nil, fmt.Errorf("loadgen: g = %d, want >= 1", cfg.G)
+	}
+	switch cfg.Model {
+	case ModelClosed:
+	case ModelPoisson, ModelBursty:
+		if cfg.Rate <= 0 {
+			return nil, fmt.Errorf("loadgen: open-loop model %q needs Rate > 0", cfg.Model)
+		}
+	default:
+		return nil, fmt.Errorf("loadgen: unknown arrival model %q", cfg.Model)
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = []MixEntry{{FamilyLaminar, 1}}
+	}
+	var totalW float64
+	for _, m := range mix {
+		switch m.Family {
+		case FamilyLaminar, FamilyUnit, FamilyGeneral:
+		default:
+			return nil, fmt.Errorf("loadgen: unknown instance family %q in mix", m.Family)
+		}
+		if m.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: negative mix weight %g for %q", m.Weight, m.Family)
+		}
+		totalW += m.Weight
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("loadgen: mix weights sum to %g, want > 0", totalW)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pickFamily := func() string {
+		x := rng.Float64() * totalW
+		for _, m := range mix {
+			if x < m.Weight {
+				return m.Family
+			}
+			x -= m.Weight
+		}
+		return mix[len(mix)-1].Family
+	}
+	// Log-uniform size in [MinJobs, MaxJobs]: heavy traffic is mostly
+	// small instances with an occasional large one, matching the
+	// energy-workload motivation rather than a flat grid.
+	pickJobs := func() int {
+		if cfg.MinJobs == cfg.MaxJobs {
+			return cfg.MinJobs
+		}
+		lo, hi := math.Log(float64(cfg.MinJobs)), math.Log(float64(cfg.MaxJobs)+1)
+		n := int(math.Exp(lo + rng.Float64()*(hi-lo)))
+		if n < cfg.MinJobs {
+			n = cfg.MinJobs
+		}
+		if n > cfg.MaxJobs {
+			n = cfg.MaxJobs
+		}
+		return n
+	}
+
+	// Instance pool: requests reuse pool entries, giving the server's
+	// canonicalization-keyed cache realistic hot keys.
+	poolSize := cfg.DistinctInstances
+	if poolSize <= 0 || poolSize > cfg.Requests {
+		poolSize = cfg.Requests
+	}
+	pool := make([]instanceSpec, poolSize)
+	for i := range pool {
+		pool[i] = instanceSpec{family: pickFamily(), jobs: pickJobs(), seed: rng.Int63()}
+	}
+
+	// Arrival offsets (sorted, ms). Closed-loop plans carry zeros.
+	arrivals := buildArrivals(rng, cfg)
+
+	plan := make([]Request, cfg.Requests)
+	for i := range plan {
+		// With no pool configured every request gets its own fresh spec;
+		// otherwise requests sample the pool with replacement, which is
+		// what creates hot cache keys.
+		var spec instanceSpec
+		if cfg.DistinctInstances > 0 {
+			spec = pool[rng.Intn(poolSize)]
+		} else {
+			spec = pool[i]
+		}
+		alg := cfg.Algorithm
+		if alg == "" {
+			alg = defaultAlgorithm(spec.family)
+		}
+		plan[i] = Request{
+			Index:        i,
+			ArrivalMS:    arrivals[i],
+			Family:       spec.family,
+			Jobs:         spec.jobs,
+			G:            cfg.G,
+			InstanceSeed: spec.seed,
+			Algorithm:    alg,
+			TimeoutMS:    cfg.TimeoutMS,
+		}
+	}
+	return plan, nil
+}
+
+// buildArrivals returns cfg.Requests arrival offsets in milliseconds,
+// nondecreasing; all zero for the closed-loop model.
+func buildArrivals(rng *rand.Rand, cfg PlanConfig) []float64 {
+	arrivals := make([]float64, cfg.Requests)
+	switch cfg.Model {
+	case ModelPoisson:
+		t := 0.0
+		for i := range arrivals {
+			// Exponential gap with mean 1/Rate seconds.
+			t += rng.ExpFloat64() / cfg.Rate
+			arrivals[i] = t * 1000
+		}
+	case ModelBursty:
+		alpha := cfg.ParetoAlpha
+		if alpha <= 1 {
+			alpha = 1.5
+		}
+		burstMean := float64(cfg.BurstSize)
+		if burstMean < 1 {
+			burstMean = 1
+		}
+		// Mean inter-burst gap = BurstSize/Rate keeps the long-run rate
+		// at Rate; Pareto xm follows from mean = alpha*xm/(alpha-1).
+		meanGap := burstMean / cfg.Rate
+		xm := meanGap * (alpha - 1) / alpha
+		t := 0.0
+		i := 0
+		for i < cfg.Requests {
+			// Pareto-distributed gap to the next burst.
+			gap := xm / math.Pow(1-rng.Float64(), 1/alpha)
+			t += gap
+			// Geometric burst size with the configured mean.
+			size := 1
+			for float64(size) < burstMean*8 && rng.Float64() > 1/burstMean {
+				size++
+			}
+			for k := 0; k < size && i < cfg.Requests; k++ {
+				arrivals[i] = t * 1000
+				i++
+			}
+		}
+		sort.Float64s(arrivals)
+	}
+	return arrivals
+}

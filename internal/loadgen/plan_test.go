@@ -1,0 +1,256 @@
+package loadgen
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func smallCfg() PlanConfig {
+	cfg := DefaultPlanConfig()
+	cfg.Requests = 40
+	cfg.MinJobs = 4
+	cfg.MaxJobs = 10
+	cfg.DistinctInstances = 6
+	return cfg
+}
+
+// TestBuildPlanDeterministic: the same config yields the identical
+// plan, down to the marshaled request bodies; a different seed
+// yields a different plan.
+func TestBuildPlanDeterministic(t *testing.T) {
+	cfg := smallCfg()
+	a, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two builds of the same config differ")
+	}
+	for i := range a {
+		ba, err := a[i].Body()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b[i].Body()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("request %d body differs between identical plans", i)
+		}
+	}
+
+	cfg.Seed = 99
+	c, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestBuildPlanShapes: sizes stay in bounds, families come from the
+// mix, the pool bounds the number of distinct instances, and the
+// general family is routed to a solver that accepts crossing windows.
+func TestBuildPlanShapes(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 200
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != cfg.Requests {
+		t.Fatalf("plan has %d requests, want %d", len(plan), cfg.Requests)
+	}
+	distinct := map[instanceSpec]bool{}
+	for i, r := range plan {
+		if r.Index != i {
+			t.Fatalf("request %d has index %d", i, r.Index)
+		}
+		if r.Jobs < cfg.MinJobs || r.Jobs > cfg.MaxJobs {
+			t.Fatalf("request %d has %d jobs, want [%d,%d]", i, r.Jobs, cfg.MinJobs, cfg.MaxJobs)
+		}
+		if r.ArrivalMS != 0 {
+			t.Fatalf("closed-loop request %d has arrival %g", i, r.ArrivalMS)
+		}
+		switch r.Family {
+		case FamilyLaminar, FamilyUnit:
+			if r.Algorithm != "nested95" {
+				t.Fatalf("request %d (%s) uses %q", i, r.Family, r.Algorithm)
+			}
+		case FamilyGeneral:
+			if r.Algorithm != "greedy-minimal" {
+				t.Fatalf("general request %d uses %q (nested95 would 422)", i, r.Algorithm)
+			}
+		default:
+			t.Fatalf("request %d has unknown family %q", i, r.Family)
+		}
+		distinct[instanceSpec{r.Family, r.Jobs, r.InstanceSeed}] = true
+	}
+	if len(distinct) > cfg.DistinctInstances {
+		t.Fatalf("%d distinct instances, pool capped at %d", len(distinct), cfg.DistinctInstances)
+	}
+
+	// DistinctInstances = 0 disables the pool: every request carries
+	// its own spec.
+	cfg.DistinctInstances = 0
+	fresh, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := map[instanceSpec]bool{}
+	for _, r := range fresh {
+		specs[instanceSpec{r.Family, r.Jobs, r.InstanceSeed}] = true
+	}
+	if len(specs) != cfg.Requests {
+		t.Fatalf("no-pool plan has %d distinct specs, want %d", len(specs), cfg.Requests)
+	}
+}
+
+// TestBuildPlanArrivals: open-loop models produce nondecreasing
+// positive offsets; the bursty model actually bursts (ties or
+// near-ties in arrival times).
+func TestBuildPlanArrivals(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 300
+
+	cfg.Model = ModelPoisson
+	cfg.Rate = 1000
+	pois, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pois); i++ {
+		if pois[i].ArrivalMS < pois[i-1].ArrivalMS {
+			t.Fatalf("poisson arrivals decrease at %d", i)
+		}
+	}
+	if pois[0].ArrivalMS <= 0 {
+		t.Fatal("first poisson arrival not positive")
+	}
+
+	cfg.Model = ModelBursty
+	cfg.BurstSize = 10
+	burst, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ties := 0
+	for i := 1; i < len(burst); i++ {
+		if burst[i].ArrivalMS < burst[i-1].ArrivalMS {
+			t.Fatalf("bursty arrivals decrease at %d", i)
+		}
+		if burst[i].ArrivalMS == burst[i-1].ArrivalMS {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Fatal("bursty plan has no simultaneous arrivals — bursts missing")
+	}
+}
+
+func TestBuildPlanValidation(t *testing.T) {
+	for name, mut := range map[string]func(*PlanConfig){
+		"zero requests":  func(c *PlanConfig) { c.Requests = 0 },
+		"bad jobs":       func(c *PlanConfig) { c.MinJobs = 10; c.MaxJobs = 2 },
+		"bad g":          func(c *PlanConfig) { c.G = 0 },
+		"unknown model":  func(c *PlanConfig) { c.Model = "warp" },
+		"open no rate":   func(c *PlanConfig) { c.Model = ModelPoisson; c.Rate = 0 },
+		"unknown family": func(c *PlanConfig) { c.Mix = []MixEntry{{"fractal", 1}} },
+		"zero weights":   func(c *PlanConfig) { c.Mix = []MixEntry{{FamilyLaminar, 0}} },
+	} {
+		cfg := smallCfg()
+		mut(&cfg)
+		if _, err := BuildPlan(cfg); err == nil {
+			t.Errorf("%s: BuildPlan accepted invalid config", name)
+		}
+	}
+}
+
+// TestRequestInstanceDeterministic: materializing the same request
+// twice yields the same instance, and a valid one.
+func TestRequestInstanceDeterministic(t *testing.T) {
+	for _, fam := range []string{FamilyLaminar, FamilyUnit, FamilyGeneral} {
+		r := Request{Family: fam, Jobs: 8, G: 3, InstanceSeed: 42}
+		a, err := r.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := r.Instance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: instances differ across materializations", fam)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("%s: generated instance invalid: %v", fam, err)
+		}
+		if fam == FamilyUnit {
+			for _, j := range a.Jobs {
+				if j.Processing != 1 {
+					t.Fatalf("unit family produced p=%d", j.Processing)
+				}
+			}
+		}
+	}
+	if _, err := (Request{Family: "bogus", Jobs: 2, G: 1}).Instance(); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	plan, err := BuildPlan(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, back) {
+		t.Fatal("trace round trip changed the plan")
+	}
+}
+
+func TestReadTraceRejectsCorruption(t *testing.T) {
+	plan, err := BuildPlan(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+
+	// Reordered: swap two lines.
+	swapped := append([]string{}, lines...)
+	swapped[0], swapped[1] = swapped[1], swapped[0]
+	if _, err := ReadTrace(strings.NewReader(strings.Join(swapped, "\n"))); err == nil {
+		t.Error("reordered trace accepted")
+	}
+	// Truncated head: drop the first line.
+	if _, err := ReadTrace(strings.NewReader(strings.Join(lines[1:], "\n"))); err == nil {
+		t.Error("head-truncated trace accepted")
+	}
+	// Garbage line.
+	if _, err := ReadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage trace accepted")
+	}
+	// Empty.
+	if _, err := ReadTrace(strings.NewReader("")); err == nil {
+		t.Error("empty trace accepted")
+	}
+}

@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+)
+
+// LatencySummary is the latency digest of a run, in milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+	Mean float64 `json:"mean_ms"`
+	Max  float64 `json:"max_ms"`
+}
+
+// PhaseStat is one slice of the run's timeline: the requests that
+// completed inside [StartMS, EndMS), their error count, and the
+// slice's completion throughput. Phases let a report show ramp-up,
+// steady state, and (for bursty plans) the shed spikes.
+type PhaseStat struct {
+	Phase         int     `json:"phase"`
+	StartMS       float64 `json:"start_ms"`
+	EndMS         float64 `json:"end_ms"`
+	Completed     int64   `json:"completed"`
+	Errors        int64   `json:"errors"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// Report is the machine-readable outcome of one loadgen run; it is
+// what atload emits as JSON (and what BENCH_loadgen.json pins).
+type Report struct {
+	GeneratedBy string `json:"generated_by"`
+	Model       string `json:"model"`
+	Target      string `json:"target"`
+	Seed        int64  `json:"seed"`
+	Concurrency int    `json:"concurrency,omitempty"`
+
+	Requests      int     `json:"requests"`
+	DurationMS    float64 `json:"duration_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+
+	// Counts keys every outcome class (ok, cached, shed, timeout,
+	// canceled, client_error, server_error, transport_error) to its
+	// request count; classes with zero requests are still present so
+	// reports diff cleanly.
+	Counts map[string]int64 `json:"counts"`
+
+	CacheHits int64 `json:"cache_hits"`
+	Shed      int64 `json:"shed"`
+	Timeouts  int64 `json:"timeouts"`
+	Canceled  int64 `json:"canceled"`
+	HTTP5xx   int64 `json:"http_5xx"`
+	Errors    int64 `json:"errors"`
+
+	ErrorRate float64        `json:"error_rate"`
+	Latency   LatencySummary `json:"latency"`
+	Phases    []PhaseStat    `json:"phases"`
+
+	SLO *SLOResult `json:"slo,omitempty"`
+}
+
+// allClasses fixes the set of keys every report carries.
+var allClasses = []string{
+	ClassOK, ClassCached, ClassShed, ClassTimeout,
+	ClassCanceled, ClassClientErr, ClassServerErr, ClassTransport,
+}
+
+// isError reports whether a class counts against the SLO error rate:
+// everything that is not a successful solve (fresh or cached).
+func isError(class string) bool {
+	return class != ClassOK && class != ClassCached
+}
+
+// reportPhases is the number of timeline slices in a report.
+const reportPhases = 10
+
+// BuildReport folds per-request results into the run report.
+// model/target/seed/concurrency annotate provenance; wall is the
+// run's measured wall time.
+func BuildReport(results []Result, wall time.Duration, model, target string, seed int64, concurrency int) *Report {
+	r := &Report{
+		GeneratedBy: "atload",
+		Model:       model,
+		Target:      target,
+		Seed:        seed,
+		Concurrency: concurrency,
+		Requests:    len(results),
+		DurationMS:  float64(wall.Microseconds()) / 1e3,
+		Counts:      make(map[string]int64, len(allClasses)),
+	}
+	for _, c := range allClasses {
+		r.Counts[c] = 0
+	}
+
+	hist := NewHistogram()
+	// Success-only latency: shed and transport failures return in
+	// microseconds and would drag percentiles toward zero, hiding the
+	// latency the surviving requests actually saw.
+	for _, res := range results {
+		r.Counts[res.Class]++
+		switch res.Class {
+		case ClassOK, ClassCached:
+			hist.Observe(res.LatencyMS / 1e3)
+		}
+		if res.Class == ClassCached {
+			r.CacheHits++
+		}
+		if isError(res.Class) {
+			r.Errors++
+		}
+		if res.Status >= 500 {
+			r.HTTP5xx++
+		}
+	}
+	r.Shed = r.Counts[ClassShed]
+	r.Timeouts = r.Counts[ClassTimeout]
+	r.Canceled = r.Counts[ClassCanceled]
+	if r.Requests > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		r.ThroughputRPS = float64(r.Requests-int(r.Counts[ClassTransport])) / sec
+	}
+	r.Latency = LatencySummary{
+		P50:  hist.Quantile(0.50) * 1e3,
+		P90:  hist.Quantile(0.90) * 1e3,
+		P99:  hist.Quantile(0.99) * 1e3,
+		P999: hist.Quantile(0.999) * 1e3,
+		Mean: hist.Mean() * 1e3,
+		Max:  hist.Max() * 1e3,
+	}
+	r.Phases = buildPhases(results, r.DurationMS)
+	return r
+}
+
+// buildPhases slices [0, durationMS) into reportPhases equal windows
+// and bins each result by its completion time.
+func buildPhases(results []Result, durationMS float64) []PhaseStat {
+	if durationMS <= 0 || len(results) == 0 {
+		return nil
+	}
+	width := durationMS / reportPhases
+	phases := make([]PhaseStat, reportPhases)
+	for i := range phases {
+		phases[i] = PhaseStat{
+			Phase:   i,
+			StartMS: float64(i) * width,
+			EndMS:   float64(i+1) * width,
+		}
+	}
+	for _, res := range results {
+		done := res.StartMS + res.LatencyMS
+		i := int(done / width)
+		if i >= reportPhases {
+			i = reportPhases - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		phases[i].Completed++
+		if isError(res.Class) {
+			phases[i].Errors++
+		}
+	}
+	for i := range phases {
+		if width > 0 {
+			phases[i].ThroughputRPS = float64(phases[i].Completed) / (width / 1e3)
+		}
+	}
+	return phases
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

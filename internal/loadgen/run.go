@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Prepared pairs a planned request with its marshaled /solve body.
+// Bodies are materialized before the run starts so instance
+// generation never sits inside a measured latency.
+type Prepared struct {
+	Req  Request
+	Body []byte
+}
+
+// Prepare materializes every request body in the plan.
+func Prepare(plan []Request) ([]Prepared, error) {
+	out := make([]Prepared, len(plan))
+	for i, r := range plan {
+		body, err := r.Body()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: prepare request %d: %w", r.Index, err)
+		}
+		out[i] = Prepared{Req: r, Body: body}
+	}
+	return out, nil
+}
+
+// RunClosed executes the plan closed-loop: concurrency workers issue
+// requests back to back, each pulling the next request in plan order.
+// The issued sequence is exactly the plan sequence (workers take the
+// next index atomically), so runs over the same plan are deterministic
+// in everything but timing. Returns per-request results ordered by
+// plan index plus the wall time of the whole run.
+func RunClosed(ctx context.Context, c *Client, reqs []Prepared, concurrency int) ([]Result, time.Duration) {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	results := make([]Result, len(reqs))
+	var next atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) || ctx.Err() != nil {
+					return
+				}
+				results[reqs[i].Req.Index] = c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+	return results, time.Since(start)
+}
+
+// RunOpen executes the plan open-loop: each request fires at its
+// planned ArrivalMS offset regardless of how many are still
+// outstanding — the generator does not slow down when the server
+// does, which is what makes open-loop runs expose queueing collapse
+// and admission shedding. Returns per-request results ordered by plan
+// index plus the wall time of the whole run.
+func RunOpen(ctx context.Context, c *Client, reqs []Prepared) ([]Result, time.Duration) {
+	results := make([]Result, len(reqs))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range reqs {
+		at := time.Duration(reqs[i].Req.ArrivalMS * float64(time.Millisecond))
+		if d := at - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		if ctx.Err() != nil {
+			// Mark the rest as canceled-by-runner transport errors so the
+			// report still has one entry per planned request.
+			for j := i; j < len(reqs); j++ {
+				results[reqs[j].Req.Index] = Result{
+					Index: reqs[j].Req.Index, Class: ClassTransport, Err: ctx.Err().Error(),
+				}
+			}
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[reqs[i].Req.Index] = c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+		}(i)
+	}
+	wg.Wait()
+	return results, time.Since(start)
+}

@@ -1,0 +1,269 @@
+package loadgen
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func inProcessClient(t *testing.T, cfg server.Config) (*Client, *server.Server) {
+	t.Helper()
+	log := slog.New(slog.NewTextHandler(io.Discard, nil))
+	srv := server.New(log, cfg)
+	return NewInProcessClient(srv.Handler()), srv
+}
+
+func seq(results []Result, _ time.Duration) []Result { return results }
+
+func classCounts(results []Result) map[string]int64 {
+	m := map[string]int64{}
+	for _, r := range results {
+		m[r.Class]++
+	}
+	return m
+}
+
+// TestRunClosedInProcess: a closed-loop run over a small pooled plan
+// completes every request, records latencies, and — because the pool
+// is much smaller than the request count — hits the server's solve
+// cache. Two runs over the same plan produce identical class counts.
+func TestRunClosedInProcess(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 60
+	cfg.DistinctInstances = 5
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(concurrency int) ([]Result, time.Duration) {
+		client, _ := inProcessClient(t, server.Config{DefaultWorkers: 1, CacheEntries: 64})
+		return RunClosed(context.Background(), client, prepared, concurrency)
+	}
+	res1, wall1 := run(4)
+
+	if len(res1) != cfg.Requests {
+		t.Fatalf("got %d results, want %d", len(res1), cfg.Requests)
+	}
+	for i, r := range res1 {
+		if r.Index != i {
+			t.Fatalf("result %d has index %d", i, r.Index)
+		}
+		if r.Class != ClassOK && r.Class != ClassCached {
+			t.Fatalf("request %d failed: %s %s (status %d)", i, r.Class, r.Err, r.Status)
+		}
+		if r.LatencyMS <= 0 {
+			t.Fatalf("request %d has non-positive latency", i)
+		}
+	}
+	c4 := classCounts(res1)
+	if c4[ClassCached] == 0 {
+		t.Fatal("pooled plan produced no cache hits")
+	}
+
+	// Exact class counts are only deterministic sequentially: at
+	// concurrency > 1, two requests racing on the same key split
+	// between a coalesced solve and a cache hit depending on timing.
+	c1, c2 := classCounts(seq(run(1))), classCounts(seq(run(1)))
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Fatalf("class counts differ across identical sequential runs: %v vs %v", c1, c2)
+		}
+	}
+	cold := map[instanceSpec]bool{}
+	for _, r := range plan {
+		cold[instanceSpec{r.Family, r.Jobs, r.InstanceSeed}] = true
+	}
+	if c1[ClassCached] != int64(cfg.Requests-len(cold)) {
+		t.Fatalf("sequential run cached %d of %d requests, want all but the %d cold keys",
+			c1[ClassCached], cfg.Requests, len(cold))
+	}
+
+	rep := BuildReport(res1, wall1, cfg.Model, "in-process", cfg.Seed, 4)
+	if rep.HTTP5xx != 0 {
+		t.Fatalf("HTTP5xx = %d, want 0", rep.HTTP5xx)
+	}
+	if rep.CacheHits != c4[ClassCached] {
+		t.Fatalf("report cache hits %d != %d", rep.CacheHits, c4[ClassCached])
+	}
+	if rep.ThroughputRPS <= 0 || rep.Latency.P99 <= 0 {
+		t.Fatalf("report missing throughput/latency: %+v", rep)
+	}
+	var phaseTotal int64
+	for _, p := range rep.Phases {
+		phaseTotal += p.Completed
+	}
+	if phaseTotal != int64(cfg.Requests) {
+		t.Fatalf("phases cover %d requests, want %d", phaseTotal, cfg.Requests)
+	}
+}
+
+// TestRunClosedMatchesServerRegistry: the client-side classification
+// agrees with the server's own cache counters — the correlation the
+// inflight/admission gauges exist for.
+func TestRunClosedMatchesServerRegistry(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 30
+	cfg.DistinctInstances = 3
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, srv := inProcessClient(t, server.Config{DefaultWorkers: 1, CacheEntries: 64})
+	results, _ := RunClosed(context.Background(), client, prepared, 2)
+
+	counts := classCounts(results)
+	reg := srv.Registry()
+	if got := reg.CacheHits(); got != counts[ClassCached] {
+		t.Errorf("server hits %d != client cached %d", got, counts[ClassCached])
+	}
+	if got := reg.InFlightRequests(); got != 0 {
+		t.Errorf("inflight request gauge = %d after run", got)
+	}
+	if got := reg.Solves() + reg.CacheHits(); got != int64(len(results)) {
+		// Every request either solved (fresh or coalesced share one
+		// solve — with concurrency 2 on 3 hot keys coalescing is rare
+		// but possible) or hit the cache.
+		if got > int64(len(results)) {
+			t.Errorf("solves+hits = %d > requests %d", got, len(results))
+		}
+	}
+}
+
+// TestRunOpenPoissonInProcess: an open-loop Poisson run fires every
+// request and the arrival pacing is honored (the run takes at least
+// the last arrival offset).
+func TestRunOpenPoissonInProcess(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 30
+	cfg.Model = ModelPoisson
+	cfg.Rate = 2000 // ~15ms of arrivals: fast but a real schedule
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, _ := inProcessClient(t, server.Config{DefaultWorkers: 1, CacheEntries: 64, MaxInFlight: 64})
+	results, wall := RunOpen(context.Background(), client, prepared)
+	if len(results) != cfg.Requests {
+		t.Fatalf("got %d results, want %d", len(results), cfg.Requests)
+	}
+	for i, r := range results {
+		if r.Class != ClassOK && r.Class != ClassCached {
+			t.Fatalf("request %d failed: %s %s", i, r.Class, r.Err)
+		}
+	}
+	last := time.Duration(plan[len(plan)-1].ArrivalMS * float64(time.Millisecond))
+	if wall < last {
+		t.Fatalf("run finished in %v, before the last arrival at %v", wall, last)
+	}
+}
+
+// saturatingHandler admits one request at a time, holds it for
+// holdFor, and sheds the rest with the server's 429 shape. Real
+// solves on test-sized instances finish in microseconds — far too
+// fast to keep the real server's admission queue occupied — so the
+// runner's view of saturation is tested against this deterministic
+// stand-in (the server side of shedding is covered in
+// internal/server's admission tests).
+type saturatingHandler struct {
+	slot    chan struct{}
+	holdFor time.Duration
+	shed    atomic.Int64
+}
+
+func (h *saturatingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	select {
+	case h.slot <- struct{}{}:
+		defer func() { <-h.slot }()
+		time.Sleep(h.holdFor)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"request_id":"stub","algorithm":"nested95"}`))
+	default:
+		h.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"server saturated: too many solves in flight"}`))
+	}
+}
+
+// TestRunOpenShedsUnderSaturation: an open-loop burst into a
+// saturated single-slot server sheds, and the runner classifies the
+// 429s so the report's shed count and error rate reflect them.
+func TestRunOpenShedsUnderSaturation(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 20
+	cfg.Model = ModelBursty
+	cfg.Rate = 5000
+	cfg.BurstSize = 20
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &saturatingHandler{slot: make(chan struct{}, 1), holdFor: 20 * time.Millisecond}
+	client := NewInProcessClient(h)
+	results, wall := RunOpen(context.Background(), client, prepared)
+	counts := classCounts(results)
+	if counts[ClassShed] == 0 {
+		t.Fatalf("no sheds under a saturating burst: %v", counts)
+	}
+	if got := h.shed.Load(); got != counts[ClassShed] {
+		t.Errorf("handler shed %d != client shed %d", got, counts[ClassShed])
+	}
+	rep := BuildReport(results, wall, cfg.Model, "in-process", cfg.Seed, 0)
+	if rep.Shed != counts[ClassShed] {
+		t.Errorf("report shed %d != %d", rep.Shed, counts[ClassShed])
+	}
+	if rep.ErrorRate <= 0 {
+		t.Error("sheds must count toward the error rate")
+	}
+}
+
+// TestRunClosedCancel: canceling the run context stops issuing new
+// requests.
+func TestRunClosedCancel(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Requests = 50
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prepared, err := Prepare(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	client, _ := inProcessClient(t, server.Config{DefaultWorkers: 1})
+	results, _ := RunClosed(ctx, client, prepared, 4)
+	issued := 0
+	for _, r := range results {
+		if r.Status != 0 || r.Err != "" {
+			issued++
+		}
+	}
+	if issued == len(results) {
+		t.Fatal("canceled run issued every request")
+	}
+}

@@ -1,0 +1,44 @@
+package loadgen
+
+import "fmt"
+
+// SLO is a service-level objective for a loadgen run: a ceiling on
+// the p99 latency of successful solves and a ceiling on the error
+// rate (every non-2xx or transport-failed request, shed included).
+// Zero-valued fields are not enforced.
+type SLO struct {
+	// P99MaxMS is the maximum acceptable p99 latency in milliseconds.
+	P99MaxMS float64 `json:"p99_max_ms,omitempty"`
+	// MaxErrorRate is the maximum acceptable error fraction in [0,1].
+	MaxErrorRate float64 `json:"max_error_rate,omitempty"`
+}
+
+// Enabled reports whether any objective is set.
+func (s SLO) Enabled() bool { return s.P99MaxMS > 0 || s.MaxErrorRate > 0 }
+
+// SLOResult is the verdict of evaluating an SLO against a report.
+type SLOResult struct {
+	Target     SLO      `json:"target"`
+	P99MS      float64  `json:"p99_ms"`
+	ErrorRate  float64  `json:"error_rate"`
+	Pass       bool     `json:"pass"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Evaluate checks the report against the SLO and attaches the verdict
+// to the report. atload exits nonzero when Pass is false.
+func (s SLO) Evaluate(r *Report) *SLOResult {
+	res := &SLOResult{Target: s, P99MS: r.Latency.P99, ErrorRate: r.ErrorRate, Pass: true}
+	if s.P99MaxMS > 0 && r.Latency.P99 > s.P99MaxMS {
+		res.Pass = false
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("p99 %.3fms exceeds target %.3fms", r.Latency.P99, s.P99MaxMS))
+	}
+	if s.MaxErrorRate > 0 && r.ErrorRate > s.MaxErrorRate {
+		res.Pass = false
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("error rate %.4f exceeds target %.4f", r.ErrorRate, s.MaxErrorRate))
+	}
+	r.SLO = res
+	return res
+}

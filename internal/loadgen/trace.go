@@ -1,0 +1,78 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteTrace records a plan as JSONL: one Request object per line, in
+// issue order. The trace is the plan — replaying it reissues the
+// identical request sequence (same instances, same algorithms, same
+// arrival offsets) with no dependence on the generator's config.
+func WriteTrace(w io.Writer, plan []Request) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range plan {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace back into a plan. Lines must carry
+// contiguous indexes from 0 in order — a truncated or shuffled trace
+// is an error, not a silently different workload.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	var plan []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			return nil, fmt.Errorf("loadgen: trace line %d: %w", len(plan), err)
+		}
+		if req.Index != len(plan) {
+			return nil, fmt.Errorf("loadgen: trace line %d has index %d (trace reordered or truncated)",
+				len(plan), req.Index)
+		}
+		plan = append(plan, req)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(plan) == 0 {
+		return nil, fmt.Errorf("loadgen: empty trace")
+	}
+	return plan, nil
+}
+
+// SaveTrace writes the plan to path as JSONL.
+func SaveTrace(path string, plan []Request) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteTrace(f, plan); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrace reads a JSONL trace from path.
+func LoadTrace(path string) ([]Request, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

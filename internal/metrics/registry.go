@@ -22,6 +22,9 @@ type Registry struct {
 	errors   atomic.Int64
 	inFlight atomic.Int64
 
+	requests       atomic.Int64
+	admissionQueue atomic.Int64
+
 	shed          atomic.Int64
 	timeouts      atomic.Int64
 	canceled      atomic.Int64
@@ -124,6 +127,32 @@ func (g *Registry) ObserveSolve(stats *Stats, d time.Duration, err error) {
 	}
 }
 
+// RequestStarted marks an HTTP request entering the /solve handler,
+// before admission control; pair with RequestFinished. Where the
+// solves-in-flight gauge counts executing solves, this one also
+// covers requests parked in the admission wait, so load generators
+// can correlate offered load with /metrics.
+func (g *Registry) RequestStarted() { g.requests.Add(1) }
+
+// RequestFinished marks an HTTP request leaving the /solve handler.
+func (g *Registry) RequestFinished() { g.requests.Add(-1) }
+
+// InFlightRequests returns the current handler-level request gauge.
+func (g *Registry) InFlightRequests() int64 { return g.requests.Load() }
+
+// AdmissionWaitStarted marks a request entering the admission queue
+// (all in-flight slots taken, waiting for one to free up); pair with
+// AdmissionWaitFinished whichever way the wait resolves.
+func (g *Registry) AdmissionWaitStarted() { g.admissionQueue.Add(1) }
+
+// AdmissionWaitFinished marks a request leaving the admission queue —
+// admitted, shed, or canceled.
+func (g *Registry) AdmissionWaitFinished() { g.admissionQueue.Add(-1) }
+
+// AdmissionQueueDepth returns the number of requests currently
+// waiting for an in-flight slot.
+func (g *Registry) AdmissionQueueDepth() int64 { return g.admissionQueue.Load() }
+
 // AdmissionShed counts a request rejected by admission control (the
 // in-flight limit was saturated for the whole acquisition wait).
 func (g *Registry) AdmissionShed() { g.shed.Add(1) }
@@ -218,6 +247,17 @@ var latencyBuckets = [...]float64{
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// LatencyBucketBounds returns a copy of the solve-latency histogram's
+// bucket upper bounds, in seconds. External recorders (the loadgen
+// subsystem's client-side latency histogram in particular) build on
+// these bounds so their percentiles line up with the buckets the
+// service itself exposes on /metrics.
+func LatencyBucketBounds() []float64 {
+	b := make([]float64, len(latencyBuckets))
+	copy(b, latencyBuckets[:])
+	return b
+}
+
 // secondsHistogram is a fixed-bucket cumulative histogram over
 // durations, shaped for Prometheus exposition.
 type secondsHistogram struct {
@@ -261,6 +301,14 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	p("# HELP activetime_solves_in_flight Solve requests currently executing.\n")
 	p("# TYPE activetime_solves_in_flight gauge\n")
 	p("activetime_solves_in_flight %d\n", g.inFlight.Load())
+
+	p("# HELP activetime_inflight_requests Solve requests currently inside the handler, including those waiting for admission.\n")
+	p("# TYPE activetime_inflight_requests gauge\n")
+	p("activetime_inflight_requests %d\n", g.requests.Load())
+
+	p("# HELP activetime_admission_queue_depth Solve requests currently waiting for an in-flight slot.\n")
+	p("# TYPE activetime_admission_queue_depth gauge\n")
+	p("activetime_admission_queue_depth %d\n", g.admissionQueue.Load())
 
 	p("# HELP activetime_admission_shed_total Requests rejected because the in-flight limit was saturated.\n")
 	p("# TYPE activetime_admission_shed_total counter\n")

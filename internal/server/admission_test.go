@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -58,7 +58,7 @@ func TestSolveRejectsOversizedBody(t *testing.T) {
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413: %s", resp.StatusCode, data)
 	}
-	var e errorResponse
+	var e ErrorResponse
 	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" || e.RequestID == "" {
 		t.Fatalf("413 body malformed: %s", data)
 	}
@@ -102,10 +102,10 @@ func TestSolveRejectsUnknownFields(t *testing.T) {
 // TestAdmissionSaturation: with a single in-flight slot held, the
 // next request is shed with 429 + Retry-After and counted.
 func TestAdmissionSaturation(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{
-		defaultWorkers: 1,
-		maxInFlight:    1,
-		admissionWait:  5 * time.Millisecond,
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		MaxInFlight:    1,
+		AdmissionWait:  5 * time.Millisecond,
 	})
 	release := make(chan struct{})
 	s.testHookBeforeSolve = func(ctx context.Context) {
@@ -128,7 +128,7 @@ func TestAdmissionSaturation(t *testing.T) {
 		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
 	}
 	if got := resp.Header.Get("Retry-After"); got != "1" {
-		t.Fatalf("Retry-After = %q, want \"1\"", got)
+		t.Fatalf("Retry-After = %q, want \"1\" (5ms wait rounds up to the 1s floor)", got)
 	}
 	if got := s.reg.Shed(); got != 1 {
 		t.Fatalf("Shed = %d, want 1", got)
@@ -143,13 +143,123 @@ func TestAdmissionSaturation(t *testing.T) {
 	}
 }
 
+// TestRetryAfterReflectsAdmissionWait: the 429 Retry-After header is
+// derived from the configured admission wait (rounded up to whole
+// seconds), not a hard-coded constant (regression: it used to always
+// say "1" regardless of -admission-wait).
+func TestRetryAfterReflectsAdmissionWait(t *testing.T) {
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		MaxInFlight:    1,
+		AdmissionWait:  1200 * time.Millisecond,
+	})
+	release := make(chan struct{})
+	s.testHookBeforeSolve = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	defer close(release)
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+		first <- resp.StatusCode
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 1 }, "first solve in flight")
+
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\" (ceil of the 1.2s admission wait)", got)
+	}
+	release <- struct{}{}
+	<-first
+}
+
+func TestRetryAfterSeconds(t *testing.T) {
+	for _, tc := range []struct {
+		wait time.Duration
+		want int
+	}{
+		{0, 1},
+		{5 * time.Millisecond, 1},
+		{time.Second, 1},
+		{1200 * time.Millisecond, 2},
+		{2500 * time.Millisecond, 3},
+		{10 * time.Second, 10},
+	} {
+		if got := retryAfterSeconds(tc.wait); got != tc.want {
+			t.Errorf("retryAfterSeconds(%v) = %d, want %d", tc.wait, got, tc.want)
+		}
+	}
+}
+
+// TestAdmissionQueueDepthGauge: a request parked in the admission
+// wait shows up in activetime_admission_queue_depth and in the
+// handler-level activetime_inflight_requests gauge, and both drain
+// back to zero.
+func TestAdmissionQueueDepthGauge(t *testing.T) {
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		MaxInFlight:    1,
+		AdmissionWait:  30 * time.Second, // parked until we cancel it
+	})
+	release := make(chan struct{})
+	s.testHookBeforeSolve = func(ctx context.Context) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+	}
+	defer close(release)
+
+	first := make(chan int, 1)
+	go func() {
+		resp, _ := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+		first <- resp.StatusCode
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlight() == 1 }, "first solve in flight")
+
+	// Second request parks in the admission queue; cancel it to leave.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/solve",
+		strings.NewReader(`{"instance":`+smallInstance+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if resp != nil {
+			resp.Body.Close()
+		}
+		_ = err
+		close(done)
+	}()
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.AdmissionQueueDepth() == 1 }, "queued request visible")
+	if got := s.reg.InFlightRequests(); got != 2 {
+		t.Errorf("InFlightRequests = %d, want 2 (one solving, one queued)", got)
+	}
+	cancel()
+	<-done
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.AdmissionQueueDepth() == 0 }, "queue drained")
+
+	release <- struct{}{}
+	<-first
+	waitUntil(t, 5*time.Second, func() bool { return s.reg.InFlightRequests() == 0 }, "request gauge drained")
+}
+
 // TestSolveTimeout503: a request-level timeout_ms aborts the solve
 // with 503, counts a timeout, and the solve goroutine exits (the
 // in-flight gauge returns to zero — no leak).
 func TestSolveTimeout503(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{
-		defaultWorkers: 1,
-		cacheEntries:   8, // exercise the detached-flight path
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		CacheEntries:   8, // exercise the detached-flight path
 	})
 	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
 
@@ -157,7 +267,7 @@ func TestSolveTimeout503(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("status %d, want 503: %s", resp.StatusCode, data)
 	}
-	var e errorResponse
+	var e ErrorResponse
 	if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
 		t.Fatalf("503 body malformed: %s", data)
 	}
@@ -178,9 +288,9 @@ func TestSolveTimeout503(t *testing.T) {
 // cap (the request then ran with no deadline at all). It must be
 // ignored, leaving the server cap in force.
 func TestSolveTimeoutOverflowKeepsServerCap(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{
-		defaultWorkers: 1,
-		solveTimeout:   30 * time.Millisecond,
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		SolveTimeout:   30 * time.Millisecond,
 	})
 	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
 	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`,"timeout_ms":10000000000000}`)
@@ -196,9 +306,9 @@ func TestSolveTimeoutOverflowKeepsServerCap(t *testing.T) {
 // TestServerSolveTimeout: the -solve-timeout server cap applies even
 // when the request asks for no deadline.
 func TestServerSolveTimeout(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{
-		defaultWorkers: 1,
-		solveTimeout:   30 * time.Millisecond,
+	s, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1,
+		SolveTimeout:   30 * time.Millisecond,
 	})
 	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
 	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
@@ -211,7 +321,7 @@ func TestServerSolveTimeout(t *testing.T) {
 // TestClientDisconnectFreesSolve: when the client goes away
 // mid-solve, the solve is canceled and its goroutine exits.
 func TestClientDisconnectFreesSolve(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1})
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1})
 	s.testHookBeforeSolve = func(ctx context.Context) { <-ctx.Done() }
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -248,13 +358,13 @@ func TestClientDisconnectFreesSolve(t *testing.T) {
 // is served from the cache without a second solve, and cache hits can
 // still return the schedule.
 func TestSolveCacheHit(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 2, cacheEntries: 8})
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 2, CacheEntries: 8})
 
 	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("cold solve: status %d: %s", resp.StatusCode, data)
 	}
-	var cold solveResponse
+	var cold SolveResponse
 	if err := json.Unmarshal(data, &cold); err != nil {
 		t.Fatal(err)
 	}
@@ -268,7 +378,7 @@ func TestSolveCacheHit(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("warm solve: status %d: %s", resp.StatusCode, data)
 	}
-	var warm solveResponse
+	var warm SolveResponse
 	if err := json.Unmarshal(data, &warm); err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +408,7 @@ func TestSolveCacheHit(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("options solve: status %d: %s", resp.StatusCode, data)
 	}
-	var opt solveResponse
+	var opt SolveResponse
 	if err := json.Unmarshal(data, &opt); err != nil {
 		t.Fatal(err)
 	}
@@ -310,12 +420,74 @@ func TestSolveCacheHit(t *testing.T) {
 	}
 }
 
+// TestCacheEvictReinsertRelabels: with a single-entry LRU, an entry
+// evicted by unrelated traffic and then re-solved must still relabel
+// schedules for permuted requests — eviction must not corrupt the
+// canonical-order bookkeeping (satellite of the loadgen PR: loadgen
+// warm-cache runs churn the LRU exactly like this).
+func TestCacheEvictReinsertRelabels(t *testing.T) {
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, CacheEntries: 1})
+
+	permA1 := `{"g":2,"jobs":[{"p":2,"r":3,"d":6},{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}`
+	permA2 := `{"g":2,"jobs":[{"p":1,"r":0,"d":3},{"p":2,"r":3,"d":6},{"p":2,"r":0,"d":6}]}`
+	other := `{"g":2,"jobs":[{"p":1,"r":0,"d":2}]}`
+
+	// Populate with A, then evict it with an unrelated instance.
+	if resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold A: status %d: %s", resp.StatusCode, data)
+	}
+	if resp, data := postSolve(t, ts, `{"instance":`+other+`}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("evictor: status %d: %s", resp.StatusCode, data)
+	}
+	if got := s.cache.CacheLen(); got != 1 {
+		t.Fatalf("CacheLen = %d, want 1 (capacity-one LRU)", got)
+	}
+
+	// A was evicted: a permuted A re-solves and re-populates the entry,
+	// and its schedule must fit the permuted ordering.
+	resp, data := postSolve(t, ts, `{"instance":`+permA1+`,"include_schedule":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-solve after evict: status %d: %s", resp.StatusCode, data)
+	}
+	var reinserted SolveResponse
+	if err := json.Unmarshal(data, &reinserted); err != nil {
+		t.Fatal(err)
+	}
+	if reinserted.Cached {
+		t.Fatal("evicted entry served from cache")
+	}
+	validateScheduleAgainst(t, permA1, reinserted.Schedule)
+	if got := s.reg.Solves(); got != 3 {
+		t.Fatalf("Solves = %d, want 3 (evicted key must re-solve)", got)
+	}
+
+	// The reinserted entry now serves hits, relabeled per request.
+	resp, data = postSolve(t, ts, `{"instance":`+permA2+`,"include_schedule":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("hit after reinsert: status %d: %s", resp.StatusCode, data)
+	}
+	var hit SolveResponse
+	if err := json.Unmarshal(data, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("reinserted entry not served from cache")
+	}
+	if hit.ActiveSlots != reinserted.ActiveSlots {
+		t.Fatalf("hit objective %d != reinserted %d", hit.ActiveSlots, reinserted.ActiveSlots)
+	}
+	validateScheduleAgainst(t, permA2, hit.Schedule)
+	if got := s.reg.Solves(); got != 3 {
+		t.Fatalf("Solves = %d, want 3 (hit must not re-solve)", got)
+	}
+}
+
 // TestSolveCacheCoalesce: two concurrent requests for the same
 // canonical instance share one solve; the joiner is counted as
 // coalesced, and a joiner with a different job ordering still gets a
 // schedule labeled in its own ordering.
 func TestSolveCacheCoalesce(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, CacheEntries: 8})
 	release := make(chan struct{})
 	s.testHookBeforeSolve = func(ctx context.Context) {
 		select {
@@ -363,7 +535,7 @@ func TestSolveCacheCoalesce(t *testing.T) {
 			joiner = r
 		}
 	}
-	var out solveResponse
+	var out SolveResponse
 	if err := json.Unmarshal(joiner.data, &out); err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +554,7 @@ func TestSolveCacheCoalesce(t *testing.T) {
 // TestTraceBypassesCache: include_trace responses are solved fresh
 // even when an identical instance is cached.
 func TestTraceBypassesCache(t *testing.T) {
-	s, ts, _ := testServerCfg(t, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, CacheEntries: 8})
 	if resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`); resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
 	}
@@ -390,7 +562,7 @@ func TestTraceBypassesCache(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
 	}
-	var out solveResponse
+	var out SolveResponse
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatal(err)
 	}

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -28,10 +28,10 @@ func benchBody(b *testing.B) string {
 	return fmt.Sprintf(`{"instance":%s}`, buf.String())
 }
 
-func benchServer(b *testing.B, cfg serverConfig) *httptest.Server {
+func benchServer(b *testing.B, cfg Config) *httptest.Server {
 	b.Helper()
 	log := slog.New(slog.NewTextHandler(io.Discard, nil))
-	ts := httptest.NewServer(newServer(log, cfg).handler())
+	ts := httptest.NewServer(New(log, cfg).Handler())
 	b.Cleanup(ts.Close)
 	return ts
 }
@@ -55,7 +55,7 @@ func benchPost(b *testing.B, ts *httptest.Server, body string) {
 // BenchmarkSolveCold measures the /solve round trip with the cache
 // disabled: every request runs the full nested95 pipeline.
 func BenchmarkSolveCold(b *testing.B) {
-	ts := benchServer(b, serverConfig{defaultWorkers: 1})
+	ts := benchServer(b, Config{DefaultWorkers: 1})
 	body := benchBody(b)
 	benchPost(b, ts, body) // warm the HTTP path itself
 	b.ResetTimer()
@@ -68,7 +68,7 @@ func BenchmarkSolveCold(b *testing.B) {
 // canonicalization-keyed cache; compare against BenchmarkSolveCold
 // for the hit speedup (recorded in EXPERIMENTS.md).
 func BenchmarkSolveCacheHit(b *testing.B) {
-	ts := benchServer(b, serverConfig{defaultWorkers: 1, cacheEntries: 8})
+	ts := benchServer(b, Config{DefaultWorkers: 1, CacheEntries: 8})
 	body := benchBody(b)
 	benchPost(b, ts, body) // populate the cache
 	b.ResetTimer()

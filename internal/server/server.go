@@ -1,4 +1,11 @@
-package main
+// Package server implements the activetimed solver service: the
+// /solve request path (strict decoding, admission control, solve
+// cache, cancellation-aware execution), /healthz, the Prometheus
+// /metrics exposition, and the net/http/pprof endpoints. It is shared
+// by cmd/activetimed (which serves it over a real listener), by
+// cmd/atload's in-process mode, and by tests, so all three exercise
+// the identical mux and handler code.
+package server
 
 import (
 	"bytes"
@@ -25,43 +32,45 @@ import (
 // 8 MiB leaves room for very large job sets).
 const maxRequestBody = 8 << 20
 
-// serverConfig tunes the service's request path; defaultServerConfig
-// gives the production defaults, tests override individual knobs.
-type serverConfig struct {
-	// defaultWorkers is the per-solve forest worker-pool size used
+// Config tunes the service's request path; DefaultConfig gives the
+// production defaults, tests override individual knobs.
+type Config struct {
+	// DefaultWorkers is the per-solve forest worker-pool size used
 	// when the request does not specify one.
-	defaultWorkers int
-	// maxInFlight bounds concurrently executing solves; ≤ 0 disables
+	DefaultWorkers int
+	// MaxInFlight bounds concurrently executing solves; ≤ 0 disables
 	// admission control.
-	maxInFlight int
-	// admissionWait is how long a request waits for an in-flight slot
+	MaxInFlight int
+	// AdmissionWait is how long a request waits for an in-flight slot
 	// before being shed with 429.
-	admissionWait time.Duration
-	// solveTimeout caps each solve's wall time (0 = unlimited);
+	AdmissionWait time.Duration
+	// SolveTimeout caps each solve's wall time (0 = unlimited);
 	// requests may only tighten it via timeout_ms.
-	solveTimeout time.Duration
-	// cacheEntries sizes the canonicalized solve-result LRU; ≤ 0
+	SolveTimeout time.Duration
+	// CacheEntries sizes the canonicalized solve-result LRU; ≤ 0
 	// disables caching and coalescing.
-	cacheEntries int
+	CacheEntries int
 }
 
-func defaultServerConfig(workers int) serverConfig {
-	return serverConfig{
-		defaultWorkers: workers,
-		maxInFlight:    16,
-		admissionWait:  100 * time.Millisecond,
-		solveTimeout:   0,
-		cacheEntries:   256,
+// DefaultConfig returns the production defaults with the given
+// per-solve worker-pool size.
+func DefaultConfig(workers int) Config {
+	return Config{
+		DefaultWorkers: workers,
+		MaxInFlight:    16,
+		AdmissionWait:  100 * time.Millisecond,
+		SolveTimeout:   0,
+		CacheEntries:   256,
 	}
 }
 
-// server is the long-running solver service: request handling,
+// Server is the long-running solver service: request handling,
 // structured logs, and the process-lifetime metrics registry behind
 // /metrics.
-type server struct {
+type Server struct {
 	reg    *metrics.Registry
 	log    *slog.Logger
-	cfg    serverConfig
+	cfg    Config
 	sem    chan struct{} // in-flight slots; nil when unlimited
 	cache  *solvecache.Group[*activetime.Result]
 	reqSeq atomic.Int64
@@ -72,26 +81,33 @@ type server struct {
 	testHookBeforeSolve func(context.Context)
 }
 
-func newServer(log *slog.Logger, cfg serverConfig) *server {
+// New builds a Server. A nil log falls back to slog.Default().
+func New(log *slog.Logger, cfg Config) *Server {
 	if log == nil {
 		log = slog.Default()
 	}
-	if cfg.defaultWorkers < 1 {
-		cfg.defaultWorkers = 1
+	if cfg.DefaultWorkers < 1 {
+		cfg.DefaultWorkers = 1
 	}
-	s := &server{reg: metrics.NewRegistry(), log: log, cfg: cfg}
-	if cfg.maxInFlight > 0 {
-		s.sem = make(chan struct{}, cfg.maxInFlight)
+	s := &Server{reg: metrics.NewRegistry(), log: log, cfg: cfg}
+	if cfg.MaxInFlight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
-	if cfg.cacheEntries > 0 {
-		s.cache = solvecache.NewGroup[*activetime.Result](cfg.cacheEntries)
+	if cfg.CacheEntries > 0 {
+		s.cache = solvecache.NewGroup[*activetime.Result](cfg.CacheEntries)
 	}
 	return s
 }
 
-// handler returns the service mux: /solve, /healthz, /metrics and the
+// Registry exposes the server's process-lifetime metrics registry —
+// the same one rendered on /metrics — so embedding callers (the
+// binary's shutdown log line, atload's in-process report) can read
+// counters directly.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Handler returns the service mux: /solve, /healthz, /metrics and the
 // net/http/pprof endpoints under /debug/pprof/.
-func (s *server) handler() http.Handler {
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -104,10 +120,10 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// solveRequest is the /solve request body. Instance uses the same
+// SolveRequest is the /solve request body. Instance uses the same
 // JSON shape as the CLI instance files: {"g": 2, "jobs": [{"p","r","d"}]}.
 // Unknown fields anywhere in the body are rejected with 400.
-type solveRequest struct {
+type SolveRequest struct {
 	Instance json.RawMessage `json:"instance"`
 	// Algorithm defaults to nested95.
 	Algorithm string `json:"algorithm,omitempty"`
@@ -127,8 +143,8 @@ type solveRequest struct {
 	IncludeTrace bool `json:"include_trace,omitempty"`
 }
 
-// solveResponse is the /solve response body.
-type solveResponse struct {
+// SolveResponse is the /solve response body.
+type SolveResponse struct {
 	RequestID      string  `json:"request_id"`
 	Algorithm      string  `json:"algorithm"`
 	Jobs           int     `json:"jobs"`
@@ -144,17 +160,17 @@ type solveResponse struct {
 	Trace    *trace.ChromeTrace `json:"trace,omitempty"`
 }
 
-// errorResponse is the uniform error body for every non-2xx outcome.
-type errorResponse struct {
+// ErrorResponse is the uniform error body for every non-2xx outcome.
+type ErrorResponse struct {
 	RequestID string `json:"request_id"`
 	Error     string `json:"error"`
 }
 
-func (s *server) nextRequestID() string {
+func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
 }
 
-func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
@@ -168,7 +184,7 @@ func (s *server) writeJSON(w http.ResponseWriter, status int, v any) {
 // bytes after the JSON object (beyond whitespace) to 400 — a request
 // like {"instance":…}{"junk":1} used to silently drop the second
 // object.
-func (s *server) decodeSolveRequest(w http.ResponseWriter, r *http.Request, req *solveRequest) (status int, msg string) {
+func (s *Server) decodeSolveRequest(w http.ResponseWriter, r *http.Request, req *SolveRequest) (status int, msg string) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -204,11 +220,23 @@ func solveStatus(err error) int {
 	}
 }
 
+// retryAfterSeconds converts the configured admission wait into the
+// whole-second Retry-After value for a 429: the wait rounded up,
+// never below one second (clients should not hammer a saturated
+// server on sub-second loops).
+func retryAfterSeconds(wait time.Duration) int {
+	secs := int(math.Ceil(wait.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
 // observeCancellation counts an aborted request under the right
 // series: deadline expiries (timeout_ms / -solve-timeout) are solve
 // timeouts, everything else — in practice client disconnects — is a
 // cancellation. The two are operationally different signals.
-func (s *server) observeCancellation(err error) {
+func (s *Server) observeCancellation(err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		s.reg.SolveTimedOut()
 	} else {
@@ -216,30 +244,33 @@ func (s *server) observeCancellation(err error) {
 	}
 }
 
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.reg.RequestStarted()
+	defer s.reg.RequestFinished()
+
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
 	if r.Method != http.MethodPost {
 		log.Warn("solve rejected", "reason", "method", "method", r.Method)
-		s.writeJSON(w, http.StatusMethodNotAllowed, errorResponse{reqID, "POST required"})
+		s.writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{reqID, "POST required"})
 		return
 	}
 
-	var req solveRequest
+	var req SolveRequest
 	if status, msg := s.decodeSolveRequest(w, r, &req); status != http.StatusOK {
 		log.Warn("solve rejected", "reason", "bad_body", "status", status, "err", msg)
-		s.writeJSON(w, status, errorResponse{reqID, msg})
+		s.writeJSON(w, status, ErrorResponse{reqID, msg})
 		return
 	}
 	if len(req.Instance) == 0 {
 		log.Warn("solve rejected", "reason", "no_instance")
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "missing instance"})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "missing instance"})
 		return
 	}
 	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
 	if err != nil {
 		log.Warn("solve rejected", "reason", "invalid_instance", "err", err)
-		s.writeJSON(w, http.StatusBadRequest, errorResponse{reqID, "invalid instance: " + err.Error()})
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "invalid instance: " + err.Error()})
 		return
 	}
 
@@ -249,7 +280,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	workers := req.Workers
 	if workers < 1 {
-		workers = s.cfg.defaultWorkers
+		workers = s.cfg.DefaultWorkers
 	}
 	var tr *trace.Tracer
 	if req.IncludeTrace {
@@ -262,7 +293,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// overflow int64 nanoseconds) cannot tighten anything, so it is
 	// ignored and the server cap stands.
 	ctx := r.Context()
-	timeout := s.cfg.solveTimeout
+	timeout := s.cfg.SolveTimeout
 	if req.TimeoutMS > 0 && req.TimeoutMS <= math.MaxInt64/int64(time.Millisecond) {
 		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
 			timeout = d
@@ -280,22 +311,26 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			wait := time.NewTimer(s.cfg.admissionWait)
+			s.reg.AdmissionWaitStarted()
+			wait := time.NewTimer(s.cfg.AdmissionWait)
 			select {
 			case s.sem <- struct{}{}:
+				s.reg.AdmissionWaitFinished()
 				wait.Stop()
 			case <-wait.C:
+				s.reg.AdmissionWaitFinished()
 				s.reg.AdmissionShed()
-				log.Warn("solve rejected", "reason", "saturated", "max_inflight", s.cfg.maxInFlight)
-				w.Header().Set("Retry-After", "1")
+				log.Warn("solve rejected", "reason", "saturated", "max_inflight", s.cfg.MaxInFlight)
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.AdmissionWait)))
 				s.writeJSON(w, http.StatusTooManyRequests,
-					errorResponse{reqID, "server saturated: too many solves in flight"})
+					ErrorResponse{reqID, "server saturated: too many solves in flight"})
 				return
 			case <-ctx.Done():
+				s.reg.AdmissionWaitFinished()
 				wait.Stop()
 				s.observeCancellation(ctx.Err())
 				log.Warn("solve canceled", "reason", "ctx_during_admission", "err", ctx.Err())
-				s.writeJSON(w, http.StatusServiceUnavailable, errorResponse{reqID, ctx.Err().Error()})
+				s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{reqID, ctx.Err().Error()})
 				return
 			}
 		}
@@ -380,11 +415,11 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		log.Warn("solve failed", "err", err, "status", status,
 			"elapsed_ms", float64(elapsed.Microseconds())/1e3)
-		s.writeJSON(w, status, errorResponse{reqID, err.Error()})
+		s.writeJSON(w, status, ErrorResponse{reqID, err.Error()})
 		return
 	}
 
-	out := solveResponse{
+	out := SolveResponse{
 		RequestID:      reqID,
 		Algorithm:      string(res.Algorithm),
 		Jobs:           in.N(),
@@ -399,7 +434,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		var buf bytes.Buffer
 		if err := res.Schedule.WriteJSON(&buf); err != nil {
 			log.Error("encode schedule", "err", err)
-			s.writeJSON(w, http.StatusInternalServerError, errorResponse{reqID, "encode schedule: " + err.Error()})
+			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{reqID, "encode schedule: " + err.Error()})
 			return
 		}
 		out.Schedule = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
@@ -415,14 +450,14 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, out)
 }
 
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ok",
 		"solves": s.reg.Solves(),
 	})
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.log.Error("write metrics", "err", err)

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bytes"
@@ -18,19 +18,19 @@ import (
 	"repro/internal/metrics"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server, *bytes.Buffer) {
+func testServer(t *testing.T) (*Server, *httptest.Server, *bytes.Buffer) {
 	// Cache and admission control off: the base tests (including the
 	// registry-consistency hammer, which replays identical bodies and
 	// sums per-request stats) need every request to run a real solve.
-	return testServerCfg(t, serverConfig{defaultWorkers: 2})
+	return testServerCfg(t, Config{DefaultWorkers: 2})
 }
 
-func testServerCfg(t *testing.T, cfg serverConfig) (*server, *httptest.Server, *bytes.Buffer) {
+func testServerCfg(t *testing.T, cfg Config) (*Server, *httptest.Server, *bytes.Buffer) {
 	t.Helper()
 	var logBuf bytes.Buffer
 	log := slog.New(slog.NewJSONHandler(&syncWriter{w: &logBuf}, nil))
-	s := newServer(log, cfg)
-	ts := httptest.NewServer(s.handler())
+	s := New(log, cfg)
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts, &logBuf
 }
@@ -89,7 +89,7 @@ func TestSolveEndpoint(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, data)
 	}
-	var out solveResponse
+	var out SolveResponse
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("decode: %v\n%s", err, data)
 	}
@@ -153,13 +153,16 @@ func TestSolveErrors(t *testing.T) {
 		if resp.StatusCode != tc.status {
 			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, data)
 		}
-		var e errorResponse
+		var e ErrorResponse
 		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" || e.RequestID == "" {
 			t.Errorf("%s: error body malformed: %s", tc.name, data)
 		}
 	}
 	if s.reg.InFlight() != 0 {
 		t.Errorf("in-flight gauge leaked: %d", s.reg.InFlight())
+	}
+	if s.reg.InFlightRequests() != 0 {
+		t.Errorf("request gauge leaked: %d", s.reg.InFlightRequests())
 	}
 }
 
@@ -205,7 +208,7 @@ func TestConcurrentSolvesRegistryConsistent(t *testing.T) {
 					t.Errorf("solve status %d: %s", resp.StatusCode, data)
 					return
 				}
-				var out solveResponse
+				var out SolveResponse
 				if err := json.Unmarshal(data, &out); err != nil {
 					t.Error(err)
 					return
@@ -249,6 +252,9 @@ func TestConcurrentSolvesRegistryConsistent(t *testing.T) {
 	if got := s.reg.InFlight(); got != 0 {
 		t.Errorf("InFlight = %d, want 0", got)
 	}
+	if got := s.reg.InFlightRequests(); got != 0 {
+		t.Errorf("InFlightRequests = %d, want 0", got)
+	}
 }
 
 // TestMetricsEndpoint checks the exposition includes the per-stage
@@ -273,6 +279,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	out := string(data)
 	for _, want := range []string{
 		"activetime_solves_total 1",
+		"activetime_inflight_requests 0",
+		"activetime_admission_queue_depth 0",
 		`activetime_stage_seconds_total{stage="lp_solve"}`,
 		`activetime_stage_seconds_total{stage="place"}`,
 		"# TYPE activetime_solve_duration_seconds histogram",

@@ -1,0 +1,206 @@
+package solvecache
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// churnKeys builds n distinct keys from n distinct single-job
+// instances.
+func churnKeys(t *testing.T, n int) []Key {
+	t.Helper()
+	keys := make([]Key, n)
+	seen := map[Key]bool{}
+	for i := range keys {
+		in, err := instance.New(1, []instance.Job{
+			{Processing: 1, Release: int64(i), Deadline: int64(i) + 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[i] = KeyFor(in, "nested95")
+		if seen[keys[i]] {
+			t.Fatalf("key %d collides", i)
+		}
+		seen[keys[i]] = true
+	}
+	return keys
+}
+
+// TestCacheChurnConcurrent hammers a small LRU with concurrent Add/Get
+// over a keyspace much larger than the capacity. Run under -race this
+// is the regression test for the lock discipline; the invariants
+// checked are that the cache never exceeds its capacity and that a Get
+// never returns another key's value.
+func TestCacheChurnConcurrent(t *testing.T) {
+	const (
+		capacity = 8
+		keyCount = 64
+		workers  = 8
+		opsEach  = 2000
+	)
+	keys := churnKeys(t, keyCount)
+	c := NewCache[int](capacity)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for op := 0; op < opsEach; op++ {
+				i := rng.Intn(keyCount)
+				if rng.Intn(3) == 0 {
+					// Value encodes the key index so cross-key mixups are
+					// detectable.
+					c.Add(keys[i], i)
+				} else if v, ok := c.Get(keys[i]); ok && v != i {
+					t.Errorf("Get(key %d) returned value %d", i, v)
+					return
+				}
+				if op%97 == 0 {
+					if n := c.Len(); n > capacity {
+						t.Errorf("cache holds %d entries, capacity %d", n, capacity)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity || n == 0 {
+		t.Fatalf("cache ended with %d entries, capacity %d", n, capacity)
+	}
+	// The cache must still function after the churn.
+	c.Add(keys[0], 0)
+	if v, ok := c.Get(keys[0]); !ok || v != 0 {
+		t.Fatal("cache broken after churn")
+	}
+}
+
+// TestGroupChurnConcurrent drives the full Group (cache + coalescing)
+// with concurrent Do calls over a keyspace larger than the LRU, so
+// hits, misses, coalesced joins, and evictions interleave. Every call
+// must come back with its own key's value regardless of which path
+// served it.
+func TestGroupChurnConcurrent(t *testing.T) {
+	const (
+		capacity = 4
+		keyCount = 32
+		workers  = 8
+		opsEach  = 500
+	)
+	keys := churnKeys(t, keyCount)
+	g := NewGroup[int](capacity)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + w)))
+			for op := 0; op < opsEach; op++ {
+				i := rng.Intn(keyCount)
+				v, _, err := g.Do(context.Background(), keys[i], func(context.Context) (int, error) {
+					return i, nil
+				})
+				if err != nil {
+					t.Errorf("Do(key %d): %v", i, err)
+					return
+				}
+				if v != i {
+					t.Errorf("Do(key %d) returned value %d", i, v)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := g.CacheLen(); n > capacity {
+		t.Fatalf("group cache holds %d entries, capacity %d", n, capacity)
+	}
+}
+
+// canonicalSig is the stand-in cached "schedule" for the relabel test:
+// the job signatures in canonical order, the form the server stores so
+// any permutation of the instance can relabel a cached schedule back
+// to its own job order via CanonicalOrder.
+func canonicalSig(in *instance.Instance) []string {
+	order := CanonicalOrder(in)
+	sig := make([]string, len(order))
+	for rank, idx := range order {
+		j := in.Jobs[idx]
+		sig[rank] = fmt.Sprintf("r%d-d%d-p%d", j.Release, j.Deadline, j.Processing)
+	}
+	return sig
+}
+
+// TestGroupEvictReinsertRelabels: evict a key by filling a size-1 LRU,
+// re-solve it via a permuted copy of the instance, then hit the
+// reinserted entry with yet another permutation. The cached canonical
+// value must still map back to each caller's own job order — eviction
+// and reinsertion must not corrupt the canonical-order contract.
+// (internal/server's TestCacheEvictReinsertRelabels covers the same
+// scenario end to end through /solve with real schedules.)
+func TestGroupEvictReinsertRelabels(t *testing.T) {
+	base := testInstance(t)
+	permA := base.Permute([]int{1, 2, 0})
+	permB := base.Permute([]int{2, 0, 1})
+	other, err := instance.New(1, []instance.Job{{Processing: 1, Release: 0, Deadline: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := NewGroup[[]string](1)
+	solves := 0
+	solve := func(in *instance.Instance) func(context.Context) ([]string, error) {
+		return func(context.Context) ([]string, error) {
+			solves++
+			return canonicalSig(in), nil
+		}
+	}
+
+	// Cold solve via the base ordering.
+	if _, out, err := g.Do(context.Background(), KeyFor(base, "nested95"), solve(base)); err != nil || out != Miss {
+		t.Fatalf("cold solve: outcome %v, err %v", out, err)
+	}
+	// Evict it: a size-1 LRU only holds the most recent key.
+	if _, _, err := g.Do(context.Background(), KeyFor(other, "nested95"), solve(other)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-solve through a permutation — must be a fresh miss.
+	v, out, err := g.Do(context.Background(), KeyFor(permA, "nested95"), solve(permA))
+	if err != nil || out != Miss {
+		t.Fatalf("post-evict solve: outcome %v, err %v", out, err)
+	}
+	// Another permutation now hits the reinserted entry.
+	v2, out, err := g.Do(context.Background(), KeyFor(permB, "nested95"), solve(permB))
+	if err != nil || out != Hit {
+		t.Fatalf("reinserted key: outcome %v, err %v", out, err)
+	}
+	if solves != 3 {
+		t.Fatalf("%d solves, want 3 (base, other, re-solve)", solves)
+	}
+
+	// The cached value is canonical: relabeling through each caller's
+	// own CanonicalOrder must recover that caller's job signatures.
+	for _, in := range []*instance.Instance{permA, permB} {
+		got := v
+		if in == permB {
+			got = v2
+		}
+		order := CanonicalOrder(in)
+		for rank, idx := range order {
+			j := in.Jobs[idx]
+			want := fmt.Sprintf("r%d-d%d-p%d", j.Release, j.Deadline, j.Processing)
+			if got[rank] != want {
+				t.Fatalf("rank %d maps to %q, want %q", rank, got[rank], want)
+			}
+		}
+	}
+}
