@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench fuzz-smoke serve-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -52,8 +52,23 @@ loadgen-bench:
 		-jobs-min 6 -jobs-max 40 -distinct 16 \
 		-slo-p99 250 -slo-max-error-rate 0.01 -report BENCH_loadgen.json
 
+# Regenerate the committed core-solver benchmark baseline
+# (BENCH_core.json): fixed-seed instance families, median ns/op,
+# allocs/op and the deterministic pivot/Dinic counters. Compare two
+# baselines with: go run ./cmd/atbench -compare old.json new.json
+bench-core:
+	$(GO) run ./cmd/atbench -out BENCH_core.json
+
+# One short bench-core iteration into /tmp; asserts the report is
+# valid (atbench -compare reloads and schema-checks it) and that the
+# deterministic counters did not drift from the committed baseline.
+bench-smoke:
+	$(GO) run ./cmd/atbench -quick -out /tmp/bench-smoke.json
+	$(GO) run ./cmd/atbench -compare -check-counters BENCH_core.json /tmp/bench-smoke.json
+	rm -f /tmp/bench-smoke.json
+
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke loadgen-smoke
+ci: build vet test race fuzz-smoke serve-smoke loadgen-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,288 @@
+// Command atbench benchmarks the core solver hot path over fixed-seed
+// instance families and emits a machine-readable baseline
+// (BENCH_core.json): ns/op, allocs/op, bytes/op per family plus the
+// deterministic operation counters (simplex pivots, Dinic ops) for the
+// same instances. Timings are machine-dependent; counters are exact
+// and must be byte-stable across runs for a fixed binary.
+//
+// Usage:
+//
+//	atbench [-out BENCH_core.json] [-runs 5] [-budget 300ms] [-quick]
+//	atbench -compare old.json new.json [-fail-over 1.15]
+//
+// The -compare mode is the run-comparison tool: it prints a per-family
+// table of ns/op, allocs/op and counter deltas between two reports and
+// (with -fail-over R) exits 1 when any family's median ns/op regressed
+// by more than the factor R. Everything is stdlib-only so the tool can
+// run in any CI image that has the Go toolchain.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gapfam"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/metrics"
+)
+
+const schema = "activetime-bench-core/v1"
+
+// family is a named, fixed set of instances solved as one benchmark op.
+type family struct {
+	name      string
+	instances []*instance.Instance
+}
+
+// FamilyResult is one family's measurements. Counters come from a
+// single instrumented solve of every instance in the family and are
+// deterministic; the timing fields are medians over -runs repetitions.
+type FamilyResult struct {
+	Name        string               `json:"name"`
+	Instances   int                  `json:"instances"`
+	Jobs        int                  `json:"jobs"`
+	NsPerOp     int64                `json:"ns_per_op"`
+	AllocsPerOp int64                `json:"allocs_per_op"`
+	BytesPerOp  int64                `json:"bytes_per_op"`
+	RunsNsPerOp []int64              `json:"runs_ns_per_op"`
+	Counters    metrics.CounterStats `json:"counters"`
+}
+
+// Report is the whole benchmark baseline.
+type Report struct {
+	Schema    string         `json:"schema"`
+	GoVersion string         `json:"go_version"`
+	Budget    string         `json:"budget_per_run"`
+	Runs      int            `json:"runs"`
+	Families  []FamilyResult `json:"families"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "BENCH_core.json", "output file for the JSON report")
+		runs     = flag.Int("runs", 5, "timed repetitions per family (median is reported)")
+		budget   = flag.Duration("budget", 300*time.Millisecond, "minimum measuring time per repetition")
+		quick    = flag.Bool("quick", false, "smoke mode: one short repetition per family")
+		compare  = flag.Bool("compare", false, "compare two existing reports instead of benchmarking")
+		failOver = flag.Float64("fail-over", 0, "with -compare: exit 1 when any family's ns/op regressed by more than this factor (0 disables)")
+		checkCtr = flag.Bool("check-counters", false, "with -compare: exit 1 when any family's deterministic counters differ")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: atbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *failOver, *checkCtr))
+	}
+	if *quick {
+		*runs = 1
+		*budget = 20 * time.Millisecond
+	}
+	if err := runBench(*out, *runs, *budget); err != nil {
+		fmt.Fprintln(os.Stderr, "atbench:", err)
+		os.Exit(1)
+	}
+}
+
+// families builds the fixed-seed benchmark suite. Seeds and parameters
+// are frozen: changing them invalidates every committed baseline.
+func families() []family {
+	nested := func(name string, count, n int, g int64, seed int64) family {
+		rng := rand.New(rand.NewSource(seed))
+		ins := make([]*instance.Instance, count)
+		for i := range ins {
+			ins[i] = gen.RandomLaminar(rng, gen.DefaultLaminar(n, g))
+		}
+		return family{name: name, instances: ins}
+	}
+	unit := func(name string, count, n int, g int64, seed int64) family {
+		rng := rand.New(rand.NewSource(seed))
+		ins := make([]*instance.Instance, count)
+		for i := range ins {
+			ins[i] = gen.RandomUnitLaminar(rng, gen.DefaultLaminar(n, g))
+		}
+		return family{name: name, instances: ins}
+	}
+	return []family{
+		nested("nested-small", 8, 12, 3, 101),
+		nested("nested-medium", 6, 32, 3, 202),
+		nested("nested-large", 4, 64, 4, 303),
+		unit("unit-nested", 6, 32, 2, 404),
+		{name: "gap-worstcase", instances: []*instance.Instance{
+			gapfam.NaturalGap2(6),
+			gapfam.Nested32(6),
+			gapfam.Staircase(6, 2),
+			gapfam.PinnedComb(8, 3),
+		}},
+	}
+}
+
+func runBench(out string, runs int, budget time.Duration) error {
+	rep := Report{
+		Schema:    schema,
+		GoVersion: runtime.Version(),
+		Budget:    budget.String(),
+		Runs:      runs,
+	}
+	for _, f := range families() {
+		fr, err := benchFamily(f, runs, budget)
+		if err != nil {
+			return fmt.Errorf("family %s: %w", f.name, err)
+		}
+		rep.Families = append(rep.Families, fr)
+		fmt.Printf("%-16s %12d ns/op %8d allocs/op %10d B/op  pivots=%d dinic_bfs=%d\n",
+			fr.Name, fr.NsPerOp, fr.AllocsPerOp, fr.BytesPerOp,
+			fr.Counters.SimplexPivots, fr.Counters.DinicBFSRounds)
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(out, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}
+
+func benchFamily(f family, runs int, budget time.Duration) (FamilyResult, error) {
+	fr := FamilyResult{Name: f.name, Instances: len(f.instances)}
+	for _, in := range f.instances {
+		fr.Jobs += in.N()
+	}
+	solveAll := func(rec *metrics.Recorder) error {
+		for _, in := range f.instances {
+			if _, _, err := core.SolveWithOptions(in, core.Options{Workers: 1, Metrics: rec}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Deterministic counters from one instrumented pass.
+	rec := new(metrics.Recorder)
+	if err := solveAll(rec); err != nil {
+		return fr, err
+	}
+	fr.Counters = rec.Snapshot().Counters
+
+	var failed error
+	op := func() {
+		if err := solveAll(nil); err != nil && failed == nil {
+			failed = err
+		}
+	}
+	for r := 0; r < runs; r++ {
+		ns, allocs, bytes := measure(budget, op)
+		if failed != nil {
+			return fr, failed
+		}
+		fr.RunsNsPerOp = append(fr.RunsNsPerOp, ns)
+		// allocs/bytes are deterministic per op; keep the last run's.
+		fr.AllocsPerOp, fr.BytesPerOp = allocs, bytes
+	}
+	fr.NsPerOp = median(fr.RunsNsPerOp)
+	return fr, nil
+}
+
+// measure times fn until the budget elapses and reports per-op cost.
+// It is a minimal stand-in for testing.B that allows a configurable
+// budget without the testing flag machinery.
+func measure(budget time.Duration, fn func()) (nsPerOp, allocsPerOp, bytesPerOp int64) {
+	fn() // warm caches and pools before the timed region
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	var iters int64
+	for time.Since(start) < budget {
+		fn()
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed.Nanoseconds() / iters,
+		int64(m1.Mallocs-m0.Mallocs) / iters,
+		int64(m1.TotalAlloc-m0.TotalAlloc) / iters
+}
+
+func median(v []int64) int64 {
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+	return s[len(s)/2]
+}
+
+// --- comparison mode ---
+
+func runCompare(oldPath, newPath string, failOver float64, checkCounters bool) int {
+	oldRep, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atbench:", err)
+		return 2
+	}
+	newRep, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "atbench:", err)
+		return 2
+	}
+	oldBy := map[string]FamilyResult{}
+	for _, f := range oldRep.Families {
+		oldBy[f.Name] = f
+	}
+	fmt.Printf("%-16s %14s %14s %8s %10s %10s %8s\n",
+		"family", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "Δallocs")
+	exit := 0
+	for _, nf := range newRep.Families {
+		of, ok := oldBy[nf.Name]
+		if !ok {
+			fmt.Printf("%-16s %14s (new family)\n", nf.Name, "-")
+			continue
+		}
+		speed := float64(of.NsPerOp) / float64(nf.NsPerOp)
+		dAlloc := "0%"
+		if of.AllocsPerOp > 0 {
+			dAlloc = fmt.Sprintf("%+.1f%%", 100*float64(nf.AllocsPerOp-of.AllocsPerOp)/float64(of.AllocsPerOp))
+		}
+		flag := ""
+		if failOver > 0 && float64(nf.NsPerOp) > float64(of.NsPerOp)*failOver {
+			flag = "  REGRESSION"
+			exit = 1
+		}
+		fmt.Printf("%-16s %14d %14d %7.2fx %10d %10d %8s%s\n",
+			nf.Name, of.NsPerOp, nf.NsPerOp, speed, of.AllocsPerOp, nf.AllocsPerOp, dAlloc, flag)
+		if of.Counters != nf.Counters {
+			fmt.Printf("%-16s   counters changed: old %+v\n%-16s                     new %+v\n",
+				"", of.Counters, "", nf.Counters)
+			if checkCounters {
+				exit = 1
+			}
+		}
+	}
+	return exit
+}
+
+func load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Schema != schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, schema)
+	}
+	return &r, nil
+}

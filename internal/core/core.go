@@ -274,13 +274,18 @@ func solveComponent(ctx context.Context, in *instance.Instance, opts Options, re
 		return nil, Report{}, err
 	}
 
-	// Feasibility gate: everything open must work.
+	// Feasibility gate: everything open must work. The node network is
+	// built once here and reused by every later probe on this tree —
+	// the post-rounding check, the repair loop (warm-started), the
+	// minimalization sweep and the final placement — so each probe
+	// re-primes capacities instead of rebuilding the graph.
 	_, stop = startStage(rec, fsp, metrics.StageFeasGate)
 	full := make([]int64, tree.M())
 	for i := range full {
 		full[i] = tree.Nodes[i].L
 	}
-	ok, err := flowfeas.CheckNodeCountsCtx(ctx, tree, full, rec)
+	net := flowfeas.NewNodeNet(tree)
+	ok, err := net.Check(ctx, full, rec)
 	stop()
 	if err != nil {
 		return nil, Report{}, err
@@ -335,14 +340,14 @@ func solveComponent(ctx context.Context, in *instance.Instance, opts Options, re
 	// Theorem 4.5 guarantees feasibility; verify and repair if
 	// floating-point noise ever broke it.
 	_, stop = startStage(rec, fsp, metrics.StageFeasCheck)
-	ok, err = flowfeas.CheckNodeCountsCtx(ctx, tree, counts, rec)
+	ok, err = net.Check(ctx, counts, rec)
 	stop()
 	if err != nil {
 		return nil, Report{}, err
 	}
 	if !ok {
 		_, stop = startStage(rec, fsp, metrics.StageRepair)
-		added, ok, err := repair(ctx, tree, counts, rec)
+		added, ok, err := repair(ctx, tree, net, counts, rec)
 		stop()
 		if err != nil {
 			return nil, Report{}, err
@@ -356,8 +361,11 @@ func solveComponent(ctx context.Context, in *instance.Instance, opts Options, re
 
 	if opts.Minimalize {
 		_, stop = startStage(rec, fsp, metrics.StageMinimalize)
-		removed := MinimalizeCountsRec(tree, counts, rec)
+		removed, err := minimalizeCountsNet(ctx, tree, net, counts, rec)
 		stop()
+		if err != nil {
+			return nil, Report{}, err
+		}
 		rep.Minimalized = removed
 		rep.RoundedSlots -= removed
 	}
@@ -370,7 +378,7 @@ func solveComponent(ctx context.Context, in *instance.Instance, opts Options, re
 	if opts.Compact {
 		_, s, err = PlaceCompact(tree, counts)
 	} else {
-		s, err = flowfeas.ScheduleOnNodeCountsCtx(ctx, tree, counts, rec)
+		s, err = net.Schedule(ctx, counts, rec)
 	}
 	stop()
 	if err != nil {
@@ -480,10 +488,12 @@ func ancestorsOf(t *lamtree.Tree, I []int) []int {
 // repair opens additional slots until the count vector becomes
 // feasible, checking ctx once per flow re-check. It exists purely as a
 // numeric safety net; the paper's Theorem 4.5 makes it unreachable
-// with an exact LP solution.
-func repair(ctx context.Context, t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (added int64, ok bool, err error) {
+// with an exact LP solution. Counts only ever grow here, so each
+// re-check warm-starts the node network from the previous probe's
+// flow instead of recomputing it.
+func repair(ctx context.Context, t *lamtree.Tree, net *flowfeas.NodeNet, counts []int64, rec *metrics.Recorder) (added int64, ok bool, err error) {
 	for {
-		feasible, err := flowfeas.CheckNodeCountsCtx(ctx, t, counts, rec)
+		feasible, err := net.CheckWarm(ctx, counts, rec)
 		if err != nil {
 			return added, false, err
 		}

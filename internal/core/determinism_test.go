@@ -1,0 +1,56 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// TestCountersDeterministicAcrossRuns: the deterministic counters —
+// simplex pivots, Dinic BFS rounds and augmenting paths — must be
+// bit-identical across repeated solves of the same instance, at any
+// worker count and with the minimalization sweep on. This pins the
+// hot-path rewrites (sparse pivoting, pooled tableaus, the reusable
+// node network) to the exact operation sequence of the reference
+// implementation: any skipped or extra pivot/BFS/augmentation shows up
+// as a counter diff.
+func TestCountersDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(9091))
+	instances := []struct {
+		name string
+		opts Options
+	}{
+		{"plain", Options{Workers: 1}},
+		{"minimalize", Options{Workers: 1, Minimalize: true}},
+		{"workers4", Options{Workers: 4}},
+	}
+	for trial := 0; trial < 4; trial++ {
+		in := multiForest(t, rng, 3)
+		for _, tc := range instances {
+			var base metrics.CounterStats
+			for run := 0; run < 3; run++ {
+				rec := new(metrics.Recorder)
+				opts := tc.opts
+				opts.Metrics = rec
+				if _, _, err := SolveWithOptions(in, opts); err != nil {
+					t.Fatalf("trial %d %s run %d: %v", trial, tc.name, run, err)
+				}
+				got := rec.Snapshot().Counters
+				if got.SimplexPivots == 0 || got.DinicRuns == 0 {
+					t.Fatalf("trial %d %s run %d: counters not recorded: %+v",
+						trial, tc.name, run, got)
+				}
+				if run == 0 {
+					base = got
+					continue
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Fatalf("trial %d %s: counters diverge between runs\nrun 0: %+v\nrun %d: %+v",
+						trial, tc.name, base, run, got)
+				}
+			}
+		}
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/flowfeas"
 	"repro/internal/lamtree"
 	"repro/internal/metrics"
@@ -18,6 +20,15 @@ func MinimalizeCounts(t *lamtree.Tree, counts []int64) (removed int64) {
 // MinimalizeCountsRec is MinimalizeCounts reporting max-flow operation
 // counts to rec (nil disables reporting).
 func MinimalizeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder) (removed int64) {
+	removed, _ = minimalizeCountsNet(context.Background(), t, flowfeas.NewNodeNet(t), counts, rec)
+	return removed
+}
+
+// minimalizeCountsNet is the sweep over a caller-supplied reusable
+// node network. Counts shrink monotonically here, which warm starting
+// cannot express, so every probe is a cold Check — still
+// allocation-free on the network side.
+func minimalizeCountsNet(ctx context.Context, t *lamtree.Tree, net *flowfeas.NodeNet, counts []int64, rec *metrics.Recorder) (removed int64, err error) {
 	order := t.PostOrder()
 	// A single sweep suffices: feasibility is monotone, so a slot that
 	// cannot close now can never close after further removals; but we
@@ -26,7 +37,12 @@ func MinimalizeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder)
 	for _, i := range order {
 		for counts[i] > 0 {
 			counts[i]--
-			if flowfeas.CheckNodeCountsRec(t, counts, rec) {
+			ok, cerr := net.Check(ctx, counts, rec)
+			if cerr != nil {
+				counts[i]++
+				return removed, cerr
+			}
+			if ok {
 				removed++
 				continue
 			}
@@ -34,5 +50,5 @@ func MinimalizeCountsRec(t *lamtree.Tree, counts []int64, rec *metrics.Recorder)
 			break
 		}
 	}
-	return removed
+	return removed, nil
 }

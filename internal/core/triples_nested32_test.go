@@ -192,7 +192,7 @@ func TestRepairAddsSlots(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := make([]int64, tree.M()) // all closed: infeasible
-	added, ok, err := repair(context.Background(), tree, counts, nil)
+	added, ok, err := repair(context.Background(), tree, flowfeas.NewNodeNet(tree), counts, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -62,7 +62,7 @@ func SolveNestedTrace(t *lamtree.Tree, rec *metrics.Recorder, sp *trace.Span) (i
 	}
 	s.rootLB = rootLB
 	s.dfs(0, 0)
-	if rec != nil {
+	if metrics.Active(rec) {
 		rec.BBNodesExpanded.Add(s.expanded)
 		rec.BBNodesPruned.Add(s.pruned)
 	}
@@ -221,7 +221,7 @@ func SolveGeneralTrace(in *instance.Instance, rec *metrics.Recorder, sp *trace.S
 	s.best = append([]bool(nil), s.open...)
 	s.bestSum = int64(len(slots))
 	s.dfs(0, 0)
-	if rec != nil {
+	if metrics.Active(rec) {
 		rec.BBNodesExpanded.Add(s.expanded)
 		rec.BBNodesPruned.Add(s.pruned)
 	}

@@ -147,12 +147,19 @@ func ScheduleOnNodeCountsCtx(ctx context.Context, t *lamtree.Tree, counts []int6
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: node counts infeasible")
 	}
+	return extractNodeSchedule(t, net.g, net.jobNodeEdges, net.jobNodes, counts)
+}
+
+// extractNodeSchedule turns the flow on a solved node network into a
+// concrete schedule: per-node demands, column-packed into each node's
+// counts[i] leftmost exclusive slots.
+func extractNodeSchedule(t *lamtree.Tree, g *maxflow.Graph, jobNodeEdges [][]maxflow.EdgeRef, jobNodes [][]int, counts []int64) (*sched.Schedule, error) {
 	out := sched.New(t.G)
 	demands := make([][]sched.Demand, t.M())
-	for jID, edges := range net.jobNodeEdges {
+	for jID, edges := range jobNodeEdges {
 		for k, ref := range edges {
-			if f := net.g.Flow(ref); f > 0 {
-				node := net.jobNodes[jID][k]
+			if f := g.Flow(ref); f > 0 {
+				node := jobNodes[jID][k]
 				demands[node] = append(demands[node], sched.Demand{ID: jID, Units: f})
 			}
 		}

@@ -1,0 +1,177 @@
+package flowfeas
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/lamtree"
+	"repro/internal/maxflow"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+)
+
+// NodeNet is a reusable Lemma 4.1 node-indexed flow network over one
+// fixed tree. The core solve pipeline probes the same tree many times
+// with different count vectors (feasibility gate, post-rounding check,
+// repair, minimalization sweeps, final placement); building the graph
+// once and re-priming capacities per probe removes every per-probe
+// graph allocation.
+//
+// Unlike the one-shot network, every job→node and node→sink edge
+// exists from the start, with zero capacity where counts[i] == 0.
+// Zero-capacity edges are invisible to Dinic — BFS and DFS both skip
+// edges without residual capacity before reading anything else — so a
+// cold probe on the prebuilt network performs the identical operation
+// sequence (BFS rounds, augmenting paths, per-edge decisions) as a
+// freshly built graph for the same counts. Operation counters are
+// therefore byte-identical to the one-shot path.
+//
+// A NodeNet is not safe for concurrent use; the pipeline threads one
+// per component solve.
+type NodeNet struct {
+	t *lamtree.Tree
+	g *maxflow.Graph
+	// srcEdges[j]: source → job j (capacity p_j).
+	srcEdges []maxflow.EdgeRef
+	// sinkEdges[i]: node i → sink (capacity g·counts[i]).
+	sinkEdges []maxflow.EdgeRef
+	// jobNodeEdges[j][k]: job j → node jobNodes[j][k] (capacity
+	// counts[node]), over all of Des(k(j)) in tree order.
+	jobNodeEdges [][]maxflow.EdgeRef
+	jobNodes     [][]int
+	// nodeJobEdges[i]: every job→node edge entering node i, for
+	// capacity re-priming.
+	nodeJobEdges [][]maxflow.EdgeRef
+	last         []int64 // counts applied by the last prime
+	want         int64   // Σ p_j
+	flowed       int64   // total flow routed since the last cold prime
+}
+
+// NewNodeNet builds the reusable network for t. Source edges carry
+// their final capacities (p_j never changes); node capacities start at
+// zero until a Check, CheckWarm or Schedule call primes them.
+func NewNodeNet(t *lamtree.Tree) *NodeNet {
+	m := t.M()
+	n := len(t.Jobs)
+	g := maxflow.New(2 + n + m)
+	nn := &NodeNet{
+		t:            t,
+		g:            g,
+		srcEdges:     make([]maxflow.EdgeRef, n),
+		sinkEdges:    make([]maxflow.EdgeRef, m),
+		jobNodeEdges: make([][]maxflow.EdgeRef, n),
+		jobNodes:     make([][]int, n),
+		nodeJobEdges: make([][]maxflow.EdgeRef, m),
+		last:         make([]int64, m),
+	}
+	// Same insertion order as the one-shot builder: node→sink edges
+	// first, then per job its source edge and descendant edges. The
+	// adjacency-list order of positive-capacity edges then matches a
+	// fresh graph exactly.
+	for i := 0; i < m; i++ {
+		nn.sinkEdges[i] = g.AddEdge(2+n+i, 1, 0)
+	}
+	for jID, j := range t.Jobs {
+		nn.srcEdges[jID] = g.AddEdge(0, 2+jID, j.Processing)
+		nn.want += j.Processing
+		for _, d := range t.Des(t.NodeOf[jID]) {
+			ref := g.AddEdge(2+jID, 2+n+d, 0)
+			nn.jobNodeEdges[jID] = append(nn.jobNodeEdges[jID], ref)
+			nn.jobNodes[jID] = append(nn.jobNodes[jID], d)
+			nn.nodeJobEdges[d] = append(nn.nodeJobEdges[d], ref)
+		}
+	}
+	return nn
+}
+
+// validate panics on a malformed count vector, mirroring the one-shot
+// path.
+func (nn *NodeNet) validate(counts []int64) {
+	if len(counts) != nn.t.M() {
+		panic(fmt.Sprintf("flowfeas: counts length %d != m=%d", len(counts), nn.t.M()))
+	}
+	for i, c := range counts {
+		if c < 0 || c > nn.t.Nodes[i].L {
+			panic(fmt.Sprintf("flowfeas: counts[%d]=%d outside [0,%d]", i, c, nn.t.Nodes[i].L))
+		}
+	}
+}
+
+// prime sets every capacity for counts and clears all flow, restoring
+// the exact state a freshly built graph would have.
+func (nn *NodeNet) prime(counts []int64) {
+	nn.validate(counts)
+	for jID, j := range nn.t.Jobs {
+		nn.g.SetCapacity(nn.srcEdges[jID], j.Processing)
+	}
+	for i, c := range counts {
+		nn.g.SetCapacity(nn.sinkEdges[i], nn.t.G*c)
+		for _, ref := range nn.nodeJobEdges[i] {
+			nn.g.SetCapacity(ref, c)
+		}
+		nn.last[i] = c
+	}
+	nn.flowed = 0
+}
+
+// raise grows the capacities of nodes whose count increased since the
+// last prime, preserving the flow already routed. Panics (via
+// RaiseCapacity) if any count decreased.
+func (nn *NodeNet) raise(counts []int64) {
+	nn.validate(counts)
+	for i, c := range counts {
+		if c == nn.last[i] {
+			continue
+		}
+		nn.g.RaiseCapacity(nn.sinkEdges[i], nn.t.G*c)
+		for _, ref := range nn.nodeJobEdges[i] {
+			nn.g.RaiseCapacity(ref, c)
+		}
+		nn.last[i] = c
+	}
+}
+
+// run executes Dinic from the current flow and reports whether the
+// cumulative flow saturates every job.
+func (nn *NodeNet) run(ctx context.Context, rec *metrics.Recorder) (bool, error) {
+	nn.g.SetRecorder(rec)
+	got, err := nn.g.RunCtx(ctx, 0, 1)
+	if err != nil {
+		return false, err
+	}
+	nn.flowed += got
+	return nn.flowed == nn.want, nil
+}
+
+// Check reports whether counts is feasible, recomputing the flow from
+// scratch. The operation sequence — and so every Dinic counter — is
+// identical to CheckNodeCountsCtx on a fresh graph.
+func (nn *NodeNet) Check(ctx context.Context, counts []int64, rec *metrics.Recorder) (bool, error) {
+	nn.prime(counts)
+	return nn.run(ctx, rec)
+}
+
+// CheckWarm is Check for a monotone probe sequence: counts must be
+// pointwise ≥ the previously applied vector. The existing flow remains
+// feasible under grown capacities, so Dinic resumes from it and only
+// searches for the missing flow instead of rebuilding everything —
+// the warm-start path for the repair loop, where each probe opens one
+// more slot than the last.
+func (nn *NodeNet) CheckWarm(ctx context.Context, counts []int64, rec *metrics.Recorder) (bool, error) {
+	nn.raise(counts)
+	return nn.run(ctx, rec)
+}
+
+// Schedule runs a cold feasibility probe for counts and extracts the
+// concrete schedule from the resulting flow, like
+// ScheduleOnNodeCountsCtx but allocation-free on the network side.
+func (nn *NodeNet) Schedule(ctx context.Context, counts []int64, rec *metrics.Recorder) (*sched.Schedule, error) {
+	ok, err := nn.Check(ctx, counts, rec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("flowfeas: node counts infeasible")
+	}
+	return extractNodeSchedule(nn.t, nn.g, nn.jobNodeEdges, nn.jobNodes, counts)
+}

@@ -1,0 +1,156 @@
+// gen imports flowfeas for its feasibility filter, so this test lives
+// in the external package to use gen's generators without a cycle.
+package flowfeas_test
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/flowfeas"
+	"repro/internal/gen"
+	"repro/internal/lamtree"
+	"repro/internal/metrics"
+)
+
+func buildTree(t *testing.T, rng *rand.Rand, n int, g int64) *lamtree.Tree {
+	t.Helper()
+	in := gen.RandomLaminar(rng, gen.DefaultLaminar(n, g))
+	tr, err := lamtree.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Canonicalize(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func randomCounts(rng *rand.Rand, tr *lamtree.Tree) []int64 {
+	counts := make([]int64, tr.M())
+	for i := range counts {
+		counts[i] = rng.Int63n(tr.Nodes[i].L + 1)
+	}
+	return counts
+}
+
+// TestNodeNetMatchesOneShot: a reusable network's cold probe must give
+// the same verdict AND the same Dinic operation counters as the
+// one-shot builder, for arbitrary count vectors in arbitrary order.
+// The prebuilt network carries zero-capacity edges the one-shot graph
+// omits, so this pins down that they are invisible to the algorithm.
+func TestNodeNetMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7001))
+	for trial := 0; trial < 10; trial++ {
+		tr := buildTree(t, rng, 10+rng.Intn(20), int64(1+rng.Intn(3)))
+		net := flowfeas.NewNodeNet(tr)
+		for probe := 0; probe < 12; probe++ {
+			counts := randomCounts(rng, tr)
+			recNet, recOne := new(metrics.Recorder), new(metrics.Recorder)
+			gotNet, err := net.Check(context.Background(), counts, recNet)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotOne := flowfeas.CheckNodeCountsRec(tr, counts, recOne)
+			if gotNet != gotOne {
+				t.Fatalf("trial %d probe %d: NodeNet says %v, one-shot says %v",
+					trial, probe, gotNet, gotOne)
+			}
+			cn, co := recNet.Snapshot().Counters, recOne.Snapshot().Counters
+			if !reflect.DeepEqual(cn, co) {
+				t.Fatalf("trial %d probe %d: counters diverge\nnet:     %+v\none-shot: %+v",
+					trial, probe, cn, co)
+			}
+		}
+	}
+}
+
+// TestNodeNetWarmMatchesCold: warm-started probes over a monotone
+// nondecreasing count sequence must return the same feasibility
+// verdicts as independent cold checks.
+func TestNodeNetWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7002))
+	for trial := 0; trial < 10; trial++ {
+		tr := buildTree(t, rng, 8+rng.Intn(16), int64(1+rng.Intn(3)))
+		net := flowfeas.NewNodeNet(tr)
+		counts := make([]int64, tr.M())
+		// Start from all-closed, cold.
+		warm, err := net.Check(context.Background(), counts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold := flowfeas.CheckNodeCounts(tr, counts); warm != cold {
+			t.Fatalf("trial %d initial: warm %v cold %v", trial, warm, cold)
+		}
+		for step := 0; step < 30; step++ {
+			// Raise a random node that still has headroom.
+			i := rng.Intn(tr.M())
+			if counts[i] >= tr.Nodes[i].L {
+				continue
+			}
+			counts[i] += 1 + rng.Int63n(tr.Nodes[i].L-counts[i])
+			warm, err = net.CheckWarm(context.Background(), counts, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold := flowfeas.CheckNodeCounts(tr, counts); warm != cold {
+				t.Fatalf("trial %d step %d: warm %v cold %v (counts %v)",
+					trial, step, warm, cold, counts)
+			}
+		}
+	}
+}
+
+// TestNodeNetScheduleMatchesOneShot: schedules extracted from the
+// reusable network must be identical to the one-shot path's — same
+// flow, same packing, slot for slot.
+func TestNodeNetScheduleMatchesOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(7003))
+	for trial := 0; trial < 10; trial++ {
+		tr := buildTree(t, rng, 8+rng.Intn(16), int64(1+rng.Intn(3)))
+		net := flowfeas.NewNodeNet(tr)
+		// Fully open is always feasible for a feasible instance.
+		counts := make([]int64, tr.M())
+		for i := range counts {
+			counts[i] = tr.Nodes[i].L
+		}
+		sNet, err := net.Schedule(context.Background(), counts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sOne, err := flowfeas.ScheduleOnNodeCounts(tr, counts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sNet.Slots, sOne.Slots) {
+			t.Fatalf("trial %d: schedules differ\nnet:     %v\none-shot: %v",
+				trial, sNet.Slots, sOne.Slots)
+		}
+	}
+}
+
+// TestNodeNetReuseAllocsFree: after the first probe warmed up the
+// internal buffers, repeated cold probes on a NodeNet must not
+// allocate on the network side (the one-shot path rebuilds the whole
+// graph every time — that is exactly what NodeNet exists to avoid).
+func TestNodeNetReuseAllocsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7004))
+	tr := buildTree(t, rng, 16, 2)
+	net := flowfeas.NewNodeNet(tr)
+	counts := make([]int64, tr.M())
+	for i := range counts {
+		counts[i] = tr.Nodes[i].L
+	}
+	if _, err := net.Check(context.Background(), counts, nil); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := net.Check(context.Background(), counts, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("repeated NodeNet.Check allocates %v objects/op, want 0", avg)
+	}
+}

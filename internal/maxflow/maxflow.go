@@ -25,11 +25,15 @@ type edge struct {
 	org int64 // original capacity, to report flow = org - cap
 }
 
-// Graph is a flow network under construction or after a Run.
+// Graph is a flow network under construction or after a Run. The
+// level/iter/queue scratch buffers persist across runs, so repeated
+// probes on one graph allocate nothing; a Graph must therefore not
+// run concurrently with itself.
 type Graph struct {
 	adj   [][]edge
 	level []int
 	iter  []int
+	queue []int
 	rec   *metrics.Recorder
 }
 
@@ -96,6 +100,21 @@ func (g *Graph) SetCapacity(r EdgeRef, capacity int64) {
 	re.cap, re.org = 0, 0
 }
 
+// RaiseCapacity grows the referenced edge's capacity to capacity
+// (which must not be below the current one) while preserving any flow
+// already routed through it. Because raising capacities keeps every
+// existing flow feasible, a subsequent Run continues from the current
+// flow instead of recomputing it — the warm-start path for monotone
+// probe sequences. Run then returns only the additional flow found.
+func (g *Graph) RaiseCapacity(r EdgeRef, capacity int64) {
+	e := &g.adj[r.from][r.idx]
+	if capacity < e.org {
+		panic(fmt.Sprintf("maxflow: RaiseCapacity %d below current %d", capacity, e.org))
+	}
+	e.cap += capacity - e.org
+	e.org = capacity
+}
+
 // Reset clears all flow, restoring every edge to its original
 // capacity.
 func (g *Graph) Reset() {
@@ -129,15 +148,17 @@ func (g *Graph) RunCtx(ctx context.Context, s, t int) (int64, error) {
 		g.level = make([]int, n)
 		g.iter = make([]int, n)
 	}
+	if cap(g.queue) < n {
+		g.queue = make([]int, 0, n)
+	}
 	var total int64
 	var bfsRounds, augPaths int64
 	var err error
-	queue := make([]int, 0, n)
 	for {
 		if err = ctx.Err(); err != nil {
 			break
 		}
-		if !g.bfs(s, t, &queue) {
+		if !g.bfs(s, t, &g.queue) {
 			break
 		}
 		bfsRounds++
@@ -153,7 +174,7 @@ func (g *Graph) RunCtx(ctx context.Context, s, t int) (int64, error) {
 			total += f
 		}
 	}
-	if g.rec != nil {
+	if metrics.Active(g.rec) {
 		g.rec.DinicRuns.Inc()
 		g.rec.DinicBFSRounds.Add(bfsRounds)
 		g.rec.DinicAugPaths.Add(augPaths)
@@ -169,9 +190,10 @@ func (g *Graph) bfs(s, t int, queue *[]int) bool {
 	q := (*queue)[:0]
 	g.level[s] = 0
 	q = append(q, s)
-	for len(q) > 0 {
-		u := q[0]
-		q = q[1:]
+	// Pop via an index rather than re-slicing so the backing array's
+	// base never advances and the buffer stays reusable across runs.
+	for head := 0; head < len(q); head++ {
+		u := q[head]
 		for _, e := range g.adj[u] {
 			if e.cap > 0 && g.level[e.to] < 0 {
 				g.level[e.to] = g.level[u] + 1

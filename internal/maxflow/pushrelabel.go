@@ -6,6 +6,8 @@ package maxflow
 // exists to differentially test them; it shares only the Graph
 // representation.
 
+import "repro/internal/metrics"
+
 // RunPushRelabel computes the maximum s-t flow value using the
 // push-relabel method. It operates on a private copy of the residual
 // state, so it does not disturb flows computed by Run and can be
@@ -120,7 +122,7 @@ func (g *Graph) RunPushRelabel(s, t int) int64 {
 			queue = append(queue, u)
 		}
 	}
-	if g.rec != nil {
+	if metrics.Active(g.rec) {
 		g.rec.PushRelabelRuns.Inc()
 		g.rec.PushRelabelPushes.Add(pushes)
 		g.rec.PushRelabelRelabels.Add(relabels)

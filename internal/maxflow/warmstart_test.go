@@ -1,0 +1,114 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRaiseCapacityPreservesFlow: raising an edge's capacity keeps the
+// routed flow intact, and re-running finds exactly the extra flow the
+// larger capacity admits.
+func TestRaiseCapacityPreservesFlow(t *testing.T) {
+	g := New(4)
+	// 0 -> 1 -> 3 and 0 -> 2 -> 3, bottlenecked at 1->3.
+	e01 := g.AddEdge(0, 1, 10)
+	e13 := g.AddEdge(1, 3, 3)
+	g.AddEdge(0, 2, 5)
+	g.AddEdge(2, 3, 5)
+	if got := g.Run(0, 3); got != 8 {
+		t.Fatalf("initial flow %d, want 8", got)
+	}
+	g.RaiseCapacity(e13, 7)
+	if extra := g.Run(0, 3); extra != 4 {
+		t.Fatalf("extra flow after raise %d, want 4", extra)
+	}
+	if f := g.Flow(e01); f != 7 {
+		t.Fatalf("flow on 0->1 is %d, want 7", f)
+	}
+	if f := g.Flow(e13); f != 7 {
+		t.Fatalf("flow on raised 1->3 is %d, want 7", f)
+	}
+}
+
+// TestRaiseCapacityBelowCurrentPanics: lowering through RaiseCapacity
+// is a bug, not a request.
+func TestRaiseCapacityBelowCurrentPanics(t *testing.T) {
+	g := New(2)
+	e := g.AddEdge(0, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.RaiseCapacity(e, 4)
+}
+
+// TestWarmStartMatchesColdOnRandomGraphs: over random graphs and
+// random monotone capacity raises, the cumulative warm-started flow
+// must equal a cold solve of the final network.
+func TestWarmStartMatchesColdOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5005))
+	for trial := 0; trial < 50; trial++ {
+		n := 4 + rng.Intn(8)
+		type arc struct {
+			from, to int
+			cap      int64
+		}
+		var arcs []arc
+		for i := 0; i < 3*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			arcs = append(arcs, arc{u, v, rng.Int63n(10)})
+		}
+		warm := New(n)
+		var refs []EdgeRef
+		for _, a := range arcs {
+			refs = append(refs, warm.AddEdge(a.from, a.to, a.cap))
+		}
+		s, snk := 0, n-1
+		total := warm.Run(s, snk)
+		for step := 0; step < 5; step++ {
+			// Raise a few random edges, then continue from the flow.
+			for k := 0; k < 3 && len(arcs) > 0; k++ {
+				i := rng.Intn(len(arcs))
+				arcs[i].cap += rng.Int63n(6)
+				warm.RaiseCapacity(refs[i], arcs[i].cap)
+			}
+			total += warm.Run(s, snk)
+			cold := New(n)
+			for _, a := range arcs {
+				cold.AddEdge(a.from, a.to, a.cap)
+			}
+			if want := cold.Run(s, snk); total != want {
+				t.Fatalf("trial %d step %d: warm cumulative %d, cold %d",
+					trial, step, total, want)
+			}
+		}
+	}
+}
+
+// TestRunCtxReusesQueue: repeated runs on one graph must not allocate
+// — level, iter and the BFS queue all persist on the Graph.
+func TestRunCtxReusesQueue(t *testing.T) {
+	g := New(6)
+	refs := []EdgeRef{
+		g.AddEdge(0, 1, 4), g.AddEdge(0, 2, 4),
+		g.AddEdge(1, 3, 3), g.AddEdge(2, 4, 3),
+		g.AddEdge(3, 5, 4), g.AddEdge(4, 5, 4),
+	}
+	reset := func() {
+		for _, r := range refs {
+			g.SetCapacity(r, g.Capacity(r))
+		}
+	}
+	g.Run(0, 5) // warm up scratch buffers
+	avg := testing.AllocsPerRun(50, func() {
+		reset()
+		g.Run(0, 5)
+	})
+	if avg > 0 {
+		t.Fatalf("repeated Run allocates %v objects/op, want 0", avg)
+	}
+}

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestActive: Active must be false for nil and for the shared discard
+// recorder, true for a real one — it is the hot-path guard that turns
+// disabled instrumentation into a single branch.
+func TestActive(t *testing.T) {
+	if Active(nil) {
+		t.Fatal("Active(nil) must be false")
+	}
+	if Active(OrNop(nil)) {
+		t.Fatal("Active(discard) must be false")
+	}
+	if !Active(new(Recorder)) {
+		t.Fatal("Active(real recorder) must be true")
+	}
+}
+
+// TestInactiveStageTimingIsFree: StartStage and ObserveStage on a nil
+// or discard recorder must not allocate (no closure, no clock reads
+// feeding an atomic).
+func TestInactiveStageTimingIsFree(t *testing.T) {
+	nop := OrNop(nil)
+	if avg := testing.AllocsPerRun(100, func() {
+		stop := nop.StartStage(StageLPSolve)
+		stop()
+	}); avg > 0 {
+		t.Fatalf("discard StartStage allocates %v objects/op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		nop.ObserveStage(StageLPSolve, time.Millisecond)
+	}); avg > 0 {
+		t.Fatalf("discard ObserveStage allocates %v objects/op, want 0", avg)
+	}
+	if c := nop.StageNanos(StageLPSolve); c != 0 {
+		t.Fatalf("discard recorder accumulated %d ns", c)
+	}
+}
+
+// BenchmarkStartStage contrasts the enabled and disabled stage-timer
+// paths; the disabled one must show 0 allocs/op and no time.Now cost.
+func BenchmarkStartStage(b *testing.B) {
+	b.Run("active", func(b *testing.B) {
+		rec := new(Recorder)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.StartStage(StageLPSolve)()
+		}
+	})
+	b.Run("inactive", func(b *testing.B) {
+		rec := OrNop(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.StartStage(StageLPSolve)()
+		}
+	})
+}
+
+// BenchmarkGuardedPublish contrasts a guarded counter publish (the
+// pattern hot loops use after the Active guard was introduced) with an
+// unconditional publish into the discard recorder (the old pattern,
+// which paid the atomic traffic even when nobody was listening).
+func BenchmarkGuardedPublish(b *testing.B) {
+	b.Run("guarded-inactive", func(b *testing.B) {
+		rec := OrNop(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if Active(rec) {
+				rec.SimplexPivots.Add(3)
+			}
+		}
+	})
+	b.Run("unguarded-discard", func(b *testing.B) {
+		rec := OrNop(nil)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.SimplexPivots.Add(3)
+		}
+	})
+}

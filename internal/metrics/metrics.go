@@ -216,14 +216,26 @@ func OrNop(r *Recorder) *Recorder {
 	return r
 }
 
-// ObserveStage adds one timed call to stage s.
+// Active reports whether r actually records: false for nil and for the
+// shared discard recorder returned by OrNop(nil). Hot paths guard
+// their counter publishes and stage timers behind it, so an absent
+// recorder costs one predictable branch instead of atomic traffic on
+// the shared discard recorder's cache lines (or a time.Now call).
+func Active(r *Recorder) bool { return r != nil && r != nop }
+
+// ObserveStage adds one timed call to stage s. A nil or discard
+// recorder drops the observation after a branch.
 func (r *Recorder) ObserveStage(s Stage, d time.Duration) {
-	if s < 0 || s >= numStages {
+	if !Active(r) || s < 0 || s >= numStages {
 		return
 	}
 	r.stages[s].ns.Add(int64(d))
 	r.stages[s].calls.Add(1)
 }
+
+// nopStop is the shared no-op returned by StartStage on an inactive
+// recorder, so the disabled path allocates no closure.
+var nopStop = func() {}
 
 // StartStage starts timing stage s and returns the function that stops
 // the clock:
@@ -231,7 +243,13 @@ func (r *Recorder) ObserveStage(s Stage, d time.Duration) {
 //	stop := rec.StartStage(metrics.StageLPSolve)
 //	... work ...
 //	stop()
+//
+// On a nil or discard recorder it skips the clock reads entirely and
+// returns a shared no-op stop.
 func (r *Recorder) StartStage(s Stage) func() {
+	if !Active(r) {
+		return nopStop
+	}
 	start := time.Now()
 	return func() { r.ObserveStage(s, time.Since(start)) }
 }

@@ -3,6 +3,8 @@ package nestlp
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/metrics"
 )
 
 // Transform applies the Lemma 3.1 solution transformation in place:
@@ -42,7 +44,7 @@ func (m *Model) Transform(s *Solution) {
 		}
 		s.X[i2] = snap(s.X[i2])
 	}
-	if m.rec != nil {
+	if metrics.Active(m.rec) {
 		m.rec.TransformMoves.Add(moves)
 	}
 }

@@ -147,7 +147,7 @@ func (p *Problem) Solve() (*Solution, error) {
 	defer func() {
 		sp.SetAttr(trace.Int("pivots", t.pivots))
 		sp.End()
-		if p.rec != nil {
+		if metrics.Active(p.rec) {
 			p.rec.RatSolves.Inc()
 			p.rec.RatPivots.Add(t.pivots)
 		}

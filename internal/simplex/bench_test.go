@@ -1,0 +1,34 @@
+package simplex_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/lamtree"
+	"repro/internal/nestlp"
+)
+
+func BenchmarkLargeNestedLP(b *testing.B) {
+	rng := rand.New(rand.NewSource(303))
+	var trees []*lamtree.Tree
+	for i := 0; i < 4; i++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(64, 4))
+		tr, err := lamtree.Build(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := tr.Canonicalize(); err != nil {
+			b.Fatal(err)
+		}
+		trees = append(trees, tr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := nestlp.NewModel(trees[i%len(trees)])
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package simplex
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestCloneConcurrentAddSolve: Clone shares constraint storage
+// copy-on-write, so clones and the original must be extendable and
+// solvable from different goroutines without data races (run under
+// -race) and without observing each other's appended constraints.
+func TestCloneConcurrentAddSolve(t *testing.T) {
+	base := NewProblem(2)
+	base.SetObjectiveCoef(0, -1) // maximize x0 + x1
+	base.SetObjectiveCoef(1, -1)
+	base.Add([]Term{{0, 1}, {1, 1}}, LE, 10)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	objs := make([]float64, goroutines)
+	for k := 0; k < goroutines; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			// Each clone tightens x0 differently; appends on clones must
+			// never leak into the shared prefix another goroutine reads.
+			p := base.Clone()
+			p.Add([]Term{{0, 1}}, LE, float64(k))
+			for rep := 0; rep < 20; rep++ {
+				sol, err := p.Solve()
+				if err != nil {
+					t.Errorf("clone %d: %v", k, err)
+					return
+				}
+				objs[k] = sol.Objective
+			}
+		}(k)
+	}
+	// The original keeps solving concurrently; its optimum never moves.
+	for rep := 0; rep < 20; rep++ {
+		sol, err := base.Clone().Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Objective-(-10)) > 1e-9 {
+			t.Fatalf("base objective %v, want -10", sol.Objective)
+		}
+	}
+	wg.Wait()
+	for k := range objs {
+		// x0 ≤ k, x0+x1 ≤ 10: optimum is still -10 (x1 takes the slack).
+		if math.Abs(objs[k]-(-10)) > 1e-9 {
+			t.Fatalf("clone %d objective %v, want -10", k, objs[k])
+		}
+	}
+	if got := base.NumConstraints(); got != 1 {
+		t.Fatalf("original grew to %d constraints, want 1", got)
+	}
+}
+
+// TestCloneOfCloneAppendsDiverge: appending to a clone, then cloning
+// again, must keep all three constraint lists independent even though
+// they share a common prefix.
+func TestCloneOfCloneAppendsDiverge(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjectiveCoef(0, -1)
+	p.Add([]Term{{0, 1}}, LE, 9)
+
+	c1 := p.Clone()
+	c1.Add([]Term{{0, 1}}, LE, 5)
+	c2 := c1.Clone()
+	c2.Add([]Term{{0, 1}}, LE, 2)
+	p.Add([]Term{{0, 1}}, LE, 7) // appended after c1 was cut — must not affect it
+
+	for _, tc := range []struct {
+		p    *Problem
+		want float64
+	}{{p, -7}, {c1, -5}, {c2, -2}} {
+		sol, err := tc.p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sol.Objective-tc.want) > 1e-9 {
+			t.Fatalf("objective %v, want %v", sol.Objective, tc.want)
+		}
+	}
+}

@@ -1,5 +1,5 @@
-// Package simplex implements a dense two-phase primal simplex solver
-// for linear programs in the form
+// Package simplex implements a two-phase primal simplex solver for
+// linear programs in the form
 //
 //	minimize  c·x
 //	subject to  a_k·x (≤ | = | ≥) b_k   for each constraint k
@@ -10,6 +10,16 @@
 // Degenerate pivots are handled by switching from Dantzig pricing to
 // Bland's rule after a stall is detected, which guarantees
 // termination.
+//
+// The tableau is stored as dense rows with a per-row nonzero bitset,
+// so every pivot touches only the pivot row's nonzero columns instead
+// of all n: the pivot row's support is extracted once per pivot, each
+// affected row gets an indexed axpy over that support plus a word-wise
+// OR of the bitsets. Skipped entries would only ever contribute
+// exact-zero additions, so the sparse updates perform bit-identical
+// floating-point operations on every value that matters. Tableau and
+// scratch buffers are pooled and reused across solves, so a Solve
+// allocates little beyond its Solution.
 package simplex
 
 import (
@@ -17,6 +27,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	mbits "math/bits"
+	"sync"
 
 	"repro/internal/metrics"
 	"repro/internal/trace"
@@ -110,18 +122,22 @@ func (p *Problem) Add(terms []Term, op Op, rhs float64) {
 	p.cons = append(p.cons, constraint{terms: cp, op: op, rhs: rhs})
 }
 
-// Clone returns an independent deep copy of the problem; constraints
-// added to the copy do not affect the original. Used by the ILP
-// branch-and-bound to add branching bounds.
+// Clone returns an independent copy of the problem; constraints added
+// to the copy do not affect the original and vice versa. Used by the
+// ILP branch-and-bound to add branching bounds.
+//
+// The copy is copy-on-write: constraints are immutable once added (Add
+// stores a private copy of the caller's terms and nothing ever mutates
+// them), so the clone shares the existing constraint records and their
+// term slices with the original instead of deep-copying every term.
+// The shared slice is capped at its current length, so an Add on
+// either side reallocates its own header array and never writes into
+// the other's view — clones and originals may be built up and solved
+// concurrently.
 func (p *Problem) Clone() *Problem {
 	cp := &Problem{nvars: p.nvars, c: make([]float64, len(p.c)), rec: p.rec, tsp: p.tsp, ctx: p.ctx}
 	copy(cp.c, p.c)
-	cp.cons = make([]constraint, len(p.cons))
-	for i, con := range p.cons {
-		terms := make([]Term, len(con.terms))
-		copy(terms, con.terms)
-		cp.cons[i] = constraint{terms: terms, op: con.op, rhs: con.rhs}
-	}
+	cp.cons = p.cons[:len(p.cons):len(p.cons)]
 	return cp
 }
 
@@ -186,14 +202,42 @@ const (
 	cancelCheckEvery = 64
 )
 
-// tableau is the dense simplex tableau. Row 0..m-1 are constraints;
-// the objective row is kept separately. Column layout: structural
-// variables, then slack/surplus, then artificials, then RHS.
+// tableau is the simplex tableau: dense rows backed by one flat
+// buffer, with a nonzero-column bitset per row. Rows 0..m-1 are
+// constraints; the objective row is kept separately. Column layout:
+// structural variables, then slack/surplus, then artificials, then
+// RHS.
+//
+// Invariants, maintained by every mutation:
+//   - every nonzero a-entry of row r has its bit set in the row's
+//     bitset (bits may cover exact-zero entries — e.g. after a
+//     cancellation — but never miss a nonzero);
+//   - entries of flat not covered by a set bit are exact zero, which
+//     lets release restore the all-zero state by walking set bits
+//     instead of clearing m·n words.
+//
+// Bits are a superset of the true support: a pivot ORs the pivot
+// row's bitset into each affected row (n/64 words) instead of
+// re-deriving which entries cancelled. Values stay authoritative;
+// covered zeros cost one fused multiply-add apiece on later pivots.
 type tableau struct {
 	m, n  int // constraint rows, total columns excluding RHS
-	a     [][]float64
+	flat  []float64
+	a     [][]float64 // a[r] = flat[r*n : (r+1)*n]
+	wpr   int         // bitset words per row = ceil(n/64)
+	bits  []uint64    // row r's bitset = bits[r*wpr : (r+1)*wpr]
 	rhs   []float64
 	basis []int // basis[r] = column basic in row r
+	// Pooled scratch: reduced-cost row, per-phase objective, barred
+	// mask, the all-zero cost row used by drive-out pivots, the
+	// per-pivot extracted support of the pivot row, and the artificial
+	// column list.
+	cost      []float64
+	obj       []float64
+	barred    []bool
+	driveCost []float64
+	nzScratch []int32
+	artCols   []int
 	// pivots counts every pivot performed on this tableau (both
 	// phases, including drive-out pivots); published to the problem's
 	// metrics recorder once per Solve.
@@ -201,6 +245,93 @@ type tableau struct {
 	// ctx, when non-nil, cooperatively cancels optimize between pivot
 	// iterations.
 	ctx context.Context
+}
+
+// tabPool recycles tableaus (and all their scratch buffers) across
+// solves; the branch-and-bound and the per-forest LP solves hit it
+// hard. Released tableaus uphold the flat-all-zero and bits-all-zero
+// invariants, so init never needs an O(m·n) clear.
+var tabPool = sync.Pool{New: func() any { return new(tableau) }}
+
+// init sizes the tableau for m rows and n columns. Buffers are reused
+// when large enough; fresh or grown buffers are zero by allocation,
+// reused flat and bitset memory is zero by the release invariant.
+func (t *tableau) init(m, n int) {
+	t.m, t.n = m, n
+	if need := m * n; cap(t.flat) < need {
+		t.flat = make([]float64, need)
+	} else {
+		t.flat = t.flat[:need]
+	}
+	if cap(t.a) < m {
+		t.a = make([][]float64, m)
+	} else {
+		t.a = t.a[:m]
+	}
+	for r := 0; r < m; r++ {
+		t.a[r] = t.flat[r*n : (r+1)*n : (r+1)*n]
+	}
+	t.wpr = (n + 63) >> 6
+	if need := m * t.wpr; cap(t.bits) < need {
+		t.bits = make([]uint64, need)
+	} else {
+		t.bits = t.bits[:need]
+	}
+	t.rhs = resizeF(t.rhs, m)
+	if cap(t.basis) < m {
+		t.basis = make([]int, m)
+	} else {
+		t.basis = t.basis[:m]
+	}
+	t.cost = resizeF(t.cost, n)
+	t.obj = resizeF(t.obj, n)
+	clear(t.obj)
+	if cap(t.barred) < n {
+		t.barred = make([]bool, n)
+	} else {
+		t.barred = t.barred[:n]
+	}
+	clear(t.barred)
+	t.driveCost = resizeF(t.driveCost, n) // stays all-zero (see driveOutArtificials)
+	t.artCols = t.artCols[:0]
+	t.pivots = 0
+}
+
+func resizeF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// rowBits returns row r's bitset.
+func (t *tableau) rowBits(r int) []uint64 {
+	return t.bits[r*t.wpr : (r+1)*t.wpr]
+}
+
+// setBit marks column j nonzero in row r.
+func (t *tableau) setBit(r, j int) {
+	t.bits[r*t.wpr+(j>>6)] |= 1 << uint(j&63)
+}
+
+// release restores the flat-all-zero and bits-all-zero invariants by
+// clearing exactly the covered entries, drops the context reference,
+// and returns the tableau to the pool.
+func (t *tableau) release() {
+	for r := 0; r < t.m; r++ {
+		row := t.a[r]
+		bw := t.rowBits(r)
+		for w, word := range bw {
+			base := w << 6
+			for word != 0 {
+				row[base+mbits.TrailingZeros64(word)] = 0
+				word &= word - 1
+			}
+			bw[w] = 0
+		}
+	}
+	t.ctx = nil
+	tabPool.Put(t)
 }
 
 // Solve runs two-phase simplex and returns the optimal solution, or an
@@ -230,20 +361,15 @@ func (p *Problem) Solve() (Solution, error) {
 	}
 
 	n := nStruct + nSlack + nArt
-	t := &tableau{
-		m:     m,
-		n:     n,
-		a:     make([][]float64, m),
-		rhs:   make([]float64, m),
-		basis: make([]int, m),
-		ctx:   p.ctx,
-	}
-	artCols := make([]int, 0, nArt)
+	t := tabPool.Get().(*tableau)
+	defer t.release()
+	t.init(m, n)
+	t.ctx = p.ctx
 	slackAt := nStruct
 	artAt := nStruct + nSlack
 
 	for r, con := range p.cons {
-		row := make([]float64, n)
+		row := t.a[r]
 		sign := 1.0
 		rhs := con.rhs
 		op := con.op
@@ -254,26 +380,30 @@ func (p *Problem) Solve() (Solution, error) {
 		}
 		for _, term := range con.terms {
 			row[term.Var] += sign * term.Coef
+			t.setBit(r, term.Var)
 		}
 		switch op {
 		case LE:
 			row[slackAt] = 1
+			t.setBit(r, slackAt)
 			t.basis[r] = slackAt
 			slackAt++
 		case GE:
 			row[slackAt] = -1
+			t.setBit(r, slackAt)
 			slackAt++
 			row[artAt] = 1
+			t.setBit(r, artAt)
 			t.basis[r] = artAt
-			artCols = append(artCols, artAt)
+			t.artCols = append(t.artCols, artAt)
 			artAt++
 		case EQ:
 			row[artAt] = 1
+			t.setBit(r, artAt)
 			t.basis[r] = artAt
-			artCols = append(artCols, artAt)
+			t.artCols = append(t.artCols, artAt)
 			artAt++
 		}
-		t.a[r] = row
 		t.rhs[r] = rhs
 	}
 
@@ -282,7 +412,7 @@ func (p *Problem) Solve() (Solution, error) {
 	defer func() {
 		sp.SetAttr(trace.Int("pivots", t.pivots))
 		sp.End()
-		if p.rec != nil {
+		if metrics.Active(p.rec) {
 			p.rec.SimplexSolves.Inc()
 			p.rec.SimplexPivots.Add(t.pivots)
 		}
@@ -290,8 +420,8 @@ func (p *Problem) Solve() (Solution, error) {
 
 	// Phase 1: minimize the sum of artificials.
 	if nArt > 0 {
-		obj := make([]float64, n)
-		for _, c := range artCols {
+		obj := t.obj
+		for _, c := range t.artCols {
 			obj[c] = 1
 		}
 		val, st := t.optimize(obj, nil)
@@ -305,16 +435,17 @@ func (p *Problem) Solve() (Solution, error) {
 			return Solution{Status: Infeasible}, ErrInfeasible
 		}
 		t.driveOutArtificials(nStruct + nSlack)
-		if p.rec != nil {
+		if metrics.Active(p.rec) {
 			p.rec.SimplexPhase1Pivots.Add(t.pivots)
 		}
 	}
 
 	// Phase 2: original objective; artificial columns are barred.
-	obj := make([]float64, n)
+	obj := t.obj
+	clear(obj)
 	copy(obj, p.c)
-	barred := make([]bool, n)
-	for _, c := range artCols {
+	barred := t.barred
+	for _, c := range t.artCols {
 		barred[c] = true
 	}
 	val, st := t.optimize(obj, barred)
@@ -363,7 +494,7 @@ func flip(op Op) Op {
 func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
 	// Reduced-cost row: z_j - c_j form. Maintain explicitly:
 	// cost[j] = c_j - sum over basic rows of c_basis[r]*a[r][j].
-	cost := make([]float64, t.n)
+	cost := t.cost
 	copy(cost, obj)
 	z := 0.0
 	for r, b := range t.basis {
@@ -371,8 +502,14 @@ func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
 		if cb == 0 {
 			continue
 		}
-		for j := 0; j < t.n; j++ {
-			cost[j] -= cb * t.a[r][j]
+		row := t.a[r]
+		for w, word := range t.rowBits(r) {
+			base := w << 6
+			for word != 0 {
+				j := base + mbits.TrailingZeros64(word)
+				word &= word - 1
+				cost[j] -= cb * row[j]
+			}
 		}
 		z -= cb * t.rhs[r]
 	}
@@ -435,31 +572,50 @@ func (t *tableau) optimize(obj []float64, barred []bool) (float64, Status) {
 }
 
 // pivot makes column enter basic in row leave, updating the reduced
-// cost row and objective accumulator.
+// cost row and objective accumulator. The pivot row's support is
+// extracted from its bitset once; each affected row then takes an
+// indexed axpy over that support plus a word-wise bitset OR. A dense
+// sweep would add f·0 at every other column, which cannot change any
+// value.
 func (t *tableau) pivot(leave, enter int, cost []float64, z *float64) {
 	t.pivots++
-	piv := t.a[leave][enter]
 	rowL := t.a[leave]
+	piv := rowL[enter]
 	inv := 1.0 / piv
-	for j := 0; j < t.n; j++ {
+	bitsL := t.rowBits(leave)
+	nzL := t.nzScratch[:0]
+	for w, word := range bitsL {
+		base := int32(w << 6)
+		for word != 0 {
+			nzL = append(nzL, base+int32(mbits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	t.nzScratch = nzL // retain grown capacity for the next pivot
+	for _, j := range nzL {
 		rowL[j] *= inv
 	}
 	t.rhs[leave] *= inv
 	rowL[enter] = 1 // guard against roundoff
 
+	wpr := t.wpr
 	for r := 0; r < t.m; r++ {
 		if r == leave {
 			continue
 		}
-		f := t.a[r][enter]
+		row := t.a[r]
+		f := row[enter]
 		if f == 0 {
 			continue
 		}
-		row := t.a[r]
-		for j := 0; j < t.n; j++ {
+		for _, j := range nzL {
 			row[j] -= f * rowL[j]
 		}
-		row[enter] = 0
+		row[enter] = 0 // exact elimination, as the dense code does
+		bw := t.bits[r*wpr : (r+1)*wpr]
+		for w, x := range bitsL {
+			bw[w] |= x
+		}
 		t.rhs[r] -= f * t.rhs[leave]
 		if t.rhs[r] < 0 && t.rhs[r] > -1e-11 {
 			t.rhs[r] = 0
@@ -467,7 +623,7 @@ func (t *tableau) pivot(leave, enter int, cost []float64, z *float64) {
 	}
 	f := cost[enter]
 	if f != 0 {
-		for j := 0; j < t.n; j++ {
+		for _, j := range nzL {
 			cost[j] -= f * rowL[j]
 		}
 		cost[enter] = 0
@@ -484,26 +640,46 @@ func (t *tableau) driveOutArtificials(artStart int) {
 		if t.basis[r] < artStart {
 			continue
 		}
-		// Find any eligible non-artificial column with a nonzero
-		// coefficient in this row.
+		// Find the first eligible non-artificial column with a nonzero
+		// coefficient in this row; bit iteration is ascending, so this
+		// matches the dense left-to-right scan.
 		pivCol := -1
-		for j := 0; j < artStart; j++ {
-			if math.Abs(t.a[r][j]) > 1e-7 {
-				pivCol = j
-				break
+		row := t.a[r]
+		bw := t.rowBits(r)
+	scan:
+		for w, word := range bw {
+			base := w << 6
+			for word != 0 {
+				j := base + mbits.TrailingZeros64(word)
+				word &= word - 1
+				if j >= artStart {
+					break scan
+				}
+				if math.Abs(row[j]) > 1e-7 {
+					pivCol = j
+					break scan
+				}
 			}
 		}
 		if pivCol < 0 {
 			// Redundant row: clear it so it never constrains pivots.
-			for j := 0; j < t.n; j++ {
-				t.a[r][j] = 0
+			for w, word := range bw {
+				base := w << 6
+				for word != 0 {
+					row[base+mbits.TrailingZeros64(word)] = 0
+					word &= word - 1
+				}
+				bw[w] = 0
 			}
-			t.a[r][t.basis[r]] = 1
+			b := t.basis[r]
+			row[b] = 1
+			bw[b>>6] = 1 << uint(b&63)
 			t.rhs[r] = 0
 			continue
 		}
-		dummy := make([]float64, t.n)
+		// driveCost is all-zero, and pivot leaves it so: with
+		// cost[enter] == 0 the cost-update branch is skipped entirely.
 		zz := 0.0
-		t.pivot(r, pivCol, dummy, &zz)
+		t.pivot(r, pivCol, t.driveCost, &zz)
 	}
 }
