@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -32,6 +32,14 @@ fuzz-smoke:
 serve-smoke:
 	$(GO) test -run='^TestServeSmoke$$' -count=1 -v ./cmd/activetimed
 	$(GO) test -run='^TestExpositionGolden$$' -count=1 ./internal/metrics
+
+# Job-API smoke: build the real binary, boot it with a single job
+# runner under the priority policy, and require over real HTTP that a
+# stack of interactive jobs reorders ahead of a queued batch job, the
+# SSE stream replays spans, and /metrics carries the per-class series.
+jobs-smoke:
+	$(GO) test -run='^TestJobsSmoke$$' -count=1 -v ./cmd/activetimed
+	$(GO) test -run='^TestCLIAsync$$' -count=1 -v ./cmd/atload
 
 # Load-generator smoke: the CLI-level smoke test, then a real atload
 # run (short in-process closed loop) whose JSON report must be
@@ -68,7 +76,7 @@ bench-smoke:
 	rm -f /tmp/bench-smoke.json
 
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke loadgen-smoke bench-smoke
+ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// heavyInstanceJSON builds `blocks` disjoint nested chains of the
+// given depth (inside a block, job i has window [i, 2·depth−i), all
+// unit processing, g=2). Depth 30 × 30 blocks solves in ~200ms — real
+// solver work that holds the single job runner busy while the test
+// stacks the queue behind it, without the memory blowup a single very
+// deep chain would cause.
+func heavyInstanceJSON(depth, blocks int) string {
+	var b strings.Builder
+	b.WriteString(`{"g":2,"jobs":[`)
+	for blk := 0; blk < blocks; blk++ {
+		off := blk * 3 * depth
+		for i := 0; i < depth; i++ {
+			if blk+i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, `{"p":1,"r":%d,"d":%d}`, off+i, off+2*depth-i)
+		}
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// TestJobsSmoke is the job-API service smoke that `make jobs-smoke`
+// runs: build the real binary, boot it with a single job runner under
+// the priority policy, hold the runner with a heavy batch job, stack a
+// second heavy batch job plus five interactive jobs behind it, and
+// require (a) the queue reports the interactive jobs ahead of the
+// batch job, (b) the batch job never finishes before the interactive
+// jobs (the class-reorder guarantee, observed over real HTTP), (c) the
+// SSE stream replays a completed job's history through its terminal
+// event, and (d) /metrics carries the per-class job series.
+func TestJobsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "activetimed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	portFile := filepath.Join(dir, "port")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-jobs-running", "1", "-jobs-queued", "64", "-jobs-policy", "priority")
+	var logs strings.Builder
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote port file; logs:\n%s", logs.String())
+	}
+	base := "http://" + addr
+
+	submit := func(instance, class string) string {
+		body := fmt.Sprintf(`{"instance":%s,"class":%q}`, instance, class)
+		resp, err := http.Post(base+"/jobs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /jobs: %v\nlogs:\n%s", err, logs.String())
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /jobs: status %d: %s", resp.StatusCode, data)
+		}
+		var sub struct {
+			JobID string `json:"job_id"`
+		}
+		if err := json.Unmarshal(data, &sub); err != nil || sub.JobID == "" {
+			t.Fatalf("submit response without job_id: %s", data)
+		}
+		return sub.JobID
+	}
+	type status struct {
+		State    string `json:"state"`
+		Position *int   `json:"position"`
+		Error    string `json:"error"`
+	}
+	get := func(id string) status {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatalf("GET /jobs/%s: %v", id, err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /jobs/%s: status %d: %s", id, resp.StatusCode, data)
+		}
+		var st status
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatalf("GET /jobs/%s: %v: %s", id, err, data)
+		}
+		return st
+	}
+	terminal := func(s string) bool {
+		return s == "done" || s == "failed" || s == "canceled" || s == "shed"
+	}
+
+	heavy := heavyInstanceJSON(30, 30)
+	small := `{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}`
+
+	// Hold the single runner with a heavy batch job.
+	h1 := submit(heavy, "batch")
+	for i := 0; get(h1).State == "queued" && i < 200; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// Stack a second heavy batch job, then five interactive jobs, behind
+	// the held runner.
+	h2 := submit(heavy, "batch")
+	var interactive []string
+	for i := 0; i < 5; i++ {
+		interactive = append(interactive, submit(small, "interactive"))
+	}
+
+	// The priority policy must report every still-queued interactive job
+	// ahead of the queued batch job. (If the heavy job finished absurdly
+	// fast the queue may have drained — the completion-order invariant
+	// below still holds — but on any realistic machine h2 is queued here.)
+	if st := get(h2); st.State == "queued" && st.Position != nil {
+		for _, id := range interactive {
+			ist := get(id)
+			if ist.State == "queued" && ist.Position != nil && *ist.Position > *st.Position {
+				t.Fatalf("interactive job %s at position %d behind batch job at %d",
+					id, *ist.Position, *st.Position)
+			}
+		}
+	}
+
+	// Drain: whenever the second batch job is observed terminal, every
+	// interactive job must already be terminal — the runner only picks
+	// the batch job once no interactive job is queued.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		h2st := get(h2)
+		if h2st.State == "done" {
+			for _, id := range interactive {
+				if st := get(id); !terminal(st.State) {
+					t.Fatalf("batch job done while interactive job %s still %s", id, st.State)
+				}
+			}
+		}
+		allDone := terminal(h2st.State) && terminal(get(h1).State)
+		for _, id := range interactive {
+			allDone = allDone && terminal(get(id).State)
+		}
+		if allDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs did not drain; logs:\n%s", logs.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, id := range append([]string{h1, h2}, interactive...) {
+		if st := get(id); st.State != "done" {
+			t.Fatalf("job %s ended %s (%s), want done", id, st.State, st.Error)
+		}
+	}
+
+	// SSE replay of a completed job ends at its terminal state event and
+	// includes solver spans.
+	resp, err := http.Get(base + "/jobs/" + h1 + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(stream), `"state":"done"`) {
+		t.Fatalf("SSE replay missing terminal event:\n%s", stream)
+	}
+	if !strings.Contains(string(stream), "event: span") {
+		t.Fatalf("SSE replay has no solver spans:\n%s", stream)
+	}
+
+	// The per-class job series are exposed and account for this run.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`activetime_jobs_submitted_total{class="interactive"} 5`,
+		`activetime_jobs_submitted_total{class="batch"} 2`,
+		`activetime_jobs_completed_total{class="interactive",outcome="done"} 5`,
+		`activetime_jobs_completed_total{class="batch",outcome="done"} 2`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("server did not exit within 10s of SIGTERM; logs:\n%s", logs.String())
+	}
+}

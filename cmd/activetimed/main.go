@@ -1,10 +1,14 @@
 // Command activetimed is the long-running active-time solver service.
 // It exposes:
 //
-//	POST /solve            solve an instance (JSON in, JSON out)
-//	GET  /healthz          liveness probe
-//	GET  /metrics          Prometheus text exposition (cumulative)
-//	GET  /debug/pprof/...  net/http/pprof profiling endpoints
+//	POST /solve             solve an instance (JSON in, JSON out)
+//	POST /jobs              submit an async solve job (SLO-class scheduled)
+//	GET  /jobs/{id}         poll a job (result inline once done)
+//	DELETE /jobs/{id}       cancel a job
+//	GET  /jobs/{id}/events  job progress as server-sent events
+//	GET  /healthz           liveness probe
+//	GET  /metrics           Prometheus text exposition (cumulative)
+//	GET  /debug/pprof/...   net/http/pprof profiling endpoints
 //
 // Logs are structured (log/slog) with a per-request ID on every
 // /solve line. See README.md "Running the service" for curl examples.
@@ -13,6 +17,8 @@
 //
 //	activetimed [-addr 127.0.0.1:8080] [-workers N] [-log json|text] [-port-file PATH]
 //	            [-max-inflight N] [-admission-wait DUR] [-solve-timeout DUR] [-cache-entries N]
+//	            [-jobs-running N] [-jobs-queued N] [-jobs-policy fcfs|priority|sjf]
+//	            [-jobs-budget class=N,...] [-cost-model PATH]
 package main
 
 import (
@@ -28,6 +34,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/costmodel"
+	"repro/internal/jobs"
 	"repro/internal/server"
 )
 
@@ -40,6 +48,11 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a request waits for an in-flight slot before 429")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-solve wall-time cap (0 = unlimited); requests can only tighten it")
 	cacheEntries := flag.Int("cache-entries", 256, "solve-result LRU capacity (0 disables caching and coalescing)")
+	jobsRunning := flag.Int("jobs-running", 2, "async job execution slots, separate from -max-inflight (0 disables the job API)")
+	jobsQueued := flag.Int("jobs-queued", 256, "maximum queued async jobs across all classes")
+	jobsPolicy := flag.String("jobs-policy", "sjf", "async job scheduling policy: fcfs | priority | sjf")
+	jobsBudget := flag.String("jobs-budget", "", "per-class admission budgets, e.g. interactive=64,batch=128 (empty = unbounded)")
+	costModelPath := flag.String("cost-model", "", "predicted-cost model JSON (empty = embedded model fitted from BENCH_core.json)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -54,12 +67,36 @@ func main() {
 	}
 	log := slog.New(handler)
 
+	if _, err := jobs.PolicyByName(*jobsPolicy); err != nil {
+		fmt.Fprintf(os.Stderr, "activetimed: %v\n", err)
+		os.Exit(2)
+	}
+	budgets, err := jobs.ParseBudgets(*jobsBudget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "activetimed: %v\n", err)
+		os.Exit(2)
+	}
+	var model *costmodel.Model
+	if *costModelPath != "" {
+		m, err := costmodel.Load(*costModelPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "activetimed: %v\n", err)
+			os.Exit(2)
+		}
+		model = m
+	}
+
 	cfg := server.Config{
 		DefaultWorkers: *workers,
 		MaxInFlight:    *maxInFlight,
 		AdmissionWait:  *admissionWait,
 		SolveTimeout:   *solveTimeout,
 		CacheEntries:   *cacheEntries,
+		JobsMaxRunning: *jobsRunning,
+		JobsMaxQueued:  *jobsQueued,
+		JobsPolicy:     *jobsPolicy,
+		JobsBudgets:    budgets,
+		CostModel:      model,
 	}
 	srv := server.New(log, cfg)
 	ln, err := net.Listen("tcp", *addr)
@@ -76,7 +113,8 @@ func main() {
 	}
 	log.Info("listening", "addr", bound, "workers", *workers,
 		"max_inflight", *maxInFlight, "solve_timeout", solveTimeout.String(),
-		"cache_entries", *cacheEntries)
+		"cache_entries", *cacheEntries,
+		"jobs_running", *jobsRunning, "jobs_policy", *jobsPolicy)
 
 	hs := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -91,6 +129,12 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {
 			log.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		// Drain the job queue after the listener: queued jobs shed,
+		// running solves canceled, every job reaches a terminal state.
+		if err := srv.Close(shutCtx); err != nil {
+			log.Error("job queue close", "err", err)
 			os.Exit(1)
 		}
 		log.Info("bye", "solves", srv.Registry().Solves())

@@ -9,6 +9,13 @@
 //
 //	atbench [-out BENCH_core.json] [-runs 5] [-budget 300ms] [-quick]
 //	atbench -compare old.json new.json [-fail-over 1.15]
+//	atbench -fit [-in BENCH_core.json] [-fit-out internal/costmodel/costmodel.json]
+//
+// The -fit mode regenerates the predicted-cost model: it reloads the
+// committed baseline, rebuilds the frozen benchmark instances to
+// derive each family's mean jobs and nesting depth, least-squares
+// fits ns = C0 + C1·jobs·depth per cost family, and writes the
+// coefficients consumed (via go:embed) by internal/costmodel.
 //
 // The -compare mode is the run-comparison tool: it prints a per-family
 // table of ns/op, allocs/op and counter deltas between two reports and
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/costmodel"
 	"repro/internal/gapfam"
 	"repro/internal/gen"
 	"repro/internal/instance"
@@ -74,9 +82,19 @@ func main() {
 		compare  = flag.Bool("compare", false, "compare two existing reports instead of benchmarking")
 		failOver = flag.Float64("fail-over", 0, "with -compare: exit 1 when any family's ns/op regressed by more than this factor (0 disables)")
 		checkCtr = flag.Bool("check-counters", false, "with -compare: exit 1 when any family's deterministic counters differ")
+		fit      = flag.Bool("fit", false, "fit the predicted-cost model from an existing baseline instead of benchmarking")
+		fitIn    = flag.String("in", "BENCH_core.json", "with -fit: baseline report to fit from")
+		fitOut   = flag.String("fit-out", "internal/costmodel/costmodel.json", "with -fit: output path for the fitted coefficients")
 	)
 	flag.Parse()
 
+	if *fit {
+		if err := runFit(*fitIn, *fitOut); err != nil {
+			fmt.Fprintln(os.Stderr, "atbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "usage: atbench -compare old.json new.json")
@@ -270,6 +288,78 @@ func runCompare(oldPath, newPath string, failOver float64, checkCounters bool) i
 		}
 	}
 	return exit
+}
+
+// --- cost-model fitting ---
+
+// costFamilyOf maps a benchmark family to the cost-model family whose
+// coefficients it informs. The gap worst-case constructions stand in
+// for the general family: they are the hardest shapes the benchmark
+// suite contains and give the general path a pessimistic (safe-side)
+// coefficient.
+func costFamilyOf(benchFamily string) string {
+	switch benchFamily {
+	case "nested-small", "nested-medium", "nested-large":
+		return costmodel.FamilyLaminar
+	case "unit-nested":
+		return costmodel.FamilyUnit
+	case "gap-worstcase":
+		return costmodel.FamilyGeneral
+	default:
+		return ""
+	}
+}
+
+// runFit rebuilds the frozen benchmark families, pairs each with its
+// measured ns/op from the baseline report, and writes the fitted
+// costmodel coefficients.
+func runFit(inPath, outPath string) error {
+	rep, err := load(inPath)
+	if err != nil {
+		return err
+	}
+	nsByName := map[string]FamilyResult{}
+	for _, f := range rep.Families {
+		nsByName[f.Name] = f
+	}
+	var samples []costmodel.Sample
+	for _, f := range families() {
+		fam := costFamilyOf(f.name)
+		if fam == "" {
+			continue
+		}
+		fr, ok := nsByName[f.name]
+		if !ok {
+			return fmt.Errorf("baseline %s has no family %q (regenerate with make bench-core)", inPath, f.name)
+		}
+		// One op solves every instance in the family; divide down to the
+		// per-instance mean and pair it with the mean jobs and depth of
+		// the actual frozen instances.
+		var jobs, depth float64
+		for _, in := range f.instances {
+			jobs += float64(in.N())
+			depth += float64(costmodel.Depth(in))
+		}
+		k := float64(len(f.instances))
+		samples = append(samples, costmodel.Sample{
+			Family: fam,
+			Jobs:   jobs / k,
+			Depth:  depth / k,
+			NS:     float64(fr.NsPerOp) / k,
+		})
+	}
+	model, err := costmodel.Fit(samples, inPath)
+	if err != nil {
+		return err
+	}
+	if err := model.WriteFile(outPath); err != nil {
+		return err
+	}
+	for _, c := range model.Families {
+		fmt.Printf("%-10s c0=%.0f ns  c1=%.2f ns/(job·depth)  points=%d\n", c.Family, c.C0, c.C1, c.Points)
+	}
+	fmt.Println("wrote", outPath)
+	return nil
 }
 
 func load(path string) (*Report, error) {

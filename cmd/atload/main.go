@@ -15,6 +15,14 @@
 //	       [-slo-p99 MS] [-slo-max-error-rate FRAC]
 //	       [-workers N] [-max-inflight N] [-admission-wait DUR]
 //	       [-solve-timeout DUR] [-cache-entries N]
+//	       [-async] [-poll DUR] [-class-mix interactive=0.5,batch=0.5]
+//	       [-queue-policy fcfs|priority|sjf] [-queue-running N] [-queue-depth N]
+//	       [-queue-budget class=N,...]
+//
+// With -async the driver goes through the job API: each request is
+// submitted to POST /jobs with its SLO class and polled to a terminal
+// state; the report breaks latency out per class, which is how the
+// SJF-vs-FCFS experiments (EXPERIMENTS.md E20) are measured.
 //
 // Exit codes: 0 success, 1 SLO violation or run error, 2 usage error.
 package main
@@ -32,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/loadgen"
 	"repro/internal/server"
 )
@@ -61,12 +70,21 @@ type options struct {
 	sloP99    float64
 	sloMaxErr float64
 
+	// Async job-API driving.
+	async    bool
+	poll     time.Duration
+	classMix string
+
 	// In-process server knobs (ignored when -target is set).
 	workers       int
 	maxInFlight   int
 	admissionWait time.Duration
 	solveTimeout  time.Duration
 	cacheEntries  int
+	queuePolicy   string
+	queueRunning  int
+	queueDepth    int
+	queueBudget   string
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -98,6 +116,13 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.admissionWait, "admission-wait", 100*time.Millisecond, "in-process server: admission wait before 429")
 	fs.DurationVar(&o.solveTimeout, "solve-timeout", 0, "in-process server: per-solve wall cap (0 = unlimited)")
 	fs.IntVar(&o.cacheEntries, "cache-entries", 256, "in-process server: solve-cache LRU capacity")
+	fs.BoolVar(&o.async, "async", false, "drive the job API (POST /jobs + poll) instead of /solve")
+	fs.DurationVar(&o.poll, "poll", 2*time.Millisecond, "async: job status poll interval")
+	fs.StringVar(&o.classMix, "class-mix", "", "async: SLO class mix, class=weight[,...] (empty = small→interactive, large→batch)")
+	fs.StringVar(&o.queuePolicy, "queue-policy", "sjf", "in-process server: job scheduling policy (fcfs | priority | sjf)")
+	fs.IntVar(&o.queueRunning, "queue-running", 2, "in-process server: job execution slots")
+	fs.IntVar(&o.queueDepth, "queue-depth", 256, "in-process server: max queued jobs")
+	fs.StringVar(&o.queueBudget, "queue-budget", "", "in-process server: per-class admission budgets, class=N[,...]")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -127,8 +152,32 @@ func parseMix(s string) ([]loadgen.MixEntry, error) {
 	return mix, nil
 }
 
+// parseClassMix turns "interactive=0.5,batch=0.5" into class weights.
+func parseClassMix(s string) ([]loadgen.ClassWeight, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var mix []loadgen.ClassWeight
+	for _, part := range strings.Split(s, ",") {
+		class, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("class-mix entry %q: want class=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil {
+			return nil, fmt.Errorf("class-mix entry %q: %w", part, err)
+		}
+		mix = append(mix, loadgen.ClassWeight{Class: strings.TrimSpace(class), Weight: w})
+	}
+	return mix, nil
+}
+
 func (o *options) planConfig() (loadgen.PlanConfig, error) {
 	mix, err := parseMix(o.mix)
+	if err != nil {
+		return loadgen.PlanConfig{}, err
+	}
+	classMix, err := parseClassMix(o.classMix)
 	if err != nil {
 		return loadgen.PlanConfig{}, err
 	}
@@ -146,6 +195,8 @@ func (o *options) planConfig() (loadgen.PlanConfig, error) {
 		DistinctInstances: o.distinct,
 		Algorithm:         o.algorithm,
 		TimeoutMS:         o.timeoutMS,
+		Async:             o.async,
+		ClassMix:          classMix,
 	}, nil
 }
 
@@ -183,7 +234,12 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 		}
 	}
 
-	prepared, err := loadgen.Prepare(plan)
+	var prepared []loadgen.Prepared
+	if o.async {
+		prepared, err = loadgen.PrepareAsync(plan)
+	} else {
+		prepared, err = loadgen.Prepare(plan)
+	}
 	if err != nil {
 		return fail(err)
 	}
@@ -194,6 +250,15 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 		client = loadgen.NewHTTPClient(target)
 	} else {
 		target = "in-process"
+		if _, err := jobs.PolicyByName(o.queuePolicy); err != nil {
+			fmt.Fprintf(stderr, "atload: %v\n", err)
+			return 2
+		}
+		budgets, err := jobs.ParseBudgets(o.queueBudget)
+		if err != nil {
+			fmt.Fprintf(stderr, "atload: %v\n", err)
+			return 2
+		}
 		log := slog.New(slog.NewTextHandler(io.Discard, nil))
 		srv := server.New(log, server.Config{
 			DefaultWorkers: o.workers,
@@ -201,8 +266,20 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			AdmissionWait:  o.admissionWait,
 			SolveTimeout:   o.solveTimeout,
 			CacheEntries:   o.cacheEntries,
+			JobsMaxRunning: o.queueRunning,
+			JobsMaxQueued:  o.queueDepth,
+			JobsPolicy:     o.queuePolicy,
+			JobsBudgets:    budgets,
 		})
+		defer func() {
+			closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			_ = srv.Close(closeCtx)
+		}()
 		client = loadgen.NewInProcessClient(srv.Handler())
+	}
+	if o.async {
+		client = client.Async(o.poll)
 	}
 
 	model := o.model

@@ -221,6 +221,58 @@ func TestCLIReportFile(t *testing.T) {
 	}
 }
 
+// TestCLIAsync: -async drives the run through the job API — every
+// request is accounted for, nothing errors, and the report carries the
+// per-SLO-class breakdown.
+func TestCLIAsync(t *testing.T) {
+	code, rep, errOut := runCLI(t, fastArgs("-async", "-queue-running", "2", "-queue-policy", "sjf")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if rep.Counts[loadgen.ClassOK] != int64(rep.Requests) || rep.Requests != 40 {
+		t.Fatalf("async run counts %v over %d requests, want all ok", rep.Counts, rep.Requests)
+	}
+	if rep.PerClass == nil {
+		t.Fatal("async report has no per_class breakdown")
+	}
+	var total int64
+	for class, cs := range rep.PerClass {
+		if class != "interactive" && class != "batch" && class != "best_effort" {
+			t.Fatalf("unknown SLO class %q in report", class)
+		}
+		total += cs.Requests
+	}
+	if total != int64(rep.Requests) {
+		t.Fatalf("per-class requests sum to %d, want %d", total, rep.Requests)
+	}
+	if len(rep.PerClass) < 2 {
+		t.Fatalf("size-correlated default produced only %d classes", len(rep.PerClass))
+	}
+
+	// An explicit class mix overrides the size-correlated default.
+	code, rep, errOut = runCLI(t, fastArgs("-async", "-class-mix", "best_effort=1")...)
+	if code != 0 {
+		t.Fatalf("class-mix run exited %d: %s", code, errOut)
+	}
+	if len(rep.PerClass) != 1 || rep.PerClass["best_effort"] == nil {
+		t.Fatalf("class mix best_effort=1 produced classes %v", rep.PerClass)
+	}
+}
+
+// TestCLIAsyncUsageErrors: bad queue flags exit 2 before any work.
+func TestCLIAsyncUsageErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad policy":    {"-async", "-queue-policy", "lifo"},
+		"bad class mix": {"-async", "-class-mix", "gold=1"},
+		"bad budget":    {"-async", "-queue-budget", "interactive=-1"},
+	} {
+		code, _, errOut := runCLI(t, args...)
+		if code != 2 {
+			t.Errorf("%s: exit %d, want 2 (stderr: %s)", name, code, errOut)
+		}
+	}
+}
+
 // TestCLIOpenLoopModels: poisson and bursty models run open-loop
 // in-process without failures at a modest rate.
 func TestCLIOpenLoopModels(t *testing.T) {

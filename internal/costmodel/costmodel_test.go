@@ -1,0 +1,152 @@
+package costmodel
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+func TestDefaultParsesAndCoversFamilies(t *testing.T) {
+	m := Default()
+	for _, fam := range []string{FamilyLaminar, FamilyUnit, FamilyGeneral} {
+		if _, ok := m.byFamily[fam]; !ok {
+			t.Errorf("embedded model missing family %q", fam)
+		}
+	}
+	if got := m.PredictNS("no-such-family", 10, 2); got != m.PredictNS(FamilyDefault, 10, 2) {
+		t.Errorf("unknown family did not fall back to %q", FamilyDefault)
+	}
+	if m.PredictNS(FamilyLaminar, 1, 1) < 1 {
+		t.Error("prediction below 1ns")
+	}
+}
+
+func TestDepthLaminarChain(t *testing.T) {
+	// Three strictly nested windows: depth 3.
+	in := instance.MustNew(2, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 100},
+		{Processing: 1, Release: 10, Deadline: 90},
+		{Processing: 1, Release: 20, Deadline: 80},
+	})
+	if got := Depth(in); got != 3 {
+		t.Fatalf("Depth = %d, want 3", got)
+	}
+	// Two disjoint half-open windows sharing an endpoint do not stack.
+	in2 := instance.MustNew(1, []instance.Job{
+		{Processing: 1, Release: 0, Deadline: 3},
+		{Processing: 1, Release: 3, Deadline: 6},
+	})
+	if got := Depth(in2); got != 1 {
+		t.Fatalf("Depth(disjoint) = %d, want 1", got)
+	}
+}
+
+func TestDepthMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		in := gen.RandomGeneral(rng, gen.DefaultGeneral(3+rng.Intn(20), 2))
+		want := 0
+		lo, hi := int64(1<<62), int64(-1<<62)
+		for _, j := range in.Jobs {
+			if j.Release < lo {
+				lo = j.Release
+			}
+			if j.Deadline > hi {
+				hi = j.Deadline
+			}
+		}
+		for t0 := lo; t0 < hi; t0++ {
+			c := 0
+			for _, j := range in.Jobs {
+				if j.Release <= t0 && t0 < j.Deadline {
+					c++
+				}
+			}
+			if c > want {
+				want = c
+			}
+		}
+		if want < 1 {
+			want = 1
+		}
+		if got := Depth(in); got != want {
+			t.Fatalf("trial %d: Depth = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+func TestFitRecoversExactAffine(t *testing.T) {
+	// Samples generated from ns = 1000 + 5·x must be recovered exactly.
+	var samples []Sample
+	for _, x := range []float64{10, 40, 160} {
+		samples = append(samples, Sample{Family: "laminar", Jobs: x, Depth: 1, NS: 1000 + 5*x})
+	}
+	m, err := Fit(samples, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.byFamily["laminar"]
+	if c.C0 < 999 || c.C0 > 1001 || c.C1 < 4.99 || c.C1 > 5.01 {
+		t.Fatalf("fit = %+v, want c0≈1000 c1≈5", c)
+	}
+}
+
+func TestFitClampsToMonotone(t *testing.T) {
+	// Decreasing cost with size would break SJF; the fit must fall back
+	// to non-negative coefficients.
+	samples := []Sample{
+		{Family: "laminar", Jobs: 10, Depth: 1, NS: 5000},
+		{Family: "laminar", Jobs: 100, Depth: 1, NS: 1000},
+	}
+	m, err := Fit(samples, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.byFamily["laminar"]
+	if c.C0 < 0 || c.C1 < 0 {
+		t.Fatalf("fit produced negative coefficients: %+v", c)
+	}
+	// Monotone: bigger never predicted cheaper.
+	if m.PredictNS("laminar", 100, 1) < m.PredictNS("laminar", 10, 1) {
+		t.Fatal("clamped fit is not monotone")
+	}
+}
+
+func TestFitSingleSampleThroughOrigin(t *testing.T) {
+	m, err := Fit([]Sample{{Family: "unit", Jobs: 32, Depth: 4, NS: 12800}}, "test")
+	if err == nil {
+		// Single family fit: need the default family too.
+		_ = m
+	}
+	// A model without the fallback family must be rejected.
+	if err == nil {
+		t.Fatal("Fit accepted a model without the fallback family")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	m, err := Fit([]Sample{
+		{Family: FamilyLaminar, Jobs: 12, Depth: 3, NS: 97000},
+		{Family: FamilyLaminar, Jobs: 32, Depth: 4, NS: 157000},
+		{Family: FamilyUnit, Jobs: 32, Depth: 4, NS: 120000},
+	}, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cm.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []string{FamilyLaminar, FamilyUnit} {
+		if m.PredictNS(fam, 50, 5) != m2.PredictNS(fam, 50, 5) {
+			t.Errorf("family %s: prediction changed across round trip", fam)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package jobs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseBudgets parses a per-class admission-budget flag value of the
+// form "interactive=8,batch=16,best_effort=4". Classes may appear in
+// any order and be omitted; an omitted class has no budget (bounded
+// only by the queue size). An empty string yields nil (no budgets).
+func ParseBudgets(s string) (map[Class]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[Class]int)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("jobs: budget %q: want class=N", part)
+		}
+		c := Class(strings.TrimSpace(name))
+		if !c.Valid() {
+			return nil, fmt.Errorf("jobs: budget %q: unknown class %q", part, name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("jobs: budget %q: want a non-negative integer", part)
+		}
+		out[c] = n
+	}
+	return out, nil
+}

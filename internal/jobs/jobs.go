@@ -1,0 +1,157 @@
+// Package jobs is the asynchronous job orchestration layer between
+// the HTTP surface and the solver: a bounded in-memory queue with
+// pluggable scheduling policies (FCFS, priority-FCFS,
+// shortest-predicted-job-first), SLO classes with separate admission
+// budgets and shed behavior, per-job progress events, and cooperative
+// cancellation.
+//
+// The queue is designed to be deterministically testable: it takes an
+// injectable Clock, and in Manual mode it starts no goroutines — a
+// test drives every scheduling decision through Step, so execution
+// order, shed sets, and budget accounting are asserted exactly rather
+// than probabilistically.
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// Class is an SLO class. Classes get separate admission budgets,
+// separate metrics, and (under priority scheduling) different queue
+// priority.
+type Class string
+
+const (
+	// ClassInteractive is latency-sensitive traffic: highest priority.
+	ClassInteractive Class = "interactive"
+	// ClassBatch is throughput traffic: default class.
+	ClassBatch Class = "batch"
+	// ClassBestEffort is preemptible filler: first to be shed.
+	ClassBestEffort Class = "best_effort"
+)
+
+// Classes returns every SLO class in priority order (highest first).
+func Classes() []Class {
+	return []Class{ClassInteractive, ClassBatch, ClassBestEffort}
+}
+
+// Priority returns the class's scheduling priority; higher runs first
+// under priority-FCFS and sheds last under queue pressure.
+func (c Class) Priority() int {
+	switch c {
+	case ClassInteractive:
+		return 2
+	case ClassBatch:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool {
+	switch c {
+	case ClassInteractive, ClassBatch, ClassBestEffort:
+		return true
+	}
+	return false
+}
+
+// State is a job lifecycle state. Terminal states are never left.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+	// StateShed marks a job that was accepted into the queue and later
+	// evicted — by queue pressure from a higher class or by shutdown —
+	// the "queued-then-shed" outcome, distinct from being rejected at
+	// admission (which never creates a job).
+	StateShed State = "shed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	switch s {
+	case StateDone, StateFailed, StateCanceled, StateShed:
+		return true
+	}
+	return false
+}
+
+// Event is one entry in a job's progress stream: a state transition
+// or a finished solver span, stamped with the queue clock relative to
+// submission.
+type Event struct {
+	// Seq numbers events per job from 0.
+	Seq int `json:"seq"`
+	// AtMS is the clock offset from job submission.
+	AtMS float64 `json:"at_ms"`
+	// Kind is "state" or "span".
+	Kind string `json:"kind"`
+	// State is set on state events.
+	State State `json:"state,omitempty"`
+	// Span and DurMS are set on span events.
+	Span  string  `json:"span,omitempty"`
+	DurMS float64 `json:"dur_ms,omitempty"`
+	// Detail carries optional context (shed reason, error text).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Clock abstracts time for deterministic tests; the zero Config uses
+// the wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// FakeClock is a manually advanced Clock for tests.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock pinned at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the fake clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Observer receives queue telemetry; *metrics.Registry implements it.
+// A nil Observer disables all callbacks. Every callback is invoked
+// outside the queue lock is NOT guaranteed — implementations must be
+// non-blocking and must not call back into the queue.
+type Observer interface {
+	// JobSubmitted counts a job accepted into the queue.
+	JobSubmitted(class string)
+	// JobShed counts a shed: queued=false means rejected at admission
+	// (no job was created), queued=true means evicted after queueing.
+	JobShed(class string, queued bool)
+	// JobStarted counts a job beginning execution after waiting wait.
+	JobStarted(class string, wait time.Duration)
+	// JobFinished counts a terminal job: outcome is one of "done",
+	// "failed", "canceled" ("shed" terminals are reported via JobShed).
+	JobFinished(class string, outcome string, exec time.Duration)
+	// JobGauges sets the class's current queued and running depths.
+	JobGauges(class string, queued, running int64)
+}

@@ -1,0 +1,578 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Shed reasons recorded in the terminal event's Detail.
+const (
+	shedReasonPressure = "evicted by higher-class arrival"
+	shedReasonShutdown = "queue shut down"
+)
+
+var (
+	// ErrClosed is returned by Submit after Close.
+	ErrClosed = errors.New("jobs: queue closed")
+	// ErrShedAdmission is returned by Submit when the job was rejected
+	// at admission — class budget exhausted, or the queue is full and
+	// no lower-class victim exists. No job record is created.
+	ErrShedAdmission = errors.New("jobs: shed at admission")
+)
+
+// Config tunes a Queue. Zero fields take the documented defaults.
+type Config struct {
+	// MaxRunning bounds concurrently executing jobs (default 2). This
+	// capacity is deliberately separate from the synchronous /solve
+	// admission slots: a queue full of batch jobs can never starve the
+	// interactive /solve path.
+	MaxRunning int
+	// MaxQueued bounds jobs waiting to run across all classes
+	// (default 256). When full, an arriving job sheds the newest
+	// queued job of a strictly lower class, or is itself rejected.
+	MaxQueued int
+	// Budgets caps queued+running jobs per class (the class's
+	// admission budget); 0 or missing means bounded only by MaxQueued.
+	Budgets map[Class]int
+	// Policy picks the next job to run (default FCFS).
+	Policy Policy
+	// Clock stamps events and wait/exec durations (default wall
+	// clock); tests inject a FakeClock.
+	Clock Clock
+	// Manual disables the worker goroutines; tests drive execution
+	// synchronously through Step. Production leaves it false.
+	Manual bool
+	// Retain bounds terminal jobs kept for polling (default 512);
+	// oldest-terminal jobs are forgotten first.
+	Retain int
+	// Observer receives telemetry (nil = none).
+	Observer Observer
+}
+
+// Runner executes one job's work. The context is canceled on
+// DELETE /jobs/{id} and on queue shutdown; runners must honor it.
+type Runner func(ctx context.Context, j *Job) (any, error)
+
+// Job is one submitted unit of work. Identity fields are immutable;
+// lifecycle fields are guarded by the owning queue's lock and read
+// through Queue.Get / Queue.Events.
+type Job struct {
+	id          string
+	class       Class
+	predictedNS int64
+	seq         int64
+	payload     any
+	q           *Queue
+
+	// Guarded by q.mu.
+	state           State
+	errText         string
+	result          any
+	submittedAt     time.Time
+	startedAt       time.Time
+	finishedAt      time.Time
+	cancelRequested bool
+	cancel          context.CancelFunc
+	events          []Event
+	changed         chan struct{}
+}
+
+// ID returns the job's identifier (stable, unique per queue).
+func (j *Job) ID() string { return j.id }
+
+// Class returns the job's SLO class.
+func (j *Job) Class() Class { return j.class }
+
+// PredictedNS returns the predicted cost the job was submitted with.
+func (j *Job) PredictedNS() int64 { return j.predictedNS }
+
+// Payload returns the opaque payload given to Submit.
+func (j *Job) Payload() any { return j.payload }
+
+// EmitSpan publishes a finished solver span into the job's progress
+// stream; runners call it while executing (safe from any goroutine).
+func (j *Job) EmitSpan(name string, dur time.Duration) {
+	j.q.mu.Lock()
+	defer j.q.mu.Unlock()
+	j.q.emitLocked(j, Event{Kind: "span", Span: name, DurMS: float64(dur.Microseconds()) / 1e3})
+}
+
+// Status is a point-in-time snapshot of a job.
+type Status struct {
+	ID          string `json:"job_id"`
+	Class       Class  `json:"class"`
+	State       State  `json:"state"`
+	PredictedNS int64  `json:"predicted_cost_ns"`
+	// Position is the number of queued jobs the policy would run
+	// before this one; set only while queued (a pointer so the
+	// head-of-queue position 0 still serializes, distinguishing a
+	// queued-at-head job from a running one).
+	Position    *int    `json:"position,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms"`
+	ExecMS      float64 `json:"exec_ms,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Result      any     `json:"-"`
+	Events      int     `json:"events"`
+}
+
+// Depths is one class's live queue occupancy.
+type Depths struct {
+	Queued  int
+	Running int
+}
+
+// Queue is the job scheduler. All methods are safe for concurrent use.
+type Queue struct {
+	cfg Config
+	run Runner
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signals workers: queue nonempty or closing
+	jobs    map[string]*Job
+	queued  []*Job // waiting jobs in submission order
+	byClass map[Class]*Depths
+	seq     int64
+	closed  bool
+
+	terminal []string // terminal job ids, oldest first (retention)
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	wg         sync.WaitGroup
+}
+
+// New builds a queue and, unless cfg.Manual is set, starts
+// cfg.MaxRunning worker goroutines. Close must be called to release
+// them.
+func New(cfg Config, run Runner) *Queue {
+	if cfg.MaxRunning < 1 {
+		cfg.MaxRunning = 2
+	}
+	if cfg.MaxQueued < 1 {
+		cfg.MaxQueued = 256
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = FCFS{}
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.Retain < 1 {
+		cfg.Retain = 512
+	}
+	q := &Queue{
+		cfg:     cfg,
+		run:     run,
+		jobs:    make(map[string]*Job),
+		byClass: make(map[Class]*Depths),
+	}
+	for _, c := range Classes() {
+		q.byClass[c] = &Depths{}
+	}
+	q.cond = sync.NewCond(&q.mu)
+	q.baseCtx, q.baseCancel = context.WithCancel(context.Background())
+	if !cfg.Manual {
+		for w := 0; w < cfg.MaxRunning; w++ {
+			q.wg.Add(1)
+			go q.worker()
+		}
+	}
+	return q
+}
+
+// Policy returns the queue's scheduling policy.
+func (q *Queue) Policy() Policy { return q.cfg.Policy }
+
+// Submit admits a job. On success the job is queued (workers pick it
+// up per policy; in Manual mode it waits for Step). Admission can fail
+// with ErrClosed, or with ErrShedAdmission when the class budget is
+// exhausted or the queue is full and no lower-class victim exists —
+// wrap-checked with errors.Is, the message carries the reason.
+func (q *Queue) Submit(class Class, predictedNS int64, payload any) (*Job, error) {
+	if !class.Valid() {
+		return nil, fmt.Errorf("jobs: unknown class %q", class)
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	d := q.byClass[class]
+	if budget := q.cfg.Budgets[class]; budget > 0 && d.Queued+d.Running >= budget {
+		q.observe(func(o Observer) { o.JobShed(string(class), false) })
+		return nil, fmt.Errorf("%w: class %s budget %d exhausted", ErrShedAdmission, class, budget)
+	}
+	if len(q.queued) >= q.cfg.MaxQueued {
+		// Queue pressure: evict the newest queued job of the lowest
+		// class strictly below the arrival, or reject the arrival.
+		victim := q.shedVictimLocked(class)
+		if victim == nil {
+			q.observe(func(o Observer) { o.JobShed(string(class), false) })
+			return nil, fmt.Errorf("%w: queue full (%d queued)", ErrShedAdmission, len(q.queued))
+		}
+		q.removeQueuedLocked(victim)
+		q.finishLocked(victim, StateShed, nil, shedReasonPressure)
+	}
+
+	q.seq++
+	now := q.cfg.Clock.Now()
+	j := &Job{
+		id:          fmt.Sprintf("job-%06d", q.seq),
+		class:       class,
+		predictedNS: predictedNS,
+		seq:         q.seq,
+		payload:     payload,
+		q:           q,
+		state:       StateQueued,
+		submittedAt: now,
+		changed:     make(chan struct{}),
+	}
+	q.jobs[j.id] = j
+	q.queued = append(q.queued, j)
+	q.byClass[class].Queued++
+	q.emitLocked(j, Event{Kind: "state", State: StateQueued})
+	q.observe(func(o Observer) { o.JobSubmitted(string(class)) })
+	q.gaugesLocked(class)
+	q.cond.Signal()
+	return j, nil
+}
+
+// shedVictimLocked picks the queued job to evict in favor of an
+// arrival of class c: lowest priority first, newest submission within
+// that priority — and only from classes strictly below c (an arrival
+// never evicts its own class or a higher one).
+func (q *Queue) shedVictimLocked(c Class) *Job {
+	var victim *Job
+	for _, j := range q.queued {
+		if j.class.Priority() >= c.Priority() {
+			continue
+		}
+		if victim == nil ||
+			j.class.Priority() < victim.class.Priority() ||
+			(j.class.Priority() == victim.class.Priority() && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	return victim
+}
+
+func (q *Queue) removeQueuedLocked(j *Job) {
+	for i, x := range q.queued {
+		if x == j {
+			q.queued = append(q.queued[:i], q.queued[i+1:]...)
+			q.byClass[j.class].Queued--
+			return
+		}
+	}
+}
+
+// pickLocked returns the queued job the policy runs next, or nil.
+func (q *Queue) pickLocked() *Job {
+	var best *Job
+	for _, j := range q.queued {
+		if best == nil || q.cfg.Policy.Less(j, best) {
+			best = j
+		}
+	}
+	return best
+}
+
+// startLocked transitions j to running and returns its run context.
+func (q *Queue) startLocked(j *Job) context.Context {
+	q.removeQueuedLocked(j)
+	now := q.cfg.Clock.Now()
+	j.state = StateRunning
+	j.startedAt = now
+	ctx, cancel := context.WithCancel(q.baseCtx)
+	j.cancel = cancel
+	q.byClass[j.class].Running++
+	q.emitLocked(j, Event{Kind: "state", State: StateRunning})
+	wait := now.Sub(j.submittedAt)
+	q.observe(func(o Observer) { o.JobStarted(string(j.class), wait) })
+	q.gaugesLocked(j.class)
+	return ctx
+}
+
+// finishLocked moves j to a terminal state, records the outcome, and
+// wakes pollers. For running jobs the caller must have decremented
+// nothing; finishLocked fixes the class gauges itself.
+func (q *Queue) finishLocked(j *Job, s State, result any, detail string) {
+	wasRunning := j.state == StateRunning
+	j.state = s
+	j.result = result
+	j.errText = detail
+	j.finishedAt = q.cfg.Clock.Now()
+	if wasRunning {
+		q.byClass[j.class].Running--
+		if j.cancel != nil {
+			j.cancel() // release the context's resources
+			j.cancel = nil
+		}
+	}
+	ev := Event{Kind: "state", State: s}
+	if s == StateFailed || s == StateShed {
+		ev.Detail = detail
+	}
+	q.emitLocked(j, ev)
+	switch s {
+	case StateShed:
+		q.observe(func(o Observer) { o.JobShed(string(j.class), true) })
+	case StateDone, StateFailed, StateCanceled:
+		exec := time.Duration(0)
+		if wasRunning {
+			exec = j.finishedAt.Sub(j.startedAt)
+		}
+		outcome := string(s)
+		q.observe(func(o Observer) { o.JobFinished(string(j.class), outcome, exec) })
+	}
+	q.gaugesLocked(j.class)
+	q.retainLocked(j)
+	q.cond.Broadcast()
+}
+
+// retainLocked enforces the terminal-job retention bound.
+func (q *Queue) retainLocked(j *Job) {
+	q.terminal = append(q.terminal, j.id)
+	for len(q.terminal) > q.cfg.Retain {
+		delete(q.jobs, q.terminal[0])
+		q.terminal = q.terminal[1:]
+	}
+}
+
+// emitLocked appends an event to j's stream and wakes subscribers.
+func (q *Queue) emitLocked(j *Job, ev Event) {
+	ev.Seq = len(j.events)
+	ev.AtMS = float64(q.cfg.Clock.Now().Sub(j.submittedAt).Microseconds()) / 1e3
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// observe invokes fn on the configured observer, if any.
+func (q *Queue) observe(fn func(Observer)) {
+	if q.cfg.Observer != nil {
+		fn(q.cfg.Observer)
+	}
+}
+
+// gaugesLocked pushes one class's occupancy gauges to the observer.
+func (q *Queue) gaugesLocked(c Class) {
+	d := q.byClass[c]
+	queued, running := int64(d.Queued), int64(d.Running)
+	q.observe(func(o Observer) { o.JobGauges(string(c), queued, running) })
+}
+
+// worker is one execution slot's loop (real mode only).
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for !q.closed && len(q.queued) == 0 {
+			q.cond.Wait()
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return
+		}
+		j := q.pickLocked()
+		ctx := q.startLocked(j)
+		q.mu.Unlock()
+
+		res, err := q.run(ctx, j)
+		q.complete(j, res, err)
+	}
+}
+
+// complete folds a runner's return into the job's terminal state.
+func (q *Queue) complete(j *Job, res any, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	switch {
+	case err == nil:
+		q.finishLocked(j, StateDone, res, "")
+	case j.cancelRequested && errors.Is(err, context.Canceled):
+		q.finishLocked(j, StateCanceled, nil, "canceled by request")
+	case q.closed && errors.Is(err, context.Canceled):
+		q.finishLocked(j, StateCanceled, nil, shedReasonShutdown)
+	default:
+		q.finishLocked(j, StateFailed, nil, err.Error())
+	}
+}
+
+// Step runs the next job per policy synchronously (Manual mode's
+// drain hook). It returns the job it ran and true, or nil and false
+// when the queue is empty or closed.
+func (q *Queue) Step() (*Job, bool) {
+	q.mu.Lock()
+	if q.closed || len(q.queued) == 0 {
+		q.mu.Unlock()
+		return nil, false
+	}
+	j := q.pickLocked()
+	ctx := q.startLocked(j)
+	q.mu.Unlock()
+
+	res, err := q.run(ctx, j)
+	q.complete(j, res, err)
+	return j, true
+}
+
+// Get snapshots a job's status.
+func (q *Queue) Get(id string) (Status, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return q.statusLocked(j), true
+}
+
+func (q *Queue) statusLocked(j *Job) Status {
+	st := Status{
+		ID:          j.id,
+		Class:       j.class,
+		State:       j.state,
+		PredictedNS: j.predictedNS,
+		Error:       j.errText,
+		Result:      j.result,
+		Events:      len(j.events),
+	}
+	now := q.cfg.Clock.Now()
+	switch {
+	case j.state == StateQueued:
+		st.QueueWaitMS = ms(now.Sub(j.submittedAt))
+		pos := 0
+		for _, other := range q.queued {
+			if other != j && q.cfg.Policy.Less(other, j) {
+				pos++
+			}
+		}
+		st.Position = &pos
+	case j.state == StateRunning:
+		st.QueueWaitMS = ms(j.startedAt.Sub(j.submittedAt))
+		st.ExecMS = ms(now.Sub(j.startedAt))
+	default:
+		if !j.startedAt.IsZero() {
+			st.QueueWaitMS = ms(j.startedAt.Sub(j.submittedAt))
+			st.ExecMS = ms(j.finishedAt.Sub(j.startedAt))
+		} else {
+			st.QueueWaitMS = ms(j.finishedAt.Sub(j.submittedAt))
+		}
+	}
+	return st
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }
+
+// Cancel requests cancellation: a queued job becomes canceled
+// immediately; a running job's context is canceled and it resolves
+// asynchronously; a terminal job is left as is. The returned state is
+// the job's state after the call; ok is false for unknown ids.
+func (q *Queue) Cancel(id string) (State, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return "", false
+	}
+	switch j.state {
+	case StateQueued:
+		j.cancelRequested = true
+		q.removeQueuedLocked(j)
+		q.finishLocked(j, StateCanceled, nil, "canceled while queued")
+	case StateRunning:
+		j.cancelRequested = true
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return j.state, true
+}
+
+// Events returns a copy of j's events from index from on, the channel
+// that is closed when more arrive, and whether the job exists. SSE
+// handlers loop: consume the slice, then wait on the channel (or the
+// request context) when the last consumed event is not terminal.
+func (q *Queue) Events(id string, from int) ([]Event, <-chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return nil, nil, false
+	}
+	if from < 0 {
+		from = 0
+	}
+	var out []Event
+	if from < len(j.events) {
+		out = append(out, j.events[from:]...)
+	}
+	return out, j.changed, true
+}
+
+// Depths returns the live per-class occupancy.
+func (q *Queue) Depths() map[Class]Depths {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[Class]Depths, len(q.byClass))
+	for c, d := range q.byClass {
+		out[c] = *d
+	}
+	return out
+}
+
+// QueuedIDs returns the ids of waiting jobs in the order the policy
+// would run them; a deterministic-test convenience.
+func (q *Queue) QueuedIDs() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sorted := append([]*Job(nil), q.queued...)
+	// Insertion sort by policy order (queues are small).
+	for i := 1; i < len(sorted); i++ {
+		for k := i; k > 0 && q.cfg.Policy.Less(sorted[k], sorted[k-1]); k-- {
+			sorted[k], sorted[k-1] = sorted[k-1], sorted[k]
+		}
+	}
+	ids := make([]string, len(sorted))
+	for i, j := range sorted {
+		ids[i] = j.id
+	}
+	return ids
+}
+
+// Close shuts the queue down: rejects new submissions, sheds every
+// queued job (terminal state "shed", shutdown reason), cancels running
+// jobs, and waits — bounded by ctx — for workers to drain. Every job
+// is guaranteed to reach a terminal state.
+func (q *Queue) Close(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return nil
+	}
+	q.closed = true
+	for len(q.queued) > 0 {
+		j := q.queued[0]
+		q.removeQueuedLocked(j)
+		q.finishLocked(j, StateShed, nil, shedReasonShutdown)
+	}
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	q.baseCancel() // cancels every running job's context
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: close: %w", ctx.Err())
+	}
+}

@@ -1,0 +1,504 @@
+package jobs_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// epoch is the fake-clock origin for all deterministic tests.
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// spec is one job in a deterministic submission stream.
+type spec struct {
+	class jobs.Class
+	pred  int64
+}
+
+// recorder is a Runner that records execution order. Manual-mode
+// Step calls are synchronous, so no locking is needed.
+type recorder struct {
+	order []string
+	fn    func(ctx context.Context, j *jobs.Job) (any, error)
+}
+
+func (r *recorder) run(ctx context.Context, j *jobs.Job) (any, error) {
+	r.order = append(r.order, j.ID())
+	if r.fn != nil {
+		return r.fn(ctx, j)
+	}
+	return nil, nil
+}
+
+// submitAll submits the stream in order and returns ids by index.
+func submitAll(t *testing.T, q *jobs.Queue, stream []spec) []string {
+	t.Helper()
+	ids := make([]string, len(stream))
+	for i, sp := range stream {
+		j, err := q.Submit(sp.class, sp.pred, i)
+		if err != nil {
+			t.Fatalf("submit %d (%s, %d): %v", i, sp.class, sp.pred, err)
+		}
+		ids[i] = j.ID()
+	}
+	return ids
+}
+
+// drain steps the queue until empty, returning the execution order.
+func drain(q *jobs.Queue, rec *recorder) []string {
+	for {
+		if _, ok := q.Step(); !ok {
+			return rec.order
+		}
+	}
+}
+
+// TestStatusPositionWire pins the position wire contract: a queued
+// job always carries a position — including 0 at the head of the
+// queue, which an `int` + omitempty would silently drop, making a
+// queued-at-head job indistinguishable from a running one — and a
+// running or terminal job carries none.
+func TestStatusPositionWire(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{
+		MaxRunning: 1, MaxQueued: 8, Manual: true,
+		Policy: jobs.FCFS{}, Clock: jobs.NewFakeClock(epoch),
+	}, rec.run)
+	defer q.Close(context.Background())
+	ids := submitAll(t, q, []spec{
+		{jobs.ClassBatch, 100}, {jobs.ClassBatch, 200},
+	})
+	for i, id := range ids {
+		st, ok := q.Get(id)
+		if !ok || st.Position == nil {
+			t.Fatalf("queued job %s has no position", id)
+		}
+		if *st.Position != i {
+			t.Fatalf("job %s at position %d, want %d", id, *st.Position, i)
+		}
+		b, err := json.Marshal(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf(`"position":%d`, i); !strings.Contains(string(b), want) {
+			t.Fatalf("status JSON missing %s: %s", want, b)
+		}
+	}
+	drain(q, rec)
+	st, _ := q.Get(ids[0])
+	if st.Position != nil {
+		t.Fatalf("terminal job still reports position %d", *st.Position)
+	}
+	if b, _ := json.Marshal(st); strings.Contains(string(b), `"position"`) {
+		t.Fatalf("terminal status JSON carries a position: %s", b)
+	}
+}
+
+// TestPolicyOrderExact pins the exact execution order each policy
+// produces for a fixed submission stream — not a statistical claim: the
+// manual queue runs jobs one Step at a time and the order must match
+// element for element.
+func TestPolicyOrderExact(t *testing.T) {
+	stream := []spec{
+		0: {jobs.ClassBatch, 500},
+		1: {jobs.ClassInteractive, 300},
+		2: {jobs.ClassBestEffort, 100},
+		3: {jobs.ClassInteractive, 700},
+		4: {jobs.ClassBatch, 200},
+		5: {jobs.ClassBestEffort, 400},
+	}
+	cases := []struct {
+		policy jobs.Policy
+		want   []int // expected execution order, as stream indices
+	}{
+		{jobs.FCFS{}, []int{0, 1, 2, 3, 4, 5}},
+		// Priority: interactive (1,3), then batch (0,4), then
+		// best-effort (2,5); FCFS within a class.
+		{jobs.PriorityFCFS{}, []int{1, 3, 0, 4, 2, 5}},
+		// SJF: ascending predicted cost 100,200,300,400,500,700.
+		{jobs.SJF{}, []int{2, 4, 1, 5, 0, 3}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.policy.Name(), func(t *testing.T) {
+			rec := &recorder{}
+			q := jobs.New(jobs.Config{
+				Manual: true,
+				Policy: tc.policy,
+				Clock:  jobs.NewFakeClock(epoch),
+			}, rec.run)
+			ids := submitAll(t, q, stream)
+
+			want := make([]string, len(tc.want))
+			for i, idx := range tc.want {
+				want[i] = ids[idx]
+			}
+			// QueuedIDs previews the same order before anything runs.
+			if got := q.QueuedIDs(); !equal(got, want) {
+				t.Errorf("QueuedIDs = %v, want %v", got, want)
+			}
+			if got := drain(q, rec); !equal(got, want) {
+				t.Errorf("execution order = %v, want %v", got, want)
+			}
+			for _, id := range ids {
+				st, ok := q.Get(id)
+				if !ok || st.State != jobs.StateDone {
+					t.Errorf("job %s: state %v, want done", id, st.State)
+				}
+			}
+		})
+	}
+}
+
+// TestPolicyOrderSeededStream cross-checks each policy against a
+// reference sort on a 40-job pseudo-random stream (fixed seed, so the
+// stream — and therefore the expected order — is reproducible).
+func TestPolicyOrderSeededStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	classes := jobs.Classes()
+	stream := make([]spec, 40)
+	for i := range stream {
+		stream[i] = spec{
+			class: classes[rng.Intn(len(classes))],
+			pred:  int64(rng.Intn(1_000_000) + 1),
+		}
+	}
+	for _, policy := range []jobs.Policy{jobs.FCFS{}, jobs.PriorityFCFS{}, jobs.SJF{}} {
+		t.Run(policy.Name(), func(t *testing.T) {
+			rec := &recorder{}
+			q := jobs.New(jobs.Config{
+				Manual:    true,
+				MaxQueued: len(stream),
+				Policy:    policy,
+				Clock:     jobs.NewFakeClock(epoch),
+			}, rec.run)
+			ids := submitAll(t, q, stream)
+
+			// Reference order: stable sort of stream indices by the
+			// policy's documented key (submission index breaks ties).
+			ref := make([]int, len(stream))
+			for i := range ref {
+				ref[i] = i
+			}
+			sort.SliceStable(ref, func(a, b int) bool {
+				x, y := stream[ref[a]], stream[ref[b]]
+				switch policy.(type) {
+				case jobs.PriorityFCFS:
+					if x.class.Priority() != y.class.Priority() {
+						return x.class.Priority() > y.class.Priority()
+					}
+				case jobs.SJF:
+					if x.pred != y.pred {
+						return x.pred < y.pred
+					}
+				}
+				return ref[a] < ref[b]
+			})
+			want := make([]string, len(ref))
+			for i, idx := range ref {
+				want[i] = ids[idx]
+			}
+			if got := drain(q, rec); !equal(got, want) {
+				t.Errorf("execution order = %v\nwant %v", got, want)
+			}
+		})
+	}
+}
+
+// TestShedSetExact pins which jobs a full queue evicts, and for whom:
+// arrivals evict the newest queued job of the lowest strictly-lower
+// class; with no lower class queued, the arrival itself is rejected.
+func TestShedSetExact(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{
+		Manual:    true,
+		MaxQueued: 3,
+		Clock:     jobs.NewFakeClock(epoch),
+	}, rec.run)
+
+	be := make([]string, 3)
+	for i := range be {
+		j, err := q.Submit(jobs.ClassBestEffort, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		be[i] = j.ID()
+	}
+
+	// Interactive arrival evicts the NEWEST best-effort job.
+	i1, err := q.Submit(jobs.ClassInteractive, 1, nil)
+	if err != nil {
+		t.Fatalf("interactive arrival should evict, got %v", err)
+	}
+	if st, _ := q.Get(be[2]); st.State != jobs.StateShed {
+		t.Errorf("be[2] state = %v, want shed", st.State)
+	}
+	if st, _ := q.Get(be[1]); st.State != jobs.StateQueued {
+		t.Errorf("be[1] state = %v, want queued (only the newest is evicted)", st.State)
+	}
+
+	// Batch arrival evicts the next-newest best-effort job.
+	b1, err := q.Submit(jobs.ClassBatch, 1, nil)
+	if err != nil {
+		t.Fatalf("batch arrival should evict, got %v", err)
+	}
+	if st, _ := q.Get(be[1]); st.State != jobs.StateShed {
+		t.Errorf("be[1] state = %v, want shed", st.State)
+	}
+
+	// A best-effort arrival has no strictly-lower victim: rejected at
+	// admission with no job record.
+	if _, err := q.Submit(jobs.ClassBestEffort, 1, nil); !errors.Is(err, jobs.ErrShedAdmission) {
+		t.Errorf("best-effort arrival into full queue: err = %v, want ErrShedAdmission", err)
+	}
+
+	// An interactive arrival evicts batch before best-effort? No —
+	// the victim is the LOWEST class present: best-effort be[0].
+	i2, err := q.Submit(jobs.ClassInteractive, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := q.Get(be[0]); st.State != jobs.StateShed {
+		t.Errorf("be[0] state = %v, want shed (lowest class sheds first)", st.State)
+	}
+	if st, _ := q.Get(b1.ID()); st.State != jobs.StateQueued {
+		t.Errorf("batch job state = %v, want queued", st.State)
+	}
+
+	// Exactly the surviving set remains, in FCFS order.
+	if got, want := q.QueuedIDs(), []string{i1.ID(), b1.ID(), i2.ID()}; !equal(got, want) {
+		t.Errorf("queued after sheds = %v, want %v", got, want)
+	}
+}
+
+// TestClassBudgets pins the per-class admission budget: queued+running
+// jobs of a class may never exceed its budget, and completing a job
+// frees a slot.
+func TestClassBudgets(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{
+		Manual:  true,
+		Budgets: map[jobs.Class]int{jobs.ClassInteractive: 2},
+		Clock:   jobs.NewFakeClock(epoch),
+	}, rec.run)
+
+	for i := 0; i < 2; i++ {
+		if _, err := q.Submit(jobs.ClassInteractive, 1, nil); err != nil {
+			t.Fatalf("submit %d within budget: %v", i, err)
+		}
+	}
+	if _, err := q.Submit(jobs.ClassInteractive, 1, nil); !errors.Is(err, jobs.ErrShedAdmission) {
+		t.Fatalf("third interactive: err = %v, want ErrShedAdmission", err)
+	}
+	// Other classes are not affected by interactive's budget.
+	if _, err := q.Submit(jobs.ClassBatch, 1, nil); err != nil {
+		t.Fatalf("batch unaffected by interactive budget: %v", err)
+	}
+	d := q.Depths()[jobs.ClassInteractive]
+	if d.Queued != 2 || d.Running != 0 {
+		t.Fatalf("interactive depths = %+v, want 2 queued", d)
+	}
+
+	// Completing one frees a budget slot.
+	if _, ok := q.Step(); !ok {
+		t.Fatal("step")
+	}
+	if _, err := q.Submit(jobs.ClassInteractive, 1, nil); err != nil {
+		t.Fatalf("submit after completion should fit budget: %v", err)
+	}
+}
+
+// TestFakeClockTimings pins exact (not approximate) wait and exec
+// durations through the injected clock.
+func TestFakeClockTimings(t *testing.T) {
+	clk := jobs.NewFakeClock(epoch)
+	rec := &recorder{fn: func(ctx context.Context, j *jobs.Job) (any, error) {
+		clk.Advance(7 * time.Millisecond) // the "solve" takes exactly 7ms
+		return "result", nil
+	}}
+	q := jobs.New(jobs.Config{Manual: true, Clock: clk}, rec.run)
+
+	j, err := q.Submit(jobs.ClassBatch, 123, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Millisecond) // waits exactly 5ms
+	if _, ok := q.Step(); !ok {
+		t.Fatal("step")
+	}
+	st, _ := q.Get(j.ID())
+	if st.State != jobs.StateDone {
+		t.Fatalf("state = %v, want done", st.State)
+	}
+	if st.QueueWaitMS != 5 {
+		t.Errorf("QueueWaitMS = %v, want exactly 5", st.QueueWaitMS)
+	}
+	if st.ExecMS != 7 {
+		t.Errorf("ExecMS = %v, want exactly 7", st.ExecMS)
+	}
+	if st.PredictedNS != 123 {
+		t.Errorf("PredictedNS = %d, want 123", st.PredictedNS)
+	}
+
+	// The event stream carries the same exact offsets.
+	evs, _, ok := q.Events(j.ID(), 0)
+	if !ok {
+		t.Fatal("events")
+	}
+	wantEvents := []struct {
+		kind  string
+		state jobs.State
+		atMS  float64
+	}{
+		{"state", jobs.StateQueued, 0},
+		{"state", jobs.StateRunning, 5},
+		{"state", jobs.StateDone, 12},
+	}
+	if len(evs) != len(wantEvents) {
+		t.Fatalf("got %d events %v, want %d", len(evs), evs, len(wantEvents))
+	}
+	for i, want := range wantEvents {
+		if evs[i].Kind != want.kind || evs[i].State != want.state || evs[i].AtMS != want.atMS {
+			t.Errorf("event %d = %+v, want kind=%s state=%s at=%v", i, evs[i], want.kind, want.state, want.atMS)
+		}
+		if evs[i].Seq != i {
+			t.Errorf("event %d: seq = %d", i, evs[i].Seq)
+		}
+	}
+}
+
+// TestCancelQueued: canceling a queued job is immediate and removes it
+// from the schedule; the rest of the queue is untouched.
+func TestCancelQueued(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{Manual: true, Clock: jobs.NewFakeClock(epoch)}, rec.run)
+	a, _ := q.Submit(jobs.ClassBatch, 1, nil)
+	b, _ := q.Submit(jobs.ClassBatch, 1, nil)
+
+	state, ok := q.Cancel(b.ID())
+	if !ok || state != jobs.StateCanceled {
+		t.Fatalf("cancel queued: state=%v ok=%v, want canceled", state, ok)
+	}
+	if got := drain(q, rec); !equal(got, []string{a.ID()}) {
+		t.Errorf("executed %v, want only %v", got, a.ID())
+	}
+	// Cancel of a terminal job is a no-op; unknown ids report !ok.
+	if state, ok := q.Cancel(a.ID()); !ok || state != jobs.StateDone {
+		t.Errorf("cancel terminal: state=%v ok=%v, want done/true", state, ok)
+	}
+	if _, ok := q.Cancel("job-999999"); ok {
+		t.Error("cancel unknown id: ok=true, want false")
+	}
+}
+
+// TestCloseShedsQueued: shutdown drives every queued job to the shed
+// terminal state and rejects later submissions.
+func TestCloseShedsQueued(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{Manual: true, Clock: jobs.NewFakeClock(epoch)}, rec.run)
+	var ids []string
+	for i := 0; i < 3; i++ {
+		j, _ := q.Submit(jobs.ClassBatch, 1, nil)
+		ids = append(ids, j.ID())
+	}
+	if err := q.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		st, ok := q.Get(id)
+		if !ok || st.State != jobs.StateShed {
+			t.Errorf("job %s after close: state %v, want shed", id, st.State)
+		}
+	}
+	if _, err := q.Submit(jobs.ClassBatch, 1, nil); !errors.Is(err, jobs.ErrClosed) {
+		t.Errorf("submit after close: err = %v, want ErrClosed", err)
+	}
+	if _, ok := q.Step(); ok {
+		t.Error("step after close should report false")
+	}
+	// Close is idempotent.
+	if err := q.Close(context.Background()); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+// TestEventsCursor: Events returns only events at/after the cursor and
+// the change channel fires when new ones arrive.
+func TestEventsCursor(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{Manual: true, Clock: jobs.NewFakeClock(epoch)}, rec.run)
+	j, _ := q.Submit(jobs.ClassBatch, 1, nil)
+
+	evs, changed, ok := q.Events(j.ID(), 0)
+	if !ok || len(evs) != 1 || evs[0].State != jobs.StateQueued {
+		t.Fatalf("initial events = %v", evs)
+	}
+	select {
+	case <-changed:
+		t.Fatal("change channel fired with no new events")
+	default:
+	}
+
+	q.Step()
+	select {
+	case <-changed:
+	default:
+		t.Fatal("change channel did not fire after Step")
+	}
+	evs, _, _ = q.Events(j.ID(), 1)
+	if len(evs) != 2 || evs[0].State != jobs.StateRunning || evs[1].State != jobs.StateDone {
+		t.Fatalf("events from cursor 1 = %v, want running,done", evs)
+	}
+}
+
+// TestRetention: terminal jobs beyond the retention bound are
+// forgotten oldest-first.
+func TestRetention(t *testing.T) {
+	rec := &recorder{}
+	q := jobs.New(jobs.Config{Manual: true, Retain: 2, Clock: jobs.NewFakeClock(epoch)}, rec.run)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, _ := q.Submit(jobs.ClassBatch, 1, nil)
+		ids = append(ids, j.ID())
+		q.Step()
+	}
+	for i, id := range ids {
+		_, ok := q.Get(id)
+		if want := i >= 2; ok != want {
+			t.Errorf("job %s (terminal #%d): found=%v, want %v", id, i, ok, want)
+		}
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// failRunner exercises the failed terminal state.
+func TestRunnerErrorBecomesFailed(t *testing.T) {
+	q := jobs.New(jobs.Config{Manual: true, Clock: jobs.NewFakeClock(epoch)},
+		func(ctx context.Context, j *jobs.Job) (any, error) {
+			return nil, fmt.Errorf("solver exploded")
+		})
+	j, _ := q.Submit(jobs.ClassBatch, 1, nil)
+	q.Step()
+	st, _ := q.Get(j.ID())
+	if st.State != jobs.StateFailed || st.Error != "solver exploded" {
+		t.Errorf("state=%v err=%q, want failed/solver exploded", st.State, st.Error)
+	}
+}

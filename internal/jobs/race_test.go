@@ -1,0 +1,214 @@
+package jobs_test
+
+// Lifecycle tests for the real (goroutine-backed) queue, written to be
+// meaningful under -race: concurrent submit/poll/cancel/complete, the
+// cancel-while-queued vs cancel-while-running split, shutdown with
+// queued jobs, and a goroutine-leak check.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// waitState polls until the job reaches a terminal state or the
+// deadline passes; returns the last observed status.
+func waitTerminal(t *testing.T, q *jobs.Queue, id string, timeout time.Duration) jobs.Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, ok := q.Get(id)
+		if !ok {
+			t.Fatalf("job %s disappeared", id)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s not terminal after %v (state %v)", id, timeout, st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentLifecycle hammers one queue from many goroutines:
+// submitters, pollers, and cancelers race against 4 workers. The
+// invariant is that every accepted job reaches exactly one terminal
+// state and the queue survives -race.
+func TestConcurrentLifecycle(t *testing.T) {
+	q := jobs.New(jobs.Config{MaxRunning: 4, MaxQueued: 1024},
+		func(ctx context.Context, j *jobs.Job) (any, error) {
+			select {
+			case <-time.After(time.Duration(j.PredictedNS())):
+				return j.ID(), nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+	defer q.Close(context.Background())
+
+	const n = 120
+	classes := jobs.Classes()
+	ids := make([]string, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := q.Submit(classes[i%len(classes)], int64(i%5)*int64(100*time.Microsecond), i)
+			if err != nil {
+				t.Errorf("submit %d: %v", i, err)
+				return
+			}
+			mu.Lock()
+			ids[i] = j.ID()
+			mu.Unlock()
+			// Every third job gets a racing cancel; pollers hit Get
+			// and Events concurrently with the workers.
+			if i%3 == 0 {
+				q.Cancel(j.ID())
+			}
+			q.Get(j.ID())
+			q.Events(j.ID(), 0)
+			q.QueuedIDs()
+			q.Depths()
+		}(i)
+	}
+	wg.Wait()
+
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		st := waitTerminal(t, q, id, 10*time.Second)
+		switch st.State {
+		case jobs.StateDone, jobs.StateCanceled:
+		default:
+			t.Errorf("job %d (%s): unexpected terminal state %v (%s)", i, id, st.State, st.Error)
+		}
+	}
+}
+
+// TestCancelWhileRunning: a cancel delivered mid-execution cancels the
+// runner's context and the job resolves to canceled — distinct from
+// the immediate cancel-while-queued path (covered deterministically in
+// TestCancelQueued).
+func TestCancelWhileRunning(t *testing.T) {
+	started := make(chan string, 1)
+	q := jobs.New(jobs.Config{MaxRunning: 1},
+		func(ctx context.Context, j *jobs.Job) (any, error) {
+			started <- j.ID()
+			<-ctx.Done() // runs until canceled
+			return nil, ctx.Err()
+		})
+	defer q.Close(context.Background())
+
+	j, err := q.Submit(jobs.ClassInteractive, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("job never started")
+	}
+	if state, ok := q.Cancel(j.ID()); !ok || state != jobs.StateRunning {
+		t.Fatalf("cancel while running: state=%v ok=%v (cancellation is asynchronous)", state, ok)
+	}
+	st := waitTerminal(t, q, j.ID(), 5*time.Second)
+	if st.State != jobs.StateCanceled {
+		t.Fatalf("state after cancel = %v, want canceled", st.State)
+	}
+}
+
+// TestCloseWithQueuedJobs: shutdown with jobs both running and queued
+// drives every job to a terminal state — running jobs canceled, queued
+// jobs shed — and Close returns once workers drain.
+func TestCloseWithQueuedJobs(t *testing.T) {
+	running := make(chan struct{}, 2)
+	q := jobs.New(jobs.Config{MaxRunning: 2},
+		func(ctx context.Context, j *jobs.Job) (any, error) {
+			running <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		})
+
+	var ids []string
+	for i := 0; i < 6; i++ {
+		j, err := q.Submit(jobs.ClassBatch, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID())
+	}
+	// Wait for both workers to be inside the runner so the test
+	// exercises the running+queued split, not just queued.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-running:
+		case <-time.After(5 * time.Second):
+			t.Fatal("workers never picked up jobs")
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := q.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var canceled, shed int
+	for _, id := range ids {
+		st, ok := q.Get(id)
+		if !ok || !st.State.Terminal() {
+			t.Fatalf("job %s not terminal after close: %+v", id, st)
+		}
+		switch st.State {
+		case jobs.StateCanceled:
+			canceled++
+		case jobs.StateShed:
+			shed++
+		default:
+			t.Errorf("job %s: state %v after shutdown", id, st.State)
+		}
+	}
+	if canceled != 2 || shed != 4 {
+		t.Errorf("canceled=%d shed=%d, want 2 canceled (running) and 4 shed (queued)", canceled, shed)
+	}
+}
+
+// TestNoGoroutineLeak: creating, exercising, and closing queues leaves
+// no worker goroutines behind.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		q := jobs.New(jobs.Config{MaxRunning: 3},
+			func(ctx context.Context, j *jobs.Job) (any, error) { return nil, nil })
+		for k := 0; k < 10; k++ {
+			if _, err := q.Submit(jobs.ClassBatch, 1, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := q.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Give exiting workers a moment to unwind before comparing.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: before=%d after=%d (leak)", before, after)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

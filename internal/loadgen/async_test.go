@@ -1,0 +1,169 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestRunClosedAsyncInProcess: a closed-loop async run drives every
+// request through POST /jobs + polling, every job reaches done, the
+// SLO class is carried onto the result, and the report breaks latency
+// out per class.
+func TestRunClosedAsyncInProcess(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Async = true
+	plan, err := BuildPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planClasses := map[string]int64{}
+	for _, r := range plan {
+		if r.Class == "" {
+			t.Fatalf("async plan request %d has no SLO class", r.Index)
+		}
+		planClasses[r.Class]++
+	}
+	if len(planClasses) < 2 {
+		t.Fatalf("size-correlated default assigned only %v; want interactive and batch", planClasses)
+	}
+	prepared, err := PrepareAsync(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, srv := inProcessClient(t, server.Config{
+		DefaultWorkers: 1,
+		JobsMaxRunning: 2,
+		JobsMaxQueued:  256,
+		JobsPolicy:     "sjf",
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Close(ctx)
+	})
+	client = client.Async(time.Millisecond)
+
+	results, wall := RunClosed(context.Background(), client, prepared, 4)
+	if len(results) != cfg.Requests {
+		t.Fatalf("got %d results, want %d", len(results), cfg.Requests)
+	}
+	gotClasses := map[string]int64{}
+	for i, r := range results {
+		if r.Class != ClassOK {
+			t.Fatalf("job %d finished %s (%s), want ok", i, r.Class, r.Err)
+		}
+		if r.JobID == "" {
+			t.Fatalf("job %d has no job id", i)
+		}
+		// Every job emits at least queued/running/done transitions.
+		if r.Progress < 3 {
+			t.Fatalf("job %d reported %d progress events, want >= 3", i, r.Progress)
+		}
+		if r.SLOClass != plan[i].Class {
+			t.Fatalf("job %d carries class %q, plan says %q", i, r.SLOClass, plan[i].Class)
+		}
+		if r.LatencyMS <= 0 {
+			t.Fatalf("job %d has non-positive latency", i)
+		}
+		gotClasses[r.SLOClass]++
+	}
+
+	rep := BuildReport(results, wall, cfg.Model, "in-process", cfg.Seed, 4)
+	if rep.PerClass == nil {
+		t.Fatal("async report has no per_class breakdown")
+	}
+	var total int64
+	for class, want := range planClasses {
+		cs := rep.PerClass[class]
+		if cs == nil {
+			t.Fatalf("report missing class %q", class)
+		}
+		if cs.Requests != want || cs.Done != want {
+			t.Fatalf("class %q: requests=%d done=%d, want %d", class, cs.Requests, cs.Done, want)
+		}
+		if cs.Latency.P99 <= 0 {
+			t.Fatalf("class %q has no latency digest", class)
+		}
+		total += cs.Requests
+	}
+	if total != int64(cfg.Requests) {
+		t.Fatalf("per-class requests sum to %d, want %d", total, cfg.Requests)
+	}
+}
+
+// scriptedJobHandler answers POST /jobs with a fixed submit response
+// and GET /jobs/{id} with a fixed terminal status, so doAsync's
+// terminal-state classification is tested without timing games.
+type scriptedJobHandler struct {
+	submitStatus int
+	submitBody   string
+	pollStatus   int
+	pollBody     string
+}
+
+func (h scriptedJobHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodPost {
+		w.WriteHeader(h.submitStatus)
+		fmt.Fprint(w, h.submitBody)
+		return
+	}
+	w.WriteHeader(h.pollStatus)
+	fmt.Fprint(w, h.pollBody)
+}
+
+// TestDoAsyncClassification: each terminal job state (and each submit
+// failure) maps to exactly one loadgen outcome class, mirroring the
+// server's taxonomy.
+func TestDoAsyncClassification(t *testing.T) {
+	submit := func(id string) string {
+		return fmt.Sprintf(`{"request_id":"r","job_id":%q,"state":"queued"}`, id)
+	}
+	status := func(state, errMsg string) string {
+		b, _ := json.Marshal(map[string]any{
+			"job_id": "j1", "state": state, "error": errMsg, "events": 4,
+		})
+		return string(b)
+	}
+	cases := []struct {
+		name      string
+		h         scriptedJobHandler
+		wantClass string
+	}{
+		{"done", scriptedJobHandler{202, submit("j1"), 200, status("done", "")}, ClassOK},
+		{"done cached", scriptedJobHandler{202, submit("j1"), 200,
+			`{"job_id":"j1","state":"done","events":4,"result":{"cached":true}}`}, ClassCached},
+		{"queued then shed", scriptedJobHandler{202, submit("j1"), 200,
+			status("shed", "shed from queue by higher-class arrival")}, ClassShedQueued},
+		{"canceled", scriptedJobHandler{202, submit("j1"), 200,
+			status("canceled", "canceled by client")}, ClassCanceled},
+		{"failed deadline", scriptedJobHandler{202, submit("j1"), 200,
+			status("failed", "solve: context deadline exceeded")}, ClassTimeout},
+		{"failed canceled", scriptedJobHandler{202, submit("j1"), 200,
+			status("failed", "solve canceled")}, ClassCanceled},
+		{"failed other", scriptedJobHandler{202, submit("j1"), 200,
+			status("failed", "simplex: infeasible basis")}, ClassServerErr},
+		{"admission shed", scriptedJobHandler{429, `{"error":"interactive budget exhausted"}`,
+			0, ""}, ClassShed},
+		{"submit rejected", scriptedJobHandler{400, `{"error":"instance is required"}`,
+			0, ""}, ClassClientErr},
+		{"evicted before poll", scriptedJobHandler{202, submit("j1"), 404,
+			`{"error":"unknown job"}`}, ClassServerErr},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			client := NewInProcessClient(tc.h).Async(time.Millisecond)
+			res := client.Do(context.Background(), 0, []byte(`{}`), 0)
+			if res.Class != tc.wantClass {
+				t.Fatalf("class = %q (err %q), want %q", res.Class, res.Err, tc.wantClass)
+			}
+		})
+	}
+}

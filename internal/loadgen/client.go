@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -18,10 +19,14 @@ const (
 	ClassCached    = "cached"   // 200, served from the solve cache
 	ClassShed      = "shed"     // 429 from admission control
 	ClassTimeout   = "timeout"  // 503, solve deadline expired
-	ClassCanceled  = "canceled" // 503, canceled without a deadline
+	ClassCanceled  = "canceled" // 503 canceled, or an async job canceled
 	ClassClientErr = "client_error"
 	ClassServerErr = "server_error"
 	ClassTransport = "transport_error" // connection refused, EOF, …
+	// ClassShedQueued is job-API only: the job was accepted into the
+	// queue and later evicted by a higher-class arrival or shutdown —
+	// distinct from ClassShed, which is a 429 at admission.
+	ClassShedQueued = "shed_queued"
 )
 
 // Result records one issued request: when it started (offset from run
@@ -34,6 +39,14 @@ type Result struct {
 	Class     string  `json:"class"`
 	Cached    bool    `json:"cached,omitempty"`
 	Err       string  `json:"error,omitempty"`
+	// SLOClass is the request's SLO class on async (job-API) runs; the
+	// report breaks latency out by it.
+	SLOClass string `json:"slo_class,omitempty"`
+	// JobID and Progress are job-API only: the job's id and how many
+	// progress events (state transitions + solver spans, the same
+	// stream GET /jobs/{id}/events serves) it emitted.
+	JobID    string `json:"job_id,omitempty"`
+	Progress int    `json:"progress,omitempty"`
 }
 
 // Client issues /solve requests to an activetimed server, either over
@@ -44,6 +57,22 @@ type Result struct {
 type Client struct {
 	base string
 	http *http.Client
+
+	// async switches Do to the job API: submit to POST /jobs, then
+	// poll GET /jobs/{id} every poll until the job is terminal.
+	async bool
+	poll  time.Duration
+}
+
+// Async switches the client to the asynchronous job API and returns
+// it. poll is the status-poll interval (min 1ms).
+func (c *Client) Async(poll time.Duration) *Client {
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	c.async = true
+	c.poll = poll
+	return c
 }
 
 // NewHTTPClient targets a running server, e.g. "http://127.0.0.1:8080".
@@ -64,8 +93,12 @@ func NewInProcessClient(h http.Handler) *Client {
 
 // Do issues one prepared request body and classifies the outcome.
 // start is the offset from the run's start time, used only to stamp
-// the Result.
+// the Result. In async mode the body must be a /jobs body (see
+// Request.JobBody) and the measured latency is submit→terminal.
 func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Duration) Result {
+	if c.async {
+		return c.doAsync(ctx, index, body, start)
+	}
 	res := Result{Index: index, StartMS: float64(start.Microseconds()) / 1e3}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/solve", bytes.NewReader(body))
 	if err != nil {
@@ -90,6 +123,140 @@ func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Dura
 	}
 	res.Class, res.Cached, res.Err = classify(resp.StatusCode, data)
 	return res
+}
+
+// doAsync drives one request through the job API: submit, then poll
+// until the job reaches a terminal state. The latency is end to end —
+// queue wait plus execution — which is exactly what an SLO on the
+// async path should measure.
+func (c *Client) doAsync(ctx context.Context, index int, body []byte, start time.Duration) Result {
+	res := Result{Index: index, StartMS: float64(start.Microseconds()) / 1e3}
+	t0 := time.Now()
+	finish := func() { res.LatencyMS = float64(time.Since(t0).Microseconds()) / 1e3 }
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		finish()
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	res.Status = resp.StatusCode
+	if err != nil {
+		finish()
+		res.Class, res.Err = ClassTransport, err.Error()
+		return res
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		// Admission shed (429 → ClassShed) and the error taxonomy are
+		// the same as the synchronous path.
+		finish()
+		res.Class, _, res.Err = classify(resp.StatusCode, data)
+		return res
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil || sub.JobID == "" {
+		finish()
+		res.Class, res.Err = ClassServerErr, "job submit response without job_id"
+		return res
+	}
+	res.JobID = sub.JobID
+
+	for {
+		st, err := c.getJob(ctx, sub.JobID)
+		if err != nil {
+			finish()
+			res.Class, res.Err = ClassTransport, err.Error()
+			return res
+		}
+		if st.notFound {
+			finish()
+			res.Class, res.Err = ClassServerErr, "job evicted from retention before poll"
+			return res
+		}
+		res.Progress = st.Events
+		switch st.State {
+		case "done":
+			finish()
+			if st.Result.Cached {
+				res.Class, res.Cached = ClassCached, true
+			} else {
+				res.Class = ClassOK
+			}
+			return res
+		case "shed":
+			finish()
+			res.Class, res.Err = ClassShedQueued, st.Error
+			return res
+		case "canceled":
+			finish()
+			res.Class, res.Err = ClassCanceled, st.Error
+			return res
+		case "failed":
+			finish()
+			res.Err = st.Error
+			if strings.Contains(st.Error, "deadline") {
+				res.Class = ClassTimeout
+			} else if strings.Contains(st.Error, "canceled") {
+				res.Class = ClassCanceled
+			} else {
+				res.Class = ClassServerErr
+			}
+			return res
+		}
+		select {
+		case <-ctx.Done():
+			finish()
+			res.Class, res.Err = ClassTransport, ctx.Err().Error()
+			return res
+		case <-time.After(c.poll):
+		}
+	}
+}
+
+// jobStatus is the slice of the GET /jobs/{id} body doAsync needs.
+type jobStatus struct {
+	notFound bool
+	State    string `json:"state"`
+	Error    string `json:"error"`
+	Events   int    `json:"events"`
+	Result   struct {
+		Cached bool `json:"cached"`
+	} `json:"result"`
+}
+
+func (c *Client) getJob(ctx context.Context, id string) (jobStatus, error) {
+	var st jobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id, nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return st, err
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return st, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		st.notFound = true
+		return st, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("poll %s: status %d: %s", id, resp.StatusCode, errBody(data))
+	}
+	return st, json.Unmarshal(data, &st)
 }
 
 // classify maps a response to an outcome class. The 503 split mirrors

@@ -51,6 +51,9 @@ type Request struct {
 	Algorithm string `json:"algorithm"`
 	// TimeoutMS is forwarded as the request's timeout_ms when > 0.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Class is the SLO class for async (job-API) plans; empty for
+	// synchronous /solve plans.
+	Class string `json:"class,omitempty"`
 }
 
 // Instance materializes the request's instance. Two requests with the
@@ -92,6 +95,31 @@ func (r Request) Body() ([]byte, error) {
 	return json.Marshal(body)
 }
 
+// JobBody marshals the request into a POST /jobs JSON body: the
+// /solve body plus the SLO class.
+func (r Request) JobBody() ([]byte, error) {
+	in, err := r.Instance()
+	if err != nil {
+		return nil, err
+	}
+	var instBuf bytes.Buffer
+	if err := in.WriteJSON(&instBuf); err != nil {
+		return nil, err
+	}
+	body := struct {
+		Instance  json.RawMessage `json:"instance"`
+		Algorithm string          `json:"algorithm,omitempty"`
+		TimeoutMS int64           `json:"timeout_ms,omitempty"`
+		Class     string          `json:"class,omitempty"`
+	}{
+		Instance:  json.RawMessage(bytes.TrimSpace(instBuf.Bytes())),
+		Algorithm: r.Algorithm,
+		TimeoutMS: r.TimeoutMS,
+		Class:     r.Class,
+	}
+	return json.Marshal(body)
+}
+
 // Arrival models.
 const (
 	// ModelClosed: no arrival process; a fixed worker pool issues
@@ -107,6 +135,12 @@ const (
 // MixEntry weights one instance family in the workload mix.
 type MixEntry struct {
 	Family string
+	Weight float64
+}
+
+// ClassWeight weights one SLO class in an async plan's class mix.
+type ClassWeight struct {
+	Class  string
 	Weight float64
 }
 
@@ -143,6 +177,16 @@ type PlanConfig struct {
 	Algorithm string
 	// TimeoutMS is forwarded on every request when > 0.
 	TimeoutMS int64
+	// Async marks the plan for the job API: every request carries an
+	// SLO class and is driven through POST /jobs.
+	Async bool
+	// ClassMix weights the SLO classes of an async plan. Empty means
+	// size-correlated assignment: instances at or below the geometric
+	// midpoint of [MinJobs, MaxJobs] are interactive, larger ones are
+	// batch — the skew that makes SJF-vs-FCFS differences visible,
+	// because small interactive solves are exactly the jobs that suffer
+	// head-of-line blocking behind large batch solves under FCFS.
+	ClassMix []ClassWeight
 }
 
 // DefaultPlanConfig returns a small mixed closed-loop workload.
@@ -218,6 +262,21 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 	if totalW <= 0 {
 		return nil, fmt.Errorf("loadgen: mix weights sum to %g, want > 0", totalW)
 	}
+	var classW float64
+	for _, cw := range cfg.ClassMix {
+		switch cw.Class {
+		case "interactive", "batch", "best_effort":
+		default:
+			return nil, fmt.Errorf("loadgen: unknown SLO class %q in class mix", cw.Class)
+		}
+		if cw.Weight < 0 {
+			return nil, fmt.Errorf("loadgen: negative class weight %g for %q", cw.Weight, cw.Class)
+		}
+		classW += cw.Weight
+	}
+	if len(cfg.ClassMix) > 0 && classW <= 0 {
+		return nil, fmt.Errorf("loadgen: class weights sum to %g, want > 0", classW)
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	pickFamily := func() string {
@@ -259,6 +318,29 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 		pool[i] = instanceSpec{family: pickFamily(), jobs: pickJobs(), seed: rng.Int63()}
 	}
 
+	// SLO class assignment for async plans: explicit mix sampling, or
+	// the size-correlated default (small → interactive, large → batch).
+	sizeMid := math.Sqrt(float64(cfg.MinJobs) * float64(cfg.MaxJobs))
+	pickClass := func(jobs int) string {
+		if !cfg.Async {
+			return ""
+		}
+		if len(cfg.ClassMix) > 0 {
+			x := rng.Float64() * classW
+			for _, cw := range cfg.ClassMix {
+				if x < cw.Weight {
+					return cw.Class
+				}
+				x -= cw.Weight
+			}
+			return cfg.ClassMix[len(cfg.ClassMix)-1].Class
+		}
+		if float64(jobs) <= sizeMid {
+			return "interactive"
+		}
+		return "batch"
+	}
+
 	// Arrival offsets (sorted, ms). Closed-loop plans carry zeros.
 	arrivals := buildArrivals(rng, cfg)
 
@@ -286,6 +368,7 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 			InstanceSeed: spec.seed,
 			Algorithm:    alg,
 			TimeoutMS:    cfg.TimeoutMS,
+			Class:        pickClass(spec.jobs),
 		}
 	}
 	return plan, nil

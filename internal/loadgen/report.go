@@ -50,21 +50,39 @@ type Report struct {
 
 	CacheHits int64 `json:"cache_hits"`
 	Shed      int64 `json:"shed"`
-	Timeouts  int64 `json:"timeouts"`
-	Canceled  int64 `json:"canceled"`
-	HTTP5xx   int64 `json:"http_5xx"`
-	Errors    int64 `json:"errors"`
+	// ShedQueued counts async jobs accepted then evicted (job API
+	// only); Shed counts 429s at admission.
+	ShedQueued int64 `json:"shed_queued,omitempty"`
+	Timeouts   int64 `json:"timeouts"`
+	Canceled   int64 `json:"canceled"`
+	HTTP5xx    int64 `json:"http_5xx"`
+	Errors     int64 `json:"errors"`
 
 	ErrorRate float64        `json:"error_rate"`
 	Latency   LatencySummary `json:"latency"`
 	Phases    []PhaseStat    `json:"phases"`
 
+	// PerClass breaks the run out by SLO class on async runs; nil for
+	// synchronous /solve runs (which carry no class).
+	PerClass map[string]*ClassStat `json:"per_class,omitempty"`
+
 	SLO *SLOResult `json:"slo,omitempty"`
+}
+
+// ClassStat is one SLO class's slice of an async run.
+type ClassStat struct {
+	Requests   int64          `json:"requests"`
+	Done       int64          `json:"done"`
+	Shed       int64          `json:"shed"`
+	ShedQueued int64          `json:"shed_queued"`
+	Canceled   int64          `json:"canceled"`
+	Errors     int64          `json:"errors"`
+	Latency    LatencySummary `json:"latency"`
 }
 
 // allClasses fixes the set of keys every report carries.
 var allClasses = []string{
-	ClassOK, ClassCached, ClassShed, ClassTimeout,
+	ClassOK, ClassCached, ClassShed, ClassShedQueued, ClassTimeout,
 	ClassCanceled, ClassClientErr, ClassServerErr, ClassTransport,
 }
 
@@ -96,6 +114,7 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 	}
 
 	hist := NewHistogram()
+	classHists := make(map[string]*Histogram)
 	// Success-only latency: shed and transport failures return in
 	// microseconds and would drag percentiles toward zero, hiding the
 	// latency the surviving requests actually saw.
@@ -114,8 +133,38 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 		if res.Status >= 500 {
 			r.HTTP5xx++
 		}
+		if res.SLOClass != "" {
+			if r.PerClass == nil {
+				r.PerClass = make(map[string]*ClassStat)
+			}
+			cs := r.PerClass[res.SLOClass]
+			if cs == nil {
+				cs = &ClassStat{}
+				r.PerClass[res.SLOClass] = cs
+				classHists[res.SLOClass] = NewHistogram()
+			}
+			cs.Requests++
+			switch res.Class {
+			case ClassOK, ClassCached:
+				cs.Done++
+				classHists[res.SLOClass].Observe(res.LatencyMS / 1e3)
+			case ClassShed:
+				cs.Shed++
+			case ClassShedQueued:
+				cs.ShedQueued++
+			case ClassCanceled:
+				cs.Canceled++
+			}
+			if isError(res.Class) {
+				cs.Errors++
+			}
+		}
+	}
+	for class, cs := range r.PerClass {
+		cs.Latency = summarize(classHists[class])
 	}
 	r.Shed = r.Counts[ClassShed]
+	r.ShedQueued = r.Counts[ClassShedQueued]
 	r.Timeouts = r.Counts[ClassTimeout]
 	r.Canceled = r.Counts[ClassCanceled]
 	if r.Requests > 0 {
@@ -124,7 +173,14 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 	if sec := wall.Seconds(); sec > 0 {
 		r.ThroughputRPS = float64(r.Requests-int(r.Counts[ClassTransport])) / sec
 	}
-	r.Latency = LatencySummary{
+	r.Latency = summarize(hist)
+	r.Phases = buildPhases(results, r.DurationMS)
+	return r
+}
+
+// summarize digests a histogram (seconds) into milliseconds.
+func summarize(hist *Histogram) LatencySummary {
+	return LatencySummary{
 		P50:  hist.Quantile(0.50) * 1e3,
 		P90:  hist.Quantile(0.90) * 1e3,
 		P99:  hist.Quantile(0.99) * 1e3,
@@ -132,8 +188,6 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 		Mean: hist.Mean() * 1e3,
 		Max:  hist.Max() * 1e3,
 	}
-	r.Phases = buildPhases(results, r.DurationMS)
-	return r
 }
 
 // buildPhases slices [0, durationMS) into reportPhases equal windows

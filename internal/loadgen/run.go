@@ -29,6 +29,20 @@ func Prepare(plan []Request) ([]Prepared, error) {
 	return out, nil
 }
 
+// PrepareAsync materializes every request as a POST /jobs body (the
+// /solve body plus the SLO class) for async runs.
+func PrepareAsync(plan []Request) ([]Prepared, error) {
+	out := make([]Prepared, len(plan))
+	for i, r := range plan {
+		body, err := r.JobBody()
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: prepare job request %d: %w", r.Index, err)
+		}
+		out[i] = Prepared{Req: r, Body: body}
+	}
+	return out, nil
+}
+
 // RunClosed executes the plan closed-loop: concurrency workers issue
 // requests back to back, each pulling the next request in plan order.
 // The issued sequence is exactly the plan sequence (workers take the
@@ -52,7 +66,9 @@ func RunClosed(ctx context.Context, c *Client, reqs []Prepared, concurrency int)
 				if i >= len(reqs) || ctx.Err() != nil {
 					return
 				}
-				results[reqs[i].Req.Index] = c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+				res := c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+				res.SLOClass = reqs[i].Req.Class
+				results[reqs[i].Req.Index] = res
 			}
 		}()
 	}
@@ -91,7 +107,9 @@ func RunOpen(ctx context.Context, c *Client, reqs []Prepared) ([]Result, time.Du
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[reqs[i].Req.Index] = c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+			res := c.Do(ctx, reqs[i].Req.Index, reqs[i].Body, time.Since(start))
+			res.SLOClass = reqs[i].Req.Class
+			results[reqs[i].Req.Index] = res
 		}(i)
 	}
 	wg.Wait()

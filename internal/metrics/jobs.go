@@ -1,0 +1,234 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Per-class job telemetry. The Registry implements the jobs.Observer
+// interface so the job queue can report without importing this
+// package's callers. Classes and outcomes are fixed enumerations so
+// the exposed series set is static (scrapers and the golden test see
+// the same block regardless of traffic history).
+
+// jobClassNames fixes the exposition order of SLO classes; it must
+// stay aligned with jobs.Classes().
+var jobClassNames = [...]string{"interactive", "batch", "best_effort"}
+
+// jobOutcomeNames fixes the terminal outcomes counted per class.
+var jobOutcomeNames = [...]string{"done", "failed", "canceled"}
+
+func jobClassIndex(class string) int {
+	for i, n := range jobClassNames {
+		if n == class {
+			return i
+		}
+	}
+	return -1
+}
+
+func jobOutcomeIndex(outcome string) int {
+	for i, n := range jobOutcomeNames {
+		if n == outcome {
+			return i
+		}
+	}
+	return -1
+}
+
+// jobStats is the per-registry job telemetry block.
+type jobStats struct {
+	submitted     [len(jobClassNames)]atomic.Int64
+	shedAdmission [len(jobClassNames)]atomic.Int64
+	shedQueued    [len(jobClassNames)]atomic.Int64
+	outcomes      [len(jobClassNames)][len(jobOutcomeNames)]atomic.Int64
+	queued        [len(jobClassNames)]atomic.Int64
+	running       [len(jobClassNames)]atomic.Int64
+	wait          [len(jobClassNames)]secondsHistogram
+	exec          [len(jobClassNames)]secondsHistogram
+}
+
+// JobSubmitted counts a job accepted into the queue (jobs.Observer).
+func (g *Registry) JobSubmitted(class string) {
+	if i := jobClassIndex(class); i >= 0 {
+		g.jobs.submitted[i].Add(1)
+	}
+}
+
+// JobShed counts a shed job: queued=false at admission, queued=true
+// for a queued-then-shed eviction (jobs.Observer).
+func (g *Registry) JobShed(class string, queued bool) {
+	i := jobClassIndex(class)
+	if i < 0 {
+		return
+	}
+	if queued {
+		g.jobs.shedQueued[i].Add(1)
+	} else {
+		g.jobs.shedAdmission[i].Add(1)
+	}
+}
+
+// JobStarted records a job entering execution after waiting wait in
+// the queue (jobs.Observer).
+func (g *Registry) JobStarted(class string, wait time.Duration) {
+	if i := jobClassIndex(class); i >= 0 {
+		g.jobs.wait[i].Observe(wait)
+	}
+}
+
+// JobFinished counts a terminal job by outcome and records its
+// execution time (jobs.Observer).
+func (g *Registry) JobFinished(class string, outcome string, exec time.Duration) {
+	i := jobClassIndex(class)
+	o := jobOutcomeIndex(outcome)
+	if i < 0 || o < 0 {
+		return
+	}
+	g.jobs.outcomes[i][o].Add(1)
+	g.jobs.exec[i].Observe(exec)
+}
+
+// JobGauges sets a class's live queued/running occupancy
+// (jobs.Observer).
+func (g *Registry) JobGauges(class string, queued, running int64) {
+	if i := jobClassIndex(class); i >= 0 {
+		g.jobs.queued[i].Store(queued)
+		g.jobs.running[i].Store(running)
+	}
+}
+
+// JobsSubmitted returns the cumulative submitted count for a class
+// (-1 total for unknown classes).
+func (g *Registry) JobsSubmitted(class string) int64 {
+	if i := jobClassIndex(class); i >= 0 {
+		return g.jobs.submitted[i].Load()
+	}
+	return -1
+}
+
+// JobsCompleted returns the cumulative count for a class and outcome.
+func (g *Registry) JobsCompleted(class, outcome string) int64 {
+	i, o := jobClassIndex(class), jobOutcomeIndex(outcome)
+	if i < 0 || o < 0 {
+		return -1
+	}
+	return g.jobs.outcomes[i][o].Load()
+}
+
+// JobsShed returns the cumulative shed count for a class, split by
+// phase ("admission" or "queued").
+func (g *Registry) JobsShed(class, phase string) int64 {
+	i := jobClassIndex(class)
+	if i < 0 {
+		return -1
+	}
+	switch phase {
+	case "admission":
+		return g.jobs.shedAdmission[i].Load()
+	case "queued":
+		return g.jobs.shedQueued[i].Load()
+	}
+	return -1
+}
+
+// JobsFairnessIndex returns Jain's fairness index over the per-class
+// completed ("done") job counts: 1.0 when every class is served
+// equally, approaching 1/n when one class monopolizes the queue.
+// Classes that have never submitted a job are excluded, so an idle
+// class does not read as unfairness; with no completions at all the
+// index is 1 (vacuously fair).
+func (g *Registry) JobsFairnessIndex() float64 {
+	var sum, sumSq float64
+	n := 0
+	for i := range jobClassNames {
+		if g.jobs.submitted[i].Load() == 0 {
+			continue
+		}
+		x := float64(g.jobs.outcomes[i][0].Load()) // done
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// writeJobsPrometheus renders the per-class job series; called from
+// WritePrometheus.
+func (g *Registry) writeJobsPrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP activetime_jobs_submitted_total Jobs accepted into the queue by SLO class.\n")
+	p("# TYPE activetime_jobs_submitted_total counter\n")
+	for i, c := range jobClassNames {
+		p("activetime_jobs_submitted_total{class=%q} %d\n", c, g.jobs.submitted[i].Load())
+	}
+
+	p("# HELP activetime_jobs_shed_total Jobs shed by SLO class and phase (admission = rejected on submit, queued = evicted after queueing).\n")
+	p("# TYPE activetime_jobs_shed_total counter\n")
+	for i, c := range jobClassNames {
+		p("activetime_jobs_shed_total{class=%q,phase=\"admission\"} %d\n", c, g.jobs.shedAdmission[i].Load())
+		p("activetime_jobs_shed_total{class=%q,phase=\"queued\"} %d\n", c, g.jobs.shedQueued[i].Load())
+	}
+
+	p("# HELP activetime_jobs_completed_total Terminal jobs by SLO class and outcome.\n")
+	p("# TYPE activetime_jobs_completed_total counter\n")
+	for i, c := range jobClassNames {
+		for o, name := range jobOutcomeNames {
+			p("activetime_jobs_completed_total{class=%q,outcome=%q} %d\n", c, name, g.jobs.outcomes[i][o].Load())
+		}
+	}
+
+	p("# HELP activetime_jobs_queued Jobs currently waiting in the queue by SLO class.\n")
+	p("# TYPE activetime_jobs_queued gauge\n")
+	for i, c := range jobClassNames {
+		p("activetime_jobs_queued{class=%q} %d\n", c, g.jobs.queued[i].Load())
+	}
+
+	p("# HELP activetime_jobs_running Jobs currently executing by SLO class.\n")
+	p("# TYPE activetime_jobs_running gauge\n")
+	for i, c := range jobClassNames {
+		p("activetime_jobs_running{class=%q} %d\n", c, g.jobs.running[i].Load())
+	}
+
+	p("# HELP activetime_jobs_fairness_index Jain's fairness index over per-class completed jobs (1 = equal service).\n")
+	p("# TYPE activetime_jobs_fairness_index gauge\n")
+	p("activetime_jobs_fairness_index %g\n", g.JobsFairnessIndex())
+
+	p("# HELP activetime_jobs_wait_seconds Queue wait before execution by SLO class.\n")
+	p("# TYPE activetime_jobs_wait_seconds histogram\n")
+	for i, c := range jobClassNames {
+		writeClassHistogram(p, "activetime_jobs_wait_seconds", c, &g.jobs.wait[i])
+	}
+
+	p("# HELP activetime_jobs_exec_seconds Job execution time by SLO class.\n")
+	p("# TYPE activetime_jobs_exec_seconds histogram\n")
+	for i, c := range jobClassNames {
+		writeClassHistogram(p, "activetime_jobs_exec_seconds", c, &g.jobs.exec[i])
+	}
+
+	return err
+}
+
+// writeClassHistogram renders one class-labeled histogram block.
+func writeClassHistogram(p func(string, ...any), name, class string, h *secondsHistogram) {
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += h.buckets[i].Load()
+		p("%s_bucket{class=%q,le=%q} %d\n", name, class, formatLE(le), cum)
+	}
+	cum += h.buckets[len(latencyBuckets)].Load()
+	p("%s_bucket{class=%q,le=\"+Inf\"} %d\n", name, class, cum)
+	p("%s_sum{class=%q} %g\n", name, class, float64(h.sumNS.Load())/1e9)
+	p("%s_count{class=%q} %d\n", name, class, cum)
+}

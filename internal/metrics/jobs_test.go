@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobCountersPerClass: the per-class job counters are independent
+// monotone series keyed by (class, outcome/phase).
+func TestJobCountersPerClass(t *testing.T) {
+	g := NewRegistry()
+	g.JobSubmitted("interactive")
+	g.JobSubmitted("interactive")
+	g.JobSubmitted("batch")
+	g.JobShed("best_effort", false)
+	g.JobShed("best_effort", true)
+	g.JobShed("best_effort", true)
+	g.JobStarted("interactive", 2*time.Millisecond)
+	g.JobFinished("interactive", "done", 5*time.Millisecond)
+	g.JobFinished("batch", "failed", time.Millisecond)
+	g.JobFinished("batch", "canceled", time.Millisecond)
+	g.JobGauges("interactive", 3, 1)
+
+	if got := g.JobsSubmitted("interactive"); got != 2 {
+		t.Errorf("JobsSubmitted(interactive) = %d, want 2", got)
+	}
+	if got := g.JobsShed("best_effort", "admission"); got != 1 {
+		t.Errorf("JobsShed(best_effort, admission) = %d, want 1", got)
+	}
+	if got := g.JobsShed("best_effort", "queued"); got != 2 {
+		t.Errorf("JobsShed(best_effort, queued) = %d, want 2", got)
+	}
+	if got := g.JobsCompleted("interactive", "done"); got != 1 {
+		t.Errorf("JobsCompleted(interactive, done) = %d, want 1", got)
+	}
+	if got := g.JobsCompleted("batch", "failed"); got != 1 {
+		t.Errorf("JobsCompleted(batch, failed) = %d, want 1", got)
+	}
+
+	// Unknown classes and outcomes are ignored, not misattributed.
+	g.JobSubmitted("no-such-class")
+	g.JobFinished("interactive", "no-such-outcome", time.Millisecond)
+	if got := g.JobsSubmitted("interactive"); got != 2 {
+		t.Errorf("unknown class bled into interactive: %d", got)
+	}
+	if got := g.JobsCompleted("interactive", "done"); got != 1 {
+		t.Errorf("unknown outcome bled into done: %d", got)
+	}
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`activetime_jobs_submitted_total{class="interactive"} 2`,
+		`activetime_jobs_submitted_total{class="batch"} 1`,
+		`activetime_jobs_submitted_total{class="best_effort"} 0`,
+		`activetime_jobs_shed_total{class="best_effort",phase="admission"} 1`,
+		`activetime_jobs_shed_total{class="best_effort",phase="queued"} 2`,
+		`activetime_jobs_completed_total{class="interactive",outcome="done"} 1`,
+		`activetime_jobs_completed_total{class="batch",outcome="canceled"} 1`,
+		`activetime_jobs_queued{class="interactive"} 3`,
+		`activetime_jobs_running{class="interactive"} 1`,
+		`activetime_jobs_wait_seconds_count{class="interactive"} 1`,
+		`activetime_jobs_exec_seconds_count{class="batch"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	parseExposition(t, buf.Bytes())
+}
+
+// TestJobsFairnessIndex: Jain's index over per-class done counts,
+// excluding classes that never submitted.
+func TestJobsFairnessIndex(t *testing.T) {
+	g := NewRegistry()
+	if got := g.JobsFairnessIndex(); got != 1 {
+		t.Errorf("empty registry fairness = %g, want 1", got)
+	}
+
+	// Two active classes, equally served: index 1.
+	g.JobSubmitted("interactive")
+	g.JobSubmitted("batch")
+	g.JobFinished("interactive", "done", time.Millisecond)
+	g.JobFinished("batch", "done", time.Millisecond)
+	if got := g.JobsFairnessIndex(); got < 0.999 || got > 1.001 {
+		t.Errorf("balanced fairness = %g, want 1", got)
+	}
+
+	// Starve batch: (x1,x2) = (11,1) over 2 classes →
+	// (12)^2 / (2·(121+1)) ≈ 0.59.
+	for i := 0; i < 10; i++ {
+		g.JobFinished("interactive", "done", time.Millisecond)
+	}
+	got := g.JobsFairnessIndex()
+	want := 144.0 / (2 * 122)
+	if got < want-0.001 || got > want+0.001 {
+		t.Errorf("skewed fairness = %g, want %g", got, want)
+	}
+
+	// best_effort never submitted: still excluded from the index.
+	if g.JobsSubmitted("best_effort") != 0 {
+		t.Fatal("best_effort unexpectedly active")
+	}
+}

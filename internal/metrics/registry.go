@@ -36,6 +36,8 @@ type Registry struct {
 	counters [len(counterNames)]atomic.Int64
 
 	latency secondsHistogram
+
+	jobs jobStats
 }
 
 // NewRegistry returns an empty registry whose uptime clock starts now.
@@ -366,6 +368,9 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	p("activetime_solve_duration_seconds_sum %g\n", float64(g.latency.sumNS.Load())/1e9)
 	p("activetime_solve_duration_seconds_count %d\n", g.latency.count.Load())
 
+	if err == nil {
+		err = g.writeJobsPrometheus(w)
+	}
 	return err
 }
 

@@ -1,0 +1,315 @@
+// Job API: the asynchronous solve surface. POST /jobs admits a solve
+// into the SLO-class job queue and returns immediately with an id;
+// GET /jobs/{id} polls status (and carries the solve result once
+// done); DELETE /jobs/{id} cancels; GET /jobs/{id}/events streams the
+// job's progress — state transitions and finished solver spans — as
+// server-sent events.
+//
+// Job execution deliberately does not take a /solve in-flight slot:
+// the queue's MaxRunning is a separate capacity, so heavy batch jobs
+// can never starve the synchronous interactive path (and vice versa).
+// Every job runs under a request-scoped tracer so the SSE stream can
+// carry solver-stage progress; traced solves bypass the solve cache,
+// which is the same trade /solve makes for include_trace.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	activetime "repro"
+	"repro/internal/costmodel"
+	"repro/internal/instance"
+	"repro/internal/jobs"
+	"repro/internal/trace"
+)
+
+// JobRequest is the POST /jobs body: a /solve request plus an SLO
+// class. An empty class defaults to batch.
+type JobRequest struct {
+	SolveRequest
+	Class string `json:"class,omitempty"`
+}
+
+// JobSubmitResponse is the 202 body returned by POST /jobs.
+type JobSubmitResponse struct {
+	RequestID string     `json:"request_id"`
+	JobID     string     `json:"job_id"`
+	State     jobs.State `json:"state"`
+	Class     jobs.Class `json:"class"`
+	// PredictedCostNS is the cost model's estimate for this solve; the
+	// sjf policy orders the queue by it.
+	PredictedCostNS int64  `json:"predicted_cost_ns"`
+	CostFamily      string `json:"cost_family"`
+	Policy          string `json:"policy"`
+}
+
+// JobStatusResponse is the GET /jobs/{id} body: the queue's status
+// snapshot, plus the solve response once the job is done.
+type JobStatusResponse struct {
+	jobs.Status
+	Result *SolveResponse `json:"result,omitempty"`
+}
+
+// JobCancelResponse is the DELETE /jobs/{id} body; State is the job's
+// state after the cancellation request (a running job resolves to
+// canceled asynchronously).
+type JobCancelResponse struct {
+	JobID string     `json:"job_id"`
+	State jobs.State `json:"state"`
+}
+
+// jobPayload carries one decoded, validated job request from the
+// submit handler to the runner.
+type jobPayload struct {
+	req     SolveRequest
+	in      *instance.Instance
+	alg     activetime.Algorithm
+	workers int
+	reqID   string
+}
+
+// costFamily maps an instance onto a cost-model family: nested
+// windows with unit processing times are "unit", other nested
+// instances "laminar", everything else "general".
+func costFamily(in *instance.Instance) string {
+	if !in.Nested() {
+		return costmodel.FamilyGeneral
+	}
+	for _, j := range in.Jobs {
+		if j.Processing != 1 {
+			return costmodel.FamilyLaminar
+		}
+	}
+	return costmodel.FamilyUnit
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	reqID := s.nextRequestID()
+	log := s.log.With("request_id", reqID)
+
+	var req JobRequest
+	if status, msg := s.decodeRequest(w, r, &req); status != http.StatusOK {
+		log.Warn("job rejected", "reason", "bad_body", "status", status, "err", msg)
+		s.writeJSON(w, status, ErrorResponse{reqID, msg})
+		return
+	}
+	if len(req.Instance) == 0 {
+		log.Warn("job rejected", "reason", "no_instance")
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "missing instance"})
+		return
+	}
+	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
+	if err != nil {
+		log.Warn("job rejected", "reason", "invalid_instance", "err", err)
+		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "invalid instance: " + err.Error()})
+		return
+	}
+	class := jobs.Class(req.Class)
+	if req.Class == "" {
+		class = jobs.ClassBatch
+	}
+	if !class.Valid() {
+		log.Warn("job rejected", "reason", "bad_class", "class", req.Class)
+		s.writeJSON(w, http.StatusBadRequest,
+			ErrorResponse{reqID, fmt.Sprintf("unknown class %q (want interactive | batch | best_effort)", req.Class)})
+		return
+	}
+	alg := activetime.Algorithm(req.Algorithm)
+	if req.Algorithm == "" {
+		alg = activetime.AlgNested95
+	}
+	workers := req.Workers
+	if workers < 1 {
+		workers = s.cfg.DefaultWorkers
+	}
+
+	family := costFamily(in)
+	predicted := s.cost.PredictInstance(family, in)
+	j, err := s.queue.Submit(class, predicted, &jobPayload{
+		req: req.SolveRequest, in: in, alg: alg, workers: workers, reqID: reqID,
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrShedAdmission):
+			log.Warn("job shed", "reason", "admission", "class", class, "err", err)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.AdmissionWait)))
+			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{reqID, err.Error()})
+		case errors.Is(err, jobs.ErrClosed):
+			s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{reqID, err.Error()})
+		default:
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, err.Error()})
+		}
+		return
+	}
+	log.Info("job submitted", "job_id", j.ID(), "class", class,
+		"family", family, "predicted_ns", predicted, "jobs", in.N(), "g", in.G)
+	s.writeJSON(w, http.StatusAccepted, JobSubmitResponse{
+		RequestID:       reqID,
+		JobID:           j.ID(),
+		State:           jobs.StateQueued,
+		Class:           class,
+		PredictedCostNS: predicted,
+		CostFamily:      family,
+		Policy:          s.queue.Policy().Name(),
+	})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.queue.Get(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{id, "unknown job"})
+		return
+	}
+	resp := JobStatusResponse{Status: st}
+	if sr, ok := st.Result.(*SolveResponse); ok {
+		resp.Result = sr
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	state, ok := s.queue.Cancel(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{id, "unknown job"})
+		return
+	}
+	s.log.Info("job cancel requested", "job_id", id, "state", state)
+	s.writeJSON(w, http.StatusOK, JobCancelResponse{JobID: id, State: state})
+}
+
+// handleJobEvents streams a job's progress events as SSE. Each event
+// is written as "event: <kind>\ndata: <Event JSON>\n\n"; the stream
+// ends after the terminal state event, or when the client disconnects.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.queue.Get(id); !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{id, "unknown job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{id, "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	cursor := 0
+	for {
+		evs, changed, ok := s.queue.Events(id, cursor)
+		if !ok {
+			return // evicted from retention mid-stream
+		}
+		terminal := false
+		for _, ev := range evs {
+			data, err := json.Marshal(ev)
+			if err != nil {
+				s.log.Error("encode job event", "job_id", id, "err", err)
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			if ev.Kind == "state" && ev.State.Terminal() {
+				terminal = true
+			}
+		}
+		if len(evs) > 0 {
+			cursor += len(evs)
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runJob executes one queued job: the same decode-validated solve the
+// synchronous path runs, under the job's cancellation context and the
+// configured solve timeout, with finished solver spans fed into the
+// job's event stream as they complete.
+func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
+	p := j.Payload().(*jobPayload)
+	log := s.log.With("request_id", p.reqID, "job_id", j.ID())
+
+	if timeout := s.solveTimeout(p.req); timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// Feed finished spans into the job's SSE stream while the solve
+	// runs; a final flush after completion catches the tail.
+	tr := trace.New()
+	emitted := 0
+	flush := func() {
+		spans := tr.Spans()
+		for _, sp := range spans[emitted:] {
+			j.EmitSpan(sp.Name, sp.Duration)
+		}
+		emitted = len(spans)
+	}
+	stop := make(chan struct{})
+	feederDone := make(chan struct{})
+	go func() {
+		defer close(feederDone)
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				flush()
+			}
+		}
+	}()
+
+	log.Info("job start", "class", j.Class(), "algorithm", string(p.alg),
+		"jobs", p.in.N(), "predicted_ns", j.PredictedNS())
+	start := time.Now()
+	res, cached, err := s.executeSolve(ctx, solveParams{
+		req: p.req, in: p.in, alg: p.alg, workers: p.workers, tr: tr,
+	})
+	elapsed := time.Since(start)
+	close(stop)
+	<-feederDone
+	flush()
+
+	if err != nil {
+		if solveStatus(err) == http.StatusServiceUnavailable {
+			s.observeCancellation(err)
+		}
+		log.Warn("job failed", "err", err, "elapsed_ms", ms(elapsed))
+		return nil, err
+	}
+
+	// The stored result includes the Chrome trace only when the client
+	// asked for it; the span events are in the SSE stream regardless.
+	rp := solveParams{req: p.req, in: p.in}
+	if p.req.IncludeTrace {
+		rp.tr = tr
+	}
+	out, err := s.buildSolveResponse(p.reqID, rp, res, cached, elapsed)
+	if err != nil {
+		log.Error("encode job result", "err", err)
+		return nil, fmt.Errorf("encode schedule: %w", err)
+	}
+	log.Info("job done", "active_slots", res.ActiveSlots, "elapsed_ms", out.ElapsedMS)
+	return &out, nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -22,7 +22,9 @@ import (
 	"time"
 
 	activetime "repro"
+	"repro/internal/costmodel"
 	"repro/internal/instance"
+	"repro/internal/jobs"
 	"repro/internal/metrics"
 	"repro/internal/solvecache"
 	"repro/internal/trace"
@@ -50,6 +52,26 @@ type Config struct {
 	// CacheEntries sizes the canonicalized solve-result LRU; ≤ 0
 	// disables caching and coalescing.
 	CacheEntries int
+
+	// JobsMaxRunning bounds concurrently executing async jobs; ≤ 0
+	// disables the job API entirely (the /jobs routes 404). Job
+	// execution slots are deliberately separate from MaxInFlight: a
+	// queue full of batch jobs cannot starve synchronous /solve
+	// traffic, and vice versa — that is the admission split.
+	JobsMaxRunning int
+	// JobsMaxQueued bounds jobs waiting in the queue across classes.
+	JobsMaxQueued int
+	// JobsPolicy names the scheduling policy: fcfs | priority | sjf.
+	// Unknown values fall back to fcfs (validate with
+	// jobs.PolicyByName at flag-parsing time to reject them earlier).
+	JobsPolicy string
+	// JobsBudgets caps queued+running jobs per SLO class; missing or
+	// zero entries are bounded only by JobsMaxQueued.
+	JobsBudgets map[jobs.Class]int
+	// CostModel predicts job cost for SJF ordering and the
+	// predicted_cost_ns response field; nil uses the embedded model
+	// fitted from BENCH_core.json.
+	CostModel *costmodel.Model
 }
 
 // DefaultConfig returns the production defaults with the given
@@ -61,6 +83,9 @@ func DefaultConfig(workers int) Config {
 		AdmissionWait:  100 * time.Millisecond,
 		SolveTimeout:   0,
 		CacheEntries:   256,
+		JobsMaxRunning: 2,
+		JobsMaxQueued:  256,
+		JobsPolicy:     "sjf",
 	}
 }
 
@@ -73,6 +98,8 @@ type Server struct {
 	cfg    Config
 	sem    chan struct{} // in-flight slots; nil when unlimited
 	cache  *solvecache.Group[*activetime.Result]
+	queue  *jobs.Queue      // async job queue; nil when the job API is disabled
+	cost   *costmodel.Model // predicted-cost model for SJF and predicted_cost_ns
 	reqSeq atomic.Int64
 
 	// testHookBeforeSolve, when non-nil, runs at the head of every
@@ -96,7 +123,37 @@ func New(log *slog.Logger, cfg Config) *Server {
 	if cfg.CacheEntries > 0 {
 		s.cache = solvecache.NewGroup[*activetime.Result](cfg.CacheEntries)
 	}
+	s.cost = cfg.CostModel
+	if s.cost == nil {
+		s.cost = costmodel.Default()
+	}
+	if cfg.JobsMaxRunning > 0 {
+		policy, err := jobs.PolicyByName(cfg.JobsPolicy)
+		if err != nil {
+			// Callers validate the flag before building the Config;
+			// surviving an unvalidated value beats crashing the service.
+			log.Warn("unknown jobs policy, falling back to fcfs", "policy", cfg.JobsPolicy)
+			policy = jobs.FCFS{}
+		}
+		s.queue = jobs.New(jobs.Config{
+			MaxRunning: cfg.JobsMaxRunning,
+			MaxQueued:  cfg.JobsMaxQueued,
+			Budgets:    cfg.JobsBudgets,
+			Policy:     policy,
+			Observer:   s.reg,
+		}, s.runJob)
+	}
 	return s
+}
+
+// Close drains the async job queue: queued jobs are shed, running
+// solves are canceled, and workers are awaited up to ctx's deadline.
+// Safe to call when the job API is disabled.
+func (s *Server) Close(ctx context.Context) error {
+	if s.queue == nil {
+		return nil
+	}
+	return s.queue.Close(ctx)
 }
 
 // Registry exposes the server's process-lifetime metrics registry —
@@ -112,6 +169,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.queue != nil {
+		mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+		mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+		mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+		mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -179,12 +242,12 @@ func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
-// decodeSolveRequest parses the request body strictly: the size limit
-// maps to 413, unknown fields and malformed JSON to 400, and any
-// bytes after the JSON object (beyond whitespace) to 400 — a request
-// like {"instance":…}{"junk":1} used to silently drop the second
-// object.
-func (s *Server) decodeSolveRequest(w http.ResponseWriter, r *http.Request, req *SolveRequest) (status int, msg string) {
+// decodeRequest parses a request body strictly: the size limit maps
+// to 413, unknown fields and malformed JSON to 400, and any bytes
+// after the JSON object (beyond whitespace) to 400 — a request like
+// {"instance":…}{"junk":1} used to silently drop the second object.
+// Shared by /solve and POST /jobs.
+func (s *Server) decodeRequest(w http.ResponseWriter, r *http.Request, req any) (status int, msg string) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(req); err != nil {
@@ -204,6 +267,20 @@ func (s *Server) decodeSolveRequest(w http.ResponseWriter, r *http.Request, req 
 		return http.StatusBadRequest, "trailing data after JSON request body"
 	}
 	return http.StatusOK, ""
+}
+
+// solveTimeout derives a request's effective solve deadline.
+// timeout_ms can only tighten -solve-timeout: a value too large for
+// the ms→Duration conversion (it would overflow int64 nanoseconds)
+// cannot tighten anything, so it is ignored and the server cap stands.
+func (s *Server) solveTimeout(req SolveRequest) time.Duration {
+	timeout := s.cfg.SolveTimeout
+	if req.TimeoutMS > 0 && req.TimeoutMS <= math.MaxInt64/int64(time.Millisecond) {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	return timeout
 }
 
 // solveStatus maps a solve error to its HTTP status: cancellation
@@ -257,7 +334,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req SolveRequest
-	if status, msg := s.decodeSolveRequest(w, r, &req); status != http.StatusOK {
+	if status, msg := s.decodeRequest(w, r, &req); status != http.StatusOK {
 		log.Warn("solve rejected", "reason", "bad_body", "status", status, "err", msg)
 		s.writeJSON(w, status, ErrorResponse{reqID, msg})
 		return
@@ -288,18 +365,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// The request context carries client disconnects; layer the solve
-	// deadline on top. timeout_ms can only tighten -solve-timeout: a
-	// value too large for the ms→Duration conversion (it would
-	// overflow int64 nanoseconds) cannot tighten anything, so it is
-	// ignored and the server cap stands.
+	// deadline on top.
 	ctx := r.Context()
-	timeout := s.cfg.SolveTimeout
-	if req.TimeoutMS > 0 && req.TimeoutMS <= math.MaxInt64/int64(time.Millisecond) {
-		if d := time.Duration(req.TimeoutMS) * time.Millisecond; timeout == 0 || d < timeout {
-			timeout = d
-		}
-	}
-	if timeout > 0 {
+	if timeout := s.solveTimeout(req); timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
@@ -339,73 +407,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	log.Info("solve start", "algorithm", string(alg), "jobs", in.N(), "g", in.G, "workers", workers)
 
-	// runSolve executes one real solve of solveIn under the given
-	// context (the request's, or — when coalesced behind the cache — a
-	// flight context detached from any single request) and folds its
-	// outcome into the registry.
-	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*activetime.Result, error) {
-		s.reg.SolveStarted()
-		if h := s.testHookBeforeSolve; h != nil {
-			h(ctx)
-		}
-		start := time.Now()
-		var res *activetime.Result
-		var err error
-		if alg == activetime.AlgNested95 {
-			res, err = activetime.SolveNested95Ctx(ctx, solveIn, activetime.SolveOptions{
-				ExactLP:    req.ExactLP,
-				Minimalize: req.Minimalize,
-				Compact:    req.Compact,
-				Workers:    workers,
-				Trace:      tr,
-			})
-		} else {
-			res, err = activetime.SolveTracedCtx(ctx, solveIn, alg, tr)
-		}
-		var stats *metrics.Stats
-		if res != nil {
-			stats = res.Stats
-		}
-		s.reg.ObserveSolve(stats, time.Since(start), err)
-		return res, err
-	}
-
 	start := time.Now()
-	var res *activetime.Result
-	cached := false
-	if s.cache != nil && !req.IncludeTrace {
-		// The key canonicalizes the instance (job order and IDs do not
-		// matter) plus everything that changes the result; the worker
-		// count does not (results are identical at any parallelism).
-		// Cached results must serve every job ordering that maps to the
-		// key, so the flight solves the canonically sorted instance and
-		// each request relabels the schedule back to its own job IDs.
-		key := solvecache.KeyFor(in, string(alg), req.ExactLP, req.Minimalize, req.Compact)
-		order := solvecache.CanonicalOrder(in)
-		canonIn := in.Permute(order)
-		var outcome solvecache.Outcome
-		res, outcome, err = s.cache.Do(ctx, key, func(ctx context.Context) (*activetime.Result, error) {
-			return runSolve(ctx, canonIn)
-		})
-		switch outcome {
-		case solvecache.Hit:
-			s.reg.CacheHit()
-			cached = true
-		case solvecache.Miss:
-			s.reg.CacheMiss()
-		case solvecache.Coalesced:
-			s.reg.CacheCoalesced()
-		}
-		if err == nil && req.IncludeSchedule {
-			// The cached Result is shared across requests: relabel into
-			// a copy, never in place.
-			relabeled := *res
-			relabeled.Schedule = res.Schedule.Relabel(order)
-			res = &relabeled
-		}
-	} else {
-		res, err = runSolve(ctx, in)
-	}
+	res, cached, err := s.executeSolve(ctx, solveParams{
+		req: req, in: in, alg: alg, workers: workers, tr: tr,
+	})
 	elapsed := time.Since(start)
 
 	if err != nil {
@@ -419,28 +424,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out := SolveResponse{
-		RequestID:      reqID,
-		Algorithm:      string(res.Algorithm),
-		Jobs:           in.N(),
-		ActiveSlots:    res.ActiveSlots,
-		LPBound:        res.LPLowerBound,
-		CertifiedRatio: res.CertifiedRatio,
-		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
-		Cached:         cached,
-		Stats:          res.Stats,
-	}
-	if req.IncludeSchedule {
-		var buf bytes.Buffer
-		if err := res.Schedule.WriteJSON(&buf); err != nil {
-			log.Error("encode schedule", "err", err)
-			s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{reqID, "encode schedule: " + err.Error()})
-			return
-		}
-		out.Schedule = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
-	}
-	if tr != nil {
-		out.Trace = &trace.ChromeTrace{TraceEvents: tr.ChromeEvents(), DisplayUnit: "ms"}
+	out, err := s.buildSolveResponse(reqID, solveParams{req: req, in: in, tr: tr}, res, cached, elapsed)
+	if err != nil {
+		log.Error("encode schedule", "err", err)
+		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{reqID, "encode schedule: " + err.Error()})
+		return
 	}
 	log.Info("solve done",
 		"algorithm", string(res.Algorithm),
@@ -448,6 +436,119 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"cached", cached,
 		"elapsed_ms", out.ElapsedMS)
 	s.writeJSON(w, http.StatusOK, out)
+}
+
+// solveParams carries one solve's decoded, validated inputs through
+// the shared execution path used by both the synchronous /solve
+// handler and the async job runner.
+type solveParams struct {
+	req     SolveRequest
+	in      *instance.Instance
+	alg     activetime.Algorithm
+	workers int
+	tr      *trace.Tracer
+}
+
+// executeSolve runs one solve through the shared path: registry
+// accounting, the canonicalization-keyed cache (bypassed for traced
+// solves, whose spans belong to a single request), and schedule
+// relabeling for cached hits. It returns the result and whether it was
+// served from cache.
+func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.Result, bool, error) {
+	// runSolve executes one real solve of solveIn under the given
+	// context (the request's, or — when coalesced behind the cache — a
+	// flight context detached from any single request) and folds its
+	// outcome into the registry.
+	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*activetime.Result, error) {
+		s.reg.SolveStarted()
+		if h := s.testHookBeforeSolve; h != nil {
+			h(ctx)
+		}
+		start := time.Now()
+		var res *activetime.Result
+		var err error
+		if p.alg == activetime.AlgNested95 {
+			res, err = activetime.SolveNested95Ctx(ctx, solveIn, activetime.SolveOptions{
+				ExactLP:    p.req.ExactLP,
+				Minimalize: p.req.Minimalize,
+				Compact:    p.req.Compact,
+				Workers:    p.workers,
+				Trace:      p.tr,
+			})
+		} else {
+			res, err = activetime.SolveTracedCtx(ctx, solveIn, p.alg, p.tr)
+		}
+		var stats *metrics.Stats
+		if res != nil {
+			stats = res.Stats
+		}
+		s.reg.ObserveSolve(stats, time.Since(start), err)
+		return res, err
+	}
+
+	if s.cache == nil || p.tr != nil {
+		res, err := runSolve(ctx, p.in)
+		return res, false, err
+	}
+
+	// The key canonicalizes the instance (job order and IDs do not
+	// matter) plus everything that changes the result; the worker
+	// count does not (results are identical at any parallelism).
+	// Cached results must serve every job ordering that maps to the
+	// key, so the flight solves the canonically sorted instance and
+	// each request relabels the schedule back to its own job IDs.
+	key := solvecache.KeyFor(p.in, string(p.alg), p.req.ExactLP, p.req.Minimalize, p.req.Compact)
+	order := solvecache.CanonicalOrder(p.in)
+	canonIn := p.in.Permute(order)
+	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*activetime.Result, error) {
+		return runSolve(ctx, canonIn)
+	})
+	cached := false
+	switch outcome {
+	case solvecache.Hit:
+		s.reg.CacheHit()
+		cached = true
+	case solvecache.Miss:
+		s.reg.CacheMiss()
+	case solvecache.Coalesced:
+		s.reg.CacheCoalesced()
+	}
+	if err == nil && p.req.IncludeSchedule {
+		// The cached Result is shared across requests: relabel into
+		// a copy, never in place.
+		relabeled := *res
+		relabeled.Schedule = res.Schedule.Relabel(order)
+		res = &relabeled
+	}
+	return res, cached, err
+}
+
+// buildSolveResponse assembles the wire response for a successful
+// solve; it is shared by /solve and by the job runner (whose response
+// becomes the job's stored result).
+func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime.Result, cached bool, elapsed time.Duration) (SolveResponse, error) {
+	out := SolveResponse{
+		RequestID:      reqID,
+		Algorithm:      string(res.Algorithm),
+		Jobs:           p.in.N(),
+		ActiveSlots:    res.ActiveSlots,
+		LPBound:        res.LPLowerBound,
+		CertifiedRatio: res.CertifiedRatio,
+		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
+		Cached:         cached,
+		Stats:          res.Stats,
+	}
+	if p.req.IncludeSchedule {
+		var buf bytes.Buffer
+		if err := res.Schedule.WriteJSON(&buf); err != nil {
+			return out, err
+		}
+		out.Schedule = json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	}
+	if p.tr != nil {
+		out.Trace = &trace.ChromeTrace{TraceEvents: p.tr.ChromeEvents(), DisplayUnit: "ms"}
+	}
+	return out, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -6,10 +6,14 @@ package activetime
 // dependence on absolute time values or job order).
 
 import (
+	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 
+	"repro/internal/costmodel"
 	"repro/internal/gen"
+	"repro/internal/jobs"
 )
 
 func TestShiftInvariance(t *testing.T) {
@@ -158,6 +162,127 @@ func TestDuplicationDoubling(t *testing.T) {
 		if par.ActiveSlots != seq.ActiveSlots {
 			t.Fatalf("trial %d: workers=4 gives %d slots, workers=1 gives %d",
 				trial, par.ActiveSlots, seq.ActiveSlots)
+		}
+	}
+}
+
+// TestCostModelMonotone: within every family — including the fallback
+// for an unknown family — the predicted cost is non-decreasing in the
+// job count (depth fixed) and in the nesting depth (jobs fixed). This
+// is the property that makes shortest-predicted-job-first coherent: a
+// strictly larger instance can never be predicted cheaper, so SJF
+// cannot invert on a growth transformation.
+func TestCostModelMonotone(t *testing.T) {
+	m := costmodel.Default()
+	families := []string{
+		costmodel.FamilyLaminar, costmodel.FamilyUnit,
+		costmodel.FamilyGeneral, "no-such-family",
+	}
+	grid := []int{1, 2, 3, 5, 8, 13, 34, 144, 1000}
+	for _, fam := range families {
+		for _, depth := range grid {
+			prev := int64(-1)
+			for _, jobsN := range grid {
+				got := m.PredictNS(fam, jobsN, depth)
+				if got < prev {
+					t.Fatalf("%s: prediction fell %d -> %d raising jobs to %d at depth %d",
+						fam, prev, got, jobsN, depth)
+				}
+				prev = got
+			}
+		}
+		for _, jobsN := range grid {
+			prev := int64(-1)
+			for _, depth := range grid {
+				got := m.PredictNS(fam, jobsN, depth)
+				if got < prev {
+					t.Fatalf("%s: prediction fell %d -> %d raising depth to %d at jobs %d",
+						fam, prev, got, depth, jobsN)
+				}
+				prev = got
+			}
+		}
+	}
+}
+
+// TestCostModelInstanceMonotone: unioning an instance with a
+// far-shifted copy of itself (the duplication transform the solver
+// suite uses) doubles the job count without lowering the depth, so the
+// predicted cost must not decrease.
+func TestCostModelInstanceMonotone(t *testing.T) {
+	m := costmodel.Default()
+	rng := rand.New(rand.NewSource(3015))
+	for trial := 0; trial < 12; trial++ {
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(6, 2))
+		far := in.Shift(50_000)
+		union, err := NewInstance(in.G, append(append([]Job{}, in.Jobs...), far.Jobs...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		single := m.PredictInstance(costmodel.FamilyLaminar, in)
+		double := m.PredictInstance(costmodel.FamilyLaminar, union)
+		if double < single {
+			t.Fatalf("trial %d: duplication lowered prediction %d -> %d", trial, single, double)
+		}
+		if d := costmodel.Depth(union); d < costmodel.Depth(in) {
+			t.Fatalf("trial %d: duplication lowered depth %d -> %d", trial, costmodel.Depth(in), d)
+		}
+	}
+}
+
+// TestSJFOrderInvariantUnderDuplication: duplicating a job stream must
+// not change the relative execution order of the original jobs under
+// SJF — duplicates (equal predicted cost, later arrival) slot in after
+// their originals by the seq tiebreak, so the originals' order is
+// preserved as a subsequence. A policy that compared non-deterministically
+// (map iteration, pointer order) would fail this under repetition.
+func TestSJFOrderInvariantUnderDuplication(t *testing.T) {
+	rng := rand.New(rand.NewSource(3017))
+	for trial := 0; trial < 10; trial++ {
+		preds := make([]int64, 12)
+		for i := range preds {
+			preds[i] = int64(1 + rng.Intn(40)) // small range forces ties
+		}
+		// originalOrder submits `copies` interleaved copies of the stream
+		// into a Manual SJF queue, drains it, and returns the execution
+		// order of the FIRST copy's jobs as submission indices.
+		originalOrder := func(copies int) []int {
+			q := jobs.New(jobs.Config{
+				MaxRunning: 1, MaxQueued: 128, Manual: true, Policy: jobs.SJF{},
+			}, func(ctx context.Context, j *jobs.Job) (any, error) { return nil, nil })
+			defer q.Close(context.Background())
+			idx := map[string]int{}
+			for c := 0; c < copies; c++ {
+				for i, p := range preds {
+					j, err := q.Submit(jobs.ClassBatch, p, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if c == 0 {
+						idx[j.ID()] = i
+					}
+				}
+			}
+			var order []int
+			for {
+				j, ok := q.Step()
+				if !ok {
+					break
+				}
+				if i, seen := idx[j.ID()]; seen {
+					order = append(order, i)
+				}
+			}
+			return order
+		}
+		single := originalOrder(1)
+		doubled := originalOrder(2)
+		if len(single) != len(preds) {
+			t.Fatalf("trial %d: drained %d of %d jobs", trial, len(single), len(preds))
+		}
+		if !reflect.DeepEqual(single, doubled) {
+			t.Fatalf("trial %d: duplicating the stream reordered the originals:\n single %v\ndoubled %v",
+				trial, single, doubled)
 		}
 	}
 }
