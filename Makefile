@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench obs-smoke ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -52,6 +52,20 @@ loadgen-smoke:
 	grep -q '"http_5xx": 0' /tmp/atload-smoke.json
 	rm -f /tmp/atload-smoke.json
 
+# Telemetry smoke: boot the real binary with the wide-event pipeline
+# on, drive sync + async + error traffic over real HTTP, and require
+# /debug/events, /debug/slo, a tail-sampled trace, the new /metrics
+# series, and a parseable JSONL event sink. Then an in-process atload
+# run whose client results must cross-check 1:1 against the server's
+# wide-event log.
+obs-smoke:
+	$(GO) test -run='^TestObsSmoke$$' -count=1 -v ./cmd/activetimed
+	$(GO) run ./cmd/atload -requests 60 -concurrency 4 -seed 1 \
+		-jobs-min 4 -jobs-max 12 -distinct 8 \
+		-events-file /tmp/atload-obs-smoke.jsonl -report /tmp/atload-obs-smoke.json
+	grep -q '"pass": true' /tmp/atload-obs-smoke.json
+	rm -f /tmp/atload-obs-smoke.jsonl /tmp/atload-obs-smoke.json
+
 # Regenerate the committed load-test baseline. Absolute numbers are
 # machine-dependent; the committed file pins report shape and the
 # deterministic request/count fields.
@@ -76,7 +90,7 @@ bench-smoke:
 	rm -f /tmp/bench-smoke.json
 
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke bench-smoke
+ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke obs-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...

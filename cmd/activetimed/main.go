@@ -6,9 +6,12 @@
 //	GET  /jobs/{id}         poll a job (result inline once done)
 //	DELETE /jobs/{id}       cancel a job
 //	GET  /jobs/{id}/events  job progress as server-sent events
-//	GET  /healthz           liveness probe
+//	GET  /healthz           liveness probe (build identity included)
 //	GET  /metrics           Prometheus text exposition (cumulative)
 //	GET  /debug/pprof/...   net/http/pprof profiling endpoints
+//	GET  /debug/events      recent wide events (filter: status, class, path, limit)
+//	GET  /debug/slo         rolling 1m/10m/1h SLO burn-rate summary
+//	GET  /debug/traces/{id} tail-sampled Chrome-trace JSON for one request
 //
 // Logs are structured (log/slog) with a per-request ID on every
 // /solve line. See README.md "Running the service" for curl examples.
@@ -19,6 +22,8 @@
 //	            [-max-inflight N] [-admission-wait DUR] [-solve-timeout DUR] [-cache-entries N]
 //	            [-jobs-running N] [-jobs-queued N] [-jobs-policy fcfs|priority|sjf]
 //	            [-jobs-budget class=N,...] [-cost-model PATH]
+//	            [-events-ring N] [-events-file PATH] [-tail-slow DUR] [-tail-traces N]
+//	            [-slo-p99 MS] [-slo-max-error-rate F]
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 
 	"repro/internal/costmodel"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -53,6 +59,12 @@ func main() {
 	jobsPolicy := flag.String("jobs-policy", "sjf", "async job scheduling policy: fcfs | priority | sjf")
 	jobsBudget := flag.String("jobs-budget", "", "per-class admission budgets, e.g. interactive=64,batch=128 (empty = unbounded)")
 	costModelPath := flag.String("cost-model", "", "predicted-cost model JSON (empty = embedded model fitted from BENCH_core.json)")
+	eventsRing := flag.Int("events-ring", 1024, "wide-event in-memory ring size behind /debug/events (0 disables the telemetry pipeline)")
+	eventsFile := flag.String("events-file", "", "append every wide event as one JSON line to this file")
+	tailSlow := flag.Duration("tail-slow", 250*time.Millisecond, "tail-sampling threshold: successful requests at or above it retain their trace (0 = errors/sheds only)")
+	tailTraces := flag.Int("tail-traces", 64, "maximum retained tail-sampled traces")
+	sloP99 := flag.Float64("slo-p99", 250, "latency objective in ms for the in-server SLO burn-rate tracker")
+	sloMaxErr := flag.Float64("slo-max-error-rate", 0.01, "error budget (fraction) for the in-server SLO burn-rate tracker")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -85,6 +97,16 @@ func main() {
 		}
 		model = m
 	}
+	var eventSink *os.File
+	if *eventsFile != "" {
+		f, err := os.OpenFile(*eventsFile, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "activetimed: %v\n", err)
+			os.Exit(2)
+		}
+		eventSink = f
+		defer f.Close()
+	}
 
 	cfg := server.Config{
 		DefaultWorkers: *workers,
@@ -97,6 +119,13 @@ func main() {
 		JobsPolicy:     *jobsPolicy,
 		JobsBudgets:    budgets,
 		CostModel:      model,
+		EventRing:      *eventsRing,
+		TailSlow:       *tailSlow,
+		TraceRetain:    *tailTraces,
+		SLOTarget:      obs.SLOConfig{LatencyObjectiveMS: *sloP99, ErrorBudget: *sloMaxErr},
+	}
+	if eventSink != nil {
+		cfg.EventSink = eventSink
 	}
 	srv := server.New(log, cfg)
 	ln, err := net.Listen("tcp", *addr)

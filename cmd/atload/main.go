@@ -18,13 +18,25 @@
 //	       [-async] [-poll DUR] [-class-mix interactive=0.5,batch=0.5]
 //	       [-queue-policy fcfs|priority|sjf] [-queue-running N] [-queue-depth N]
 //	       [-queue-budget class=N,...]
+//	       [-events-file PATH] [-events-ring N]
 //
 // With -async the driver goes through the job API: each request is
 // submitted to POST /jobs with its SLO class and polled to a terminal
 // state; the report breaks latency out per class, which is how the
 // SJF-vs-FCFS experiments (EXPERIMENTS.md E20) are measured.
 //
-// Exit codes: 0 success, 1 SLO violation or run error, 2 usage error.
+// With -events-file (in-process runs only) the server writes its
+// wide-event JSONL log to PATH, and after the run atload reconciles
+// the client-side results against it by request id — every issued
+// request must have exactly one server event, with predicted and
+// measured cost populated for solved requests. The verdict lands in
+// the report's events_crosscheck block; a mismatch exits 1.
+// -events-ring sizes the server's in-memory event ring (0 disables
+// the telemetry pipeline, the configuration E21 uses to measure
+// wide-event overhead).
+//
+// Exit codes: 0 success, 1 SLO violation, cross-check failure, or run
+// error, 2 usage error.
 package main
 
 import (
@@ -85,6 +97,8 @@ type options struct {
 	queueRunning  int
 	queueDepth    int
 	queueBudget   string
+	eventsFile    string
+	eventsRing    int
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -123,11 +137,19 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.queueRunning, "queue-running", 2, "in-process server: job execution slots")
 	fs.IntVar(&o.queueDepth, "queue-depth", 256, "in-process server: max queued jobs")
 	fs.StringVar(&o.queueBudget, "queue-budget", "", "in-process server: per-class admission budgets, class=N[,...]")
+	fs.StringVar(&o.eventsFile, "events-file", "", "in-process server: write wide-event JSONL here and cross-check it against client results")
+	fs.IntVar(&o.eventsRing, "events-ring", 4096, "in-process server: wide-event ring size (0 disables the telemetry pipeline)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
 	if fs.NArg() > 0 {
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if o.eventsFile != "" && o.target != "" {
+		return nil, fmt.Errorf("-events-file requires the in-process server (drop -target)")
+	}
+	if o.eventsFile != "" && o.eventsRing <= 0 {
+		return nil, fmt.Errorf("-events-file requires -events-ring > 0 (the pipeline is disabled at 0)")
 	}
 	return o, nil
 }
@@ -244,6 +266,8 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 		return fail(err)
 	}
 
+	slo := loadgen.SLO{P99MaxMS: o.sloP99, MaxErrorRate: o.sloMaxErr}
+
 	var client *loadgen.Client
 	target := o.target
 	if target != "" {
@@ -259,6 +283,15 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "atload: %v\n", err)
 			return 2
 		}
+		var eventSink io.Writer
+		if o.eventsFile != "" {
+			f, err := os.Create(o.eventsFile)
+			if err != nil {
+				return fail(err)
+			}
+			defer f.Close()
+			eventSink = f
+		}
 		log := slog.New(slog.NewTextHandler(io.Discard, nil))
 		srv := server.New(log, server.Config{
 			DefaultWorkers: o.workers,
@@ -270,6 +303,9 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			JobsMaxQueued:  o.queueDepth,
 			JobsPolicy:     o.queuePolicy,
 			JobsBudgets:    budgets,
+			EventRing:      o.eventsRing,
+			EventSink:      eventSink,
+			SLOTarget:      slo.Objectives(),
 		})
 		defer func() {
 			closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
@@ -307,10 +343,20 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 	}
 
 	rep := loadgen.BuildReport(results, wall, model, target, o.seed, o.concurrency)
-	slo := loadgen.SLO{P99MaxMS: o.sloP99, MaxErrorRate: o.sloMaxErr}
 	var verdict *loadgen.SLOResult
 	if slo.Enabled() {
 		verdict = slo.Evaluate(rep)
+	}
+	if o.eventsFile != "" {
+		// Every result is terminal before the runner returns, and the
+		// server emits each wide event before the response (sync) or the
+		// terminal poll (async) can be observed, so the JSONL sink is
+		// complete here.
+		events, err := loadgen.LoadEvents(o.eventsFile)
+		if err != nil {
+			return fail(err)
+		}
+		rep.CrossCheck = loadgen.CrossCheckEvents(results, events)
 	}
 
 	out := reportOut
@@ -328,6 +374,11 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 
 	if verdict != nil && !verdict.Pass {
 		fmt.Fprintf(stderr, "atload: SLO violated: %s\n", strings.Join(verdict.Violations, "; "))
+		return 1
+	}
+	if cc := rep.CrossCheck; cc != nil && !cc.Pass {
+		fmt.Fprintf(stderr, "atload: event cross-check failed: %d/%d matched, %d missing, %d duplicate, %d solved without cost\n",
+			cc.Matched, cc.ClientWithID, cc.MissingCount, cc.DuplicateCount, cc.SolvedMissingN)
 		return 1
 	}
 	return 0

@@ -50,6 +50,15 @@ type Config struct {
 	Retain int
 	// Observer receives telemetry (nil = none).
 	Observer Observer
+	// Terminal, when non-nil, is invoked exactly once as each job
+	// reaches its terminal state — after the state is recorded, while
+	// the queue lock is held (the callback must not call back into the
+	// queue). wait is submission→start (submission→finish for jobs that
+	// never ran), exec the running time (0 if never started), total
+	// submission→finish; all measured on the queue's Clock. The server
+	// uses it to emit the job's wide event at the exact instant pollers
+	// can observe the terminal state.
+	Terminal func(j *Job, state State, detail string, wait, exec, total time.Duration)
 }
 
 // Runner executes one job's work. The context is canceled on
@@ -327,6 +336,15 @@ func (q *Queue) finishLocked(j *Job, s State, result any, detail string) {
 		}
 		outcome := string(s)
 		q.observe(func(o Observer) { o.JobFinished(string(j.class), outcome, exec) })
+	}
+	if q.cfg.Terminal != nil {
+		total := j.finishedAt.Sub(j.submittedAt)
+		wait, exec := total, time.Duration(0)
+		if !j.startedAt.IsZero() {
+			wait = j.startedAt.Sub(j.submittedAt)
+			exec = j.finishedAt.Sub(j.startedAt)
+		}
+		q.cfg.Terminal(j, s, detail, wait, exec, total)
 	}
 	q.gaugesLocked(j.class)
 	q.retainLocked(j)

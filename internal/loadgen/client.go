@@ -47,6 +47,11 @@ type Result struct {
 	// stream GET /jobs/{id}/events serves) it emitted.
 	JobID    string `json:"job_id,omitempty"`
 	Progress int    `json:"progress,omitempty"`
+	// RequestID is the server-assigned request id parsed from the
+	// response body (success and error bodies both carry it; async runs
+	// take it from the submit response). It keys this client-side
+	// result to the server's wide event for cross-checking.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // Client issues /solve requests to an activetimed server, either over
@@ -121,6 +126,7 @@ func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Dura
 		res.Class, res.Err = ClassTransport, err.Error()
 		return res
 	}
+	res.RequestID = requestIDFrom(data)
 	res.Class, res.Cached, res.Err = classify(resp.StatusCode, data)
 	return res
 }
@@ -154,6 +160,7 @@ func (c *Client) doAsync(ctx context.Context, index int, body []byte, start time
 		res.Class, res.Err = ClassTransport, err.Error()
 		return res
 	}
+	res.RequestID = requestIDFrom(data)
 	if resp.StatusCode != http.StatusAccepted {
 		// Admission shed (429 → ClassShed) and the error taxonomy are
 		// the same as the synchronous path.
@@ -286,6 +293,17 @@ func classify(status int, body []byte) (class string, cached bool, errMsg string
 	default:
 		return ClassClientErr, false, errBody(body)
 	}
+}
+
+// requestIDFrom pulls the server-assigned request id out of any
+// response body shape (SolveResponse, ErrorResponse, JobSubmitResponse
+// all carry request_id).
+func requestIDFrom(body []byte) string {
+	var v struct {
+		RequestID string `json:"request_id"`
+	}
+	_ = json.Unmarshal(body, &v)
+	return v.RequestID
 }
 
 func errBody(body []byte) string {

@@ -1,0 +1,126 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+// crossCheckListCap bounds the offending-request-id lists embedded in
+// a report; the counts are always exact.
+const crossCheckListCap = 20
+
+// CrossCheck is the verdict of reconciling a run's client-side results
+// against the server's wide-event log: the two views of the same run,
+// matched by request id. atload attaches it to the report (and exits
+// nonzero when Pass is false) when -events-file is set on an
+// in-process run.
+type CrossCheck struct {
+	// ClientRequests is every issued request; ClientWithID the subset
+	// that received a server-assigned request id (transport failures
+	// never do, and are excluded from matching).
+	ClientRequests int `json:"client_requests"`
+	ClientWithID   int `json:"client_with_request_id"`
+	ServerEvents   int `json:"server_events"`
+	// Matched counts client requests with exactly one server event.
+	Matched int `json:"matched"`
+	// ServerOnly counts events whose request id no client result
+	// claims — not a failure (another client may share the server),
+	// but a signal worth surfacing.
+	ServerOnly int `json:"server_only"`
+
+	// MissingServer lists client request ids with no server event;
+	// DuplicateServer ids with more than one; SolvedMissingCost solved
+	// (ok/cached) requests whose event lacks predicted or measured
+	// cost. Lists are capped at 20 entries; counts are exact.
+	MissingServer     []string `json:"missing_server,omitempty"`
+	MissingCount      int      `json:"missing_count,omitempty"`
+	DuplicateServer   []string `json:"duplicate_server,omitempty"`
+	DuplicateCount    int      `json:"duplicate_count,omitempty"`
+	SolvedMissingCost []string `json:"solved_missing_cost,omitempty"`
+	SolvedMissingN    int      `json:"solved_missing_cost_count,omitempty"`
+
+	Pass bool `json:"pass"`
+}
+
+// LoadEvents reads a wide-event JSONL file (the server's -events-file
+// sink format: one obs.Event per line).
+func LoadEvents(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: events file: %w", err)
+	}
+	defer f.Close()
+	var out []obs.Event
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("loadgen: events file %s line %d: %w", path, line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("loadgen: events file %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// CrossCheckEvents reconciles client results with server events by
+// request id. Pass requires every client request that received a
+// request id to match exactly one server event, and every solved
+// (ok/cached) match to carry both predicted and measured cost.
+func CrossCheckEvents(results []Result, events []obs.Event) *CrossCheck {
+	cc := &CrossCheck{ClientRequests: len(results), ServerEvents: len(events)}
+	byID := make(map[string][]*obs.Event, len(events))
+	for i := range events {
+		ev := &events[i]
+		byID[ev.RequestID] = append(byID[ev.RequestID], ev)
+	}
+	claimed := make(map[string]bool, len(results))
+	addCapped := func(list *[]string, count *int, id string) {
+		*count++
+		if len(*list) < crossCheckListCap {
+			*list = append(*list, id)
+		}
+	}
+	for _, res := range results {
+		if res.RequestID == "" {
+			continue
+		}
+		cc.ClientWithID++
+		claimed[res.RequestID] = true
+		evs := byID[res.RequestID]
+		switch {
+		case len(evs) == 0:
+			addCapped(&cc.MissingServer, &cc.MissingCount, res.RequestID)
+			continue
+		case len(evs) > 1:
+			addCapped(&cc.DuplicateServer, &cc.DuplicateCount, res.RequestID)
+			continue
+		}
+		cc.Matched++
+		ev := evs[0]
+		if (res.Class == ClassOK || res.Class == ClassCached) &&
+			(ev.PredictedCostNS <= 0 || ev.MeasuredNS <= 0) {
+			addCapped(&cc.SolvedMissingCost, &cc.SolvedMissingN, res.RequestID)
+		}
+	}
+	for id := range byID {
+		if !claimed[id] {
+			cc.ServerOnly += len(byID[id])
+		}
+	}
+	cc.Pass = cc.ClientWithID > 0 &&
+		cc.MissingCount == 0 && cc.DuplicateCount == 0 && cc.SolvedMissingN == 0
+	return cc
+}

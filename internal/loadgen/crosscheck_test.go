@@ -1,0 +1,191 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func ccEvent(id string, pred, meas int64) obs.Event {
+	return obs.Event{Schema: obs.EventSchema, RequestID: id,
+		PredictedCostNS: pred, MeasuredNS: meas}
+}
+
+func TestCrossCheckEvents(t *testing.T) {
+	results := []Result{
+		{Index: 0, Class: ClassOK, RequestID: "req-1"},
+		{Index: 1, Class: ClassCached, RequestID: "req-2"},
+		{Index: 2, Class: ClassShed, RequestID: "req-3"},
+		{Index: 3, Class: ClassTransport}, // no id: excluded from matching
+	}
+	events := []obs.Event{
+		ccEvent("req-1", 100, 90),
+		ccEvent("req-2", 100, 90),
+		ccEvent("req-3", 0, 0), // shed: no cost required
+		ccEvent("req-9", 5, 5), // another client's traffic
+	}
+	cc := CrossCheckEvents(results, events)
+	if !cc.Pass {
+		t.Fatalf("want pass: %+v", cc)
+	}
+	if cc.ClientRequests != 4 || cc.ClientWithID != 3 || cc.Matched != 3 ||
+		cc.ServerOnly != 1 || cc.ServerEvents != 4 {
+		t.Errorf("counts: %+v", cc)
+	}
+
+	t.Run("missing server event", func(t *testing.T) {
+		cc := CrossCheckEvents(results[:1], nil)
+		if cc.Pass || cc.MissingCount != 1 || cc.MissingServer[0] != "req-1" {
+			t.Errorf("%+v", cc)
+		}
+	})
+	t.Run("duplicate server events", func(t *testing.T) {
+		cc := CrossCheckEvents(results[:1], []obs.Event{ccEvent("req-1", 1, 1), ccEvent("req-1", 1, 1)})
+		if cc.Pass || cc.DuplicateCount != 1 {
+			t.Errorf("%+v", cc)
+		}
+	})
+	t.Run("solved without cost", func(t *testing.T) {
+		cc := CrossCheckEvents(results[:1], []obs.Event{ccEvent("req-1", 100, 0)})
+		if cc.Pass || cc.SolvedMissingN != 1 {
+			t.Errorf("%+v", cc)
+		}
+	})
+	t.Run("no ids at all fails", func(t *testing.T) {
+		cc := CrossCheckEvents([]Result{{Class: ClassTransport}}, nil)
+		if cc.Pass {
+			t.Errorf("a run with zero matchable requests must not pass: %+v", cc)
+		}
+	})
+}
+
+func TestLoadEvents(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	lines := `{"schema":"activetime-event/v1","request_id":"req-1","status":"ok"}` + "\n" +
+		"\n" + // blank lines are skipped
+		`{"schema":"activetime-event/v1","request_id":"req-2","status":"cached"}` + "\n"
+	if err := os.WriteFile(path, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := LoadEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].RequestID != "req-1" || events[1].Status != "cached" {
+		t.Fatalf("events: %+v", events)
+	}
+	if _, err := os.Stat(path + ".nope"); err == nil {
+		t.Fatal("sanity")
+	}
+	if _, err := LoadEvents(path + ".nope"); err == nil {
+		t.Error("missing file must error")
+	}
+	if err := os.WriteFile(path, []byte("{broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEvents(path); err == nil {
+		t.Error("corrupt line must error")
+	}
+}
+
+// normalizedEvent is the deterministic slice of a wide event: identity,
+// outcome, and instance shape, with ids and timings stripped.
+type normalizedEvent struct {
+	Path, Class, Status, Admission, Cache, CacheKey, Algorithm, Family string
+	Jobs, Depth                                                        int
+	G, ActiveSlots                                                     int64
+	HTTPStatus                                                         int
+	PredictedCostNS                                                    int64
+	TraceSampled                                                       bool
+}
+
+// TestEventSequenceDeterministic: two identical single-threaded
+// in-process runs produce identical wide-event sequences once
+// timestamps, request ids, and measured durations are stripped — the
+// telemetry is a pure function of the workload.
+func TestEventSequenceDeterministic(t *testing.T) {
+	runOnce := func() []normalizedEvent {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "events.jsonl")
+		sink, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sink.Close()
+
+		cfg := server.Config{
+			DefaultWorkers: 1,
+			CacheEntries:   32,
+			EventRing:      256,
+			EventSink:      sink,
+		}
+		client, srv := inProcessClient(t, cfg)
+		defer srv.Close(context.Background())
+
+		plan, err := BuildPlan(smallCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prepared, err := Prepare(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results, _ := RunClosed(context.Background(), client, prepared, 1)
+		if len(results) != len(plan) {
+			t.Fatalf("results %d, want %d", len(results), len(plan))
+		}
+		events, err := LoadEvents(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc := CrossCheckEvents(results, events); !cc.Pass {
+			b, _ := json.Marshal(cc)
+			t.Fatalf("cross-check failed: %s", b)
+		}
+		out := make([]normalizedEvent, len(events))
+		for i, ev := range events {
+			out[i] = normalizedEvent{
+				Path: ev.Path, Class: ev.Class, Status: ev.Status,
+				Admission: ev.Admission, Cache: ev.Cache, CacheKey: ev.CacheKey,
+				Algorithm: ev.Algorithm, Family: ev.Family,
+				Jobs: ev.Jobs, G: ev.G, Depth: ev.Depth,
+				ActiveSlots: ev.ActiveSlots, HTTPStatus: ev.HTTPStatus,
+				PredictedCostNS: ev.PredictedCostNS, TraceSampled: ev.TraceSampled,
+			}
+		}
+		return out
+	}
+
+	a, b := runOnce(), runOnce()
+	if !reflect.DeepEqual(a, b) {
+		for i := range a {
+			if i < len(b) && a[i] != b[i] {
+				t.Errorf("event %d diverged:\n run1 %+v\n run2 %+v", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("event sequences differ (%d vs %d events)", len(a), len(b))
+	}
+	// The sequence is non-trivial: fresh solves and cache hits both
+	// occur (the plan repeats instances), and keys are populated.
+	var misses, hits int
+	for _, ev := range a {
+		switch ev.Cache {
+		case obs.CacheMiss:
+			misses++
+		case obs.CacheHit:
+			hits++
+		}
+		if ev.Status == obs.StatusOK && ev.CacheKey == "" {
+			t.Errorf("solved event without cache key: %+v", ev)
+		}
+	}
+	if misses == 0 || hits == 0 {
+		t.Errorf("degenerate run: %d misses, %d hits", misses, hits)
+	}
+}

@@ -67,6 +67,11 @@ type Report struct {
 	PerClass map[string]*ClassStat `json:"per_class,omitempty"`
 
 	SLO *SLOResult `json:"slo,omitempty"`
+
+	// CrossCheck reconciles the client-side results with the server's
+	// wide-event log when atload ran with -events-file (in-process
+	// runs only).
+	CrossCheck *CrossCheck `json:"events_crosscheck,omitempty"`
 }
 
 // ClassStat is one SLO class's slice of an async run.

@@ -1,6 +1,10 @@
 package loadgen
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // SLO is a service-level objective for a loadgen run: a ceiling on
 // the p99 latency of successful solves and a ceiling on the error
@@ -15,6 +19,13 @@ type SLO struct {
 
 // Enabled reports whether any objective is set.
 func (s SLO) Enabled() bool { return s.P99MaxMS > 0 || s.MaxErrorRate > 0 }
+
+// Objectives converts the loadgen SLO into the server-side obs target,
+// so the in-server burn-rate tracker and the load test's verdict
+// measure the same objectives.
+func (s SLO) Objectives() obs.SLOConfig {
+	return obs.SLOConfig{LatencyObjectiveMS: s.P99MaxMS, ErrorBudget: s.MaxErrorRate}
+}
 
 // SLOResult is the verdict of evaluating an SLO against a report.
 type SLOResult struct {

@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo identifies the running binary: exported as the constant
+// activetime_build_info gauge and echoed in the /healthz body.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go_version"`
+	Commit    string `json:"commit,omitempty"`
+}
+
+// CollectBuildInfo reads the binary's embedded module and VCS metadata.
+// Fields that the build did not stamp stay at their zero-ish defaults
+// ("(devel)" version, empty commit) rather than failing.
+func CollectBuildInfo() BuildInfo {
+	b := BuildInfo{Version: "(devel)", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	if v := info.Main.Version; v != "" {
+		b.Version = v
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			b.Commit = s.Value
+		}
+	}
+	return b
+}
+
+// WriteBuildInfoPrometheus emits the activetime_build_info constant
+// gauge. It lives outside the Pipeline so /metrics carries the binary
+// identity even with the event pipeline disabled.
+func WriteBuildInfoPrometheus(w io.Writer, b BuildInfo) {
+	fmt.Fprintf(w, "# HELP activetime_build_info Build identity of the running binary (constant 1).\n")
+	fmt.Fprintf(w, "# TYPE activetime_build_info gauge\n")
+	fmt.Fprintf(w, "activetime_build_info{version=%q,go_version=%q,commit=%q} 1\n", b.Version, b.GoVersion, b.Commit)
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// costErrBuckets are the |measured−predicted|/predicted percentage
+// buckets. The decades are wide on purpose: a fresh analytic model is
+// routinely off by 2–10×, and the histogram has to resolve both "well
+// calibrated" (≤10%) and "uncalibrated family" (≥250%).
+var costErrBuckets = [...]float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// costErrFamilies and costErrClasses pin the label grid: every
+// family×class cell is always exported (zero-valued until observed) so
+// the metrics golden can assert the full series set.
+var (
+	costErrFamilies = []string{"laminar", "unit", "general"}
+	costErrClasses  = []string{"sync", "interactive", "batch", "best_effort"}
+)
+
+// costErrHist is one cell's histogram state.
+type costErrHist struct {
+	counts [len(costErrBuckets) + 1]int64 // last bucket is +Inf
+	sum    float64
+	total  int64
+}
+
+// costErrTracker aggregates cost-model absolute-percentage-error
+// observations over the static family×class grid.
+type costErrTracker struct {
+	mu    sync.Mutex
+	cells map[string]*costErrHist // key "family|class"
+}
+
+func newCostErrTracker() *costErrTracker {
+	t := &costErrTracker{cells: make(map[string]*costErrHist)}
+	for _, f := range costErrFamilies {
+		for _, c := range costErrClasses {
+			t.cells[f+"|"+c] = &costErrHist{}
+		}
+	}
+	return t
+}
+
+// observePct records one absolute percentage error for family×class.
+// Unknown labels are folded into "general"/"sync" rather than dropped.
+func (t *costErrTracker) observePct(family, class string, pct float64) {
+	if !contains(costErrFamilies, family) {
+		family = "general"
+	}
+	if !contains(costErrClasses, class) {
+		class = "sync"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.cells[family+"|"+class]
+	i := 0
+	for i < len(costErrBuckets) && pct > costErrBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += pct
+	h.total++
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// writePrometheus emits the histogram family in Prometheus text
+// exposition format with cumulative buckets.
+func (t *costErrTracker) writePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# HELP activetime_costmodel_abs_pct_err Absolute percentage error of the cost model's predicted solve time vs measured, by instance family and SLO class.\n")
+	fmt.Fprintf(w, "# TYPE activetime_costmodel_abs_pct_err histogram\n")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, f := range costErrFamilies {
+		for _, c := range costErrClasses {
+			h := t.cells[f+"|"+c]
+			var cum int64
+			for i, ub := range costErrBuckets {
+				cum += h.counts[i]
+				fmt.Fprintf(w, "activetime_costmodel_abs_pct_err_bucket{family=%q,class=%q,le=%q} %d\n", f, c, formatFloat(ub), cum)
+			}
+			cum += h.counts[len(costErrBuckets)]
+			fmt.Fprintf(w, "activetime_costmodel_abs_pct_err_bucket{family=%q,class=%q,le=\"+Inf\"} %d\n", f, c, cum)
+			fmt.Fprintf(w, "activetime_costmodel_abs_pct_err_sum{family=%q,class=%q} %g\n", f, c, h.sum)
+			fmt.Fprintf(w, "activetime_costmodel_abs_pct_err_count{family=%q,class=%q} %d\n", f, c, h.total)
+		}
+	}
+}
+
+func formatFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fullEvent returns an Event with every field populated, so the golden
+// pins the complete wire schema: field set, names, and ordering.
+func fullEvent() *Event {
+	return &Event{
+		Schema:          EventSchema,
+		RequestID:       "req-000042",
+		JobID:           "job-000007",
+		Path:            PathAsync,
+		Class:           "interactive",
+		StartUnixNS:     1700000000000000000,
+		Status:          StatusOK,
+		HTTPStatus:      200,
+		Error:           "",
+		Admission:       AdmissionQueued,
+		QueueWaitMS:     12.5,
+		Cache:           CacheMiss,
+		CacheKey:        "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+		Algorithm:       "nested95",
+		Jobs:            24,
+		G:               3,
+		Depth:           4,
+		Family:          "laminar",
+		ActiveSlots:     17,
+		ElapsedMS:       48.75,
+		SolveMS:         31.25,
+		PredictedCostNS: 30000000,
+		MeasuredNS:      31250000,
+		CostAbsPctErr:   4.166666666666667,
+		Stages: []StageMS{
+			{Stage: "canonicalize", MS: 0.5, Calls: 1},
+			{Stage: "solve_forest", MS: 30.75, Calls: 3},
+		},
+		Counters: &Counters{
+			SimplexPivots:  120,
+			RatPivots:      8,
+			DinicRuns:      5,
+			DinicAugPaths:  44,
+			BBNodes:        2,
+			TransformMoves: 16,
+			ForestsSolved:  3,
+		},
+		TraceSampled: true,
+	}
+}
+
+// TestEventSchemaGolden pins the wide-event wire format byte for byte.
+// If this fails after an intentional schema change, bump EventSchema
+// and re-run with -update.
+func TestEventSchemaGolden(t *testing.T) {
+	got, err := json.MarshalIndent(fullEvent(), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "event.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("wide-event JSON schema drifted from golden.\ngot:\n%s\nwant:\n%s\nIf intentional, bump EventSchema and re-run with -update.", got, want)
+	}
+}
+
+// TestEventSchemaRoundTrip ensures an emitted event decodes back to an
+// identical struct — the JSONL sink and the loadgen cross-checker rely
+// on this.
+func TestEventSchemaRoundTrip(t *testing.T) {
+	ev := fullEvent()
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Errorf("event did not round-trip:\nfirst:  %s\nsecond: %s", b, b2)
+	}
+}
+
+func TestFillStats(t *testing.T) {
+	st := &metrics.Stats{
+		Counters: metrics.CounterStats{SimplexPivots: 10, DinicRuns: 2},
+		Stages: []metrics.StageStats{
+			{Stage: "simplex", Calls: 4, Nanos: 2_500_000},
+		},
+	}
+	var ev Event
+	ev.FillStats(st)
+	if len(ev.Stages) != 1 || ev.Stages[0].Stage != "simplex" || ev.Stages[0].MS != 2.5 || ev.Stages[0].Calls != 4 {
+		t.Errorf("stages = %+v", ev.Stages)
+	}
+	if ev.Counters == nil || ev.Counters.SimplexPivots != 10 || ev.Counters.DinicRuns != 2 {
+		t.Errorf("counters = %+v", ev.Counters)
+	}
+
+	var empty Event
+	empty.FillStats(nil)
+	if empty.Stages != nil || empty.Counters != nil {
+		t.Errorf("nil stats should leave event untouched: %+v", empty)
+	}
+	empty.FillStats(&metrics.Stats{})
+	if empty.Counters != nil {
+		t.Errorf("zero counters should stay omitted, got %+v", empty.Counters)
+	}
+}
+
+func TestStatusForHTTP(t *testing.T) {
+	cases := []struct {
+		code   int
+		errMsg string
+		cached bool
+		want   string
+	}{
+		{200, "", false, StatusOK},
+		{200, "", true, StatusCached},
+		{429, "server busy", false, StatusShed},
+		{503, "solve: context deadline exceeded", false, StatusTimeout},
+		{503, "solve: context canceled", false, StatusCanceled},
+		{500, "boom", false, StatusServerErr},
+		{422, "infeasible", false, StatusClientErr},
+		{400, "bad json", false, StatusClientErr},
+	}
+	for _, c := range cases {
+		if got := StatusForHTTP(c.code, c.errMsg, c.cached); got != c.want {
+			t.Errorf("StatusForHTTP(%d, %q, %v) = %q, want %q", c.code, c.errMsg, c.cached, got, c.want)
+		}
+	}
+}

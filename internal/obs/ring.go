@@ -1,0 +1,44 @@
+package obs
+
+import "sync"
+
+// ring is a bounded circular buffer of emitted events. When full the
+// oldest event is overwritten; total counts every emission so readers
+// can tell how much history the ring has dropped.
+type ring struct {
+	mu    sync.Mutex
+	buf   []*Event
+	next  int // index the next event lands in
+	total int64
+}
+
+func newRing(size int) *ring {
+	return &ring{buf: make([]*Event, 0, size)}
+}
+
+func (r *ring) append(ev *Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+}
+
+// snapshot returns the retained events oldest-first, plus the total
+// number ever emitted.
+func (r *ring) snapshot() ([]*Event, int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		out = append(out, r.buf...)
+	} else {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	}
+	return out, r.total
+}

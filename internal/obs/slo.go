@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// SLOConfig names the service-level objectives the in-server burn-rate
+// tracker enforces against live traffic. The two fields carry exactly
+// the semantics of internal/loadgen's SLO (p99 latency ceiling, error
+// budget); loadgen.SLO.Objectives() converts, so a load test and the
+// server it drives track the same targets.
+type SLOConfig struct {
+	// LatencyObjectiveMS is the latency objective in milliseconds: a
+	// served request slower than this misses the latency SLO. It is a
+	// p99-style target, so the latency error budget is the fixed 1%
+	// tail the objective leaves open. 0 disables latency tracking.
+	LatencyObjectiveMS float64 `json:"latency_objective_ms,omitempty"`
+	// ErrorBudget is the budgeted error fraction in [0,1] (the loadgen
+	// max_error_rate). Burn rate 1.0 means errors arrive exactly at
+	// budget; >1 means the budget is being consumed faster than
+	// provisioned. 0 disables availability burn-rate tracking.
+	ErrorBudget float64 `json:"error_budget,omitempty"`
+}
+
+// latencyTailBudget is the slow-request fraction a p99 latency
+// objective budgets for: 1% of requests may exceed the objective.
+const latencyTailBudget = 0.01
+
+// sloWindows are the rolling windows the tracker reports, in ascending
+// length. An hour bounds the bucket ring.
+var sloWindows = []struct {
+	name string
+	d    time.Duration
+}{
+	{"1m", time.Minute},
+	{"10m", 10 * time.Minute},
+	{"1h", time.Hour},
+}
+
+const sloRingSeconds = 3600
+
+// sloBucket accumulates one wall-clock second of traffic.
+type sloBucket struct {
+	sec     int64 // unix second this bucket currently holds; 0 = empty
+	total   int64
+	errors  int64
+	slowOK  int64 // served requests over the latency objective
+	okCount int64 // served requests (ok or cached)
+}
+
+// sloTracker keeps one second of resolution over the last hour in a
+// fixed ring, so Observe is O(1) and a window query is O(window
+// seconds) with no allocation — cheap enough to run on every request
+// and every scrape.
+type sloTracker struct {
+	cfg SLOConfig
+
+	mu      sync.Mutex
+	buckets [sloRingSeconds]sloBucket
+}
+
+func newSLOTracker(cfg SLOConfig) *sloTracker {
+	return &sloTracker{cfg: cfg}
+}
+
+// observe folds one finished request into the current second's bucket.
+func (t *sloTracker) observe(now time.Time, success bool, latencyMS float64) {
+	sec := now.Unix()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.buckets[sec%sloRingSeconds]
+	if b.sec != sec {
+		*b = sloBucket{sec: sec}
+	}
+	b.total++
+	if success {
+		b.okCount++
+		if t.cfg.LatencyObjectiveMS > 0 && latencyMS > t.cfg.LatencyObjectiveMS {
+			b.slowOK++
+		}
+	} else {
+		b.errors++
+	}
+}
+
+// WindowStats is one rolling window's SLO digest.
+type WindowStats struct {
+	Window   string `json:"window"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// SuccessRatio is served/total; 1 with no traffic (vacuously met).
+	SuccessRatio float64 `json:"success_ratio"`
+	// LatencyAttainment is the fraction of served requests within the
+	// latency objective; 1 with no traffic or no objective.
+	LatencyAttainment float64 `json:"latency_attainment"`
+	// ErrorBurnRate is (error fraction)/(error budget): 1.0 consumes
+	// the availability budget exactly at the provisioned rate.
+	ErrorBurnRate float64 `json:"error_burn_rate"`
+	// LatencyBurnRate is (slow fraction)/(1% tail budget) over served
+	// requests — the p99 objective's burn rate.
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// window digests the trailing d of traffic ending at now.
+func (t *sloTracker) window(now time.Time, name string, d time.Duration) WindowStats {
+	ws := WindowStats{Window: name, SuccessRatio: 1, LatencyAttainment: 1}
+	nowSec := now.Unix()
+	secs := int64(d / time.Second)
+	if secs > sloRingSeconds {
+		secs = sloRingSeconds
+	}
+	var total, errors, slowOK, okCount int64
+	t.mu.Lock()
+	for s := nowSec - secs + 1; s <= nowSec; s++ {
+		b := &t.buckets[s%sloRingSeconds]
+		if b.sec != s {
+			continue
+		}
+		total += b.total
+		errors += b.errors
+		slowOK += b.slowOK
+		okCount += b.okCount
+	}
+	t.mu.Unlock()
+
+	ws.Requests, ws.Errors = total, errors
+	if total > 0 {
+		ws.SuccessRatio = float64(total-errors) / float64(total)
+		if t.cfg.ErrorBudget > 0 {
+			ws.ErrorBurnRate = (float64(errors) / float64(total)) / t.cfg.ErrorBudget
+		}
+	}
+	if okCount > 0 && t.cfg.LatencyObjectiveMS > 0 {
+		ws.LatencyAttainment = float64(okCount-slowOK) / float64(okCount)
+		ws.LatencyBurnRate = (float64(slowOK) / float64(okCount)) / latencyTailBudget
+	}
+	return ws
+}
+
+// SLOSummary is the /debug/slo body: the configured objectives and
+// every rolling window's digest.
+type SLOSummary struct {
+	Target  SLOConfig     `json:"target"`
+	Windows []WindowStats `json:"windows"`
+}
+
+func (t *sloTracker) summary(now time.Time) SLOSummary {
+	s := SLOSummary{Target: t.cfg}
+	for _, w := range sloWindows {
+		s.Windows = append(s.Windows, t.window(now, w.name, w.d))
+	}
+	return s
+}

@@ -20,12 +20,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	rpprof "runtime/pprof"
 	"time"
 
 	activetime "repro"
 	"repro/internal/costmodel"
 	"repro/internal/instance"
 	"repro/internal/jobs"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -72,6 +74,16 @@ type jobPayload struct {
 	alg     activetime.Algorithm
 	workers int
 	reqID   string
+	family  string
+	// ev accumulates the job's wide event across its lifecycle: the
+	// submit handler stamps identity/shape, the runner stamps solve
+	// fields, and the queue's Terminal callback emits it.
+	ev *obs.Event
+	// tr is the runner's span tracer, read by the Terminal callback
+	// for tail sampling (set by runJob before the solve starts; the
+	// write is ordered before the terminal transition by the worker
+	// goroutine, which calls complete only after runJob returns).
+	tr *trace.Tracer
 }
 
 // costFamily maps an instance onto a cost-model family: nested
@@ -93,21 +105,40 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
 
+	// The job's wide event: on admission it travels with the payload
+	// and is emitted at the terminal state; a rejected submission is
+	// itself the terminal outcome, so the event is emitted here.
+	began := time.Now()
+	ev := &obs.Event{RequestID: reqID, Path: obs.PathAsync, StartUnixNS: began.UnixNano()}
+	admitted := false
+	defer func() {
+		if !admitted {
+			ev.ElapsedMS = ms(time.Since(began))
+			s.obs.Emit(ev)
+		}
+	}()
+	fail := func(status int, msg string) {
+		ev.Status = obs.StatusForHTTP(status, msg, false)
+		ev.HTTPStatus = status
+		ev.Error = msg
+		s.writeJSON(w, status, ErrorResponse{reqID, msg})
+	}
+
 	var req JobRequest
 	if status, msg := s.decodeRequest(w, r, &req); status != http.StatusOK {
 		log.Warn("job rejected", "reason", "bad_body", "status", status, "err", msg)
-		s.writeJSON(w, status, ErrorResponse{reqID, msg})
+		fail(status, msg)
 		return
 	}
 	if len(req.Instance) == 0 {
 		log.Warn("job rejected", "reason", "no_instance")
-		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "missing instance"})
+		fail(http.StatusBadRequest, "missing instance")
 		return
 	}
 	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
 	if err != nil {
 		log.Warn("job rejected", "reason", "invalid_instance", "err", err)
-		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "invalid instance: " + err.Error()})
+		fail(http.StatusBadRequest, "invalid instance: "+err.Error())
 		return
 	}
 	class := jobs.Class(req.Class)
@@ -116,8 +147,8 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if !class.Valid() {
 		log.Warn("job rejected", "reason", "bad_class", "class", req.Class)
-		s.writeJSON(w, http.StatusBadRequest,
-			ErrorResponse{reqID, fmt.Sprintf("unknown class %q (want interactive | batch | best_effort)", req.Class)})
+		fail(http.StatusBadRequest,
+			fmt.Sprintf("unknown class %q (want interactive | batch | best_effort)", req.Class))
 		return
 	}
 	alg := activetime.Algorithm(req.Algorithm)
@@ -131,22 +162,39 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	family := costFamily(in)
 	predicted := s.cost.PredictInstance(family, in)
+	ev.Class = string(class)
+	ev.Algorithm = string(alg)
+	ev.Jobs = in.N()
+	ev.G = in.G
+	ev.Depth = costmodel.Depth(in)
+	ev.Family = family
+	ev.PredictedCostNS = predicted
+	// Stamped before Submit: once the job is admitted, the worker may
+	// reach the terminal state (and touch ev) at any moment, so the
+	// handler must not write ev afterwards. The terminal callback adds
+	// the job id.
+	ev.Admission = obs.AdmissionQueued
 	j, err := s.queue.Submit(class, predicted, &jobPayload{
-		req: req.SolveRequest, in: in, alg: alg, workers: workers, reqID: reqID,
+		req: req.SolveRequest, in: in, alg: alg, workers: workers,
+		reqID: reqID, family: family, ev: ev,
 	})
 	if err != nil {
 		switch {
 		case errors.Is(err, jobs.ErrShedAdmission):
 			log.Warn("job shed", "reason", "admission", "class", class, "err", err)
+			ev.Admission = obs.AdmissionShed
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.AdmissionWait)))
-			s.writeJSON(w, http.StatusTooManyRequests, ErrorResponse{reqID, err.Error()})
+			fail(http.StatusTooManyRequests, err.Error())
 		case errors.Is(err, jobs.ErrClosed):
-			s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{reqID, err.Error()})
+			ev.Admission = obs.AdmissionShed
+			fail(http.StatusServiceUnavailable, err.Error())
 		default:
-			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, err.Error()})
+			ev.Admission = ""
+			fail(http.StatusBadRequest, err.Error())
 		}
 		return
 	}
+	admitted = true
 	log.Info("job submitted", "job_id", j.ID(), "class", class,
 		"family", family, "predicted_ns", predicted, "jobs", in.N(), "g", in.G)
 	s.writeJSON(w, http.StatusAccepted, JobSubmitResponse{
@@ -217,7 +265,13 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 				s.log.Error("encode job event", "job_id", id, "err", err)
 				return
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
+			// A failed write means the client is gone (disconnect
+			// mid-replay); stop the stream instead of pumping events
+			// into a broken connection until the job terminates.
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data); err != nil {
+				s.log.Debug("job event stream closed by client", "job_id", id, "err", err)
+				return
+			}
 			if ev.Kind == "state" && ev.State.Terminal() {
 				terminal = true
 			}
@@ -252,8 +306,10 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	}
 
 	// Feed finished spans into the job's SSE stream while the solve
-	// runs; a final flush after completion catches the tail.
+	// runs; a final flush after completion catches the tail. The same
+	// tracer backs tail sampling at the terminal state.
 	tr := trace.New()
+	p.tr = tr
 	emitted := 0
 	flush := func() {
 		spans := tr.Spans()
@@ -281,8 +337,16 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	log.Info("job start", "class", j.Class(), "algorithm", string(p.alg),
 		"jobs", p.in.N(), "predicted_ns", j.PredictedNS())
 	start := time.Now()
-	res, cached, err := s.executeSolve(ctx, solveParams{
-		req: p.req, in: p.in, alg: p.alg, workers: p.workers, tr: tr,
+	var res *activetime.Result
+	var cached bool
+	var err error
+	// Goroutine labels segment CPU/heap profiles by workload class.
+	rpprof.Do(ctx, rpprof.Labels(
+		"request_id", p.reqID, "class", string(j.Class()), "algorithm", string(p.alg), "family", p.family,
+	), func(ctx context.Context) {
+		res, cached, err = s.executeSolve(ctx, solveParams{
+			req: p.req, in: p.in, alg: p.alg, workers: p.workers, tr: tr, ev: p.ev,
+		})
 	})
 	elapsed := time.Since(start)
 	close(stop)
@@ -290,11 +354,22 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	flush()
 
 	if err != nil {
-		if solveStatus(err) == http.StatusServiceUnavailable {
+		st := solveStatus(err)
+		if st == http.StatusServiceUnavailable {
 			s.observeCancellation(err)
+		}
+		if p.ev != nil {
+			p.ev.Status = obs.StatusForHTTP(st, err.Error(), false)
+			p.ev.Error = err.Error()
 		}
 		log.Warn("job failed", "err", err, "elapsed_ms", ms(elapsed))
 		return nil, err
+	}
+	if p.ev != nil {
+		p.ev.Status = obs.StatusForHTTP(http.StatusOK, "", cached)
+		if res != nil {
+			p.ev.ActiveSlots = res.ActiveSlots
+		}
 	}
 
 	// The stored result includes the Chrome trace only when the client
@@ -310,6 +385,47 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	}
 	log.Info("job done", "active_slots", res.ActiveSlots, "elapsed_ms", out.ElapsedMS)
 	return &out, nil
+}
+
+// onJobTerminal is the queue's Terminal callback: it finalizes and
+// emits the job's wide event at the exact instant the terminal state
+// becomes observable to pollers. Called with the queue lock held, so
+// it must not call back into the queue; the obs pipeline takes only
+// its own locks.
+func (s *Server) onJobTerminal(j *jobs.Job, state jobs.State, detail string, wait, exec, total time.Duration) {
+	p, ok := j.Payload().(*jobPayload)
+	if !ok || p.ev == nil {
+		return
+	}
+	ev := p.ev
+	ev.JobID = j.ID()
+	ev.QueueWaitMS = ms(wait)
+	ev.ElapsedMS = ms(total)
+	switch state {
+	case jobs.StateShed:
+		// Accepted, then evicted from the queue (pressure or shutdown)
+		// — the async-only outcome the sync path cannot produce.
+		ev.Status = obs.StatusShedQueued
+		ev.Error = detail
+	case jobs.StateCanceled:
+		if ev.Status == "" { // canceled while queued: runJob never ran
+			ev.Status = obs.StatusCanceled
+			ev.Error = detail
+		}
+	case jobs.StateFailed:
+		if ev.Status == "" {
+			ev.Status = obs.StatusServerErr
+			ev.Error = detail
+		}
+	}
+	// StateDone: runJob already stamped ok/cached and the solve fields.
+	if s.obs.ShouldRetain(ev.Status, total) {
+		if spans := p.tr.Spans(); len(spans) > 0 {
+			s.obs.RetainTrace(ev.RequestID, spans)
+			ev.TraceSampled = true
+		}
+	}
+	s.obs.Emit(ev)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -18,6 +18,8 @@ import (
 	"math"
 	"net/http"
 	"net/http/pprof"
+	rpprof "runtime/pprof"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -26,6 +28,7 @@ import (
 	"repro/internal/instance"
 	"repro/internal/jobs"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/solvecache"
 	"repro/internal/trace"
 )
@@ -72,6 +75,23 @@ type Config struct {
 	// predicted_cost_ns response field; nil uses the embedded model
 	// fitted from BENCH_core.json.
 	CostModel *costmodel.Model
+
+	// EventRing sizes the wide-event in-memory ring behind
+	// /debug/events; ≤ 0 disables the telemetry pipeline entirely
+	// (the /debug/events, /debug/slo and /debug/traces routes 404).
+	EventRing int
+	// EventSink, when non-nil, receives every wide event as one JSON
+	// line (the -events-file flag).
+	EventSink io.Writer
+	// TailSlow is the tail-sampling latency threshold: successful
+	// requests at or above it retain their span trace at
+	// /debug/traces/{request_id}. 0 retains only errored/shed requests.
+	TailSlow time.Duration
+	// TraceRetain bounds retained tail-sampled traces (default 64).
+	TraceRetain int
+	// SLOTarget names the objectives the in-server burn-rate tracker
+	// measures live traffic against.
+	SLOTarget obs.SLOConfig
 }
 
 // DefaultConfig returns the production defaults with the given
@@ -86,6 +106,10 @@ func DefaultConfig(workers int) Config {
 		JobsMaxRunning: 2,
 		JobsMaxQueued:  256,
 		JobsPolicy:     "sjf",
+		EventRing:      1024,
+		TailSlow:       250 * time.Millisecond,
+		TraceRetain:    64,
+		SLOTarget:      obs.SLOConfig{LatencyObjectiveMS: 250, ErrorBudget: 0.01},
 	}
 }
 
@@ -97,9 +121,11 @@ type Server struct {
 	log    *slog.Logger
 	cfg    Config
 	sem    chan struct{} // in-flight slots; nil when unlimited
-	cache  *solvecache.Group[*activetime.Result]
+	cache  *solvecache.Group[*solveOutcome]
 	queue  *jobs.Queue      // async job queue; nil when the job API is disabled
 	cost   *costmodel.Model // predicted-cost model for SJF and predicted_cost_ns
+	obs    *obs.Pipeline    // wide-event pipeline; nil when EventRing ≤ 0
+	build  obs.BuildInfo
 	reqSeq atomic.Int64
 
 	// testHookBeforeSolve, when non-nil, runs at the head of every
@@ -121,12 +147,20 @@ func New(log *slog.Logger, cfg Config) *Server {
 		s.sem = make(chan struct{}, cfg.MaxInFlight)
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = solvecache.NewGroup[*activetime.Result](cfg.CacheEntries)
+		s.cache = solvecache.NewGroup[*solveOutcome](cfg.CacheEntries)
 	}
 	s.cost = cfg.CostModel
 	if s.cost == nil {
 		s.cost = costmodel.Default()
 	}
+	s.build = obs.CollectBuildInfo()
+	s.obs = obs.New(obs.Config{
+		RingSize:      cfg.EventRing,
+		Sink:          cfg.EventSink,
+		SlowThreshold: cfg.TailSlow,
+		TraceRetain:   cfg.TraceRetain,
+		SLO:           cfg.SLOTarget,
+	})
 	if cfg.JobsMaxRunning > 0 {
 		policy, err := jobs.PolicyByName(cfg.JobsPolicy)
 		if err != nil {
@@ -141,6 +175,7 @@ func New(log *slog.Logger, cfg Config) *Server {
 			Budgets:    cfg.JobsBudgets,
 			Policy:     policy,
 			Observer:   s.reg,
+			Terminal:   s.onJobTerminal,
 		}, s.runJob)
 	}
 	return s
@@ -162,8 +197,15 @@ func (s *Server) Close(ctx context.Context) error {
 // counters directly.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
 
-// Handler returns the service mux: /solve, /healthz, /metrics and the
-// net/http/pprof endpoints under /debug/pprof/.
+// Obs exposes the wide-event pipeline (nil when disabled) so embedding
+// callers — atload's in-process cross-check, tests — can read the
+// event ring and retained traces directly.
+func (s *Server) Obs() *obs.Pipeline { return s.obs }
+
+// Handler returns the service mux: /solve, /healthz, /metrics, the
+// telemetry debug endpoints (/debug/events, /debug/slo,
+// /debug/traces/{id}) and the net/http/pprof endpoints under
+// /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
@@ -174,6 +216,11 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 		mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 		mux.HandleFunc("GET /jobs/{id}/events", s.handleJobEvents)
+	}
+	if s.obs.Enabled() {
+		mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
+		mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
+		mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -327,27 +374,59 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
+
+	// One wide event per request, emitted when the outcome is final.
+	// The sampling tracer shadows every request so tail sampling has a
+	// full span trace to retain when the outcome turns out interesting;
+	// a request-level root span brackets the whole handler.
+	began := time.Now()
+	ev := &obs.Event{RequestID: reqID, Path: obs.PathSync, StartUnixNS: began.UnixNano()}
+	var sampleTr *trace.Tracer
+	var rootSpan *trace.Span
+	if s.obs.Enabled() {
+		sampleTr = trace.New()
+		rootSpan = sampleTr.StartSpan("request", trace.String("request_id", reqID))
+	}
+	defer func() {
+		elapsed := time.Since(began)
+		ev.ElapsedMS = ms(elapsed)
+		if sampleTr != nil && s.obs.ShouldRetain(ev.Status, elapsed) {
+			rootSpan.End()
+			s.obs.RetainTrace(reqID, sampleTr.Spans())
+			ev.TraceSampled = true
+		}
+		s.obs.Emit(ev)
+	}()
+	// fail resolves the request with an error body and stamps the
+	// event's terminal fields from the same status/message.
+	fail := func(status int, msg string) {
+		ev.Status = obs.StatusForHTTP(status, msg, false)
+		ev.HTTPStatus = status
+		ev.Error = msg
+		s.writeJSON(w, status, ErrorResponse{reqID, msg})
+	}
+
 	if r.Method != http.MethodPost {
 		log.Warn("solve rejected", "reason", "method", "method", r.Method)
-		s.writeJSON(w, http.StatusMethodNotAllowed, ErrorResponse{reqID, "POST required"})
+		fail(http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 
 	var req SolveRequest
 	if status, msg := s.decodeRequest(w, r, &req); status != http.StatusOK {
 		log.Warn("solve rejected", "reason", "bad_body", "status", status, "err", msg)
-		s.writeJSON(w, status, ErrorResponse{reqID, msg})
+		fail(status, msg)
 		return
 	}
 	if len(req.Instance) == 0 {
 		log.Warn("solve rejected", "reason", "no_instance")
-		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "missing instance"})
+		fail(http.StatusBadRequest, "missing instance")
 		return
 	}
 	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
 	if err != nil {
 		log.Warn("solve rejected", "reason", "invalid_instance", "err", err)
-		s.writeJSON(w, http.StatusBadRequest, ErrorResponse{reqID, "invalid instance: " + err.Error()})
+		fail(http.StatusBadRequest, "invalid instance: "+err.Error())
 		return
 	}
 
@@ -364,6 +443,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		tr = trace.New()
 	}
 
+	family := costFamily(in)
+	ev.Algorithm = string(alg)
+	ev.Jobs = in.N()
+	ev.G = in.G
+	ev.Depth = costmodel.Depth(in)
+	ev.Family = family
+	ev.PredictedCostNS = s.cost.PredictInstance(family, in)
+
 	// The request context carries client disconnects; layer the solve
 	// deadline on top.
 	ctx := r.Context()
@@ -375,30 +462,35 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	// Admission control: take an in-flight slot, waiting briefly for
 	// one to free up before shedding.
+	ev.Admission = obs.AdmissionAdmitted
 	if s.sem != nil {
 		select {
 		case s.sem <- struct{}{}:
 		default:
 			s.reg.AdmissionWaitStarted()
+			waitStart := time.Now()
 			wait := time.NewTimer(s.cfg.AdmissionWait)
 			select {
 			case s.sem <- struct{}{}:
 				s.reg.AdmissionWaitFinished()
 				wait.Stop()
+				ev.QueueWaitMS = ms(time.Since(waitStart))
 			case <-wait.C:
 				s.reg.AdmissionWaitFinished()
 				s.reg.AdmissionShed()
+				ev.Admission = obs.AdmissionShed
+				ev.QueueWaitMS = ms(time.Since(waitStart))
 				log.Warn("solve rejected", "reason", "saturated", "max_inflight", s.cfg.MaxInFlight)
 				w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(s.cfg.AdmissionWait)))
-				s.writeJSON(w, http.StatusTooManyRequests,
-					ErrorResponse{reqID, "server saturated: too many solves in flight"})
+				fail(http.StatusTooManyRequests, "server saturated: too many solves in flight")
 				return
 			case <-ctx.Done():
 				s.reg.AdmissionWaitFinished()
 				wait.Stop()
 				s.observeCancellation(ctx.Err())
+				ev.QueueWaitMS = ms(time.Since(waitStart))
 				log.Warn("solve canceled", "reason", "ctx_during_admission", "err", ctx.Err())
-				s.writeJSON(w, http.StatusServiceUnavailable, ErrorResponse{reqID, ctx.Err().Error()})
+				fail(http.StatusServiceUnavailable, ctx.Err().Error())
 				return
 			}
 		}
@@ -408,8 +500,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	log.Info("solve start", "algorithm", string(alg), "jobs", in.N(), "g", in.G, "workers", workers)
 
 	start := time.Now()
-	res, cached, err := s.executeSolve(ctx, solveParams{
-		req: req, in: in, alg: alg, workers: workers, tr: tr,
+	var res *activetime.Result
+	var cached bool
+	// Goroutine labels segment CPU/heap profiles by workload class.
+	rpprof.Do(ctx, rpprof.Labels(
+		"request_id", reqID, "class", "sync", "algorithm", string(alg), "family", family,
+	), func(ctx context.Context) {
+		res, cached, err = s.executeSolve(ctx, solveParams{
+			req: req, in: in, alg: alg, workers: workers, tr: tr, sampleTr: sampleTr, ev: ev,
+		})
 	})
 	elapsed := time.Since(start)
 
@@ -420,16 +519,19 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		log.Warn("solve failed", "err", err, "status", status,
 			"elapsed_ms", float64(elapsed.Microseconds())/1e3)
-		s.writeJSON(w, status, ErrorResponse{reqID, err.Error()})
+		fail(status, err.Error())
 		return
 	}
 
 	out, err := s.buildSolveResponse(reqID, solveParams{req: req, in: in, tr: tr}, res, cached, elapsed)
 	if err != nil {
 		log.Error("encode schedule", "err", err)
-		s.writeJSON(w, http.StatusInternalServerError, ErrorResponse{reqID, "encode schedule: " + err.Error()})
+		fail(http.StatusInternalServerError, "encode schedule: "+err.Error())
 		return
 	}
+	ev.Status = obs.StatusForHTTP(http.StatusOK, "", cached)
+	ev.HTTPStatus = http.StatusOK
+	ev.ActiveSlots = res.ActiveSlots
 	log.Info("solve done",
 		"algorithm", string(res.Algorithm),
 		"active_slots", res.ActiveSlots,
@@ -447,6 +549,22 @@ type solveParams struct {
 	alg     activetime.Algorithm
 	workers int
 	tr      *trace.Tracer
+	// sampleTr is the tail-sampling tracer: unlike tr it does not
+	// bypass the cache — a cache miss's flight records its spans here,
+	// a hit or coalesced wait simply yields no solver spans.
+	sampleTr *trace.Tracer
+	// ev, when non-nil, receives the solve's cache/cost fields; it is
+	// written only after the cache flight resolves, never from inside
+	// it (detached flights outlive the request that opened them).
+	ev *obs.Event
+}
+
+// solveOutcome is the solve cache's value: the shared result plus the
+// wall time of the solve that produced it, so cache hits can report
+// the original measured cost against the cost model's prediction.
+type solveOutcome struct {
+	res     *activetime.Result
+	solveNS int64
 }
 
 // executeSolve runs one solve through the shared path: registry
@@ -459,10 +577,14 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 	// context (the request's, or — when coalesced behind the cache — a
 	// flight context detached from any single request) and folds its
 	// outcome into the registry.
-	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*activetime.Result, error) {
+	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*solveOutcome, error) {
 		s.reg.SolveStarted()
 		if h := s.testHookBeforeSolve; h != nil {
 			h(ctx)
+		}
+		tr := p.tr
+		if tr == nil {
+			tr = p.sampleTr
 		}
 		start := time.Now()
 		var res *activetime.Result
@@ -473,22 +595,48 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 				Minimalize: p.req.Minimalize,
 				Compact:    p.req.Compact,
 				Workers:    p.workers,
-				Trace:      p.tr,
+				Trace:      tr,
 			})
 		} else {
-			res, err = activetime.SolveTracedCtx(ctx, solveIn, p.alg, p.tr)
+			res, err = activetime.SolveTracedCtx(ctx, solveIn, p.alg, tr)
 		}
+		took := time.Since(start)
 		var stats *metrics.Stats
 		if res != nil {
 			stats = res.Stats
 		}
-		s.reg.ObserveSolve(stats, time.Since(start), err)
-		return res, err
+		s.reg.ObserveSolve(stats, took, err)
+		return &solveOutcome{res: res, solveNS: took.Nanoseconds()}, err
+	}
+
+	// fillEvent stamps the solve's observability fields once the
+	// outcome is known (same goroutine as the caller — safe).
+	fillEvent := func(cacheOutcome string, key string, out *solveOutcome, err error) {
+		if p.ev == nil {
+			return
+		}
+		p.ev.Cache = cacheOutcome
+		p.ev.CacheKey = key
+		if err == nil && out != nil {
+			p.ev.MeasuredNS = out.solveNS
+			p.ev.SolveMS = float64(out.solveNS) / 1e6
+			if out.res != nil {
+				p.ev.FillStats(out.res.Stats)
+			}
+		}
 	}
 
 	if s.cache == nil || p.tr != nil {
-		res, err := runSolve(ctx, p.in)
-		return res, false, err
+		cacheOutcome := obs.CacheOff
+		if s.cache != nil {
+			cacheOutcome = obs.CacheBypass
+		}
+		out, err := runSolve(ctx, p.in)
+		fillEvent(cacheOutcome, "", out, err)
+		if out == nil {
+			return nil, false, err
+		}
+		return out.res, false, err
 	}
 
 	// The key canonicalizes the instance (job order and IDs do not
@@ -500,20 +648,28 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 	key := solvecache.KeyFor(p.in, string(p.alg), p.req.ExactLP, p.req.Minimalize, p.req.Compact)
 	order := solvecache.CanonicalOrder(p.in)
 	canonIn := p.in.Permute(order)
-	res, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*activetime.Result, error) {
+	out, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*solveOutcome, error) {
 		return runSolve(ctx, canonIn)
 	})
 	cached := false
+	cacheOutcome := obs.CacheMiss
 	switch outcome {
 	case solvecache.Hit:
 		s.reg.CacheHit()
 		cached = true
+		cacheOutcome = obs.CacheHit
 	case solvecache.Miss:
 		s.reg.CacheMiss()
 	case solvecache.Coalesced:
 		s.reg.CacheCoalesced()
+		cacheOutcome = obs.CacheCoalesced
 	}
-	if err == nil && p.req.IncludeSchedule {
+	fillEvent(cacheOutcome, fmt.Sprintf("%x", key), out, err)
+	if err != nil || out == nil {
+		return nil, cached, err
+	}
+	res := out.res
+	if p.req.IncludeSchedule {
 		// The cached Result is shared across requests: relabel into
 		// a copy, never in place.
 		relabeled := *res
@@ -553,8 +709,11 @@ func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{
-		"status": "ok",
-		"solves": s.reg.Solves(),
+		"status":     "ok",
+		"solves":     s.reg.Solves(),
+		"version":    s.build.Version,
+		"go_version": s.build.GoVersion,
+		"commit":     s.build.Commit,
 	})
 }
 
@@ -563,4 +722,46 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if err := s.reg.WritePrometheus(w); err != nil {
 		s.log.Error("write metrics", "err", err)
 	}
+	obs.WriteBuildInfoPrometheus(w, s.build)
+	s.obs.WritePrometheus(w)
+}
+
+// handleDebugEvents serves the wide-event ring, oldest first.
+// Query parameters: status, class, path (exact matches) and limit
+// (keep only the newest N).
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.writeJSON(w, http.StatusBadRequest, ErrorResponse{"", "limit must be a non-negative integer"})
+			return
+		}
+		limit = n
+	}
+	page := s.obs.Events(obs.EventFilter{
+		Status: q.Get("status"),
+		Class:  q.Get("class"),
+		Path:   q.Get("path"),
+		Limit:  limit,
+	})
+	s.writeJSON(w, http.StatusOK, page)
+}
+
+// handleDebugSLO serves the rolling burn-rate windows.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.obs.SLOSummary())
+}
+
+// handleDebugTrace serves a tail-sampled trace as Chrome trace-event
+// JSON (loadable in chrome://tracing / Perfetto).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ct, ok := s.obs.Trace(id)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, ErrorResponse{id, "no retained trace for request"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, ct)
 }

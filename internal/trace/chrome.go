@@ -32,7 +32,14 @@ type ChromeTrace struct {
 // (span_id, parent_id) so consumers can rebuild the hierarchy without
 // relying on timestamp containment.
 func (t *Tracer) ChromeEvents() []ChromeEvent {
-	spans := t.Spans()
+	return ChromeEventsFromSpans(t.Spans())
+}
+
+// ChromeEventsFromSpans converts already-exported spans into Chrome
+// trace events — the same conversion ChromeEvents applies, available
+// to consumers holding a span snapshot without the tracer (the tail
+// sampling Store in particular).
+func ChromeEventsFromSpans(spans []SpanData) []ChromeEvent {
 	out := make([]ChromeEvent, 0, len(spans))
 	for _, s := range spans {
 		args := map[string]any{

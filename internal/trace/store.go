@@ -1,0 +1,85 @@
+package trace
+
+import "sync"
+
+// Store is a bounded retention buffer for finished traces, keyed by
+// request ID. It backs tail sampling: the service records a span trace
+// for every request but keeps only the interesting ones (slow,
+// errored, shed), and this store bounds how many of those survive —
+// when full, the oldest retained trace is evicted first. All methods
+// are safe for concurrent use; a nil *Store drops every Put and
+// reports every Get as missing, so a disabled call site needs no
+// branching.
+type Store struct {
+	mu    sync.Mutex
+	cap   int
+	order []string // retained ids, oldest first
+	byID  map[string][]SpanData
+}
+
+// NewStore returns a store retaining at most cap traces; cap < 1 is
+// treated as 1.
+func NewStore(cap int) *Store {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Store{cap: cap, byID: make(map[string][]SpanData, cap)}
+}
+
+// Put retains a trace under id, replacing any previous trace with the
+// same id (re-Put refreshes its eviction age) and evicting the oldest
+// retained trace when the store is full.
+func (s *Store) Put(id string, spans []SpanData) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; ok {
+		for i, x := range s.order {
+			if x == id {
+				s.order = append(s.order[:i], s.order[i+1:]...)
+				break
+			}
+		}
+	}
+	s.byID[id] = spans
+	s.order = append(s.order, id)
+	for len(s.order) > s.cap {
+		delete(s.byID, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+// Get returns the retained trace for id, if any.
+func (s *Store) Get(id string) ([]SpanData, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	spans, ok := s.byID[id]
+	return spans, ok
+}
+
+// IDs returns the retained trace ids, oldest first.
+func (s *Store) IDs() []string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Len returns the number of retained traces.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
