@@ -91,6 +91,18 @@ const (
 	// AlgNested95 is the paper's 9/5-approximation; it requires
 	// nested (laminar) job windows.
 	AlgNested95 Algorithm = "nested95"
+	// AlgCombinatorial is the lazy-activation solver for nested
+	// windows: near-linear time, memory linear in jobs plus horizon,
+	// exact on unit processing times and never worse than 2·OPT in
+	// general. It is the only nested solver that scales to deep chains
+	// and 10⁵–10⁶ jobs, where the LP tableau of AlgNested95 grows with
+	// the fourth power of the nesting depth.
+	AlgCombinatorial Algorithm = "comb"
+	// AlgAuto routes per instance shape: non-nested windows go to
+	// AlgGreedyMinimal, small shallow nested instances to AlgNested95
+	// (for its LP certificate), and deep or huge nested instances to
+	// AlgCombinatorial. See Route for the exact policy.
+	AlgAuto Algorithm = "auto"
 	// AlgGreedyMinimal deactivates slots left to right while feasible;
 	// any minimal feasible solution is a 3-approximation.
 	AlgGreedyMinimal Algorithm = "greedy-minimal"
@@ -105,7 +117,7 @@ const (
 
 // Algorithms lists every available algorithm.
 func Algorithms() []Algorithm {
-	return []Algorithm{AlgNested95, AlgGreedyMinimal, AlgGreedyRTL, AlgExact, AlgAllOpen}
+	return []Algorithm{AlgAuto, AlgNested95, AlgCombinatorial, AlgGreedyMinimal, AlgGreedyRTL, AlgExact, AlgAllOpen}
 }
 
 // Result is the outcome of Solve.
@@ -123,8 +135,11 @@ type Result struct {
 	// is available; an instance-specific a-posteriori guarantee.
 	CertifiedRatio float64
 	// Stats holds the solve's instrumentation snapshot; only set by
-	// AlgNested95 (and SolveNested95).
+	// AlgNested95 and AlgCombinatorial.
 	Stats *SolveStats
+	// Route explains an AlgAuto dispatch (which solver ran and why);
+	// nil when an algorithm was requested explicitly.
+	Route *RouteDecision
 }
 
 // Solve runs the chosen algorithm. All algorithms return a feasible,
@@ -163,8 +178,17 @@ func SolveTracedCtx(ctx context.Context, in *Instance, alg Algorithm, tr *Tracer
 		return nil, err
 	}
 	switch alg {
+	case AlgAuto:
+		dec := Route(in, nil, DefaultRouteLimits())
+		res, err := SolveTracedCtx(ctx, in, dec.Algorithm, tr)
+		if res != nil {
+			res.Route = &dec
+		}
+		return res, err
 	case AlgNested95:
 		return SolveNested95Ctx(ctx, in, SolveOptions{Trace: tr})
+	case AlgCombinatorial:
+		return SolveCombinatorialCtx(ctx, in, SolveOptions{Trace: tr})
 	case AlgGreedyMinimal:
 		sp := tr.StartSpan("solve", trace.String("algorithm", string(alg)))
 		res, err := greedy.MinimalFeasible(in, greedy.LeftToRight)

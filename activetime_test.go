@@ -37,7 +37,19 @@ func TestSolveAllAlgorithms(t *testing.T) {
 		if res.ActiveSlots < opt {
 			t.Fatalf("%s: %d slots below OPT %d", alg, res.ActiveSlots, opt)
 		}
-		if res.Algorithm != alg {
+		if alg == AlgAuto {
+			// Auto reports the concrete solver it routed to, plus the
+			// routing evidence.
+			if res.Route == nil {
+				t.Fatal("auto: missing route decision")
+			}
+			if res.Algorithm != res.Route.Algorithm {
+				t.Fatalf("auto: result labelled %s but routed to %s", res.Algorithm, res.Route.Algorithm)
+			}
+			if res.Route.Reason == "" {
+				t.Fatal("auto: route decision has no reason")
+			}
+		} else if res.Algorithm != alg {
 			t.Fatalf("%s: result labelled %s", alg, res.Algorithm)
 		}
 	}

@@ -1,0 +1,159 @@
+package activetime
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/comb"
+	"repro/internal/costmodel"
+)
+
+// RouteLimits bounds what AlgAuto is willing to hand the LP pipeline.
+// An instance that exceeds any limit is routed to AlgCombinatorial
+// instead; the zero value of any field means "use the default".
+type RouteLimits struct {
+	// MaxLPJobs caps the job count for the LP path.
+	MaxLPJobs int
+	// MaxLPDepth caps the nesting depth for the LP path. The LP has a
+	// y-variable and a coupling row per (window, contained job) pair,
+	// so a chain of depth d costs Θ(d²) pairs and a Θ(d⁴) dense
+	// tableau.
+	MaxLPDepth int
+	// MaxLPTableauBytes caps the estimated dense-tableau footprint
+	// (costmodel.EstimateLP) for the LP path.
+	MaxLPTableauBytes int64
+	// MaxLPPredictedNS caps the cost model's latency prediction for
+	// the LP path.
+	MaxLPPredictedNS int64
+}
+
+// DefaultRouteLimits returns the production routing thresholds: the
+// LP path is reserved for instances where its 9/5 certificate is
+// affordable — at most 4096 jobs, nesting depth at most 64, an
+// estimated tableau under 64 MiB and a predicted solve under 500ms.
+func DefaultRouteLimits() RouteLimits {
+	return RouteLimits{
+		MaxLPJobs:         4096,
+		MaxLPDepth:        64,
+		MaxLPTableauBytes: 64 << 20,
+		MaxLPPredictedNS:  500e6,
+	}
+}
+
+func (l RouteLimits) withDefaults() RouteLimits {
+	d := DefaultRouteLimits()
+	if l.MaxLPJobs <= 0 {
+		l.MaxLPJobs = d.MaxLPJobs
+	}
+	if l.MaxLPDepth <= 0 {
+		l.MaxLPDepth = d.MaxLPDepth
+	}
+	if l.MaxLPTableauBytes <= 0 {
+		l.MaxLPTableauBytes = d.MaxLPTableauBytes
+	}
+	if l.MaxLPPredictedNS <= 0 {
+		l.MaxLPPredictedNS = d.MaxLPPredictedNS
+	}
+	return l
+}
+
+// Routing reasons reported in RouteDecision.Reason (and surfaced as
+// route_reason on the server's wide events).
+const (
+	RouteReasonGeneralWindows      = "general_windows"
+	RouteReasonJobsOverLPCap       = "jobs_over_lp_cap"
+	RouteReasonDepthOverLPCap      = "depth_over_lp_cap"
+	RouteReasonLPTableauOverMemCap = "lp_tableau_over_mem_cap"
+	RouteReasonLPPredictedSlow     = "lp_predicted_slow"
+	RouteReasonSmallNestedLP       = "small_nested_lp"
+)
+
+// RouteDecision is the outcome of Route: the concrete algorithm
+// chosen for an AlgAuto solve and the evidence behind the choice.
+type RouteDecision struct {
+	// Algorithm is the concrete solver chosen.
+	Algorithm Algorithm
+	// Reason is one of the RouteReason constants.
+	Reason string
+	// Jobs and Depth are the instance features the decision used.
+	Jobs  int
+	Depth int
+	// PredictedNS is the cost model's latency prediction for the
+	// chosen algorithm.
+	PredictedNS int64
+	// LPTableauBytes is the estimated dense-tableau footprint the LP
+	// path would have needed (0 when the instance is not nested and
+	// the estimate was never consulted).
+	LPTableauBytes int64
+}
+
+// Route decides which solver an AlgAuto request should run, from the
+// instance shape and the cost model: non-nested windows go to the
+// greedy 3-approximation (the only general-windows algorithm with a
+// guarantee), nested instances go to the 9/5 LP pipeline while it is
+// affordable under the limits, and everything else — deep chains,
+// huge forests — goes to the combinatorial solver. A nil model uses
+// the embedded default; zero-valued limits use DefaultRouteLimits.
+//
+// Route never solves anything; it costs one O(n log n) sweep over the
+// windows plus, for nested instances within the job/depth caps, one
+// containment-count sweep for the tableau estimate.
+func Route(in *Instance, m *costmodel.Model, lim RouteLimits) RouteDecision {
+	if m == nil {
+		m = costmodel.Default()
+	}
+	lim = lim.withDefaults()
+	family := costmodel.FamilyFor(in)
+	jobs := in.N()
+	depth := costmodel.Depth(in)
+	dec := RouteDecision{Jobs: jobs, Depth: depth}
+	finish := func(alg Algorithm, reason string) RouteDecision {
+		dec.Algorithm = alg
+		dec.Reason = reason
+		dec.PredictedNS = m.PredictAlgNS(family, string(alg), jobs, depth)
+		return dec
+	}
+	if family == costmodel.FamilyGeneral {
+		return finish(AlgGreedyMinimal, RouteReasonGeneralWindows)
+	}
+	if jobs > lim.MaxLPJobs {
+		return finish(AlgCombinatorial, RouteReasonJobsOverLPCap)
+	}
+	if depth > lim.MaxLPDepth {
+		return finish(AlgCombinatorial, RouteReasonDepthOverLPCap)
+	}
+	est := costmodel.EstimateLP(in)
+	dec.LPTableauBytes = est.TableauBytes
+	if est.TableauBytes > lim.MaxLPTableauBytes {
+		return finish(AlgCombinatorial, RouteReasonLPTableauOverMemCap)
+	}
+	if m.PredictAlgNS(family, string(AlgNested95), jobs, depth) > lim.MaxLPPredictedNS {
+		return finish(AlgCombinatorial, RouteReasonLPPredictedSlow)
+	}
+	return finish(AlgNested95, RouteReasonSmallNestedLP)
+}
+
+// SolveCombinatorial runs the lazy-activation solver with explicit
+// options (Metrics and Trace are honored; the LP-specific options are
+// ignored).
+func SolveCombinatorial(in *Instance, opts SolveOptions) (*Result, error) {
+	return SolveCombinatorialCtx(context.Background(), in, opts)
+}
+
+// SolveCombinatorialCtx is SolveCombinatorial with cooperative
+// cancellation (checked per batch of jobs placed).
+func SolveCombinatorialCtx(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
+	s, rep, err := comb.SolveContext(ctx, in, comb.Options{
+		Metrics: opts.Metrics,
+		Trace:   opts.Trace,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("activetime: %w", err)
+	}
+	return &Result{
+		Algorithm:   AlgCombinatorial,
+		Schedule:    s,
+		ActiveSlots: rep.ActiveSlots,
+		Stats:       rep.Stats,
+	}, nil
+}

@@ -20,6 +20,7 @@
 //
 //	activetimed [-addr 127.0.0.1:8080] [-workers N] [-log json|text] [-port-file PATH]
 //	            [-max-inflight N] [-admission-wait DUR] [-solve-timeout DUR] [-cache-entries N]
+//	            [-max-solve-mem BYTES]
 //	            [-jobs-running N] [-jobs-queued N] [-jobs-policy fcfs|priority|sjf]
 //	            [-jobs-budget class=N,...] [-cost-model PATH]
 //	            [-events-ring N] [-events-file PATH] [-tail-slow DUR] [-tail-traces N]
@@ -54,6 +55,7 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a request waits for an in-flight slot before 429")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-solve wall-time cap (0 = unlimited); requests can only tighten it")
 	cacheEntries := flag.Int("cache-entries", 256, "solve-result LRU capacity (0 disables caching and coalescing)")
+	maxSolveMem := flag.Int64("max-solve-mem", 1<<30, "reject (422) explicitly forced nested95 solves whose estimated LP tableau exceeds this many bytes (0 disables)")
 	jobsRunning := flag.Int("jobs-running", 2, "async job execution slots, separate from -max-inflight (0 disables the job API)")
 	jobsQueued := flag.Int("jobs-queued", 256, "maximum queued async jobs across all classes")
 	jobsPolicy := flag.String("jobs-policy", "sjf", "async job scheduling policy: fcfs | priority | sjf")
@@ -109,20 +111,21 @@ func main() {
 	}
 
 	cfg := server.Config{
-		DefaultWorkers: *workers,
-		MaxInFlight:    *maxInFlight,
-		AdmissionWait:  *admissionWait,
-		SolveTimeout:   *solveTimeout,
-		CacheEntries:   *cacheEntries,
-		JobsMaxRunning: *jobsRunning,
-		JobsMaxQueued:  *jobsQueued,
-		JobsPolicy:     *jobsPolicy,
-		JobsBudgets:    budgets,
-		CostModel:      model,
-		EventRing:      *eventsRing,
-		TailSlow:       *tailSlow,
-		TraceRetain:    *tailTraces,
-		SLOTarget:      obs.SLOConfig{LatencyObjectiveMS: *sloP99, ErrorBudget: *sloMaxErr},
+		DefaultWorkers:   *workers,
+		MaxInFlight:      *maxInFlight,
+		AdmissionWait:    *admissionWait,
+		SolveTimeout:     *solveTimeout,
+		CacheEntries:     *cacheEntries,
+		MaxSolveMemBytes: *maxSolveMem,
+		JobsMaxRunning:   *jobsRunning,
+		JobsMaxQueued:    *jobsQueued,
+		JobsPolicy:       *jobsPolicy,
+		JobsBudgets:      budgets,
+		CostModel:        model,
+		EventRing:        *eventsRing,
+		TailSlow:         *tailSlow,
+		TraceRetain:      *tailTraces,
+		SLOTarget:        obs.SLOConfig{LatencyObjectiveMS: *sloP99, ErrorBudget: *sloMaxErr},
 	}
 	if eventSink != nil {
 		cfg.EventSink = eventSink

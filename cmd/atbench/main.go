@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,6 +35,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/comb"
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/gapfam"
@@ -45,8 +47,12 @@ import (
 const schema = "activetime-bench-core/v1"
 
 // family is a named, fixed set of instances solved as one benchmark op.
+// algorithm selects the solver: "" is the core 9/5 LP pipeline, "comb"
+// the lazy-activation combinatorial solver — the path the auto router
+// uses for shapes (deep chains, huge forests) the LP cannot afford.
 type family struct {
 	name      string
+	algorithm string
 	instances []*instance.Instance
 }
 
@@ -55,6 +61,7 @@ type family struct {
 // deterministic; the timing fields are medians over -runs repetitions.
 type FamilyResult struct {
 	Name        string               `json:"name"`
+	Algorithm   string               `json:"algorithm,omitempty"`
 	Instances   int                  `json:"instances"`
 	Jobs        int                  `json:"jobs"`
 	NsPerOp     int64                `json:"ns_per_op"`
@@ -142,6 +149,24 @@ func families() []family {
 			gapfam.Staircase(6, 2),
 			gapfam.PinnedComb(8, 3),
 		}},
+		// deep-chain is the depth⁴ repro shape on the solver that fixes
+		// it: a 900-level chain the LP cannot touch (its estimated
+		// tableau is terabytes; see EstimateLP) solved combinatorially.
+		// deep-chain-lp is the deepest chain the LP path still affords,
+		// kept on the LP so the refit captures its superlinear
+		// depth-growth (the jobs·depth³ feature) instead of
+		// underpredicting deep instances with a linear fit.
+		{name: "deep-chain", algorithm: "comb", instances: []*instance.Instance{
+			gen.NestedChain(900, 2, 1),
+		}},
+		{name: "deep-chain-lp", instances: []*instance.Instance{
+			gen.NestedChain(48, 2, 1),
+		}},
+		// nested-100k exercises the combinatorial solver at the scale
+		// the auto router sends it: a ~10⁵-job laminar forest.
+		{name: "nested-100k", algorithm: "comb", instances: []*instance.Instance{
+			gen.NestedForest(10, 5, 4, 30, 4),
+		}},
 	}
 }
 
@@ -175,13 +200,19 @@ func runBench(out string, runs int, budget time.Duration) error {
 }
 
 func benchFamily(f family, runs int, budget time.Duration) (FamilyResult, error) {
-	fr := FamilyResult{Name: f.name, Instances: len(f.instances)}
+	fr := FamilyResult{Name: f.name, Algorithm: f.algorithm, Instances: len(f.instances)}
 	for _, in := range f.instances {
 		fr.Jobs += in.N()
 	}
 	solveAll := func(rec *metrics.Recorder) error {
 		for _, in := range f.instances {
-			if _, _, err := core.SolveWithOptions(in, core.Options{Workers: 1, Metrics: rec}); err != nil {
+			var err error
+			if f.algorithm == "comb" {
+				_, _, err = comb.SolveContext(context.Background(), in, comb.Options{Metrics: rec})
+			} else {
+				_, _, err = core.SolveWithOptions(in, core.Options{Workers: 1, Metrics: rec})
+			}
+			if err != nil {
 				return err
 			}
 		}
@@ -292,21 +323,30 @@ func runCompare(oldPath, newPath string, failOver float64, checkCounters bool) i
 
 // --- cost-model fitting ---
 
-// costFamilyOf maps a benchmark family to the cost-model family whose
-// coefficients it informs. The gap worst-case constructions stand in
-// for the general family: they are the hardest shapes the benchmark
-// suite contains and give the general path a pessimistic (safe-side)
-// coefficient.
-func costFamilyOf(benchFamily string) string {
+// costRowOf maps a benchmark family to the cost-model row (family,
+// algorithm, feature) its measurements inform. The gap worst-case
+// constructions stand in for the general family: they are the hardest
+// shapes the benchmark suite contains and give the general path a
+// pessimistic (safe-side) coefficient. The per-algorithm rows are
+// keyed to the default cost family (laminar) so the fallback chain —
+// (family, alg) → (laminar, alg) — serves every nested family: the
+// deep LP chain fits nested95's jobs·depth³ row (the fix for the
+// linear fit underpredicting deep chains), and the combinatorial
+// families fit comb's depth-insensitive jobs row.
+func costRowOf(benchFamily string) (fam, alg, feature string) {
 	switch benchFamily {
 	case "nested-small", "nested-medium", "nested-large":
-		return costmodel.FamilyLaminar
+		return costmodel.FamilyLaminar, "", ""
 	case "unit-nested":
-		return costmodel.FamilyUnit
+		return costmodel.FamilyUnit, "", ""
 	case "gap-worstcase":
-		return costmodel.FamilyGeneral
+		return costmodel.FamilyGeneral, "", ""
+	case "deep-chain-lp":
+		return costmodel.FamilyLaminar, "nested95", costmodel.FeatureJobsDepth3
+	case "deep-chain", "nested-100k":
+		return costmodel.FamilyLaminar, "comb", costmodel.FeatureJobs
 	default:
-		return ""
+		return "", "", ""
 	}
 }
 
@@ -324,7 +364,7 @@ func runFit(inPath, outPath string) error {
 	}
 	var samples []costmodel.Sample
 	for _, f := range families() {
-		fam := costFamilyOf(f.name)
+		fam, alg, feature := costRowOf(f.name)
 		if fam == "" {
 			continue
 		}
@@ -342,10 +382,12 @@ func runFit(inPath, outPath string) error {
 		}
 		k := float64(len(f.instances))
 		samples = append(samples, costmodel.Sample{
-			Family: fam,
-			Jobs:   jobs / k,
-			Depth:  depth / k,
-			NS:     float64(fr.NsPerOp) / k,
+			Family:    fam,
+			Algorithm: alg,
+			Feature:   feature,
+			Jobs:      jobs / k,
+			Depth:     depth / k,
+			NS:        float64(fr.NsPerOp) / k,
 		})
 	}
 	model, err := costmodel.Fit(samples, inPath)
@@ -356,7 +398,15 @@ func runFit(inPath, outPath string) error {
 		return err
 	}
 	for _, c := range model.Families {
-		fmt.Printf("%-10s c0=%.0f ns  c1=%.2f ns/(job·depth)  points=%d\n", c.Family, c.C0, c.C1, c.Points)
+		feature := c.Feature
+		if feature == "" {
+			feature = costmodel.FeatureJobsDepth
+		}
+		row := c.Family
+		if c.Algorithm != "" {
+			row += "/" + c.Algorithm
+		}
+		fmt.Printf("%-18s c0=%.0f ns  c1=%.2f ns/%s  points=%d\n", row, c.C0, c.C1, feature, c.Points)
 	}
 	fmt.Println("wrote", outPath)
 	return nil

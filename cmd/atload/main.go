@@ -47,6 +47,7 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -117,7 +118,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.jobsMax, "jobs-max", def.MaxJobs, "maximum jobs per instance")
 	fs.Int64Var(&o.g, "g", def.G, "machine capacity of generated instances")
 	fs.IntVar(&o.distinct, "distinct", def.DistinctInstances, "distinct-instance pool size (0 = every request fresh)")
-	fs.StringVar(&o.algorithm, "algorithm", "", "override the per-family solver (default: nested95, greedy-minimal for general)")
+	fs.StringVar(&o.algorithm, "algorithm", "", "force one solver on every request (default: auto — the server routes per instance)")
 	fs.Int64Var(&o.timeoutMS, "timeout-ms", 0, "per-request timeout_ms forwarded to the server (0 = none)")
 	fs.StringVar(&o.target, "target", "", "base URL of a running activetimed (empty = in-process server)")
 	fs.StringVar(&o.record, "record", "", "write the plan as a JSONL trace to this path")
@@ -370,6 +371,21 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 	}
 	if err := rep.WriteJSON(out); err != nil {
 		return fail(err)
+	}
+	if len(rep.Algorithms) > 0 {
+		// One visible line on what actually executed: plans default to
+		// algorithm "auto", so the solver is the server router's choice,
+		// not something this client decided.
+		names := make([]string, 0, len(rep.Algorithms))
+		for name := range rep.Algorithms {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s=%d", name, rep.Algorithms[name])
+		}
+		fmt.Fprintf(stderr, "atload: algorithms executed (server-routed): %s\n", strings.Join(parts, " "))
 	}
 
 	if verdict != nil && !verdict.Pass {

@@ -1,0 +1,126 @@
+package comb
+
+import "math/bits"
+
+// leftDSU answers "latest slot ≤ t still in the set" over a universe
+// [0, n) that only ever shrinks, in near-constant amortized time. It
+// is the classic lazy-activation union-find (SNIPPETS.md snippet 1,
+// Chang–Gabow–Khuller): every slot starts in the set; remove(t) splices
+// t out by pointing it at its left neighbor, and find path-compresses
+// whole removed runs onto the surviving representative.
+type leftDSU struct {
+	// parent[i] == i while i is in the set; removed slots point at
+	// some slot strictly to their left, or -1 past the left edge.
+	parent []int32
+}
+
+func newLeftDSU(n int) *leftDSU {
+	p := make([]int32, n)
+	for i := range p {
+		p[i] = int32(i)
+	}
+	return &leftDSU{parent: p}
+}
+
+// find returns the latest in-set slot ≤ t, or -1 when none remains.
+func (d *leftDSU) find(t int) int {
+	if t < 0 {
+		return -1
+	}
+	// First pass: locate the representative (an in-set slot or -1).
+	root := int32(-1)
+	for x := int32(t); x >= 0; {
+		p := d.parent[x]
+		if p == x {
+			root = x
+			break
+		}
+		x = p
+	}
+	// Second pass: point every visited slot at the representative.
+	for x := int32(t); x >= 0 && x != root; {
+		p := d.parent[x]
+		d.parent[x] = root
+		x = p
+	}
+	return int(root)
+}
+
+// remove takes an in-set slot out of the set.
+func (d *leftDSU) remove(t int) {
+	d.parent[t] = int32(t) - 1
+}
+
+// predSet is a dynamic bitset over [0, n) with O(log₆₄ n)
+// predecessor queries: pred(i) returns the largest member ≤ i. Unlike
+// leftDSU it supports re-insertion, which the solver needs because a
+// slot's "active and not yet full" status turns on at activation and
+// off again when its load reaches g (and back off/on during the
+// deactivation sweep). Each level is a 64-way summary of the one
+// below.
+type predSet struct {
+	levels [][]uint64
+}
+
+func newPredSet(n int) *predSet {
+	if n < 1 {
+		n = 1
+	}
+	var levels [][]uint64
+	for {
+		w := (n + 63) / 64
+		levels = append(levels, make([]uint64, w))
+		if w == 1 {
+			break
+		}
+		n = w
+	}
+	return &predSet{levels: levels}
+}
+
+func (b *predSet) set(i int) {
+	for _, l := range b.levels {
+		w := i >> 6
+		l[w] |= 1 << uint(i&63)
+		i = w
+	}
+}
+
+func (b *predSet) clear(i int) {
+	for _, l := range b.levels {
+		w := i >> 6
+		l[w] &^= 1 << uint(i&63)
+		if l[w] != 0 {
+			return
+		}
+		i = w
+	}
+}
+
+// pred returns the largest member ≤ i, or -1 when none exists.
+func (b *predSet) pred(i int) int {
+	if i < 0 {
+		return -1
+	}
+	for level := 0; level < len(b.levels); level++ {
+		w := i >> 6
+		if w >= len(b.levels[level]) {
+			w = len(b.levels[level]) - 1
+			i = w<<6 | 63
+		}
+		mask := b.levels[level][w] & (^uint64(0) >> uint(63-(i&63)))
+		if mask != 0 {
+			idx := w<<6 | (63 - bits.LeadingZeros64(mask))
+			for level > 0 {
+				level--
+				idx = idx<<6 | (63 - bits.LeadingZeros64(b.levels[level][idx]))
+			}
+			return idx
+		}
+		i = w - 1
+		if i < 0 {
+			return -1
+		}
+	}
+	return -1
+}

@@ -1,0 +1,149 @@
+package costmodel
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/instance"
+)
+
+// LPEstimate is a conservative lower bound on the size of the
+// strengthened LP the nested95 pipeline would build for one laminar
+// component. Rows and Cols bound the dense simplex tableau the solver
+// pins in memory; TableauBytes is the resulting footprint floor. The
+// real LP is somewhat larger (canonicalization adds virtual nodes and
+// the tableau carries artificial columns), so a cap comparison against
+// TableauBytes only ever under-rejects.
+type LPEstimate struct {
+	// Nodes is the number of distinct job windows (a floor on laminar
+	// tree nodes).
+	Nodes int64
+	// Pairs counts admissible (node, job) y-variables: for each job,
+	// the distinct windows contained in its own window. On a nested
+	// chain of depth d this is Θ(d²) — the term that makes the dense
+	// tableau Θ(d⁴).
+	Pairs int64
+	// Rows and Cols bound the simplex tableau dimensions.
+	Rows, Cols int64
+	// TableauBytes is the dense tableau's memory floor: 8·Rows·Cols
+	// for the float64 entries plus Rows·Cols/8 for the per-row nonzero
+	// bitsets, saturating at MaxInt64.
+	TableauBytes int64
+}
+
+// EstimateLP bounds the strengthened-LP size the nested95 pipeline
+// would need for the instance, from the window structure alone — it
+// never builds the laminar tree, whose descendant cache is itself
+// Θ(depth²) and would defeat the point of estimating before
+// committing memory. The pipeline solves one LP per laminar-forest
+// component; the estimate reported is the largest component's (the
+// peak resident tableau under sequential forest workers). Meaningful
+// for nested instances; for general windows it is the same dominance
+// count and still usable as a difficulty signal.
+func EstimateLP(in *instance.Instance) LPEstimate {
+	if in.N() == 0 {
+		return LPEstimate{}
+	}
+	comps, _ := in.Components()
+	var best LPEstimate
+	for _, comp := range comps {
+		e := estimateComponent(comp)
+		if e.TableauBytes > best.TableauBytes {
+			best = e
+		}
+	}
+	return best
+}
+
+// estimateComponent runs the containment-count sweep for one
+// component: pairs = Σ_j #{distinct windows W' : W' ⊆ W_j}, counted
+// with a Fenwick tree over compressed deadlines while sweeping
+// releases in descending order, O((n + w) log w).
+func estimateComponent(in *instance.Instance) LPEstimate {
+	type win struct{ r, d int64 }
+	seen := make(map[win]struct{}, in.N())
+	wins := make([]win, 0, in.N())
+	for _, j := range in.Jobs {
+		w := win{j.Release, j.Deadline}
+		if _, ok := seen[w]; !ok {
+			seen[w] = struct{}{}
+			wins = append(wins, w)
+		}
+	}
+	// Compress deadlines to Fenwick indices.
+	dls := make([]int64, len(wins))
+	for i, w := range wins {
+		dls[i] = w.d
+	}
+	sort.Slice(dls, func(a, b int) bool { return dls[a] < dls[b] })
+	dls = dedupeInt64(dls)
+	rank := func(d int64) int { // 1-based index of the largest dls ≤ d
+		return sort.Search(len(dls), func(i int) bool { return dls[i] > d })
+	}
+	fen := make([]int64, len(dls)+1)
+	add := func(i int) {
+		for ; i <= len(dls); i += i & -i {
+			fen[i]++
+		}
+	}
+	prefix := func(i int) int64 {
+		var s int64
+		for ; i > 0; i -= i & -i {
+			s += fen[i]
+		}
+		return s
+	}
+
+	// Sweep releases descending; windows enter the Fenwick before the
+	// job queries at the same release so a job counts its own window.
+	sort.Slice(wins, func(a, b int) bool { return wins[a].r > wins[b].r })
+	jobs := make([]instance.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].Release > jobs[b].Release })
+
+	var pairs int64
+	wi := 0
+	for _, j := range jobs {
+		for wi < len(wins) && wins[wi].r >= j.Release {
+			add(rank(wins[wi].d))
+			wi++
+		}
+		pairs += prefix(rank(j.Deadline))
+	}
+
+	nodes := int64(len(wins))
+	njobs := int64(in.N())
+	// Rows: job assignment (2) + node capacity (3) + node length (4) +
+	// pair coupling (5); the ceiling rows (7)/(8) add at most one more
+	// per node but are data-dependent, so they are left out of the
+	// floor. Cols: structural x and y variables plus one slack or
+	// surplus per row (artificials excluded — also a floor).
+	rows := njobs + 2*nodes + pairs
+	cols := nodes + pairs + rows
+	return LPEstimate{
+		Nodes:        nodes,
+		Pairs:        pairs,
+		Rows:         rows,
+		Cols:         cols,
+		TableauBytes: satMulBytes(rows, cols),
+	}
+}
+
+// satMulBytes returns 8·r·c + r·c/8 saturating at MaxInt64.
+func satMulBytes(r, c int64) int64 {
+	f := float64(r) * float64(c) * 8.125
+	if f >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	return int64(f)
+}
+
+func dedupeInt64(s []int64) []int64 {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

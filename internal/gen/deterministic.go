@@ -1,0 +1,83 @@
+package gen
+
+import "repro/internal/instance"
+
+// NestedChain builds the deep-single-chain family that blows up the LP
+// path: depth strictly nested windows [k, 2·depth−k), one job per
+// level. Level k's window properly contains level k+1's, so the
+// laminar tree is a single path of the given depth — the shape whose
+// strengthened-LP tableau grows ~depth⁴ (pairs ≈ depth²/2 variables
+// and as many rows). processing is clamped to [1, 2] so the instance
+// is feasible by construction for any g ≥ 1: assigning job k the slots
+// {k, 2·depth−k−1} uses every slot at most once.
+func NestedChain(depth int, g, processing int64) *instance.Instance {
+	if depth < 1 {
+		depth = 1
+	}
+	if processing < 1 {
+		processing = 1
+	}
+	if processing > 2 {
+		processing = 2
+	}
+	jobs := make([]instance.Job, depth)
+	for k := 0; k < depth; k++ {
+		jobs[k] = instance.Job{
+			Processing: processing,
+			Release:    int64(k),
+			Deadline:   int64(2*depth - k),
+		}
+	}
+	return instance.MustNew(g, jobs)
+}
+
+// NestedForest builds a deterministic wide laminar forest for the
+// large-scale benchmark families: trees disjoint complete trees of
+// window-nesting depth levels, branch children per internal window and
+// jobsPerNode unit jobs on every window. Every window owns an
+// exclusive run of ceil(jobsPerNode/g) slots at its left edge that can
+// host its own jobs, so the instance is feasible by construction — no
+// flow check (and no retry loop) is needed, which keeps 10⁵–10⁶-job
+// instances cheap to build.
+func NestedForest(trees, depth, branch, jobsPerNode int, g int64) *instance.Instance {
+	if trees < 1 {
+		trees = 1
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if branch < 1 {
+		branch = 1
+	}
+	if jobsPerNode < 1 {
+		jobsPerNode = 1
+	}
+	pad := (int64(jobsPerNode) + g - 1) / g
+	if pad < 1 {
+		pad = 1
+	}
+	var jobs []instance.Job
+	// emit lays out the window of one node starting at slot lo and
+	// returns the first slot after it: the exclusive pad first, then
+	// the children back to back.
+	var emit func(level int, lo int64) int64
+	emit = func(level int, lo int64) int64 {
+		hi := lo + pad
+		if level+1 < depth {
+			for c := 0; c < branch; c++ {
+				hi = emit(level+1, hi)
+			}
+		}
+		for j := 0; j < jobsPerNode; j++ {
+			jobs = append(jobs, instance.Job{Processing: 1, Release: lo, Deadline: hi})
+		}
+		return hi
+	}
+	lo := int64(0)
+	for t := 0; t < trees; t++ {
+		// One empty slot between trees keeps the roots' windows
+		// disjoint and the components separable.
+		lo = emit(0, lo) + 1
+	}
+	return instance.MustNew(g, jobs)
+}

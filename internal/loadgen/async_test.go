@@ -72,6 +72,9 @@ func TestRunClosedAsyncInProcess(t *testing.T) {
 		if r.LatencyMS <= 0 {
 			t.Fatalf("job %d has non-positive latency", i)
 		}
+		if r.Algorithm == "" {
+			t.Fatalf("job %d finished without a server-reported algorithm", i)
+		}
 		gotClasses[r.SLOClass]++
 	}
 

@@ -39,6 +39,11 @@ type Result struct {
 	Class     string  `json:"class"`
 	Cached    bool    `json:"cached,omitempty"`
 	Err       string  `json:"error,omitempty"`
+	// Algorithm is the solver the server actually ran, parsed from the
+	// response body (the job result on async runs). When the plan
+	// requests "auto" this is the routed concrete algorithm, so reports
+	// show what executed rather than what was asked for.
+	Algorithm string `json:"algorithm,omitempty"`
 	// SLOClass is the request's SLO class on async (job-API) runs; the
 	// report breaks latency out by it.
 	SLOClass string `json:"slo_class,omitempty"`
@@ -128,6 +133,9 @@ func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Dura
 	}
 	res.RequestID = requestIDFrom(data)
 	res.Class, res.Cached, res.Err = classify(resp.StatusCode, data)
+	if resp.StatusCode == http.StatusOK {
+		res.Algorithm = algorithmFrom(data)
+	}
 	return res
 }
 
@@ -194,6 +202,7 @@ func (c *Client) doAsync(ctx context.Context, index int, body []byte, start time
 		switch st.State {
 		case "done":
 			finish()
+			res.Algorithm = st.Result.Algorithm
 			if st.Result.Cached {
 				res.Class, res.Cached = ClassCached, true
 			} else {
@@ -237,7 +246,8 @@ type jobStatus struct {
 	Error    string `json:"error"`
 	Events   int    `json:"events"`
 	Result   struct {
-		Cached bool `json:"cached"`
+		Cached    bool   `json:"cached"`
+		Algorithm string `json:"algorithm"`
 	} `json:"result"`
 }
 
@@ -304,6 +314,16 @@ func requestIDFrom(body []byte) string {
 	}
 	_ = json.Unmarshal(body, &v)
 	return v.RequestID
+}
+
+// algorithmFrom pulls the executed algorithm out of a SolveResponse
+// body.
+func algorithmFrom(body []byte) string {
+	var v struct {
+		Algorithm string `json:"algorithm"`
+	}
+	_ = json.Unmarshal(body, &v)
+	return v.Algorithm
 }
 
 func errBody(body []byte) string {

@@ -206,13 +206,13 @@ func DefaultPlanConfig() PlanConfig {
 	}
 }
 
-// defaultAlgorithm maps a family to the solver that accepts it.
-func defaultAlgorithm(family string) string {
-	if family == FamilyGeneral {
-		return "greedy-minimal"
-	}
-	return "nested95"
-}
+// defaultAlgorithm is the solver a plan entry requests when no
+// -algorithm override is given. It used to hard-code greedy-minimal
+// for the general family (a silent client-side reroute that made
+// reports look like the server had chosen the solver); every family
+// now asks for "auto" and the server's router decides, with the
+// actually-used algorithm stamped back onto each Result.
+func defaultAlgorithm(string) string { return "auto" }
 
 // instanceSpec is one pool entry: everything but the arrival time.
 type instanceSpec struct {

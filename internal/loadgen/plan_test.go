@@ -57,8 +57,8 @@ func TestBuildPlanDeterministic(t *testing.T) {
 }
 
 // TestBuildPlanShapes: sizes stay in bounds, families come from the
-// mix, the pool bounds the number of distinct instances, and the
-// general family is routed to a solver that accepts crossing windows.
+// mix, the pool bounds the number of distinct instances, and every
+// family defers solver choice to the server ("auto").
 func TestBuildPlanShapes(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Requests = 200
@@ -81,13 +81,13 @@ func TestBuildPlanShapes(t *testing.T) {
 			t.Fatalf("closed-loop request %d has arrival %g", i, r.ArrivalMS)
 		}
 		switch r.Family {
-		case FamilyLaminar, FamilyUnit:
-			if r.Algorithm != "nested95" {
-				t.Fatalf("request %d (%s) uses %q", i, r.Family, r.Algorithm)
-			}
-		case FamilyGeneral:
-			if r.Algorithm != "greedy-minimal" {
-				t.Fatalf("general request %d uses %q (nested95 would 422)", i, r.Algorithm)
+		case FamilyLaminar, FamilyUnit, FamilyGeneral:
+			// Every family defaults to "auto": the server's router picks
+			// the solver and the client records what actually ran. A
+			// client-side per-family choice here was the silent reroute
+			// this pins against regressing.
+			if r.Algorithm != "auto" {
+				t.Fatalf("request %d (%s) uses %q, want auto", i, r.Family, r.Algorithm)
 			}
 		default:
 			t.Fatalf("request %d has unknown family %q", i, r.Family)

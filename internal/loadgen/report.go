@@ -62,6 +62,13 @@ type Report struct {
 	Latency   LatencySummary `json:"latency"`
 	Phases    []PhaseStat    `json:"phases"`
 
+	// Algorithms counts successful requests by the solver the server
+	// actually ran (as reported in each response body). With the
+	// default "auto" plans this is the router's output — e.g. a mixed
+	// plan shows nested95 for small nested instances, comb for deep
+	// ones, and greedy-minimal for general windows.
+	Algorithms map[string]int64 `json:"algorithms,omitempty"`
+
 	// PerClass breaks the run out by SLO class on async runs; nil for
 	// synchronous /solve runs (which carry no class).
 	PerClass map[string]*ClassStat `json:"per_class,omitempty"`
@@ -131,6 +138,12 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 		}
 		if res.Class == ClassCached {
 			r.CacheHits++
+		}
+		if res.Algorithm != "" {
+			if r.Algorithms == nil {
+				r.Algorithms = make(map[string]int64)
+			}
+			r.Algorithms[res.Algorithm]++
 		}
 		if isError(res.Class) {
 			r.Errors++

@@ -65,6 +65,9 @@ func TestRunClosedInProcess(t *testing.T) {
 		if r.LatencyMS <= 0 {
 			t.Fatalf("request %d has non-positive latency", i)
 		}
+		if r.Algorithm == "" {
+			t.Fatalf("request %d solved without a server-reported algorithm", i)
+		}
 	}
 	c4 := classCounts(res1)
 	if c4[ClassCached] == 0 {
@@ -98,6 +101,13 @@ func TestRunClosedInProcess(t *testing.T) {
 	}
 	if rep.ThroughputRPS <= 0 || rep.Latency.P99 <= 0 {
 		t.Fatalf("report missing throughput/latency: %+v", rep)
+	}
+	var algTotal int64
+	for _, n := range rep.Algorithms {
+		algTotal += n
+	}
+	if algTotal != int64(cfg.Requests) {
+		t.Fatalf("report algorithms cover %d requests, want %d: %v", algTotal, cfg.Requests, rep.Algorithms)
 	}
 	var phaseTotal int64
 	for _, p := range rep.Phases {

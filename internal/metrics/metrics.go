@@ -37,6 +37,10 @@ const (
 	StageMinimalize                // optional minimalization post-pass
 	StagePlace                     // slot placement + column packing
 	StageValidate                  // whole-schedule validation
+	// Combinatorial-path stages (internal/comb); appended after the LP
+	// pipeline stages so existing indices stay stable.
+	StageCombActivate   // lazy activation + placement walk
+	StageCombDeactivate // lazy deactivation sweep
 	numStages
 )
 
@@ -68,6 +72,10 @@ func (s Stage) String() string {
 		return "place"
 	case StageValidate:
 		return "validate"
+	case StageCombActivate:
+		return "comb_activate"
+	case StageCombDeactivate:
+		return "comb_deactivate"
 	}
 	return fmt.Sprintf("stage(%d)", int(s))
 }
@@ -195,6 +203,14 @@ type Recorder struct {
 	TransformMoves Counter
 	// Independent laminar forests solved (internal/core components).
 	ForestsSolved Counter
+	// Combinatorial solver (internal/comb): slots opened by lazy
+	// activation, job units placed into already-active slots, slots
+	// closed by the deactivation sweep, and max-flow fallbacks (the
+	// greedy coming up short — never expected on feasible input).
+	CombActivations   Counter
+	CombReused        Counter
+	CombDeactivations Counter
+	CombFallbacks     Counter
 
 	// ForestSolveNS is the latency distribution of one forest solve in
 	// nanoseconds; with Workers > 1 these overlap in wall time.
@@ -282,6 +298,10 @@ type CounterStats struct {
 	BBNodesPruned       int64 `json:"bb_nodes_pruned"`
 	TransformMoves      int64 `json:"transform_moves"`
 	ForestsSolved       int64 `json:"forests_solved"`
+	CombActivations     int64 `json:"comb_activations"`
+	CombReused          int64 `json:"comb_reused"`
+	CombDeactivations   int64 `json:"comb_deactivations"`
+	CombFallbacks       int64 `json:"comb_fallbacks"`
 }
 
 // StageStats is one stage's aggregate timing.
@@ -320,6 +340,10 @@ func (r *Recorder) Snapshot() *Stats {
 			BBNodesPruned:       r.BBNodesPruned.Load(),
 			TransformMoves:      r.TransformMoves.Load(),
 			ForestsSolved:       r.ForestsSolved.Load(),
+			CombActivations:     r.CombActivations.Load(),
+			CombReused:          r.CombReused.Load(),
+			CombDeactivations:   r.CombDeactivations.Load(),
+			CombFallbacks:       r.CombFallbacks.Load(),
 		},
 		ForestSolveNS: r.ForestSolveNS.snapshot(),
 	}

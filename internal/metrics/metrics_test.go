@@ -100,7 +100,7 @@ func TestStageStringNames(t *testing.T) {
 	want := []string{
 		"tree_build", "canonicalize", "feas_gate", "lp_build", "lp_solve",
 		"transform", "round", "feas_check", "repair", "minimalize",
-		"place", "validate",
+		"place", "validate", "comb_activate", "comb_deactivate",
 	}
 	stages := Stages()
 	if len(stages) != len(want) {

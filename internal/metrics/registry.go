@@ -63,6 +63,10 @@ var counterNames = [...]string{
 	"bb_nodes_pruned",
 	"transform_moves",
 	"forests_solved",
+	"comb_activations",
+	"comb_reused",
+	"comb_deactivations",
+	"comb_fallbacks",
 }
 
 // values lists the counter snapshot in counterNames order.
@@ -83,6 +87,10 @@ func (c CounterStats) values() []int64 {
 		c.BBNodesPruned,
 		c.TransformMoves,
 		c.ForestsSolved,
+		c.CombActivations,
+		c.CombReused,
+		c.CombDeactivations,
+		c.CombFallbacks,
 	}
 }
 
@@ -238,6 +246,10 @@ func (g *Registry) CounterTotals() CounterStats {
 	c.BBNodesPruned = vals[12]
 	c.TransformMoves = vals[13]
 	c.ForestsSolved = vals[14]
+	c.CombActivations = vals[15]
+	c.CombReused = vals[16]
+	c.CombDeactivations = vals[17]
+	c.CombFallbacks = vals[18]
 	return c
 }
 

@@ -89,12 +89,16 @@ type Event struct {
 	Cache    string `json:"cache,omitempty"`
 	CacheKey string `json:"cache_key,omitempty"` // canonical solve-cache key (hex)
 
-	// Instance shape and algorithm selection.
-	Algorithm string `json:"algorithm,omitempty"`
-	Jobs      int    `json:"jobs,omitempty"`
-	G         int64  `json:"g,omitempty"`
-	Depth     int    `json:"depth,omitempty"`
-	Family    string `json:"family,omitempty"`
+	// Instance shape and algorithm selection. RouteReason explains an
+	// auto-routed request's concrete algorithm choice (one of the
+	// activetime.RouteReason constants); empty when the client named an
+	// algorithm explicitly.
+	Algorithm   string `json:"algorithm,omitempty"`
+	RouteReason string `json:"route_reason,omitempty"`
+	Jobs        int    `json:"jobs,omitempty"`
+	G           int64  `json:"g,omitempty"`
+	Depth       int    `json:"depth,omitempty"`
+	Family      string `json:"family,omitempty"`
 
 	ActiveSlots int64 `json:"active_slots,omitempty"`
 

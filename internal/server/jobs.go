@@ -86,21 +86,6 @@ type jobPayload struct {
 	tr *trace.Tracer
 }
 
-// costFamily maps an instance onto a cost-model family: nested
-// windows with unit processing times are "unit", other nested
-// instances "laminar", everything else "general".
-func costFamily(in *instance.Instance) string {
-	if !in.Nested() {
-		return costmodel.FamilyGeneral
-	}
-	for _, j := range in.Jobs {
-		if j.Processing != 1 {
-			return costmodel.FamilyLaminar
-		}
-	}
-	return costmodel.FamilyUnit
-}
-
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	reqID := s.nextRequestID()
 	log := s.log.With("request_id", reqID)
@@ -153,22 +138,29 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	alg := activetime.Algorithm(req.Algorithm)
 	if req.Algorithm == "" {
-		alg = activetime.AlgNested95
+		alg = activetime.AlgAuto
 	}
 	workers := req.Workers
 	if workers < 1 {
 		workers = s.cfg.DefaultWorkers
 	}
 
-	family := costFamily(in)
-	predicted := s.cost.PredictInstance(family, in)
+	family := costmodel.FamilyFor(in)
+	alg, routeReason, memErr := s.routeAlgorithm(in, alg)
+	predicted := s.cost.PredictInstanceAlg(family, string(alg), in)
 	ev.Class = string(class)
 	ev.Algorithm = string(alg)
+	ev.RouteReason = routeReason
 	ev.Jobs = in.N()
 	ev.G = in.G
 	ev.Depth = costmodel.Depth(in)
 	ev.Family = family
 	ev.PredictedCostNS = predicted
+	if memErr != nil {
+		log.Warn("job rejected", "reason", "lp_mem_cap", "err", memErr)
+		fail(http.StatusUnprocessableEntity, memErr.Error())
+		return
+	}
 	// Stamped before Submit: once the job is admitted, the worker may
 	// reach the terminal state (and touch ev) at any moment, so the
 	// handler must not write ev afterwards. The terminal callback adds

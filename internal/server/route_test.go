@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	activetime "repro"
+	"repro/internal/gen"
+	"repro/internal/instance"
+	"repro/internal/obs"
+)
+
+// instanceJSON serializes an instance into the wire format /solve
+// expects.
+func instanceJSON(t *testing.T, in *instance.Instance) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return strings.TrimSpace(buf.String())
+}
+
+// TestAutoRoutesDeepChainToComb is the bug this cycle fixes: a deep
+// nested chain submitted with no algorithm must run on the
+// combinatorial solver, not be fed to the LP whose tableau grows with
+// depth⁴.
+func TestAutoRoutesDeepChainToComb(t *testing.T) {
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, EventRing: 16})
+	chain := gen.NestedChain(200, 2, 1)
+	resp, data := postSolve(t, ts, `{"instance":`+instanceJSON(t, chain)+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != string(activetime.AlgCombinatorial) {
+		t.Fatalf("auto routed depth-200 chain to %q, want comb", out.Algorithm)
+	}
+	if out.ActiveSlots != 100 {
+		t.Fatalf("active slots = %d, want the volume bound 100", out.ActiveSlots)
+	}
+	page := s.Obs().Events(obs.EventFilter{})
+	if len(page.Events) == 0 {
+		t.Fatal("no wide events recorded")
+	}
+	ev := page.Events[len(page.Events)-1]
+	if ev.Algorithm != string(activetime.AlgCombinatorial) {
+		t.Fatalf("event algorithm = %q", ev.Algorithm)
+	}
+	if ev.RouteReason != activetime.RouteReasonDepthOverLPCap {
+		t.Fatalf("event route_reason = %q, want %q", ev.RouteReason, activetime.RouteReasonDepthOverLPCap)
+	}
+}
+
+// TestAutoSmallNestedStaysOnLP pins the other side of the routing:
+// small shallow nested instances keep the 9/5 pipeline and its
+// certificate.
+func TestAutoSmallNestedStaysOnLP(t *testing.T) {
+	s, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, EventRing: 16})
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != string(activetime.AlgNested95) {
+		t.Fatalf("auto routed small nested instance to %q, want nested95", out.Algorithm)
+	}
+	if out.LPBound <= 0 {
+		t.Fatal("LP certificate missing from auto-routed nested95 solve")
+	}
+	page := s.Obs().Events(obs.EventFilter{})
+	if ev := page.Events[len(page.Events)-1]; ev.RouteReason != activetime.RouteReasonSmallNestedLP {
+		t.Fatalf("event route_reason = %q", ev.RouteReason)
+	}
+}
+
+// TestAutoGeneralWindowsRouteToGreedy: crossing windows cannot use
+// either nested solver; auto must pick the greedy 3-approximation.
+func TestAutoGeneralWindowsRouteToGreedy(t *testing.T) {
+	_, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1})
+	crossing := `{"g":2,"jobs":[{"p":1,"r":0,"d":3},{"p":1,"r":2,"d":5}]}`
+	resp, data := postSolve(t, ts, `{"instance":`+crossing+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != string(activetime.AlgGreedyMinimal) {
+		t.Fatalf("auto routed crossing windows to %q, want greedy-minimal", out.Algorithm)
+	}
+}
+
+// TestForcedLPOverMemCapRejected: explicitly forcing nested95 onto an
+// instance whose estimated tableau exceeds -max-solve-mem must be a
+// clean 422, not an OOM.
+func TestForcedLPOverMemCapRejected(t *testing.T) {
+	_, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, MaxSolveMemBytes: 1 << 30})
+	chain := gen.NestedChain(900, 2, 1)
+	resp, data := postSolve(t, ts,
+		`{"instance":`+instanceJSON(t, chain)+`,"algorithm":"nested95"}`)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", resp.StatusCode, data)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(er.Error, "tableau") || !strings.Contains(er.Error, "auto") {
+		t.Fatalf("error should explain the cap and the way out: %q", er.Error)
+	}
+	// The same instance sails through on the default (auto) route even
+	// under the cap.
+	resp2, data2 := postSolve(t, ts, `{"instance":`+instanceJSON(t, chain)+`}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("auto route under mem cap: status %d: %s", resp2.StatusCode, data2)
+	}
+}
+
+// TestForcedLPUnderCapStillRuns: the backstop must not reject small
+// LP solves.
+func TestForcedLPUnderCapStillRuns(t *testing.T) {
+	_, ts, _ := testServerCfg(t, Config{DefaultWorkers: 1, MaxSolveMemBytes: 1 << 30})
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`,"algorithm":"nested95"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+}
+
+// TestJobSubmitForcedLPOverMemCapRejected mirrors the backstop on the
+// async path: the rejection happens at submit time, before the job
+// ever queues.
+func TestJobSubmitForcedLPOverMemCapRejected(t *testing.T) {
+	_, ts, _ := testServerCfg(t, Config{
+		DefaultWorkers: 1, MaxSolveMemBytes: 1 << 30,
+		JobsMaxRunning: 1, JobsMaxQueued: 4,
+	})
+	chain := gen.NestedChain(900, 2, 1)
+	body := `{"instance":` + instanceJSON(t, chain) + `,"algorithm":"nested95"}`
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", resp.StatusCode)
+	}
+}

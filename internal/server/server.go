@@ -55,6 +55,14 @@ type Config struct {
 	// CacheEntries sizes the canonicalized solve-result LRU; ≤ 0
 	// disables caching and coalescing.
 	CacheEntries int
+	// MaxSolveMemBytes rejects with 422 any solve whose estimated LP
+	// tableau footprint (costmodel.EstimateLP) exceeds this many bytes
+	// when the LP algorithm is requested explicitly; ≤ 0 disables the
+	// backstop. Auto-routed requests never trip it — the router sends
+	// oversized instances to the combinatorial solver instead. This is
+	// the -max-solve-mem flag: a deep nested chain forced onto the LP
+	// path must be refused, not run the process out of memory.
+	MaxSolveMemBytes int64
 
 	// JobsMaxRunning bounds concurrently executing async jobs; ≤ 0
 	// disables the job API entirely (the /jobs routes 404). Job
@@ -98,18 +106,19 @@ type Config struct {
 // per-solve worker-pool size.
 func DefaultConfig(workers int) Config {
 	return Config{
-		DefaultWorkers: workers,
-		MaxInFlight:    16,
-		AdmissionWait:  100 * time.Millisecond,
-		SolveTimeout:   0,
-		CacheEntries:   256,
-		JobsMaxRunning: 2,
-		JobsMaxQueued:  256,
-		JobsPolicy:     "sjf",
-		EventRing:      1024,
-		TailSlow:       250 * time.Millisecond,
-		TraceRetain:    64,
-		SLOTarget:      obs.SLOConfig{LatencyObjectiveMS: 250, ErrorBudget: 0.01},
+		DefaultWorkers:   workers,
+		MaxInFlight:      16,
+		AdmissionWait:    100 * time.Millisecond,
+		SolveTimeout:     0,
+		CacheEntries:     256,
+		MaxSolveMemBytes: 1 << 30,
+		JobsMaxRunning:   2,
+		JobsMaxQueued:    256,
+		JobsPolicy:       "sjf",
+		EventRing:        1024,
+		TailSlow:         250 * time.Millisecond,
+		TraceRetain:      64,
+		SLOTarget:        obs.SLOConfig{LatencyObjectiveMS: 250, ErrorBudget: 0.01},
 	}
 }
 
@@ -344,6 +353,35 @@ func solveStatus(err error) int {
 	}
 }
 
+// routeAlgorithm resolves AlgAuto through the router and enforces the
+// -max-solve-mem backstop on explicitly forced LP solves. It returns
+// the concrete algorithm, the routing reason (empty unless the request
+// asked for auto), and a non-nil error when a forced LP's estimated
+// tableau exceeds the cap — the request must be rejected with 422, not
+// allowed to run the process out of memory.
+func (s *Server) routeAlgorithm(in *instance.Instance, alg activetime.Algorithm) (activetime.Algorithm, string, error) {
+	if alg == activetime.AlgAuto {
+		var lim activetime.RouteLimits
+		// An operator cap tighter than the router's default LP budget
+		// also tightens routing, so auto never picks an LP the backstop
+		// would have refused.
+		if c := s.cfg.MaxSolveMemBytes; c > 0 && c < activetime.DefaultRouteLimits().MaxLPTableauBytes {
+			lim.MaxLPTableauBytes = c
+		}
+		dec := activetime.Route(in, s.cost, lim)
+		return dec.Algorithm, dec.Reason, nil
+	}
+	if alg == activetime.AlgNested95 && s.cfg.MaxSolveMemBytes > 0 {
+		if est := costmodel.EstimateLP(in); est.TableauBytes > s.cfg.MaxSolveMemBytes {
+			return alg, "", fmt.Errorf(
+				"nested95 LP tableau needs at least %d bytes (server cap %d): use algorithm %q or %q",
+				est.TableauBytes, s.cfg.MaxSolveMemBytes,
+				activetime.AlgCombinatorial, activetime.AlgAuto)
+		}
+	}
+	return alg, "", nil
+}
+
 // retryAfterSeconds converts the configured admission wait into the
 // whole-second Retry-After value for a 429: the wait rounded up,
 // never below one second (clients should not hammer a saturated
@@ -432,7 +470,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 
 	alg := activetime.Algorithm(req.Algorithm)
 	if req.Algorithm == "" {
-		alg = activetime.AlgNested95
+		alg = activetime.AlgAuto
 	}
 	workers := req.Workers
 	if workers < 1 {
@@ -443,13 +481,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		tr = trace.New()
 	}
 
-	family := costFamily(in)
+	family := costmodel.FamilyFor(in)
+	alg, routeReason, memErr := s.routeAlgorithm(in, alg)
 	ev.Algorithm = string(alg)
+	ev.RouteReason = routeReason
 	ev.Jobs = in.N()
 	ev.G = in.G
 	ev.Depth = costmodel.Depth(in)
 	ev.Family = family
-	ev.PredictedCostNS = s.cost.PredictInstance(family, in)
+	ev.PredictedCostNS = s.cost.PredictInstanceAlg(family, string(alg), in)
+	if memErr != nil {
+		log.Warn("solve rejected", "reason", "lp_mem_cap", "err", memErr)
+		fail(http.StatusUnprocessableEntity, memErr.Error())
+		return
+	}
 
 	// The request context carries client disconnects; layer the solve
 	// deadline on top.

@@ -178,30 +178,72 @@ func TestCostModelMonotone(t *testing.T) {
 		costmodel.FamilyLaminar, costmodel.FamilyUnit,
 		costmodel.FamilyGeneral, "no-such-family",
 	}
+	// Every per-algorithm row (and the fallback for unknown algorithms)
+	// must be monotone too — the fitted features (jobs·depth,
+	// jobs·depth³, jobs) are all non-decreasing and the coefficients
+	// are clamped non-negative.
+	algorithms := []string{
+		"", string(AlgNested95), string(AlgCombinatorial),
+		string(AlgGreedyMinimal), "no-such-alg",
+	}
 	grid := []int{1, 2, 3, 5, 8, 13, 34, 144, 1000}
 	for _, fam := range families {
-		for _, depth := range grid {
-			prev := int64(-1)
-			for _, jobsN := range grid {
-				got := m.PredictNS(fam, jobsN, depth)
-				if got < prev {
-					t.Fatalf("%s: prediction fell %d -> %d raising jobs to %d at depth %d",
-						fam, prev, got, jobsN, depth)
-				}
-				prev = got
-			}
-		}
-		for _, jobsN := range grid {
-			prev := int64(-1)
+		for _, alg := range algorithms {
 			for _, depth := range grid {
-				got := m.PredictNS(fam, jobsN, depth)
-				if got < prev {
-					t.Fatalf("%s: prediction fell %d -> %d raising depth to %d at jobs %d",
-						fam, prev, got, depth, jobsN)
+				prev := int64(-1)
+				for _, jobsN := range grid {
+					got := m.PredictAlgNS(fam, alg, jobsN, depth)
+					if got < prev {
+						t.Fatalf("%s/%s: prediction fell %d -> %d raising jobs to %d at depth %d",
+							fam, alg, prev, got, jobsN, depth)
+					}
+					prev = got
 				}
-				prev = got
+			}
+			for _, jobsN := range grid {
+				prev := int64(-1)
+				for _, depth := range grid {
+					got := m.PredictAlgNS(fam, alg, jobsN, depth)
+					if got < prev {
+						t.Fatalf("%s/%s: prediction fell %d -> %d raising depth to %d at jobs %d",
+							fam, alg, prev, got, depth, jobsN)
+					}
+					prev = got
+				}
 			}
 		}
+	}
+}
+
+// TestCostModelDeepChainHonesty pins the fix for the linear
+// underprediction on deep chains: the LP pipeline's predicted cost
+// must grow superlinearly in depth (its tableau is ~depth⁴, its work
+// ~depth³ on chains), overtake the combinatorial solver's prediction
+// on deep chains, and exceed the router's latency cap at the depth
+// the depth-900 repro runs at — which is exactly why AlgAuto keeps
+// such instances off the LP.
+func TestCostModelDeepChainHonesty(t *testing.T) {
+	m := costmodel.Default()
+	lpAt := func(depth int) int64 {
+		return m.PredictAlgNS(costmodel.FamilyUnit, string(AlgNested95), depth, depth)
+	}
+	// Superlinear growth in depth: doubling the depth of a chain (which
+	// doubles jobs too) must more than double the LP prediction.
+	for _, d := range []int{32, 64, 128, 256} {
+		lo, hi := lpAt(d), lpAt(2*d)
+		if hi <= 2*lo {
+			t.Fatalf("LP prediction grew linearly on chains: depth %d -> %d gives %d -> %d", d, 2*d, lo, hi)
+		}
+	}
+	// On the repro shape the LP prediction must dwarf comb's and bust
+	// the router's 500ms cap.
+	lp900 := lpAt(900)
+	comb900 := m.PredictAlgNS(costmodel.FamilyUnit, string(AlgCombinatorial), 900, 900)
+	if lp900 <= comb900 {
+		t.Fatalf("depth-900 chain: LP predicted %d ns <= comb %d ns", lp900, comb900)
+	}
+	if cap := DefaultRouteLimits().MaxLPPredictedNS; lp900 <= cap {
+		t.Fatalf("depth-900 chain: LP predicted %d ns under the router cap %d", lp900, cap)
 	}
 }
 
