@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench obs-smoke ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench obs-smoke cluster-smoke ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -90,8 +90,16 @@ bench-smoke:
 	$(GO) run ./cmd/atbench -compare -check-counters BENCH_core.json /tmp/bench-smoke.json
 	rm -f /tmp/bench-smoke.json
 
+# Fleet smoke: build the real activetimed and atcluster binaries, boot
+# three replicas behind the router over real HTTP, require that
+# cache-affinity routing pins a (permuted) instance to one replica's
+# cache, then SIGTERM that replica and require the router to eject it
+# via the draining handshake while traffic keeps flowing.
+cluster-smoke:
+	$(GO) test -run='^TestClusterSmoke$$' -count=1 -v ./cmd/atcluster
+
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke obs-smoke bench-smoke
+ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke obs-smoke cluster-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...

@@ -24,7 +24,7 @@
 //	            [-jobs-running N] [-jobs-queued N] [-jobs-policy fcfs|priority|sjf]
 //	            [-jobs-budget class=N,...] [-cost-model PATH]
 //	            [-events-ring N] [-events-file PATH] [-tail-slow DUR] [-tail-traces N]
-//	            [-slo-p99 MS] [-slo-max-error-rate F]
+//	            [-slo-p99 MS] [-slo-max-error-rate F] [-drain-wait DUR]
 package main
 
 import (
@@ -67,6 +67,7 @@ func main() {
 	tailTraces := flag.Int("tail-traces", 64, "maximum retained tail-sampled traces")
 	sloP99 := flag.Float64("slo-p99", 250, "latency objective in ms for the in-server SLO burn-rate tracker")
 	sloMaxErr := flag.Float64("slo-max-error-rate", 0.01, "error budget (fraction) for the in-server SLO burn-rate tracker")
+	drainWait := flag.Duration("drain-wait", 0, "on SIGTERM, report draining on /healthz for this long before closing the listener (lets a cluster router eject this replica first)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -157,6 +158,14 @@ func main() {
 	select {
 	case <-ctx.Done():
 		log.Info("shutting down", "reason", "signal")
+		if *drainWait > 0 {
+			// Flip /healthz to "draining" (503) and keep serving while
+			// the router's health prober notices and ejects us; only
+			// then close the listener.
+			srv.StartDraining()
+			log.Info("draining", "wait", drainWait.String())
+			time.Sleep(*drainWait)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(shutCtx); err != nil {

@@ -1,0 +1,133 @@
+// Command atcluster fronts a fleet of activetimed replicas: one
+// routing reverse proxy with health probing, replica ejection and
+// fleet-wide telemetry aggregation.
+//
+//	POST /solve             routed per -policy, retried on transport failure
+//	POST /jobs              routed per -policy; the admitting replica owns the job
+//	GET  /jobs/{id}[...]    forwarded to the job's owner (sticky)
+//	GET  /metrics           every replica's exposition summed + activetime_cluster_* series
+//	GET  /debug/slo         per-replica SLO summaries + fleet aggregate
+//	GET  /cluster/status    policy, health and routing counters per replica
+//	GET  /healthz           ok while at least one replica is routable
+//
+// The affinity policy computes the replicas' canonical solve-cache
+// digest router-side and consistent-hashes it, so identical instances
+// (under any job permutation) always reach the same replica's cache.
+//
+// Usage:
+//
+//	atcluster -backends http://127.0.0.1:8081,http://127.0.0.1:8082 [-addr 127.0.0.1:9090]
+//	          [-policy round-robin|least-loaded|affinity] [-vnodes N]
+//	          [-probe-interval DUR] [-probe-timeout DUR] [-eject-after N] [-readmit-after N]
+//	          [-port-file PATH] [-log json|text]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address (use :0 for a random port)")
+	backends := flag.String("backends", "", "comma-separated replica base URLs, e.g. http://127.0.0.1:8081,http://127.0.0.1:8082")
+	policy := flag.String("policy", cluster.PolicyRoundRobin, "routing policy: round-robin | least-loaded | affinity")
+	vnodes := flag.Int("vnodes", cluster.DefaultVNodes, "virtual nodes per replica on the affinity hash ring")
+	probeInterval := flag.Duration("probe-interval", time.Second, "health-probe period")
+	probeTimeout := flag.Duration("probe-timeout", 500*time.Millisecond, "health-probe round-trip timeout")
+	ejectAfter := flag.Int("eject-after", 2, "consecutive probe failures before a replica is ejected")
+	readmitAfter := flag.Int("readmit-after", 2, "consecutive probe successes before an ejected replica is re-admitted")
+	portFile := flag.String("port-file", "", "write the bound host:port to this file once listening (for smoke tests)")
+	logFormat := flag.String("log", "json", "log format: json | text")
+	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "atcluster: unknown -log format %q\n", *logFormat)
+		os.Exit(2)
+	}
+	log := slog.New(handler)
+
+	var bks []cluster.Backend
+	for i, raw := range strings.Split(*backends, ",") {
+		url := strings.TrimSpace(raw)
+		if url == "" {
+			continue
+		}
+		bks = append(bks, cluster.Backend{Name: fmt.Sprintf("replica-%d", i), URL: url})
+	}
+	if len(bks) == 0 {
+		fmt.Fprintln(os.Stderr, "atcluster: -backends is required (comma-separated replica URLs)")
+		os.Exit(2)
+	}
+
+	rt, err := cluster.New(log, cluster.Config{
+		Backends:      bks,
+		Policy:        *policy,
+		VNodes:        *vnodes,
+		ProbeInterval: *probeInterval,
+		ProbeTimeout:  *probeTimeout,
+		EjectAfter:    *ejectAfter,
+		ReadmitAfter:  *readmitAfter,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atcluster: %v\n", err)
+		os.Exit(2)
+	}
+	rt.Start()
+	defer rt.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	bound := ln.Addr().String()
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(bound), 0o644); err != nil {
+			log.Error("write port file", "path", *portFile, "err", err)
+			os.Exit(1)
+		}
+	}
+	log.Info("routing", "addr", bound, "policy", rt.Policy(),
+		"replicas", len(bks), "probe_interval", probeInterval.String())
+
+	hs := &http.Server{Handler: rt.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Info("shutting down", "reason", "signal")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			log.Error("shutdown", "err", err)
+			os.Exit(1)
+		}
+		log.Info("bye")
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Error("serve", "err", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestClusterSmoke is the full fleet smoke: build the real activetimed
+// and atcluster binaries, boot three replicas plus the router over real
+// HTTP, verify cache-affinity routing pins an instance to one replica,
+// SIGTERM a replica and watch the router eject it mid-traffic via the
+// draining handshake, then shut the router down cleanly.
+// `make cluster-smoke` runs exactly this test.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "activetimed")
+	routerBin := filepath.Join(dir, "atcluster")
+	if out, err := exec.Command("go", "build", "-o", serverBin, "../activetimed").CombinedOutput(); err != nil {
+		t.Fatalf("build activetimed: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", routerBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("build atcluster: %v\n%s", err, out)
+	}
+
+	waitPort := func(path, what string, logs *strings.Builder) string {
+		t.Helper()
+		for i := 0; i < 150; i++ {
+			if b, err := os.ReadFile(path); err == nil && len(b) > 0 {
+				return string(b)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		t.Fatalf("%s never wrote its port file; logs:\n%s", what, logs.String())
+		return ""
+	}
+
+	// Three replicas. -drain-wait keeps each serving (and advertising
+	// draining) long enough for the router's fast probes to eject it
+	// before the listener closes.
+	var replicaAddrs []string
+	replicas := make([]*exec.Cmd, 3)
+	replicaLogs := make([]*strings.Builder, 3)
+	for i := range replicas {
+		portFile := filepath.Join(dir, fmt.Sprintf("replica-%d.port", i))
+		cmd := exec.Command(serverBin,
+			"-addr", "127.0.0.1:0", "-port-file", portFile,
+			"-cache-entries", "64", "-drain-wait", "1500ms")
+		logs := &strings.Builder{}
+		cmd.Stderr = logs
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		replicas[i] = cmd
+		replicaLogs[i] = logs
+		defer cmd.Process.Kill()
+		replicaAddrs = append(replicaAddrs, "http://"+waitPort(portFile, fmt.Sprintf("replica %d", i), logs))
+	}
+
+	routerPort := filepath.Join(dir, "router.port")
+	routerLogs := &strings.Builder{}
+	router := exec.Command(routerBin,
+		"-addr", "127.0.0.1:0", "-port-file", routerPort,
+		"-backends", strings.Join(replicaAddrs, ","),
+		"-policy", "affinity",
+		"-probe-interval", "100ms", "-probe-timeout", "300ms",
+		"-eject-after", "2", "-readmit-after", "2")
+	router.Stderr = routerLogs
+	if err := router.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer router.Process.Kill()
+	base := "http://" + waitPort(routerPort, "router", routerLogs)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\nrouter logs:\n%s", path, err, routerLogs.String())
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	if code, body := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("router healthz: %d %s", code, body)
+	}
+
+	// Affinity: the same instance, under two job orders, always lands
+	// on one replica; the fleet serves one miss then cache hits.
+	perms := []string{
+		`{"instance":{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}}`,
+		`{"instance":{"g":2,"jobs":[{"p":1,"r":0,"d":3},{"p":2,"r":0,"d":6}]}}`,
+	}
+	solve := func(body string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /solve: %v\nrouter logs:\n%s", err, routerLogs.String())
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, data
+	}
+	var servedBy string
+	for round := 0; round < 3; round++ {
+		for i, p := range perms {
+			resp, data := solve(p)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("solve: %d %s", resp.StatusCode, data)
+			}
+			by := resp.Header.Get("X-Served-By")
+			if servedBy == "" {
+				servedBy = by
+			} else if by != servedBy {
+				t.Fatalf("affinity broke: instance moved from %s to %s", servedBy, by)
+			}
+			cached := strings.Contains(string(data), `"cached":true`)
+			first := round == 0 && i == 0
+			if first && cached {
+				t.Fatalf("cold solve claims cached: %s", data)
+			}
+			if !first && !cached {
+				t.Fatalf("warm solve (round %d) missed the cache on %s: %s", round, by, data)
+			}
+		}
+	}
+
+	// The aggregated exposition shows the fleet totals: 1 miss, 5 hits.
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(string(body), "activetime_cache_misses_total 1") ||
+		!strings.Contains(string(body), "activetime_cache_hits_total 5") {
+		t.Fatalf("aggregated metrics wrong (code %d):\n%s", code, body)
+	}
+
+	// Kill (SIGTERM) the replica that owns the hot instance. The drain
+	// window flips its /healthz to draining; the router must eject it
+	// and keep serving the instance from a surviving replica.
+	idx := -1
+	for i, addr := range replicaAddrs {
+		if servedBy == fmt.Sprintf("replica-%d", i) {
+			_ = addr
+			idx = i
+		}
+	}
+	if idx < 0 {
+		t.Fatalf("unknown serving replica %q", servedBy)
+	}
+	if err := replicas[idx].Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	ejected := false
+	for i := 0; i < 100 && !ejected; i++ {
+		_, body := get("/cluster/status")
+		var st struct {
+			Replicas []struct {
+				Name      string `json:"name"`
+				Healthy   bool   `json:"healthy"`
+				Ejections int64  `json:"ejections"`
+			} `json:"replicas"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("status body: %v: %s", err, body)
+		}
+		for _, r := range st.Replicas {
+			if r.Name == servedBy && !r.Healthy && r.Ejections >= 1 {
+				ejected = true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ejected {
+		t.Fatalf("router never ejected %s after SIGTERM; router logs:\n%s\nreplica logs:\n%s",
+			servedBy, routerLogs.String(), replicaLogs[idx].String())
+	}
+
+	// Same instance, fleet degraded: must be re-solved by a survivor.
+	resp, data := solve(perms[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after ejection: %d %s", resp.StatusCode, data)
+	}
+	if by := resp.Header.Get("X-Served-By"); by == servedBy {
+		t.Fatalf("request routed to ejected replica %s", by)
+	}
+
+	// The ejected replica must have exited cleanly (drain, then clean
+	// shutdown).
+	done := make(chan error, 1)
+	go func() { done <- replicas[idx].Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("replica exited non-zero: %v\nlogs:\n%s", err, replicaLogs[idx].String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("replica did not exit after SIGTERM; logs:\n%s", replicaLogs[idx].String())
+	}
+	if !strings.Contains(replicaLogs[idx].String(), "draining") {
+		t.Errorf("replica logs missing draining line:\n%s", replicaLogs[idx].String())
+	}
+
+	// Clean router shutdown.
+	if err := router.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- router.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("router exited non-zero after SIGTERM: %v\nlogs:\n%s", err, routerLogs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("router did not exit within 10s of SIGTERM; logs:\n%s", routerLogs.String())
+	}
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// fleetArgs is a permuted hot-pool plan over a 3-replica fleet: 60
+// requests drawn from 4 distinct instances, every body a fresh job
+// order. Concurrency 1 keeps cache outcomes deterministic (no
+// in-flight coalescing), so hit/miss counts are exact.
+func fleetArgs(policy string, extra ...string) []string {
+	args := []string{
+		"-requests", "60", "-concurrency", "1", "-seed", "11",
+		"-jobs-min", "4", "-jobs-max", "10", "-distinct", "4",
+		"-permute", "-fleet", "3", "-route-policy", policy,
+	}
+	return append(args, extra...)
+}
+
+// TestCLIFleetAffinityBeatsRoundRobin is the E23 mechanism in
+// miniature: same seed, same permuted plan, 3 replicas — affinity
+// routing misses once per distinct instance fleet-wide, round-robin
+// misses once per (instance, replica) pair, so affinity's aggregate
+// cache hit rate is strictly higher.
+func TestCLIFleetAffinityBeatsRoundRobin(t *testing.T) {
+	code, affinity, errOut := runCLI(t, fleetArgs("affinity")...)
+	if code != 0 {
+		t.Fatalf("affinity run exit %d: %s", code, errOut)
+	}
+	code, roundRobin, errOut := runCLI(t, fleetArgs("round-robin")...)
+	if code != 0 {
+		t.Fatalf("round-robin run exit %d: %s", code, errOut)
+	}
+
+	fa, frr := affinity.Fleet, roundRobin.Fleet
+	if fa == nil || frr == nil {
+		t.Fatal("fleet block missing from a -fleet report")
+	}
+	if fa.Policy != "affinity" || frr.Policy != "round-robin" {
+		t.Fatalf("policies recorded as %q / %q", fa.Policy, frr.Policy)
+	}
+	if len(fa.Replicas) != 3 || len(frr.Replicas) != 3 {
+		t.Fatalf("replica counts %d / %d, want 3", len(fa.Replicas), len(frr.Replicas))
+	}
+
+	// Affinity: one cold miss per distinct instance, fleet-wide.
+	if fa.CacheMisses != 4 {
+		t.Errorf("affinity fleet misses = %d, want 4 (one per distinct instance)", fa.CacheMisses)
+	}
+	// Round-robin replicates the working set: every replica that sees an
+	// instance takes its own cold miss, so strictly more than 4.
+	if frr.CacheMisses <= fa.CacheMisses {
+		t.Errorf("round-robin misses = %d, not above affinity's %d", frr.CacheMisses, fa.CacheMisses)
+	}
+	if fa.CacheHitRate <= frr.CacheHitRate {
+		t.Errorf("affinity hit rate %.3f not strictly above round-robin %.3f",
+			fa.CacheHitRate, frr.CacheHitRate)
+	}
+
+	var routed int64
+	for _, rep := range fa.Replicas {
+		if !rep.Healthy {
+			t.Errorf("replica %s unhealthy in a local fleet", rep.Name)
+		}
+		routed += rep.Routed
+	}
+	if routed != 60 {
+		t.Errorf("routed %d requests across the fleet, want 60", routed)
+	}
+	if fa.SuccessRatio != 1 || frr.SuccessRatio != 1 {
+		t.Errorf("fleet success ratios %.3f / %.3f, want 1", fa.SuccessRatio, frr.SuccessRatio)
+	}
+	if !strings.Contains(errOut, "fleet policy=round-robin") {
+		t.Errorf("stderr missing fleet summary line:\n%s", errOut)
+	}
+}
+
+// TestCLIFleetCrossCheck: the wide-event cross-check holds through the
+// proxy — all replicas share one JSONL sink, the router assigns the
+// request ids, and every client result reconciles 1:1.
+func TestCLIFleetCrossCheck(t *testing.T) {
+	events := t.TempDir() + "/fleet-events.jsonl"
+	code, rep, errOut := runCLI(t, fleetArgs("affinity", "-events-file", events)...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	cc := rep.CrossCheck
+	if cc == nil || !cc.Pass {
+		t.Fatalf("cross-check failed through the proxy: %+v\n%s", cc, errOut)
+	}
+	if cc.Matched != 60 {
+		t.Errorf("matched %d events, want 60", cc.Matched)
+	}
+}
+
+// TestCLIFleetAsync: the job API works through the router — sticky
+// polls reach the admitting replica and every job terminates.
+func TestCLIFleetAsync(t *testing.T) {
+	code, rep, errOut := runCLI(t, fleetArgs("least-loaded", "-async", "-queue-running", "2")...)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	done := rep.Counts[loadgen.ClassOK] + rep.Counts[loadgen.ClassCached]
+	if done != 60 {
+		t.Fatalf("async fleet run completed %d/60 (counts %v)", done, rep.Counts)
+	}
+	if rep.Fleet == nil || rep.Fleet.Policy != "least-loaded" {
+		t.Fatalf("fleet block: %+v", rep.Fleet)
+	}
+}
+
+// TestCLIFleetUsageErrors: fleet mode is in-process only.
+func TestCLIFleetUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fleet", "2", "-target", "http://127.0.0.1:1"},
+		{"-fleet", "-1"},
+		{"-fleet", "2", "-route-policy", "bogus"},
+	} {
+		var stderr strings.Builder
+		o, err := parseFlags(args, &stderr)
+		if err != nil {
+			continue // rejected at flag parsing: fine
+		}
+		var out strings.Builder
+		if code := run(context.Background(), o, &out, &stderr); code != 2 {
+			t.Errorf("args %v: exit %d, want 2 (stderr %s)", args, code, stderr.String())
+		}
+	}
+}

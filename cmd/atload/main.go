@@ -19,6 +19,7 @@
 //	       [-queue-policy fcfs|priority|sjf] [-queue-running N] [-queue-depth N]
 //	       [-queue-budget class=N,...]
 //	       [-events-file PATH] [-events-ring N]
+//	       [-fleet N] [-route-policy round-robin|least-loaded|affinity] [-permute]
 //
 // With -async the driver goes through the job API: each request is
 // submitted to POST /jobs with its SLO class and polled to a terminal
@@ -35,6 +36,19 @@
 // the telemetry pipeline, the configuration E21 uses to measure
 // wide-event overhead).
 //
+// With -fleet N the in-process target becomes a fleet: N replicas
+// behind the internal/cluster router, with -route-policy picking how
+// requests spread (round-robin, least-loaded, or cache-affinity via
+// the canonical instance digest). The report gains a fleet block with
+// per-replica routing and cache counters plus the aggregate cache hit
+// rate — the number EXPERIMENTS.md E23 compares across policies.
+// -permute gives every request a fresh job-order permutation of its
+// instance, so repeats are only visible to canonicalization (the
+// replicas' cache digests and the router's affinity key), not to
+// anything keyed on raw body bytes. -events-file works under -fleet:
+// all replicas share one JSONL sink and the cross-check reconciles
+// through the proxy's request ids.
+//
 // Exit codes: 0 success, 1 SLO violation, cross-check failure, or run
 // error, 2 usage error.
 package main
@@ -50,9 +64,11 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/loadgen"
 	"repro/internal/server"
@@ -100,6 +116,11 @@ type options struct {
 	queueBudget   string
 	eventsFile    string
 	eventsRing    int
+
+	// Fleet mode (in-process only).
+	fleet       int
+	routePolicy string
+	permute     bool
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -140,6 +161,9 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.StringVar(&o.queueBudget, "queue-budget", "", "in-process server: per-class admission budgets, class=N[,...]")
 	fs.StringVar(&o.eventsFile, "events-file", "", "in-process server: write wide-event JSONL here and cross-check it against client results")
 	fs.IntVar(&o.eventsRing, "events-ring", 4096, "in-process server: wide-event ring size (0 disables the telemetry pipeline)")
+	fs.IntVar(&o.fleet, "fleet", 0, "run N in-process replicas behind the cluster router (0 = single server)")
+	fs.StringVar(&o.routePolicy, "route-policy", cluster.PolicyAffinity, "fleet routing policy: round-robin | least-loaded | affinity")
+	fs.BoolVar(&o.permute, "permute", false, "permute each request's job order (distinct bodies, same canonical instance)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -151,6 +175,12 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	}
 	if o.eventsFile != "" && o.eventsRing <= 0 {
 		return nil, fmt.Errorf("-events-file requires -events-ring > 0 (the pipeline is disabled at 0)")
+	}
+	if o.fleet < 0 {
+		return nil, fmt.Errorf("-fleet = %d, want >= 0", o.fleet)
+	}
+	if o.fleet > 0 && o.target != "" {
+		return nil, fmt.Errorf("-fleet runs an in-process fleet (drop -target)")
 	}
 	return o, nil
 }
@@ -216,6 +246,7 @@ func (o *options) planConfig() (loadgen.PlanConfig, error) {
 		MaxJobs:           o.jobsMax,
 		G:                 o.g,
 		DistinctInstances: o.distinct,
+		PermuteInstances:  o.permute,
 		Algorithm:         o.algorithm,
 		TimeoutMS:         o.timeoutMS,
 		Async:             o.async,
@@ -270,6 +301,8 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 	slo := loadgen.SLO{P99MaxMS: o.sloP99, MaxErrorRate: o.sloMaxErr}
 
 	var client *loadgen.Client
+	var fleet *cluster.LocalFleet
+	var router *cluster.Router
 	target := o.target
 	if target != "" {
 		client = loadgen.NewHTTPClient(target)
@@ -292,9 +325,14 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			}
 			defer f.Close()
 			eventSink = f
+			if o.fleet > 0 {
+				// Every replica's pipeline writes whole lines to the shared
+				// sink; a mutex around Write keeps the file line-atomic.
+				eventSink = &lockedWriter{w: f}
+			}
 		}
 		log := slog.New(slog.NewTextHandler(io.Discard, nil))
-		srv := server.New(log, server.Config{
+		cfg := server.Config{
 			DefaultWorkers: o.workers,
 			MaxInFlight:    o.maxInFlight,
 			AdmissionWait:  o.admissionWait,
@@ -307,13 +345,36 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			EventRing:      o.eventsRing,
 			EventSink:      eventSink,
 			SLOTarget:      slo.Objectives(),
-		})
-		defer func() {
-			closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			_ = srv.Close(closeCtx)
-		}()
-		client = loadgen.NewInProcessClient(srv.Handler())
+		}
+		if o.fleet > 0 {
+			fleet = cluster.NewLocalFleet(log, o.fleet, cfg)
+			router, err = cluster.New(log, cluster.Config{
+				Backends: fleet.Backends(),
+				Policy:   o.routePolicy,
+			})
+			if err != nil {
+				fmt.Fprintf(stderr, "atload: %v\n", err)
+				return 2
+			}
+			// No Start(): local replicas cannot crash, so the run does not
+			// need the prober, and skipping it keeps reports deterministic.
+			defer router.Close()
+			defer func() {
+				closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = fleet.Close(closeCtx)
+			}()
+			client = loadgen.NewInProcessClient(router.Handler())
+			target = fmt.Sprintf("in-process-fleet-%d", o.fleet)
+		} else {
+			srv := server.New(log, cfg)
+			defer func() {
+				closeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				_ = srv.Close(closeCtx)
+			}()
+			client = loadgen.NewInProcessClient(srv.Handler())
+		}
 	}
 	if o.async {
 		client = client.Async(o.poll)
@@ -344,6 +405,12 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 	}
 
 	rep := loadgen.BuildReport(results, wall, model, target, o.seed, o.concurrency)
+	if router != nil {
+		rep.Fleet = fleetReport(ctx, router, fleet)
+		fmt.Fprintf(stderr, "atload: fleet policy=%s replicas=%d cache_hit_rate=%.3f (hits=%d misses=%d)\n",
+			rep.Fleet.Policy, len(rep.Fleet.Replicas), rep.Fleet.CacheHitRate,
+			rep.Fleet.CacheHits, rep.Fleet.CacheMisses)
+	}
 	var verdict *loadgen.SLOResult
 	if slo.Enabled() {
 		verdict = slo.Evaluate(rep)
@@ -398,6 +465,70 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// lockedWriter serializes the fleet replicas' writes into one shared
+// JSONL sink.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+// fleetReport assembles the report's fleet block: the router's routing
+// counters, each replica's solve-cache totals, and the fleet SLO fold.
+func fleetReport(ctx context.Context, router *cluster.Router, fleet *cluster.LocalFleet) *loadgen.FleetReport {
+	fr := &loadgen.FleetReport{Policy: router.Policy(), SuccessRatio: 1}
+	routed := make(map[string]metricsSnapshot, fleet.Size())
+	for _, snap := range router.Registry().Snapshot() {
+		routed[snap.Name] = metricsSnapshot{snap.Healthy, snap.Routed, snap.Errors, snap.Ejections, snap.Readmissions}
+	}
+	slo := router.SLO(ctx)
+	for i := 0; i < fleet.Size(); i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		reg := fleet.Server(i).Registry()
+		rep := loadgen.FleetReplica{
+			Name:         name,
+			Healthy:      true,
+			SuccessRatio: 1,
+			Solves:       reg.Solves(),
+			CacheHits:    reg.CacheHits(),
+			CacheMisses:  reg.CacheMisses(),
+		}
+		if s, ok := routed[name]; ok {
+			rep.Healthy, rep.Routed, rep.ForwardErrors = s.healthy, s.routed, s.errors
+			rep.Ejections, rep.Readmissions = s.ejections, s.readmissions
+		}
+		if lookups := rep.CacheHits + rep.CacheMisses; lookups > 0 {
+			rep.CacheHitRate = float64(rep.CacheHits) / float64(lookups)
+		}
+		// The longest rolling window covers the whole (short) run.
+		if sum, ok := slo.Replicas[name]; ok && len(sum.Windows) > 0 {
+			rep.SuccessRatio = sum.Windows[len(sum.Windows)-1].SuccessRatio
+		}
+		fr.CacheHits += rep.CacheHits
+		fr.CacheMisses += rep.CacheMisses
+		fr.Replicas = append(fr.Replicas, rep)
+	}
+	if lookups := fr.CacheHits + fr.CacheMisses; lookups > 0 {
+		fr.CacheHitRate = float64(fr.CacheHits) / float64(lookups)
+	}
+	if ws := slo.Aggregate.Windows; len(ws) > 0 {
+		fr.SuccessRatio = ws[len(ws)-1].SuccessRatio
+	}
+	return fr
+}
+
+// metricsSnapshot is the slice of a router replica snapshot the fleet
+// block reuses.
+type metricsSnapshot struct {
+	healthy                                 bool
+	routed, errors, ejections, readmissions int64
 }
 
 func main() {

@@ -1,0 +1,235 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// handleMetrics renders the fleet on one page: every replica's
+// Prometheus exposition summed series-by-series, followed by the
+// router's own activetime_cluster_* series. Unreachable replicas are
+// skipped (their absence shows up in the cluster series instead).
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	agg := newMetricsAggregator()
+	for _, rep := range rt.replicas {
+		resp, err := rt.replicaGet(r.Context(), rep, "/metrics")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode == http.StatusOK {
+			agg.consume(resp.Body)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	agg.write(w)
+	if err := rt.reg.WritePrometheus(w); err != nil {
+		rt.log.Error("write cluster metrics", "err", err)
+	}
+}
+
+// metricsAggregator folds N Prometheus text expositions into one:
+// series with identical name+labels are summed (counters, gauges and
+// cumulative histogram buckets all sum correctly), except series where
+// a sum is meaningless — uptime and build info — which take the max.
+// HELP/TYPE headers and series order follow first appearance.
+type metricsAggregator struct {
+	order  []string           // series keys, first-appearance order
+	values map[string]float64 // series key -> folded value
+	useMax map[string]bool
+	meta   []string        // HELP/TYPE lines in order
+	seen   map[string]bool // emitted meta lines
+}
+
+// maxSeries lists metric names whose series fold by max, not sum.
+var maxSeries = map[string]bool{
+	"activetime_uptime_seconds": true,
+	"activetime_build_info":     true,
+}
+
+func newMetricsAggregator() *metricsAggregator {
+	return &metricsAggregator{
+		values: make(map[string]float64),
+		useMax: make(map[string]bool),
+		seen:   make(map[string]bool),
+	}
+}
+
+func (a *metricsAggregator) consume(r io.Reader) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#"):
+			if !a.seen[line] {
+				a.seen[line] = true
+				a.meta = append(a.meta, line)
+			}
+		default:
+			// A sample line: "name{labels} value" or "name value". The
+			// exposition this service emits never has spaces inside
+			// label values, so the last space splits key from value.
+			i := strings.LastIndexByte(line, ' ')
+			if i < 0 {
+				continue
+			}
+			key, valText := line[:i], line[i+1:]
+			val, err := strconv.ParseFloat(valText, 64)
+			if err != nil {
+				continue
+			}
+			name := key
+			if j := strings.IndexByte(key, '{'); j >= 0 {
+				name = key[:j]
+			}
+			if _, ok := a.values[key]; !ok {
+				a.order = append(a.order, key)
+				a.useMax[key] = maxSeries[name]
+			}
+			if a.useMax[key] {
+				if val > a.values[key] {
+					a.values[key] = val
+				}
+			} else {
+				a.values[key] += val
+			}
+		}
+	}
+}
+
+// write renders the folded exposition: all retained HELP/TYPE headers
+// first is wrong (they must precede their series), so instead series
+// are grouped under their metric's headers in first-appearance order.
+func (a *metricsAggregator) write(w io.Writer) {
+	// Index meta lines by metric name.
+	metaFor := make(map[string][]string)
+	for _, m := range a.meta {
+		fields := strings.Fields(m)
+		if len(fields) >= 3 {
+			metaFor[fields[2]] = append(metaFor[fields[2]], m)
+		}
+	}
+	emitted := make(map[string]bool)
+	for _, key := range a.order {
+		name := key
+		if j := strings.IndexByte(key, '{'); j >= 0 {
+			name = key[:j]
+		}
+		if !emitted[name] {
+			emitted[name] = true
+			for _, m := range metaFor[name] {
+				fmt.Fprintln(w, m)
+			}
+		}
+		fmt.Fprintf(w, "%s %s\n", key, formatValue(a.values[key]))
+	}
+}
+
+// formatValue renders a folded value the way the sources do: integers
+// without a decimal point, everything else in compact float form.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ClusterSLO is the router's /debug/slo body: each replica's rolling
+// SLO summary plus a fleet-wide digest.
+type ClusterSLO struct {
+	// Aggregate folds the fleet: request and error counts sum exactly;
+	// ratio and burn-rate fields are request-weighted averages (the
+	// per-second buckets behind them stay on the replicas).
+	Aggregate obs.SLOSummary            `json:"aggregate"`
+	Replicas  map[string]obs.SLOSummary `json:"replicas"`
+}
+
+// SLO gathers every reachable replica's /debug/slo and folds the
+// fleet-wide aggregate.
+func (rt *Router) SLO(ctx context.Context) ClusterSLO {
+	out := ClusterSLO{Replicas: make(map[string]obs.SLOSummary)}
+	for _, rep := range rt.replicas {
+		resp, err := rt.replicaGet(ctx, rep, "/debug/slo")
+		if err != nil {
+			continue
+		}
+		var sum obs.SLOSummary
+		err = json.NewDecoder(resp.Body).Decode(&sum)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		out.Replicas[rep.name] = sum
+	}
+	out.Aggregate = foldSLO(out.Replicas)
+	return out
+}
+
+func (rt *Router) handleSLO(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.SLO(r.Context()))
+}
+
+// foldSLO merges per-replica SLO summaries window-by-window.
+func foldSLO(replicas map[string]obs.SLOSummary) obs.SLOSummary {
+	var agg obs.SLOSummary
+	type acc struct {
+		requests, errors int64
+		// Request-weighted sums of the per-replica ratio fields.
+		wAttain, wErrBurn, wLatBurn float64
+		weightSuccess, weightLat    float64
+	}
+	var windows []string
+	accs := make(map[string]*acc)
+	for _, sum := range replicas {
+		if agg.Target.LatencyObjectiveMS == 0 {
+			agg.Target = sum.Target
+		}
+		for _, ws := range sum.Windows {
+			a := accs[ws.Window]
+			if a == nil {
+				a = &acc{}
+				accs[ws.Window] = a
+				windows = append(windows, ws.Window)
+			}
+			a.requests += ws.Requests
+			a.errors += ws.Errors
+			wgt := float64(ws.Requests)
+			a.wErrBurn += ws.ErrorBurnRate * wgt
+			a.wAttain += ws.LatencyAttainment * wgt
+			a.wLatBurn += ws.LatencyBurnRate * wgt
+			a.weightSuccess += wgt
+			a.weightLat += wgt
+		}
+	}
+	for _, name := range windows {
+		a := accs[name]
+		ws := obs.WindowStats{
+			Window: name, Requests: a.requests, Errors: a.errors,
+			SuccessRatio: 1, LatencyAttainment: 1,
+		}
+		if a.requests > 0 {
+			ws.SuccessRatio = float64(a.requests-a.errors) / float64(a.requests)
+		}
+		if a.weightSuccess > 0 {
+			ws.ErrorBurnRate = a.wErrBurn / a.weightSuccess
+		}
+		if a.weightLat > 0 {
+			ws.LatencyAttainment = a.wAttain / a.weightLat
+			ws.LatencyBurnRate = a.wLatBurn / a.weightLat
+		}
+		agg.Windows = append(agg.Windows, ws)
+	}
+	return agg
+}

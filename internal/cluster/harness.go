@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/server"
+)
+
+// LocalFleet runs N full internal/server replicas in one process with
+// no sockets: each replica is its own *server.Server (own registry,
+// own solve cache, own job queue) reached through an http.RoundTripper
+// that invokes its handler directly. Routing behavior measured on a
+// LocalFleet — affinity hit rates, ejection on drain, load spread — is
+// the same the real fleet shows, minus the network; tests and atload's
+// fleet mode both build on it.
+type LocalFleet struct {
+	servers  []*server.Server
+	replicas []*localReplica
+}
+
+type localReplica struct {
+	name    string
+	handler http.Handler
+	// down simulates a crashed process: every round trip fails with a
+	// transport error, exactly what a dialed connection to a dead
+	// replica returns.
+	down atomic.Bool
+}
+
+// errReplicaDown is the transport error a stopped local replica
+// returns.
+var errReplicaDown = errors.New("replica stopped")
+
+func (lr *localReplica) RoundTrip(req *http.Request) (*http.Response, error) {
+	if lr.down.Load() {
+		return nil, fmt.Errorf("%s: %w", lr.name, errReplicaDown)
+	}
+	rec := &bufferResponse{header: make(http.Header), code: http.StatusOK}
+	lr.handler.ServeHTTP(rec, req)
+	return &http.Response{
+		Status:        http.StatusText(rec.code),
+		StatusCode:    rec.code,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        rec.header,
+		Body:          io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+		ContentLength: int64(rec.buf.Len()),
+		Request:       req,
+	}, nil
+}
+
+// bufferResponse is a minimal in-memory http.ResponseWriter for the
+// in-process transport.
+type bufferResponse struct {
+	header http.Header
+	buf    bytes.Buffer
+	code   int
+	wrote  bool
+}
+
+func (r *bufferResponse) Header() http.Header { return r.header }
+
+func (r *bufferResponse) WriteHeader(code int) {
+	if !r.wrote {
+		r.code = code
+		r.wrote = true
+	}
+}
+
+func (r *bufferResponse) Write(p []byte) (int, error) {
+	r.wrote = true
+	return r.buf.Write(p)
+}
+
+// NewLocalFleet builds n replicas from the same server config. Names
+// are replica-0..replica-(n-1).
+func NewLocalFleet(log *slog.Logger, n int, cfg server.Config) *LocalFleet {
+	f := &LocalFleet{}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		s := server.New(log.With("replica", name), cfg)
+		f.servers = append(f.servers, s)
+		f.replicas = append(f.replicas, &localReplica{name: name, handler: s.Handler()})
+	}
+	return f
+}
+
+// Backends returns the fleet as router backends. The base URL is
+// synthetic — the in-process transport ignores the host.
+func (f *LocalFleet) Backends() []Backend {
+	out := make([]Backend, len(f.replicas))
+	for i, lr := range f.replicas {
+		out[i] = Backend{Name: lr.name, URL: "http://" + lr.name, Transport: lr}
+	}
+	return out
+}
+
+// Size returns the replica count.
+func (f *LocalFleet) Size() int { return len(f.replicas) }
+
+// Server returns replica i's server (for registry or corrector
+// inspection).
+func (f *LocalFleet) Server(i int) *server.Server { return f.servers[i] }
+
+// Stop simulates replica i crashing: its transport starts failing.
+func (f *LocalFleet) Stop(i int) { f.replicas[i].down.Store(true) }
+
+// Resume brings a stopped replica back.
+func (f *LocalFleet) Resume(i int) { f.replicas[i].down.Store(false) }
+
+// StartDraining flips replica i's /healthz to the draining state while
+// it keeps serving — the graceful half of Stop.
+func (f *LocalFleet) StartDraining(i int) { f.servers[i].StartDraining() }
+
+// Close drains every replica's job queue.
+func (f *LocalFleet) Close(ctx context.Context) error {
+	var first error
+	for _, s := range f.servers {
+		if err := s.Close(ctx); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// probeLoop runs until Close: one sweep over the fleet per interval.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.probeStop:
+			return
+		case <-t.C:
+			rt.ProbeNow()
+		}
+	}
+}
+
+// ProbeNow runs one synchronous health sweep over every replica:
+// /healthz decides ejection/re-admission, and healthy replicas also
+// get their load gauges refreshed from /metrics for the least-loaded
+// policy. The background prober calls this on a ticker; tests call it
+// directly for deterministic transitions.
+func (rt *Router) ProbeNow() {
+	for _, rep := range rt.replicas {
+		ok := rt.probeHealthz(rep)
+		if ok {
+			rep.consecFail = 0
+			rep.consecOK++
+			if !rep.healthy.Load() && rep.consecOK >= rt.cfg.ReadmitAfter {
+				rep.healthy.Store(true)
+				rt.reg.Readmitted(rep.name)
+				rt.reg.RingRebalanced()
+				rt.log.Info("replica readmitted", "replica", rep.name)
+			}
+			rt.pollLoad(rep)
+			continue
+		}
+		rep.consecOK = 0
+		rep.consecFail++
+		rt.reg.ProbeFailure(rep.name)
+		if rep.healthy.Load() && rep.consecFail >= rt.cfg.EjectAfter {
+			rep.healthy.Store(false)
+			rt.reg.Ejected(rep.name)
+			rt.reg.RingRebalanced()
+			rt.log.Warn("replica ejected", "replica", rep.name, "consecutive_failures", rep.consecFail)
+		}
+	}
+	rt.reg.ProbeRound()
+}
+
+// probeHealthz reports whether one replica is routable: /healthz
+// answers 200 with status "ok". A draining replica answers 503 with
+// status "draining", which correctly reads as not-routable here — the
+// whole point of the drain window.
+func (rt *Router) probeHealthz(rep *replica) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := rt.replicaGet(ctx, rep, "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return false
+	}
+	return body.Status == "ok"
+}
+
+// pollLoad refreshes a replica's load score from its /metrics gauges:
+// activetime_inflight_requests + activetime_admission_queue_depth.
+func (rt *Router) pollLoad(rep *replica) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	resp, err := rt.replicaGet(ctx, rep, "/metrics")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		io.Copy(io.Discard, resp.Body)
+		return
+	}
+	var load int64
+	found := false
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, gauge := range []string{"activetime_inflight_requests ", "activetime_admission_queue_depth "} {
+			if strings.HasPrefix(line, gauge) {
+				if v, err := strconv.ParseFloat(strings.TrimSpace(line[len(gauge):]), 64); err == nil {
+					load += int64(v)
+					found = true
+				}
+			}
+		}
+	}
+	if found {
+		rep.polledLoad.Store(load)
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/instance"
+	"repro/internal/solvecache"
+)
+
+// Routing policy names, as accepted by Config.Policy and the
+// atcluster -policy flag.
+const (
+	PolicyRoundRobin = "round-robin"
+	PolicyLeastLoad  = "least-loaded"
+	PolicyAffinity   = "affinity"
+)
+
+// policy orders one request onto a replica. pick receives the healthy
+// replicas in configured order (never empty) and the buffered request
+// body (nil for bodyless requests) and returns the preferred replica;
+// the router retries transport failures on the remaining healthy
+// replicas in configured order.
+type policy interface {
+	name() string
+	pick(healthy []*replica, body []byte) *replica
+}
+
+// policyByName constructs the named policy; vnodes only matters for
+// affinity.
+func policyByName(name string, vnodes int) (policy, error) {
+	switch name {
+	case "", PolicyRoundRobin:
+		return &roundRobinPolicy{}, nil
+	case PolicyLeastLoad:
+		return &leastLoadedPolicy{}, nil
+	case PolicyAffinity:
+		return newAffinityPolicy(vnodes), nil
+	default:
+		return nil, fmt.Errorf("unknown routing policy %q (want %s | %s | %s)",
+			name, PolicyRoundRobin, PolicyLeastLoad, PolicyAffinity)
+	}
+}
+
+// roundRobinPolicy cycles through the healthy set. The counter is
+// global rather than per-set, so membership changes rotate the phase
+// but never skew the long-run distribution.
+type roundRobinPolicy struct {
+	seq atomic.Uint64
+}
+
+func (p *roundRobinPolicy) name() string { return PolicyRoundRobin }
+
+func (p *roundRobinPolicy) pick(healthy []*replica, _ []byte) *replica {
+	return healthy[int((p.seq.Add(1)-1)%uint64(len(healthy)))]
+}
+
+// leastLoadedPolicy forwards to the replica with the lowest load
+// score: the inflight + admission-queue gauges from its last /metrics
+// poll, plus the router's own count of forwards still outstanding
+// there (which reacts instantly, between polls). Ties go to the
+// first replica in configured order.
+type leastLoadedPolicy struct{}
+
+func (p *leastLoadedPolicy) name() string { return PolicyLeastLoad }
+
+func (p *leastLoadedPolicy) pick(healthy []*replica, _ []byte) *replica {
+	best := healthy[0]
+	bestScore := best.loadScore()
+	for _, r := range healthy[1:] {
+		if s := r.loadScore(); s < bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best
+}
+
+// affinityPolicy consistent-hashes the request's canonical instance
+// digest onto the healthy replicas, so every request for the same
+// instance — under any job permutation or relabeling — lands on the
+// replica whose solve cache already holds the result. Requests whose
+// body carries no parseable instance fall back to round-robin.
+type affinityPolicy struct {
+	mu   sync.Mutex
+	ring *Ring
+	rr   roundRobinPolicy
+}
+
+func newAffinityPolicy(vnodes int) *affinityPolicy {
+	return &affinityPolicy{ring: NewRing(vnodes)}
+}
+
+func (p *affinityPolicy) name() string { return PolicyAffinity }
+
+func (p *affinityPolicy) pick(healthy []*replica, body []byte) *replica {
+	key, ok := affinityKey(body)
+	if !ok {
+		return p.rr.pick(healthy, nil)
+	}
+	p.mu.Lock()
+	p.syncRing(healthy)
+	name := p.ring.Lookup(key)
+	p.mu.Unlock()
+	for _, r := range healthy {
+		if r.name == name {
+			return r
+		}
+	}
+	return p.rr.pick(healthy, nil) // unreachable: ring == healthy set
+}
+
+// syncRing reconciles ring membership with the healthy set. Only the
+// delta moves: an ejected replica's arcs redistribute, everyone else's
+// keys stay put.
+func (p *affinityPolicy) syncRing(healthy []*replica) {
+	want := make(map[string]bool, len(healthy))
+	for _, r := range healthy {
+		want[r.name] = true
+		p.ring.Add(r.name)
+	}
+	if p.ring.Len() != len(healthy) {
+		for _, m := range p.ring.Members() {
+			if !want[m] {
+				p.ring.Remove(m)
+			}
+		}
+	}
+}
+
+// affinityKey extracts the placement key from a request body: the
+// canonical digest of the embedded instance — the same digest the
+// replica's solve-cache key is built from (solvecache.KeyFor), so
+// router placement and replica caching agree by construction.
+func affinityKey(body []byte) ([]byte, bool) {
+	if len(body) == 0 {
+		return nil, false
+	}
+	var req struct {
+		Instance json.RawMessage `json:"instance"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Instance) == 0 {
+		return nil, false
+	}
+	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
+	if err != nil {
+		return nil, false
+	}
+	d := solvecache.CanonicalDigest(in)
+	return d[:], true
+}

@@ -1,0 +1,124 @@
+// Package cluster is the solver-fleet layer: a reverse-proxy router
+// that spreads /solve and /jobs traffic over N activetimed replicas.
+// Routing is pluggable (round-robin, least-loaded, cache-affinity); a
+// health prober ejects replicas that stop answering /healthz (or
+// report draining) and re-admits them when they recover; the router's
+// /metrics and /debug/slo aggregate the whole fleet so operators keep
+// a single pane of glass.
+//
+// Cache affinity is the interesting policy: the router computes the
+// same canonical instance digest the replicas' solve cache keys on
+// (solvecache.CanonicalDigest) and consistent-hashes it onto a replica
+// ring. Every permutation of the same instance lands on the same
+// replica, so the fleet-wide hit rate approaches a single replica's
+// instead of splitting each hot entry N ways.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVNodes is the per-replica virtual-node count. 64 points per
+// replica keeps the max/min arc ratio low (≈1.3 for small fleets)
+// while the whole ring stays a few KB.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over replica names. Each member owns
+// vnodes points placed by hashing "name#i"; a key is routed to the
+// first point clockwise from its own hash. Removing a member deletes
+// only that member's points, so only the removed member's arcs move —
+// keys mapped to surviving members stay put. Ring is not safe for
+// concurrent use; callers serialize access (the router holds a lock).
+type Ring struct {
+	vnodes  int
+	members map[string]bool
+	points  []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	name string
+}
+
+// NewRing returns an empty ring with the given per-member vnode count
+// (values < 1 fall back to DefaultVNodes).
+func NewRing(vnodes int) *Ring {
+	if vnodes < 1 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[string]bool)}
+}
+
+func pointHash(name string, i int) uint64 {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%s#%d", name, i)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Add inserts a member's points; adding an existing member is a no-op.
+func (r *Ring) Add(name string) {
+	if r.members[name] {
+		return
+	}
+	r.members[name] = true
+	for i := 0; i < r.vnodes; i++ {
+		r.points = append(r.points, ringPoint{pointHash(name, i), name})
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break by name so the ring is
+		// identical regardless of insertion order.
+		return r.points[a].name < r.points[b].name
+	})
+}
+
+// Remove deletes a member's points; removing an unknown member is a
+// no-op. Surviving points keep their positions.
+func (r *Ring) Remove(name string) {
+	if !r.members[name] {
+		return
+	}
+	delete(r.members, name)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.name != name {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Has reports whether name is a current member.
+func (r *Ring) Has(name string) bool { return r.members[name] }
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Members returns the member names, sorted.
+func (r *Ring) Members() []string {
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup maps a key to its owning member: the first ring point
+// clockwise from the key's hash. Returns "" on an empty ring.
+func (r *Ring) Lookup(key []byte) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	sum := sha256.Sum256(key)
+	h := binary.BigEndian.Uint64(sum[:8])
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the highest point
+	}
+	return r.points[i].name
+}

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) [][]byte {
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%d", i))
+	}
+	return keys
+}
+
+// TestRingBalance: with enough vnodes, three members split a large key
+// population roughly evenly — no member owns more than twice the fair
+// share or less than half of it.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := []string{"replica-0", "replica-1", "replica-2"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	const n = 30000
+	counts := make(map[string]int)
+	for _, k := range ringKeys(n) {
+		counts[r.Lookup(k)]++
+	}
+	fair := n / len(members)
+	for _, m := range members {
+		if c := counts[m]; c < fair/2 || c > fair*2 {
+			t.Errorf("%s owns %d keys, fair share %d (counts %v)", m, c, fair, counts)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one of three members moves only
+// that member's keys; every key owned by a survivor stays put. Adding
+// the member back restores the original assignment exactly.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	keys := ringKeys(10000)
+	before := make([]string, len(keys))
+	for i, k := range keys {
+		before[i] = r.Lookup(k)
+	}
+
+	r.Remove("b")
+	moved := 0
+	for i, k := range keys {
+		after := r.Lookup(k)
+		if after == "b" {
+			t.Fatal("removed member still owns keys")
+		}
+		if before[i] == "b" {
+			moved++
+			continue
+		}
+		if after != before[i] {
+			t.Fatalf("key %d moved from surviving member %s to %s", i, before[i], after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned no keys — balance test should have caught this")
+	}
+
+	r.Add("b")
+	for i, k := range keys {
+		if got := r.Lookup(k); got != before[i] {
+			t.Fatalf("key %d maps to %s after re-add, was %s", i, got, before[i])
+		}
+	}
+}
+
+// TestRingDeterminism: the mapping is a pure function of the member
+// set — independent builds, insertion orders, and add/remove histories
+// agree on every key.
+func TestRingDeterminism(t *testing.T) {
+	build := func(order []string) *Ring {
+		r := NewRing(32)
+		for _, m := range order {
+			r.Add(m)
+		}
+		return r
+	}
+	r1 := build([]string{"a", "b", "c"})
+	r2 := build([]string{"c", "a", "b"})
+	r3 := build([]string{"b", "c", "a", "zombie"})
+	r3.Remove("zombie")
+	for _, k := range ringKeys(5000) {
+		o1, o2, o3 := r1.Lookup(k), r2.Lookup(k), r3.Lookup(k)
+		if o1 != o2 || o1 != o3 {
+			t.Fatalf("key %q: owners diverge (%s / %s / %s)", k, o1, o2, o3)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	r := NewRing(8)
+	if got := r.Lookup([]byte("x")); got != "" {
+		t.Fatalf("empty ring Lookup = %q, want \"\"", got)
+	}
+	r.Add("only")
+	r.Add("only") // idempotent
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d after double Add", r.Len())
+	}
+	for _, k := range ringKeys(100) {
+		if got := r.Lookup(k); got != "only" {
+			t.Fatalf("single-member ring Lookup = %q", got)
+		}
+	}
+	r.Remove("ghost") // no-op
+	r.Remove("only")
+	if r.Len() != 0 || r.Lookup([]byte("x")) != "" {
+		t.Fatal("ring not empty after removing last member")
+	}
+}

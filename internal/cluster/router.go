@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// Backend names one replica and says how to reach it: by base URL over
+// real HTTP, or by Transport for an in-process handler (see
+// LocalFleet). When Transport is nil, http.DefaultTransport is used.
+type Backend struct {
+	Name      string
+	URL       string
+	Transport http.RoundTripper
+}
+
+// Config configures a Router.
+type Config struct {
+	// Backends is the fixed replica set. Health probing decides which
+	// of them receive traffic; membership itself never changes.
+	Backends []Backend
+	// Policy picks the replica for each request: round-robin (default),
+	// least-loaded or affinity.
+	Policy string
+	// VNodes is the per-replica virtual-node count for the affinity
+	// ring (default DefaultVNodes).
+	VNodes int
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe round trip (default 500ms).
+	ProbeTimeout time.Duration
+	// EjectAfter ejects a replica after this many consecutive probe
+	// failures (default 2); ReadmitAfter re-admits it after this many
+	// consecutive successes (default 2).
+	EjectAfter   int
+	ReadmitAfter int
+	// MaxBody caps a buffered request body (default 8 MiB). Bodies are
+	// buffered so a transport failure can be retried on another
+	// replica.
+	MaxBody int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.VNodes < 1 {
+		c.VNodes = DefaultVNodes
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	if c.EjectAfter < 1 {
+		c.EjectAfter = 2
+	}
+	if c.ReadmitAfter < 1 {
+		c.ReadmitAfter = 2
+	}
+	if c.MaxBody <= 0 {
+		c.MaxBody = 8 << 20
+	}
+}
+
+// replica is the router's live state for one backend.
+type replica struct {
+	name   string
+	base   string
+	client *http.Client
+
+	healthy atomic.Bool
+	// outstanding counts forwards currently inside this replica — the
+	// instant-feedback half of the least-loaded score.
+	outstanding atomic.Int64
+	// polledLoad is inflight + admission-queue depth from the last
+	// /metrics poll — the cross-router-visible half of the score.
+	polledLoad atomic.Int64
+
+	// consecFail / consecOK are owned by the prober goroutine.
+	consecFail int
+	consecOK   int
+}
+
+// loadScore is the least-loaded ranking key.
+func (r *replica) loadScore() int64 {
+	return r.polledLoad.Load() + r.outstanding.Load()
+}
+
+// Router is the fleet front end: one http.Handler that forwards solver
+// traffic to replicas per the configured policy, probes their health,
+// and aggregates their telemetry.
+type Router struct {
+	cfg    Config
+	log    *slog.Logger
+	reg    *metrics.ClusterRegistry
+	policy policy
+
+	replicas []*replica
+	byName   map[string]*replica
+
+	reqSeq atomic.Int64
+
+	// jobs maps a job id to the replica that admitted it, so polls,
+	// cancels and event streams reach the job's owner. Entries are
+	// dropped when the owner no longer knows the id (404), which covers
+	// both retention eviction and replica restart.
+	jobs sync.Map // string -> *replica
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds a Router. The replica set must be non-empty and names
+// must be unique.
+func New(log *slog.Logger, cfg Config) (*Router, error) {
+	cfg.fillDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("cluster: no backends configured")
+	}
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	pol, err := policyByName(cfg.Policy, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	rt := &Router{
+		cfg:       cfg,
+		log:       log,
+		reg:       metrics.NewClusterRegistry(),
+		policy:    pol,
+		byName:    make(map[string]*replica, len(cfg.Backends)),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+	}
+	for _, b := range cfg.Backends {
+		if b.Name == "" {
+			return nil, fmt.Errorf("cluster: backend with empty name")
+		}
+		if _, dup := rt.byName[b.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend name %q", b.Name)
+		}
+		tr := b.Transport
+		if tr == nil {
+			tr = http.DefaultTransport
+		}
+		r := &replica{
+			name:   b.Name,
+			base:   strings.TrimSuffix(b.URL, "/"),
+			client: &http.Client{Transport: tr},
+		}
+		r.healthy.Store(true)
+		rt.replicas = append(rt.replicas, r)
+		rt.byName[b.Name] = r
+		rt.reg.SetHealthy(b.Name, true)
+	}
+	return rt, nil
+}
+
+// Policy returns the active routing policy's name.
+func (rt *Router) Policy() string { return rt.policy.name() }
+
+// Registry returns the router's cluster telemetry registry.
+func (rt *Router) Registry() *metrics.ClusterRegistry { return rt.reg }
+
+// Start launches the background health prober. Safe to call once;
+// Close stops it.
+func (rt *Router) Start() {
+	rt.startOnce.Do(func() {
+		go rt.probeLoop()
+	})
+}
+
+// Close stops the health prober (if started) and waits for it.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.probeStop) })
+	rt.startOnce.Do(func() { close(rt.probeDone) }) // never started
+	<-rt.probeDone
+}
+
+// healthySet returns the routable replicas in configured order.
+func (rt *Router) healthySet() []*replica {
+	out := make([]*replica, 0, len(rt.replicas))
+	for _, r := range rt.replicas {
+		if r.healthy.Load() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (rt *Router) nextRequestID() string {
+	return fmt.Sprintf("atc-%06d", rt.reqSeq.Add(1))
+}
+
+// Handler returns the router mux: the replica-facing solver surface
+// (/solve, /jobs...) plus the router's own telemetry (/metrics,
+// /debug/slo aggregated across the fleet; /cluster/status; /healthz).
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", rt.handleForward)
+	mux.HandleFunc("POST /jobs", rt.handleForward)
+	mux.HandleFunc("GET /jobs/{id}", rt.handleJobSticky)
+	mux.HandleFunc("DELETE /jobs/{id}", rt.handleJobSticky)
+	mux.HandleFunc("GET /jobs/{id}/events", rt.handleJobSticky)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /debug/slo", rt.handleSLO)
+	mux.HandleFunc("GET /cluster/status", rt.handleStatus)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	return mux
+}
+
+func (rt *Router) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		rt.log.Error("write response", "err", err)
+	}
+}
+
+func (rt *Router) writeError(w http.ResponseWriter, status int, reqID, msg string) {
+	rt.writeJSON(w, status, server.ErrorResponse{RequestID: reqID, Error: msg})
+}
+
+// handleForward routes a policy-placed request (/solve, POST /jobs):
+// buffer the body, pick a replica, forward; a transport failure
+// retries on each remaining healthy replica before giving up with 502.
+func (rt *Router) handleForward(w http.ResponseWriter, r *http.Request) {
+	reqID := r.Header.Get(server.RequestIDHeader)
+	if reqID == "" {
+		reqID = rt.nextRequestID()
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxBody+1))
+	if err != nil {
+		rt.writeError(w, http.StatusBadRequest, reqID, "read body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxBody {
+		rt.writeError(w, http.StatusRequestEntityTooLarge, reqID,
+			fmt.Sprintf("body exceeds %d bytes", rt.cfg.MaxBody))
+		return
+	}
+
+	healthy := rt.healthySet()
+	if len(healthy) == 0 {
+		rt.reg.NoHealthyReplica()
+		rt.writeError(w, http.StatusServiceUnavailable, reqID, "no healthy replicas")
+		return
+	}
+	first := rt.policy.pick(healthy, body)
+
+	// Retry order: the policy's pick, then every other healthy replica
+	// in configured order. Bodies are buffered, so resending after a
+	// transport failure never duplicates a delivered request.
+	tried := 0
+	for _, cand := range candidateOrder(first, healthy) {
+		if tried > 0 {
+			rt.reg.Retried()
+		}
+		tried++
+		err := rt.forward(w, r, cand, reqID, body)
+		if err == nil {
+			return
+		}
+		rt.reg.ForwardError(cand.name)
+		rt.log.Warn("forward failed", "replica", cand.name, "request_id", reqID, "err", err)
+	}
+	rt.writeError(w, http.StatusBadGateway, reqID,
+		fmt.Sprintf("all %d healthy replicas failed", len(healthy)))
+}
+
+func candidateOrder(first *replica, healthy []*replica) []*replica {
+	out := make([]*replica, 0, len(healthy))
+	out = append(out, first)
+	for _, r := range healthy {
+		if r != first {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// handleJobSticky routes job polls/cancels/streams to the replica that
+// admitted the job.
+func (rt *Router) handleJobSticky(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	reqID := r.Header.Get(server.RequestIDHeader)
+	if reqID == "" {
+		reqID = rt.nextRequestID()
+	}
+	v, ok := rt.jobs.Load(id)
+	if !ok {
+		rt.writeError(w, http.StatusNotFound, reqID, "unknown job")
+		return
+	}
+	owner := v.(*replica)
+	if err := rt.forward(w, r, owner, reqID, nil); err != nil {
+		rt.reg.ForwardError(owner.name)
+		rt.writeError(w, http.StatusBadGateway, reqID,
+			fmt.Sprintf("job owner %s unreachable: %v", owner.name, err))
+	}
+}
+
+// forward proxies one request to a replica. A non-nil error means
+// nothing was written to w (transport failure — safe to retry);
+// otherwise the replica's response, whatever its status, has been
+// relayed.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, reqID string, body []byte) error {
+	var rdr io.Reader
+	if body != nil {
+		rdr = bytes.NewReader(body)
+	}
+	url := rep.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, rdr)
+	if err != nil {
+		return err
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Set(server.RequestIDHeader, reqID)
+
+	rep.outstanding.Add(1)
+	resp, err := rep.client.Do(req)
+	rep.outstanding.Add(-1)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	rt.reg.Routed(rep.name)
+
+	// Job stickiness: a 202 from POST /jobs names the job this replica
+	// now owns; a 404 from GET/DELETE /jobs/{id} means it no longer
+	// does (retention eviction or restart) — drop the mapping.
+	recordJob := r.Method == http.MethodPost && r.URL.Path == "/jobs" &&
+		resp.StatusCode == http.StatusAccepted
+	if resp.StatusCode == http.StatusNotFound {
+		if id := r.PathValue("id"); id != "" {
+			rt.jobs.Delete(id)
+		}
+	}
+
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		hdr[k] = vs
+	}
+	hdr.Set(server.RequestIDHeader, reqID)
+	hdr.Set("X-Served-By", rep.name)
+	w.WriteHeader(resp.StatusCode)
+
+	if recordJob {
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil // headers sent; cannot retry
+		}
+		var sub struct {
+			JobID string `json:"job_id"`
+		}
+		if json.Unmarshal(data, &sub) == nil && sub.JobID != "" {
+			rt.jobs.Store(sub.JobID, rep)
+		}
+		_, _ = w.Write(data)
+		return nil
+	}
+
+	// Stream the body through, flushing as it arrives so SSE event
+	// streams (GET /jobs/{id}/events) reach the client incrementally.
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32<<10)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return nil
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if rerr != nil {
+			return nil
+		}
+	}
+}
+
+// replicaGet issues a bounded GET to one replica (probes, telemetry
+// aggregation).
+func (rt *Router) replicaGet(ctx context.Context, rep *replica, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	return rep.client.Do(req)
+}
+
+// ClusterStatus is the /cluster/status body.
+type ClusterStatus struct {
+	Policy   string                    `json:"policy"`
+	Healthy  int                       `json:"healthy_replicas"`
+	Replicas []metrics.ReplicaSnapshot `json:"replicas"`
+}
+
+// Status digests the fleet for /cluster/status and atload's fleet
+// report.
+func (rt *Router) Status() ClusterStatus {
+	st := ClusterStatus{Policy: rt.policy.name(), Replicas: rt.reg.Snapshot()}
+	for _, r := range rt.replicas {
+		if r.healthy.Load() {
+			st.Healthy++
+		}
+	}
+	return st
+}
+
+func (rt *Router) handleStatus(w http.ResponseWriter, r *http.Request) {
+	rt.writeJSON(w, http.StatusOK, rt.Status())
+}
+
+// handleHealthz is the router's own liveness: ok while at least one
+// replica is routable, degraded (503) when none is.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := rt.Status()
+	status, code := "ok", http.StatusOK
+	if st.Healthy == 0 {
+		status, code = "no-healthy-replicas", http.StatusServiceUnavailable
+	}
+	rt.writeJSON(w, code, map[string]any{
+		"status":           status,
+		"policy":           st.Policy,
+		"replicas":         len(rt.replicas),
+		"healthy_replicas": st.Healthy,
+	})
+}

@@ -1,0 +1,478 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+func discardLog() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// testCluster builds an n-replica LocalFleet behind a router and
+// serves the router over httptest.
+func testCluster(t *testing.T, n int, pol string, srvCfg server.Config, tweak func(*Config)) (*Router, *LocalFleet, *httptest.Server) {
+	t.Helper()
+	log := discardLog()
+	fleet := NewLocalFleet(log, n, srvCfg)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := fleet.Close(ctx); err != nil {
+			t.Errorf("fleet close: %v", err)
+		}
+	})
+	cfg := Config{
+		Backends:     fleet.Backends(),
+		Policy:       pol,
+		EjectAfter:   2,
+		ReadmitAfter: 2,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	rt, err := New(log, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, fleet, ts
+}
+
+// laminarInstance returns a small instance whose job slice is seeded
+// by i, so distinct i values have distinct canonical digests.
+func laminarInstance(i int) string {
+	return fmt.Sprintf(`{"g":2,"jobs":[{"p":2,"r":0,"d":%d},{"p":1,"r":0,"d":3}]}`, 6+i)
+}
+
+func postSolveVia(t *testing.T, ts *httptest.Server, instance string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/solve", "application/json",
+		strings.NewReader(`{"instance":`+instance+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestRouterRoundRobinSpreads(t *testing.T) {
+	rt, _, ts := testCluster(t, 3, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+	for i := 0; i < 6; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("replica-%d", i)
+		if got := rt.Registry().RoutedCount(name); got != 2 {
+			t.Errorf("%s routed %d requests, want 2", name, got)
+		}
+	}
+}
+
+// TestRouterAffinityPinsInstance: every permutation and duplicate of
+// one instance lands on the same replica, so the fleet serves one miss
+// and the rest from that replica's cache.
+func TestRouterAffinityPinsInstance(t *testing.T) {
+	rt, fleet, ts := testCluster(t, 3, PolicyAffinity,
+		server.Config{DefaultWorkers: 1, CacheEntries: 64}, nil)
+
+	// The same two jobs in both orders: canonical digests are equal, so
+	// the affinity key is equal.
+	perms := []string{
+		`{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":0,"d":3}]}`,
+		`{"g":2,"jobs":[{"p":1,"r":0,"d":3},{"p":2,"r":0,"d":6}]}`,
+	}
+	var servedBy string
+	total := 0
+	for round := 0; round < 3; round++ {
+		for _, inst := range perms {
+			resp, data := postSolveVia(t, ts, inst)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, data)
+			}
+			total++
+			by := resp.Header.Get("X-Served-By")
+			if servedBy == "" {
+				servedBy = by
+			} else if by != servedBy {
+				t.Fatalf("instance moved from %s to %s", servedBy, by)
+			}
+		}
+	}
+	if got := rt.Registry().RoutedCount(servedBy); got != int64(total) {
+		t.Errorf("%s routed %d, want all %d", servedBy, got, total)
+	}
+	// Exactly one fresh solve across the whole fleet.
+	hits, misses := 0, 0
+	for i := 0; i < fleet.Size(); i++ {
+		reg := fleet.Server(i).Registry()
+		hits += int(reg.CacheHits())
+		misses += int(reg.CacheMisses())
+	}
+	if misses != 1 || hits != total-1 {
+		t.Errorf("fleet cache: %d misses / %d hits, want 1 / %d", misses, hits, total-1)
+	}
+}
+
+func TestLeastLoadedPicksIdleReplica(t *testing.T) {
+	mk := func(name string, polled, outstanding int64) *replica {
+		r := &replica{name: name}
+		r.polledLoad.Store(polled)
+		r.outstanding.Store(outstanding)
+		return r
+	}
+	busy := mk("busy", 5, 2)
+	idle := mk("idle", 1, 0)
+	mid := mk("mid", 1, 3)
+	p := &leastLoadedPolicy{}
+	if got := p.pick([]*replica{busy, idle, mid}, nil); got != idle {
+		t.Fatalf("pick = %s, want idle", got.name)
+	}
+	// Ties break to configured order.
+	tieA, tieB := mk("a", 2, 0), mk("b", 1, 1)
+	if got := p.pick([]*replica{tieA, tieB}, nil); got != tieA {
+		t.Fatalf("tie pick = %s, want a (first)", got.name)
+	}
+}
+
+// TestProbePollsLoadGauges: a probe round refreshes polledLoad from
+// the replica's /metrics gauges.
+func TestProbePollsLoadGauges(t *testing.T) {
+	h := http.NewServeMux()
+	h.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	h.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "activetime_inflight_requests 3\nactivetime_admission_queue_depth 2\n")
+	})
+	rt, err := New(discardLog(), Config{
+		Backends: []Backend{{Name: "fake", URL: "http://fake", Transport: staticHandlerTransport{h}}},
+		Policy:   PolicyLeastLoad,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.ProbeNow()
+	if got := rt.byName["fake"].polledLoad.Load(); got != 5 {
+		t.Fatalf("polledLoad = %d, want 5", got)
+	}
+}
+
+type staticHandlerTransport struct{ h http.Handler }
+
+func (s staticHandlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	s.h.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// TestEjectionAndReadmission: a crashed replica is ejected after
+// EjectAfter failed probes, traffic flows around it, and it rejoins
+// after ReadmitAfter successes.
+func TestEjectionAndReadmission(t *testing.T) {
+	rt, fleet, ts := testCluster(t, 3, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+
+	fleet.Stop(1)
+	rt.ProbeNow()
+	if !rt.byName["replica-1"].healthy.Load() {
+		t.Fatal("ejected after a single probe failure, want 2")
+	}
+	rt.ProbeNow()
+	if rt.byName["replica-1"].healthy.Load() {
+		t.Fatal("not ejected after EjectAfter probe failures")
+	}
+
+	before := rt.Registry().RoutedCount("replica-1")
+	for i := 0; i < 4; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve with ejected replica: status %d: %s", resp.StatusCode, data)
+		}
+	}
+	if got := rt.Registry().RoutedCount("replica-1"); got != before {
+		t.Errorf("ejected replica received %d new requests", got-before)
+	}
+
+	fleet.Resume(1)
+	rt.ProbeNow()
+	if rt.byName["replica-1"].healthy.Load() {
+		t.Fatal("readmitted after a single probe success, want 2")
+	}
+	rt.ProbeNow()
+	if !rt.byName["replica-1"].healthy.Load() {
+		t.Fatal("not readmitted after ReadmitAfter probe successes")
+	}
+	snap := rt.Registry().Snapshot()
+	for _, s := range snap {
+		if s.Name == "replica-1" && (s.Ejections != 1 || s.Readmissions != 1) {
+			t.Errorf("replica-1 snapshot: %+v", s)
+		}
+	}
+}
+
+// TestDrainingReplicaIsEjected: a replica in graceful drain keeps
+// serving but reports draining on /healthz, and the prober ejects it —
+// the zero-downtime-restart handshake.
+func TestDrainingReplicaIsEjected(t *testing.T) {
+	rt, fleet, ts := testCluster(t, 2, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+
+	fleet.StartDraining(0)
+	rt.ProbeNow()
+	rt.ProbeNow()
+	if rt.byName["replica-0"].healthy.Load() {
+		t.Fatal("draining replica not ejected")
+	}
+	// The fleet still serves: everything routes to replica-1.
+	for i := 0; i < 3; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		if by := resp.Header.Get("X-Served-By"); by != "replica-1" {
+			t.Fatalf("served by %s during drain of replica-0", by)
+		}
+	}
+}
+
+// TestRetryOnTransportFailure: a replica that dies between probes
+// (still marked healthy) costs a retry, not a failed request.
+func TestRetryOnTransportFailure(t *testing.T) {
+	rt, fleet, ts := testCluster(t, 2, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+	fleet.Stop(0)
+	// No probe: the router still believes replica-0 is healthy.
+	ok := 0
+	for i := 0; i < 4; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode == http.StatusOK {
+			ok++
+		} else {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+	if ok != 4 {
+		t.Fatalf("%d/4 requests succeeded", ok)
+	}
+	snap := rt.Registry().Snapshot()
+	for _, s := range snap {
+		if s.Name == "replica-0" && s.Errors == 0 {
+			t.Error("no forward errors recorded for the dead replica")
+		}
+	}
+}
+
+func TestNoHealthyReplicas(t *testing.T) {
+	rt, fleet, ts := testCluster(t, 2, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+	fleet.Stop(0)
+	fleet.Stop(1)
+	rt.ProbeNow()
+	rt.ProbeNow()
+
+	resp, data := postSolveVia(t, ts, laminarInstance(0))
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d: %s, want 503", resp.StatusCode, data)
+	}
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("router healthz = %d with no healthy replicas", hresp.StatusCode)
+	}
+}
+
+// TestJobStickiness: polls for a job reach the replica that admitted
+// it, whatever the policy would otherwise pick.
+func TestJobStickiness(t *testing.T) {
+	rt, _, ts := testCluster(t, 3, PolicyRoundRobin,
+		server.Config{DefaultWorkers: 1, JobsMaxRunning: 1, JobsMaxQueued: 16}, nil)
+
+	resp, err := http.Post(ts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"instance":`+laminarInstance(0)+`}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+	}
+	owner := resp.Header.Get("X-Served-By")
+	var sub struct {
+		JobID string `json:"job_id"`
+	}
+	if err := json.Unmarshal(data, &sub); err != nil || sub.JobID == "" {
+		t.Fatalf("submit body: %s", data)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		gresp, err := http.Get(ts.URL + "/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gdata, _ := io.ReadAll(gresp.Body)
+		gresp.Body.Close()
+		if gresp.StatusCode != http.StatusOK {
+			t.Fatalf("poll status %d: %s", gresp.StatusCode, gdata)
+		}
+		if by := gresp.Header.Get("X-Served-By"); by != owner {
+			t.Fatalf("poll served by %s, owner is %s", by, owner)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(gdata, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not done, state %q", st.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	_ = rt
+
+	// Unknown job ids are answered by the router itself.
+	uresp, err := http.Get(ts.URL + "/jobs/job-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, uresp.Body)
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", uresp.StatusCode)
+	}
+}
+
+// TestMetricsAggregation: the router's /metrics sums replica series
+// and appends the cluster series.
+func TestMetricsAggregation(t *testing.T) {
+	_, _, ts := testCluster(t, 2, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+	for i := 0; i < 4; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	out := string(data)
+	// 2 per replica, summed to 4 across the fleet.
+	if !strings.Contains(out, "activetime_solves_total 4") {
+		t.Errorf("aggregated solves_total missing or wrong:\n%.2000s", out)
+	}
+	for _, want := range []string{
+		`activetime_cluster_routed_total{replica="replica-0"} 2`,
+		`activetime_cluster_routed_total{replica="replica-1"} 2`,
+		"activetime_cluster_replicas 2",
+		"activetime_cluster_healthy_replicas 2",
+		"# TYPE activetime_solves_total counter",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("aggregated exposition missing %q", want)
+		}
+	}
+}
+
+// TestSLOAggregation: the router's /debug/slo sums window request
+// counts across replicas.
+func TestSLOAggregation(t *testing.T) {
+	_, _, ts := testCluster(t, 2, PolicyRoundRobin,
+		server.Config{DefaultWorkers: 1, EventRing: 64}, nil)
+	const total = 4
+	for i := 0; i < total; i++ {
+		resp, data := postSolveVia(t, ts, laminarInstance(i))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/slo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slo ClusterSLO
+	err = json.NewDecoder(resp.Body).Decode(&slo)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slo.Replicas) != 2 {
+		t.Fatalf("replica summaries: %d, want 2", len(slo.Replicas))
+	}
+	if len(slo.Aggregate.Windows) == 0 {
+		t.Fatal("aggregate has no windows")
+	}
+	w0 := slo.Aggregate.Windows[0]
+	if w0.Requests != total || w0.Errors != 0 || w0.SuccessRatio != 1 {
+		t.Fatalf("aggregate window: %+v", w0)
+	}
+}
+
+// TestRequestIDThroughRouter: the router assigns a request id, the
+// replica adopts it, and both the proxied response header and body
+// carry it back.
+func TestRequestIDThroughRouter(t *testing.T) {
+	_, _, ts := testCluster(t, 2, PolicyRoundRobin, server.Config{DefaultWorkers: 1}, nil)
+	resp, data := postSolveVia(t, ts, laminarInstance(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	id := resp.Header.Get(server.RequestIDHeader)
+	if !strings.HasPrefix(id, "atc-") {
+		t.Fatalf("router request id = %q, want atc-*", id)
+	}
+	var out struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != id {
+		t.Fatalf("replica kept id %q, router assigned %q", out.RequestID, id)
+	}
+}
+
+func TestClusterStatus(t *testing.T) {
+	_, _, ts := testCluster(t, 2, PolicyAffinity, server.Config{DefaultWorkers: 1}, nil)
+	resp, err := http.Get(ts.URL + "/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ClusterStatus
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != PolicyAffinity || st.Healthy != 2 || len(st.Replicas) != 2 {
+		t.Fatalf("status: %+v", st)
+	}
+}

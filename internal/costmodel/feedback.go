@@ -1,0 +1,151 @@
+// Online cost-model feedback: the offline model is fitted once from
+// BENCH_core.json, but the machine it runs on — and the instance
+// population it actually sees — drift. The Corrector closes the loop
+// without refitting: per (family, algorithm) pair it maintains an EWMA
+// of the measured/predicted ratio over completed solves and scales
+// future predictions by it. Corrections are multiplicative, so the
+// model's monotonicity in jobs and depth (the property SJF ordering
+// depends on) is preserved — within a pair, every prediction is scaled
+// by the same positive factor.
+package costmodel
+
+import (
+	"sort"
+	"sync"
+)
+
+// Factor bounds: a single wild measurement (GC pause, cold page cache)
+// must not be able to swing predictions by more than this in either
+// direction, and a stuck series of them saturates instead of running
+// away.
+const (
+	minCorrection = 1.0 / 64
+	maxCorrection = 64
+)
+
+// DefaultFeedbackAlpha is the EWMA smoothing weight of one new
+// observation; ~20 observations dominate the estimate.
+const DefaultFeedbackAlpha = 0.2
+
+// Corrector maintains per-(family, algorithm) multiplicative
+// correction factors learned online from measured-vs-predicted solve
+// cost. A nil *Corrector is the disabled corrector: Observe no-ops and
+// Apply returns its input unchanged.
+type Corrector struct {
+	alpha float64
+
+	mu sync.RWMutex
+	m  map[modelKey]*correction
+}
+
+type correction struct {
+	factor  float64
+	samples int64
+}
+
+// NewCorrector returns a corrector with the given EWMA alpha in
+// (0, 1]; out-of-range values fall back to DefaultFeedbackAlpha.
+func NewCorrector(alpha float64) *Corrector {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultFeedbackAlpha
+	}
+	return &Corrector{alpha: alpha, m: make(map[modelKey]*correction)}
+}
+
+// Alpha returns the corrector's EWMA smoothing weight.
+func (c *Corrector) Alpha() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.alpha
+}
+
+// Observe folds one completed solve into the pair's factor. predicted
+// must be the *uncorrected* model output — the factor estimates the
+// model's bias, and feeding corrected predictions back in would make
+// the estimate chase its own output. Non-positive inputs are ignored.
+func (c *Corrector) Observe(family, algorithm string, predictedNS, measuredNS int64) {
+	if c == nil || predictedNS <= 0 || measuredNS <= 0 {
+		return
+	}
+	ratio := float64(measuredNS) / float64(predictedNS)
+	if ratio < minCorrection {
+		ratio = minCorrection
+	}
+	if ratio > maxCorrection {
+		ratio = maxCorrection
+	}
+	k := modelKey{family, algorithm}
+	c.mu.Lock()
+	cor := c.m[k]
+	if cor == nil {
+		// First observation seeds the factor directly instead of
+		// averaging against the 1.0 prior: a model that is 50× off
+		// should correct immediately, not after ~20 requests.
+		c.m[k] = &correction{factor: ratio, samples: 1}
+	} else {
+		cor.factor += c.alpha * (ratio - cor.factor)
+		cor.samples++
+	}
+	c.mu.Unlock()
+}
+
+// Apply scales a prediction by the pair's learned factor, falling back
+// through the same chain the model itself uses (exact pair → default
+// family + algorithm → family agnostic → default agnostic) so a new
+// algorithm benefits from its family's history before it has its own.
+func (c *Corrector) Apply(family, algorithm string, predictedNS int64) int64 {
+	if c == nil || predictedNS <= 0 {
+		return predictedNS
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, k := range [...]modelKey{
+		{family, algorithm},
+		{FamilyDefault, algorithm},
+		{family, ""},
+		{FamilyDefault, ""},
+	} {
+		if cor, ok := c.m[k]; ok {
+			ns := float64(predictedNS) * cor.factor
+			if ns < 1 {
+				return 1
+			}
+			return int64(ns)
+		}
+	}
+	return predictedNS
+}
+
+// FactorSnapshot is one pair's current state, as served by
+// /debug/costmodel.
+type FactorSnapshot struct {
+	Family    string  `json:"family"`
+	Algorithm string  `json:"algorithm,omitempty"`
+	Factor    float64 `json:"factor"`
+	Samples   int64   `json:"samples"`
+}
+
+// Snapshot returns every pair's factor, sorted by (family, algorithm)
+// for stable output.
+func (c *Corrector) Snapshot() []FactorSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	out := make([]FactorSnapshot, 0, len(c.m))
+	for k, cor := range c.m {
+		out = append(out, FactorSnapshot{
+			Family: k.family, Algorithm: k.algorithm,
+			Factor: cor.factor, Samples: cor.samples,
+		})
+	}
+	c.mu.RUnlock()
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Family != out[b].Family {
+			return out[a].Family < out[b].Family
+		}
+		return out[a].Algorithm < out[b].Algorithm
+	})
+	return out
+}

@@ -1,0 +1,89 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCorrectorSeedAndEWMA(t *testing.T) {
+	c := NewCorrector(0.5)
+	// First observation seeds the factor at the raw ratio.
+	c.Observe("laminar", "nested95", 1000, 3000)
+	if got := c.Apply("laminar", "nested95", 1000); got != 3000 {
+		t.Fatalf("after seed: Apply = %d, want 3000", got)
+	}
+	// Second observation moves halfway (alpha 0.5): 3 + 0.5*(1-3) = 2.
+	c.Observe("laminar", "nested95", 1000, 1000)
+	if got := c.Apply("laminar", "nested95", 1000); got != 2000 {
+		t.Fatalf("after EWMA step: Apply = %d, want 2000", got)
+	}
+	snap := c.Snapshot()
+	if len(snap) != 1 || snap[0].Samples != 2 || math.Abs(snap[0].Factor-2) > 1e-9 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestCorrectorClampsWildRatios(t *testing.T) {
+	c := NewCorrector(0.2)
+	c.Observe("unit", "comb", 1, 1<<40) // ratio astronomically large
+	if got := c.Apply("unit", "comb", 100); got != 100*maxCorrection {
+		t.Fatalf("Apply = %d, want clamp at %d", got, 100*maxCorrection)
+	}
+	c2 := NewCorrector(0.2)
+	c2.Observe("unit", "comb", 1<<40, 1) // ratio near zero
+	if got := c2.Apply("unit", "comb", 6400); got != int64(6400*minCorrection) {
+		t.Fatalf("Apply = %d, want clamp at %d", got, int64(6400*minCorrection))
+	}
+}
+
+func TestCorrectorFallbackChain(t *testing.T) {
+	c := NewCorrector(0.2)
+	c.Observe(FamilyDefault, "", 1000, 4000)
+	// Unknown pair falls back to the default-family agnostic factor.
+	if got := c.Apply("general", "greedy-minimal", 1000); got != 4000 {
+		t.Fatalf("fallback Apply = %d, want 4000", got)
+	}
+	// An exact pair, once observed, wins over the fallback.
+	c.Observe("general", "greedy-minimal", 1000, 500)
+	if got := c.Apply("general", "greedy-minimal", 1000); got != 500 {
+		t.Fatalf("exact-pair Apply = %d, want 500", got)
+	}
+}
+
+func TestCorrectorNilAndInvalid(t *testing.T) {
+	var c *Corrector
+	c.Observe("laminar", "", 1, 1)
+	if got := c.Apply("laminar", "", 42); got != 42 {
+		t.Fatalf("nil Apply = %d, want identity", got)
+	}
+	if c.Snapshot() != nil {
+		t.Fatal("nil Snapshot should be nil")
+	}
+	live := NewCorrector(0.2)
+	live.Observe("laminar", "", 0, 100)  // invalid predicted
+	live.Observe("laminar", "", 100, -1) // invalid measured
+	if got := live.Apply("laminar", "", 42); got != 42 {
+		t.Fatalf("Apply after invalid observations = %d, want identity", got)
+	}
+}
+
+func TestCorrectorConcurrent(t *testing.T) {
+	c := NewCorrector(0.2)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Observe("laminar", "nested95", 1000, 2000)
+				c.Apply("laminar", "nested95", 1000)
+				c.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Apply("laminar", "nested95", 1000); got != 2000 {
+		t.Fatalf("converged Apply = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/solvecache"
+)
+
+// permuteCfg is a small plan with a hot pool, permutation on.
+func permuteCfg() PlanConfig {
+	cfg := smallCfg()
+	cfg.PermuteInstances = true
+	return cfg
+}
+
+// decodeInstanceKey unmarshals a /solve body and returns the canonical
+// solve-cache digest of its instance — the key the server's cache and
+// the router's affinity policy both compute.
+func decodeInstanceKey(t *testing.T, body []byte) solvecache.Key {
+	t.Helper()
+	var req struct {
+		Instance json.RawMessage `json:"instance"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatalf("unmarshal body: %v", err)
+	}
+	in, err := instance.ReadJSON(bytes.NewReader(req.Instance))
+	if err != nil {
+		t.Fatalf("parse instance: %v", err)
+	}
+	return solvecache.CanonicalDigest(in)
+}
+
+// TestPermutedPlanKeepsCanonicalKeys: with PermuteInstances set, pool
+// repeats of one instance get distinct bodies (different job orders)
+// but identical canonical digests — visible only to canonicalization.
+func TestPermutedPlanKeepsCanonicalKeys(t *testing.T) {
+	plan, err := BuildPlan(permuteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bodiesBySpec := make(map[int64][][]byte) // InstanceSeed → bodies
+	keysBySpec := make(map[int64][]solvecache.Key)
+	for _, r := range plan {
+		if r.PermuteSeed == 0 {
+			t.Fatalf("request %d: PermuteSeed not drawn", r.Index)
+		}
+		body, err := r.Body()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodiesBySpec[r.InstanceSeed] = append(bodiesBySpec[r.InstanceSeed], body)
+		keysBySpec[r.InstanceSeed] = append(keysBySpec[r.InstanceSeed], decodeInstanceKey(t, body))
+	}
+	distinctBodies := false
+	for seed, keys := range keysBySpec {
+		for i, k := range keys {
+			if k != keys[0] {
+				t.Fatalf("instance seed %d: canonical keys diverge under permutation", seed)
+			}
+			if i > 0 && !bytes.Equal(bodiesBySpec[seed][i], bodiesBySpec[seed][0]) {
+				distinctBodies = true
+			}
+		}
+	}
+	if !distinctBodies {
+		t.Fatal("no pool repeat produced a distinct permuted body")
+	}
+}
+
+// TestPermuteOffLeavesPlansUntouched: a plan built without
+// PermuteInstances is identical — field for field, including the rng
+// stream behind every seed — to what it was before the knob existed;
+// the permuted plan differs only in PermuteSeed.
+func TestPermuteOffLeavesPlansUntouched(t *testing.T) {
+	off, err := BuildPlan(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := BuildPlan(permuteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range off {
+		if off[i].PermuteSeed != 0 {
+			t.Fatalf("request %d: PermuteSeed drawn with PermuteInstances off", i)
+		}
+		stripped := on[i]
+		stripped.PermuteSeed = 0
+		if off[i] != stripped {
+			t.Fatalf("request %d differs beyond PermuteSeed:\noff %+v\non  %+v", i, off[i], on[i])
+		}
+	}
+}
+
+// TestPermuteDeterministicBodies: the permutation is seeded, so the
+// same request marshals the same permuted body every time, and a
+// recorded trace replays it bit for bit.
+func TestPermuteDeterministicBodies(t *testing.T) {
+	plan, err := BuildPlan(permuteCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := plan[0]
+	a, err := r.Body()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Body()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("permuted body not deterministic")
+	}
+	jb, err := r.JobBody()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solveReq, jobReq struct {
+		Instance json.RawMessage `json:"instance"`
+	}
+	if err := json.Unmarshal(a, &solveReq); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(jb, &jobReq); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(solveReq.Instance, jobReq.Instance) {
+		t.Fatal("Body and JobBody disagree on the permuted instance")
+	}
+}

@@ -47,6 +47,13 @@ type Request struct {
 	Jobs         int    `json:"jobs"`
 	G            int64  `json:"g"`
 	InstanceSeed int64  `json:"instance_seed"`
+	// PermuteSeed, when nonzero, reorders the materialized instance's
+	// jobs with a seeded shuffle before marshaling. The permutation is
+	// presentation-only: the server's canonical cache digest (and the
+	// router's affinity key) is order-invariant, so permuted copies of
+	// one instance still share a cache entry — but their request bodies
+	// are no longer byte-identical.
+	PermuteSeed int64 `json:"permute_seed,omitempty"`
 	// Algorithm names the solver the request asks for.
 	Algorithm string `json:"algorithm"`
 	// TimeoutMS is forwarded as the request's timeout_ms when > 0.
@@ -73,9 +80,22 @@ func (r Request) Instance() (*instance.Instance, error) {
 	}
 }
 
+// materialize builds the instance as it goes on the wire: the
+// deterministic instance, job-order shuffled when PermuteSeed is set.
+func (r Request) materialize() (*instance.Instance, error) {
+	in, err := r.Instance()
+	if err != nil {
+		return nil, err
+	}
+	if r.PermuteSeed != 0 {
+		in = in.Permute(rand.New(rand.NewSource(r.PermuteSeed)).Perm(in.N()))
+	}
+	return in, nil
+}
+
 // Body marshals the request into a /solve JSON body.
 func (r Request) Body() ([]byte, error) {
-	in, err := r.Instance()
+	in, err := r.materialize()
 	if err != nil {
 		return nil, err
 	}
@@ -98,7 +118,7 @@ func (r Request) Body() ([]byte, error) {
 // JobBody marshals the request into a POST /jobs JSON body: the
 // /solve body plus the SLO class.
 func (r Request) JobBody() ([]byte, error) {
-	in, err := r.Instance()
+	in, err := r.materialize()
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +193,13 @@ type PlanConfig struct {
 	// draw from: small pools mean hot keys (cache hits), 0 means every
 	// request gets a fresh instance.
 	DistinctInstances int
+	// PermuteInstances gives every request a fresh job-order
+	// permutation of its instance. Pool reuse then stops producing
+	// byte-identical bodies: only canonicalization — the server's
+	// order-invariant cache digest and the router's affinity key — can
+	// still recognize the repeats, which is exactly what the
+	// cluster-policy experiments stress.
+	PermuteInstances bool
 	// Algorithm overrides the per-family default solver when set.
 	Algorithm string
 	// TimeoutMS is forwarded on every request when > 0.
@@ -344,6 +371,14 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 	// Arrival offsets (sorted, ms). Closed-loop plans carry zeros.
 	arrivals := buildArrivals(rng, cfg)
 
+	// Permute seeds come from their own derived stream so that turning
+	// permutation on changes nothing else about the plan — same specs,
+	// same arrivals, same classes, only PermuteSeed differs.
+	var permRng *rand.Rand
+	if cfg.PermuteInstances {
+		permRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
+	}
+
 	plan := make([]Request, cfg.Requests)
 	for i := range plan {
 		// With no pool configured every request gets its own fresh spec;
@@ -369,6 +404,9 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 			Algorithm:    alg,
 			TimeoutMS:    cfg.TimeoutMS,
 			Class:        pickClass(spec.jobs),
+		}
+		if permRng != nil {
+			plan[i].PermuteSeed = permRng.Int63()
 		}
 	}
 	return plan, nil

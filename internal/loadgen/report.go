@@ -79,6 +79,41 @@ type Report struct {
 	// wide-event log when atload ran with -events-file (in-process
 	// runs only).
 	CrossCheck *CrossCheck `json:"events_crosscheck,omitempty"`
+
+	// Fleet is the per-replica + aggregate breakdown of a -fleet run
+	// (N in-process replicas behind the cluster router); nil otherwise.
+	Fleet *FleetReport `json:"fleet,omitempty"`
+}
+
+// FleetReplica is one replica's slice of a fleet run: the router's
+// routing counters for it plus the replica's own solve-cache totals
+// and its longest-window SLO success ratio.
+type FleetReplica struct {
+	Name          string  `json:"name"`
+	Healthy       bool    `json:"healthy"`
+	Routed        int64   `json:"routed"`
+	ForwardErrors int64   `json:"forward_errors,omitempty"`
+	Ejections     int64   `json:"ejections,omitempty"`
+	Readmissions  int64   `json:"readmissions,omitempty"`
+	Solves        int64   `json:"solves"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	SuccessRatio  float64 `json:"success_ratio"`
+}
+
+// FleetReport is the fleet block of a -fleet run. CacheHitRate is the
+// fleet-wide hits/(hits+misses) — the number the routing-policy
+// experiments (EXPERIMENTS.md E23) compare: affinity routing keeps a
+// hot instance on one replica's cache, so its aggregate rate beats
+// policies that spray the same instance across every replica's cache.
+type FleetReport struct {
+	Policy       string         `json:"policy"`
+	Replicas     []FleetReplica `json:"replicas"`
+	CacheHits    int64          `json:"cache_hits"`
+	CacheMisses  int64          `json:"cache_misses"`
+	CacheHitRate float64        `json:"cache_hit_rate"`
+	SuccessRatio float64        `json:"success_ratio"`
 }
 
 // ClassStat is one SLO class's slice of an async run.

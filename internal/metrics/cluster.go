@@ -1,0 +1,266 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ClusterRegistry is the router-side telemetry store for a solver
+// fleet: per-replica routing outcomes (routed, forward errors,
+// ejections, re-admissions, probe failures, health) plus cluster-wide
+// series (ring rebalances, retried forwards, requests refused with no
+// healthy replica). It is the cluster layer's sibling of Registry —
+// one per router process, rendered on the router's /metrics alongside
+// the aggregated replica exposition. All methods are safe for
+// concurrent use; unknown replica names are created on first touch so
+// the router never has to pre-register.
+type ClusterRegistry struct {
+	start time.Time
+
+	mu       sync.Mutex
+	replicas map[string]*replicaStats
+	order    []string // first-touch order, for stable exposition
+
+	rebalances  int64
+	retries     int64
+	noHealthy   int64
+	probeRounds int64
+}
+
+// replicaStats is one replica's slice of the cluster registry.
+type replicaStats struct {
+	routed        int64
+	errors        int64
+	ejections     int64
+	readmissions  int64
+	probeFailures int64
+	healthy       bool
+}
+
+// NewClusterRegistry returns an empty cluster registry whose uptime
+// clock starts now.
+func NewClusterRegistry() *ClusterRegistry {
+	return &ClusterRegistry{start: time.Now(), replicas: make(map[string]*replicaStats)}
+}
+
+func (c *ClusterRegistry) replica(name string) *replicaStats {
+	r := c.replicas[name]
+	if r == nil {
+		r = &replicaStats{healthy: true}
+		c.replicas[name] = r
+		c.order = append(c.order, name)
+	}
+	return r
+}
+
+// Routed counts one request forwarded to the named replica.
+func (c *ClusterRegistry) Routed(name string) {
+	c.mu.Lock()
+	c.replica(name).routed++
+	c.mu.Unlock()
+}
+
+// ForwardError counts one failed forward (transport error or 5xx that
+// marks the replica suspect) to the named replica.
+func (c *ClusterRegistry) ForwardError(name string) {
+	c.mu.Lock()
+	c.replica(name).errors++
+	c.mu.Unlock()
+}
+
+// ProbeFailure counts one failed health probe of the named replica.
+func (c *ClusterRegistry) ProbeFailure(name string) {
+	c.mu.Lock()
+	c.replica(name).probeFailures++
+	c.mu.Unlock()
+}
+
+// Ejected records the named replica leaving the healthy set.
+func (c *ClusterRegistry) Ejected(name string) {
+	c.mu.Lock()
+	r := c.replica(name)
+	r.ejections++
+	r.healthy = false
+	c.mu.Unlock()
+}
+
+// Readmitted records the named replica rejoining the healthy set.
+func (c *ClusterRegistry) Readmitted(name string) {
+	c.mu.Lock()
+	r := c.replica(name)
+	r.readmissions++
+	r.healthy = true
+	c.mu.Unlock()
+}
+
+// SetHealthy records the named replica's current health without
+// counting a transition (initial state).
+func (c *ClusterRegistry) SetHealthy(name string, healthy bool) {
+	c.mu.Lock()
+	c.replica(name).healthy = healthy
+	c.mu.Unlock()
+}
+
+// RingRebalanced counts one hash-ring membership change (ejection or
+// re-admission redistributing an arc).
+func (c *ClusterRegistry) RingRebalanced() {
+	c.mu.Lock()
+	c.rebalances++
+	c.mu.Unlock()
+}
+
+// Retried counts one forward retried on another replica after a
+// transport failure.
+func (c *ClusterRegistry) Retried() {
+	c.mu.Lock()
+	c.retries++
+	c.mu.Unlock()
+}
+
+// NoHealthyReplica counts one request refused because every replica
+// was ejected.
+func (c *ClusterRegistry) NoHealthyReplica() {
+	c.mu.Lock()
+	c.noHealthy++
+	c.mu.Unlock()
+}
+
+// ProbeRound counts one completed probe sweep over all replicas.
+func (c *ClusterRegistry) ProbeRound() {
+	c.mu.Lock()
+	c.probeRounds++
+	c.mu.Unlock()
+}
+
+// ReplicaSnapshot is one replica's counters at a point in time.
+type ReplicaSnapshot struct {
+	Name          string `json:"name"`
+	Healthy       bool   `json:"healthy"`
+	Routed        int64  `json:"routed"`
+	Errors        int64  `json:"forward_errors"`
+	Ejections     int64  `json:"ejections"`
+	Readmissions  int64  `json:"readmissions"`
+	ProbeFailures int64  `json:"probe_failures"`
+}
+
+// Snapshot returns every replica's counters in first-touch order.
+func (c *ClusterRegistry) Snapshot() []ReplicaSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ReplicaSnapshot, 0, len(c.order))
+	for _, name := range c.order {
+		r := c.replicas[name]
+		out = append(out, ReplicaSnapshot{
+			Name: name, Healthy: r.healthy, Routed: r.routed, Errors: r.errors,
+			Ejections: r.ejections, Readmissions: r.readmissions, ProbeFailures: r.probeFailures,
+		})
+	}
+	return out
+}
+
+// Routed returns the named replica's routed-request count (0 for an
+// unknown replica).
+func (c *ClusterRegistry) RoutedCount(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.replicas[name]; ok {
+		return r.routed
+	}
+	return 0
+}
+
+// Rebalances returns the ring-rebalance count.
+func (c *ClusterRegistry) Rebalances() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rebalances
+}
+
+// WritePrometheus renders the cluster registry in Prometheus text
+// exposition format. Replica label order is sorted so the output is
+// deterministic regardless of touch order.
+func (c *ClusterRegistry) WritePrometheus(w io.Writer) error {
+	c.mu.Lock()
+	names := make([]string, len(c.order))
+	copy(names, c.order)
+	sort.Strings(names)
+	snap := make(map[string]replicaStats, len(names))
+	healthyCount := 0
+	for _, n := range names {
+		snap[n] = *c.replicas[n]
+		if c.replicas[n].healthy {
+			healthyCount++
+		}
+	}
+	rebalances, retries, noHealthy, probeRounds := c.rebalances, c.retries, c.noHealthy, c.probeRounds
+	uptime := time.Since(c.start).Seconds()
+	c.mu.Unlock()
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p("# HELP activetime_cluster_uptime_seconds Seconds since the router's cluster registry started.\n")
+	p("# TYPE activetime_cluster_uptime_seconds gauge\n")
+	p("activetime_cluster_uptime_seconds %g\n", uptime)
+
+	p("# HELP activetime_cluster_replicas Configured replicas.\n")
+	p("# TYPE activetime_cluster_replicas gauge\n")
+	p("activetime_cluster_replicas %d\n", len(names))
+
+	p("# HELP activetime_cluster_healthy_replicas Replicas currently admitted to routing.\n")
+	p("# TYPE activetime_cluster_healthy_replicas gauge\n")
+	p("activetime_cluster_healthy_replicas %d\n", healthyCount)
+
+	p("# HELP activetime_cluster_replica_healthy Per-replica health (1 = routable).\n")
+	p("# TYPE activetime_cluster_replica_healthy gauge\n")
+	for _, n := range names {
+		v := 0
+		if snap[n].healthy {
+			v = 1
+		}
+		p("activetime_cluster_replica_healthy{replica=%q} %d\n", n, v)
+	}
+
+	perReplica := func(name, help string, val func(replicaStats) int64) {
+		p("# HELP %s %s\n", name, help)
+		p("# TYPE %s counter\n", name)
+		for _, n := range names {
+			p("%s{replica=%q} %d\n", name, n, val(snap[n]))
+		}
+	}
+	perReplica("activetime_cluster_routed_total", "Requests forwarded to the replica.",
+		func(r replicaStats) int64 { return r.routed })
+	perReplica("activetime_cluster_forward_errors_total", "Failed forwards (transport error or replica 5xx).",
+		func(r replicaStats) int64 { return r.errors })
+	perReplica("activetime_cluster_ejections_total", "Times the replica was ejected from routing.",
+		func(r replicaStats) int64 { return r.ejections })
+	perReplica("activetime_cluster_readmissions_total", "Times the replica was re-admitted to routing.",
+		func(r replicaStats) int64 { return r.readmissions })
+	perReplica("activetime_cluster_probe_failures_total", "Failed health probes of the replica.",
+		func(r replicaStats) int64 { return r.probeFailures })
+
+	p("# HELP activetime_cluster_ring_rebalances_total Hash-ring membership changes (ejection or re-admission).\n")
+	p("# TYPE activetime_cluster_ring_rebalances_total counter\n")
+	p("activetime_cluster_ring_rebalances_total %d\n", rebalances)
+
+	p("# HELP activetime_cluster_retried_forwards_total Forwards retried on another replica after a transport failure.\n")
+	p("# TYPE activetime_cluster_retried_forwards_total counter\n")
+	p("activetime_cluster_retried_forwards_total %d\n", retries)
+
+	p("# HELP activetime_cluster_no_healthy_replica_total Requests refused because every replica was ejected.\n")
+	p("# TYPE activetime_cluster_no_healthy_replica_total counter\n")
+	p("activetime_cluster_no_healthy_replica_total %d\n", noHealthy)
+
+	p("# HELP activetime_cluster_probe_rounds_total Completed health-probe sweeps over the fleet.\n")
+	p("# TYPE activetime_cluster_probe_rounds_total counter\n")
+	p("activetime_cluster_probe_rounds_total %d\n", probeRounds)
+
+	return err
+}

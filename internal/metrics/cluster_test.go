@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestClusterRegistryCountersAndSnapshot(t *testing.T) {
+	c := NewClusterRegistry()
+	c.Routed("r1")
+	c.Routed("r1")
+	c.Routed("r2")
+	c.ForwardError("r2")
+	c.ProbeFailure("r2")
+	c.Ejected("r2")
+	c.RingRebalanced()
+	c.Readmitted("r2")
+	c.RingRebalanced()
+	c.Retried()
+	c.NoHealthyReplica()
+
+	snap := c.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d replicas, want 2", len(snap))
+	}
+	if snap[0].Name != "r1" || snap[0].Routed != 2 || !snap[0].Healthy {
+		t.Fatalf("r1 snapshot = %+v", snap[0])
+	}
+	r2 := snap[1]
+	if r2.Name != "r2" || r2.Routed != 1 || r2.Errors != 1 || r2.Ejections != 1 ||
+		r2.Readmissions != 1 || r2.ProbeFailures != 1 || !r2.Healthy {
+		t.Fatalf("r2 snapshot = %+v", r2)
+	}
+	if c.Rebalances() != 2 {
+		t.Fatalf("rebalances = %d, want 2", c.Rebalances())
+	}
+	if c.RoutedCount("r1") != 2 || c.RoutedCount("ghost") != 0 {
+		t.Fatal("RoutedCount wrong")
+	}
+}
+
+func TestClusterRegistryExposition(t *testing.T) {
+	c := NewClusterRegistry()
+	// Touch out of sorted order; exposition must still be sorted.
+	c.Routed("zeta")
+	c.Routed("alpha")
+	c.Ejected("zeta")
+
+	var b strings.Builder
+	if err := c.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"activetime_cluster_replicas 2",
+		"activetime_cluster_healthy_replicas 1",
+		`activetime_cluster_routed_total{replica="alpha"} 1`,
+		`activetime_cluster_routed_total{replica="zeta"} 1`,
+		`activetime_cluster_replica_healthy{replica="zeta"} 0`,
+		`activetime_cluster_replica_healthy{replica="alpha"} 1`,
+		`activetime_cluster_ejections_total{replica="zeta"} 1`,
+		"activetime_cluster_ring_rebalances_total 0",
+		"activetime_cluster_no_healthy_replica_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `{replica="alpha"}`) > strings.Index(out, `{replica="zeta"}`) {
+		t.Error("replica labels not sorted")
+	}
+}
+
+func TestClusterRegistryConcurrent(t *testing.T) {
+	c := NewClusterRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Routed("r1")
+				c.ForwardError("r2")
+				c.Snapshot()
+				c.WritePrometheus(&strings.Builder{})
+			}
+		}()
+	}
+	wg.Wait()
+	if c.RoutedCount("r1") != 800 {
+		t.Fatalf("routed = %d, want 800", c.RoutedCount("r1"))
+	}
+}

@@ -100,9 +100,12 @@ func (p *Pipeline) Emit(ev *Event) {
 	p.ring.append(ev)
 	if p.sink != nil {
 		if line, err := json.Marshal(ev); err == nil {
+			// One Write per event (newline included) so pipelines sharing a
+			// sink — e.g. an atload fleet of in-process replicas writing one
+			// JSONL file — never interleave partial lines.
+			line = append(line, '\n')
 			p.sinkMu.Lock()
 			p.sink.Write(line)
-			io.WriteString(p.sink, "\n")
 			p.sinkMu.Unlock()
 		}
 	}

@@ -1,0 +1,198 @@
+package server
+
+// Tests for the cluster-facing server satellites: inbound X-Request-ID
+// adoption, the draining /healthz state, and the online cost-model
+// feedback loop behind /debug/costmodel.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/costmodel"
+)
+
+func TestRequestIDAdoptedAndEchoed(t *testing.T) {
+	_, ts, _ := testServer(t)
+
+	// Inbound id is adopted: response header, body and log line all
+	// carry it.
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+		strings.NewReader(`{"instance":`+smallInstance+`}`))
+	req.Header.Set(RequestIDHeader, "atc-000042")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != "atc-000042" {
+		t.Fatalf("response %s = %q, want atc-000042", RequestIDHeader, got)
+	}
+	var out SolveResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.RequestID != "atc-000042" {
+		t.Fatalf("body request_id = %q, want atc-000042", out.RequestID)
+	}
+
+	// Absent header: a fresh id is generated and echoed.
+	resp2, data2 := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp2.StatusCode, data2)
+	}
+	if got := resp2.Header.Get(RequestIDHeader); !strings.HasPrefix(got, "req-") {
+		t.Fatalf("generated id = %q, want req-* prefix", got)
+	}
+}
+
+func TestRequestIDRejectsMalformed(t *testing.T) {
+	_, ts, _ := testServer(t)
+	for _, bad := range []string{
+		"has space",
+		"tab\tchar",
+		"non-ascii-\xc3\xbc",
+		strings.Repeat("x", 300),
+	} {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+			strings.NewReader(`{"instance":`+smallInstance+`}`))
+		req.Header.Set(RequestIDHeader, bad)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := resp.Header.Get(RequestIDHeader); !strings.HasPrefix(got, "req-") {
+			t.Fatalf("malformed inbound id %q was adopted as %q", bad, got)
+		}
+	}
+}
+
+func TestHealthzDraining(t *testing.T) {
+	s, ts, _ := testServer(t)
+	if s.Draining() {
+		t.Fatal("fresh server reports draining")
+	}
+	s.StartDraining()
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["status"] != "draining" {
+		t.Fatalf("draining healthz body: %v", body)
+	}
+	// Solves keep working while draining: only the health signal flips.
+	solveResp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if solveResp.StatusCode != http.StatusOK {
+		t.Fatalf("solve while draining: status %d: %s", solveResp.StatusCode, data)
+	}
+}
+
+func TestDebugCostModelLearnsFromSolves(t *testing.T) {
+	s, ts, _ := testServer(t)
+
+	// Before any solve: empty factors, default alpha.
+	var dbg struct {
+		Alpha   float64                    `json:"alpha"`
+		Factors []costmodel.FactorSnapshot `json:"factors"`
+	}
+	getDbg := func() {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/debug/costmodel")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/debug/costmodel status %d", resp.StatusCode)
+		}
+		dbg.Factors = nil
+		if err := json.NewDecoder(resp.Body).Decode(&dbg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	getDbg()
+	if dbg.Alpha != costmodel.DefaultFeedbackAlpha {
+		t.Fatalf("alpha = %v, want %v", dbg.Alpha, costmodel.DefaultFeedbackAlpha)
+	}
+	if len(dbg.Factors) != 0 {
+		t.Fatalf("factors before any solve: %+v", dbg.Factors)
+	}
+
+	// A fresh solve feeds the corrector.
+	resp, data := postSolve(t, ts, `{"instance":`+smallInstance+`}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	getDbg()
+	if len(dbg.Factors) != 1 {
+		t.Fatalf("factors after one solve: %+v", dbg.Factors)
+	}
+	f := dbg.Factors[0]
+	if f.Samples != 1 || f.Factor <= 0 || f.Family == "" {
+		t.Fatalf("factor after one solve: %+v", f)
+	}
+
+	// The corrector state is also reachable in-process.
+	if snap := s.Corrector().Snapshot(); len(snap) != 1 {
+		t.Fatalf("in-process snapshot: %+v", snap)
+	}
+}
+
+func TestJobSubmitAppliesCorrection(t *testing.T) {
+	s, ts := jobsServer(t, Config{JobsMaxQueued: 8})
+
+	submit := func() JobSubmitResponse {
+		t.Helper()
+		resp, data := postJob(t, ts, `{"instance":`+smallInstance+`}`)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit status %d: %s", resp.StatusCode, data)
+		}
+		var sub JobSubmitResponse
+		if err := json.Unmarshal(data, &sub); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+
+	// First submission: the corrector is empty, so the response carries
+	// the raw model prediction.
+	base := submit()
+	if base.PredictedCostNS <= 0 {
+		t.Fatalf("baseline predicted cost = %d", base.PredictedCostNS)
+	}
+	// Let the job run to completion: its measured cost is the
+	// corrector's first observation for this (family, algorithm) pair.
+	pollJobTerminal(t, ts, base.JobID, 10*time.Second)
+	snap := s.Corrector().Snapshot()
+	if len(snap) != 1 || snap[0].Samples != 1 {
+		t.Fatalf("corrector after one job: %+v", snap)
+	}
+	// The second submission of the identical instance must carry the
+	// corrected prediction: raw (== base, same instance) x factor.
+	want := int64(float64(base.PredictedCostNS) * snap[0].Factor)
+	if want < 1 {
+		want = 1
+	}
+	corrected := submit()
+	if corrected.PredictedCostNS != want {
+		t.Fatalf("corrected predicted cost = %d, want %d (factor %v x raw %d)",
+			corrected.PredictedCostNS, want, snap[0].Factor, base.PredictedCostNS)
+	}
+}

@@ -87,7 +87,8 @@ type jobPayload struct {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	reqID := s.nextRequestID()
+	reqID := s.requestID(r)
+	w.Header().Set(RequestIDHeader, reqID)
 	log := s.log.With("request_id", reqID)
 
 	// The job's wide event: on admission it travels with the payload
@@ -147,7 +148,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	family := costmodel.FamilyFor(in)
 	alg, routeReason, memErr := s.routeAlgorithm(in, alg)
-	predicted := s.cost.PredictInstanceAlg(family, string(alg), in)
+	// The event keeps the raw model output (the corrector's Observe
+	// needs it uncorrected); the queue and the client see the corrected
+	// estimate, which is what SJF ordering and capacity planning want.
+	rawPredicted := s.cost.PredictInstanceAlg(family, string(alg), in)
+	predicted := s.corr.Apply(family, string(alg), rawPredicted)
 	ev.Class = string(class)
 	ev.Algorithm = string(alg)
 	ev.RouteReason = routeReason
@@ -155,7 +160,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	ev.G = in.G
 	ev.Depth = costmodel.Depth(in)
 	ev.Family = family
-	ev.PredictedCostNS = predicted
+	ev.PredictedCostNS = rawPredicted
 	if memErr != nil {
 		log.Warn("job rejected", "reason", "lp_mem_cap", "err", memErr)
 		fail(http.StatusUnprocessableEntity, memErr.Error())

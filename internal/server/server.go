@@ -131,11 +131,17 @@ type Server struct {
 	cfg    Config
 	sem    chan struct{} // in-flight slots; nil when unlimited
 	cache  *solvecache.Group[*solveOutcome]
-	queue  *jobs.Queue      // async job queue; nil when the job API is disabled
-	cost   *costmodel.Model // predicted-cost model for SJF and predicted_cost_ns
-	obs    *obs.Pipeline    // wide-event pipeline; nil when EventRing ≤ 0
+	queue  *jobs.Queue          // async job queue; nil when the job API is disabled
+	cost   *costmodel.Model     // predicted-cost model for SJF and predicted_cost_ns
+	corr   *costmodel.Corrector // online measured-vs-predicted EWMA correction
+	obs    *obs.Pipeline        // wide-event pipeline; nil when EventRing ≤ 0
 	build  obs.BuildInfo
 	reqSeq atomic.Int64
+
+	// draining flips when graceful shutdown begins: /healthz reports
+	// "draining" with 503 so a cluster router ejects this replica
+	// before the listener starts refusing connections.
+	draining atomic.Bool
 
 	// testHookBeforeSolve, when non-nil, runs at the head of every
 	// solve execution with the solve's context. Tests use it to hold a
@@ -162,6 +168,7 @@ func New(log *slog.Logger, cfg Config) *Server {
 	if s.cost == nil {
 		s.cost = costmodel.Default()
 	}
+	s.corr = costmodel.NewCorrector(costmodel.DefaultFeedbackAlpha)
 	s.build = obs.CollectBuildInfo()
 	s.obs = obs.New(obs.Config{
 		RingSize:      cfg.EventRing,
@@ -211,6 +218,19 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // event ring and retained traces directly.
 func (s *Server) Obs() *obs.Pipeline { return s.obs }
 
+// StartDraining marks the server as shutting down: /healthz flips to
+// "draining" (503) so health probes eject this replica from routing
+// while in-flight requests are still being served. Idempotent; there
+// is deliberately no way back — a draining process is on its way out.
+// Corrector exposes the online cost-model feedback state (read by
+// /debug/costmodel and by tests).
+func (s *Server) Corrector() *costmodel.Corrector { return s.corr }
+
+func (s *Server) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // Handler returns the service mux: /solve, /healthz, /metrics, the
 // telemetry debug endpoints (/debug/events, /debug/slo,
 // /debug/traces/{id}) and the net/http/pprof endpoints under
@@ -231,6 +251,7 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/slo", s.handleDebugSLO)
 		mux.HandleFunc("GET /debug/traces/{id}", s.handleDebugTrace)
 	}
+	mux.HandleFunc("GET /debug/costmodel", s.handleDebugCostModel)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -287,6 +308,32 @@ type ErrorResponse struct {
 
 func (s *Server) nextRequestID() string {
 	return fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+}
+
+// RequestIDHeader carries a request id across hops: a cluster router
+// stamps it on the forwarded request, the replica adopts it, and both
+// sides' wide events share one id — which is what keeps the
+// atload↔server event cross-check intact through a proxy.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an inbound request id; anything longer (or
+// containing non-printable bytes) is ignored and a fresh id generated.
+const maxRequestIDLen = 128
+
+// requestID resolves a request's id: the inbound X-Request-ID header
+// when present and well-formed, a freshly generated one otherwise. The
+// id is echoed on the response via the same header either way.
+func (s *Server) requestID(r *http.Request) string {
+	id := r.Header.Get(RequestIDHeader)
+	if id == "" || len(id) > maxRequestIDLen {
+		return s.nextRequestID()
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return s.nextRequestID()
+		}
+	}
+	return id
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
@@ -410,7 +457,8 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.reg.RequestStarted()
 	defer s.reg.RequestFinished()
 
-	reqID := s.nextRequestID()
+	reqID := s.requestID(r)
+	w.Header().Set(RequestIDHeader, reqID)
 	log := s.log.With("request_id", reqID)
 
 	// One wide event per request, emitted when the outcome is final.
@@ -668,6 +716,14 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 			if out.res != nil {
 				p.ev.FillStats(out.res.Stats)
 			}
+			// Feed fresh solves (not cache hits — solveNS there is the
+			// original flight's, already observed once) back into the
+			// cost-model corrector. PredictedCostNS is the raw model
+			// output, which is what Observe requires.
+			switch cacheOutcome {
+			case obs.CacheMiss, obs.CacheOff, obs.CacheBypass:
+				s.corr.Observe(p.ev.Family, string(p.alg), p.ev.PredictedCostNS, out.solveNS)
+			}
 		}
 	}
 
@@ -753,6 +809,20 @@ func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// A draining replica still answers health checks but advertises the
+	// state with a 503 so a cluster router ejects it before the
+	// listener closes and forwards start failing with connection
+	// refused.
+	if s.draining.Load() {
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status":     "draining",
+			"solves":     s.reg.Solves(),
+			"version":    s.build.Version,
+			"go_version": s.build.GoVersion,
+			"commit":     s.build.Commit,
+		})
+		return
+	}
 	s.writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"solves":     s.reg.Solves(),
@@ -769,6 +839,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.WriteBuildInfoPrometheus(w, s.build)
 	s.obs.WritePrometheus(w)
+}
+
+// handleDebugCostModel serves the online cost-model feedback state:
+// the EWMA alpha and every learned (family, algorithm) correction
+// factor with its sample count.
+func (s *Server) handleDebugCostModel(w http.ResponseWriter, r *http.Request) {
+	factors := s.corr.Snapshot()
+	if factors == nil {
+		factors = []costmodel.FactorSnapshot{}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"alpha":   s.corr.Alpha(),
+		"factors": factors,
+	})
 }
 
 // handleDebugEvents serves the wide-event ring, oldest first.

@@ -50,13 +50,14 @@ func CanonicalOrder(in *instance.Instance) []int {
 	return order
 }
 
-// KeyFor computes the cache key for solving in with the named
-// algorithm and option flags. Jobs are hashed in CanonicalOrder with
-// IDs dropped, so any permutation of the same job multiset yields the
-// same key. The flags must be passed in a fixed order by the caller;
-// flags that do not change the solve's result (e.g. worker count)
-// should be omitted.
-func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
+// CanonicalDigest hashes the instance alone — capacity g plus the
+// jobs in CanonicalOrder with IDs dropped — so any permutation of the
+// same job multiset yields the same digest. It is the canonicalization
+// shared by the replica-side cache key (KeyFor builds on it) and the
+// cluster router's cache-affinity placement: both sides derive the
+// identical digest from a request body, which is what lands permuted
+// copies of one instance on the replica already holding the solution.
+func CanonicalDigest(in *instance.Instance) Key {
 	order := CanonicalOrder(in)
 	h := sha256.New()
 	var buf [8]byte
@@ -72,7 +73,23 @@ func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
 		wi(j.Deadline)
 		wi(j.Processing)
 	}
-	wi(int64(len(algorithm)))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// KeyFor computes the cache key for solving in with the named
+// algorithm and option flags: the CanonicalDigest of the instance
+// re-hashed with everything else that changes the result. The flags
+// must be passed in a fixed order by the caller; flags that do not
+// change the solve's result (e.g. worker count) should be omitted.
+func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
+	d := CanonicalDigest(in)
+	h := sha256.New()
+	h.Write(d[:])
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(algorithm)))
+	h.Write(buf[:])
 	h.Write([]byte(algorithm))
 	for _, f := range flags {
 		if f {

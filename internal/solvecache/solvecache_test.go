@@ -426,3 +426,36 @@ func waitFor(t *testing.T, cond func() bool) {
 		runtime.Gosched()
 	}
 }
+
+// TestCanonicalDigest: the instance-only digest is permutation
+// invariant (the property cache-affinity routing rides on), sensitive
+// to the instance itself, and insensitive to algorithm/flags — two
+// requests for the same instance under different options still land on
+// the same replica.
+func TestCanonicalDigest(t *testing.T) {
+	in := testInstance(t)
+	base := CanonicalDigest(in)
+	for _, perm := range [][]int{{1, 2, 0}, {2, 0, 1}, {2, 1, 0}} {
+		if CanonicalDigest(in.Permute(perm)) != base {
+			t.Fatalf("perm %v changed the canonical digest", perm)
+		}
+	}
+	other := in.Clone()
+	other.G = 3
+	if CanonicalDigest(other) == base {
+		t.Fatal("g must affect the digest")
+	}
+	other = in.Clone()
+	other.Jobs[0].Deadline++
+	if CanonicalDigest(other) == base {
+		t.Fatal("job windows must affect the digest")
+	}
+	// KeyFor varies with algorithm/flags while the digest stays put:
+	// the cache distinguishes results, the router only places instances.
+	if KeyFor(in, "nested95") == KeyFor(in, "comb") {
+		t.Fatal("algorithm must affect KeyFor")
+	}
+	if KeyFor(in, "nested95", true) == KeyFor(in, "nested95", false) {
+		t.Fatal("flags must affect KeyFor")
+	}
+}
