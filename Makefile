@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke loadgen-smoke loadgen-bench obs-smoke cluster-smoke ci experiments experiments-quick vet fmt clean
+.PHONY: all build test race test-race cover bench bench-core bench-smoke fuzz-smoke serve-smoke jobs-smoke delta-smoke loadgen-smoke loadgen-bench obs-smoke cluster-smoke ci experiments experiments-quick vet fmt clean
 
 all: build test
 
@@ -25,6 +25,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDinicVsPushRelabel -fuzztime=$(FUZZTIME) ./internal/maxflow
 	$(GO) test -run='^$$' -fuzz=FuzzSimplexVsRatsimplex -fuzztime=$(FUZZTIME) ./internal/ratsimplex
 	$(GO) test -run='^$$' -fuzz=FuzzDifferentialNested -fuzztime=$(FUZZTIME) ./internal/comb
+	$(GO) test -run='^$$' -fuzz=FuzzWarmVsCold -fuzztime=$(FUZZTIME) .
 
 # Service smoke: build the real activetimed binary, boot it on a
 # random port, hit /healthz and /metrics over HTTP, validate the
@@ -41,6 +42,14 @@ serve-smoke:
 jobs-smoke:
 	$(GO) test -run='^TestJobsSmoke$$' -count=1 -v ./cmd/activetimed
 	$(GO) test -run='^TestCLIAsync$$' -count=1 -v ./cmd/atload
+
+# Delta smoke: build the real activetimed binary with warm-start
+# retention on, and require over real HTTP that a raised-g near-miss
+# and a superset near-miss of a cached base both warm-start (and that
+# a warm fallback refreshes the stale retained state), with the
+# activetime_warm_* counters on /metrics matching.
+delta-smoke:
+	$(GO) test -run='^TestDeltaSmoke$$' -count=1 -v ./cmd/activetimed
 
 # Load-generator smoke: the CLI-level smoke test, then a real atload
 # run (short in-process closed loop) whose JSON report must be
@@ -99,7 +108,7 @@ cluster-smoke:
 	$(GO) test -run='^TestClusterSmoke$$' -count=1 -v ./cmd/atcluster
 
 # CI entry point: everything that must be green before merging.
-ci: build vet test race fuzz-smoke serve-smoke jobs-smoke loadgen-smoke obs-smoke cluster-smoke bench-smoke
+ci: build vet test race fuzz-smoke serve-smoke jobs-smoke delta-smoke loadgen-smoke obs-smoke cluster-smoke bench-smoke
 
 cover:
 	$(GO) test -cover ./...

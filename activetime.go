@@ -140,6 +140,10 @@ type Result struct {
 	// Route explains an AlgAuto dispatch (which solver ran and why);
 	// nil when an algorithm was requested explicitly.
 	Route *RouteDecision
+	// Warm is retained solver state for warm-starting later near-miss
+	// requests; only set when SolveOptions.CaptureWarm was requested
+	// and the algorithm supports it (AlgNested95, AlgCombinatorial).
+	Warm *WarmState
 }
 
 // Solve runs the chosen algorithm. All algorithms return a feasible,
@@ -296,6 +300,10 @@ type SolveOptions struct {
 	// sub-solves); export them with Tracer.WriteChromeTrace. Nil
 	// disables tracing.
 	Trace *Tracer
+	// CaptureWarm retains the solver's final state on Result.Warm so
+	// a cache can warm-start later near-miss requests (raised g, job
+	// supersets). Supported by AlgNested95 and AlgCombinatorial.
+	CaptureWarm bool
 }
 
 // SolveNested95 runs the 9/5-approximation with explicit options.
@@ -307,12 +315,13 @@ func SolveNested95(in *Instance, opts SolveOptions) (*Result, error) {
 // SolveCtx for the cancellation granularity.
 func SolveNested95Ctx(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
 	s, rep, err := core.SolveContext(ctx, in, core.Options{
-		ExactLP:    opts.ExactLP,
-		Minimalize: opts.Minimalize,
-		Compact:    opts.Compact,
-		Workers:    opts.Workers,
-		Metrics:    opts.Metrics,
-		Trace:      opts.Trace,
+		ExactLP:     opts.ExactLP,
+		Minimalize:  opts.Minimalize,
+		Compact:     opts.Compact,
+		Workers:     opts.Workers,
+		Metrics:     opts.Metrics,
+		Trace:       opts.Trace,
+		CaptureWarm: opts.CaptureWarm,
 	})
 	if err != nil {
 		return nil, err
@@ -324,6 +333,7 @@ func SolveNested95Ctx(ctx context.Context, in *Instance, opts SolveOptions) (*Re
 		LPLowerBound:   rep.LPValue,
 		CertifiedRatio: rep.CertifiedRatio,
 		Stats:          rep.Stats,
+		Warm:           warmStateFor(AlgNested95, in, rep.Warm, rep.RoundedSlots, nil, s.NumActive()),
 	}, nil
 }
 

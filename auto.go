@@ -144,8 +144,9 @@ func SolveCombinatorial(in *Instance, opts SolveOptions) (*Result, error) {
 // cancellation (checked per batch of jobs placed).
 func SolveCombinatorialCtx(ctx context.Context, in *Instance, opts SolveOptions) (*Result, error) {
 	s, rep, err := comb.SolveContext(ctx, in, comb.Options{
-		Metrics: opts.Metrics,
-		Trace:   opts.Trace,
+		Metrics:     opts.Metrics,
+		Trace:       opts.Trace,
+		CaptureWarm: opts.CaptureWarm,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("activetime: %w", err)
@@ -155,5 +156,6 @@ func SolveCombinatorialCtx(ctx context.Context, in *Instance, opts SolveOptions)
 		Schedule:    s,
 		ActiveSlots: rep.ActiveSlots,
 		Stats:       rep.Stats,
+		Warm:        warmStateFor(AlgCombinatorial, in, nil, 0, rep.Warm, rep.ActiveSlots),
 	}, nil
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeltaSmoke is the warm-start smoke: build the real binary, boot
+// it, solve a nested instance over real HTTP, re-solve it at a raised
+// g and at the same g with an extra nested job, and require both
+// near-misses to warm-start — on the response body, on the wide event,
+// and in the /metrics warm counters. `make delta-smoke` runs exactly
+// this test.
+func TestDeltaSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "activetimed")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	portFile := filepath.Join(dir, "port")
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-port-file", portFile)
+	var logs strings.Builder
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			addr = string(b)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("server never wrote port file; logs:\n%s", logs.String())
+	}
+
+	post := func(body string) string {
+		resp, err := http.Post("http://"+addr+"/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /solve: %v\nlogs:\n%s", err, logs.String())
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /solve: status %d: %s", resp.StatusCode, data)
+		}
+		return string(data)
+	}
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	// Cold base solve.
+	if body := post(`{"instance":{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":1,"d":3},{"p":1,"r":8,"d":10}]},"algorithm":"comb"}`); strings.Contains(body, `"warm_start":true`) {
+		t.Fatalf("cold base claims warm_start: %s", body)
+	}
+	// Raised-g near-miss: must warm-start.
+	if body := post(`{"instance":{"g":4,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":1,"d":3},{"p":1,"r":8,"d":10}]},"algorithm":"comb"}`); !strings.Contains(body, `"warm_start":true`) || !strings.Contains(body, `"warm_kind":"raise_g"`) {
+		t.Fatalf("raised-g solve did not warm-start: %s", body)
+	}
+	// Nested-superset near-miss at the original g: must warm-start.
+	if body := post(`{"instance":{"g":2,"jobs":[{"p":2,"r":0,"d":6},{"p":1,"r":1,"d":3},{"p":1,"r":8,"d":10},{"p":1,"r":3,"d":6}]},"algorithm":"comb"}`); !strings.Contains(body, `"warm_start":true`) || !strings.Contains(body, `"warm_kind":"superset"`) {
+		t.Fatalf("superset solve did not warm-start: %s", body)
+	}
+
+	// The wide events carry the warm fields.
+	events := get("/debug/events")
+	for _, want := range []string{`"warm_start":true`, `"warm_kind":"raise_g"`, `"warm_kind":"superset"`} {
+		if !strings.Contains(events, want) {
+			t.Errorf("wide events missing %s:\n%s", want, events)
+		}
+	}
+
+	// The warm counters and cache gauges are live on /metrics.
+	metricsBody := get("/metrics")
+	validateExposition(t, metricsBody)
+	for _, want := range []string{
+		`activetime_warm_starts_total{kind="raise_g"} 1`,
+		`activetime_warm_starts_total{kind="superset"} 1`,
+		"activetime_warm_fallbacks_total 0",
+		"activetime_cache_entries 3",
+	} {
+		if !strings.Contains(metricsBody, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(metricsBody, "activetime_cache_warm_bytes 0\n") {
+		t.Error("no warm state retained on cache entries")
+	}
+}

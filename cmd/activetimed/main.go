@@ -55,6 +55,7 @@ func main() {
 	admissionWait := flag.Duration("admission-wait", 100*time.Millisecond, "how long a request waits for an in-flight slot before 429")
 	solveTimeout := flag.Duration("solve-timeout", 0, "per-solve wall-time cap (0 = unlimited); requests can only tighten it")
 	cacheEntries := flag.Int("cache-entries", 256, "solve-result LRU capacity (0 disables caching and coalescing)")
+	cacheWarmBytes := flag.Int64("cache-warm-bytes", 64<<20, "budget for warm solver state retained on cache entries for near-miss warm starts (0 disables warm starts)")
 	maxSolveMem := flag.Int64("max-solve-mem", 1<<30, "reject (422) explicitly forced nested95 solves whose estimated LP tableau exceeds this many bytes (0 disables)")
 	jobsRunning := flag.Int("jobs-running", 2, "async job execution slots, separate from -max-inflight (0 disables the job API)")
 	jobsQueued := flag.Int("jobs-queued", 256, "maximum queued async jobs across all classes")
@@ -117,6 +118,7 @@ func main() {
 		AdmissionWait:    *admissionWait,
 		SolveTimeout:     *solveTimeout,
 		CacheEntries:     *cacheEntries,
+		CacheWarmBytes:   *cacheWarmBytes,
 		MaxSolveMemBytes: *maxSolveMem,
 		JobsMaxRunning:   *jobsRunning,
 		JobsMaxQueued:    *jobsQueued,

@@ -35,6 +35,7 @@ import (
 	"sort"
 	"time"
 
+	activetime "repro"
 	"repro/internal/comb"
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/instance"
 	"repro/internal/metrics"
+	"repro/internal/solvecache"
 )
 
 const schema = "activetime-bench-core/v1"
@@ -53,6 +55,11 @@ const schema = "activetime-bench-core/v1"
 type family struct {
 	name      string
 	algorithm string
+	// delta turns the family into a warm-start benchmark: each instance
+	// is solved cold once (retaining warm state) and the timed op
+	// resumes that state for a derived near-miss — "raise_g" bumps g,
+	// "grow10" adds a unit job nested into every 10th window.
+	delta     string
 	instances []*instance.Instance
 }
 
@@ -60,13 +67,18 @@ type family struct {
 // single instrumented solve of every instance in the family and are
 // deterministic; the timing fields are medians over -runs repetitions.
 type FamilyResult struct {
-	Name        string               `json:"name"`
-	Algorithm   string               `json:"algorithm,omitempty"`
-	Instances   int                  `json:"instances"`
-	Jobs        int                  `json:"jobs"`
-	NsPerOp     int64                `json:"ns_per_op"`
-	AllocsPerOp int64                `json:"allocs_per_op"`
-	BytesPerOp  int64                `json:"bytes_per_op"`
+	Name        string `json:"name"`
+	Algorithm   string `json:"algorithm,omitempty"`
+	Delta       string `json:"delta,omitempty"`
+	Instances   int    `json:"instances"`
+	Jobs        int    `json:"jobs"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// ColdNsPerOp is the delta families' comparison column: the median
+	// cost of solving the same near-miss instances cold, with no
+	// retained state. The warm speedup is ColdNsPerOp / NsPerOp.
+	ColdNsPerOp int64                `json:"cold_ns_per_op,omitempty"`
 	RunsNsPerOp []int64              `json:"runs_ns_per_op"`
 	Counters    metrics.CounterStats `json:"counters"`
 }
@@ -138,10 +150,12 @@ func families() []family {
 		}
 		return family{name: name, instances: ins}
 	}
+	nestedLarge := nested("nested-large", 4, 64, 4, 303)
+	forest100k := []*instance.Instance{gen.NestedForest(10, 5, 4, 30, 4)}
 	return []family{
 		nested("nested-small", 8, 12, 3, 101),
 		nested("nested-medium", 6, 32, 3, 202),
-		nested("nested-large", 4, 64, 4, 303),
+		nestedLarge,
 		unit("unit-nested", 6, 32, 2, 404),
 		{name: "gap-worstcase", instances: []*instance.Instance{
 			gapfam.NaturalGap2(6),
@@ -162,10 +176,25 @@ func families() []family {
 		{name: "deep-chain-lp", instances: []*instance.Instance{
 			gen.NestedChain(48, 2, 1),
 		}},
-		// nested-100k exercises the combinatorial solver at the scale
-		// the auto router sends it: a ~10⁵-job laminar forest.
-		{name: "nested-100k", algorithm: "comb", instances: []*instance.Instance{
-			gen.NestedForest(10, 5, 4, 30, 4),
+		// nested-100k / nested-1m exercise the combinatorial solver at
+		// the scales the auto router sends it: ~10⁵- and ~10⁶-job
+		// laminar forests.
+		{name: "nested-100k", algorithm: "comb", instances: forest100k},
+		{name: "nested-1m", algorithm: "comb", instances: []*instance.Instance{
+			gen.NestedForest(25, 6, 4, 30, 4),
+		}},
+		// Delta families time the warm-start resume paths against cold
+		// re-solves of the same near-miss (see benchDeltaFamily):
+		// raised g on the LP and combinatorial paths, and a 10% nested
+		// job growth on the combinatorial path.
+		// The grow-100k base is a slacker forest (3 spare units per node
+		// vs the benchmark forest's 2): 10% job growth must stay
+		// feasible on top of the frozen base placement.
+		{name: "delta-raise-g", delta: "raise_g", instances: nestedLarge.instances},
+		{name: "delta-raise-g-100k", algorithm: "comb", delta: "raise_g", instances: forest100k},
+		{name: "delta-grow-10pct", algorithm: "comb", delta: "grow10", instances: nestedLarge.instances},
+		{name: "delta-grow-10pct-100k", algorithm: "comb", delta: "grow10", instances: []*instance.Instance{
+			gen.NestedForest(12, 5, 4, 25, 4),
 		}},
 	}
 }
@@ -183,9 +212,13 @@ func runBench(out string, runs int, budget time.Duration) error {
 			return fmt.Errorf("family %s: %w", f.name, err)
 		}
 		rep.Families = append(rep.Families, fr)
-		fmt.Printf("%-16s %12d ns/op %8d allocs/op %10d B/op  pivots=%d dinic_bfs=%d\n",
+		warm := ""
+		if fr.ColdNsPerOp > 0 && fr.NsPerOp > 0 {
+			warm = fmt.Sprintf("  warm-speedup=%.1fx", float64(fr.ColdNsPerOp)/float64(fr.NsPerOp))
+		}
+		fmt.Printf("%-22s %12d ns/op %8d allocs/op %10d B/op  pivots=%d dinic_bfs=%d%s\n",
 			fr.Name, fr.NsPerOp, fr.AllocsPerOp, fr.BytesPerOp,
-			fr.Counters.SimplexPivots, fr.Counters.DinicBFSRounds)
+			fr.Counters.SimplexPivots, fr.Counters.DinicBFSRounds, warm)
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -200,6 +233,9 @@ func runBench(out string, runs int, budget time.Duration) error {
 }
 
 func benchFamily(f family, runs int, budget time.Duration) (FamilyResult, error) {
+	if f.delta != "" {
+		return benchDeltaFamily(f, runs, budget)
+	}
 	fr := FamilyResult{Name: f.name, Algorithm: f.algorithm, Instances: len(f.instances)}
 	for _, in := range f.instances {
 		fr.Jobs += in.N()
@@ -242,6 +278,150 @@ func benchFamily(f family, runs int, budget time.Duration) (FamilyResult, error)
 		fr.AllocsPerOp, fr.BytesPerOp = allocs, bytes
 	}
 	fr.NsPerOp = median(fr.RunsNsPerOp)
+	return fr, nil
+}
+
+// deriveDelta builds the near-miss instance a delta family resumes
+// into, from a canonical base. The construction is deterministic so
+// the warm-path counters stay byte-stable.
+func deriveDelta(kind string, base *instance.Instance) (*instance.Instance, error) {
+	switch kind {
+	case "raise_g":
+		// Same jobs (already canonical), capacity bumped by 2.
+		d := base.Clone()
+		d.G += 2
+		return d, nil
+	case "grow10":
+		// Every 10th job spawns a unit job at its component's root
+		// window: ~10% more jobs, trivially nested inside the existing
+		// laminar forest and placeable in the forest's residual slack.
+		// (Duplicating inner windows instead can be infeasible: the
+		// cold solve concentrates parent jobs into leaf slots, so tight
+		// inner windows end up completely full.)
+		type span struct{ lo, hi int64 }
+		idx := make([]int, len(base.Jobs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ja, jb := base.Jobs[idx[a]], base.Jobs[idx[b]]
+			if ja.Release != jb.Release {
+				return ja.Release < jb.Release
+			}
+			return ja.Deadline > jb.Deadline
+		})
+		var roots []span
+		for _, i := range idx {
+			j := base.Jobs[i]
+			if len(roots) == 0 || j.Release >= roots[len(roots)-1].hi {
+				roots = append(roots, span{j.Release, j.Deadline})
+			}
+		}
+		jobs := append([]instance.Job(nil), base.Jobs...)
+		for i := 0; i < len(base.Jobs); i += 10 {
+			j := base.Jobs[i]
+			k := sort.Search(len(roots), func(k int) bool { return roots[k].hi > j.Release })
+			jobs = append(jobs, instance.Job{Processing: 1, Release: roots[k].lo, Deadline: roots[k].hi})
+		}
+		d, err := instance.New(base.G, jobs)
+		if err != nil {
+			return nil, err
+		}
+		return d.Permute(solvecache.CanonicalOrder(d)), nil
+	default:
+		return nil, fmt.Errorf("unknown delta kind %q", kind)
+	}
+}
+
+// benchDeltaFamily measures the warm-start resume paths. Outside the
+// timed region it solves each canonical base instance cold with warm
+// capture, derives the near-miss delta, and classifies it; the timed
+// op is SolveWarmCtx resuming the retained state (immutable, so every
+// repetition resumes the same capture). ColdNsPerOp measures cold
+// solves of the same delta instances for the warm-vs-cold comparison.
+// Any warm failure aborts the family: the resume paths must never
+// silently fall back under a frozen benchmark delta.
+func benchDeltaFamily(f family, runs int, budget time.Duration) (FamilyResult, error) {
+	fr := FamilyResult{Name: f.name, Algorithm: f.algorithm, Delta: f.delta, Instances: len(f.instances)}
+	type resume struct {
+		in   *instance.Instance
+		warm *activetime.WarmState
+		d    activetime.Delta
+	}
+	prep := make([]resume, 0, len(f.instances))
+	for _, raw := range f.instances {
+		base := raw.Permute(solvecache.CanonicalOrder(raw))
+		opts := activetime.SolveOptions{Workers: 1, CaptureWarm: true}
+		var res *activetime.Result
+		var err error
+		if f.algorithm == "comb" {
+			res, err = activetime.SolveCombinatorial(base, opts)
+		} else {
+			res, err = activetime.SolveNested95(base, opts)
+		}
+		if err != nil {
+			return fr, fmt.Errorf("base solve: %w", err)
+		}
+		if res.Warm == nil {
+			return fr, fmt.Errorf("base solve retained no warm state")
+		}
+		din, err := deriveDelta(f.delta, base)
+		if err != nil {
+			return fr, err
+		}
+		d := activetime.ClassifyDelta(base, din)
+		if d.Kind == activetime.WarmNone {
+			return fr, fmt.Errorf("derived delta did not classify as warmable")
+		}
+		fr.Jobs += din.N()
+		prep = append(prep, resume{in: din, warm: res.Warm, d: d})
+	}
+
+	// Deterministic counters from one instrumented warm pass.
+	rec := new(metrics.Recorder)
+	for _, p := range prep {
+		if _, err := activetime.SolveWarmCtx(context.Background(), p.in, p.warm, p.d,
+			activetime.SolveOptions{Workers: 1, Metrics: rec}); err != nil {
+			return fr, fmt.Errorf("warm resume: %w", err)
+		}
+	}
+	fr.Counters = rec.Snapshot().Counters
+
+	var failed error
+	warmOp := func() {
+		for _, p := range prep {
+			if _, err := activetime.SolveWarmCtx(context.Background(), p.in, p.warm, p.d,
+				activetime.SolveOptions{Workers: 1}); err != nil && failed == nil {
+				failed = err
+			}
+		}
+	}
+	coldOp := func() {
+		for _, p := range prep {
+			var err error
+			if f.algorithm == "comb" {
+				_, _, err = comb.SolveContext(context.Background(), p.in, comb.Options{})
+			} else {
+				_, _, err = core.SolveWithOptions(p.in, core.Options{Workers: 1})
+			}
+			if err != nil && failed == nil {
+				failed = err
+			}
+		}
+	}
+	var coldRuns []int64
+	for r := 0; r < runs; r++ {
+		ns, allocs, bytes := measure(budget, warmOp)
+		coldNs, _, _ := measure(budget, coldOp)
+		if failed != nil {
+			return fr, failed
+		}
+		fr.RunsNsPerOp = append(fr.RunsNsPerOp, ns)
+		coldRuns = append(coldRuns, coldNs)
+		fr.AllocsPerOp, fr.BytesPerOp = allocs, bytes
+	}
+	fr.NsPerOp = median(fr.RunsNsPerOp)
+	fr.ColdNsPerOp = median(coldRuns)
 	return fr, nil
 }
 
@@ -343,9 +523,12 @@ func costRowOf(benchFamily string) (fam, alg, feature string) {
 		return costmodel.FamilyGeneral, "", ""
 	case "deep-chain-lp":
 		return costmodel.FamilyLaminar, "nested95", costmodel.FeatureJobsDepth3
-	case "deep-chain", "nested-100k":
+	case "deep-chain", "nested-100k", "nested-1m":
 		return costmodel.FamilyLaminar, "comb", costmodel.FeatureJobs
 	default:
+		// Delta families measure resumes, not cold solves; the cold
+		// model must not fit on them (warm costs go through
+		// Model.PredictWarmNS instead).
 		return "", "", ""
 	}
 }

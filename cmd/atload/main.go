@@ -11,15 +11,21 @@
 //	atload [-model closed|poisson|bursty] [-requests N] [-concurrency N]
 //	       [-rate RPS] [-burst N] [-seed N] [-mix laminar=0.7,unit=0.2,general=0.1]
 //	       [-jobs-min N] [-jobs-max N] [-g N] [-distinct N] [-algorithm NAME]
+//	       [-delta]
 //	       [-target URL] [-record PATH] [-replay PATH] [-report PATH]
 //	       [-slo-p99 MS] [-slo-max-error-rate FRAC]
 //	       [-workers N] [-max-inflight N] [-admission-wait DUR]
-//	       [-solve-timeout DUR] [-cache-entries N]
+//	       [-solve-timeout DUR] [-cache-entries N] [-cache-warm-bytes N]
 //	       [-async] [-poll DUR] [-class-mix interactive=0.5,batch=0.5]
 //	       [-queue-policy fcfs|priority|sjf] [-queue-running N] [-queue-depth N]
 //	       [-queue-budget class=N,...]
 //	       [-events-file PATH] [-events-ring N]
 //	       [-fleet N] [-route-policy round-robin|least-loaded|affinity] [-permute]
+//
+// With -delta roughly half the plan becomes near-miss variants of the
+// pooled base instances (seed-varied raised-g and nested job growth),
+// the workload EXPERIMENTS.md E24 uses to measure the server's
+// warm-start path; the report counts warm starts per kind.
 //
 // With -async the driver goes through the job API: each request is
 // submitted to POST /jobs with its SLO class and polled to a terminal
@@ -90,6 +96,7 @@ type options struct {
 	distinct    int
 	algorithm   string
 	timeoutMS   int64
+	delta       bool
 
 	target string
 	record string
@@ -105,17 +112,18 @@ type options struct {
 	classMix string
 
 	// In-process server knobs (ignored when -target is set).
-	workers       int
-	maxInFlight   int
-	admissionWait time.Duration
-	solveTimeout  time.Duration
-	cacheEntries  int
-	queuePolicy   string
-	queueRunning  int
-	queueDepth    int
-	queueBudget   string
-	eventsFile    string
-	eventsRing    int
+	workers        int
+	maxInFlight    int
+	admissionWait  time.Duration
+	solveTimeout   time.Duration
+	cacheEntries   int
+	cacheWarmBytes int64
+	queuePolicy    string
+	queueRunning   int
+	queueDepth     int
+	queueBudget    string
+	eventsFile     string
+	eventsRing     int
 
 	// Fleet mode (in-process only).
 	fleet       int
@@ -141,6 +149,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.distinct, "distinct", def.DistinctInstances, "distinct-instance pool size (0 = every request fresh)")
 	fs.StringVar(&o.algorithm, "algorithm", "", "force one solver on every request (default: auto — the server routes per instance)")
 	fs.Int64Var(&o.timeoutMS, "timeout-ms", 0, "per-request timeout_ms forwarded to the server (0 = none)")
+	fs.BoolVar(&o.delta, "delta", false, "make ~half the plan near-miss variants of pooled bases (exercises the server's warm-start path)")
 	fs.StringVar(&o.target, "target", "", "base URL of a running activetimed (empty = in-process server)")
 	fs.StringVar(&o.record, "record", "", "write the plan as a JSONL trace to this path")
 	fs.StringVar(&o.replay, "replay", "", "replay a recorded JSONL trace instead of building a plan")
@@ -152,6 +161,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.admissionWait, "admission-wait", 100*time.Millisecond, "in-process server: admission wait before 429")
 	fs.DurationVar(&o.solveTimeout, "solve-timeout", 0, "in-process server: per-solve wall cap (0 = unlimited)")
 	fs.IntVar(&o.cacheEntries, "cache-entries", 256, "in-process server: solve-cache LRU capacity")
+	fs.Int64Var(&o.cacheWarmBytes, "cache-warm-bytes", 64<<20, "in-process server: warm-state byte budget for near-miss warm starts (0 disables)")
 	fs.BoolVar(&o.async, "async", false, "drive the job API (POST /jobs + poll) instead of /solve")
 	fs.DurationVar(&o.poll, "poll", 2*time.Millisecond, "async: job status poll interval")
 	fs.StringVar(&o.classMix, "class-mix", "", "async: SLO class mix, class=weight[,...] (empty = small→interactive, large→batch)")
@@ -247,6 +257,7 @@ func (o *options) planConfig() (loadgen.PlanConfig, error) {
 		G:                 o.g,
 		DistinctInstances: o.distinct,
 		PermuteInstances:  o.permute,
+		Delta:             o.delta,
 		Algorithm:         o.algorithm,
 		TimeoutMS:         o.timeoutMS,
 		Async:             o.async,
@@ -338,6 +349,7 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			AdmissionWait:  o.admissionWait,
 			SolveTimeout:   o.solveTimeout,
 			CacheEntries:   o.cacheEntries,
+			CacheWarmBytes: o.cacheWarmBytes,
 			JobsMaxRunning: o.queueRunning,
 			JobsMaxQueued:  o.queueDepth,
 			JobsPolicy:     o.queuePolicy,
@@ -453,6 +465,18 @@ func run(ctx context.Context, o *options, reportOut, stderr io.Writer) int {
 			parts[i] = fmt.Sprintf("%s=%d", name, rep.Algorithms[name])
 		}
 		fmt.Fprintf(stderr, "atload: algorithms executed (server-routed): %s\n", strings.Join(parts, " "))
+	}
+	if rep.WarmStarts > 0 {
+		kinds := make([]string, 0, len(rep.WarmKinds))
+		for kind := range rep.WarmKinds {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, kind := range kinds {
+			parts[i] = fmt.Sprintf("%s=%d", kind, rep.WarmKinds[kind])
+		}
+		fmt.Fprintf(stderr, "atload: warm starts: %d (%s)\n", rep.WarmStarts, strings.Join(parts, " "))
 	}
 
 	if verdict != nil && !verdict.Pass {

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/loadgen"
@@ -289,5 +290,52 @@ func TestCLIOpenLoopModels(t *testing.T) {
 		if rep.HTTP5xx != 0 {
 			t.Errorf("%s: HTTP5xx = %d", model, rep.HTTP5xx)
 		}
+	}
+}
+
+// TestCLIDeltaWarmStarts: -delta turns the plan into a warm-start
+// workload — the run stays clean and the report counts warm starts,
+// including nested-growth supersets on the combinatorial path.
+func TestCLIDeltaWarmStarts(t *testing.T) {
+	code, rep, errOut := runCLI(t, fastArgs(
+		"-requests", "80", "-distinct", "4",
+		"-mix", "laminar=1", "-algorithm", "comb", "-delta",
+	)...)
+	if code != 0 {
+		t.Fatalf("delta run exited %d: %s", code, errOut)
+	}
+	if rep.Errors > 0 {
+		t.Fatalf("delta run had %d errors: %v", rep.Errors, rep.Counts)
+	}
+	if rep.WarmStarts == 0 {
+		t.Fatal("delta run produced no warm starts")
+	}
+	if rep.WarmKinds["raise_g"] == 0 || rep.WarmKinds["superset"] == 0 {
+		t.Fatalf("warm kinds not both exercised: %v", rep.WarmKinds)
+	}
+	if !strings.Contains(errOut, "atload: warm starts:") {
+		t.Fatalf("stderr missing the warm-start summary:\n%s", errOut)
+	}
+
+	// Replays of a recorded delta plan materialize the same variants.
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "delta.jsonl")
+	if code, _, errOut := runCLI(t, fastArgs(
+		"-requests", "20", "-mix", "laminar=1", "-delta", "-record", trace,
+	)...); code != 0 {
+		t.Fatalf("record run exited %d: %s", code, errOut)
+	}
+	plan, err := loadgen.LoadTrace(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds int
+	for _, r := range plan {
+		if r.DeltaKind != "" {
+			kinds++
+		}
+	}
+	if kinds == 0 {
+		t.Fatal("recorded delta trace carries no delta requests")
 	}
 }

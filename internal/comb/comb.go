@@ -50,6 +50,9 @@ type Options struct {
 	// Trace optionally receives the solve's spans; nil disables
 	// tracing.
 	Trace *trace.Tracer
+	// CaptureWarm retains the final placement state on Report.Warm so
+	// the solve cache can warm-start later near-miss requests.
+	CaptureWarm bool
 }
 
 // Report describes what one combinatorial solve did.
@@ -72,6 +75,9 @@ type Report struct {
 	// Stats is the instrumentation snapshot when Options.Metrics was
 	// nil.
 	Stats *metrics.Stats
+	// Warm is the retained placement snapshot when Options.CaptureWarm
+	// was set.
+	Warm *WarmState
 }
 
 // Solve runs the combinatorial solver with default options.
@@ -182,6 +188,9 @@ func SolveContext(ctx context.Context, in *instance.Instance, opts Options) (*sc
 	rec.CombReused.Add(st.reused)
 	rec.CombDeactivations.Add(st.deactivated)
 	rep.ActiveSlots = out.NumActive()
+	if opts.CaptureWarm {
+		rep.Warm = st.captureWarm()
+	}
 	if ownRec {
 		rep.Stats = rec.Snapshot()
 	}
@@ -243,19 +252,12 @@ func (st *state) timeOf(idx int) int64 {
 	return st.roots[r].Start + (int64(idx) - st.off[r])
 }
 
-// place runs the lazy-activation pass over all jobs innermost-first.
-// It returns short=true when some job could not gather enough distinct
-// slots (deferred to the fallback path).
-func (st *state) place(ctx context.Context) (short bool, err error) {
-	in := st.in
-	order := make([]int, in.N())
-	for i := range order {
-		order[i] = i
-	}
-	// Innermost-first: by laminarity, at the moment a job is placed
-	// every earlier job whose window overlaps it is nested inside it,
-	// so reusing their active slots is always legal and never blocks a
-	// later (outer) job from slots only it can use.
+// innermostOrder sorts the given job indices innermost-first: by
+// laminarity, at the moment a job is placed every earlier job whose
+// window overlaps it is nested inside it, so reusing their active
+// slots is always legal and never blocks a later (outer) job from
+// slots only it can use.
+func innermostOrder(in *instance.Instance, order []int) {
 	sort.Slice(order, func(a, b int) bool {
 		ja, jb := in.Jobs[order[a]], in.Jobs[order[b]]
 		if ja.Deadline != jb.Deadline {
@@ -269,7 +271,25 @@ func (st *state) place(ctx context.Context) (short bool, err error) {
 		}
 		return order[a] < order[b]
 	})
+}
 
+// place runs the lazy-activation pass over all jobs innermost-first.
+// It returns short=true when some job could not gather enough distinct
+// slots (deferred to the fallback path).
+func (st *state) place(ctx context.Context) (short bool, err error) {
+	order := make([]int, st.in.N())
+	for i := range order {
+		order[i] = i
+	}
+	innermostOrder(st.in, order)
+	return st.placeOrder(ctx, order)
+}
+
+// placeOrder runs the lazy-activation pass over the given jobs in the
+// given order. The warm-start resume path reuses it to place only the
+// delta's new jobs on top of a restored placement.
+func (st *state) placeOrder(ctx context.Context, order []int) (short bool, err error) {
+	in := st.in
 	chosen := make([]int32, 0, 64)
 	for k, ji := range order {
 		if k&1023 == 1023 {

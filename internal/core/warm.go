@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/flowfeas"
+	"repro/internal/instance"
+	"repro/internal/lamtree"
+	"repro/internal/metrics"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// ErrWarmMismatch reports that a retained WarmLP cannot be resumed for
+// the given instance. Callers treat it as "solve cold".
+var ErrWarmMismatch = errors.New("core: warm state does not match instance")
+
+// WarmComponent retains one component's canonicalized tree and final
+// per-node open-count vector. The tree is shared read-only (lamtree
+// fully materializes its caches at build time and never mutates them
+// afterwards), so one snapshot can warm any number of concurrent
+// requests; counts are copied before any warm probe mutates them.
+type WarmComponent struct {
+	Tree   *lamtree.Tree
+	Counts []int64
+}
+
+// WarmLP is the LP pipeline's retained solver state: per-component
+// trees and count vectors from a finished solve, resumable when a
+// later request raises g on the same canonical instance. Raising g
+// only grows flow capacities (g·counts at the sinks), so the retained
+// counts stay feasible verbatim and the whole solve reduces to
+// re-minimalizing them under the new slack and re-extracting the
+// placement — no tree build, no canonicalization, no LP.
+type WarmLP struct {
+	G     int64
+	Jobs  int
+	Comps []WarmComponent
+}
+
+// SizeBytes estimates the retained heap footprint, used by the solve
+// cache's warm-state byte budget.
+func (w *WarmLP) SizeBytes() int64 {
+	var b int64 = 64
+	for _, c := range w.Comps {
+		b += c.Tree.SizeBytes() + int64(len(c.Counts))*8 + 48
+	}
+	return b
+}
+
+// SolveWarm resumes a retained WarmLP for the same canonical job set
+// at a capacity in.G ≥ the snapshot's. Per component it re-checks the
+// retained counts on a fresh node network at the new g (a guaranteed
+// pass short of state corruption — capacities only grew), minimalizes
+// them under the new slack, and extracts the placement. The result's
+// active-slot count never exceeds the snapshot's.
+//
+// The returned Report carries no LPValue / CertifiedRatio: the old LP
+// optimum is not a lower bound at the new g, and the warm path does
+// not re-solve the LP. Callers wanting a fresh certificate solve cold.
+func SolveWarm(ctx context.Context, in *instance.Instance, w *WarmLP, opts Options) (*sched.Schedule, Report, *WarmLP, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := in.Validate(); err != nil {
+		return nil, Report{}, nil, err
+	}
+	if in.N() != w.Jobs || in.G < w.G {
+		return nil, Report{}, nil, fmt.Errorf("%w: raise-g shape (jobs %d vs %d, g %d vs %d)",
+			ErrWarmMismatch, in.N(), w.Jobs, in.G, w.G)
+	}
+	rec := opts.Metrics
+	if rec == nil {
+		rec = new(metrics.Recorder)
+	}
+	comps, backmap := in.Components()
+	if len(comps) != len(w.Comps) {
+		return nil, Report{}, nil, fmt.Errorf("%w: component count %d vs %d",
+			ErrWarmMismatch, len(comps), len(w.Comps))
+	}
+
+	root := opts.Trace.StartSpan("solve_warm",
+		trace.Int("jobs", int64(in.N())),
+		trace.Int("g", in.G),
+		trace.Int("forests", int64(len(comps))))
+	defer root.End()
+
+	out := sched.New(in.G)
+	var total Report
+	var next *WarmLP
+	if opts.CaptureWarm {
+		next = &WarmLP{G: in.G, Jobs: in.N(), Comps: make([]WarmComponent, len(comps))}
+	}
+	for ci, comp := range comps {
+		if err := ctx.Err(); err != nil {
+			return nil, Report{}, nil, err
+		}
+		wc := w.Comps[ci]
+		if comp.N() != len(wc.Tree.Jobs) {
+			return nil, Report{}, nil, fmt.Errorf("%w: component %d jobs %d vs %d",
+				ErrWarmMismatch, ci, comp.N(), len(wc.Tree.Jobs))
+		}
+		fsp := root.StartLane("forest_warm", trace.Int("component", int64(ci)))
+		counts := append([]int64(nil), wc.Counts...)
+		net := flowfeas.NewNodeNetG(wc.Tree, in.G)
+
+		_, stop := startStage(rec, fsp, metrics.StageFeasCheck)
+		ok, err := net.Check(ctx, counts, rec)
+		stop()
+		if err != nil {
+			fsp.End()
+			return nil, Report{}, nil, err
+		}
+		if !ok {
+			fsp.End()
+			return nil, Report{}, nil, fmt.Errorf("%w: retained counts infeasible at g=%d (component %d)",
+				ErrWarmMismatch, in.G, ci)
+		}
+		for _, c := range counts {
+			total.RoundedSlots += c
+		}
+
+		_, stop = startStage(rec, fsp, metrics.StageMinimalize)
+		removed, err := minimalizeCountsNet(ctx, wc.Tree, net, counts, rec)
+		stop()
+		if err != nil {
+			fsp.End()
+			return nil, Report{}, nil, err
+		}
+		total.Minimalized += removed
+		total.RoundedSlots -= removed
+
+		_, stop = startStage(rec, fsp, metrics.StagePlace)
+		s, err := net.Schedule(ctx, counts, rec)
+		stop()
+		fsp.End()
+		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, Report{}, nil, cerr
+			}
+			return nil, Report{}, nil, fmt.Errorf("%w: placement failed: %v", ErrWarmMismatch, err)
+		}
+		for t, js := range s.Slots {
+			for _, localID := range js {
+				out.Assign(t, backmap[ci][localID])
+			}
+		}
+		if next != nil {
+			next.Comps[ci] = WarmComponent{Tree: wc.Tree, Counts: counts}
+		}
+	}
+
+	_, stop := startStage(rec, root, metrics.StageValidate)
+	err := out.Validate(in)
+	stop()
+	if err != nil {
+		return nil, Report{}, nil, fmt.Errorf("%w: resumed schedule invalid: %v", ErrWarmMismatch, err)
+	}
+	total.ActiveSlots = out.NumActive()
+	total.Stats = rec.Snapshot()
+	return out, total, next, nil
+}

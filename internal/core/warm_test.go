@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/gen"
+	"repro/internal/instance"
+)
+
+func raisedG(in *instance.Instance, g int64) *instance.Instance {
+	out := in.Clone()
+	out.G = g
+	return out
+}
+
+// TestSolveWarmRaiseG resumes retained LP-path state at raised
+// capacities: the schedule must validate, never exceed the snapshot's
+// objective (the monotone gate), and stay within 9/5 of the exact
+// optimum at the new g (minimalization from a feasible vector can only
+// help).
+func TestSolveWarmRaiseG(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for i := 0; i < 60; i++ {
+		n := 2 + rng.Intn(9)
+		g := int64(1 + rng.Intn(3))
+		in := gen.RandomLaminar(rng, gen.DefaultLaminar(n, g))
+		_, rep, err := SolveContext(context.Background(), in, Options{Minimalize: true, CaptureWarm: true})
+		if err != nil {
+			t.Fatalf("case %d: cold: %v", i, err)
+		}
+		if rep.Warm == nil {
+			t.Fatalf("case %d: no warm state captured", i)
+		}
+		for dg := int64(1); dg <= 2; dg++ {
+			delta := raisedG(in, in.G+dg)
+			s, wrep, next, err := SolveWarm(context.Background(), delta, rep.Warm, Options{CaptureWarm: true})
+			if err != nil {
+				t.Fatalf("case %d dg=%d: warm: %v", i, dg, err)
+			}
+			if err := s.Validate(delta); err != nil {
+				t.Fatalf("case %d dg=%d: invalid warm schedule: %v", i, dg, err)
+			}
+			if wrep.ActiveSlots > rep.ActiveSlots {
+				t.Fatalf("case %d dg=%d: warm %d > base %d (monotone invariant)",
+					i, dg, wrep.ActiveSlots, rep.ActiveSlots)
+			}
+			if next == nil || next.G != delta.G {
+				t.Fatalf("case %d dg=%d: warm state not re-captured", i, dg)
+			}
+			opt, err := exact.Opt(delta)
+			if err != nil {
+				t.Fatalf("case %d dg=%d: exact: %v", i, dg, err)
+			}
+			if float64(wrep.ActiveSlots) > Ratio*float64(opt)+1e-9 {
+				t.Fatalf("case %d dg=%d: warm %d > 9/5·exact %d", i, dg, wrep.ActiveSlots, opt)
+			}
+		}
+	}
+}
+
+// TestSolveWarmMultiComponent exercises the component merge path
+// (forest with several disjoint trees).
+func TestSolveWarmMultiComponent(t *testing.T) {
+	in := gen.NestedForest(4, 3, 2, 2, 2)
+	_, rep, err := SolveContext(context.Background(), in, Options{Minimalize: true, CaptureWarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Warm == nil || len(rep.Warm.Comps) < 2 {
+		t.Fatalf("want multi-component warm state, got %+v", rep.Warm)
+	}
+	delta := raisedG(in, in.G+2)
+	s, wrep, _, err := SolveWarm(context.Background(), delta, rep.Warm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(delta); err != nil {
+		t.Fatal(err)
+	}
+	if wrep.ActiveSlots > rep.ActiveSlots {
+		t.Fatalf("warm %d > base %d", wrep.ActiveSlots, rep.ActiveSlots)
+	}
+}
+
+// TestSolveWarmMismatch pins the defensive shape checks.
+func TestSolveWarmMismatch(t *testing.T) {
+	in := gen.NestedChain(5, 2, 1)
+	_, rep, err := SolveContext(context.Background(), in, Options{CaptureWarm: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := SolveWarm(context.Background(), raisedG(in, 1), rep.Warm, Options{}); err == nil {
+		t.Fatal("want mismatch on lowered g")
+	}
+	other := gen.NestedChain(6, 3, 1)
+	if _, _, _, err := SolveWarm(context.Background(), other, rep.Warm, Options{}); err == nil {
+		t.Fatal("want mismatch on different job count")
+	}
+}

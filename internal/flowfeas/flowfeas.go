@@ -147,14 +147,14 @@ func ScheduleOnNodeCountsCtx(ctx context.Context, t *lamtree.Tree, counts []int6
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: node counts infeasible")
 	}
-	return extractNodeSchedule(t, net.g, net.jobNodeEdges, net.jobNodes, counts)
+	return extractNodeSchedule(t, net.g, net.jobNodeEdges, net.jobNodes, counts, t.G)
 }
 
 // extractNodeSchedule turns the flow on a solved node network into a
 // concrete schedule: per-node demands, column-packed into each node's
 // counts[i] leftmost exclusive slots.
-func extractNodeSchedule(t *lamtree.Tree, g *maxflow.Graph, jobNodeEdges [][]maxflow.EdgeRef, jobNodes [][]int, counts []int64) (*sched.Schedule, error) {
-	out := sched.New(t.G)
+func extractNodeSchedule(t *lamtree.Tree, g *maxflow.Graph, jobNodeEdges [][]maxflow.EdgeRef, jobNodes [][]int, counts []int64, gcap int64) (*sched.Schedule, error) {
+	out := sched.New(gcap)
 	demands := make([][]sched.Demand, t.M())
 	for jID, edges := range jobNodeEdges {
 		for k, ref := range edges {
@@ -169,7 +169,7 @@ func extractNodeSchedule(t *lamtree.Tree, g *maxflow.Graph, jobNodeEdges [][]max
 			continue
 		}
 		slots := t.ExclusiveSlots(i, counts[i])
-		if err := sched.PackColumns(out, slots, t.G, demands[i]); err != nil {
+		if err := sched.PackColumns(out, slots, gcap, demands[i]); err != nil {
 			return nil, fmt.Errorf("flowfeas: internal: packing node %d: %w", i, err)
 		}
 	}

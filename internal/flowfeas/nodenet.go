@@ -45,18 +45,28 @@ type NodeNet struct {
 	last         []int64 // counts applied by the last prime
 	want         int64   // Σ p_j
 	flowed       int64   // total flow routed since the last cold prime
+	gcap         int64   // per-slot capacity; t.G unless overridden
 }
 
 // NewNodeNet builds the reusable network for t. Source edges carry
 // their final capacities (p_j never changes); node capacities start at
 // zero until a Check, CheckWarm or Schedule call primes them.
 func NewNodeNet(t *lamtree.Tree) *NodeNet {
+	return NewNodeNetG(t, t.G)
+}
+
+// NewNodeNetG builds the network with a per-slot capacity g overriding
+// t.G. The warm-start path uses it to re-probe a retained tree at a
+// raised capacity without copying the tree (retained trees are shared
+// read-only across requests).
+func NewNodeNetG(t *lamtree.Tree, gcap int64) *NodeNet {
 	m := t.M()
 	n := len(t.Jobs)
 	g := maxflow.New(2 + n + m)
 	nn := &NodeNet{
 		t:            t,
 		g:            g,
+		gcap:         gcap,
 		srcEdges:     make([]maxflow.EdgeRef, n),
 		sinkEdges:    make([]maxflow.EdgeRef, m),
 		jobNodeEdges: make([][]maxflow.EdgeRef, n),
@@ -105,7 +115,7 @@ func (nn *NodeNet) prime(counts []int64) {
 		nn.g.SetCapacity(nn.srcEdges[jID], j.Processing)
 	}
 	for i, c := range counts {
-		nn.g.SetCapacity(nn.sinkEdges[i], nn.t.G*c)
+		nn.g.SetCapacity(nn.sinkEdges[i], nn.gcap*c)
 		for _, ref := range nn.nodeJobEdges[i] {
 			nn.g.SetCapacity(ref, c)
 		}
@@ -123,7 +133,7 @@ func (nn *NodeNet) raise(counts []int64) {
 		if c == nn.last[i] {
 			continue
 		}
-		nn.g.RaiseCapacity(nn.sinkEdges[i], nn.t.G*c)
+		nn.g.RaiseCapacity(nn.sinkEdges[i], nn.gcap*c)
 		for _, ref := range nn.nodeJobEdges[i] {
 			nn.g.RaiseCapacity(ref, c)
 		}
@@ -173,5 +183,5 @@ func (nn *NodeNet) Schedule(ctx context.Context, counts []int64, rec *metrics.Re
 	if !ok {
 		return nil, fmt.Errorf("flowfeas: node counts infeasible")
 	}
-	return extractNodeSchedule(nn.t, nn.g, nn.jobNodeEdges, nn.jobNodes, counts)
+	return extractNodeSchedule(nn.t, nn.g, nn.jobNodeEdges, nn.jobNodes, counts, nn.gcap)
 }

@@ -206,6 +206,24 @@ func (t *Tree) realChildIntervals(id int) []interval.Interval {
 // M returns the number of tree nodes.
 func (t *Tree) M() int { return len(t.Nodes) }
 
+// SizeBytes estimates the tree's retained heap footprint (nodes with
+// their per-node slices, jobs, NodeOf, and the materialized descendant
+// cache). The solve cache uses it to byte-account retained warm state.
+func (t *Tree) SizeBytes() int64 {
+	b := int64(len(t.Nodes))*128 + int64(len(t.Roots))*8 +
+		int64(len(t.Jobs))*32 + int64(len(t.NodeOf))*8
+	for i := range t.Nodes {
+		b += int64(len(t.Nodes[i].Children))*8 +
+			int64(len(t.Nodes[i].Jobs))*8 +
+			int64(len(t.Nodes[i].Exclusive))*16
+	}
+	b += int64(len(t.desCache)) * 24
+	for _, d := range t.desCache {
+		b += int64(len(d)) * 8
+	}
+	return b
+}
+
 // IsLeaf reports whether node id has no children.
 func (t *Tree) IsLeaf(id int) bool { return len(t.Nodes[id].Children) == 0 }
 

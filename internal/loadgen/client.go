@@ -44,6 +44,11 @@ type Result struct {
 	// requests "auto" this is the routed concrete algorithm, so reports
 	// show what executed rather than what was asked for.
 	Algorithm string `json:"algorithm,omitempty"`
+	// WarmStart and WarmKind mirror the response body's warm fields:
+	// the solve behind this result resumed retained near-miss state
+	// instead of running cold (raise_g or superset).
+	WarmStart bool   `json:"warm_start,omitempty"`
+	WarmKind  string `json:"warm_kind,omitempty"`
 	// SLOClass is the request's SLO class on async (job-API) runs; the
 	// report breaks latency out by it.
 	SLOClass string `json:"slo_class,omitempty"`
@@ -134,7 +139,7 @@ func (c *Client) Do(ctx context.Context, index int, body []byte, start time.Dura
 	res.RequestID = requestIDFrom(data)
 	res.Class, res.Cached, res.Err = classify(resp.StatusCode, data)
 	if resp.StatusCode == http.StatusOK {
-		res.Algorithm = algorithmFrom(data)
+		res.Algorithm, res.WarmStart, res.WarmKind = solveMetaFrom(data)
 	}
 	return res
 }
@@ -203,6 +208,7 @@ func (c *Client) doAsync(ctx context.Context, index int, body []byte, start time
 		case "done":
 			finish()
 			res.Algorithm = st.Result.Algorithm
+			res.WarmStart, res.WarmKind = st.Result.WarmStart, st.Result.WarmKind
 			if st.Result.Cached {
 				res.Class, res.Cached = ClassCached, true
 			} else {
@@ -248,6 +254,8 @@ type jobStatus struct {
 	Result   struct {
 		Cached    bool   `json:"cached"`
 		Algorithm string `json:"algorithm"`
+		WarmStart bool   `json:"warm_start"`
+		WarmKind  string `json:"warm_kind"`
 	} `json:"result"`
 }
 
@@ -316,14 +324,16 @@ func requestIDFrom(body []byte) string {
 	return v.RequestID
 }
 
-// algorithmFrom pulls the executed algorithm out of a SolveResponse
-// body.
-func algorithmFrom(body []byte) string {
+// solveMetaFrom pulls the executed algorithm and the warm-start fields
+// out of a SolveResponse body.
+func solveMetaFrom(body []byte) (alg string, warm bool, kind string) {
 	var v struct {
 		Algorithm string `json:"algorithm"`
+		WarmStart bool   `json:"warm_start"`
+		WarmKind  string `json:"warm_kind"`
 	}
 	_ = json.Unmarshal(body, &v)
-	return v.Algorithm
+	return v.Algorithm, v.WarmStart, v.WarmKind
 }
 
 func errBody(body []byte) string {

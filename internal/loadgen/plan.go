@@ -32,6 +32,18 @@ const (
 	FamilyGeneral = "general"
 )
 
+// Delta kinds a plan request can apply to its base instance. Both are
+// near-misses the server's warm-start path can resume from the cached
+// base solve (README "Warm starts", EXPERIMENTS.md E24).
+const (
+	// DeltaRaiseG: same jobs at a seed-varied higher capacity.
+	DeltaRaiseG = "raise_g"
+	// DeltaGrow: extra unit jobs at the instance's maximal (root)
+	// windows, clamped to each root's residual capacity so the grown
+	// instance stays feasible.
+	DeltaGrow = "grow"
+)
+
 // Request is one planned solve request. A Request is pure data: the
 // instance it solves is derived deterministically from (Family, Jobs,
 // G, InstanceSeed), so a JSONL trace of Requests replays the exact
@@ -54,6 +66,14 @@ type Request struct {
 	// one instance still share a cache entry — but their request bodies
 	// are no longer byte-identical.
 	PermuteSeed int64 `json:"permute_seed,omitempty"`
+	// DeltaKind, when set, turns the request into a near-miss of its
+	// base instance: the materialized instance is mutated per the kind
+	// (DeltaRaiseG, DeltaGrow) with DeltaSeed varying the mutation, so
+	// repeated deltas of one hot base are distinct requests that the
+	// server can warm-start from the base's cached solver state rather
+	// than exact-hit or solve cold.
+	DeltaKind string `json:"delta_kind,omitempty"`
+	DeltaSeed int64  `json:"delta_seed,omitempty"`
 	// Algorithm names the solver the request asks for.
 	Algorithm string `json:"algorithm"`
 	// TimeoutMS is forwarded as the request's timeout_ms when > 0.
@@ -81,16 +101,84 @@ func (r Request) Instance() (*instance.Instance, error) {
 }
 
 // materialize builds the instance as it goes on the wire: the
-// deterministic instance, job-order shuffled when PermuteSeed is set.
+// deterministic instance, delta-mutated when DeltaKind is set,
+// job-order shuffled when PermuteSeed is set.
 func (r Request) materialize() (*instance.Instance, error) {
 	in, err := r.Instance()
 	if err != nil {
 		return nil, err
 	}
+	if r.DeltaKind != "" {
+		if in, err = applyDelta(in, r.DeltaKind, r.DeltaSeed); err != nil {
+			return nil, err
+		}
+	}
 	if r.PermuteSeed != 0 {
 		in = in.Permute(rand.New(rand.NewSource(r.PermuteSeed)).Perm(in.N()))
 	}
 	return in, nil
+}
+
+// applyDelta mutates a base instance into the request's near-miss.
+// The mutation is deterministic in seed, and DeltaGrow only ever adds
+// load a root window can still absorb, so the result stays feasible.
+func applyDelta(in *instance.Instance, kind string, seed int64) (*instance.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch kind {
+	case DeltaRaiseG:
+		out := in.Clone()
+		out.G += 1 + rng.Int63n(6)
+		return out, nil
+	case DeltaGrow:
+		// Maximal (root) windows by a start-asc / end-desc sweep, with
+		// each root's residual capacity g·|root| − Σp(jobs started in it).
+		type span struct{ lo, hi, slack int64 }
+		idx := make([]int, in.N())
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			ja, jb := in.Jobs[idx[a]], in.Jobs[idx[b]]
+			if ja.Release != jb.Release {
+				return ja.Release < jb.Release
+			}
+			return ja.Deadline > jb.Deadline
+		})
+		var roots []span
+		for _, i := range idx {
+			j := in.Jobs[i]
+			if len(roots) == 0 || j.Release >= roots[len(roots)-1].hi {
+				roots = append(roots, span{lo: j.Release, hi: j.Deadline})
+				roots[len(roots)-1].slack = (j.Deadline - j.Release) * in.G
+			}
+			k := len(roots) - 1
+			roots[k].slack -= j.Processing
+		}
+		// A seed-varied number of unit jobs, at most ~10% of the base,
+		// spread round-robin over the roots that still have slack.
+		target := 1 + rng.Intn((in.N()+9)/10)
+		jobs := append([]instance.Job(nil), in.Jobs...)
+		for added := 0; added < target; {
+			progressed := false
+			for k := range roots {
+				if added >= target {
+					break
+				}
+				if roots[k].slack > 0 {
+					jobs = append(jobs, instance.Job{Processing: 1, Release: roots[k].lo, Deadline: roots[k].hi})
+					roots[k].slack--
+					added++
+					progressed = true
+				}
+			}
+			if !progressed {
+				break
+			}
+		}
+		return instance.New(in.G, jobs)
+	default:
+		return nil, fmt.Errorf("loadgen: unknown delta kind %q", kind)
+	}
 }
 
 // Body marshals the request into a /solve JSON body.
@@ -200,6 +288,13 @@ type PlanConfig struct {
 	// still recognize the repeats, which is exactly what the
 	// cluster-policy experiments stress.
 	PermuteInstances bool
+	// Delta turns roughly half the plan into near-miss requests:
+	// seed-varied raised-g and grown variants of the pool instances
+	// (general-family entries only raise g — growth needs nested
+	// windows to stay warmable). With pool reuse the base instances go
+	// hot, so the variants exercise the server's warm-start path; see
+	// EXPERIMENTS.md E24.
+	Delta bool
 	// Algorithm overrides the per-family default solver when set.
 	Algorithm string
 	// TimeoutMS is forwarded on every request when > 0.
@@ -378,6 +473,12 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 	if cfg.PermuteInstances {
 		permRng = rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D))
 	}
+	// Delta choices likewise come from their own stream: toggling Delta
+	// leaves the specs, arrivals and classes untouched.
+	var deltaRng *rand.Rand
+	if cfg.Delta {
+		deltaRng = rand.New(rand.NewSource(cfg.Seed ^ 0x2545F4914F6CDD1D))
+	}
 
 	plan := make([]Request, cfg.Requests)
 	for i := range plan {
@@ -407,6 +508,14 @@ func BuildPlan(cfg PlanConfig) ([]Request, error) {
 		}
 		if permRng != nil {
 			plan[i].PermuteSeed = permRng.Int63()
+		}
+		if deltaRng != nil && deltaRng.Intn(2) == 1 {
+			kind := DeltaRaiseG
+			if spec.family != FamilyGeneral && deltaRng.Intn(2) == 1 {
+				kind = DeltaGrow
+			}
+			plan[i].DeltaKind = kind
+			plan[i].DeltaSeed = deltaRng.Int63()
 		}
 	}
 	return plan, nil

@@ -69,6 +69,13 @@ type Report struct {
 	// ones, and greedy-minimal for general windows.
 	Algorithms map[string]int64 `json:"algorithms,omitempty"`
 
+	// WarmStarts counts successful requests whose solve resumed
+	// retained near-miss state (response warm_start=true), with
+	// WarmKinds breaking them out by kind (raise_g, superset). Delta
+	// plans (-delta) use these to show the warm-path hit rate.
+	WarmStarts int64            `json:"warm_starts,omitempty"`
+	WarmKinds  map[string]int64 `json:"warm_kinds,omitempty"`
+
 	// PerClass breaks the run out by SLO class on async runs; nil for
 	// synchronous /solve runs (which carry no class).
 	PerClass map[string]*ClassStat `json:"per_class,omitempty"`
@@ -179,6 +186,13 @@ func BuildReport(results []Result, wall time.Duration, model, target string, see
 				r.Algorithms = make(map[string]int64)
 			}
 			r.Algorithms[res.Algorithm]++
+		}
+		if res.WarmStart {
+			r.WarmStarts++
+			if r.WarmKinds == nil {
+				r.WarmKinds = make(map[string]int64)
+			}
+			r.WarmKinds[res.WarmKind]++
 		}
 		if isError(res.Class) {
 			r.Errors++

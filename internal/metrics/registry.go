@@ -32,6 +32,12 @@ type Registry struct {
 	cacheMisses   atomic.Int64
 	cacheCoalesce atomic.Int64
 
+	warmRaiseG    atomic.Int64
+	warmSuperset  atomic.Int64
+	warmFallbacks atomic.Int64
+
+	cacheStats atomic.Pointer[CacheStatsFunc]
+
 	stages   [numStages]stageAcc
 	counters [len(counterNames)]atomic.Int64
 
@@ -185,6 +191,44 @@ func (g *Registry) CacheMiss() { g.cacheMisses.Add(1) }
 // CacheCoalesced counts a request that joined an in-flight solve of
 // the same canonical instance.
 func (g *Registry) CacheCoalesced() { g.cacheCoalesce.Add(1) }
+
+// CacheStatsFunc reports solve-cache gauges: live entries, cumulative
+// evictions, and retained warm-state bytes.
+type CacheStatsFunc func() (entries, evictions, warmBytes int64)
+
+// SetCacheStatsFunc installs the callback WritePrometheus uses for the
+// activetime_cache_entries / _evictions_total / _warm_bytes series.
+// A nil callback (the default) exposes zeros.
+func (g *Registry) SetCacheStatsFunc(f CacheStatsFunc) {
+	if f == nil {
+		g.cacheStats.Store(nil)
+		return
+	}
+	g.cacheStats.Store(&f)
+}
+
+// WarmStart counts a request answered by resuming retained warm state
+// instead of solving cold. Kind is "raise_g" or "superset" (anything
+// else is folded into raise_g to keep the label set fixed).
+func (g *Registry) WarmStart(kind string) {
+	if kind == "superset" {
+		g.warmSuperset.Add(1)
+		return
+	}
+	g.warmRaiseG.Add(1)
+}
+
+// WarmFallback counts a warm-start attempt that failed (mismatched or
+// corrupt retained state) and fell back to a cold solve.
+func (g *Registry) WarmFallback() { g.warmFallbacks.Add(1) }
+
+// WarmStarts returns the cumulative warm-start counts by kind.
+func (g *Registry) WarmStarts() (raiseG, superset int64) {
+	return g.warmRaiseG.Load(), g.warmSuperset.Load()
+}
+
+// WarmFallbacks returns the number of warm attempts that fell back.
+func (g *Registry) WarmFallbacks() int64 { return g.warmFallbacks.Load() }
 
 // Shed returns the number of admission-rejected requests.
 func (g *Registry) Shed() int64 { return g.shed.Load() }
@@ -347,6 +391,31 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	p("# HELP activetime_cache_coalesced_total Requests that joined an identical in-flight solve.\n")
 	p("# TYPE activetime_cache_coalesced_total counter\n")
 	p("activetime_cache_coalesced_total %d\n", g.cacheCoalesce.Load())
+
+	p("# HELP activetime_warm_starts_total Requests answered by resuming retained warm solver state, by delta kind.\n")
+	p("# TYPE activetime_warm_starts_total counter\n")
+	p("activetime_warm_starts_total{kind=\"raise_g\"} %d\n", g.warmRaiseG.Load())
+	p("activetime_warm_starts_total{kind=\"superset\"} %d\n", g.warmSuperset.Load())
+
+	p("# HELP activetime_warm_fallbacks_total Warm-start attempts that failed and fell back to a cold solve.\n")
+	p("# TYPE activetime_warm_fallbacks_total counter\n")
+	p("activetime_warm_fallbacks_total %d\n", g.warmFallbacks.Load())
+
+	var cacheEntries, cacheEvictions, cacheWarmBytes int64
+	if f := g.cacheStats.Load(); f != nil {
+		cacheEntries, cacheEvictions, cacheWarmBytes = (*f)()
+	}
+	p("# HELP activetime_cache_entries Live entries in the solve cache.\n")
+	p("# TYPE activetime_cache_entries gauge\n")
+	p("activetime_cache_entries %d\n", cacheEntries)
+
+	p("# HELP activetime_cache_evictions_total Solve-cache entries evicted by the LRU policy.\n")
+	p("# TYPE activetime_cache_evictions_total counter\n")
+	p("activetime_cache_evictions_total %d\n", cacheEvictions)
+
+	p("# HELP activetime_cache_warm_bytes Warm solver state currently retained on cache entries, in bytes.\n")
+	p("# TYPE activetime_cache_warm_bytes gauge\n")
+	p("activetime_cache_warm_bytes %d\n", cacheWarmBytes)
 
 	p("# HELP activetime_stage_seconds_total Cumulative wall-clock seconds per pipeline stage.\n")
 	p("# TYPE activetime_stage_seconds_total counter\n")

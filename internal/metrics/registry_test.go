@@ -296,3 +296,48 @@ func TestRegistryServiceCounters(t *testing.T) {
 		}
 	}
 }
+
+func TestRegistryWarmCounters(t *testing.T) {
+	g := NewRegistry()
+	g.WarmStart("raise_g")
+	g.WarmStart("raise_g")
+	g.WarmStart("superset")
+	g.WarmFallback()
+
+	if rg, ss := g.WarmStarts(); rg != 2 || ss != 1 {
+		t.Errorf("WarmStarts = (%d, %d), want (2, 1)", rg, ss)
+	}
+	if got := g.WarmFallbacks(); got != 1 {
+		t.Errorf("WarmFallbacks = %d, want 1", got)
+	}
+
+	g.SetCacheStatsFunc(func() (int64, int64, int64) { return 7, 3, 4096 })
+
+	var buf bytes.Buffer
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`activetime_warm_starts_total{kind="raise_g"} 2`,
+		`activetime_warm_starts_total{kind="superset"} 1`,
+		"activetime_warm_fallbacks_total 1",
+		"activetime_cache_entries 7",
+		"activetime_cache_evictions_total 3",
+		"activetime_cache_warm_bytes 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Clearing the callback reverts the cache gauges to zero.
+	g.SetCacheStatsFunc(nil)
+	buf.Reset()
+	if err := g.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "activetime_cache_entries 0") {
+		t.Error("nil cache-stats callback did not zero the gauge")
+	}
+}

@@ -89,6 +89,14 @@ type Event struct {
 	Cache    string `json:"cache,omitempty"`
 	CacheKey string `json:"cache_key,omitempty"` // canonical solve-cache key (hex)
 
+	// Warm-start outcome: WarmStart marks a request answered by
+	// resuming retained solver state from a near-miss cache entry,
+	// WarmKind the delta kind ("raise_g" or "superset"), WarmFallback a
+	// warm attempt that failed and fell back to a cold solve.
+	WarmStart    bool   `json:"warm_start,omitempty"`
+	WarmKind     string `json:"warm_kind,omitempty"`
+	WarmFallback bool   `json:"warm_fallback,omitempty"`
+
 	// Instance shape and algorithm selection. RouteReason explains an
 	// auto-routed request's concrete algorithm choice (one of the
 	// activetime.RouteReason constants); empty when the client named an

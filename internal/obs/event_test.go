@@ -30,6 +30,9 @@ func fullEvent() *Event {
 		QueueWaitMS:     12.5,
 		Cache:           CacheMiss,
 		CacheKey:        "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef",
+		WarmStart:       true,
+		WarmKind:        "raise_g",
+		WarmFallback:    true,
 		Algorithm:       "nested95",
 		Jobs:            24,
 		G:               3,

@@ -336,12 +336,13 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	start := time.Now()
 	var res *activetime.Result
 	var cached bool
+	var warmKind string
 	var err error
 	// Goroutine labels segment CPU/heap profiles by workload class.
 	rpprof.Do(ctx, rpprof.Labels(
 		"request_id", p.reqID, "class", string(j.Class()), "algorithm", string(p.alg), "family", p.family,
 	), func(ctx context.Context) {
-		res, cached, err = s.executeSolve(ctx, solveParams{
+		res, cached, warmKind, err = s.executeSolve(ctx, solveParams{
 			req: p.req, in: p.in, alg: p.alg, workers: p.workers, tr: tr, ev: p.ev,
 		})
 	})
@@ -375,7 +376,7 @@ func (s *Server) runJob(ctx context.Context, j *jobs.Job) (any, error) {
 	if p.req.IncludeTrace {
 		rp.tr = tr
 	}
-	out, err := s.buildSolveResponse(p.reqID, rp, res, cached, elapsed)
+	out, err := s.buildSolveResponse(p.reqID, rp, res, cached, warmKind, elapsed)
 	if err != nil {
 		log.Error("encode job result", "err", err)
 		return nil, fmt.Errorf("encode schedule: %w", err)

@@ -55,6 +55,11 @@ type Config struct {
 	// CacheEntries sizes the canonicalized solve-result LRU; ≤ 0
 	// disables caching and coalescing.
 	CacheEntries int
+	// CacheWarmBytes budgets the solver state retained on cache
+	// entries for near-miss warm starts (raised g, nested job
+	// supersets). ≤ 0 disables warm starts: results are still cached,
+	// but no state is retained and every near-miss solves cold.
+	CacheWarmBytes int64
 	// MaxSolveMemBytes rejects with 422 any solve whose estimated LP
 	// tableau footprint (costmodel.EstimateLP) exceeds this many bytes
 	// when the LP algorithm is requested explicitly; ≤ 0 disables the
@@ -111,6 +116,7 @@ func DefaultConfig(workers int) Config {
 		AdmissionWait:    100 * time.Millisecond,
 		SolveTimeout:     0,
 		CacheEntries:     256,
+		CacheWarmBytes:   64 << 20,
 		MaxSolveMemBytes: 1 << 30,
 		JobsMaxRunning:   2,
 		JobsMaxQueued:    256,
@@ -163,6 +169,8 @@ func New(log *slog.Logger, cfg Config) *Server {
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = solvecache.NewGroup[*solveOutcome](cfg.CacheEntries)
+		s.cache.SetWarmBudget(cfg.CacheWarmBytes)
+		s.reg.SetCacheStatsFunc(s.cache.CacheStats)
 	}
 	s.cost = cfg.CostModel
 	if s.cost == nil {
@@ -294,10 +302,17 @@ type SolveResponse struct {
 	ElapsedMS      float64 `json:"elapsed_ms"`
 	// Cached marks a response served from the solve cache; Stats then
 	// describe the original solve that populated the entry.
-	Cached   bool               `json:"cached,omitempty"`
-	Stats    *metrics.Stats     `json:"stats,omitempty"`
-	Schedule json.RawMessage    `json:"schedule,omitempty"`
-	Trace    *trace.ChromeTrace `json:"trace,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// WarmStart marks a result produced by resuming retained solver
+	// state from a structurally similar cache entry; WarmKind is the
+	// near-miss delta kind ("raise_g" or "superset"). Like Stats, both
+	// describe the solve behind the result, so an exact cache hit on a
+	// warm-solved entry reports them too.
+	WarmStart bool               `json:"warm_start,omitempty"`
+	WarmKind  string             `json:"warm_kind,omitempty"`
+	Stats     *metrics.Stats     `json:"stats,omitempty"`
+	Schedule  json.RawMessage    `json:"schedule,omitempty"`
+	Trace     *trace.ChromeTrace `json:"trace,omitempty"`
 }
 
 // ErrorResponse is the uniform error body for every non-2xx outcome.
@@ -595,11 +610,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var res *activetime.Result
 	var cached bool
+	var warmKind string
 	// Goroutine labels segment CPU/heap profiles by workload class.
 	rpprof.Do(ctx, rpprof.Labels(
 		"request_id", reqID, "class", "sync", "algorithm", string(alg), "family", family,
 	), func(ctx context.Context) {
-		res, cached, err = s.executeSolve(ctx, solveParams{
+		res, cached, warmKind, err = s.executeSolve(ctx, solveParams{
 			req: req, in: in, alg: alg, workers: workers, tr: tr, sampleTr: sampleTr, ev: ev,
 		})
 	})
@@ -616,7 +632,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	out, err := s.buildSolveResponse(reqID, solveParams{req: req, in: in, tr: tr}, res, cached, elapsed)
+	out, err := s.buildSolveResponse(reqID, solveParams{req: req, in: in, tr: tr}, res, cached, warmKind, elapsed)
 	if err != nil {
 		log.Error("encode schedule", "err", err)
 		fail(http.StatusInternalServerError, "encode schedule: "+err.Error())
@@ -629,6 +645,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		"algorithm", string(res.Algorithm),
 		"active_slots", res.ActiveSlots,
 		"cached", cached,
+		"warm_kind", warmKind,
 		"elapsed_ms", out.ElapsedMS)
 	s.writeJSON(w, http.StatusOK, out)
 }
@@ -658,19 +675,109 @@ type solveParams struct {
 type solveOutcome struct {
 	res     *activetime.Result
 	solveNS int64
+	// warmKind and warmFallback describe the flight that produced the
+	// result: the delta kind of a warm resume ("raise_g"/"superset",
+	// empty for cold), and whether a warm attempt failed before the
+	// cold solve ran.
+	warmKind     string
+	warmFallback bool
+	// warm is the retained solver state future near-miss requests can
+	// resume; the solve cache strips it under the warm-byte budget via
+	// the WarmCarrier interface.
+	warm atomic.Pointer[activetime.WarmState]
+}
+
+// WarmBytes and StripWarm implement solvecache.WarmCarrier.
+func (o *solveOutcome) WarmBytes() int64 { return o.warm.Load().SizeBytes() }
+func (o *solveOutcome) StripWarm()       { o.warm.Store(nil) }
+
+// warmEligible reports whether a solve may participate in warm
+// starts: the cache must exist with a warm budget, and the algorithm
+// must retain resumable state (nested95's flow network, the
+// combinatorial solver's activation state). Compact repacking
+// invalidates the retained placement, so compact solves stay cold.
+func (s *Server) warmEligible(p solveParams) bool {
+	if s.cache == nil || s.cfg.CacheWarmBytes <= 0 || p.req.Compact {
+		return false
+	}
+	return p.alg == activetime.AlgNested95 || p.alg == activetime.AlgCombinatorial
+}
+
+// tryWarmSolve scans structurally similar cache entries for retained
+// warm state whose base instance is a classified near-miss of canonIn
+// (canonical job order), and resumes the first match. It returns a
+// completed outcome on success; on a state mismatch the candidate's
+// warm state is stripped (so the same key cannot fall back twice), the
+// fallback counted, and fellBack returned true — the caller solves
+// cold.
+func (s *Server) tryWarmSolve(ctx context.Context, canonIn *instance.Instance, p solveParams, structKey solvecache.Key, capture bool) (out *solveOutcome, fellBack bool) {
+	for _, ck := range s.cache.Similar(structKey) {
+		cand, ok := s.cache.Peek(ck)
+		if !ok || cand == nil {
+			continue
+		}
+		w := cand.warm.Load()
+		if w == nil {
+			continue
+		}
+		d := activetime.ClassifyDelta(w.Base, canonIn)
+		if d.Kind == activetime.WarmNone {
+			continue
+		}
+		tr := p.tr
+		if tr == nil {
+			tr = p.sampleTr
+		}
+		start := time.Now()
+		res, err := activetime.SolveWarmCtx(ctx, canonIn, w, d, activetime.SolveOptions{
+			Workers:     p.workers,
+			Trace:       tr,
+			CaptureWarm: capture,
+		})
+		took := time.Since(start)
+		if err != nil {
+			if errors.Is(err, activetime.ErrWarmMismatch) {
+				// Corrupt or stale retained state: drop it so the next
+				// near-miss on this entry solves cold once instead of
+				// falling back forever.
+				s.cache.StripWarmKey(ck)
+				s.reg.WarmFallback()
+				fellBack = true
+			}
+			if ctx.Err() != nil {
+				break // canceled: the cold path would fail the same way
+			}
+			continue
+		}
+		// A successful resume is a completed solve; failed attempts are
+		// only warm-fallback events (the cold solve that follows is the
+		// one counted).
+		s.reg.SolveStarted()
+		s.reg.ObserveSolve(res.Stats, took, nil)
+		s.reg.WarmStart(string(d.Kind))
+		o := &solveOutcome{res: res, solveNS: took.Nanoseconds(), warmKind: string(d.Kind), warmFallback: fellBack}
+		o.warm.Store(res.Warm)
+		res.Warm = nil
+		return o, fellBack
+	}
+	return nil, fellBack
 }
 
 // executeSolve runs one solve through the shared path: registry
 // accounting, the canonicalization-keyed cache (bypassed for traced
-// solves, whose spans belong to a single request), and schedule
-// relabeling for cached hits. It returns the result and whether it was
-// served from cache.
-func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.Result, bool, error) {
-	// runSolve executes one real solve of solveIn under the given
+// solves, whose spans belong to a single request), near-miss warm
+// starts, and schedule relabeling for cached hits. It returns the
+// result, whether it was served from cache, and the warm-start kind
+// ("" for a cold solve).
+func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.Result, bool, string, error) {
+	warmable := s.warmEligible(p)
+
+	// runSolve executes one real cold solve of solveIn under the given
 	// context (the request's, or — when coalesced behind the cache — a
 	// flight context detached from any single request) and folds its
-	// outcome into the registry.
-	runSolve := func(ctx context.Context, solveIn *instance.Instance) (*solveOutcome, error) {
+	// outcome into the registry. capture retains warm state on the
+	// outcome for future near-miss requests.
+	runSolve := func(ctx context.Context, solveIn *instance.Instance, capture bool) (*solveOutcome, error) {
 		s.reg.SolveStarted()
 		if h := s.testHookBeforeSolve; h != nil {
 			h(ctx)
@@ -682,15 +789,22 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 		start := time.Now()
 		var res *activetime.Result
 		var err error
-		if p.alg == activetime.AlgNested95 {
+		switch p.alg {
+		case activetime.AlgNested95:
 			res, err = activetime.SolveNested95Ctx(ctx, solveIn, activetime.SolveOptions{
-				ExactLP:    p.req.ExactLP,
-				Minimalize: p.req.Minimalize,
-				Compact:    p.req.Compact,
-				Workers:    p.workers,
-				Trace:      tr,
+				ExactLP:     p.req.ExactLP,
+				Minimalize:  p.req.Minimalize,
+				Compact:     p.req.Compact,
+				Workers:     p.workers,
+				Trace:       tr,
+				CaptureWarm: capture,
 			})
-		} else {
+		case activetime.AlgCombinatorial:
+			res, err = activetime.SolveCombinatorialCtx(ctx, solveIn, activetime.SolveOptions{
+				Trace:       tr,
+				CaptureWarm: capture,
+			})
+		default:
 			res, err = activetime.SolveTracedCtx(ctx, solveIn, p.alg, tr)
 		}
 		took := time.Since(start)
@@ -699,7 +813,12 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 			stats = res.Stats
 		}
 		s.reg.ObserveSolve(stats, took, err)
-		return &solveOutcome{res: res, solveNS: took.Nanoseconds()}, err
+		out := &solveOutcome{res: res, solveNS: took.Nanoseconds()}
+		if res != nil && res.Warm != nil {
+			out.warm.Store(res.Warm)
+			res.Warm = nil
+		}
+		return out, err
 	}
 
 	// fillEvent stamps the solve's observability fields once the
@@ -713,16 +832,29 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 		if err == nil && out != nil {
 			p.ev.MeasuredNS = out.solveNS
 			p.ev.SolveMS = float64(out.solveNS) / 1e6
+			if out.warmKind != "" {
+				p.ev.WarmStart = true
+				p.ev.WarmKind = out.warmKind
+				// Re-predict with the warm discount so the event's
+				// predicted-vs-measured comparison describes the solve
+				// that actually ran.
+				p.ev.PredictedCostNS = s.cost.PredictWarmNS(
+					p.ev.Family, string(p.alg), out.warmKind, p.ev.Jobs, p.ev.Depth)
+			}
+			p.ev.WarmFallback = out.warmFallback
 			if out.res != nil {
 				p.ev.FillStats(out.res.Stats)
 			}
-			// Feed fresh solves (not cache hits — solveNS there is the
-			// original flight's, already observed once) back into the
-			// cost-model corrector. PredictedCostNS is the raw model
-			// output, which is what Observe requires.
-			switch cacheOutcome {
-			case obs.CacheMiss, obs.CacheOff, obs.CacheBypass:
-				s.corr.Observe(p.ev.Family, string(p.alg), p.ev.PredictedCostNS, out.solveNS)
+			// Feed fresh cold solves (not cache hits — solveNS there is
+			// the original flight's, already observed once — and not warm
+			// resumes, whose cost the cold-fitted model cannot explain)
+			// back into the cost-model corrector. PredictedCostNS is the
+			// raw model output, which is what Observe requires.
+			if out.warmKind == "" {
+				switch cacheOutcome {
+				case obs.CacheMiss, obs.CacheOff, obs.CacheBypass:
+					s.corr.Observe(p.ev.Family, string(p.alg), p.ev.PredictedCostNS, out.solveNS)
+				}
 			}
 		}
 	}
@@ -732,12 +864,38 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 		if s.cache != nil {
 			cacheOutcome = obs.CacheBypass
 		}
-		out, err := runSolve(ctx, p.in)
+		// Traced solves bypass the cache (their spans belong to one
+		// request) but can still resume similar entries' warm state —
+		// this is how async jobs, which always trace for their SSE
+		// stream, get warm starts. Nothing is retained: the outcome is
+		// never cached.
+		var fellBack bool
+		if warmable {
+			order := solvecache.CanonicalOrder(p.in)
+			canonIn := p.in.Permute(order)
+			structK := solvecache.StructKeyFor(p.in, string(p.alg), p.req.ExactLP, p.req.Minimalize, p.req.Compact)
+			wout, fb := s.tryWarmSolve(ctx, canonIn, p, structK, false)
+			fellBack = fb
+			if wout != nil {
+				fillEvent(cacheOutcome, "", wout, nil)
+				res := wout.res
+				if p.req.IncludeSchedule {
+					relabeled := *res
+					relabeled.Schedule = res.Schedule.Relabel(order)
+					res = &relabeled
+				}
+				return res, false, wout.warmKind, nil
+			}
+		}
+		out, err := runSolve(ctx, p.in, false)
+		if out != nil {
+			out.warmFallback = fellBack
+		}
 		fillEvent(cacheOutcome, "", out, err)
 		if out == nil {
-			return nil, false, err
+			return nil, false, "", err
 		}
-		return out.res, false, err
+		return out.res, false, "", err
 	}
 
 	// The key canonicalizes the instance (job order and IDs do not
@@ -749,8 +907,27 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 	key := solvecache.KeyFor(p.in, string(p.alg), p.req.ExactLP, p.req.Minimalize, p.req.Compact)
 	order := solvecache.CanonicalOrder(p.in)
 	canonIn := p.in.Permute(order)
-	out, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (*solveOutcome, error) {
-		return runSolve(ctx, canonIn)
+	var structK solvecache.Key
+	if warmable {
+		structK = solvecache.StructKeyFor(p.in, string(p.alg), p.req.ExactLP, p.req.Minimalize, p.req.Compact)
+	}
+	out, outcome, err := s.cache.DoIndexed(ctx, key, structK, func(ctx context.Context) (*solveOutcome, error) {
+		var fellBack bool
+		if warmable {
+			wout, fb := s.tryWarmSolve(ctx, canonIn, p, structK, true)
+			if wout != nil {
+				return wout, nil
+			}
+			fellBack = fb
+		}
+		cout, cerr := runSolve(ctx, canonIn, warmable)
+		if cout != nil {
+			// After a fallback the cold outcome (with its fresh warm
+			// state) replaces the stripped entry under this key, so the
+			// same near-miss never falls back twice.
+			cout.warmFallback = fellBack
+		}
+		return cout, cerr
 	})
 	cached := false
 	cacheOutcome := obs.CacheMiss
@@ -767,7 +944,7 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 	}
 	fillEvent(cacheOutcome, fmt.Sprintf("%x", key), out, err)
 	if err != nil || out == nil {
-		return nil, cached, err
+		return nil, cached, "", err
 	}
 	res := out.res
 	if p.req.IncludeSchedule {
@@ -777,13 +954,13 @@ func (s *Server) executeSolve(ctx context.Context, p solveParams) (*activetime.R
 		relabeled.Schedule = res.Schedule.Relabel(order)
 		res = &relabeled
 	}
-	return res, cached, err
+	return res, cached, out.warmKind, err
 }
 
 // buildSolveResponse assembles the wire response for a successful
 // solve; it is shared by /solve and by the job runner (whose response
 // becomes the job's stored result).
-func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime.Result, cached bool, elapsed time.Duration) (SolveResponse, error) {
+func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime.Result, cached bool, warmKind string, elapsed time.Duration) (SolveResponse, error) {
 	out := SolveResponse{
 		RequestID:      reqID,
 		Algorithm:      string(res.Algorithm),
@@ -793,6 +970,8 @@ func (s *Server) buildSolveResponse(reqID string, p solveParams, res *activetime
 		CertifiedRatio: res.CertifiedRatio,
 		ElapsedMS:      float64(elapsed.Microseconds()) / 1e3,
 		Cached:         cached,
+		WarmStart:      warmKind != "",
+		WarmKind:       warmKind,
 		Stats:          res.Stats,
 	}
 	if p.req.IncludeSchedule {

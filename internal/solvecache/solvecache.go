@@ -85,6 +85,62 @@ func CanonicalDigest(in *instance.Instance) Key {
 // change the solve's result (e.g. worker count) should be omitted.
 func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
 	d := CanonicalDigest(in)
+	return mixKey(d, algorithm, flags)
+}
+
+// StructuralDigest hashes only the window forest's *shape*: the
+// distinct root windows of the laminar forest, in time order — no g,
+// no job multiset. Raising g, or nesting extra jobs inside the
+// existing forest, leaves the structural digest unchanged, which is
+// exactly what makes it the near-miss index for warm starts: an exact
+// cache miss can look up entries with the same structural digest and
+// classify the delta against them.
+func StructuralDigest(in *instance.Instance) Key {
+	type win struct{ s, e int64 }
+	ws := make([]win, len(in.Jobs))
+	for i, j := range in.Jobs {
+		ws[i] = win{j.Release, j.Deadline}
+	}
+	sort.Slice(ws, func(a, b int) bool {
+		if ws[a].s != ws[b].s {
+			return ws[a].s < ws[b].s
+		}
+		return ws[a].e > ws[b].e
+	})
+	h := sha256.New()
+	var buf [8]byte
+	wi := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	// Sweep for roots: after the (start asc, end desc) sort a window
+	// opens a new root iff it starts at or past everything seen so far.
+	var maxEnd int64
+	first := true
+	for _, w := range ws {
+		if first || w.s >= maxEnd {
+			wi(w.s)
+			wi(w.e)
+			first = false
+		}
+		if w.e > maxEnd {
+			maxEnd = w.e
+		}
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// StructKeyFor is the structural analogue of KeyFor: the structural
+// digest re-hashed with the algorithm and option flags, so near-miss
+// lookups only surface entries solved the same way.
+func StructKeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
+	d := StructuralDigest(in)
+	return mixKey(d, algorithm, flags)
+}
+
+func mixKey(d Key, algorithm string, flags []bool) Key {
 	h := sha256.New()
 	h.Write(d[:])
 	var buf [8]byte
@@ -103,28 +159,79 @@ func KeyFor(in *instance.Instance, algorithm string, flags ...bool) Key {
 	return k
 }
 
+// WarmCarrier is optionally implemented by cached values that retain
+// warm solver state. The cache byte-accounts the retained state and
+// strips it — without evicting the result itself — to stay within
+// SetWarmBudget. WarmBytes is read once at insert time; StripWarm must
+// be idempotent and safe under concurrent readers of the value.
+type WarmCarrier interface {
+	WarmBytes() int64
+	StripWarm()
+}
+
+func warmBytesOf(v any) int64 {
+	if c, ok := v.(WarmCarrier); ok {
+		return c.WarmBytes()
+	}
+	return 0
+}
+
 // Cache is a fixed-capacity LRU map from Key to V. It is safe for
 // concurrent use. A capacity ≤ 0 disables the cache: Get always
 // misses and Add is a no-op.
+//
+// Entries may additionally be indexed under a structural key
+// (AddIndexed), making them discoverable by Similar for near-miss
+// warm starts, and may carry byte-accounted warm solver state
+// (WarmCarrier) bounded by SetWarmBudget.
 type Cache[V any] struct {
 	mu      sync.Mutex
 	max     int
 	ll      *list.List
 	entries map[Key]*list.Element
+	// index buckets exact keys by structural key, most recently added
+	// first, so a near-miss lookup surfaces the freshest warmable
+	// ancestors.
+	index      map[Key][]Key
+	warmBudget int64
+	warmTotal  int64
+	evictions  int64
 }
 
 type cacheEntry[V any] struct {
-	key Key
-	val V
+	key       Key
+	structKey Key
+	warmBytes int64
+	val       V
 }
 
-// NewCache returns an LRU cache holding at most max entries.
+// maxBucket bounds a structural-index bucket. Older keys fall off the
+// bucket (losing near-miss discoverability, not cache residency).
+const maxBucket = 8
+
+// NewCache returns an LRU cache holding at most max entries. The warm
+// budget starts at zero: retained warm state is stripped immediately
+// unless SetWarmBudget grants bytes for it.
 func NewCache[V any](max int) *Cache[V] {
 	return &Cache[V]{
 		max:     max,
 		ll:      list.New(),
 		entries: make(map[Key]*list.Element),
+		index:   make(map[Key][]Key),
 	}
+}
+
+// SetWarmBudget bounds the total bytes of retained warm state across
+// all entries; state beyond the budget is stripped least recently used
+// first. A budget ≤ 0 retains nothing.
+func (c *Cache[V]) SetWarmBudget(b int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.warmBudget = b
+	c.enforceWarmBudget()
 }
 
 // Get returns the cached value for k, refreshing its recency.
@@ -143,9 +250,34 @@ func (c *Cache[V]) Get(k Key) (V, bool) {
 	return el.Value.(*cacheEntry[V]).val, true
 }
 
+// Peek returns the cached value for k without refreshing its recency.
+// The warm-start path uses it to inspect a candidate ancestor without
+// promoting it.
+func (c *Cache[V]) Peek(k Key) (V, bool) {
+	var zero V
+	if c == nil || c.max <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return zero, false
+	}
+	return el.Value.(*cacheEntry[V]).val, true
+}
+
 // Add stores v under k, evicting the least recently used entry when
 // the cache is full.
 func (c *Cache[V]) Add(k Key, v V) {
+	c.AddIndexed(k, Key{}, v)
+}
+
+// AddIndexed is Add with a structural key: a non-zero structK also
+// registers the entry in the near-miss index so Similar(structK) can
+// find it. Warm state carried by v (WarmCarrier) is byte-accounted
+// and stripped LRU-first whenever the warm budget is exceeded.
+func (c *Cache[V]) AddIndexed(k, structK Key, v V) {
 	if c == nil || c.max <= 0 {
 		return
 	}
@@ -153,14 +285,133 @@ func (c *Cache[V]) Add(k Key, v V) {
 	defer c.mu.Unlock()
 	if el, ok := c.entries[k]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*cacheEntry[V]).val = v
+		e := el.Value.(*cacheEntry[V])
+		c.warmTotal -= e.warmBytes
+		if e.structKey != structK {
+			c.removeFromIndex(e.structKey, k)
+		}
+		e.val = v
+		e.structKey = structK
+		e.warmBytes = warmBytesOf(v)
+		c.warmTotal += e.warmBytes
+		c.addToIndex(structK, k)
+		c.enforceWarmBudget()
 		return
 	}
-	c.entries[k] = c.ll.PushFront(&cacheEntry[V]{key: k, val: v})
+	e := &cacheEntry[V]{key: k, structKey: structK, warmBytes: warmBytesOf(v), val: v}
+	c.entries[k] = c.ll.PushFront(e)
+	c.warmTotal += e.warmBytes
+	c.addToIndex(structK, k)
 	for c.ll.Len() > c.max {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry[V]).key)
+		oe := oldest.Value.(*cacheEntry[V])
+		delete(c.entries, oe.key)
+		c.removeFromIndex(oe.structKey, oe.key)
+		c.warmTotal -= oe.warmBytes
+		c.evictions++
+	}
+	c.enforceWarmBudget()
+}
+
+// Similar returns the exact keys indexed under structK, most recently
+// added first. All returned keys are currently resident.
+func (c *Cache[V]) Similar(structK Key) []Key {
+	if c == nil || c.max <= 0 || structK == (Key{}) {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.index[structK]
+	if len(b) == 0 {
+		return nil
+	}
+	return append([]Key(nil), b...)
+}
+
+// StripWarmKey drops the warm state retained by entry k (if any),
+// keeping the result cached. The warm-fallback path uses it so a
+// near-miss never re-attempts a warm start from state that already
+// failed once.
+func (c *Cache[V]) StripWarmKey(k Key) {
+	if c == nil || c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		c.stripEntry(el.Value.(*cacheEntry[V]))
+	}
+}
+
+// Stats returns the entry count, cumulative evictions, and bytes of
+// retained warm state.
+func (c *Cache[V]) Stats() (entries, evictions, warmBytes int64) {
+	if c == nil || c.max <= 0 {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.ll.Len()), c.evictions, c.warmTotal
+}
+
+func (c *Cache[V]) stripEntry(e *cacheEntry[V]) {
+	if e.warmBytes == 0 {
+		return
+	}
+	if w, ok := any(e.val).(WarmCarrier); ok {
+		w.StripWarm()
+	}
+	c.warmTotal -= e.warmBytes
+	e.warmBytes = 0
+}
+
+// enforceWarmBudget strips warm state least recently used first until
+// the total fits the budget. Called with c.mu held.
+func (c *Cache[V]) enforceWarmBudget() {
+	for el := c.ll.Back(); el != nil && c.warmTotal > c.warmBudget; el = el.Prev() {
+		c.stripEntry(el.Value.(*cacheEntry[V]))
+	}
+}
+
+// addToIndex prepends k to structK's bucket. Called with c.mu held.
+func (c *Cache[V]) addToIndex(structK, k Key) {
+	if structK == (Key{}) {
+		return
+	}
+	b := c.index[structK]
+	for i, kk := range b {
+		if kk == k {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	b = append(b, Key{})
+	copy(b[1:], b)
+	b[0] = k
+	if len(b) > maxBucket {
+		b = b[:maxBucket]
+	}
+	c.index[structK] = b
+}
+
+// removeFromIndex drops k from structK's bucket. Called with c.mu
+// held.
+func (c *Cache[V]) removeFromIndex(structK, k Key) {
+	if structK == (Key{}) {
+		return
+	}
+	b := c.index[structK]
+	for i, kk := range b {
+		if kk == k {
+			b = append(b[:i], b[i+1:]...)
+			break
+		}
+	}
+	if len(b) == 0 {
+		delete(c.index, structK)
+	} else {
+		c.index[structK] = b
 	}
 }
 
@@ -232,6 +483,13 @@ func NewGroup[V any](cacheEntries int) *Group[V] {
 // keeps running for the remaining waiters). Successful results are
 // cached; errors are not.
 func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, error)) (V, Outcome, error) {
+	return g.DoIndexed(ctx, k, Key{}, fn)
+}
+
+// DoIndexed is Do with a structural key: a successful result is cached
+// under k and, when structK is non-zero, registered in the near-miss
+// index so later lookups can find it via Similar.
+func (g *Group[V]) DoIndexed(ctx context.Context, k, structK Key, fn func(context.Context) (V, error)) (V, Outcome, error) {
 	g.mu.Lock()
 	if v, ok := g.cache.Get(k); ok {
 		g.mu.Unlock()
@@ -258,7 +516,7 @@ func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 			delete(g.flights, k)
 		}
 		if err == nil {
-			g.cache.Add(k, v)
+			g.cache.AddIndexed(k, structK, v)
 		}
 		g.mu.Unlock()
 		close(f.done)
@@ -266,6 +524,21 @@ func (g *Group[V]) Do(ctx context.Context, k Key, fn func(context.Context) (V, e
 	}()
 	return g.wait(ctx, k, f, Miss)
 }
+
+// Similar forwards to the backing cache's near-miss index.
+func (g *Group[V]) Similar(structK Key) []Key { return g.cache.Similar(structK) }
+
+// Peek forwards to the backing cache without refreshing recency.
+func (g *Group[V]) Peek(k Key) (V, bool) { return g.cache.Peek(k) }
+
+// StripWarmKey forwards to the backing cache.
+func (g *Group[V]) StripWarmKey(k Key) { g.cache.StripWarmKey(k) }
+
+// SetWarmBudget forwards to the backing cache.
+func (g *Group[V]) SetWarmBudget(b int64) { g.cache.SetWarmBudget(b) }
+
+// CacheStats forwards to the backing cache's Stats.
+func (g *Group[V]) CacheStats() (entries, evictions, warmBytes int64) { return g.cache.Stats() }
 
 func (g *Group[V]) wait(ctx context.Context, k Key, f *flight[V], o Outcome) (V, Outcome, error) {
 	select {

@@ -1,0 +1,286 @@
+package activetime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/comb"
+	"repro/internal/core"
+	"repro/internal/instance"
+)
+
+// WarmKind classifies a near-miss delta between a cached base solve
+// and a new request.
+type WarmKind string
+
+const (
+	// WarmNone: the delta is not warmable; solve cold.
+	WarmNone WarmKind = ""
+	// WarmRaiseG: same canonical job multiset, strictly larger g.
+	// Capacities only grow, so the cached solution stays feasible and
+	// warm solving reduces to re-minimalizing it under the new slack.
+	WarmRaiseG WarmKind = "raise_g"
+	// WarmSuperset: same g, the base jobs plus new jobs whose windows
+	// nest inside the cached laminar forest. Only the new jobs are
+	// replayed (combinatorial path only).
+	WarmSuperset WarmKind = "superset"
+)
+
+// Delta is ClassifyDelta's result: the warmable relation (if any)
+// between a cached base instance and a new request, with the index
+// translation a resume needs.
+type Delta struct {
+	Kind WarmKind
+	// Mapping[baseIdx] is the job's index in the delta instance
+	// (superset only; raise-g deltas map positionally).
+	Mapping []int32
+	// NewJobs lists delta-instance indices of jobs absent from the
+	// base (superset only).
+	NewJobs []int
+}
+
+// Warm-start errors. Both mean "solve cold"; ErrWarmMismatch
+// additionally indicates retained state that should be dropped.
+var (
+	// ErrWarmUnsupported: the delta kind cannot be resumed by the
+	// cached state's algorithm (e.g. a superset against LP state).
+	ErrWarmUnsupported = errors.New("activetime: warm start unsupported for this delta")
+	// ErrWarmMismatch: the retained state does not fit the instance.
+	ErrWarmMismatch = errors.New("activetime: warm state mismatch")
+)
+
+// WarmState is retained solver state from a finished solve, stored on
+// cache entries so near-miss requests can resume instead of solving
+// cold. It is immutable after capture: resumes deep-copy the mutable
+// parts, so one state can warm any number of concurrent requests.
+type WarmState struct {
+	// Algorithm that produced (and can resume) the state.
+	Algorithm Algorithm
+	// Base is the canonical instance the state was solved for; deltas
+	// are classified against it.
+	Base *Instance
+	// ActiveSlots is the base solve's objective.
+	ActiveSlots int64
+	// Bound is the monotone acceptance bound: a raised-g resume must
+	// achieve at most Bound active slots, a superset resume at most
+	// Bound plus the new jobs' total processing. For the combinatorial
+	// path this is the base objective (resume starts from exactly the
+	// base placement and only ever closes slots); for the LP path it is
+	// the retained count-vector total (the resume re-minimalizes that
+	// vector). A violation means corrupted state, not a hard instance.
+	Bound int64
+
+	lp *core.WarmLP
+	cb *comb.WarmState
+}
+
+// SizeBytes estimates the retained heap footprint, used for the solve
+// cache's warm-byte accounting.
+func (w *WarmState) SizeBytes() int64 {
+	if w == nil {
+		return 0
+	}
+	b := int64(96) + int64(w.Base.N())*32
+	if w.lp != nil {
+		b += w.lp.SizeBytes()
+	}
+	if w.cb != nil {
+		b += w.cb.SizeBytes()
+	}
+	return b
+}
+
+// jobLess is the canonical (release, deadline, processing) order used
+// by the solve cache.
+func jobLess(a, b Job) bool {
+	if a.Release != b.Release {
+		return a.Release < b.Release
+	}
+	if a.Deadline != b.Deadline {
+		return a.Deadline < b.Deadline
+	}
+	return a.Processing < b.Processing
+}
+
+func jobEq(a, b Job) bool {
+	return a.Release == b.Release && a.Deadline == b.Deadline && a.Processing == b.Processing
+}
+
+// ClassifyDelta relates a new request to a cached base instance.
+// Both instances are expected in canonical job order (the cache
+// canonicalizes before solving); under that premise a raised-g delta
+// has positionally identical jobs, and a superset delta interleaves
+// new jobs into the same sorted sequence, recoverable by one merge
+// walk. Anything else — removed jobs, changed windows, lowered g,
+// non-nested growth — classifies as WarmNone (solve cold).
+func ClassifyDelta(base, delta *Instance) Delta {
+	if base == nil || delta == nil {
+		return Delta{}
+	}
+	if delta.G > base.G && delta.N() == base.N() {
+		for i := range base.Jobs {
+			if !jobEq(base.Jobs[i], delta.Jobs[i]) {
+				return Delta{}
+			}
+		}
+		return Delta{Kind: WarmRaiseG}
+	}
+	if delta.G == base.G && delta.N() > base.N() && delta.Nested() {
+		mapping := make([]int32, base.N())
+		newJobs := make([]int, 0, delta.N()-base.N())
+		bi, di := 0, 0
+		for bi < base.N() && di < delta.N() {
+			switch {
+			case jobEq(base.Jobs[bi], delta.Jobs[di]):
+				mapping[bi] = int32(di)
+				bi++
+				di++
+			case jobLess(delta.Jobs[di], base.Jobs[bi]):
+				newJobs = append(newJobs, di)
+				di++
+			default:
+				// A base job is missing from the delta.
+				return Delta{}
+			}
+		}
+		if bi < base.N() {
+			return Delta{}
+		}
+		for ; di < delta.N(); di++ {
+			newJobs = append(newJobs, di)
+		}
+		return Delta{Kind: WarmSuperset, Mapping: mapping, NewJobs: newJobs}
+	}
+	return Delta{}
+}
+
+// warmErr maps solver-level mismatch sentinels onto the root one so
+// callers can errors.Is against ErrWarmMismatch alone.
+func warmErr(err error) error {
+	if errors.Is(err, comb.ErrWarmMismatch) || errors.Is(err, core.ErrWarmMismatch) {
+		return fmt.Errorf("%w: %v", ErrWarmMismatch, err)
+	}
+	return err
+}
+
+// SolveWarmCtx resumes retained warm state for a classified near-miss
+// delta instead of solving cold. The resumed schedule is validated
+// in full and checked against the monotone bound recorded at capture
+// time (see WarmState.Bound); any failure returns an error and the
+// caller falls back to a cold solve. The result carries no
+// LPLowerBound / CertifiedRatio — the old LP optimum is not a bound
+// for the delta instance.
+func SolveWarmCtx(ctx context.Context, in *Instance, w *WarmState, d Delta, opts SolveOptions) (*Result, error) {
+	if w == nil || d.Kind == WarmNone {
+		return nil, ErrWarmUnsupported
+	}
+	var bound int64
+	switch d.Kind {
+	case WarmRaiseG:
+		bound = w.Bound
+	case WarmSuperset:
+		bound = w.Bound
+		for _, ji := range d.NewJobs {
+			if ji < 0 || ji >= in.N() {
+				return nil, fmt.Errorf("%w: new-job index %d out of range", ErrWarmMismatch, ji)
+			}
+			bound += in.Jobs[ji].Processing
+		}
+	default:
+		return nil, ErrWarmUnsupported
+	}
+
+	var (
+		s    *Schedule
+		next *WarmState
+		err  error
+		res  = &Result{Algorithm: w.Algorithm}
+	)
+	switch {
+	case w.Algorithm == AlgNested95 && w.lp != nil:
+		if d.Kind != WarmRaiseG {
+			// The LP resume replays count vectors, not jobs; supersets
+			// need the combinatorial path.
+			return nil, ErrWarmUnsupported
+		}
+		var rep core.Report
+		var nlp *core.WarmLP
+		s, rep, nlp, err = core.SolveWarm(ctx, in, w.lp, core.Options{
+			Metrics:     opts.Metrics,
+			Trace:       opts.Trace,
+			CaptureWarm: opts.CaptureWarm,
+		})
+		if err != nil {
+			return nil, warmErr(err)
+		}
+		res.Stats = rep.Stats
+		if nlp != nil {
+			next = &WarmState{
+				Algorithm:   AlgNested95,
+				Base:        in,
+				ActiveSlots: s.NumActive(),
+				Bound:       rep.RoundedSlots,
+				lp:          nlp,
+			}
+		}
+	case w.Algorithm == AlgCombinatorial && w.cb != nil:
+		var rep *comb.Report
+		copts := comb.Options{
+			Metrics:     opts.Metrics,
+			Trace:       opts.Trace,
+			CaptureWarm: opts.CaptureWarm,
+		}
+		switch d.Kind {
+		case WarmRaiseG:
+			s, rep, err = comb.ResumeRaiseG(ctx, in, w.cb, copts)
+		case WarmSuperset:
+			s, rep, err = comb.ResumeSuperset(ctx, in, w.cb, d.Mapping, d.NewJobs, copts)
+		}
+		if err != nil {
+			return nil, warmErr(err)
+		}
+		res.Stats = rep.Stats
+		if rep.Warm != nil {
+			next = &WarmState{
+				Algorithm:   AlgCombinatorial,
+				Base:        in,
+				ActiveSlots: rep.ActiveSlots,
+				Bound:       rep.ActiveSlots,
+				cb:          rep.Warm,
+			}
+		}
+	default:
+		return nil, ErrWarmUnsupported
+	}
+
+	res.Schedule = s
+	res.ActiveSlots = s.NumActive()
+	if res.ActiveSlots > bound {
+		// The warm paths only ever deactivate / minimalize beyond the
+		// retained placement, so exceeding the bound means the retained
+		// state is corrupt — never that the instance is hard.
+		return nil, fmt.Errorf("%w: resumed objective %d exceeds monotone bound %d",
+			ErrWarmMismatch, res.ActiveSlots, bound)
+	}
+	res.Warm = next
+	return res, nil
+}
+
+// warmStateFor assembles the public WarmState from a solver-level
+// capture (nil when nothing was captured).
+func warmStateFor(alg Algorithm, in *instance.Instance, lp *core.WarmLP, lpBound int64, cb *comb.WarmState, active int64) *WarmState {
+	switch alg {
+	case AlgNested95:
+		if lp == nil {
+			return nil
+		}
+		return &WarmState{Algorithm: alg, Base: in, ActiveSlots: active, Bound: lpBound, lp: lp}
+	case AlgCombinatorial:
+		if cb == nil {
+			return nil
+		}
+		return &WarmState{Algorithm: alg, Base: in, ActiveSlots: active, Bound: active, cb: cb}
+	}
+	return nil
+}
